@@ -1,0 +1,100 @@
+// Figures 3a/3b: conformity (% of explanations that are conformant over
+// the inference context) and precision (average max-alpha) of CCE and the
+// size-matched heuristic baselines across the five general-ML datasets.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/srk.h"
+#include "data/generators.h"
+#include "explain/anchor.h"
+#include "explain/gam.h"
+#include "explain/kernel_shap.h"
+#include "explain/lime.h"
+
+namespace cce::bench {
+namespace {
+
+struct MethodQuality {
+  QualityReport cce, lime, shap, anchor, gam;
+};
+
+MethodQuality RunDataset(const std::string& dataset) {
+  WorkbenchOptions options;
+  options.explain_count = 25;
+  // Subsample the largest dataset: quality metrics need many model probes.
+  if (dataset == "Adult") options.rows_override = 9000;
+  Workbench bench = MakeWorkbench(dataset, options);
+
+  explain::Lime lime(bench.model.get(), &bench.train, {});
+  explain::KernelShap shap(bench.model.get(), &bench.train, {});
+  explain::Anchor anchor(bench.model.get(), &bench.train, {});
+  auto gam = explain::Gam::Fit(bench.model.get(), &bench.train, {});
+  CCE_CHECK_OK(gam.status());
+
+  // CCE first: its key sizes define the size-matched budgets (Section 7.1).
+  std::vector<ExplainedInstance> cce_explained;
+  std::vector<size_t> sizes;
+  for (size_t row : bench.explain_rows) {
+    auto key = Srk::Explain(bench.context, row, {});
+    CCE_CHECK_OK(key.status());
+    cce_explained.push_back(
+        {bench.context.instance(row), bench.context.label(row), key->key});
+    sizes.push_back(std::max<size_t>(key->key.size(), 1));
+  }
+
+  auto size_matched = [&](explain::FeatureExplainer* explainer) {
+    std::vector<ExplainedInstance> out;
+    for (size_t i = 0; i < bench.explain_rows.size(); ++i) {
+      size_t row = bench.explain_rows[i];
+      auto features =
+          explainer->ExplainFeatures(bench.context.instance(row), sizes[i]);
+      CCE_CHECK_OK(features.status());
+      out.push_back({bench.context.instance(row),
+                     bench.context.label(row), *features});
+    }
+    return out;
+  };
+
+  MethodQuality quality;
+  quality.cce = EvaluateQuality(bench.context, cce_explained);
+  quality.lime = EvaluateQuality(bench.context, size_matched(&lime));
+  quality.shap = EvaluateQuality(bench.context, size_matched(&shap));
+  quality.anchor = EvaluateQuality(bench.context, size_matched(&anchor));
+  quality.gam = EvaluateQuality(bench.context, size_matched(gam->get()));
+  return quality;
+}
+
+}  // namespace
+}  // namespace cce::bench
+
+int main() {
+  using namespace cce::bench;
+  PrintBanner("Conformity and precision of size-matched explanations",
+              "Figures 3a and 3b (Section 7.3, Quality)");
+  std::vector<std::pair<std::string, MethodQuality>> results;
+  for (const std::string& dataset : cce::data::GeneralDatasetNames()) {
+    results.emplace_back(dataset, RunDataset(dataset));
+  }
+  std::printf("\nFig. 3a — conformity (%% of conformant explanations)\n");
+  PrintHeader("dataset", {"CCE(SRK)", "LIME", "SHAP", "Anchor", "GAM"});
+  for (const auto& [dataset, q] : results) {
+    PrintRow(dataset,
+             {q.cce.conformity, q.lime.conformity, q.shap.conformity,
+              q.anchor.conformity, q.gam.conformity},
+             "%12.1f");
+  }
+  std::printf("\nFig. 3b — precision (average max-alpha, %%)\n");
+  PrintHeader("dataset", {"CCE(SRK)", "LIME", "SHAP", "Anchor", "GAM"});
+  for (const auto& [dataset, q] : results) {
+    PrintRow(dataset,
+             {100.0 * q.cce.precision, 100.0 * q.lime.precision,
+              100.0 * q.shap.precision, 100.0 * q.anchor.precision,
+              100.0 * q.gam.precision},
+             "%12.1f");
+  }
+  std::printf(
+      "\nPaper shape: CCE is 100/100 everywhere; the heuristics fall "
+      "short on both measures.\n");
+  return 0;
+}

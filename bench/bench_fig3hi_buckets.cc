@@ -1,0 +1,106 @@
+// Figures 3h/3i: sensitivity to the numeric bucketing granularity.
+// Varying the LoanAmount #-bucket from 10 to 20 on Loan: (h) conformity of
+// CCE, Anchor and the importance baselines; (i) recall and succinctness of
+// the conformant methods (CCE, Xreason).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/metrics.h"
+#include "core/srk.h"
+#include "data/generators.h"
+#include "explain/anchor.h"
+#include "explain/lime.h"
+#include "explain/xreason.h"
+#include "ml/gbdt.h"
+
+namespace cce::bench {
+namespace {
+
+const int kBuckets[] = {10, 12, 14, 16, 18, 20};
+
+struct BucketResult {
+  double cce_conformity, anchor_conformity, lime_conformity;
+  double cce_recall, xreason_recall;
+  double cce_size, xreason_size;
+};
+
+BucketResult RunBuckets(int buckets) {
+  data::LoanOptions loan_options;
+  loan_options.seed = 11;
+  loan_options.loan_amount_buckets = buckets;
+  Dataset loan = data::GenerateLoan(loan_options);
+  Rng rng(11);
+  auto [train, inference] = loan.Split(0.7, &rng);
+  ml::Gbdt::Options gbdt_options;
+  gbdt_options.num_trees = 60;
+  gbdt_options.max_depth = 5;
+  auto model = ml::Gbdt::Train(train, gbdt_options);
+  CCE_CHECK_OK(model.status());
+  Context context = (*model)->MakeContext(inference);
+  std::vector<size_t> rows = rng.SampleWithoutReplacement(context.size(),
+                                                          15);
+
+  explain::Anchor anchor(model->get(), &train, {});
+  explain::Lime lime(model->get(), &train, {});
+  explain::Xreason xreason(model->get(), loan.schema_ptr(), {});
+
+  std::vector<ExplainedInstance> cce_explained, anchor_explained,
+      lime_explained;
+  BucketResult out{};
+  size_t count = 0;
+  for (size_t row : rows) {
+    const Instance& x = context.instance(row);
+    Label y = context.label(row);
+    auto key = Srk::Explain(context, row, {});
+    CCE_CHECK_OK(key.status());
+    size_t size = std::max<size_t>(key->key.size(), 1);
+    cce_explained.push_back({x, y, key->key});
+    auto anchor_key = anchor.ExplainFeatures(x, size);
+    CCE_CHECK_OK(anchor_key.status());
+    anchor_explained.push_back({x, y, *anchor_key});
+    auto lime_key = lime.ExplainFeatures(x, size);
+    CCE_CHECK_OK(lime_key.status());
+    lime_explained.push_back({x, y, *lime_key});
+    auto formal = xreason.ExplainFeatures(x, 0);
+    CCE_CHECK_OK(formal.status());
+    out.cce_recall += Recall(context, x, y, key->key, *formal);
+    out.xreason_recall += Recall(context, x, y, *formal, key->key);
+    out.cce_size += static_cast<double>(key->key.size());
+    out.xreason_size += static_cast<double>(formal->size());
+    ++count;
+  }
+  out.cce_conformity = Conformity(context, cce_explained);
+  out.anchor_conformity = Conformity(context, anchor_explained);
+  out.lime_conformity = Conformity(context, lime_explained);
+  double n = static_cast<double>(count);
+  out.cce_recall = 100.0 * out.cce_recall / n;
+  out.xreason_recall = 100.0 * out.xreason_recall / n;
+  out.cce_size /= n;
+  out.xreason_size /= n;
+  return out;
+}
+
+}  // namespace
+}  // namespace cce::bench
+
+int main() {
+  using namespace cce::bench;
+  PrintBanner("Impact of numeric bucketing (Loan, LoanAmount feature)",
+              "Figures 3h and 3i (Section 7.3)");
+  PrintHeader("#-bucket", {"conf:CCE", "conf:Anchor", "conf:LIME",
+                           "rec:CCE", "rec:Xr", "size:CCE", "size:Xr"});
+  for (int buckets : kBuckets) {
+    BucketResult r = RunBuckets(buckets);
+    PrintRow(std::to_string(buckets),
+             {r.cce_conformity, r.anchor_conformity, r.lime_conformity,
+              r.cce_recall, r.xreason_recall, r.cce_size, r.xreason_size},
+             "%12.1f");
+  }
+  std::printf(
+      "\nPaper shape: CCE's conformity is flat at 100%% across bucket "
+      "counts, heuristics fluctuate;\nrecall/succinctness of both "
+      "conformant methods are stable.\n");
+  return 0;
+}

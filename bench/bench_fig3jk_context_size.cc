@@ -1,0 +1,86 @@
+// Figures 3j/3k: impact of the context size on explanation quality.
+// Varying |I| from 50% to 100% of the Adult inference set:
+// (j) batch SRK faithfulness and succinctness; (k) the online variant
+// (OSRK) fed a stream prefix of the same lengths.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "core/osrk.h"
+#include "core/srk.h"
+#include "data/generators.h"
+
+namespace cce::bench {
+namespace {
+
+const double kFractions[] = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+constexpr int kMaskSamples = 24;
+
+}  // namespace
+}  // namespace cce::bench
+
+int main() {
+  using namespace cce::bench;
+  using namespace cce;
+  PrintBanner("Impact of context size |I| (Adult)",
+              "Figures 3j and 3k (Sections 7.3-7.4)");
+
+  WorkbenchOptions options;
+  options.rows_override = 9000;
+  options.explain_count = 20;
+  Workbench bench = MakeWorkbench("Adult", options);
+
+  std::printf("\nFig. 3j — batch mode (SRK)\n");
+  PrintHeader("|I| fraction", {"faithfulness", "succinctness"}, 14);
+  for (double fraction : kFractions) {
+    Context partial = bench.context.Prefix(
+        static_cast<size_t>(fraction * bench.context.size()));
+    std::vector<ExplainedInstance> explained;
+    for (size_t row : bench.explain_rows) {
+      size_t use_row = row % partial.size();
+      auto key = Srk::Explain(partial, use_row, {});
+      CCE_CHECK_OK(key.status());
+      explained.push_back({partial.instance(use_row),
+                           partial.label(use_row), key->key});
+    }
+    Rng rng(5);
+    double faithfulness = Faithfulness(*bench.model, bench.train,
+                                       explained, kMaskSamples, &rng);
+    PrintRow(StrFormat("%.0f%%", 100.0 * fraction),
+             {faithfulness, AverageSuccinctness(explained)}, "%14.3f");
+  }
+
+  std::printf("\nFig. 3k — online mode (OSRK over a stream prefix)\n");
+  PrintHeader("|I| fraction", {"faithfulness", "succinctness"}, 14);
+  for (double fraction : kFractions) {
+    size_t prefix = static_cast<size_t>(fraction * bench.context.size());
+    std::vector<ExplainedInstance> explained;
+    for (size_t i = 0; i < bench.explain_rows.size(); ++i) {
+      size_t target = bench.explain_rows[i] % prefix;
+      Osrk::Options osrk_options;
+      osrk_options.seed = 100 + i;
+      auto osrk = Osrk::Create(bench.schema,
+                               bench.context.instance(target),
+                               bench.context.label(target), osrk_options);
+      CCE_CHECK_OK(osrk.status());
+      for (size_t row = 0; row < prefix; ++row) {
+        if (row == target) continue;
+        (*osrk)->Observe(bench.context.instance(row),
+                         bench.context.label(row));
+      }
+      explained.push_back({bench.context.instance(target),
+                           bench.context.label(target), (*osrk)->key()});
+    }
+    Rng rng(6);
+    double faithfulness = Faithfulness(*bench.model, bench.train,
+                                       explained, kMaskSamples, &rng);
+    PrintRow(StrFormat("%.0f%%", 100.0 * fraction),
+             {faithfulness, AverageSuccinctness(explained)}, "%14.3f");
+  }
+  std::printf(
+      "\nPaper shape: larger contexts improve (lower) faithfulness; even "
+      "50%% of the inference set\nretains ~90%% of the full-context "
+      "quality.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figures 3l/3m: monitoring model health with relative keys. Two serving
+// streams over Adult — a clean "base" version and a "noise" version whose
+// last 40% of instances are perturbed. (l) the average succinctness of
+// OSRK-monitored keys vs the fraction of the stream processed; (m) the
+// model's actual accuracy on the same prefixes.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "core/cce.h"
+#include "data/drift.h"
+#include "data/generators.h"
+
+namespace cce::bench {
+namespace {
+
+struct Trajectory {
+  std::vector<double> succinctness;  // one point per 10% of the stream
+  std::vector<double> accuracy;
+};
+
+Trajectory RunStream(const cce::Dataset& serving, const cce::Model& model,
+                     std::shared_ptr<const cce::Schema> schema) {
+  using namespace cce;
+  DriftMonitor::Options monitor_options;
+  monitor_options.probe_count = 6;
+  DriftMonitor monitor(std::move(schema), monitor_options);
+  Trajectory out;
+  size_t correct = 0;
+  const size_t step = serving.size() / 10;
+  for (size_t row = 0; row < serving.size(); ++row) {
+    Label prediction = model.Predict(serving.instance(row));
+    monitor.Observe(serving.instance(row), prediction);
+    correct += (prediction == serving.label(row));
+    if ((row + 1) % step == 0) {
+      out.succinctness.push_back(monitor.AverageSuccinctness());
+      out.accuracy.push_back(100.0 * static_cast<double>(correct) /
+                             static_cast<double>(row + 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace cce::bench
+
+int main() {
+  using namespace cce::bench;
+  using namespace cce;
+  PrintBanner("Monitoring accuracy dips via key succinctness (Adult)",
+              "Figures 3l and 3m (Section 7.4, An application)");
+
+  WorkbenchOptions options;
+  options.rows_override = 9000;
+  Workbench bench = MakeWorkbench("Adult", options);
+  Rng rng(3);
+  Dataset noisy = data::InjectTailNoise(bench.inference, 0.4, 0.6, &rng);
+
+  Trajectory base = RunStream(bench.inference, *bench.model, bench.schema);
+  Trajectory noise = RunStream(noisy, *bench.model, bench.schema);
+
+  std::printf("\nFig. 3l — monitored succinctness vs stream%%\n");
+  PrintHeader("stream%", {"base", "noise"});
+  for (size_t i = 0; i < base.succinctness.size(); ++i) {
+    PrintRow(StrFormat("%zu%%", 10 * (i + 1)),
+             {base.succinctness[i], noise.succinctness[i]}, "%12.2f");
+  }
+  std::printf("\nFig. 3m — model accuracy vs stream%% (cumulative)\n");
+  PrintHeader("stream%", {"base", "noise"});
+  for (size_t i = 0; i < base.accuracy.size(); ++i) {
+    PrintRow(StrFormat("%zu%%", 10 * (i + 1)),
+             {base.accuracy[i], noise.accuracy[i]}, "%12.1f");
+  }
+  std::printf(
+      "\nPaper shape: from the 60%% mark (where noise starts) the noise "
+      "stream's key succinctness\nrises abnormally while the base stream "
+      "stays flat — tracking the accuracy dip without labels.\n");
+  return 0;
+}

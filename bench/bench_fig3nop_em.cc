@@ -1,0 +1,129 @@
+// Figures 3n/3o/3p and the Section 7.5 efficiency claim: explaining
+// entity-matching decisions. Compares CCE, size-matched Anchor, and the
+// specialised CERTA explainer on the four EM datasets: conformity,
+// precision, faithfulness, and per-instance time.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "core/srk.h"
+#include "explain/anchor.h"
+#include "explain/certa.h"
+
+namespace cce::bench {
+namespace {
+
+constexpr int kMaskSamples = 24;
+
+struct EmResult {
+  QualityReport cce, anchor, certa;
+  double cce_faith, anchor_faith, certa_faith;
+  double cce_ms, anchor_ms, certa_ms;
+};
+
+EmResult RunDataset(const std::string& dataset) {
+  using namespace cce;
+  EmWorkbenchOptions options;
+  options.explain_count = 20;
+  // Subsample pair counts: CERTA's probe cost dominates otherwise.
+  options.pairs_override = 6000;
+  EmWorkbench bench = MakeEmWorkbench(dataset, options);
+
+  explain::Anchor anchor(bench.matcher.get(), &bench.train, {});
+  explain::Certa certa(bench.matcher.get(), &bench.train, {});
+
+  std::vector<ExplainedInstance> cce_explained, anchor_explained,
+      certa_explained;
+  EmResult out{};
+  Timer timer;
+  std::vector<size_t> sizes;
+  for (size_t row : bench.explain_rows) {
+    auto key = Srk::Explain(bench.context, row, {});
+    CCE_CHECK_OK(key.status());
+    cce_explained.push_back(
+        {bench.context.instance(row), bench.context.label(row), key->key});
+    sizes.push_back(std::max<size_t>(key->key.size(), 1));
+  }
+  out.cce_ms = timer.ElapsedMillis() /
+               static_cast<double>(bench.explain_rows.size());
+
+  timer.Restart();
+  for (size_t i = 0; i < bench.explain_rows.size(); ++i) {
+    size_t row = bench.explain_rows[i];
+    auto features =
+        anchor.ExplainFeatures(bench.context.instance(row), sizes[i]);
+    CCE_CHECK_OK(features.status());
+    anchor_explained.push_back({bench.context.instance(row),
+                                bench.context.label(row), *features});
+  }
+  out.anchor_ms = timer.ElapsedMillis() /
+                  static_cast<double>(bench.explain_rows.size());
+
+  timer.Restart();
+  for (size_t i = 0; i < bench.explain_rows.size(); ++i) {
+    size_t row = bench.explain_rows[i];
+    auto features =
+        certa.ExplainFeatures(bench.context.instance(row), sizes[i]);
+    CCE_CHECK_OK(features.status());
+    certa_explained.push_back({bench.context.instance(row),
+                               bench.context.label(row), *features});
+  }
+  out.certa_ms = timer.ElapsedMillis() /
+                 static_cast<double>(bench.explain_rows.size());
+
+  out.cce = EvaluateQuality(bench.context, cce_explained);
+  out.anchor = EvaluateQuality(bench.context, anchor_explained);
+  out.certa = EvaluateQuality(bench.context, certa_explained);
+  Rng rng(7);
+  out.cce_faith = Faithfulness(*bench.matcher, bench.train, cce_explained,
+                               kMaskSamples, &rng);
+  out.anchor_faith = Faithfulness(*bench.matcher, bench.train,
+                                  anchor_explained, kMaskSamples, &rng);
+  out.certa_faith = Faithfulness(*bench.matcher, bench.train,
+                                 certa_explained, kMaskSamples, &rng);
+  return out;
+}
+
+}  // namespace
+}  // namespace cce::bench
+
+int main() {
+  using namespace cce::bench;
+  PrintBanner("Entity-matching explanation: CCE vs Anchor vs CERTA",
+              "Figures 3n, 3o, 3p and Section 7.5 (efficiency)");
+  std::vector<std::pair<std::string, EmResult>> results;
+  for (const std::string& dataset : cce::em::EmDatasetNames()) {
+    results.emplace_back(dataset, RunDataset(dataset));
+  }
+  std::printf("\nFig. 3n — conformity (%%)\n");
+  PrintHeader("dataset", {"CCE", "Anchor", "CERTA"});
+  for (const auto& [name, r] : results) {
+    PrintRow(name, {r.cce.conformity, r.anchor.conformity,
+                    r.certa.conformity},
+             "%12.1f");
+  }
+  std::printf("\nFig. 3o — precision (%%)\n");
+  PrintHeader("dataset", {"CCE", "Anchor", "CERTA"});
+  for (const auto& [name, r] : results) {
+    PrintRow(name, {100.0 * r.cce.precision, 100.0 * r.anchor.precision,
+                    100.0 * r.certa.precision},
+             "%12.1f");
+  }
+  std::printf("\nFig. 3p — faithfulness (lower = better)\n");
+  PrintHeader("dataset", {"CCE", "Anchor", "CERTA"});
+  for (const auto& [name, r] : results) {
+    PrintRow(name, {r.cce_faith, r.anchor_faith, r.certa_faith},
+             "%12.3f");
+  }
+  std::printf("\nSection 7.5 — per-instance explanation time (ms)\n");
+  PrintHeader("dataset", {"CCE", "Anchor", "CERTA"});
+  for (const auto& [name, r] : results) {
+    PrintRow(name, {r.cce_ms, r.anchor_ms, r.certa_ms}, "%12.3f");
+  }
+  std::printf(
+      "\nPaper shape: CCE 100%%/100%% conformity/precision; faithfulness "
+      "competitive with the\nspecialised CERTA and better than Anchor; "
+      "CCE orders of magnitude faster than CERTA.\n");
+  return 0;
+}

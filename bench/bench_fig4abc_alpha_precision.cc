@@ -1,0 +1,100 @@
+// Appendix B Exp-1 (Figures 4a/4b/4c): precision of SRK, OSRK and SSRK as
+// the conformity bound alpha varies from 1 to 0.9. Precision should decay
+// only slightly and stay far above the theoretical floor (alpha itself).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/conformity.h"
+#include "core/osrk.h"
+#include "core/srk.h"
+#include "core/ssrk.h"
+#include "data/generators.h"
+
+namespace cce::bench {
+namespace {
+
+const double kAlphas[] = {1.0, 0.98, 0.96, 0.94, 0.92, 0.9};
+
+struct PrecisionRows {
+  std::vector<double> srk, osrk, ssrk;  // one value per alpha
+};
+
+PrecisionRows RunDataset(const std::string& dataset) {
+  using namespace cce;
+  WorkbenchOptions options;
+  options.explain_count = 12;
+  if (dataset == "Adult") options.rows_override = 6000;
+  Workbench bench = MakeWorkbench(dataset, options);
+  ConformityChecker checker(&bench.context);
+
+  PrecisionRows out;
+  for (double alpha : kAlphas) {
+    double srk_total = 0.0, osrk_total = 0.0, ssrk_total = 0.0;
+    for (size_t i = 0; i < bench.explain_rows.size(); ++i) {
+      size_t target = bench.explain_rows[i];
+      const Instance& x = bench.context.instance(target);
+      Label y = bench.context.label(target);
+
+      Srk::Options srk_options;
+      srk_options.alpha = alpha;
+      auto key = Srk::Explain(bench.context, target, srk_options);
+      CCE_CHECK_OK(key.status());
+      srk_total += checker.Precision(x, y, key->key);
+
+      Osrk::Options osrk_options;
+      osrk_options.alpha = alpha;
+      osrk_options.seed = i;
+      auto osrk = Osrk::Create(bench.schema, x, y, osrk_options);
+      CCE_CHECK_OK(osrk.status());
+      Ssrk::Options ssrk_options;
+      ssrk_options.alpha = alpha;
+      auto ssrk = Ssrk::Create(bench.context, x, y, ssrk_options);
+      CCE_CHECK_OK(ssrk.status());
+      for (size_t row = 0; row < bench.context.size(); ++row) {
+        if (row == target) continue;
+        (*osrk)->Observe(bench.context.instance(row),
+                         bench.context.label(row));
+        (*ssrk)->Observe(bench.context.instance(row),
+                         bench.context.label(row));
+      }
+      osrk_total += checker.Precision(x, y, (*osrk)->key());
+      ssrk_total += checker.Precision(x, y, (*ssrk)->key());
+    }
+    double n = static_cast<double>(bench.explain_rows.size());
+    out.srk.push_back(100.0 * srk_total / n);
+    out.osrk.push_back(100.0 * osrk_total / n);
+    out.ssrk.push_back(100.0 * ssrk_total / n);
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace cce::bench
+
+int main() {
+  using namespace cce::bench;
+  PrintBanner("Precision vs alpha for SRK / OSRK / SSRK",
+              "Figures 4a, 4b, 4c (Appendix B, Exp-1)");
+  std::vector<std::pair<std::string, PrecisionRows>> results;
+  for (const std::string& dataset : cce::data::GeneralDatasetNames()) {
+    results.emplace_back(dataset, RunDataset(dataset));
+  }
+  const char* figure[] = {"Fig. 4a — SRK (batch)", "Fig. 4b — OSRK",
+                          "Fig. 4c — SSRK"};
+  for (int algorithm = 0; algorithm < 3; ++algorithm) {
+    std::printf("\n%s: precision (%%) vs alpha\n", figure[algorithm]);
+    PrintHeader("dataset",
+                {"a=1.0", "a=0.98", "a=0.96", "a=0.94", "a=0.92", "a=0.9"});
+    for (const auto& [dataset, rows] : results) {
+      const std::vector<double>& values =
+          algorithm == 0 ? rows.srk
+                         : (algorithm == 1 ? rows.osrk : rows.ssrk);
+      PrintRow(dataset, values, "%12.1f");
+    }
+  }
+  std::printf(
+      "\nPaper shape: precision decays by at most ~1-2%% as alpha drops "
+      "to 0.9 and stays well\nabove the theoretical floor (alpha).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Appendix B Exp-3 (Figure 4e): impact of the context size on SSRK.
+// Varying |I| from 50% to 100% of the Adult inference set, report the
+// faithfulness and succinctness of SSRK-maintained keys.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "core/ssrk.h"
+#include "data/generators.h"
+
+int main() {
+  using namespace cce::bench;
+  using namespace cce;
+  PrintBanner("SSRK quality vs context size (Adult)",
+              "Figure 4e (Appendix B, Exp-3)");
+
+  WorkbenchOptions options;
+  options.rows_override = 6000;
+  options.explain_count = 15;
+  Workbench bench = MakeWorkbench("Adult", options);
+
+  PrintHeader("|I| fraction", {"faithfulness", "succinctness"}, 14);
+  for (double fraction : {0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    size_t prefix = static_cast<size_t>(fraction * bench.context.size());
+    Context universe = bench.context.Prefix(prefix);
+    std::vector<ExplainedInstance> explained;
+    for (size_t raw : bench.explain_rows) {
+      size_t target = raw % prefix;
+      auto ssrk = Ssrk::Create(universe, universe.instance(target),
+                               universe.label(target), {});
+      CCE_CHECK_OK(ssrk.status());
+      for (size_t row = 0; row < prefix; ++row) {
+        if (row == target) continue;
+        (*ssrk)->Observe(universe.instance(row), universe.label(row));
+      }
+      explained.push_back({universe.instance(target),
+                           universe.label(target), (*ssrk)->key()});
+    }
+    Rng rng(5);
+    double faithfulness =
+        Faithfulness(*bench.model, bench.train, explained, 20, &rng);
+    PrintRow(StrFormat("%.0f%%", 100.0 * fraction),
+             {faithfulness, AverageSuccinctness(explained)}, "%14.3f");
+  }
+  std::printf(
+      "\nPaper shape: larger contexts lower (improve) faithfulness while "
+      "keys grow slightly.\n");
+  return 0;
+}

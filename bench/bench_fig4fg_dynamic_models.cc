@@ -1,0 +1,152 @@
+// Appendix B Exp-4 (Figures 4f/4g): explaining a *dynamic* model — a
+// sequence of five XGBoost-style models trained on five dataset phases —
+// when the explainers are oblivious to the changes. Baselines (including
+// Xreason) keep reasoning about the phase-1 model; CCE explains from a
+// sliding window of recently served (instance, prediction) pairs. The
+// reference explanation is SRK over the current phase's full context.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/cce.h"
+#include "core/metrics.h"
+#include "core/srk.h"
+#include "data/drift.h"
+#include "data/generators.h"
+#include "explain/anchor.h"
+#include "explain/lime.h"
+#include "explain/xreason.h"
+#include "ml/gbdt.h"
+
+namespace cce::bench {
+namespace {
+
+constexpr size_t kPhases = 5;
+constexpr size_t kExplainPerPhase = 8;
+
+struct DynamicResult {
+  double cce_conformity = 0, lime_conformity = 0, anchor_conformity = 0,
+         xreason_conformity = 0;
+  double cce_recall = 0, xreason_recall = 0;
+};
+
+DynamicResult RunDataset(const std::string& dataset) {
+  using namespace cce;
+  size_t rows = dataset == "Adult" ? 6000 : 0;
+  Result<Dataset> full = data::GenerateByName(dataset, 11, rows);
+  CCE_CHECK_OK(full.status());
+  std::vector<Dataset> phases = data::SplitPhases(*full, kPhases);
+
+  // One model per phase; baselines are built against phase 1 only.
+  std::vector<std::unique_ptr<ml::Gbdt>> models;
+  std::vector<Dataset> trains;
+  std::vector<Context> contexts;
+  for (Dataset& phase : phases) {
+    Rng rng(11);
+    auto [train, inference] = phase.Split(0.7, &rng);
+    ml::Gbdt::Options gbdt_options;
+    gbdt_options.num_trees = 40;
+    auto model = ml::Gbdt::Train(train, gbdt_options);
+    CCE_CHECK_OK(model.status());
+    contexts.push_back((*model)->MakeContext(inference));
+    trains.push_back(std::move(train));
+    models.push_back(std::move(model).value());
+  }
+
+  explain::Lime lime(models[0].get(), &trains[0], {});
+  explain::Anchor anchor(models[0].get(), &trains[0], {});
+  explain::Xreason xreason(models[0].get(), full->schema_ptr(), {});
+
+  SlidingWindowExplainer::Options window_options;
+  window_options.window_size = 512;
+  window_options.step = 64;
+  auto window =
+      SlidingWindowExplainer::Create(full->schema_ptr(), window_options);
+  CCE_CHECK_OK(window.status());
+
+  DynamicResult out;
+  size_t explained_total = 0;
+  Rng pick_rng(3);
+  for (size_t p = 0; p < kPhases; ++p) {
+    const Context& context = contexts[p];
+    // Stream this phase's served predictions into the oblivious window.
+    for (size_t row = 0; row < context.size(); ++row) {
+      (*window)->Observe(context.instance(row), context.label(row));
+    }
+    std::vector<ExplainedInstance> cce_e, lime_e, anchor_e, xreason_e;
+    std::vector<size_t> sample = pick_rng.SampleWithoutReplacement(
+        context.size(), std::min(kExplainPerPhase, context.size()));
+    for (size_t row : sample) {
+      const Instance& x = context.instance(row);
+      Label y = context.label(row);
+      // Reference: batch SRK with the current phase's full context.
+      auto reference = Srk::ExplainInstance(context, x, y, {});
+      CCE_CHECK_OK(reference.status());
+
+      auto cce_key = (*window)->Explain(x, y);
+      CCE_CHECK_OK(cce_key.status());
+      cce_e.push_back({x, y, cce_key->key});
+      size_t size = std::max<size_t>(cce_key->key.size(), 1);
+
+      auto lime_key = lime.ExplainFeatures(x, size);
+      CCE_CHECK_OK(lime_key.status());
+      lime_e.push_back({x, y, *lime_key});
+      auto anchor_key = anchor.ExplainFeatures(x, size);
+      CCE_CHECK_OK(anchor_key.status());
+      anchor_e.push_back({x, y, *anchor_key});
+      auto formal = xreason.ExplainFeatures(x, 0);
+      CCE_CHECK_OK(formal.status());
+      xreason_e.push_back({x, y, *formal});
+
+      out.cce_recall += Recall(context, x, y, cce_key->key,
+                               reference->key);
+      out.xreason_recall += Recall(context, x, y, *formal,
+                                   reference->key);
+      ++explained_total;
+    }
+    out.cce_conformity += Conformity(context, cce_e);
+    out.lime_conformity += Conformity(context, lime_e);
+    out.anchor_conformity += Conformity(context, anchor_e);
+    out.xreason_conformity += Conformity(context, xreason_e);
+  }
+  out.cce_conformity /= kPhases;
+  out.lime_conformity /= kPhases;
+  out.anchor_conformity /= kPhases;
+  out.xreason_conformity /= kPhases;
+  out.cce_recall = 100.0 * out.cce_recall /
+                   static_cast<double>(explained_total);
+  out.xreason_recall = 100.0 * out.xreason_recall /
+                       static_cast<double>(explained_total);
+  return out;
+}
+
+}  // namespace
+}  // namespace cce::bench
+
+int main() {
+  using namespace cce::bench;
+  PrintBanner("Explaining dynamic models (5-phase model sequence)",
+              "Figures 4f and 4g (Appendix B, Exp-4)");
+  std::vector<std::pair<std::string, DynamicResult>> results;
+  for (const std::string& dataset : cce::data::GeneralDatasetNames()) {
+    results.emplace_back(dataset, RunDataset(dataset));
+  }
+  std::printf("\nFig. 4f — recall vs the current-phase reference (%%)\n");
+  PrintHeader("dataset", {"CCE", "Xreason"});
+  for (const auto& [name, r] : results) {
+    PrintRow(name, {r.cce_recall, r.xreason_recall}, "%12.1f");
+  }
+  std::printf("\nFig. 4g — conformity on the current-phase context (%%)\n");
+  PrintHeader("dataset", {"CCE", "LIME", "Anchor", "Xreason"});
+  for (const auto& [name, r] : results) {
+    PrintRow(name, {r.cce_conformity, r.lime_conformity,
+                    r.anchor_conformity, r.xreason_conformity},
+             "%12.1f");
+  }
+  std::printf(
+      "\nPaper shape: CCE has the highest conformity and far higher "
+      "recall than Xreason, whose\nstale formal explanations cover almost "
+      "nothing under model drift.\n");
+  return 0;
+}

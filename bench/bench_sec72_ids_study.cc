@@ -1,0 +1,112 @@
+// Section 7.2 (pattern-level explanations): IDS summarising Loan with 8
+// rules fails to explain a given instance x0; the unrestricted run mines
+// orders of magnitude more rules (slowly) before one covers x0 in the same
+// shape as the relative key.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/srk.h"
+#include "data/generators.h"
+#include "explain/ids.h"
+#include "ml/gbdt.h"
+
+int main() {
+  using namespace cce;
+  using namespace cce::bench;
+  PrintBanner("Pattern-level explanation (IDS) vs relative keys on Loan",
+              "Section 7.2, case study");
+
+  data::LoanOptions loan_options;
+  loan_options.seed = 11;
+  Dataset loan = data::GenerateLoan(loan_options);
+  Rng rng(11);
+  auto [train, inference] = loan.Split(0.7, &rng);
+  ml::Gbdt::Options gbdt_options;
+  gbdt_options.num_trees = 60;
+  auto model = ml::Gbdt::Train(train, gbdt_options);
+  CCE_CHECK_OK(model.status());
+  Context context = (*model)->MakeContext(inference);
+
+  // IDS summarises the labelled prediction dataset (a global method).
+  explain::Ids::Options small_options;
+  small_options.max_rules = 8;
+  small_options.overlap_penalty = 0.1;
+  Timer timer;
+  auto small = explain::Ids::Summarize(context, small_options);
+  double small_ms = timer.ElapsedMillis();
+  CCE_CHECK_OK(small.status());
+  std::printf("\n8-rule IDS summary (%.1f ms):\n", small_ms);
+  for (const auto& rule : small->rules()) {
+    std::printf("  %s  [coverage %zu, precision %.2f]\n",
+                rule.ToString(loan.schema()).c_str(), rule.coverage,
+                rule.precision);
+  }
+
+  // How many inference instances does the 8-rule summary explain?
+  size_t unexplained = 0;
+  for (size_t row = 0; row < context.size(); ++row) {
+    int rule = small->CoveringRule(context.instance(row));
+    if (rule < 0 || small->rules()[static_cast<size_t>(rule)].consequent !=
+                        context.label(row)) {
+      ++unexplained;
+    }
+  }
+  std::printf(
+      "\n%zu of %zu inference instances are NOT explained by the 8-rule "
+      "summary.\n",
+      unexplained, context.size());
+
+  // Unrestricted IDS: every mined rule, as in the paper's second run.
+  explain::Ids::Options full_options;
+  full_options.max_rules = 0;
+  full_options.min_support = 0.005;
+  full_options.max_antecedent = 3;
+  timer.Restart();
+  auto full = explain::Ids::Summarize(context, full_options);
+  double full_ms = timer.ElapsedMillis();
+  CCE_CHECK_OK(full.status());
+  std::printf(
+      "Unrestricted IDS mined %zu rules in %.1f ms (%.0fx more rules, "
+      "%.1fx slower).\n",
+      full->rules().size(), full_ms,
+      static_cast<double>(full->rules().size()) /
+          static_cast<double>(small->rules().size()),
+      full_ms / std::max(small_ms, 1e-6));
+
+  // Pick an x0 the small summary fails on and show the relative key.
+  for (size_t row = 0; row < context.size(); ++row) {
+    int rule = small->CoveringRule(context.instance(row));
+    bool explained =
+        rule >= 0 && small->rules()[static_cast<size_t>(rule)].consequent ==
+                         context.label(row);
+    if (explained) continue;
+    auto key = Srk::Explain(context, row, {});
+    CCE_CHECK_OK(key.status());
+    std::printf(
+        "\nExample x0 (row %zu, prediction %s): no correct covering rule "
+        "in the 8-rule summary.\nIts relative key %s was computed "
+        "directly, per instance, in microseconds.\n",
+        row, loan.schema().LabelName(context.label(row)).c_str(),
+        FeatureSetToString(key->key, loan.schema().FeatureNames())
+            .c_str());
+    // Look for an unrestricted rule that covers x0 *and* agrees with its
+    // prediction — the paper found one identical to the relative key.
+    for (const auto& candidate : full->rules()) {
+      if (candidate.consequent == context.label(row) &&
+          candidate.Matches(context.instance(row))) {
+        std::printf("The unrestricted rule set does explain x0: %s\n",
+                    candidate.ToString(loan.schema()).c_str());
+        break;
+      }
+    }
+    break;
+  }
+  std::printf(
+      "\nPaper shape: small global summaries cannot target a given "
+      "instance; unrestricted mining\ncan, but at orders-of-magnitude "
+      "higher cost than a relative key.\n");
+  return 0;
+}

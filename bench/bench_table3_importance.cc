@@ -1,0 +1,95 @@
+// Table 3: feature-importance explanations (LIME / SHAP / GAM scores) for
+// the case-study instance x0 of Loan, plus the size-2 feature explanations
+// derived from them ([13]) compared with Anchor's and CCE's.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "core/srk.h"
+#include "explain/anchor.h"
+#include "explain/explainer.h"
+#include "explain/gam.h"
+#include "explain/kernel_shap.h"
+#include "explain/lime.h"
+
+int main() {
+  using namespace cce;
+  using namespace cce::bench;
+  PrintBanner("Feature-importance explanations for x0 in Loan",
+              "Table 3 (Section 7.2, case study)");
+
+  WorkbenchOptions options;
+  Workbench bench = MakeWorkbench("Loan", options);
+  const Schema& schema = *bench.schema;
+
+  // x0: the first denied application in the context.
+  Label denied = *schema.LookupLabel("Denied");
+  size_t x0_row = 0;
+  for (size_t row = 0; row < bench.context.size(); ++row) {
+    if (bench.context.label(row) == denied) {
+      x0_row = row;
+      break;
+    }
+  }
+  const Instance& x0 = bench.context.instance(x0_row);
+
+  std::printf("\nx0:%*s", 4, "");
+  for (FeatureId f = 0; f < schema.num_features(); ++f) {
+    std::printf("%10.9s", schema.ValueName(f, x0[f]).c_str());
+  }
+  std::printf("   -> %s\n\n%-7s", schema.LabelName(denied).c_str(), "");
+  for (FeatureId f = 0; f < schema.num_features(); ++f) {
+    std::printf("%10.9s", schema.FeatureName(f).c_str());
+  }
+  std::printf("\n");
+
+  explain::Lime lime(bench.model.get(), &bench.train, {});
+  explain::KernelShap shap(bench.model.get(), &bench.train, {});
+  auto gam = explain::Gam::Fit(bench.model.get(), &bench.train, {});
+  CCE_CHECK_OK(gam.status());
+
+  auto print_scores = [&](const char* name,
+                          Result<std::vector<double>> scores) {
+    CCE_CHECK_OK(scores.status());
+    std::printf("%-7s", name);
+    for (double s : *scores) std::printf("%10.2f", s);
+    std::printf("\n");
+    return *scores;
+  };
+  auto lime_scores = print_scores("LIME", lime.ImportanceScores(x0));
+  auto shap_scores = print_scores("SHAP", shap.ImportanceScores(x0));
+  auto gam_scores = print_scores("GAM", (*gam)->ImportanceScores(x0));
+
+  // Derived size-2 feature explanations, per [13].
+  auto top2 = [&](const std::vector<double>& scores) {
+    std::vector<FeatureId> order = explain::RankByImportance(scores);
+    FeatureSet out = {order[0], order[1]};
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  auto names = schema.FeatureNames();
+  std::printf("\nDerived size-2 feature explanations:\n");
+  std::printf("  LIME   -> %s\n",
+              FeatureSetToString(top2(lime_scores), names).c_str());
+  std::printf("  SHAP   -> %s\n",
+              FeatureSetToString(top2(shap_scores), names).c_str());
+  std::printf("  GAM    -> %s\n",
+              FeatureSetToString(top2(gam_scores), names).c_str());
+  explain::Anchor anchor(bench.model.get(), &bench.train, {});
+  auto anchor_key = anchor.ExplainFeatures(x0, 2);
+  CCE_CHECK_OK(anchor_key.status());
+  std::printf("  Anchor -> %s\n",
+              FeatureSetToString(*anchor_key, names).c_str());
+  auto cce_key = Srk::Explain(bench.context, x0_row, {});
+  CCE_CHECK_OK(cce_key.status());
+  std::printf("  CCE    -> %s  (conformity %.0f%%)\n",
+              FeatureSetToString(cce_key->key, names).c_str(),
+              100.0 * cce_key->achieved_alpha);
+  std::printf(
+      "\nPaper shape: the importance-derived explanations coincide with "
+      "Anchor's and inherit its\nconformity gap; CCE's relative key is "
+      "the only one with guaranteed conformity.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+#include "data/generators.h"
+
+namespace cce::bench {
+
+Workbench MakeWorkbench(const std::string& dataset,
+                        const WorkbenchOptions& options) {
+  Workbench bench;
+  bench.name = dataset;
+  Result<Dataset> full =
+      data::GenerateByName(dataset, options.seed, options.rows_override);
+  CCE_CHECK_OK(full.status());
+  bench.schema = full->schema_ptr();
+
+  Rng rng(options.seed);
+  auto [train, inference] = full->Split(0.7, &rng);
+  bench.train = std::move(train);
+  bench.inference = std::move(inference);
+
+  ml::Gbdt::Options gbdt_options;
+  gbdt_options.num_trees = options.gbdt_trees;
+  gbdt_options.max_depth = options.gbdt_depth;
+  gbdt_options.seed = options.seed;
+  Result<std::unique_ptr<ml::Gbdt>> model =
+      ml::Gbdt::Train(bench.train, gbdt_options);
+  CCE_CHECK_OK(model.status());
+  bench.model = std::move(model).value();
+
+  bench.context = bench.model->MakeContext(bench.inference);
+  size_t count = std::min(options.explain_count, bench.context.size());
+  bench.explain_rows =
+      rng.SampleWithoutReplacement(bench.context.size(), count);
+  return bench;
+}
+
+EmWorkbench MakeEmWorkbench(const std::string& dataset,
+                            const EmWorkbenchOptions& options) {
+  EmWorkbench bench;
+  bench.name = dataset;
+  Result<em::EmTask> task =
+      em::GenerateEmByName(dataset, options.seed, options.pairs_override);
+  CCE_CHECK_OK(task.status());
+  bench.task = std::move(task).value();
+
+  em::PairFeatureExtractor extractor(bench.task, {});
+  Dataset encoded = extractor.EncodeAll(bench.task);
+  bench.schema = encoded.schema_ptr();
+
+  Rng rng(options.seed);
+  auto [train, inference] = encoded.Split(0.7, &rng);
+  bench.train = std::move(train);
+  bench.inference = std::move(inference);
+
+  Result<std::unique_ptr<em::SimilarityMatcher>> matcher =
+      em::SimilarityMatcher::Train(bench.train, {});
+  CCE_CHECK_OK(matcher.status());
+  bench.matcher = std::move(matcher).value();
+
+  bench.context = bench.matcher->MakeContext(bench.inference);
+  size_t count = std::min(options.explain_count, bench.context.size());
+  bench.explain_rows =
+      rng.SampleWithoutReplacement(bench.context.size(), count);
+  return bench;
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintHeader(const std::string& label,
+                 const std::vector<std::string>& columns, int width) {
+  std::printf("%-14s", label.c_str());
+  for (const std::string& column : columns) {
+    std::printf("%*s", width, column.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& label, const std::vector<double>& values,
+              const char* format) {
+  std::printf("%-14s", label.c_str());
+  for (double value : values) {
+    std::printf(format, value);
+  }
+  std::printf("\n");
+}
+
+}  // namespace cce::bench

@@ -1,0 +1,96 @@
+#ifndef CCE_BENCH_BENCH_UTIL_H_
+#define CCE_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/dataset.h"
+#include "core/metrics.h"
+#include "core/model.h"
+#include "em/datasets.h"
+#include "em/features.h"
+#include "em/matcher.h"
+#include "ml/gbdt.h"
+
+namespace cce::bench {
+
+/// Everything one experiment needs for a general-ML dataset: the 70/30
+/// split, the trained XGBoost-style model, the client-side inference
+/// context, and a sample of rows to explain (Section 7.1 protocol).
+struct Workbench {
+  std::string name;
+  std::shared_ptr<const Schema> schema;
+  Dataset train;
+  Dataset inference;
+  Context context;  // inference instances + model predictions
+  std::unique_ptr<ml::Gbdt> model;
+  std::vector<size_t> explain_rows;  // context rows sampled for explaining
+
+  Workbench() : train(nullptr), inference(nullptr), context(nullptr) {}
+};
+
+struct WorkbenchOptions {
+  uint64_t seed = 11;
+  size_t rows_override = 0;     // 0 = the paper's dataset size
+  size_t explain_count = 30;    // instances sampled for explanation
+  int gbdt_trees = 60;
+  int gbdt_depth = 5;
+};
+
+/// Builds the Section 7.1 pipeline for a paper dataset name.
+Workbench MakeWorkbench(const std::string& dataset,
+                        const WorkbenchOptions& options);
+
+/// The EM counterpart: encoded pairs, matcher, context (Section 7.5).
+struct EmWorkbench {
+  std::string name;
+  em::EmTask task;
+  std::shared_ptr<const Schema> schema;
+  Dataset train;
+  Dataset inference;
+  Context context;
+  std::unique_ptr<em::SimilarityMatcher> matcher;
+  std::vector<size_t> explain_rows;
+
+  EmWorkbench() : train(nullptr), inference(nullptr), context(nullptr) {}
+};
+
+struct EmWorkbenchOptions {
+  uint64_t seed = 11;
+  size_t pairs_override = 0;
+  size_t explain_count = 25;
+};
+
+EmWorkbench MakeEmWorkbench(const std::string& dataset,
+                            const EmWorkbenchOptions& options);
+
+/// Gathers (x, y, explanation) triples from any explanation callback.
+template <typename ExplainFn>
+std::vector<ExplainedInstance> ExplainAll(const Context& context,
+                                          const std::vector<size_t>& rows,
+                                          ExplainFn&& explain) {
+  std::vector<ExplainedInstance> out;
+  out.reserve(rows.size());
+  for (size_t row : rows) {
+    out.push_back({context.instance(row), context.label(row),
+                   explain(row)});
+  }
+  return out;
+}
+
+/// Prints a header banner for a bench binary.
+void PrintBanner(const std::string& title, const std::string& paper_ref);
+
+/// Prints one row of a fixed-width table.
+void PrintRow(const std::string& label, const std::vector<double>& values,
+              const char* format = "%12.2f");
+
+void PrintHeader(const std::string& label,
+                 const std::vector<std::string>& columns, int width = 12);
+
+}  // namespace cce::bench
+
+#endif  // CCE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,240 @@
+// cce_cli — explain served predictions from a CSV file, end to end.
+//
+// The CSV is the client-side context: each row an inference instance, one
+// column holding the prediction the model served. No model required.
+//
+// Usage:
+//   cce_cli --data context.csv --label prediction [--row N] [--alpha A]
+//           [--buckets B] [--importance] [--patterns K]
+//
+//   --row N         explain row N (default 0)
+//   --alpha A       conformity bound in (0,1] (default 1.0)
+//   --buckets B     equi-width buckets for numeric columns (default 10)
+//   --importance    also print context-relative Shapley importances
+//   --patterns K    also print a K-pattern context summary
+//   --all-keys      also enumerate every minimal relative key
+//   --counterfactual also print the closest counterfactual witnesses
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/cce.h"
+#include "core/counterfactual.h"
+#include "core/diagnostics.h"
+#include "core/enumerate.h"
+#include "core/importance.h"
+#include "core/patterns.h"
+#include "data/loader.h"
+
+namespace {
+
+struct Args {
+  std::string data_path;
+  std::string label_column;
+  size_t row = 0;
+  double alpha = 1.0;
+  int buckets = 10;
+  bool importance = false;
+  size_t patterns = 0;
+  bool all_keys = false;
+  bool counterfactual = false;
+};
+
+void Usage(const char* binary) {
+  std::fprintf(stderr,
+               "usage: %s --data <csv> --label <column> [--row N] "
+               "[--alpha A] [--buckets B] [--importance] [--patterns K]\n",
+               binary);
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next_value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--data") {
+      const char* value = next_value();
+      if (value == nullptr) return false;
+      args->data_path = value;
+    } else if (flag == "--label") {
+      const char* value = next_value();
+      if (value == nullptr) return false;
+      args->label_column = value;
+    } else if (flag == "--row") {
+      const char* value = next_value();
+      if (value == nullptr) return false;
+      args->row = static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--alpha") {
+      const char* value = next_value();
+      if (value == nullptr) return false;
+      args->alpha = std::strtod(value, nullptr);
+    } else if (flag == "--buckets") {
+      const char* value = next_value();
+      if (value == nullptr) return false;
+      args->buckets = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (flag == "--importance") {
+      args->importance = true;
+    } else if (flag == "--all-keys") {
+      args->all_keys = true;
+    } else if (flag == "--counterfactual") {
+      args->counterfactual = true;
+    } else if (flag == "--patterns") {
+      const char* value = next_value();
+      if (value == nullptr) return false;
+      args->patterns =
+          static_cast<size_t>(std::strtoull(value, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->data_path.empty() && !args->label_column.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cce;
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  data::LoadOptions load_options;
+  load_options.label_column = args.label_column;
+  load_options.numeric_buckets = args.buckets;
+  auto context =
+      data::LoadCsvDatasetFromFile(args.data_path, load_options);
+  if (!context.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", args.data_path.c_str(),
+                 context.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Loaded context: %zu instances, %zu features, %zu labels\n",
+              context->size(), context->num_features(),
+              context->schema().num_labels());
+  auto diagnostics = DiagnoseContext(*context);
+  if (diagnostics.ok()) {
+    for (const std::string& warning : diagnostics->warnings) {
+      std::printf("warning: %s\n", warning.c_str());
+    }
+  }
+  if (args.row >= context->size()) {
+    std::fprintf(stderr, "row %zu out of range (%zu rows)\n", args.row,
+                 context->size());
+    return 1;
+  }
+
+  const Schema& schema = context->schema();
+  const Instance& x0 = context->instance(args.row);
+  std::printf("\nRow %zu (prediction: %s):\n", args.row,
+              schema.LabelName(context->label(args.row)).c_str());
+  for (FeatureId f = 0; f < schema.num_features(); ++f) {
+    std::printf("  %-24s = %s\n", schema.FeatureName(f).c_str(),
+                schema.ValueName(f, x0[f]).c_str());
+  }
+
+  CceBatch cce(*context, args.alpha);
+  auto key = cce.Explain(args.row);
+  if (!key.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 key.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nRelative key (alpha=%.3f): ", args.alpha);
+  if (key->key.empty()) {
+    std::printf("(empty — the bound already holds)\n");
+  } else {
+    std::printf("IF ");
+    for (size_t i = 0; i < key->key.size(); ++i) {
+      if (i > 0) std::printf(" AND ");
+      FeatureId f = key->key[i];
+      std::printf("%s='%s'", schema.FeatureName(f).c_str(),
+                  schema.ValueName(f, x0[f]).c_str());
+    }
+    std::printf(" THEN %s\n",
+                schema.LabelName(context->label(args.row)).c_str());
+  }
+  std::printf("Achieved conformity: %.2f%%%s\n",
+              100.0 * key->achieved_alpha,
+              key->satisfied ? "" : "  (bound NOT attainable: the context "
+                                    "contains conflicting duplicates)");
+
+  if (args.all_keys) {
+    KeyEnumerator::Options enum_options;
+    enum_options.max_keys = 16;
+    auto keys = KeyEnumerator::EnumerateMinimalKeys(*context, args.row,
+                                                    enum_options);
+    if (!keys.ok()) {
+      std::fprintf(stderr, "enumeration failed: %s\n",
+                   keys.status().ToString().c_str());
+    } else {
+      std::printf("\nAll minimal relative keys (up to 16):\n");
+      for (const FeatureSet& alternative : *keys) {
+        std::printf("  %s\n",
+                    FeatureSetToString(alternative,
+                                       schema.FeatureNames())
+                        .c_str());
+      }
+    }
+  }
+
+  if (args.counterfactual) {
+    auto witnesses = CounterfactualFinder::Find(*context, args.row, {});
+    if (!witnesses.ok()) {
+      std::fprintf(stderr, "counterfactual search failed: %s\n",
+                   witnesses.status().ToString().c_str());
+    } else {
+      std::printf("\nClosest counterfactual witnesses:\n");
+      for (const auto& w : *witnesses) {
+        std::printf("  row %zu (%s) — change %s\n", w.witness_row,
+                    schema.LabelName(w.witness_label).c_str(),
+                    FeatureSetToString(w.changed_features,
+                                       schema.FeatureNames())
+                        .c_str());
+      }
+    }
+  }
+
+  if (args.importance) {
+    auto shapley =
+        ContextShapley::ComputeForRow(*context, args.row, {});
+    if (!shapley.ok()) {
+      std::fprintf(stderr, "importance failed: %s\n",
+                   shapley.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nContext-relative Shapley importances:\n");
+    for (FeatureId f = 0; f < schema.num_features(); ++f) {
+      std::printf("  %-24s %+.4f\n", schema.FeatureName(f).c_str(),
+                  (*shapley)[f]);
+    }
+  }
+
+  if (args.patterns > 0) {
+    ContextPatternMiner::Options mine_options;
+    mine_options.max_patterns = args.patterns;
+    mine_options.alpha = args.alpha;
+    auto patterns = ContextPatternMiner::Mine(*context, mine_options);
+    if (!patterns.ok()) {
+      std::fprintf(stderr, "pattern mining failed: %s\n",
+                   patterns.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nContext pattern summary (%zu patterns):\n",
+                patterns->size());
+    for (const auto& pattern : *patterns) {
+      std::printf("  %s  [support %zu, conformity %.2f]\n",
+                  pattern.ToString(schema).c_str(), pattern.support,
+                  pattern.conformity);
+    }
+    std::printf("Explained fraction of the context: %.1f%%\n",
+                100.0 * ContextPatternMiner::ExplainedFraction(*context,
+                                                               *patterns));
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Entity-matching explanation (paper Section 7.5): generate an
+// Amazon-Google-style product matching task, train a similarity matcher
+// (the Ditto stand-in), and explain its decisions with CCE and CERTA.
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+#include "common/timer.h"
+#include "core/cce.h"
+#include "core/conformity.h"
+#include "em/blocking.h"
+#include "em/datasets.h"
+#include "em/features.h"
+#include "em/matcher.h"
+#include "explain/certa.h"
+
+int main() {
+  using namespace cce;
+
+  em::EmGeneratorOptions options;
+  options.pairs = 4000;
+  em::EmTask task = em::GenerateAmazonGoogle(options);
+  std::printf("Generated %zu candidate pairs over attributes:",
+              task.pairs.size());
+  for (const std::string& attribute : task.attributes) {
+    std::printf(" %s", attribute.c_str());
+  }
+  std::printf("\n");
+
+  // Real EM pipelines never compare all pairs: blocking first retrieves
+  // candidates sharing title tokens. Sanity-check it on the true matches.
+  {
+    std::vector<em::Record> left;
+    std::vector<em::Record> right;
+    std::vector<std::pair<size_t, size_t>> true_matches;
+    for (const em::RecordPair& pair : task.pairs) {
+      if (!pair.is_match) continue;
+      true_matches.emplace_back(left.size(), right.size());
+      left.push_back(pair.left);
+      right.push_back(pair.right);
+    }
+    em::TokenBlocker::Options block_options;
+    block_options.stop_token_fraction = 0.6;
+    auto candidates = em::TokenBlocker::Block(left, right, block_options);
+    CCE_CHECK_OK(candidates.status());
+    std::printf(
+        "Blocking: %zu candidates out of %zu possible pairs (%.1f%% "
+        "reduction), %.1f%% match recall\n",
+        candidates->size(), left.size() * right.size(),
+        100.0 * (1.0 - static_cast<double>(candidates->size()) /
+                           static_cast<double>(left.size() * right.size())),
+        100.0 * em::TokenBlocker::BlockingRecall(*candidates,
+                                                 true_matches));
+  }
+
+  em::PairFeatureExtractor extractor(task, {});
+  Dataset encoded = extractor.EncodeAll(task);
+  Rng rng(1);
+  auto [train, inference] = encoded.Split(0.7, &rng);
+  auto matcher = em::SimilarityMatcher::Train(train, {});
+  CCE_CHECK_OK(matcher.status());
+  std::printf("Matcher accuracy on held-out pairs: %.1f%%\n",
+              100.0 * (*matcher)->Accuracy(inference));
+
+  // Client-side context of served match decisions.
+  Context context = (*matcher)->MakeContext(inference);
+  ConformityChecker checker(&context);
+
+  // Find a predicted match to explain.
+  size_t match_row = 0;
+  for (size_t row = 0; row < context.size(); ++row) {
+    if (context.label(row) == 1) {
+      match_row = row;
+      break;
+    }
+  }
+  const Instance& x0 = context.instance(match_row);
+  const Schema& schema = *extractor.schema();
+  std::printf("\nExplaining pair #%zu (decision: %s)\n", match_row,
+              schema.LabelName(context.label(match_row)).c_str());
+
+  Timer timer;
+  CceBatch cce(context, 1.0);
+  auto key = cce.Explain(match_row);
+  double cce_ms = timer.ElapsedMillis();
+  CCE_CHECK_OK(key.status());
+  std::printf("[CCE]   %8.2f ms  key %s  conformity %.1f%%\n", cce_ms,
+              FeatureSetToString(key->key, schema.FeatureNames()).c_str(),
+              100.0 * key->achieved_alpha);
+
+  timer.Restart();
+  explain::Certa certa(matcher->get(), &train, {});
+  auto saliency = certa.ImportanceScores(x0);
+  double certa_ms = timer.ElapsedMillis();
+  CCE_CHECK_OK(saliency.status());
+  std::printf("[CERTA] %8.2f ms  attribute saliency:", certa_ms);
+  for (FeatureId f = 0; f < schema.num_features(); ++f) {
+    std::printf(" %s=%.2f", schema.FeatureName(f).c_str(),
+                (*saliency)[f]);
+  }
+  std::printf("\n");
+  auto certa_key = certa.ExplainFeatures(x0, key->key.size());
+  CCE_CHECK_OK(certa_key.status());
+  std::printf(
+      "[CERTA] size-matched explanation %s  conformity %.1f%%\n",
+      FeatureSetToString(*certa_key, schema.FeatureNames()).c_str(),
+      100.0 * checker.Precision(x0, context.label(match_row), *certa_key));
+  std::printf(
+      "\nCCE reaches comparable attribute-level explanations orders of "
+      "magnitude faster, with guaranteed conformity.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Hybrid decision workflows (paper Example 5 and benefit (d)): real
+// decisions often combine an ML model with rule-based or human-in-the-loop
+// steps. Relative keys explain the *entire workflow* because they only see
+// (instance, final decision) pairs — something model-introspection methods
+// cannot do, since the manual step is not part of the model.
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "core/cce.h"
+#include "core/importance.h"
+#include "data/generators.h"
+#include "ml/gbdt.h"
+
+int main() {
+  using namespace cce;
+
+  // Train the loan model as usual.
+  data::LoanOptions loan_options;
+  loan_options.seed = 11;
+  Dataset loan = data::GenerateLoan(loan_options);
+  Rng rng(1);
+  auto [train, inference] = loan.Split(0.7, &rng);
+  ml::Gbdt::Options gbdt_options;
+  gbdt_options.num_trees = 40;
+  auto model = ml::Gbdt::Train(train, gbdt_options);
+  CCE_CHECK_OK(model.status());
+
+  // The bank's workflow extends the model with a manual step that also
+  // weighs the bank's current liquidity: when liquidity is high, borderline
+  // denials get overturned. The workflow's feature space therefore gains a
+  // feature the ML model has never seen.
+  auto workflow_schema = std::make_shared<Schema>();
+  const Schema& loan_schema = loan.schema();
+  for (FeatureId f = 0; f < loan_schema.num_features(); ++f) {
+    FeatureId id = workflow_schema->AddFeature(loan_schema.FeatureName(f));
+    for (ValueId v = 0; v < loan_schema.DomainSize(f); ++v) {
+      workflow_schema->InternValue(id, loan_schema.ValueName(f, v));
+    }
+  }
+  FeatureId liquidity = workflow_schema->AddFeature("Liquidity");
+  ValueId liquidity_low = workflow_schema->InternValue(liquidity, "low");
+  ValueId liquidity_high = workflow_schema->InternValue(liquidity, "high");
+  Label denied = workflow_schema->InternLabel("Denied");
+  Label approved = workflow_schema->InternLabel("Approved");
+  CCE_CHECK(denied == *loan_schema.LookupLabel("Denied"));
+  (void)denied;
+
+  // Serve the workflow: model prediction + manual liquidity override.
+  Context workflow_context(workflow_schema);
+  Rng liquidity_rng(7);
+  size_t overridden = 0;
+  for (size_t row = 0; row < inference.size(); ++row) {
+    Instance x = inference.instance(row);
+    ValueId today = liquidity_rng.Bernoulli(0.5) ? liquidity_high
+                                                 : liquidity_low;
+    x.push_back(today);
+    Label decision = (*model)->Predict(inference.instance(row));
+    double margin = (*model)->Margin(inference.instance(row));
+    // Manual step: overturn borderline denials when liquidity is high.
+    if (decision == 0 && today == liquidity_high && margin > -1.6) {
+      decision = approved;
+      ++overridden;
+    }
+    workflow_context.Add(std::move(x), decision);
+  }
+  std::printf(
+      "Served %zu workflow decisions; the manual step overturned %zu "
+      "borderline denials.\n",
+      workflow_context.size(), overridden);
+
+  // Find an overturned decision and explain it holistically; prefer one
+  // whose key actually needs the Liquidity factor.
+  CceBatch cce(workflow_context, 1.0);
+  size_t x0_row = workflow_context.size();
+  Result<KeyResult> key = Status::NotFound("no override");
+  for (size_t row = 0; row < workflow_context.size(); ++row) {
+    const Instance& x = workflow_context.instance(row);
+    if (workflow_context.label(row) != approved ||
+        x[liquidity] != liquidity_high ||
+        (*model)->Predict(inference.instance(row)) != 0) {
+      continue;
+    }
+    Result<KeyResult> candidate = cce.Explain(row);
+    CCE_CHECK_OK(candidate.status());
+    if (x0_row == workflow_context.size() ||
+        FeatureSetContains(candidate->key, liquidity)) {
+      x0_row = row;
+      key = std::move(candidate);
+      if (FeatureSetContains(key->key, liquidity)) break;
+    }
+  }
+  CCE_CHECK(x0_row < workflow_context.size());
+  CCE_CHECK_OK(key.status());
+  const Instance& x0 = workflow_context.instance(x0_row);
+  std::printf(
+      "\nWorkflow decision for application #%zu: %s (model alone said "
+      "Denied)\nHolistic relative key: IF ",
+      x0_row,
+      workflow_schema->LabelName(workflow_context.label(x0_row)).c_str());
+  for (size_t i = 0; i < key->key.size(); ++i) {
+    if (i > 0) std::printf(" AND ");
+    FeatureId f = key->key[i];
+    std::printf("%s='%s'", workflow_schema->FeatureName(f).c_str(),
+                workflow_schema->ValueName(f, x0[f]).c_str());
+  }
+  std::printf(" THEN Approved  (conformity %.0f%%)\n",
+              100.0 * key->achieved_alpha);
+  if (FeatureSetContains(key->key, liquidity)) {
+    std::printf(
+        "The key includes Liquidity — a factor that exists only in the "
+        "manual step,\ninvisible to any model-introspection explainer.\n");
+  }
+
+  // The same context supports workflow-level feature importance.
+  auto shapley = ContextShapley::ComputeForRow(workflow_context, x0_row,
+                                               {});
+  CCE_CHECK_OK(shapley.status());
+  std::printf("\nContext-relative Shapley importances (top factors):\n");
+  for (FeatureId f = 0; f < workflow_schema->num_features(); ++f) {
+    if ((*shapley)[f] > 0.01) {
+      std::printf("  %-14s %+.3f\n",
+                  workflow_schema->FeatureName(f).c_str(), (*shapley)[f]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// The paper's running case study (Examples 1-2, Figure 1, Section 7.2):
+// explain a denied loan application with the formal Xreason, the heuristic
+// Anchor, and CCE's relative key, then compare timing, succinctness and
+// conformity. Also prints feature-importance explanations (Table 3 style).
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+#include "common/timer.h"
+#include "core/cce.h"
+#include "core/conformity.h"
+#include "data/generators.h"
+#include "explain/anchor.h"
+#include "explain/gam.h"
+#include "explain/kernel_shap.h"
+#include "explain/lime.h"
+#include "explain/xreason.h"
+#include "ml/gbdt.h"
+
+namespace {
+
+using namespace cce;
+
+std::string Render(const FeatureSet& e, const Instance& x,
+                   const Schema& schema) {
+  std::string out;
+  for (size_t i = 0; i < e.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += schema.FeatureName(e[i]) + "='" +
+           schema.ValueName(e[i], x[e[i]]) + "'";
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+}  // namespace
+
+int main() {
+  // Train an XGBoost-style model on Loan, as in Section 7.1.
+  data::LoanOptions loan_options;
+  loan_options.seed = 11;
+  Dataset loan = data::GenerateLoan(loan_options);
+  Rng rng(1);
+  auto [train, inference] = loan.Split(0.7, &rng);
+  ml::Gbdt::Options gbdt_options;
+  gbdt_options.num_trees = 40;
+  auto model = ml::Gbdt::Train(train, gbdt_options);
+  CCE_CHECK_OK(model.status());
+  std::printf("Trained GBDT on Loan: accuracy %.1f%% on the inference set\n",
+              100.0 * (*model)->Accuracy(inference));
+
+  // The client-side context: inference instances + served predictions.
+  Context context = (*model)->MakeContext(inference);
+
+  // Pick a denied application as x0.
+  size_t x0_row = 0;
+  Label denied = *loan.schema().LookupLabel("Denied");
+  for (size_t row = 0; row < context.size(); ++row) {
+    if (context.label(row) == denied) {
+      x0_row = row;
+      break;
+    }
+  }
+  const Instance& x0 = context.instance(x0_row);
+  const Schema& schema = loan.schema();
+  std::printf("\nExplaining x0 (prediction: %s)\n",
+              schema.LabelName(context.label(x0_row)).c_str());
+
+  ConformityChecker checker(&context);
+
+  // --- Xreason: formal explanation over the whole feature space.
+  Timer timer;
+  explain::Xreason xreason(model->get(), loan.schema_ptr(), {});
+  auto xreason_key = xreason.ExplainFeatures(x0, 0);
+  double xreason_ms = timer.ElapsedMillis();
+  CCE_CHECK_OK(xreason_key.status());
+  std::printf("\n[Xreason]  %6.1f ms  size %zu  conformity %.1f%%\n  %s\n",
+              xreason_ms, xreason_key->size(),
+              100.0 * checker.Precision(x0, context.label(x0_row),
+                                        *xreason_key),
+              Render(*xreason_key, x0, schema).c_str());
+
+  // --- Anchor: heuristic explanation.
+  timer.Restart();
+  explain::Anchor anchor(model->get(), &train, {});
+  auto anchor_key = anchor.ExplainFeatures(x0, 0);
+  double anchor_ms = timer.ElapsedMillis();
+  CCE_CHECK_OK(anchor_key.status());
+  std::printf("[Anchor]   %6.1f ms  size %zu  conformity %.1f%%\n  %s\n",
+              anchor_ms, anchor_key->size(),
+              100.0 * checker.Precision(x0, context.label(x0_row),
+                                        *anchor_key),
+              Render(*anchor_key, x0, schema).c_str());
+
+  // --- CCE: relative key over the inference context. No model access.
+  timer.Restart();
+  CceBatch cce(context, 1.0);
+  auto relative_key = cce.Explain(x0_row);
+  double cce_ms = timer.ElapsedMillis();
+  CCE_CHECK_OK(relative_key.status());
+  std::printf("[CCE]      %6.1f ms  size %zu  conformity %.1f%%\n  %s\n",
+              cce_ms, relative_key->key.size(),
+              100.0 * relative_key->achieved_alpha,
+              Render(relative_key->key, x0, schema).c_str());
+
+  // --- Feature-importance explanations for x0 (Table 3 style).
+  std::printf("\nFeature importance scores for x0:\n%-18s", "");
+  for (FeatureId f = 0; f < schema.num_features(); ++f) {
+    std::printf("%9.9s", schema.FeatureName(f).c_str());
+  }
+  std::printf("\n");
+  explain::Lime lime(model->get(), &train, {});
+  explain::KernelShap shap(model->get(), &train, {});
+  auto gam = explain::Gam::Fit(model->get(), &train, {});
+  CCE_CHECK_OK(gam.status());
+  struct Row {
+    const char* name;
+    Result<std::vector<double>> scores;
+  };
+  Row rows[] = {{"LIME", lime.ImportanceScores(x0)},
+                {"SHAP", shap.ImportanceScores(x0)},
+                {"GAM", (*gam)->ImportanceScores(x0)}};
+  for (auto& row : rows) {
+    CCE_CHECK_OK(row.scores.status());
+    std::printf("%-18s", row.name);
+    for (double s : *row.scores) std::printf("%9.2f", s);
+    std::printf("\n");
+  }
+  std::printf(
+      "\nSummary: the relative key matches the heuristic's succinctness "
+      "with the formal method's conformity,\nat a fraction of the cost "
+      "of either — and without querying the model.\n");
+  return 0;
+}

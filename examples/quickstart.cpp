@@ -1,0 +1,67 @@
+// Quickstart: relative keys in ~60 lines.
+//
+// A client collects (instance, prediction) pairs while using a black-box
+// model — that collection is the *context*. CCE explains any prediction as
+// the most succinct feature set that determines the prediction over the
+// context, with provable conformity. No model access required.
+
+#include <cstdio>
+
+#include "core/cce.h"
+#include "core/schema.h"
+
+int main() {
+  using namespace cce;
+
+  // 1. Describe the feature space (the paper's Figure 2 loan schema).
+  auto schema = std::make_shared<Schema>();
+  FeatureId gender = schema->AddFeature("Gender");
+  FeatureId income = schema->AddFeature("Income");
+  FeatureId credit = schema->AddFeature("Credit");
+  FeatureId dependents = schema->AddFeature("Dependents");
+  Label denied = schema->InternLabel("Denied");
+  Label approved = schema->InternLabel("Approved");
+
+  // 2. Record served predictions as the context.
+  Dataset context(schema);
+  auto add = [&](const char* g, const char* i, const char* c, const char* d,
+                 Label y) {
+    Instance x(4);
+    x[gender] = schema->InternValue(gender, g);
+    x[income] = schema->InternValue(income, i);
+    x[credit] = schema->InternValue(credit, c);
+    x[dependents] = schema->InternValue(dependents, d);
+    context.Add(std::move(x), y);
+  };
+  add("Male", "3-4K", "poor", "1", denied);    // x0 — to be explained
+  add("Male", "5-6K", "poor", "1", approved);
+  add("Female", "3-4K", "poor", "2", denied);
+  add("Male", "3-4K", "poor", "1", denied);
+  add("Male", "1-2K", "poor", "1", denied);
+  add("Male", "3-4K", "good", "0", approved);
+  add("Male", "3-4K", "good", "1", approved);
+
+  // 3. Explain x0 with a relative key (alpha = 1: perfect conformity).
+  CceBatch cce(context, /*alpha=*/1.0);
+  auto key = cce.Explain(0);
+  if (!key.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 key.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Relative key for x0 (prediction: Denied):\n  %s\n",
+              FeatureSetToString(key->key, schema->FeatureNames()).c_str());
+  std::printf("Rule: IF Income='3-4K' AND Credit='poor' THEN Denied\n");
+  std::printf("Conformity over the context: %.0f%% (alpha-bound met: %s)\n",
+              100.0 * key->achieved_alpha, key->satisfied ? "yes" : "no");
+
+  // 4. Trade conformity for succinctness with alpha < 1 (Example 4).
+  CceBatch relaxed(context, /*alpha=*/6.0 / 7.0);
+  auto short_key = relaxed.Explain(0);
+  std::printf(
+      "6/7-conformant key: %s (%.1f%% of the context conforms)\n",
+      FeatureSetToString(short_key->key, schema->FeatureNames()).c_str(),
+      100.0 * short_key->achieved_alpha);
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, and regenerates every
+# paper table/figure, teeing the outputs into the repository root
+# (test_output.txt / bench_output.txt) as the canonical record.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
+
+{
+  for bench in build/bench/*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    case "$bench" in
+      *.a | *.cmake) continue ;;
+    esac
+    echo "##### $(basename "$bench")"
+    "$bench"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "Done: test_output.txt and bench_output.txt written."

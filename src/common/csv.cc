@@ -1,0 +1,141 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cce {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  CsvTable table;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool record_has_data = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_record = [&]() -> Status {
+    end_field();
+    if (table.header.empty()) {
+      table.header = std::move(record);
+    } else {
+      if (record.size() != table.header.size()) {
+        return Status::InvalidArgument(
+            "CSV row has " + std::to_string(record.size()) +
+            " fields, header has " + std::to_string(table.header.size()));
+      }
+      table.rows.push_back(std::move(record));
+    }
+    record.clear();
+    record_has_data = false;
+    return Status::Ok();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');  // escaped quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        record_has_data = true;
+        break;
+      case ',':
+        end_field();
+        record_has_data = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n': {
+        if (record_has_data || !field.empty() || !record.empty()) {
+          Status s = end_record();
+          if (!s.ok()) return s;
+        }
+        break;
+      }
+      default:
+        field.push_back(c);
+        record_has_data = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV ends inside a quoted field");
+  }
+  if (record_has_data || !field.empty() || !record.empty()) {
+    Status s = end_record();
+    if (!s.ok()) return s;
+  }
+  if (table.header.empty()) {
+    return Status::InvalidArgument("CSV has no header row");
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+namespace {
+
+void AppendField(const std::string& field, std::string* out) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    *out += field;
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendRecord(const std::vector<std::string>& record, std::string* out) {
+  // A single empty field would serialise to a blank line, which parsers
+  // (including ours) skip; quote it so the record round-trips.
+  if (record.size() == 1 && record[0].empty()) {
+    *out += "\"\"\n";
+    return;
+  }
+  for (size_t i = 0; i < record.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendField(record[i], out);
+  }
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  AppendRecord(table.header, &out);
+  for (const auto& row : table.rows) AppendRecord(row, &out);
+  return out;
+}
+
+}  // namespace cce

@@ -1,0 +1,32 @@
+#ifndef CCE_COMMON_CSV_H_
+#define CCE_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cce {
+
+/// A parsed CSV file: a header row plus data rows, all as strings.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of the named column, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Parses RFC-4180-style CSV text: quoted fields, embedded commas, doubled
+/// quotes, CRLF line endings. The first record is treated as the header.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serialises a table back to CSV text (quoting fields that need it).
+std::string WriteCsv(const CsvTable& table);
+
+}  // namespace cce
+
+#endif  // CCE_COMMON_CSV_H_

@@ -1,0 +1,100 @@
+#ifndef CCE_COMMON_LOGGING_H_
+#define CCE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace cce {
+namespace internal_logging {
+
+/// Severity of a log record. kFatal aborts the process after emitting.
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+/// Accumulates one log line; flushes (and possibly aborts) on destruction.
+/// Not for concurrent use on the same object; distinct objects are fine since
+/// the final write is a single ostream << of the assembled line.
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line)
+      : severity_(severity) {
+    stream_ << Prefix() << file << ":" << line << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    if (severity_ == Severity::kFatal) {
+      std::cerr.flush();
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* Prefix() const {
+    switch (severity_) {
+      case Severity::kInfo:
+        return "I [";
+      case Severity::kWarning:
+        return "W [";
+      case Severity::kError:
+        return "E [";
+      case Severity::kFatal:
+        return "F [";
+    }
+    return "? [";
+  }
+
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a condition check passes.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace cce
+
+#define CCE_LOG_INFO                                                       \
+  ::cce::internal_logging::LogMessage(                                     \
+      ::cce::internal_logging::Severity::kInfo, __FILE__, __LINE__)        \
+      .stream()
+#define CCE_LOG_WARNING                                                    \
+  ::cce::internal_logging::LogMessage(                                     \
+      ::cce::internal_logging::Severity::kWarning, __FILE__, __LINE__)     \
+      .stream()
+#define CCE_LOG_ERROR                                                      \
+  ::cce::internal_logging::LogMessage(                                     \
+      ::cce::internal_logging::Severity::kError, __FILE__, __LINE__)       \
+      .stream()
+#define CCE_LOG_FATAL                                                      \
+  ::cce::internal_logging::LogMessage(                                     \
+      ::cce::internal_logging::Severity::kFatal, __FILE__, __LINE__)       \
+      .stream()
+
+/// Aborts with a message when `cond` is false. Used for programmer errors
+/// (precondition violations), never for data-dependent failures — those
+/// return Status.
+#define CCE_CHECK(cond)                                     \
+  (cond) ? (void)0                                          \
+         : (void)(CCE_LOG_FATAL << "Check failed: " #cond " ")
+
+#define CCE_CHECK_OK(expr)                                            \
+  do {                                                                \
+    ::cce::Status cce_check_status_ = (expr);                         \
+    if (!cce_check_status_.ok()) {                                    \
+      CCE_LOG_FATAL << "Status not OK: " << cce_check_status_.ToString(); \
+    }                                                                 \
+  } while (0)
+
+#endif  // CCE_COMMON_LOGGING_H_

@@ -1,0 +1,45 @@
+#ifndef CCE_COMMON_STRING_UTIL_H_
+#define CCE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cce {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// Whitespace tokenisation after lowercasing; used by the entity-matching
+/// similarity features.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Levenshtein edit distance (unit costs).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Normalised edit similarity in [0,1]: 1 - dist/max(|a|,|b|); 1 when both
+/// strings are empty.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the token sets of `a` and `b`.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// Containment of the smaller token set in the larger one.
+double TokenContainment(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace cce
+
+#endif  // CCE_COMMON_STRING_UTIL_H_

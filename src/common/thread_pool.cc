@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace cce {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] {
+    return queue_.empty() && in_flight_ == 0;
+  });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] {
+        return shutting_down_ || !queue_.empty();
+      });
+      if (queue_.empty()) {
+        // shutting_down_ with a drained queue: exit.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace cce

@@ -1,0 +1,60 @@
+#ifndef CCE_COMMON_THREAD_POOL_H_
+#define CCE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cce {
+
+/// A fixed-size worker pool for embarrassingly parallel batch work (e.g.
+/// explaining many instances against a read-only context). Tasks are plain
+/// std::function<void()>; Wait() blocks until the queue drains and all
+/// in-flight tasks finish. Not reentrant: do not Submit from inside a task.
+class ThreadPool {
+ public:
+  /// `num_threads` = 0 uses the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits.
+  template <typename Fn>
+  void ParallelFor(size_t count, Fn&& fn) {
+    for (size_t i = 0; i < count; ++i) {
+      Submit([&fn, i] { fn(i); });
+    }
+    Wait();
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace cce
+
+#endif  // CCE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,190 @@
+#include "core/cce.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace cce {
+
+// ---------------------------------------------------------------- CceBatch
+
+CceBatch::CceBatch(Context context, double alpha)
+    : context_(std::move(context)), alpha_(alpha) {}
+
+Result<KeyResult> CceBatch::Explain(size_t row) const {
+  Srk::Options options;
+  options.alpha = alpha_;
+  return Srk::Explain(context_, row, options);
+}
+
+Result<KeyResult> CceBatch::ExplainInstance(const Instance& x0,
+                                            Label y0) const {
+  Srk::Options options;
+  options.alpha = alpha_;
+  return Srk::ExplainInstance(context_, x0, y0, options);
+}
+
+std::vector<Result<KeyResult>> CceBatch::ExplainMany(
+    const std::vector<size_t>& rows, size_t num_threads) const {
+  std::vector<Result<KeyResult>> results(
+      rows.size(), Result<KeyResult>(Status::Internal("not computed")));
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(rows.size(), [&](size_t i) {
+    results[i] = Explain(rows[i]);
+  });
+  return results;
+}
+
+// --------------------------------------------------------------- CceOnline
+
+CceOnline::CceOnline(std::unique_ptr<Osrk> osrk) : osrk_(std::move(osrk)) {}
+
+Result<std::unique_ptr<CceOnline>> CceOnline::Create(
+    std::shared_ptr<const Schema> schema, Instance x0, Label y0,
+    const Options& options) {
+  Osrk::Options osrk_options;
+  osrk_options.alpha = options.alpha;
+  osrk_options.seed = options.seed;
+  auto osrk = Osrk::Create(std::move(schema), std::move(x0), y0,
+                           osrk_options);
+  if (!osrk.ok()) return osrk.status();
+  return std::unique_ptr<CceOnline>(
+      new CceOnline(std::move(osrk).value()));
+}
+
+const FeatureSet& CceOnline::Observe(const Instance& x, Label y) {
+  return osrk_->Observe(x, y);
+}
+
+const FeatureSet& CceOnline::key() const { return osrk_->key(); }
+size_t CceOnline::context_size() const { return osrk_->context_size(); }
+double CceOnline::achieved_alpha() const { return osrk_->achieved_alpha(); }
+
+// -------------------------------------------------- SlidingWindowExplainer
+
+SlidingWindowExplainer::SlidingWindowExplainer(
+    std::shared_ptr<const Schema> schema, const Options& options)
+    : schema_(std::move(schema)), options_(options) {}
+
+Result<std::unique_ptr<SlidingWindowExplainer>>
+SlidingWindowExplainer::Create(std::shared_ptr<const Schema> schema,
+                               const Options& options) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("schema must not be null");
+  }
+  if (options.window_size == 0) {
+    return Status::InvalidArgument("window_size must be positive");
+  }
+  if (options.step == 0 || options.step > options.window_size) {
+    return Status::InvalidArgument(
+        "step must be in [1, window_size]");
+  }
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  return std::unique_ptr<SlidingWindowExplainer>(
+      new SlidingWindowExplainer(std::move(schema), options));
+}
+
+void SlidingWindowExplainer::Observe(const Instance& x, Label y) {
+  CCE_CHECK(x.size() == schema_->num_features());
+  window_.emplace_back(x, y);
+  while (window_.size() > options_.window_size) window_.pop_front();
+  if (++since_last_step_ >= options_.step) {
+    since_last_step_ = 0;
+    ++window_epoch_;
+  }
+}
+
+Context SlidingWindowExplainer::CurrentWindowContext() const {
+  Context context(schema_);
+  for (const auto& [x, y] : window_) context.Add(x, y);
+  return context;
+}
+
+std::string SlidingWindowExplainer::InstanceKey(const Instance& x, Label y) {
+  std::string key;
+  key.reserve(x.size() * 4 + 4);
+  for (ValueId v : x) {
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  key.append(reinterpret_cast<const char*>(&y), sizeof(y));
+  return key;
+}
+
+Result<KeyResult> SlidingWindowExplainer::Explain(const Instance& x0,
+                                                  Label y0) {
+  if (x0.size() != schema_->num_features()) {
+    return Status::InvalidArgument("instance arity does not match schema");
+  }
+  const std::string cache_key = InstanceKey(x0, y0);
+  auto cached = resolved_.find(cache_key);
+  const bool have_cached = cached != resolved_.end();
+  const bool same_epoch =
+      have_cached && resolved_epoch_[cache_key] == window_epoch_;
+
+  if (have_cached &&
+      (options_.policy == KeyResolutionPolicy::kFirstWins || same_epoch)) {
+    return cached->second;
+  }
+
+  Context context = CurrentWindowContext();
+  Srk::Options options;
+  options.alpha = options_.alpha;
+  Result<KeyResult> fresh = Srk::ExplainInstance(context, x0, y0, options);
+  if (!fresh.ok()) return fresh.status();
+
+  KeyResult resolved = std::move(fresh).value();
+  if (have_cached && options_.policy == KeyResolutionPolicy::kUnionKey) {
+    for (FeatureId f : cached->second.key) {
+      FeatureSetInsert(&resolved.key, f);
+    }
+  }
+  resolved_[cache_key] = resolved;
+  resolved_epoch_[cache_key] = window_epoch_;
+  return resolved;
+}
+
+// ------------------------------------------------------------ DriftMonitor
+
+DriftMonitor::DriftMonitor(std::shared_ptr<const Schema> schema,
+                           Options options)
+    : schema_(std::move(schema)), options_(std::move(options)) {
+  CCE_CHECK(options_.probe_count > 0);
+}
+
+void DriftMonitor::Observe(const Instance& x, Label y) {
+  ++observed_;
+  if (probes_.size() < options_.probe_count) {
+    Osrk::Options osrk_options;
+    osrk_options.alpha = options_.alpha;
+    osrk_options.seed = options_.seed + probes_.size();
+    auto probe = Osrk::Create(schema_, x, y, osrk_options);
+    CCE_CHECK_OK(probe.status());
+    probes_.push_back(std::move(probe).value());
+  }
+  for (auto& probe : probes_) probe->Observe(x, y);
+
+  history_.emplace_back(observed_, AverageSuccinctness());
+  while (!history_.empty() &&
+         history_.front().first + options_.alarm_window <
+             history_.back().first) {
+    history_.pop_front();
+  }
+  if (history_.size() >= 2 && observed_ > options_.warmup) {
+    double growth = history_.back().second - history_.front().second;
+    if (growth >= options_.alarm_growth) alarmed_ = true;
+  }
+}
+
+double DriftMonitor::AverageSuccinctness() const {
+  if (probes_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& probe : probes_) {
+    total += static_cast<double>(probe->key().size());
+  }
+  return total / static_cast<double>(probes_.size());
+}
+
+}  // namespace cce

@@ -1,0 +1,172 @@
+#ifndef CCE_CORE_CCE_H_
+#define CCE_CORE_CCE_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/key_result.h"
+#include "core/osrk.h"
+#include "core/schema.h"
+#include "core/srk.h"
+#include "core/types.h"
+
+namespace cce {
+
+/// CCE — Client-Centric feature Explanation (paper Section 6).
+///
+/// CCE sits between a possibly remote black-box model and its client. It
+/// never queries the model: the context consists of inference instances and
+/// the predictions the client already received during serving.
+///
+/// Batch mode: the client holds the full inference set; explanations are
+/// relative keys computed by SRK. Online mode: inference instances stream
+/// in; OSRK maintains coherent keys per monitored instance.
+class CceBatch {
+ public:
+  /// Takes ownership of the context (instances + served predictions).
+  CceBatch(Context context, double alpha);
+
+  /// Relative key for the context row `row`.
+  Result<KeyResult> Explain(size_t row) const;
+
+  /// Relative key for an ad-hoc (x0, prediction) pair in the same schema.
+  Result<KeyResult> ExplainInstance(const Instance& x0, Label y0) const;
+
+  /// Explains many context rows in parallel (SRK is read-only over the
+  /// context, so batch explanation parallelises embarrassingly).
+  /// `num_threads` = 0 uses the hardware concurrency. The result is
+  /// row-aligned with `rows`; a bad row index yields that entry's error.
+  std::vector<Result<KeyResult>> ExplainMany(const std::vector<size_t>& rows,
+                                             size_t num_threads = 0) const;
+
+  const Context& context() const { return context_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  Context context_;
+  double alpha_;
+};
+
+/// Online explanation monitoring for one target instance (paper Section 5).
+class CceOnline {
+ public:
+  struct Options {
+    double alpha = 1.0;
+    uint64_t seed = 42;
+  };
+
+  static Result<std::unique_ptr<CceOnline>> Create(
+      std::shared_ptr<const Schema> schema, Instance x0, Label y0,
+      const Options& options);
+
+  /// Feeds the next served (instance, prediction); returns the updated key.
+  const FeatureSet& Observe(const Instance& x, Label y);
+
+  const FeatureSet& key() const;
+  size_t context_size() const;
+  double achieved_alpha() const;
+
+ private:
+  explicit CceOnline(std::unique_ptr<Osrk> osrk);
+  std::unique_ptr<Osrk> osrk_;
+};
+
+/// How overlapping sliding-window contexts resolve to one explanation per
+/// instance (paper Appendix B, Exp-4).
+enum class KeyResolutionPolicy {
+  kFirstWins,  // keep the key from the earliest window containing x
+  kLastWins,   // keep the key from the latest window (CCE default)
+  kUnionKey,   // union of all keys across windows containing x
+};
+
+/// Sliding-window CCE for dynamic models that evolve without notice: the
+/// context holds the most recent `window_size` served instances and shifts
+/// by `step` instances at a time, so explanations track the current model.
+class SlidingWindowExplainer {
+ public:
+  struct Options {
+    size_t window_size = 512;
+    size_t step = 64;  // ΔI of the paper; must be <= window_size
+    double alpha = 1.0;
+    KeyResolutionPolicy policy = KeyResolutionPolicy::kLastWins;
+  };
+
+  static Result<std::unique_ptr<SlidingWindowExplainer>> Create(
+      std::shared_ptr<const Schema> schema, const Options& options);
+
+  /// Feeds the next served (instance, prediction).
+  void Observe(const Instance& x, Label y);
+
+  /// Explains (x0, y0) against the current window, applying the resolution
+  /// policy across the windows that contained x0.
+  Result<KeyResult> Explain(const Instance& x0, Label y0);
+
+  size_t window_population() const { return window_.size(); }
+
+ private:
+  SlidingWindowExplainer(std::shared_ptr<const Schema> schema,
+                         const Options& options);
+
+  Context CurrentWindowContext() const;
+  static std::string InstanceKey(const Instance& x, Label y);
+
+  std::shared_ptr<const Schema> schema_;
+  Options options_;
+  std::deque<std::pair<Instance, Label>> window_;
+  size_t since_last_step_ = 0;
+  uint64_t window_epoch_ = 0;  // bumped every `step` arrivals
+  // Cached per-instance resolutions across window epochs.
+  std::unordered_map<std::string, KeyResult> resolved_;
+  std::unordered_map<std::string, uint64_t> resolved_epoch_;
+};
+
+/// Monitors model health during serving (paper Section 7.4): tracks the
+/// succinctness of OSRK-maintained keys for a small panel of probe
+/// instances; an abnormal growth in average key size signals an accuracy
+/// dip (noise / concept drift) without ever consulting ground truth.
+class DriftMonitor {
+ public:
+  struct Options {
+    size_t probe_count = 8;  // instances adopted as monitoring targets
+    double alpha = 1.0;
+    uint64_t seed = 42;
+    /// Alarm when average succinctness grows by this many features within
+    /// `alarm_window` observations.
+    double alarm_growth = 1.5;
+    size_t alarm_window = 200;
+    /// Ignore growth during the first `warmup` observations, while the
+    /// probes' keys are still converging on the clean distribution.
+    size_t warmup = 300;
+  };
+
+  explicit DriftMonitor(std::shared_ptr<const Schema> schema,
+                        Options options);
+
+  /// Feeds the next served (instance, prediction). The first
+  /// `probe_count` distinct arrivals become probes.
+  void Observe(const Instance& x, Label y);
+
+  /// Average key size across probes (0 before any probe exists).
+  double AverageSuccinctness() const;
+
+  /// True when succinctness grew faster than the configured alarm rate.
+  bool Alarmed() const { return alarmed_; }
+
+  size_t observed() const { return observed_; }
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  Options options_;
+  std::vector<std::unique_ptr<Osrk>> probes_;
+  size_t observed_ = 0;
+  std::deque<std::pair<size_t, double>> history_;  // (observed, avg size)
+  bool alarmed_ = false;
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_CCE_H_

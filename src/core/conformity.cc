@@ -1,0 +1,108 @@
+#include "core/conformity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cce {
+namespace {
+
+const std::vector<size_t>& EmptyRows() {
+  static const std::vector<size_t>* kEmpty = new std::vector<size_t>();
+  return *kEmpty;
+}
+
+// Intersects two sorted row-id vectors.
+std::vector<size_t> Intersect(const std::vector<size_t>& a,
+                              const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+ConformityChecker::ConformityChecker(const Context* context)
+    : context_(context) {
+  const Schema& schema = context_->schema();
+  postings_.resize(schema.num_features());
+  for (FeatureId f = 0; f < schema.num_features(); ++f) {
+    postings_[f].resize(schema.DomainSize(f));
+  }
+  for (size_t row = 0; row < context_->size(); ++row) {
+    const Instance& x = context_->instance(row);
+    for (FeatureId f = 0; f < schema.num_features(); ++f) {
+      ValueId v = x[f];
+      if (v >= postings_[f].size()) postings_[f].resize(v + 1);
+      postings_[f][v].push_back(row);
+    }
+  }
+}
+
+const std::vector<size_t>& ConformityChecker::Postings(FeatureId feature,
+                                                       ValueId value) const {
+  CCE_CHECK(feature < postings_.size());
+  if (value >= postings_[feature].size()) return EmptyRows();
+  return postings_[feature][value];
+}
+
+std::vector<size_t> ConformityChecker::AgreeingRows(
+    const Instance& x0, const FeatureSet& explanation) const {
+  if (explanation.empty()) {
+    std::vector<size_t> all(context_->size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }
+  // Intersect shortest-first to keep intermediate results small.
+  std::vector<FeatureId> order(explanation);
+  std::sort(order.begin(), order.end(), [&](FeatureId a, FeatureId b) {
+    return Postings(a, x0[a]).size() < Postings(b, x0[b]).size();
+  });
+  std::vector<size_t> rows = Postings(order[0], x0[order[0]]);
+  for (size_t i = 1; i < order.size() && !rows.empty(); ++i) {
+    rows = Intersect(rows, Postings(order[i], x0[order[i]]));
+  }
+  return rows;
+}
+
+size_t ConformityChecker::CountViolators(const Instance& x0, Label y0,
+                                         const FeatureSet& explanation) const {
+  size_t violators = 0;
+  for (size_t row : AgreeingRows(x0, explanation)) {
+    if (context_->label(row) != y0) ++violators;
+  }
+  return violators;
+}
+
+double ConformityChecker::Precision(const Instance& x0, Label y0,
+                                    const FeatureSet& explanation) const {
+  if (context_->empty()) return 1.0;
+  size_t violators = CountViolators(x0, y0, explanation);
+  return 1.0 - static_cast<double>(violators) /
+                   static_cast<double>(context_->size());
+}
+
+size_t ConformityChecker::ViolatorBudget(double alpha) const {
+  double budget = (1.0 - alpha) * static_cast<double>(context_->size());
+  return static_cast<size_t>(std::floor(budget + 1e-9));
+}
+
+bool ConformityChecker::IsAlphaConformant(const Instance& x0, Label y0,
+                                          const FeatureSet& explanation,
+                                          double alpha) const {
+  return CountViolators(x0, y0, explanation) <= ViolatorBudget(alpha);
+}
+
+std::vector<size_t> ConformityChecker::CoveredRows(
+    const Instance& x0, Label y0, const FeatureSet& explanation) const {
+  std::vector<size_t> covered;
+  for (size_t row : AgreeingRows(x0, explanation)) {
+    if (context_->label(row) == y0) covered.push_back(row);
+  }
+  return covered;
+}
+
+}  // namespace cce

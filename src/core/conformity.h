@@ -1,0 +1,67 @@
+#ifndef CCE_CORE_CONFORMITY_H_
+#define CCE_CORE_CONFORMITY_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace cce {
+
+/// Conformity bookkeeping over a fixed context I (paper Section 3.1).
+///
+/// For an instance x0 with prediction y0, a *violator* of a feature set E is
+/// an instance x' in I with x'[E] = x0[E] and M(x') != y0. E is an
+/// alpha-conformant key for x0 relative to I iff the violator count is at
+/// most (1 - alpha) * |I|.
+///
+/// The checker indexes the context by (feature, value) posting lists so that
+/// violator counting is an intersection of sorted row-id lists.
+class ConformityChecker {
+ public:
+  explicit ConformityChecker(const Context* context);
+
+  /// Rows of the context that agree with x0 on every feature of E.
+  /// With empty E this is every row.
+  std::vector<size_t> AgreeingRows(const Instance& x0,
+                                   const FeatureSet& explanation) const;
+
+  /// Number of violators of `explanation` for (x0, y0).
+  size_t CountViolators(const Instance& x0, Label y0,
+                        const FeatureSet& explanation) const;
+
+  /// Largest alpha for which `explanation` is alpha-conformant — the
+  /// *precision* of the explanation (paper Section 7.1(b)). Empty contexts
+  /// yield 1.
+  double Precision(const Instance& x0, Label y0,
+                   const FeatureSet& explanation) const;
+
+  /// True iff `explanation` is alpha-conformant for (x0, y0) relative to the
+  /// context: violators <= (1 - alpha) * |I|.
+  bool IsAlphaConformant(const Instance& x0, Label y0,
+                         const FeatureSet& explanation, double alpha) const;
+
+  /// The tolerated violator budget floor((1 - alpha) * |I|) used by the
+  /// algorithms' stopping rule (with an epsilon guard against FP error).
+  size_t ViolatorBudget(double alpha) const;
+
+  /// Rows covered by the explanation in the recall sense (Section 7.1(c)):
+  /// rows that agree with x0 on E *and* share its prediction.
+  std::vector<size_t> CoveredRows(const Instance& x0, Label y0,
+                                  const FeatureSet& explanation) const;
+
+  const Context& context() const { return *context_; }
+
+ private:
+  const std::vector<size_t>& Postings(FeatureId feature, ValueId value) const;
+
+  const Context* context_;  // not owned; must outlive the checker
+  // postings_[feature][value] = sorted rows with that value. Values beyond
+  // the interned domain (possible when x0 carries an unseen value) resolve
+  // to an empty list.
+  std::vector<std::vector<std::vector<size_t>>> postings_;
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_CONFORMITY_H_

@@ -1,0 +1,65 @@
+#include "core/counterfactual.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cce {
+
+Result<std::vector<RelativeCounterfactual>>
+CounterfactualFinder::FindForInstance(const Context& context,
+                                      const Instance& x0, Label y0,
+                                      const Options& options) {
+  if (x0.size() != context.num_features()) {
+    return Status::InvalidArgument("instance arity does not match schema");
+  }
+  if (options.max_witnesses == 0) {
+    return Status::InvalidArgument("max_witnesses must be positive");
+  }
+
+  std::vector<RelativeCounterfactual> candidates;
+  for (size_t row = 0; row < context.size(); ++row) {
+    if (context.label(row) == y0) continue;
+    RelativeCounterfactual c;
+    c.witness_row = row;
+    c.witness_label = context.label(row);
+    for (FeatureId f = 0; f < context.num_features(); ++f) {
+      if (context.value(row, f) != x0[f]) {
+        c.changed_features.push_back(f);
+      }
+    }
+    candidates.push_back(std::move(c));
+  }
+  if (candidates.empty()) {
+    return Status::NotFound(
+        "every context instance shares the prediction; no counterfactual "
+        "witness exists");
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const RelativeCounterfactual& a,
+                      const RelativeCounterfactual& b) {
+                     return a.changed_features.size() <
+                            b.changed_features.size();
+                   });
+  // Keep the closest witnesses with pairwise-distinct change sets, so the
+  // result offers genuinely different "ways out".
+  std::vector<RelativeCounterfactual> out;
+  std::set<FeatureSet> seen;
+  for (RelativeCounterfactual& c : candidates) {
+    if (out.size() >= options.max_witnesses) break;
+    if (seen.insert(c.changed_features).second) {
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<RelativeCounterfactual>> CounterfactualFinder::Find(
+    const Context& context, size_t row, const Options& options) {
+  if (row >= context.size()) {
+    return Status::OutOfRange("row out of range");
+  }
+  return FindForInstance(context, context.instance(row),
+                         context.label(row), options);
+}
+
+}  // namespace cce

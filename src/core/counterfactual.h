@@ -1,0 +1,50 @@
+#ifndef CCE_CORE_COUNTERFACTUAL_H_
+#define CCE_CORE_COUNTERFACTUAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace cce {
+
+/// Context-relative counterfactuals — the dual view of relative keys.
+/// A relative key says which features *lock in* the prediction over the
+/// context; a relative counterfactual exhibits a *witness*: an actual
+/// context instance with a different prediction and the smallest feature
+/// distance to x0. Because the witness comes from the context, it is a
+/// real served case, not a synthetic point that may be infeasible —
+/// sidestepping the plausibility problem of perturbation-based
+/// counterfactuals (paper Section 2, instance-based explanations).
+struct RelativeCounterfactual {
+  /// Row of the witness in the context.
+  size_t witness_row = 0;
+  /// The witness's prediction (differs from x0's).
+  Label witness_label = 0;
+  /// Features where the witness disagrees with x0 ("change these").
+  FeatureSet changed_features;
+};
+
+class CounterfactualFinder {
+ public:
+  struct Options {
+    /// Return up to this many witnesses with pairwise-distinct change
+    /// sets, ordered by ascending distance.
+    size_t max_witnesses = 3;
+  };
+
+  /// Closest differently-predicted witnesses for the context row.
+  /// NotFound when every context instance shares x0's prediction.
+  static Result<std::vector<RelativeCounterfactual>> Find(
+      const Context& context, size_t row, const Options& options);
+
+  /// Instance-based overload (x0 need not be a context row).
+  static Result<std::vector<RelativeCounterfactual>> FindForInstance(
+      const Context& context, const Instance& x0, Label y0,
+      const Options& options);
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_COUNTERFACTUAL_H_

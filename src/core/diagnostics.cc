@@ -1,0 +1,98 @@
+#include "core/diagnostics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace cce {
+
+Result<ContextDiagnostics> DiagnoseContext(const Context& context) {
+  if (context.empty()) {
+    return Status::InvalidArgument("cannot diagnose an empty context");
+  }
+  ContextDiagnostics d;
+  d.instances = context.size();
+  d.features = context.num_features();
+  d.labels = context.schema().num_labels();
+
+  // Group identical feature vectors; count label disagreement inside
+  // groups and redundant exact duplicates.
+  std::map<Instance, std::map<Label, size_t>> groups;
+  for (size_t row = 0; row < context.size(); ++row) {
+    ++groups[context.instance(row)][context.label(row)];
+  }
+  for (const auto& [vector, by_label] : groups) {
+    size_t group_size = 0;
+    for (const auto& [label, count] : by_label) {
+      group_size += count;
+      d.redundant_duplicates += count - 1;
+    }
+    if (by_label.size() > 1) {
+      ++d.conflicting_groups;
+      d.conflicting_instances += group_size;
+    }
+  }
+
+  // Label balance.
+  std::map<Label, size_t> label_counts;
+  for (size_t row = 0; row < context.size(); ++row) {
+    ++label_counts[context.label(row)];
+  }
+  size_t majority = 0;
+  for (const auto& [label, count] : label_counts) {
+    majority = std::max(majority, count);
+  }
+  d.majority_label_share = static_cast<double>(majority) /
+                           static_cast<double>(context.size());
+
+  // Constant features.
+  for (FeatureId f = 0; f < context.num_features(); ++f) {
+    ValueId first = context.value(0, f);
+    bool varies = false;
+    for (size_t row = 1; row < context.size(); ++row) {
+      if (context.value(row, f) != first) {
+        varies = true;
+        break;
+      }
+    }
+    if (!varies) d.constant_features.push_back(f);
+  }
+
+  // Derive warnings.
+  if (d.conflicting_groups > 0) {
+    d.warnings.push_back(StrFormat(
+        "%zu instance group(s) (%zu instances, %.1f%%) carry conflicting "
+        "predictions: perfect conformity (alpha=1) is unattainable for "
+        "them — consider alpha < 1",
+        d.conflicting_groups, d.conflicting_instances,
+        100.0 * static_cast<double>(d.conflicting_instances) /
+            static_cast<double>(d.instances)));
+  }
+  if (label_counts.size() < 2) {
+    d.warnings.push_back(
+        "single-class context: every relative key is empty and carries no "
+        "information");
+  } else if (d.majority_label_share > 0.99) {
+    d.warnings.push_back(StrFormat(
+        "extreme class imbalance (majority %.1f%%): keys for majority "
+        "instances will be near-empty",
+        100.0 * d.majority_label_share));
+  }
+  if (!d.constant_features.empty()) {
+    d.warnings.push_back(StrFormat(
+        "%zu feature(s) are constant over the context and can never enter "
+        "a key",
+        d.constant_features.size()));
+  }
+  if (d.instances < 30) {
+    d.warnings.push_back(StrFormat(
+        "context holds only %zu instances: conformity guarantees are weak "
+        "evidence at this size",
+        d.instances));
+  }
+  return d;
+}
+
+}  // namespace cce

@@ -1,0 +1,48 @@
+#ifndef CCE_CORE_DIAGNOSTICS_H_
+#define CCE_CORE_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace cce {
+
+/// Health report for a context before it is used for explanation. Keys
+/// relative to a degenerate context are technically correct but practically
+/// misleading; these diagnostics surface the common problems (CLI and
+/// serving users see them as warnings).
+struct ContextDiagnostics {
+  size_t instances = 0;
+  size_t features = 0;
+  size_t labels = 0;
+
+  /// Distinct feature vectors appearing with more than one prediction.
+  /// Any of their members has NO relative key (alpha = 1 unattainable).
+  size_t conflicting_groups = 0;
+  /// Instances belonging to a conflicting group.
+  size_t conflicting_instances = 0;
+
+  /// Exact duplicate (vector, prediction) pairs beyond the first copy.
+  size_t redundant_duplicates = 0;
+
+  /// Share of the majority prediction (1.0 = single-class context:
+  /// every key is empty and explains nothing).
+  double majority_label_share = 0.0;
+
+  /// Features whose value never varies (dead weight for every algorithm).
+  std::vector<FeatureId> constant_features;
+
+  /// Human-readable warnings derived from the numbers above.
+  std::vector<std::string> warnings;
+
+  bool healthy() const { return warnings.empty(); }
+};
+
+/// Computes diagnostics for `context`. InvalidArgument on empty input.
+Result<ContextDiagnostics> DiagnoseContext(const Context& context);
+
+}  // namespace cce
+
+#endif  // CCE_CORE_DIAGNOSTICS_H_

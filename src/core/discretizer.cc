@@ -1,0 +1,73 @@
+#include "core/discretizer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cce {
+
+Discretizer::Discretizer(std::vector<double> cuts) : cuts_(std::move(cuts)) {
+  for (size_t i = 1; i < cuts_.size(); ++i) {
+    CCE_CHECK(cuts_[i - 1] < cuts_[i]);
+  }
+  if (!cuts_.empty()) {
+    lo_hint_ = cuts_.front() - (cuts_.size() > 1
+                                    ? (cuts_[1] - cuts_[0])
+                                    : 1.0);
+    hi_hint_ = cuts_.back() + (cuts_.size() > 1
+                                   ? (cuts_[cuts_.size() - 1] -
+                                      cuts_[cuts_.size() - 2])
+                                   : 1.0);
+  }
+}
+
+Discretizer Discretizer::EquiWidth(double lo, double hi, int num_buckets) {
+  CCE_CHECK(num_buckets >= 1);
+  CCE_CHECK(lo < hi);
+  std::vector<double> cuts;
+  cuts.reserve(static_cast<size_t>(num_buckets - 1));
+  double width = (hi - lo) / num_buckets;
+  for (int i = 1; i < num_buckets; ++i) {
+    cuts.push_back(lo + width * i);
+  }
+  Discretizer d(std::move(cuts));
+  d.lo_hint_ = lo;
+  d.hi_hint_ = hi;
+  return d;
+}
+
+Discretizer Discretizer::WithCuts(std::vector<double> cuts) {
+  return Discretizer(std::move(cuts));
+}
+
+ValueId Discretizer::Bucket(double value) const {
+  // First cut point strictly greater than value identifies the bucket.
+  auto it = std::upper_bound(cuts_.begin(), cuts_.end(), value);
+  return static_cast<ValueId>(it - cuts_.begin());
+}
+
+std::string Discretizer::BucketName(ValueId bucket) const {
+  CCE_CHECK(bucket < num_buckets());
+  if (cuts_.empty()) return "all";
+  if (bucket == 0) {
+    return StrFormat("<%.3g", cuts_.front());
+  }
+  if (bucket == cuts_.size()) {
+    return StrFormat(">=%.3g", cuts_.back());
+  }
+  return StrFormat("[%.3g,%.3g)", cuts_[bucket - 1], cuts_[bucket]);
+}
+
+double Discretizer::BucketMidpoint(ValueId bucket) const {
+  CCE_CHECK(bucket < num_buckets());
+  if (cuts_.empty()) return (lo_hint_ + hi_hint_) / 2.0;
+  if (bucket == 0) return std::min(lo_hint_, cuts_.front()) / 2.0 +
+                          cuts_.front() / 2.0;
+  if (bucket == cuts_.size()) {
+    return cuts_.back() / 2.0 + std::max(hi_hint_, cuts_.back()) / 2.0;
+  }
+  return (cuts_[bucket - 1] + cuts_[bucket]) / 2.0;
+}
+
+}  // namespace cce

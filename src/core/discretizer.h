@@ -1,0 +1,45 @@
+#ifndef CCE_CORE_DISCRETIZER_H_
+#define CCE_CORE_DISCRETIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace cce {
+
+/// Maps a numerical feature onto a fixed number of discrete buckets.
+/// Relative keys (and all compared explainers) operate over discrete
+/// features, so numerics are bucketed first; the bucket count is the
+/// "#-bucket" knob of Figures 3h/3i/4d.
+class Discretizer {
+ public:
+  /// Equi-width buckets over [lo, hi]; values outside are clamped.
+  static Discretizer EquiWidth(double lo, double hi, int num_buckets);
+
+  /// Buckets with explicit cut points: bucket i covers
+  /// [cuts[i-1], cuts[i]), with open ends below cuts[0] / above cuts.back().
+  static Discretizer WithCuts(std::vector<double> cuts);
+
+  /// Bucket index of `value`, in [0, num_buckets()).
+  ValueId Bucket(double value) const;
+
+  /// Human-readable bucket label, e.g. "[3.0,4.0)".
+  std::string BucketName(ValueId bucket) const;
+
+  /// Representative (mid-point) value of a bucket; inverse-ish of Bucket().
+  double BucketMidpoint(ValueId bucket) const;
+
+  size_t num_buckets() const { return cuts_.size() + 1; }
+
+ private:
+  explicit Discretizer(std::vector<double> cuts);
+
+  std::vector<double> cuts_;  // strictly increasing internal cut points
+  double lo_hint_ = 0.0;      // for midpoint/naming of the open end buckets
+  double hi_hint_ = 1.0;
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_DISCRETIZER_H_

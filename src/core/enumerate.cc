@@ -1,0 +1,164 @@
+#include "core/enumerate.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cce {
+namespace {
+
+// True iff `e` hits (intersects) `d`.
+bool Hits(const FeatureSet& e, const std::vector<FeatureId>& d) {
+  for (FeatureId f : d) {
+    if (FeatureSetContains(e, f)) return true;
+  }
+  return false;
+}
+
+// Minimality: every chosen feature has a private set it alone hits.
+bool IsMinimalHittingSet(const FeatureSet& e,
+                         const std::vector<std::vector<FeatureId>>& sets) {
+  for (FeatureId chosen : e) {
+    bool has_private = false;
+    for (const auto& d : sets) {
+      size_t hits = 0;
+      bool by_chosen = false;
+      for (FeatureId f : d) {
+        if (FeatureSetContains(e, f)) {
+          ++hits;
+          by_chosen |= (f == chosen);
+        }
+      }
+      if (hits == 1 && by_chosen) {
+        has_private = true;
+        break;
+      }
+    }
+    if (!has_private) return false;
+  }
+  return true;
+}
+
+struct SearchState {
+  const std::vector<std::vector<FeatureId>>* sets;
+  KeyEnumerator::Options options;
+  size_t nodes = 0;
+  bool exhausted = false;
+  std::set<FeatureSet> found;
+};
+
+// MMCS-style branch-and-bound: pick the first unhit set, branch on its
+// elements with an exclusion list to avoid re-generating permutations.
+void Search(SearchState* state, FeatureSet* current,
+            std::vector<bool>* excluded) {
+  if (state->exhausted) return;
+  if (state->options.max_keys > 0 &&
+      state->found.size() >= state->options.max_keys) {
+    return;
+  }
+  if (++state->nodes > state->options.max_nodes) {
+    state->exhausted = true;
+    return;
+  }
+
+  const std::vector<FeatureId>* unhit = nullptr;
+  for (const auto& d : *state->sets) {
+    if (!Hits(*current, d)) {
+      unhit = &d;
+      break;
+    }
+  }
+  if (unhit == nullptr) {
+    // All sets hit; record if minimal.
+    if (IsMinimalHittingSet(*current, *state->sets)) {
+      state->found.insert(*current);
+    }
+    return;
+  }
+  std::vector<FeatureId> newly_excluded;
+  for (FeatureId f : *unhit) {
+    if ((*excluded)[f]) continue;
+    FeatureSetInsert(current, f);
+    Search(state, current, excluded);
+    current->erase(
+        std::find(current->begin(), current->end(), f));
+    (*excluded)[f] = true;
+    newly_excluded.push_back(f);
+    if (state->exhausted) break;
+  }
+  for (FeatureId f : newly_excluded) (*excluded)[f] = false;
+}
+
+}  // namespace
+
+Result<std::vector<FeatureSet>>
+KeyEnumerator::EnumerateMinimalKeysForInstance(const Context& context,
+                                               const Instance& x0, Label y0,
+                                               const Options& options) {
+  if (x0.size() != context.num_features()) {
+    return Status::InvalidArgument("instance arity does not match schema");
+  }
+  // Difference hypergraph: one (deduped, minimal) set per differently-
+  // predicted instance.
+  std::set<std::vector<FeatureId>> distinct;
+  for (size_t row = 0; row < context.size(); ++row) {
+    if (context.label(row) == y0) continue;
+    std::vector<FeatureId> d;
+    for (FeatureId f = 0; f < context.num_features(); ++f) {
+      if (context.value(row, f) != x0[f]) d.push_back(f);
+    }
+    if (d.empty()) {
+      return Status::FailedPrecondition(
+          "conflicting duplicate: no key exists for this instance");
+    }
+    distinct.insert(std::move(d));
+  }
+  // Drop supersets: hitting a subset implies hitting its supersets.
+  std::vector<std::vector<FeatureId>> sets(distinct.begin(),
+                                           distinct.end());
+  std::sort(sets.begin(), sets.end(),
+            [](const auto& a, const auto& b) {
+              return a.size() < b.size();
+            });
+  std::vector<std::vector<FeatureId>> minimal_sets;
+  for (const auto& candidate : sets) {
+    bool redundant = false;
+    for (const auto& kept : minimal_sets) {
+      if (std::includes(candidate.begin(), candidate.end(), kept.begin(),
+                        kept.end())) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) minimal_sets.push_back(candidate);
+  }
+
+  SearchState state;
+  state.sets = &minimal_sets;
+  state.options = options;
+  FeatureSet current;
+  std::vector<bool> excluded(context.num_features(), false);
+  Search(&state, &current, &excluded);
+  if (state.exhausted) {
+    return Status::FailedPrecondition(
+        "node budget exhausted before enumeration finished");
+  }
+
+  std::vector<FeatureSet> keys(state.found.begin(), state.found.end());
+  std::sort(keys.begin(), keys.end(),
+            [](const FeatureSet& a, const FeatureSet& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  return keys;
+}
+
+Result<std::vector<FeatureSet>> KeyEnumerator::EnumerateMinimalKeys(
+    const Context& context, size_t row, const Options& options) {
+  if (row >= context.size()) {
+    return Status::OutOfRange("row out of range");
+  }
+  return EnumerateMinimalKeysForInstance(context, context.instance(row),
+                                         context.label(row), options);
+}
+
+}  // namespace cce

@@ -1,0 +1,46 @@
+#ifndef CCE_CORE_ENUMERATE_H_
+#define CCE_CORE_ENUMERATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/key_result.h"
+#include "core/types.h"
+
+namespace cce {
+
+/// Enumeration of ALL minimal relative keys for an instance.
+///
+/// Duality: E is a (1-conformant) key for x0 relative to I iff for every
+/// differently-predicted instance x_i, E contains some feature where x_i
+/// disagrees with x0. Writing D_i = {f : x_i[f] != x0[f]}, the minimal
+/// keys are exactly the minimal hitting sets of {D_i}. This enumerator
+/// walks that hypergraph with branch-and-bound, which lets users present
+/// *alternative* explanations of the same prediction (diversity — a
+/// recurring ask in the XAI literature the paper surveys in Section 2).
+class KeyEnumerator {
+ public:
+  struct Options {
+    /// Stop after this many minimal keys (0 = no bound).
+    size_t max_keys = 64;
+    /// Give up (ResourceExhausted-style FailedPrecondition) beyond this
+    /// many search nodes.
+    size_t max_nodes = 1'000'000;
+  };
+
+  /// All minimal relative keys (alpha = 1) for the context row, sorted by
+  /// size then lexicographically. FailedPrecondition if a conflicting
+  /// duplicate makes no key exist, or the node budget is exhausted.
+  static Result<std::vector<FeatureSet>> EnumerateMinimalKeys(
+      const Context& context, size_t row, const Options& options);
+
+  /// Instance-based overload.
+  static Result<std::vector<FeatureSet>> EnumerateMinimalKeysForInstance(
+      const Context& context, const Instance& x0, Label y0,
+      const Options& options);
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_ENUMERATE_H_

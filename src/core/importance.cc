@@ -1,0 +1,171 @@
+#include "core/importance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cce {
+namespace {
+
+// Incremental coalition walker: starts from the empty coalition (violators
+// = all differently-predicted rows) and adds features one at a time,
+// reporting the conformity v(S) after each addition. Walking a permutation
+// costs O(n * |violators_0|) total because the violator set only shrinks.
+class CoalitionWalker {
+ public:
+  CoalitionWalker(const Context& context, const Instance& x0, Label y0)
+      : context_(context), x0_(x0) {
+    for (size_t row = 0; row < context.size(); ++row) {
+      if (context.label(row) != y0) initial_violators_.push_back(row);
+    }
+  }
+
+  /// Conformity of the empty coalition.
+  double EmptyValue() const {
+    return Value(initial_violators_.size());
+  }
+
+  /// Walks `order`, invoking visit(feature, v_before, v_after) per step.
+  template <typename Visitor>
+  void Walk(const std::vector<FeatureId>& order, Visitor&& visit) const {
+    std::vector<size_t> violators = initial_violators_;
+    double value_before = Value(violators.size());
+    for (FeatureId f : order) {
+      std::vector<size_t> surviving;
+      surviving.reserve(violators.size());
+      for (size_t row : violators) {
+        if (context_.value(row, f) == x0_[f]) surviving.push_back(row);
+      }
+      violators = std::move(surviving);
+      double value_after = Value(violators.size());
+      visit(f, value_before, value_after);
+      value_before = value_after;
+    }
+  }
+
+ private:
+  double Value(size_t violator_count) const {
+    if (context_.empty()) return 1.0;
+    return 1.0 - static_cast<double>(violator_count) /
+                     static_cast<double>(context_.size());
+  }
+
+  const Context& context_;
+  const Instance& x0_;
+  std::vector<size_t> initial_violators_;
+};
+
+double Factorial(size_t n) {
+  double out = 1.0;
+  for (size_t i = 2; i <= n; ++i) out *= static_cast<double>(i);
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<double>> ContextShapley::Compute(const Context& context,
+                                                    const Instance& x0,
+                                                    Label y0,
+                                                    const Options& options) {
+  const size_t n = context.num_features();
+  if (x0.size() != n) {
+    return Status::InvalidArgument("instance arity does not match schema");
+  }
+  if (options.permutations <= 0) {
+    return Status::InvalidArgument("permutations must be positive");
+  }
+  std::vector<double> shapley(n, 0.0);
+  if (n == 0) return shapley;
+
+  CoalitionWalker walker(context, x0, y0);
+  std::vector<FeatureId> order(n);
+  for (FeatureId f = 0; f < n; ++f) order[f] = f;
+
+  const bool exact =
+      Factorial(n) <= static_cast<double>(options.exact_limit);
+  size_t walks = 0;
+  if (exact) {
+    std::sort(order.begin(), order.end());
+    do {
+      walker.Walk(order, [&](FeatureId f, double before, double after) {
+        shapley[f] += after - before;
+      });
+      ++walks;
+    } while (std::next_permutation(order.begin(), order.end()));
+  } else {
+    Rng rng(options.seed);
+    for (int p = 0; p < options.permutations; ++p) {
+      rng.Shuffle(&order);
+      walker.Walk(order, [&](FeatureId f, double before, double after) {
+        shapley[f] += after - before;
+      });
+      ++walks;
+    }
+  }
+  for (double& value : shapley) value /= static_cast<double>(walks);
+  return shapley;
+}
+
+Result<std::vector<double>> ContextShapley::ComputeForRow(
+    const Context& context, size_t row, const Options& options) {
+  if (row >= context.size()) {
+    return Status::OutOfRange("row out of range");
+  }
+  return Compute(context, context.instance(row), context.label(row),
+                 options);
+}
+
+// ------------------------------------------------- OnlineContextShapley
+
+OnlineContextShapley::OnlineContextShapley(
+    std::shared_ptr<const Schema> schema, Instance x0, Label y0,
+    const Options& options)
+    : schema_(std::move(schema)),
+      x0_(std::move(x0)),
+      y0_(y0),
+      options_(options),
+      importances_(schema_->num_features(), 0.0) {}
+
+Result<std::unique_ptr<OnlineContextShapley>> OnlineContextShapley::Create(
+    std::shared_ptr<const Schema> schema, Instance x0, Label y0,
+    const Options& options) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("schema must not be null");
+  }
+  if (x0.size() != schema->num_features()) {
+    return Status::InvalidArgument("instance arity does not match schema");
+  }
+  if (options.window_size == 0 || options.refresh_every == 0) {
+    return Status::InvalidArgument(
+        "window_size and refresh_every must be positive");
+  }
+  return std::unique_ptr<OnlineContextShapley>(new OnlineContextShapley(
+      std::move(schema), std::move(x0), y0, options));
+}
+
+Status OnlineContextShapley::Observe(const Instance& x, Label y) {
+  if (x.size() != schema_->num_features()) {
+    return Status::InvalidArgument("instance arity does not match schema");
+  }
+  window_.emplace_back(x, y);
+  while (window_.size() > options_.window_size) window_.pop_front();
+  ++observed_;
+  if (++since_refresh_ >= options_.refresh_every) {
+    since_refresh_ = 0;
+    CCE_RETURN_IF_ERROR(Refresh());
+  }
+  return Status::Ok();
+}
+
+Status OnlineContextShapley::Refresh() {
+  Context context(schema_);
+  for (const auto& [x, y] : window_) context.Add(x, y);
+  Result<std::vector<double>> fresh =
+      ContextShapley::Compute(context, x0_, y0_, options_.shapley);
+  if (!fresh.ok()) return fresh.status();
+  importances_ = std::move(fresh).value();
+  return Status::Ok();
+}
+
+}  // namespace cce

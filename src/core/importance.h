@@ -1,0 +1,94 @@
+#ifndef CCE_CORE_IMPORTANCE_H_
+#define CCE_CORE_IMPORTANCE_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/conformity.h"
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace cce {
+
+/// Context-relative feature importance — the paper's first future-work
+/// direction (Section 8): "extend relative keys for feature importance
+/// based explanations, by extending the notion and computation of Shapley
+/// values to the online setting with a dynamic context."
+///
+/// The coalition game: for an instance x0 with prediction y0 over context
+/// I, the value of a feature coalition S is the conformity it achieves,
+///   v(S) = 1 - violators(x0, S) / |I|  (the precision of S as a key).
+/// The Shapley value of feature f is its average marginal contribution to
+/// v across feature orderings — how much of the explanation's conformity
+/// is attributable to f. Like relative keys, this needs *no model access*.
+class ContextShapley {
+ public:
+  struct Options {
+    /// Monte-Carlo permutations; exact enumeration is used when
+    /// n! <= exact_limit.
+    int permutations = 256;
+    int exact_limit = 720;  // 6! — exact for up to 6 features
+    uint64_t seed = 31;
+  };
+
+  /// Computes context-relative Shapley importances of every feature for
+  /// (x0, y0) over `context`. The values sum to v(all) - v(empty)
+  /// (efficiency), exactly under enumeration and approximately under
+  /// sampling.
+  static Result<std::vector<double>> Compute(const Context& context,
+                                             const Instance& x0, Label y0,
+                                             const Options& options);
+
+  /// Convenience overload for a context row.
+  static Result<std::vector<double>> ComputeForRow(const Context& context,
+                                                   size_t row,
+                                                   const Options& options);
+};
+
+/// Online/dynamic variant: maintains context-relative Shapley importances
+/// over a sliding window of served (instance, prediction) pairs, so the
+/// importance profile tracks a drifting model — Shapley values "in the
+/// online setting with a dynamic context".
+class OnlineContextShapley {
+ public:
+  struct Options {
+    size_t window_size = 512;
+    /// Recompute cadence (arrivals between refreshes).
+    size_t refresh_every = 64;
+    ContextShapley::Options shapley;
+  };
+
+  static Result<std::unique_ptr<OnlineContextShapley>> Create(
+      std::shared_ptr<const Schema> schema, Instance x0, Label y0,
+      const Options& options);
+
+  /// Feeds the next served (instance, prediction).
+  Status Observe(const Instance& x, Label y);
+
+  /// Latest importance vector (all zeros before the first refresh).
+  const std::vector<double>& importances() const { return importances_; }
+
+  size_t observed() const { return observed_; }
+
+ private:
+  OnlineContextShapley(std::shared_ptr<const Schema> schema, Instance x0,
+                       Label y0, const Options& options);
+
+  Status Refresh();
+
+  std::shared_ptr<const Schema> schema_;
+  Instance x0_;
+  Label y0_;
+  Options options_;
+  std::deque<std::pair<Instance, Label>> window_;
+  std::vector<double> importances_;
+  size_t observed_ = 0;
+  size_t since_refresh_ = 0;
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_IMPORTANCE_H_

@@ -1,0 +1,33 @@
+#ifndef CCE_CORE_KEY_RESULT_H_
+#define CCE_CORE_KEY_RESULT_H_
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace cce {
+
+/// Outcome of a relative-key computation.
+struct KeyResult {
+  /// The alpha-conformant relative key (sorted feature set).
+  FeatureSet key;
+
+  /// Features in the order the algorithm picked them; CCE uses this order to
+  /// rank features inside the key (paper Section 6, Remark (2)).
+  std::vector<FeatureId> pick_order;
+
+  /// The conformity actually achieved: 1 - violators / |I|.
+  double achieved_alpha = 1.0;
+
+  /// True when achieved_alpha meets the requested bound. False only for
+  /// degenerate contexts (duplicate instances with conflicting predictions)
+  /// where no feature set can reach the target; in that case `key` holds all
+  /// features and `achieved_alpha` reports the best attainable value.
+  bool satisfied = true;
+
+  size_t succinctness() const { return key.size(); }
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_KEY_RESULT_H_

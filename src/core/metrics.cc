@@ -1,0 +1,106 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cce {
+
+double Conformity(const Context& eval_context,
+                  const std::vector<ExplainedInstance>& explained) {
+  if (explained.empty()) return 100.0;
+  ConformityChecker checker(&eval_context);
+  size_t conformant = 0;
+  for (const auto& e : explained) {
+    if (checker.CountViolators(e.x, e.y, e.explanation) == 0) ++conformant;
+  }
+  return 100.0 * static_cast<double>(conformant) /
+         static_cast<double>(explained.size());
+}
+
+double AveragePrecision(const Context& eval_context,
+                        const std::vector<ExplainedInstance>& explained) {
+  if (explained.empty()) return 1.0;
+  ConformityChecker checker(&eval_context);
+  double total = 0.0;
+  for (const auto& e : explained) {
+    total += checker.Precision(e.x, e.y, e.explanation);
+  }
+  return total / static_cast<double>(explained.size());
+}
+
+double Recall(const Context& eval_context, const Instance& x, Label y,
+              const FeatureSet& mine, const FeatureSet& theirs) {
+  ConformityChecker checker(&eval_context);
+  std::vector<size_t> covered_mine = checker.CoveredRows(x, y, mine);
+  std::vector<size_t> covered_theirs = checker.CoveredRows(x, y, theirs);
+  std::vector<size_t> covered_union;
+  std::set_union(covered_mine.begin(), covered_mine.end(),
+                 covered_theirs.begin(), covered_theirs.end(),
+                 std::back_inserter(covered_union));
+  if (covered_union.empty()) return 1.0;
+  return static_cast<double>(covered_mine.size()) /
+         static_cast<double>(covered_union.size());
+}
+
+double AverageSuccinctness(const std::vector<ExplainedInstance>& explained) {
+  if (explained.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& e : explained) {
+    total += static_cast<double>(e.explanation.size());
+  }
+  return total / static_cast<double>(explained.size());
+}
+
+double Faithfulness(const Model& model, const Dataset& reference,
+                    const std::vector<ExplainedInstance>& explained,
+                    int samples_per_instance, Rng* rng) {
+  CCE_CHECK(samples_per_instance > 0);
+  CCE_CHECK(!reference.empty());
+  if (explained.empty()) return 0.0;
+  double unchanged_total = 0.0;
+  for (const auto& e : explained) {
+    int unchanged = 0;
+    for (int s = 0; s < samples_per_instance; ++s) {
+      Instance masked = e.x;
+      // Mask each explained feature with the value of a random reference
+      // row — the standard masking perturbation of [19].
+      for (FeatureId f : e.explanation) {
+        size_t row = rng->Uniform(reference.size());
+        masked[f] = reference.value(row, f);
+      }
+      if (model.Predict(masked) == e.y) ++unchanged;
+    }
+    unchanged_total +=
+        static_cast<double>(unchanged) / samples_per_instance;
+  }
+  return unchanged_total / static_cast<double>(explained.size());
+}
+
+QualityReport EvaluateQuality(
+    const Context& eval_context,
+    const std::vector<ExplainedInstance>& explained) {
+  QualityReport report;
+  if (explained.empty()) return report;
+  ConformityChecker checker(&eval_context);
+  size_t conformant = 0;
+  double precision_total = 0.0;
+  double size_total = 0.0;
+  for (const auto& e : explained) {
+    size_t violators = checker.CountViolators(e.x, e.y, e.explanation);
+    if (violators == 0) ++conformant;
+    precision_total += eval_context.empty()
+                           ? 1.0
+                           : 1.0 - static_cast<double>(violators) /
+                                       static_cast<double>(
+                                           eval_context.size());
+    size_total += static_cast<double>(e.explanation.size());
+  }
+  const double count = static_cast<double>(explained.size());
+  report.conformity = 100.0 * static_cast<double>(conformant) / count;
+  report.precision = precision_total / count;
+  report.succinctness = size_total / count;
+  return report;
+}
+
+}  // namespace cce

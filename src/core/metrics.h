@@ -1,0 +1,68 @@
+#ifndef CCE_CORE_METRICS_H_
+#define CCE_CORE_METRICS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/conformity.h"
+#include "core/dataset.h"
+#include "core/model.h"
+#include "core/types.h"
+
+namespace cce {
+
+/// Explanation quality measures of paper Section 7.1. Unless stated
+/// otherwise they are computed against an evaluation context (the set of all
+/// instances explained / the inference set).
+
+/// One explained instance together with the explanation produced for it.
+struct ExplainedInstance {
+  Instance x;
+  Label y;
+  FeatureSet explanation;
+};
+
+/// (a) Conformity: percentage of explained instances whose explanation is
+/// conformant over `eval_context` (no agreeing instance with a different
+/// prediction).
+double Conformity(const Context& eval_context,
+                  const std::vector<ExplainedInstance>& explained);
+
+/// (b) Precision: average over explained instances of the maximum alpha for
+/// which the explanation is alpha-conformant.
+double AveragePrecision(const Context& eval_context,
+                        const std::vector<ExplainedInstance>& explained);
+
+/// (c) Recall of explanation `mine` against a competing conformant
+/// explanation `theirs` for the same instance:
+/// |D(mine)| / |D(mine) ∪ D(theirs)| where D(E) is the set of rows covered
+/// by E (agreeing with x and sharing its prediction).
+double Recall(const Context& eval_context, const Instance& x, Label y,
+              const FeatureSet& mine, const FeatureSet& theirs);
+
+/// (d) Succinctness: average explanation size.
+double AverageSuccinctness(const std::vector<ExplainedInstance>& explained);
+
+/// (e) Faithfulness: for each explained instance, mask the features named by
+/// the explanation with values drawn from `reference` rows and test whether
+/// the model prediction survives; report the fraction of unchanged
+/// predictions (lower is better). `samples_per_instance` perturbations are
+/// averaged per instance.
+double Faithfulness(const Model& model, const Dataset& reference,
+                    const std::vector<ExplainedInstance>& explained,
+                    int samples_per_instance, Rng* rng);
+
+/// Aggregate quality report used by the benchmark harnesses.
+struct QualityReport {
+  double conformity = 0.0;        // percent in [0, 100]
+  double precision = 0.0;         // average max-alpha in [0, 1]
+  double succinctness = 0.0;      // average #features
+};
+
+/// Computes conformity/precision/succinctness in one pass.
+QualityReport EvaluateQuality(const Context& eval_context,
+                              const std::vector<ExplainedInstance>& explained);
+
+}  // namespace cce
+
+#endif  // CCE_CORE_METRICS_H_

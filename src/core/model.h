@@ -1,0 +1,61 @@
+#ifndef CCE_CORE_MODEL_H_
+#define CCE_CORE_MODEL_H_
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace cce {
+
+/// Abstract classifier over a discrete feature space. The explanation
+/// baselines (Anchor, LIME, SHAP, GAM, Xreason) query this interface;
+/// relative keys deliberately do *not* — they consume only the recorded
+/// (instance, prediction) pairs of the context (paper Section 6).
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// The model's prediction M(x).
+  virtual Label Predict(const Instance& x) const = 0;
+
+  /// Raw positive-class score for binary models; default maps the label.
+  virtual double Score(const Instance& x) const {
+    return static_cast<double>(Predict(x));
+  }
+
+  /// Predicts every row of `dataset`.
+  std::vector<Label> PredictAll(const Dataset& dataset) const {
+    std::vector<Label> out;
+    out.reserve(dataset.size());
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      out.push_back(Predict(dataset.instance(i)));
+    }
+    return out;
+  }
+
+  /// Builds the inference context: a copy of `dataset` whose labels are this
+  /// model's predictions — exactly what a client observes during serving.
+  Dataset MakeContext(const Dataset& dataset) const {
+    Dataset context = dataset;
+    for (size_t i = 0; i < context.size(); ++i) {
+      context.set_label(i, Predict(context.instance(i)));
+    }
+    return context;
+  }
+
+  /// Fraction of rows whose prediction matches the dataset label.
+  double Accuracy(const Dataset& dataset) const {
+    if (dataset.empty()) return 1.0;
+    size_t correct = 0;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      if (Predict(dataset.instance(i)) == dataset.label(i)) ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(dataset.size());
+  }
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_MODEL_H_

@@ -1,0 +1,87 @@
+#include "core/optimal.h"
+
+#include <cmath>
+
+#include "core/conformity.h"
+
+namespace cce {
+namespace {
+
+// Enumerates k-subsets of [0, n) in lexicographic order, invoking visit().
+// visit returns true to stop enumeration.
+template <typename Visitor>
+bool ForEachSubset(size_t n, size_t k, Visitor visit) {
+  std::vector<FeatureId> subset(k);
+  for (size_t i = 0; i < k; ++i) subset[i] = static_cast<FeatureId>(i);
+  if (k == 0) return visit(subset);
+  while (true) {
+    if (visit(subset)) return true;
+    // Advance to the next combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (subset[i] != i + n - k) {
+        ++subset[i];
+        for (size_t j = i + 1; j < k; ++j) subset[j] = subset[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return false;
+    }
+  }
+}
+
+}  // namespace
+
+Result<KeyResult> OptimalKeyFinder::Find(const Context& context,
+                                         const Instance& x0, Label y0,
+                                         const Options& options) {
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  const size_t n = context.num_features();
+  if (n > options.max_features) {
+    return Status::FailedPrecondition(
+        "exhaustive search limited to " +
+        std::to_string(options.max_features) + " features, got " +
+        std::to_string(n));
+  }
+  if (x0.size() != n) {
+    return Status::InvalidArgument("instance arity does not match schema");
+  }
+
+  ConformityChecker checker(&context);
+  KeyResult result;
+  for (size_t k = 0; k <= n; ++k) {
+    bool found = ForEachSubset(n, k, [&](const FeatureSet& subset) {
+      if (checker.IsAlphaConformant(x0, y0, subset, options.alpha)) {
+        result.key = subset;
+        return true;
+      }
+      return false;
+    });
+    if (found) {
+      result.pick_order.assign(result.key.begin(), result.key.end());
+      result.achieved_alpha = checker.Precision(x0, y0, result.key);
+      result.satisfied = true;
+      return result;
+    }
+  }
+  // Even the full feature set fails: conflicting duplicates.
+  result.key.resize(n);
+  for (FeatureId f = 0; f < n; ++f) result.key[f] = f;
+  result.pick_order = result.key;
+  result.achieved_alpha = checker.Precision(x0, y0, result.key);
+  result.satisfied = false;
+  return result;
+}
+
+Result<KeyResult> OptimalKeyFinder::FindForRow(const Context& context,
+                                               size_t row,
+                                               const Options& options) {
+  if (row >= context.size()) {
+    return Status::OutOfRange("row out of range");
+  }
+  return Find(context, context.instance(row), context.label(row), options);
+}
+
+}  // namespace cce

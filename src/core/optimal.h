@@ -1,0 +1,37 @@
+#ifndef CCE_CORE_OPTIMAL_H_
+#define CCE_CORE_OPTIMAL_H_
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/key_result.h"
+#include "core/types.h"
+
+namespace cce {
+
+/// Exhaustive solver for the minimum relative key problem (MRKP). MRKP is
+/// NP-complete (paper Theorem 1), so this enumerates feature subsets by
+/// increasing size; it is usable only for small n and exists to (a) validate
+/// the approximation guarantees of SRK/OSRK/SSRK in tests and (b) drive the
+/// p-boundedness ablation benchmarks.
+class OptimalKeyFinder {
+ public:
+  struct Options {
+    double alpha = 1.0;
+    /// Refuse inputs with more features than this (cost is C(n, k) scans).
+    size_t max_features = 24;
+  };
+
+  /// The most succinct alpha-conformant key for (x0, y0) relative to
+  /// `context`, or the full feature set flagged unsatisfied when even that
+  /// fails the bound.
+  static Result<KeyResult> Find(const Context& context, const Instance& x0,
+                                Label y0, const Options& options);
+
+  /// Convenience overload for a context row.
+  static Result<KeyResult> FindForRow(const Context& context, size_t row,
+                                      const Options& options);
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_OPTIMAL_H_

@@ -1,0 +1,113 @@
+#include "core/patterns.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "core/srk.h"
+
+namespace cce {
+
+bool ContextPattern::Matches(const Instance& x) const {
+  for (const auto& [feature, value] : condition) {
+    if (x[feature] != value) return false;
+  }
+  return true;
+}
+
+std::string ContextPattern::ToString(const Schema& schema) const {
+  std::string out = "IF ";
+  for (size_t i = 0; i < condition.size(); ++i) {
+    if (i > 0) out += " AND ";
+    const auto& [feature, value] = condition[i];
+    out += schema.FeatureName(feature) + "='" +
+           schema.ValueName(feature, value) + "'";
+  }
+  if (condition.empty()) out += "TRUE";
+  out += " THEN " + schema.LabelName(consequent);
+  return out;
+}
+
+Result<std::vector<ContextPattern>> ContextPatternMiner::Mine(
+    const Context& context, const Options& options) {
+  if (context.empty()) {
+    return Status::InvalidArgument("cannot mine an empty context");
+  }
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+
+  // Pick seed rows.
+  std::vector<size_t> seeds;
+  if (options.seeds == 0 || options.seeds >= context.size()) {
+    seeds.resize(context.size());
+    for (size_t i = 0; i < seeds.size(); ++i) seeds[i] = i;
+  } else {
+    Rng rng(options.seed);
+    seeds = rng.SampleWithoutReplacement(context.size(), options.seeds);
+  }
+
+  // Ground each seed's relative key into a pattern; dedupe by condition.
+  Srk::Options srk_options;
+  srk_options.alpha = options.alpha;
+  std::map<std::vector<std::pair<FeatureId, ValueId>>, Label> seen;
+  for (size_t row : seeds) {
+    Result<KeyResult> key = Srk::Explain(context, row, srk_options);
+    if (!key.ok()) return key.status();
+    std::vector<std::pair<FeatureId, ValueId>> condition;
+    condition.reserve(key->key.size());
+    for (FeatureId f : key->key) {
+      condition.emplace_back(f, context.value(row, f));
+    }
+    seen.emplace(std::move(condition), context.label(row));
+  }
+
+  // Measure support and conformity over the full context.
+  std::vector<ContextPattern> patterns;
+  patterns.reserve(seen.size());
+  for (auto& [condition, consequent] : seen) {
+    ContextPattern pattern;
+    pattern.condition = condition;
+    pattern.consequent = consequent;
+    size_t agreeing = 0;
+    for (size_t row = 0; row < context.size(); ++row) {
+      if (!pattern.Matches(context.instance(row))) continue;
+      ++pattern.support;
+      if (context.label(row) == consequent) ++agreeing;
+    }
+    pattern.conformity =
+        pattern.support == 0
+            ? 1.0
+            : static_cast<double>(agreeing) /
+                  static_cast<double>(pattern.support);
+    patterns.push_back(std::move(pattern));
+  }
+
+  std::sort(patterns.begin(), patterns.end(),
+            [](const ContextPattern& a, const ContextPattern& b) {
+              return a.support > b.support;
+            });
+  if (options.max_patterns > 0 && patterns.size() > options.max_patterns) {
+    patterns.resize(options.max_patterns);
+  }
+  return patterns;
+}
+
+double ContextPatternMiner::ExplainedFraction(
+    const Context& context, const std::vector<ContextPattern>& rules) {
+  if (context.empty()) return 1.0;
+  size_t explained = 0;
+  for (size_t row = 0; row < context.size(); ++row) {
+    for (const ContextPattern& rule : rules) {
+      if (rule.consequent == context.label(row) &&
+          rule.Matches(context.instance(row))) {
+        ++explained;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(explained) /
+         static_cast<double>(context.size());
+}
+
+}  // namespace cce

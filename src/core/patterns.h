@@ -1,0 +1,58 @@
+#ifndef CCE_CORE_PATTERNS_H_
+#define CCE_CORE_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace cce {
+
+/// Context-relative pattern-level explanations — the paper's second
+/// future-work direction (Section 8): "revisit global pattern-level
+/// explanations relative to a context".
+///
+/// Instead of mining heuristic rules over the feature space (IDS), each
+/// pattern here is a *grounded relative key*: the key of some sampled
+/// instance, instantiated with that instance's values. Patterns therefore
+/// inherit the alpha-conformance guarantee for their seed instance, and the
+/// miner additionally measures each pattern's support and conformity over
+/// the whole context.
+struct ContextPattern {
+  /// Conjunction of (feature, value) equality predicates.
+  std::vector<std::pair<FeatureId, ValueId>> condition;
+  Label consequent = 0;
+  size_t support = 0;      // context rows matching the condition
+  double conformity = 1.0; // fraction of matching rows with the consequent
+
+  bool Matches(const Instance& x) const;
+  std::string ToString(const Schema& schema) const;
+};
+
+class ContextPatternMiner {
+ public:
+  struct Options {
+    /// Instances sampled as pattern seeds (0 = every context row).
+    size_t seeds = 64;
+    /// Conformity bound used when computing the seed keys.
+    double alpha = 1.0;
+    /// Keep at most this many patterns, by descending support (0 = all).
+    size_t max_patterns = 0;
+    uint64_t seed = 37;
+  };
+
+  /// Mines a context-level pattern summary.
+  static Result<std::vector<ContextPattern>> Mine(const Context& context,
+                                                  const Options& options);
+
+  /// Fraction of context rows matched by at least one pattern whose
+  /// consequent equals the row's prediction.
+  static double ExplainedFraction(const Context& context,
+                                  const std::vector<ContextPattern>& rules);
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_PATTERNS_H_

@@ -1,0 +1,94 @@
+#include "core/schema.h"
+
+#include "common/logging.h"
+
+namespace cce {
+
+FeatureId Schema::AddFeature(const std::string& name) {
+  CCE_CHECK(feature_ids_.find(name) == feature_ids_.end());
+  FeatureId id = static_cast<FeatureId>(features_.size());
+  features_.push_back(FeatureInfo{name, {}, {}});
+  feature_ids_.emplace(name, id);
+  return id;
+}
+
+ValueId Schema::InternValue(FeatureId feature, const std::string& value) {
+  CCE_CHECK(feature < features_.size());
+  FeatureInfo& info = features_[feature];
+  auto it = info.value_ids.find(value);
+  if (it != info.value_ids.end()) return it->second;
+  ValueId id = static_cast<ValueId>(info.value_names.size());
+  info.value_names.push_back(value);
+  info.value_ids.emplace(value, id);
+  return id;
+}
+
+Result<ValueId> Schema::LookupValue(FeatureId feature,
+                                    const std::string& value) const {
+  if (feature >= features_.size()) {
+    return Status::OutOfRange("feature id out of range");
+  }
+  const FeatureInfo& info = features_[feature];
+  auto it = info.value_ids.find(value);
+  if (it == info.value_ids.end()) {
+    return Status::NotFound("value '" + value + "' not in dom(" + info.name +
+                            ")");
+  }
+  return it->second;
+}
+
+Label Schema::InternLabel(const std::string& name) {
+  auto it = label_ids_.find(name);
+  if (it != label_ids_.end()) return it->second;
+  Label id = static_cast<Label>(label_names_.size());
+  label_names_.push_back(name);
+  label_ids_.emplace(name, id);
+  return id;
+}
+
+Result<Label> Schema::LookupLabel(const std::string& name) const {
+  auto it = label_ids_.find(name);
+  if (it == label_ids_.end()) {
+    return Status::NotFound("label '" + name + "' not interned");
+  }
+  return it->second;
+}
+
+Result<FeatureId> Schema::FeatureIndex(const std::string& name) const {
+  auto it = feature_ids_.find(name);
+  if (it == feature_ids_.end()) {
+    return Status::NotFound("feature '" + name + "' not in schema");
+  }
+  return it->second;
+}
+
+size_t Schema::DomainSize(FeatureId feature) const {
+  CCE_CHECK(feature < features_.size());
+  return features_[feature].value_names.size();
+}
+
+const std::string& Schema::FeatureName(FeatureId feature) const {
+  CCE_CHECK(feature < features_.size());
+  return features_[feature].name;
+}
+
+const std::string& Schema::ValueName(FeatureId feature, ValueId value) const {
+  CCE_CHECK(feature < features_.size());
+  const FeatureInfo& info = features_[feature];
+  CCE_CHECK(value < info.value_names.size());
+  return info.value_names[value];
+}
+
+const std::string& Schema::LabelName(Label label) const {
+  CCE_CHECK(label < label_names_.size());
+  return label_names_[label];
+}
+
+std::vector<std::string> Schema::FeatureNames() const {
+  std::vector<std::string> names;
+  names.reserve(features_.size());
+  for (const auto& info : features_) names.push_back(info.name);
+  return names;
+}
+
+}  // namespace cce

@@ -1,0 +1,69 @@
+#ifndef CCE_CORE_SCHEMA_H_
+#define CCE_CORE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace cce {
+
+/// Describes the discrete feature space X(A_1, ..., A_n) of a model (paper
+/// Section 2): feature names, the interned value dictionary of each feature,
+/// and the label dictionary. Construction interns values; once shared with a
+/// Dataset the schema is treated as immutable by readers.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers a feature and returns its id. Names must be unique.
+  FeatureId AddFeature(const std::string& name);
+
+  /// Interns `value` in the domain of `feature` (get-or-add).
+  ValueId InternValue(FeatureId feature, const std::string& value);
+
+  /// Looks up an already-interned value. NotFound if absent.
+  Result<ValueId> LookupValue(FeatureId feature,
+                              const std::string& value) const;
+
+  /// Interns a label name (get-or-add).
+  Label InternLabel(const std::string& name);
+
+  /// Looks up an already-interned label. NotFound if absent.
+  Result<Label> LookupLabel(const std::string& name) const;
+
+  /// Feature id for `name`; NotFound if no such feature.
+  Result<FeatureId> FeatureIndex(const std::string& name) const;
+
+  size_t num_features() const { return features_.size(); }
+  size_t num_labels() const { return label_names_.size(); }
+
+  /// dom(A_i) size for feature i.
+  size_t DomainSize(FeatureId feature) const;
+
+  const std::string& FeatureName(FeatureId feature) const;
+  const std::string& ValueName(FeatureId feature, ValueId value) const;
+  const std::string& LabelName(Label label) const;
+
+  /// All feature names in id order; handy for rendering FeatureSets.
+  std::vector<std::string> FeatureNames() const;
+
+ private:
+  struct FeatureInfo {
+    std::string name;
+    std::vector<std::string> value_names;
+    std::unordered_map<std::string, ValueId> value_ids;
+  };
+
+  std::vector<FeatureInfo> features_;
+  std::unordered_map<std::string, FeatureId> feature_ids_;
+  std::vector<std::string> label_names_;
+  std::unordered_map<std::string, Label> label_ids_;
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_SCHEMA_H_

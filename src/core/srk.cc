@@ -1,0 +1,196 @@
+#include "core/srk.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "core/conformity.h"
+
+namespace cce {
+
+Result<KeyResult> Srk::Explain(const Context& context, size_t row,
+                               const Options& options) {
+  if (row >= context.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " outside context of size " +
+                              std::to_string(context.size()));
+  }
+  return ExplainInstance(context, context.instance(row), context.label(row),
+                         options);
+}
+
+Result<std::vector<Srk::SweepPoint>> Srk::SweepTradeoff(
+    const Context& context, size_t row) {
+  if (row >= context.size()) {
+    return Status::OutOfRange("row outside context");
+  }
+  const Instance& x0 = context.instance(row);
+  const Label y0 = context.label(row);
+  const size_t n = context.num_features();
+  const double context_size = static_cast<double>(context.size());
+
+  std::vector<size_t> violators;
+  for (size_t r = 0; r < context.size(); ++r) {
+    if (context.label(r) != y0) violators.push_back(r);
+  }
+
+  std::vector<SweepPoint> curve;
+  curve.push_back(SweepPoint{
+      0, 1.0 - static_cast<double>(violators.size()) / context_size,
+      static_cast<FeatureId>(n)});  // sentinel: no pick for the empty key
+
+  // Same sampled-frequency tie-break as ExplainInstance, so the sweep's
+  // pick sequence matches per-alpha Explain calls exactly.
+  constexpr size_t kFrequencySample = 2048;
+  const size_t sample_rows =
+      std::min(context.size(), kFrequencySample);
+  std::vector<size_t> value_frequency(n, 0);
+  for (size_t r = 0; r < sample_rows; ++r) {
+    for (FeatureId f = 0; f < n; ++f) {
+      if (context.value(r, f) == x0[f]) ++value_frequency[f];
+    }
+  }
+
+  std::vector<bool> in_key(n, false);
+  size_t key_size = 0;
+  // Greedy to exhaustion: each step records the conformity the prefix key
+  // achieves, yielding the whole alpha-vs-succinctness curve in one run.
+  while (!violators.empty() && key_size < n) {
+    FeatureId best_feature = 0;
+    size_t best_count = std::numeric_limits<size_t>::max();
+    size_t best_frequency = 0;
+    for (FeatureId f = 0; f < n; ++f) {
+      if (in_key[f]) continue;
+      size_t count = 0;
+      for (size_t r : violators) {
+        if (context.value(r, f) == x0[f]) ++count;
+      }
+      if (count < best_count ||
+          (count == best_count && value_frequency[f] > best_frequency)) {
+        best_count = count;
+        best_feature = f;
+        best_frequency = value_frequency[f];
+      }
+    }
+    if (best_count == violators.size()) break;  // no feature helps
+    in_key[best_feature] = true;
+    ++key_size;
+    std::vector<size_t> surviving;
+    surviving.reserve(best_count);
+    for (size_t r : violators) {
+      if (context.value(r, best_feature) == x0[best_feature]) {
+        surviving.push_back(r);
+      }
+    }
+    violators = std::move(surviving);
+    curve.push_back(SweepPoint{
+        key_size,
+        1.0 - static_cast<double>(violators.size()) / context_size,
+        best_feature});
+  }
+  return curve;
+}
+
+Result<KeyResult> Srk::ExplainInstance(const Context& context,
+                                       const Instance& x0, Label y0,
+                                       const Options& options) {
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (x0.size() != context.num_features()) {
+    return Status::InvalidArgument("instance arity does not match schema");
+  }
+
+  const size_t n = context.num_features();
+  const size_t context_size = context.size();
+  const double budget =
+      std::floor((1.0 - options.alpha) * static_cast<double>(context_size) +
+                 1e-9);
+  const size_t tolerated = static_cast<size_t>(budget);
+
+  KeyResult result;
+
+  // Violators: rows that agree with x0 on the current key E yet are
+  // predicted differently. With E empty that is every differently-predicted
+  // row. The greedy loop shrinks this set monotonically.
+  std::vector<size_t> violators;
+  for (size_t row = 0; row < context_size; ++row) {
+    if (context.label(row) != y0) violators.push_back(row);
+  }
+
+  std::vector<bool> in_key(n, false);
+
+  // Note: Algorithm 1 as printed always selects at least one feature; we
+  // first check whether the empty key already satisfies the bound (possible
+  // for alpha < 1 or single-class contexts), which is strictly more succinct
+  // and still alpha-conformant.
+  // Per-feature context frequency of x0's value, used only to break ties in
+  // the greedy step: among equally-violator-minimising features, prefer the
+  // one agreeing with the most context rows, which keeps the key's coverage
+  // (and hence recall, Section 7.1(c)) high. Algorithm 1 leaves ties open.
+  // A fixed-size prefix sample suffices — ties only need approximate
+  // frequencies — keeping this pass O(n) amortised for large contexts.
+  constexpr size_t kFrequencySample = 2048;
+  const size_t sample_rows = std::min(context_size, kFrequencySample);
+  std::vector<size_t> value_frequency(n, 0);
+  for (size_t row = 0; row < sample_rows; ++row) {
+    for (FeatureId f = 0; f < n; ++f) {
+      if (context.value(row, f) == x0[f]) ++value_frequency[f];
+    }
+  }
+
+  while (violators.size() > tolerated) {
+    // Greedy step (Algorithm 1 lines 1-6): pick the feature minimising the
+    // number of surviving violators, i.e. |I[A_i = a_i] ∩ violators|.
+    FeatureId best_feature = 0;
+    size_t best_count = std::numeric_limits<size_t>::max();
+    size_t best_frequency = 0;
+    for (FeatureId f = 0; f < n; ++f) {
+      if (in_key[f]) continue;
+      size_t count = 0;
+      for (size_t row : violators) {
+        if (context.value(row, f) == x0[f]) ++count;
+      }
+      if (count < best_count ||
+          (count == best_count && value_frequency[f] > best_frequency)) {
+        best_count = count;
+        best_feature = f;
+        best_frequency = value_frequency[f];
+      }
+    }
+    if (best_count == std::numeric_limits<size_t>::max() ||
+        best_count == violators.size()) {
+      // Either all features are used up, or no remaining feature removes a
+      // single violator (conflicting duplicates): the target is unreachable.
+      if (best_count == violators.size() &&
+          best_count != std::numeric_limits<size_t>::max()) {
+        // Adding more features cannot help; stop with the current key.
+      }
+      result.satisfied = false;
+      break;
+    }
+
+    in_key[best_feature] = true;
+    FeatureSetInsert(&result.key, best_feature);
+    result.pick_order.push_back(best_feature);
+
+    std::vector<size_t> surviving;
+    surviving.reserve(best_count);
+    for (size_t row : violators) {
+      if (context.value(row, best_feature) == x0[best_feature]) {
+        surviving.push_back(row);
+      }
+    }
+    violators = std::move(surviving);
+  }
+
+  result.achieved_alpha =
+      context_size == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(violators.size()) /
+                      static_cast<double>(context_size);
+  if (violators.size() <= tolerated) result.satisfied = true;
+  return result;
+}
+
+}  // namespace cce

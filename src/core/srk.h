@@ -1,0 +1,54 @@
+#ifndef CCE_CORE_SRK_H_
+#define CCE_CORE_SRK_H_
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/key_result.h"
+#include "core/types.h"
+
+namespace cce {
+
+/// Algorithm SRK (paper Algorithm 1): greedy computation of an
+/// alpha-conformant relative key for an instance x0 over a static context I.
+///
+/// Guarantees (paper Lemma 3): the returned key is alpha-conformant and
+/// ln(alpha*|I|)-bounded, i.e. at most a logarithmic factor larger than the
+/// most succinct alpha-conformant key. Runs in O(n^2 * |I|) worst case.
+class Srk {
+ public:
+  struct Options {
+    /// Conformity bound in (0, 1]; 1 demands a (perfectly conformant)
+    /// relative key.
+    double alpha = 1.0;
+  };
+
+  /// Explains the instance stored at `row` of `context`, whose label is the
+  /// model prediction.
+  static Result<KeyResult> Explain(const Context& context, size_t row,
+                                   const Options& options);
+
+  /// Explains an arbitrary (x0, y0) against `context`. x0 need not be a row
+  /// of the context; its values must be expressed in the context schema.
+  static Result<KeyResult> ExplainInstance(const Context& context,
+                                           const Instance& x0, Label y0,
+                                           const Options& options);
+
+  /// One point of the conformity-succinctness trade-off curve.
+  struct SweepPoint {
+    size_t succinctness = 0;      // key size after this greedy step
+    double achieved_alpha = 1.0;  // conformity at that size
+    FeatureId picked = 0;         // feature added at this step
+  };
+
+  /// The full trade-off curve from a single greedy run: point k gives the
+  /// conformity achieved by the first k greedy picks, so the most succinct
+  /// greedy key for ANY alpha can be read off without re-running
+  /// (Figures 3f/4a in one pass). The first entry is the empty key
+  /// (succinctness 0); the curve's alphas are non-decreasing.
+  static Result<std::vector<SweepPoint>> SweepTradeoff(
+      const Context& context, size_t row);
+};
+
+}  // namespace cce
+
+#endif  // CCE_CORE_SRK_H_

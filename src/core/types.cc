@@ -1,0 +1,35 @@
+#include "core/types.h"
+
+#include <algorithm>
+
+namespace cce {
+
+void FeatureSetInsert(FeatureSet* set, FeatureId feature) {
+  auto it = std::lower_bound(set->begin(), set->end(), feature);
+  if (it == set->end() || *it != feature) set->insert(it, feature);
+}
+
+bool FeatureSetContains(const FeatureSet& set, FeatureId feature) {
+  return std::binary_search(set.begin(), set.end(), feature);
+}
+
+bool FeatureSetIsSubset(const FeatureSet& a, const FeatureSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::string FeatureSetToString(const FeatureSet& set,
+                               const std::vector<std::string>& names) {
+  std::string out = "{";
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (set[i] < names.size()) {
+      out += names[set[i]];
+    } else {
+      out += "A" + std::to_string(set[i]);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace cce

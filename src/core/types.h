@@ -1,0 +1,43 @@
+#ifndef CCE_CORE_TYPES_H_
+#define CCE_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cce {
+
+/// Index of a feature (attribute) within a Schema.
+using FeatureId = uint32_t;
+
+/// Dictionary-encoded feature value. Values are interned per feature, so the
+/// same ValueId means different things for different features.
+using ValueId = uint32_t;
+
+/// Dictionary-encoded prediction / class label.
+using Label = uint32_t;
+
+/// A fully-specified instance: one ValueId per schema feature, in feature
+/// order.
+using Instance = std::vector<ValueId>;
+
+/// A feature explanation: a set of features, kept sorted and duplicate-free.
+/// succinct(E) == size() (paper Section 2).
+using FeatureSet = std::vector<FeatureId>;
+
+/// Inserts `feature` into the sorted set `set` if not present.
+void FeatureSetInsert(FeatureSet* set, FeatureId feature);
+
+/// True if the sorted set `set` contains `feature`.
+bool FeatureSetContains(const FeatureSet& set, FeatureId feature);
+
+/// True if `a` is a subset of `b` (both sorted).
+bool FeatureSetIsSubset(const FeatureSet& a, const FeatureSet& b);
+
+/// Renders "{A, B, C}" using the given names (indexes into `names`).
+std::string FeatureSetToString(const FeatureSet& set,
+                               const std::vector<std::string>& names);
+
+}  // namespace cce
+
+#endif  // CCE_CORE_TYPES_H_

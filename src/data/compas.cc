@@ -1,0 +1,98 @@
+#include <memory>
+
+#include "data/gen_util.h"
+#include "data/generators.h"
+
+namespace cce::data {
+
+using internal_gen::AddBucketed;
+using internal_gen::AddCategorical;
+using internal_gen::Clamp;
+using internal_gen::SampleCategorical;
+
+// Compas mirrors the ProPublica COMPAS table: 6,172 defendants, 11
+// features, binary high/low recidivism-risk score driven by priors, age and
+// juvenile history.
+Dataset GenerateCompas(const GeneratorOptions& options) {
+  const size_t rows = options.rows == 0 ? 6172 : options.rows;
+  auto schema = std::make_shared<Schema>();
+  Schema* s = schema.get();
+
+  const FeatureId sex = AddCategorical(s, "Sex", {"Male", "Female"});
+  const Discretizer age_b = Discretizer::EquiWidth(18.0, 70.0, 8);
+  const FeatureId age = AddBucketed(s, "Age", age_b);
+  const FeatureId age_cat = AddCategorical(
+      s, "AgeCategory", {"<25", "25-45", ">45"});
+  const FeatureId race = AddCategorical(
+      s, "Race",
+      {"AfricanAmerican", "Caucasian", "Hispanic", "Asian", "Other"});
+  const FeatureId juv_fel = AddCategorical(
+      s, "JuvFelonyCount", {"0", "1", "2+"});
+  const FeatureId juv_misd = AddCategorical(
+      s, "JuvMisdemeanorCount", {"0", "1", "2+"});
+  const FeatureId juv_other = AddCategorical(
+      s, "JuvOtherCount", {"0", "1", "2+"});
+  const Discretizer priors_b = Discretizer::EquiWidth(0.0, 30.0, 8);
+  const FeatureId priors = AddBucketed(s, "PriorsCount", priors_b);
+  const FeatureId charge_degree = AddCategorical(
+      s, "ChargeDegree", {"Felony", "Misdemeanor"});
+  const FeatureId charge_cat = AddCategorical(
+      s, "ChargeCategory",
+      {"drug", "assault", "theft", "weapons", "traffic", "other"});
+  const Discretizer days_b = Discretizer::EquiWidth(-30.0, 30.0, 6);
+  const FeatureId days_screening =
+      AddBucketed(s, "DaysBeforeScreening", days_b);
+
+  const Label low = s->InternLabel("LowRisk");
+  const Label high = s->InternLabel("HighRisk");
+  (void)low;
+
+  Dataset dataset(schema);
+  Rng rng(options.seed);
+
+  for (size_t i = 0; i < rows; ++i) {
+    Instance x(s->num_features());
+
+    const double criminality = Clamp(rng.Normal() * 1.0 + 1.0, 0.0, 3.5);
+    const double age_value = Clamp(rng.Normal() * 11.0 + 33.0, 18.0, 69.0);
+
+    x[sex] = rng.Bernoulli(0.8) ? 0u : 1u;
+    x[age] = age_b.Bucket(age_value);
+    x[age_cat] = age_value < 25.0 ? 0u : (age_value <= 45.0 ? 1u : 2u);
+    x[race] = SampleCategorical({0.51, 0.34, 0.08, 0.01, 0.06}, &rng);
+
+    auto juvenile_bucket = [&](double rate) -> ValueId {
+      double v = criminality * rate + rng.Normal() * 0.3;
+      if (v < 0.7) return 0;
+      if (v < 1.4) return 1;
+      return 2;
+    };
+    x[juv_fel] = juvenile_bucket(0.35);
+    x[juv_misd] = juvenile_bucket(0.45);
+    x[juv_other] = juvenile_bucket(0.4);
+
+    const double priors_value =
+        Clamp(criminality * 5.0 + rng.Normal() * 3.0, 0.0, 29.0);
+    x[priors] = priors_b.Bucket(priors_value);
+    x[charge_degree] = rng.Bernoulli(0.64 - 0.1 * (criminality < 0.8))
+                           ? 0u
+                           : 1u;
+    x[charge_cat] = SampleCategorical(
+        {0.25, 0.22, 0.2, 0.08, 0.1, 0.15}, &rng);
+    x[days_screening] = days_b.Bucket(Clamp(rng.Normal() * 6.0, -29.0, 29.0));
+
+    // COMPAS-like decile logic: priors and youth dominate.
+    double score = 0.0;
+    score += priors_value / 8.0;
+    score += age_value < 25.0 ? 1.0 : (age_value > 45.0 ? -0.7 : 0.0);
+    score += (x[juv_fel] > 0 ? 0.8 : 0.0) + (x[juv_misd] > 0 ? 0.4 : 0.0);
+    score += x[charge_degree] == 0 ? 0.3 : 0.0;
+    bool high_risk = score + rng.Normal() * 0.5 > 1.1;
+    if (rng.Bernoulli(options.label_noise)) high_risk = !high_risk;
+
+    dataset.Add(std::move(x), high_risk ? high : 0u);
+  }
+  return dataset;
+}
+
+}  // namespace cce::data

@@ -1,0 +1,48 @@
+#include "data/drift.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cce::data {
+
+Dataset InjectTailNoise(const Dataset& dataset, double tail_fraction,
+                        double noise_rate, Rng* rng) {
+  CCE_CHECK(tail_fraction >= 0.0 && tail_fraction <= 1.0);
+  CCE_CHECK(noise_rate >= 0.0 && noise_rate <= 1.0);
+  Dataset noisy(dataset.schema_ptr());
+  const size_t tail_start = static_cast<size_t>(
+      (1.0 - tail_fraction) * static_cast<double>(dataset.size()));
+  for (size_t row = 0; row < dataset.size(); ++row) {
+    Instance x = dataset.instance(row);
+    if (row >= tail_start) {
+      for (FeatureId f = 0; f < x.size(); ++f) {
+        if (!rng->Bernoulli(noise_rate)) continue;
+        size_t domain = dataset.schema().DomainSize(f);
+        if (domain > 0) {
+          x[f] = static_cast<ValueId>(rng->Uniform(domain));
+        }
+      }
+    }
+    noisy.Add(std::move(x), dataset.label(row));
+  }
+  return noisy;
+}
+
+std::vector<Dataset> SplitPhases(const Dataset& dataset, size_t phases) {
+  CCE_CHECK(phases > 0);
+  std::vector<Dataset> out;
+  const size_t per_phase = dataset.size() / phases;
+  size_t start = 0;
+  for (size_t p = 0; p < phases; ++p) {
+    size_t end = (p + 1 == phases) ? dataset.size() : start + per_phase;
+    std::vector<size_t> rows;
+    rows.reserve(end - start);
+    for (size_t row = start; row < end; ++row) rows.push_back(row);
+    out.push_back(dataset.Subset(rows));
+    start = end;
+  }
+  return out;
+}
+
+}  // namespace cce::data

@@ -1,0 +1,28 @@
+#ifndef CCE_DATA_DRIFT_H_
+#define CCE_DATA_DRIFT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/dataset.h"
+
+namespace cce::data {
+
+/// Utilities for the dynamic-context experiments (paper Sections 7.4 and
+/// Appendix B Exp-4).
+
+/// Returns a copy of `dataset` whose last `tail_fraction` of rows have their
+/// feature values perturbed at random (each feature resampled uniformly from
+/// its domain with probability `noise_rate`). Labels are untouched, so a
+/// model trained on the clean distribution loses accuracy on the tail — the
+/// "noise version" of Figures 3l/3m.
+Dataset InjectTailNoise(const Dataset& dataset, double tail_fraction,
+                        double noise_rate, Rng* rng);
+
+/// Splits `dataset` into `phases` contiguous, equally-sized pieces — the
+/// 5-phase dynamic-model protocol of Appendix B Exp-4.
+std::vector<Dataset> SplitPhases(const Dataset& dataset, size_t phases);
+
+}  // namespace cce::data
+
+#endif  // CCE_DATA_DRIFT_H_

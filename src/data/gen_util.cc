@@ -1,0 +1,31 @@
+#include "data/gen_util.h"
+
+#include <algorithm>
+
+namespace cce::data::internal_gen {
+
+FeatureId AddCategorical(Schema* schema, const std::string& name,
+                         const std::vector<std::string>& values) {
+  FeatureId id = schema->AddFeature(name);
+  for (const std::string& value : values) schema->InternValue(id, value);
+  return id;
+}
+
+FeatureId AddBucketed(Schema* schema, const std::string& name,
+                      const Discretizer& discretizer) {
+  FeatureId id = schema->AddFeature(name);
+  for (ValueId b = 0; b < discretizer.num_buckets(); ++b) {
+    schema->InternValue(id, discretizer.BucketName(b));
+  }
+  return id;
+}
+
+ValueId SampleCategorical(const std::vector<double>& weights, Rng* rng) {
+  return static_cast<ValueId>(rng->Categorical(weights));
+}
+
+double Clamp(double v, double lo, double hi) {
+  return std::clamp(v, lo, hi);
+}
+
+}  // namespace cce::data::internal_gen

@@ -1,0 +1,40 @@
+#ifndef CCE_DATA_GEN_UTIL_H_
+#define CCE_DATA_GEN_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/discretizer.h"
+#include "core/schema.h"
+#include "core/types.h"
+
+namespace cce::data {
+
+/// Helpers shared by the synthetic dataset generators. Each generator
+/// produces instances whose features are noisy views of a few latent
+/// factors, so features carry realistic associations (the paper's benefit
+/// (b): relative keys exploit such associations), and labels follow a
+/// hand-designed decision function plus label noise.
+namespace internal_gen {
+
+/// Declares a categorical feature and interns its values; returns the id.
+FeatureId AddCategorical(Schema* schema, const std::string& name,
+                         const std::vector<std::string>& values);
+
+/// Declares a bucketed numeric feature; interns all bucket names in order so
+/// ValueId == bucket index (ordinal semantics for tree splits).
+FeatureId AddBucketed(Schema* schema, const std::string& name,
+                      const Discretizer& discretizer);
+
+/// Samples a value index given per-value weights.
+ValueId SampleCategorical(const std::vector<double>& weights, Rng* rng);
+
+/// Clamps v into [lo, hi].
+double Clamp(double v, double lo, double hi);
+
+}  // namespace internal_gen
+}  // namespace cce::data
+
+#endif  // CCE_DATA_GEN_UTIL_H_

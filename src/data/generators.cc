@@ -1,0 +1,47 @@
+#include "data/generators.h"
+
+namespace cce::data {
+
+const std::vector<std::string>& GeneralDatasetNames() {
+  static const std::vector<std::string>* kNames =
+      new std::vector<std::string>{"Adult", "German", "Compas", "Loan",
+                                   "Recid"};
+  return *kNames;
+}
+
+Result<Dataset> GenerateByName(const std::string& name, uint64_t seed,
+                               size_t rows) {
+  if (name == "Adult") {
+    AdultOptions options;
+    options.seed = seed;
+    options.rows = rows;
+    return GenerateAdult(options);
+  }
+  if (name == "German") {
+    GeneratorOptions options;
+    options.seed = seed;
+    options.rows = rows;
+    return GenerateGerman(options);
+  }
+  if (name == "Compas") {
+    GeneratorOptions options;
+    options.seed = seed;
+    options.rows = rows;
+    return GenerateCompas(options);
+  }
+  if (name == "Loan") {
+    LoanOptions options;
+    options.seed = seed;
+    options.rows = rows;
+    return GenerateLoan(options);
+  }
+  if (name == "Recid") {
+    GeneratorOptions options;
+    options.seed = seed;
+    options.rows = rows;
+    return GenerateRecid(options);
+  }
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+}  // namespace cce::data

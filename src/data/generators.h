@@ -1,0 +1,57 @@
+#ifndef CCE_DATA_GENERATORS_H_
+#define CCE_DATA_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace cce::data {
+
+/// Synthetic stand-ins for the paper's five general-ML evaluation datasets
+/// (Table 1). Row/feature counts match the paper; feature domains, latent
+/// correlations, and labelling functions are hand-designed so the
+/// combinatorial structure the algorithms exercise is realistic. See
+/// DESIGN.md §1 for the substitution rationale.
+
+struct GeneratorOptions {
+  size_t rows = 0;        // 0 = the paper's row count for that dataset
+  uint64_t seed = 1;
+  double label_noise = 0.04;  // fraction of labels flipped at random
+};
+
+/// Loan [4]: 614 x 11, predict loan approval. `loan_amount_buckets` is the
+/// #-bucket knob of Figures 3h/3i.
+struct LoanOptions : GeneratorOptions {
+  int loan_amount_buckets = 10;
+};
+Dataset GenerateLoan(const LoanOptions& options);
+
+/// Adult [52]: 32,526 x 14, predict income >= 50K. `numeric_buckets` rebins
+/// the age/hours/capital features (Fig. 4d knob).
+struct AdultOptions : GeneratorOptions {
+  int numeric_buckets = 10;
+};
+Dataset GenerateAdult(const AdultOptions& options);
+
+/// German [35]: 1,000 x 21, classify credit risk.
+Dataset GenerateGerman(const GeneratorOptions& options);
+
+/// Compas [2]: 6,172 x 11, COMPAS-style recidivism risk.
+Dataset GenerateCompas(const GeneratorOptions& options);
+
+/// Recid [86]: 6,340 x 15, North-Carolina recidivism.
+Dataset GenerateRecid(const GeneratorOptions& options);
+
+/// Names of the five general-ML datasets, in the paper's order.
+const std::vector<std::string>& GeneralDatasetNames();
+
+/// Generates a dataset by its paper name ("Adult", "German", "Compas",
+/// "Loan", "Recid"); NotFound otherwise. `rows` = 0 keeps the paper size.
+Result<Dataset> GenerateByName(const std::string& name, uint64_t seed,
+                               size_t rows = 0);
+
+}  // namespace cce::data
+
+#endif  // CCE_DATA_GENERATORS_H_

@@ -1,0 +1,136 @@
+#include <memory>
+
+#include "data/gen_util.h"
+#include "data/generators.h"
+
+namespace cce::data {
+
+using internal_gen::AddBucketed;
+using internal_gen::AddCategorical;
+using internal_gen::Clamp;
+using internal_gen::SampleCategorical;
+
+// German mirrors the Statlog German-credit table: 1,000 applicants, 21
+// features, good/bad credit classification dominated by checking-account
+// status, credit history, duration and amount.
+Dataset GenerateGerman(const GeneratorOptions& options) {
+  const size_t rows = options.rows == 0 ? 1000 : options.rows;
+  auto schema = std::make_shared<Schema>();
+  Schema* s = schema.get();
+
+  const FeatureId checking = AddCategorical(
+      s, "CheckingStatus", {"<0", "0-200", ">=200", "none"});
+  const Discretizer duration_b = Discretizer::EquiWidth(4.0, 72.0, 8);
+  const FeatureId duration = AddBucketed(s, "DurationMonths", duration_b);
+  const FeatureId history = AddCategorical(
+      s, "CreditHistory",
+      {"critical", "delayed", "existing-paid", "all-paid", "no-credits"});
+  const FeatureId purpose = AddCategorical(
+      s, "Purpose",
+      {"car-new", "car-used", "furniture", "tv", "appliance", "repairs",
+       "education", "business", "other"});
+  const Discretizer amount_b = Discretizer::EquiWidth(0.0, 20.0, 10);
+  const FeatureId amount = AddBucketed(s, "CreditAmount", amount_b);
+  const FeatureId savings = AddCategorical(
+      s, "Savings", {"<100", "100-500", "500-1000", ">=1000", "unknown"});
+  const FeatureId employment = AddCategorical(
+      s, "EmploymentSince", {"unemployed", "<1y", "1-4y", "4-7y", ">=7y"});
+  const FeatureId installment = AddCategorical(
+      s, "InstallmentRate", {"1", "2", "3", "4"});
+  const FeatureId personal = AddCategorical(
+      s, "PersonalStatus",
+      {"male-single", "male-married", "female", "male-divorced"});
+  const FeatureId debtors = AddCategorical(
+      s, "OtherDebtors", {"none", "co-applicant", "guarantor"});
+  const FeatureId residence = AddCategorical(
+      s, "ResidenceSince", {"1", "2", "3", "4"});
+  const FeatureId property = AddCategorical(
+      s, "Property", {"real-estate", "insurance", "car", "none"});
+  const Discretizer age_b = Discretizer::EquiWidth(18.0, 75.0, 8);
+  const FeatureId age = AddBucketed(s, "Age", age_b);
+  const FeatureId other_plans = AddCategorical(
+      s, "OtherInstallmentPlans", {"bank", "stores", "none"});
+  const FeatureId housing = AddCategorical(
+      s, "Housing", {"rent", "own", "free"});
+  const FeatureId existing = AddCategorical(
+      s, "ExistingCredits", {"1", "2", "3", "4"});
+  const FeatureId job = AddCategorical(
+      s, "Job", {"unskilled", "skilled", "management", "self-employed"});
+  const FeatureId dependents = AddCategorical(
+      s, "NumDependents", {"1", "2"});
+  const FeatureId telephone = AddCategorical(
+      s, "Telephone", {"none", "yes"});
+  const FeatureId foreign = AddCategorical(
+      s, "ForeignWorker", {"yes", "no"});
+  const FeatureId guarantee = AddCategorical(
+      s, "StateGuarantee", {"no", "yes"});
+
+  const Label good = s->InternLabel("good");
+  const Label bad = s->InternLabel("bad");
+  (void)good;
+
+  Dataset dataset(schema);
+  Rng rng(options.seed);
+
+  for (size_t i = 0; i < rows; ++i) {
+    Instance x(s->num_features());
+
+    // Latent solvency drives checking/savings status and history.
+    const double solvency = Clamp(rng.Normal() * 1.0 + 1.4, 0.0, 3.5);
+
+    x[checking] = solvency > 2.0
+                      ? SampleCategorical({0.05, 0.2, 0.35, 0.4}, &rng)
+                      : SampleCategorical({0.4, 0.3, 0.1, 0.2}, &rng);
+    const double duration_value =
+        Clamp(rng.Normal() * 13.0 + 22.0, 4.0, 71.0);
+    x[duration] = duration_b.Bucket(duration_value);
+    x[history] = solvency > 1.6
+                     ? SampleCategorical({0.1, 0.1, 0.45, 0.25, 0.1}, &rng)
+                     : SampleCategorical({0.35, 0.25, 0.3, 0.05, 0.05}, &rng);
+    x[purpose] = SampleCategorical(
+        {0.2, 0.1, 0.18, 0.22, 0.05, 0.05, 0.06, 0.1, 0.04}, &rng);
+    const double amount_value =
+        Clamp(duration_value * 0.25 + rng.Normal() * 2.5 + 1.0, 0.2, 19.8);
+    x[amount] = amount_b.Bucket(amount_value);
+    x[savings] = solvency > 1.8
+                     ? SampleCategorical({0.15, 0.2, 0.2, 0.3, 0.15}, &rng)
+                     : SampleCategorical({0.55, 0.2, 0.08, 0.04, 0.13}, &rng);
+    x[employment] = SampleCategorical({0.06, 0.17, 0.34, 0.17, 0.26}, &rng);
+    x[installment] = SampleCategorical({0.14, 0.23, 0.16, 0.47}, &rng);
+    x[personal] = SampleCategorical({0.55, 0.09, 0.31, 0.05}, &rng);
+    x[debtors] = SampleCategorical({0.91, 0.04, 0.05}, &rng);
+    x[residence] = SampleCategorical({0.13, 0.31, 0.15, 0.41}, &rng);
+    x[property] = solvency > 1.5
+                      ? SampleCategorical({0.4, 0.25, 0.25, 0.1}, &rng)
+                      : SampleCategorical({0.15, 0.2, 0.35, 0.3}, &rng);
+    const double age_value = Clamp(rng.Normal() * 11.0 + 35.0, 18.0, 74.0);
+    x[age] = age_b.Bucket(age_value);
+    x[other_plans] = SampleCategorical({0.14, 0.05, 0.81}, &rng);
+    x[housing] = SampleCategorical({0.18, 0.71, 0.11}, &rng);
+    x[existing] = SampleCategorical({0.63, 0.33, 0.03, 0.01}, &rng);
+    x[job] = SampleCategorical({0.2, 0.63, 0.1, 0.07}, &rng);
+    x[dependents] = rng.Bernoulli(0.85) ? 0u : 1u;
+    x[telephone] = rng.Bernoulli(0.6) ? 0u : 1u;
+    x[foreign] = rng.Bernoulli(0.96) ? 0u : 1u;
+    x[guarantee] = rng.Bernoulli(0.07) ? 1u : 0u;
+
+    // Risk score: weak checking/savings, critical history, long duration and
+    // large amounts are bad; guarantees and employment tenure help.
+    double risk = 0.0;
+    risk += (x[checking] == 0) ? 1.1 : (x[checking] == 3 ? -0.8 : 0.0);
+    risk += (x[history] == 0) ? 1.0 : (x[history] >= 2 ? -0.5 : 0.3);
+    risk += duration_value / 30.0;
+    risk += amount_value / 10.0;
+    risk += (x[savings] == 0) ? 0.5 : (x[savings] == 3 ? -0.5 : 0.0);
+    risk += (x[employment] == 0) ? 0.6 : (x[employment] == 4 ? -0.4 : 0.0);
+    risk += (x[debtors] == 2 || x[guarantee] == 1) ? -0.7 : 0.0;
+    risk += age_value < 25.0 ? 0.4 : 0.0;
+    bool is_bad = risk + rng.Normal() * 0.55 > 1.6;
+    if (rng.Bernoulli(options.label_noise)) is_bad = !is_bad;
+
+    dataset.Add(std::move(x), is_bad ? bad : 0u);
+  }
+  return dataset;
+}
+
+}  // namespace cce::data

@@ -1,0 +1,116 @@
+#include "data/loader.h"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/discretizer.h"
+
+namespace cce::data {
+namespace {
+
+bool ParseNumber(std::string_view text, double* out) {
+  text = Trim(text);
+  if (text.empty()) return false;
+  // std::from_chars<double> is available in libstdc++ >= 11.
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+Result<Dataset> LoadCsvDataset(const CsvTable& table,
+                               const LoadOptions& options) {
+  if (options.label_column.empty()) {
+    return Status::InvalidArgument("label_column must be set");
+  }
+  int label_index = table.ColumnIndex(options.label_column);
+  if (label_index < 0) {
+    return Status::NotFound("label column '" + options.label_column +
+                            "' not in CSV header");
+  }
+  if (table.rows.empty()) {
+    return Status::InvalidArgument("CSV has no data rows");
+  }
+  if (options.numeric_buckets < 1) {
+    return Status::InvalidArgument("numeric_buckets must be >= 1");
+  }
+
+  const size_t num_columns = table.header.size();
+  // Pass 1: decide per-column typing and numeric ranges.
+  std::vector<bool> is_numeric(num_columns, true);
+  std::vector<double> lo(num_columns,
+                         std::numeric_limits<double>::infinity());
+  std::vector<double> hi(num_columns,
+                         -std::numeric_limits<double>::infinity());
+  for (const auto& row : table.rows) {
+    for (size_t c = 0; c < num_columns; ++c) {
+      if (static_cast<int>(c) == label_index || !is_numeric[c]) continue;
+      const std::string& cell = row[c];
+      if (Trim(cell) == options.missing_marker) continue;
+      double value;
+      if (!ParseNumber(cell, &value)) {
+        is_numeric[c] = false;
+      } else {
+        lo[c] = std::min(lo[c], value);
+        hi[c] = std::max(hi[c], value);
+      }
+    }
+  }
+
+  auto schema = std::make_shared<Schema>();
+  std::vector<FeatureId> feature_of_column(num_columns, 0);
+  std::vector<std::unique_ptr<Discretizer>> discretizers(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    if (static_cast<int>(c) == label_index) continue;
+    FeatureId f = schema->AddFeature(table.header[c]);
+    feature_of_column[c] = f;
+    if (is_numeric[c] && lo[c] < hi[c]) {
+      discretizers[c] = std::make_unique<Discretizer>(
+          Discretizer::EquiWidth(lo[c], hi[c] + 1e-9,
+                                 options.numeric_buckets));
+      for (ValueId b = 0; b < discretizers[c]->num_buckets(); ++b) {
+        schema->InternValue(f, discretizers[c]->BucketName(b));
+      }
+      schema->InternValue(f, options.missing_marker);
+    }
+  }
+
+  // Pass 2: encode rows.
+  Dataset dataset(schema);
+  for (const auto& row : table.rows) {
+    Instance x(schema->num_features());
+    for (size_t c = 0; c < num_columns; ++c) {
+      if (static_cast<int>(c) == label_index) continue;
+      FeatureId f = feature_of_column[c];
+      std::string cell(Trim(row[c]));
+      if (discretizers[c] != nullptr) {
+        double value;
+        if (cell == options.missing_marker || !ParseNumber(cell, &value)) {
+          x[f] = *schema->LookupValue(f, options.missing_marker);
+        } else {
+          x[f] = discretizers[c]->Bucket(value);
+        }
+      } else {
+        x[f] = schema->InternValue(f, cell);
+      }
+    }
+    Label y = schema->InternLabel(std::string(Trim(row[label_index])));
+    dataset.Add(std::move(x), y);
+  }
+  return dataset;
+}
+
+Result<Dataset> LoadCsvDatasetFromFile(const std::string& path,
+                                       const LoadOptions& options) {
+  Result<CsvTable> table = ReadCsvFile(path);
+  if (!table.ok()) return table.status();
+  return LoadCsvDataset(*table, options);
+}
+
+}  // namespace cce::data

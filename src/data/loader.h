@@ -1,0 +1,37 @@
+#ifndef CCE_DATA_LOADER_H_
+#define CCE_DATA_LOADER_H_
+
+#include <string>
+
+#include "common/csv.h"
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace cce::data {
+
+/// Loads real-world CSV data into the library's discrete representation, so
+/// users with the original UCI/Kaggle files can run every experiment on
+/// them. Columns whose values all parse as numbers are bucketed; the rest
+/// are treated as categoricals.
+struct LoadOptions {
+  /// Name of the label column (required; every other column is a feature).
+  std::string label_column;
+
+  /// Equi-width bucket count for auto-detected numeric columns.
+  int numeric_buckets = 10;
+
+  /// Values treated as missing; they intern as the literal "?" category.
+  std::string missing_marker = "?";
+};
+
+/// Converts a parsed CSV table into a Dataset.
+Result<Dataset> LoadCsvDataset(const CsvTable& table,
+                               const LoadOptions& options);
+
+/// Reads a CSV file and converts it.
+Result<Dataset> LoadCsvDatasetFromFile(const std::string& path,
+                                       const LoadOptions& options);
+
+}  // namespace cce::data
+
+#endif  // CCE_DATA_LOADER_H_

@@ -1,0 +1,107 @@
+#include <memory>
+
+#include "data/gen_util.h"
+#include "data/generators.h"
+
+namespace cce::data {
+
+using internal_gen::AddBucketed;
+using internal_gen::AddCategorical;
+using internal_gen::Clamp;
+using internal_gen::SampleCategorical;
+
+// Recid mirrors the North-Carolina prison-release study [86]: 6,340
+// individuals, 15 features, predict recidivism after release.
+Dataset GenerateRecid(const GeneratorOptions& options) {
+  const size_t rows = options.rows == 0 ? 6340 : options.rows;
+  auto schema = std::make_shared<Schema>();
+  Schema* s = schema.get();
+
+  const Discretizer age_b = Discretizer::EquiWidth(16.0, 70.0, 8);
+  const FeatureId age = AddBucketed(s, "AgeAtRelease", age_b);
+  const FeatureId sex = AddCategorical(s, "Sex", {"Male", "Female"});
+  const FeatureId race = AddCategorical(s, "Race", {"Black", "White",
+                                                    "Other"});
+  const Discretizer time_b = Discretizer::EquiWidth(0.0, 120.0, 8);
+  const FeatureId time_served = AddBucketed(s, "MonthsServed", time_b);
+  const Discretizer rule_b = Discretizer::EquiWidth(0.0, 30.0, 6);
+  const FeatureId rule_violations =
+      AddBucketed(s, "PrisonRuleViolations", rule_b);
+  const Discretizer convictions_b = Discretizer::EquiWidth(0.0, 20.0, 6);
+  const FeatureId prior_convictions =
+      AddBucketed(s, "PriorConvictions", convictions_b);
+  const FeatureId felony = AddCategorical(s, "FelonyOffense", {"No", "Yes"});
+  const FeatureId property_crime =
+      AddCategorical(s, "PropertyOffense", {"No", "Yes"});
+  const FeatureId person_crime =
+      AddCategorical(s, "PersonOffense", {"No", "Yes"});
+  const FeatureId alcohol = AddCategorical(s, "AlcoholAbuse", {"No", "Yes"});
+  const FeatureId drugs = AddCategorical(s, "DrugAbuse", {"No", "Yes"});
+  const FeatureId married = AddCategorical(s, "Married", {"No", "Yes"});
+  const Discretizer school_b = Discretizer::EquiWidth(0.0, 16.0, 6);
+  const FeatureId school_years = AddBucketed(s, "SchoolYears", school_b);
+  const FeatureId supervised = AddCategorical(
+      s, "SupervisedRelease", {"No", "Yes"});
+  const FeatureId work_release = AddCategorical(
+      s, "WorkReleaseProgram", {"No", "Yes"});
+
+  const Label no_recid = s->InternLabel("NoRecidivism");
+  const Label recid = s->InternLabel("Recidivism");
+  (void)no_recid;
+
+  Dataset dataset(schema);
+  Rng rng(options.seed);
+
+  for (size_t i = 0; i < rows; ++i) {
+    Instance x(s->num_features());
+
+    const double propensity = Clamp(rng.Normal() * 1.0 + 1.0, 0.0, 3.5);
+    const double age_value = Clamp(rng.Normal() * 9.0 + 29.0, 16.0, 69.0);
+
+    x[age] = age_b.Bucket(age_value);
+    x[sex] = rng.Bernoulli(0.93) ? 0u : 1u;
+    x[race] = SampleCategorical({0.55, 0.42, 0.03}, &rng);
+    const double time_value =
+        Clamp(rng.Normal() * 20.0 + 18.0, 0.0, 119.0);
+    x[time_served] = time_b.Bucket(time_value);
+    const double rule_value =
+        Clamp(propensity * 4.0 + rng.Normal() * 3.0, 0.0, 29.0);
+    x[rule_violations] = rule_b.Bucket(rule_value);
+    const double convictions_value =
+        Clamp(propensity * 3.0 + rng.Normal() * 2.0, 0.0, 19.0);
+    x[prior_convictions] = convictions_b.Bucket(convictions_value);
+    x[felony] = rng.Bernoulli(0.5) ? 1u : 0u;
+    x[property_crime] = rng.Bernoulli(0.35 + 0.1 * (propensity > 1.5))
+                            ? 1u
+                            : 0u;
+    x[person_crime] = rng.Bernoulli(0.25) ? 1u : 0u;
+    x[alcohol] = rng.Bernoulli(0.25 + 0.1 * (propensity > 1.2)) ? 1u : 0u;
+    x[drugs] = rng.Bernoulli(0.2 + 0.15 * (propensity > 1.2)) ? 1u : 0u;
+    x[married] = rng.Bernoulli(0.25) ? 1u : 0u;
+    const double school_value =
+        Clamp(rng.Normal() * 2.5 + 10.0 - propensity, 0.0, 15.9);
+    x[school_years] = school_b.Bucket(school_value);
+    x[supervised] = rng.Bernoulli(0.55) ? 1u : 0u;
+    x[work_release] = rng.Bernoulli(0.3) ? 1u : 0u;
+
+    // Recidivism model loosely follows the study: young age, priors, rule
+    // violations and substance abuse raise risk; marriage, schooling and
+    // supervision lower it.
+    double risk = -0.9;
+    risk += convictions_value / 6.0;
+    risk += rule_value / 12.0;
+    risk += age_value < 24.0 ? 0.8 : (age_value > 40.0 ? -0.6 : 0.0);
+    risk += x[drugs] == 1 ? 0.5 : 0.0;
+    risk += x[alcohol] == 1 ? 0.3 : 0.0;
+    risk += x[married] == 1 ? -0.4 : 0.0;
+    risk += x[supervised] == 1 ? -0.3 : 0.0;
+    risk += (10.0 - school_value) / 12.0;
+    bool reoffends = risk + rng.Normal() * 0.55 > 0.45;
+    if (rng.Bernoulli(options.label_noise)) reoffends = !reoffends;
+
+    dataset.Add(std::move(x), reoffends ? recid : 0u);
+  }
+  return dataset;
+}
+
+}  // namespace cce::data

@@ -1,0 +1,86 @@
+#include "em/blocking.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace cce::em {
+
+Result<std::vector<TokenBlocker::Candidate>> TokenBlocker::Block(
+    const std::vector<Record>& left, const std::vector<Record>& right,
+    const Options& options) {
+  if (left.empty() || right.empty()) {
+    return Status::InvalidArgument("both record collections must be "
+                                   "non-empty");
+  }
+  const size_t attribute = options.key_attribute;
+  for (const Record* table : {&left.front(), &right.front()}) {
+    if (attribute >= table->values.size()) {
+      return Status::OutOfRange("key_attribute outside record arity");
+    }
+  }
+  if (options.min_shared_tokens == 0) {
+    return Status::InvalidArgument("min_shared_tokens must be >= 1");
+  }
+
+  // Inverted index over the right table's key-attribute tokens, with
+  // document-frequency-based stop-word removal.
+  std::map<std::string, std::vector<size_t>> index;
+  for (size_t r = 0; r < right.size(); ++r) {
+    std::set<std::string> seen;
+    for (std::string& token : Tokenize(right[r].values[attribute])) {
+      if (seen.insert(token).second) index[token].push_back(r);
+    }
+  }
+  const size_t stop_threshold = std::max<size_t>(
+      1, static_cast<size_t>(options.stop_token_fraction *
+                             static_cast<double>(right.size())));
+
+  // Probe with each left record; count shared (non-stop) tokens per right
+  // record.
+  std::vector<Candidate> candidates;
+  std::map<size_t, size_t> overlap;
+  for (size_t l = 0; l < left.size(); ++l) {
+    overlap.clear();
+    std::set<std::string> seen;
+    for (std::string& token : Tokenize(left[l].values[attribute])) {
+      if (!seen.insert(token).second) continue;
+      auto it = index.find(token);
+      if (it == index.end() || it->second.size() > stop_threshold) {
+        continue;
+      }
+      for (size_t r : it->second) ++overlap[r];
+    }
+    for (const auto& [r, shared] : overlap) {
+      if (shared >= options.min_shared_tokens) {
+        candidates.push_back(Candidate{l, r, shared});
+      }
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.shared_tokens > b.shared_tokens;
+                   });
+  if (options.max_candidates > 0 &&
+      candidates.size() > options.max_candidates) {
+    candidates.resize(options.max_candidates);
+  }
+  return candidates;
+}
+
+double TokenBlocker::BlockingRecall(
+    const std::vector<Candidate>& candidates,
+    const std::vector<std::pair<size_t, size_t>>& true_matches) {
+  if (true_matches.empty()) return 1.0;
+  std::set<std::pair<size_t, size_t>> emitted;
+  for (const Candidate& c : candidates) emitted.insert({c.left, c.right});
+  size_t retained = 0;
+  for (const auto& match : true_matches) retained += emitted.count(match);
+  return static_cast<double>(retained) /
+         static_cast<double>(true_matches.size());
+}
+
+}  // namespace cce::em

@@ -1,0 +1,52 @@
+#ifndef CCE_EM_BLOCKING_H_
+#define CCE_EM_BLOCKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "em/records.h"
+
+namespace cce::em {
+
+/// Candidate generation ("blocking") for entity matching: comparing every
+/// pair of two tables is quadratic, so real EM pipelines first retrieve
+/// candidate pairs that share enough surface evidence, then let the
+/// matcher decide. This blocker builds an inverted token index on a key
+/// attribute and emits pairs whose token overlap clears a threshold.
+class TokenBlocker {
+ public:
+  struct Options {
+    /// Attribute whose tokens drive blocking (e.g. the title).
+    size_t key_attribute = 0;
+    /// Minimum shared tokens for a pair to become a candidate.
+    size_t min_shared_tokens = 2;
+    /// Tokens appearing in more than this fraction of records are stop
+    /// words and ignored (they block everything with everything).
+    double stop_token_fraction = 0.25;
+    /// Hard cap on emitted candidates (0 = unbounded).
+    size_t max_candidates = 0;
+  };
+
+  /// A candidate: indexes into the left/right record collections.
+  struct Candidate {
+    size_t left = 0;
+    size_t right = 0;
+    size_t shared_tokens = 0;
+  };
+
+  /// Emits candidates between `left` and `right`, most-overlapping first.
+  static Result<std::vector<Candidate>> Block(
+      const std::vector<Record>& left, const std::vector<Record>& right,
+      const Options& options);
+
+  /// Recall of a blocking result against ground truth matches (pairs of
+  /// (left, right) indices): the fraction of true matches retained.
+  static double BlockingRecall(
+      const std::vector<Candidate>& candidates,
+      const std::vector<std::pair<size_t, size_t>>& true_matches);
+};
+
+}  // namespace cce::em
+
+#endif  // CCE_EM_BLOCKING_H_

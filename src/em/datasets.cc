@@ -1,0 +1,241 @@
+#include "em/datasets.h"
+
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace cce::em {
+namespace {
+
+// -------------------------------------------------------------- vocabulary
+
+const std::vector<std::string>& SoftwareBrands() {
+  static const auto* kV = new std::vector<std::string>{
+      "adobe", "microsoft", "corel", "intuit", "symantec", "mcafee",
+      "autodesk", "nero", "roxio", "sage", "apple", "vmware"};
+  return *kV;
+}
+
+const std::vector<std::string>& SoftwareProducts() {
+  static const auto* kV = new std::vector<std::string>{
+      "photoshop", "office", "illustrator", "quickbooks", "antivirus",
+      "acrobat", "studio", "premiere", "draw", "suite", "security",
+      "backup", "fusion", "works", "publisher", "encoder"};
+  return *kV;
+}
+
+const std::vector<std::string>& SoftwareQualifiers() {
+  static const auto* kV = new std::vector<std::string>{
+      "professional", "standard", "deluxe", "premium", "home", "student",
+      "upgrade", "full", "edition", "2007", "2008", "mac", "windows"};
+  return *kV;
+}
+
+const std::vector<std::string>& PaperWords() {
+  static const auto* kV = new std::vector<std::string>{
+      "query",     "database",   "optimization", "learning",  "mining",
+      "stream",    "index",      "distributed",  "parallel",  "graph",
+      "semantic",  "web",        "xml",          "spatial",   "temporal",
+      "efficient", "scalable",   "adaptive",     "approximate",
+      "join",      "aggregation", "clustering",  "classification",
+      "privacy",   "security",   "transaction",  "storage",   "caching",
+      "sampling",  "ranking"};
+  return *kV;
+}
+
+const std::vector<std::string>& AuthorNames() {
+  static const auto* kV = new std::vector<std::string>{
+      "j smith",   "m garcia", "w chen",    "r kumar",  "a gupta",
+      "d johnson", "s lee",    "h wang",    "p brown",  "k tanaka",
+      "l martin",  "c davis",  "t nguyen",  "e wilson", "f mueller",
+      "g rossi",   "y zhang",  "b taylor",  "n patel",  "o hansen"};
+  return *kV;
+}
+
+const std::vector<std::string>& Venues() {
+  static const auto* kV = new std::vector<std::string>{
+      "sigmod", "vldb", "icde", "kdd", "tods", "tkde", "edbt", "cikm"};
+  return *kV;
+}
+
+const std::vector<std::string>& ElectronicsBrands() {
+  static const auto* kV = new std::vector<std::string>{
+      "samsung", "sony", "lg", "panasonic", "toshiba", "canon", "nikon",
+      "hp", "dell", "lenovo", "philips", "jvc", "sharp", "sandisk"};
+  return *kV;
+}
+
+const std::vector<std::string>& ElectronicsCategories() {
+  static const auto* kV = new std::vector<std::string>{
+      "tv", "camera", "laptop", "printer", "monitor", "headphones",
+      "speaker", "router", "tablet", "projector"};
+  return *kV;
+}
+
+std::string PickWord(const std::vector<std::string>& vocab, Rng* rng) {
+  return vocab[rng->Uniform(vocab.size())];
+}
+
+// ------------------------------------------------------------- entity kits
+
+using EntityFactory = std::function<Record(Rng*)>;
+
+Record MakeSoftwareEntity(Rng* rng) {
+  std::string brand = PickWord(SoftwareBrands(), rng);
+  std::string title = brand + " " + PickWord(SoftwareProducts(), rng) + " " +
+                      PickWord(SoftwareQualifiers(), rng);
+  if (rng->Bernoulli(0.5)) {
+    title += " " + PickWord(SoftwareQualifiers(), rng);
+  }
+  double price = 20.0 + rng->UniformDouble() * 600.0;
+  return Record{{title, brand, StrFormat("%.2f", price)}};
+}
+
+Record MakeCitationEntity(Rng* rng) {
+  size_t words = 4 + rng->Uniform(5);
+  std::string title;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) title += " ";
+    title += PickWord(PaperWords(), rng);
+  }
+  size_t author_count = 1 + rng->Uniform(3);
+  std::string authors;
+  for (size_t i = 0; i < author_count; ++i) {
+    if (i > 0) authors += ", ";
+    authors += PickWord(AuthorNames(), rng);
+  }
+  std::string venue = PickWord(Venues(), rng);
+  int year = 1995 + static_cast<int>(rng->Uniform(15));
+  return Record{{title, authors, venue, std::to_string(year)}};
+}
+
+Record MakeElectronicsEntity(Rng* rng) {
+  std::string brand = PickWord(ElectronicsBrands(), rng);
+  std::string category = PickWord(ElectronicsCategories(), rng);
+  std::string model =
+      StrFormat("%c%c-%04d", 'a' + static_cast<char>(rng->Uniform(26)),
+                'a' + static_cast<char>(rng->Uniform(26)),
+                static_cast<int>(rng->Uniform(9999)));
+  std::string title = brand + " " + category + " " + model;
+  if (rng->Bernoulli(0.6)) title += " series";
+  double price = 15.0 + rng->UniformDouble() * 1500.0;
+  return Record{{title, category, brand, model, StrFormat("%.2f", price)}};
+}
+
+// --------------------------------------------------------- pair generation
+
+Record DirtyView(const Record& base, const std::vector<bool>& numeric,
+                 Rng* rng) {
+  DirtyOptions dirty;
+  Record out;
+  out.values.reserve(base.values.size());
+  for (size_t a = 0; a < base.values.size(); ++a) {
+    out.values.push_back(numeric[a]
+                             ? PerturbNumber(base.values[a], dirty, rng)
+                             : PerturbText(base.values[a], dirty, rng));
+  }
+  return out;
+}
+
+EmTask GeneratePairs(std::string name, std::vector<std::string> attributes,
+                     std::vector<bool> numeric, size_t pairs, size_t matches,
+                     const EntityFactory& factory, uint64_t seed) {
+  EmTask task;
+  task.name = std::move(name);
+  task.attributes = std::move(attributes);
+  task.numeric = std::move(numeric);
+  Rng rng(seed);
+
+  task.pairs.reserve(pairs);
+  for (size_t i = 0; i < matches && i < pairs; ++i) {
+    Record base = factory(&rng);
+    RecordPair pair;
+    pair.left = base;
+    pair.right = DirtyView(base, task.numeric, &rng);
+    pair.is_match = true;
+    task.pairs.push_back(std::move(pair));
+  }
+  while (task.pairs.size() < pairs) {
+    RecordPair pair;
+    pair.left = factory(&rng);
+    if (rng.Bernoulli(0.35)) {
+      // Hard negative: a different entity sharing surface vocabulary, built
+      // by perturbing a fresh entity of the same factory (titles share
+      // tokens but the records disagree on the details).
+      Record other = factory(&rng);
+      pair.right = DirtyView(other, task.numeric, &rng);
+    } else {
+      pair.right = factory(&rng);
+    }
+    pair.is_match = false;
+    task.pairs.push_back(std::move(pair));
+  }
+  // Interleave matches and non-matches.
+  rng.Shuffle(&task.pairs);
+  return task;
+}
+
+}  // namespace
+
+EmTask GenerateAmazonGoogle(const EmGeneratorOptions& options) {
+  size_t pairs = options.pairs == 0 ? 11460 : options.pairs;
+  size_t matches = options.matches == 0
+                       ? (options.pairs == 0
+                              ? 1167
+                              : pairs / 10)
+                       : options.matches;
+  return GeneratePairs("A-G", {"title", "manufacturer", "price"},
+                       {false, false, true}, pairs, matches,
+                       MakeSoftwareEntity, options.seed);
+}
+
+EmTask GenerateDblpAcm(const EmGeneratorOptions& options) {
+  size_t pairs = options.pairs == 0 ? 12363 : options.pairs;
+  size_t matches = options.matches == 0
+                       ? (options.pairs == 0 ? 2220 : pairs / 6)
+                       : options.matches;
+  return GeneratePairs("D-A", {"title", "authors", "venue", "year"},
+                       {false, false, false, true}, pairs, matches,
+                       MakeCitationEntity, options.seed + 1);
+}
+
+EmTask GenerateDblpScholar(const EmGeneratorOptions& options) {
+  size_t pairs = options.pairs == 0 ? 28707 : options.pairs;
+  size_t matches = options.matches == 0
+                       ? (options.pairs == 0 ? 5347 : pairs / 5)
+                       : options.matches;
+  return GeneratePairs("D-G", {"title", "authors", "venue", "year"},
+                       {false, false, false, true}, pairs, matches,
+                       MakeCitationEntity, options.seed + 2);
+}
+
+EmTask GenerateWalmartAmazon(const EmGeneratorOptions& options) {
+  size_t pairs = options.pairs == 0 ? 10242 : options.pairs;
+  size_t matches = options.matches == 0
+                       ? (options.pairs == 0 ? 962 : pairs / 10)
+                       : options.matches;
+  return GeneratePairs("W-A",
+                       {"title", "category", "brand", "modelno", "price"},
+                       {false, false, false, false, true}, pairs, matches,
+                       MakeElectronicsEntity, options.seed + 3);
+}
+
+const std::vector<std::string>& EmDatasetNames() {
+  static const auto* kNames =
+      new std::vector<std::string>{"A-G", "D-A", "D-G", "W-A"};
+  return *kNames;
+}
+
+Result<EmTask> GenerateEmByName(const std::string& name, uint64_t seed,
+                                size_t pairs) {
+  EmGeneratorOptions options;
+  options.seed = seed;
+  options.pairs = pairs;
+  if (name == "A-G") return GenerateAmazonGoogle(options);
+  if (name == "D-A") return GenerateDblpAcm(options);
+  if (name == "D-G") return GenerateDblpScholar(options);
+  if (name == "W-A") return GenerateWalmartAmazon(options);
+  return Status::NotFound("unknown EM dataset '" + name + "'");
+}
+
+}  // namespace cce::em

@@ -1,0 +1,48 @@
+#ifndef CCE_EM_DATASETS_H_
+#define CCE_EM_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "em/records.h"
+
+namespace cce::em {
+
+/// Synthetic stand-ins for the four Magellan entity-matching benchmarks
+/// (paper Table 1). Pair counts, match rates and attribute counts match the
+/// paper; record contents are generated from domain vocabularies with
+/// dirty-duplicate perturbations (see DESIGN.md §1).
+
+struct EmGeneratorOptions {
+  size_t pairs = 0;    // 0 = paper count
+  size_t matches = 0;  // 0 = paper count
+  uint64_t seed = 3;
+};
+
+/// A-G (Amazon-Google): software products, 3 attributes
+/// (title, manufacturer, price); 11,460 pairs, 1,167 matches.
+EmTask GenerateAmazonGoogle(const EmGeneratorOptions& options);
+
+/// D-A (DBLP-ACM): citations, 4 attributes (title, authors, venue, year);
+/// 12,363 pairs, 2,220 matches.
+EmTask GenerateDblpAcm(const EmGeneratorOptions& options);
+
+/// D-G (DBLP-GoogleScholar): citations, 4 attributes; 28,707 pairs,
+/// 5,347 matches.
+EmTask GenerateDblpScholar(const EmGeneratorOptions& options);
+
+/// W-A (Walmart-Amazon): electronics, 5 attributes
+/// (title, category, brand, modelno, price); 10,242 pairs, 962 matches.
+EmTask GenerateWalmartAmazon(const EmGeneratorOptions& options);
+
+/// The four EM dataset names in the paper's order.
+const std::vector<std::string>& EmDatasetNames();
+
+/// Generates by paper name ("A-G", "D-A", "D-G", "W-A").
+Result<EmTask> GenerateEmByName(const std::string& name, uint64_t seed,
+                                size_t pairs = 0);
+
+}  // namespace cce::em
+
+#endif  // CCE_EM_DATASETS_H_

@@ -1,0 +1,72 @@
+#include "em/features.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cce::em {
+namespace {
+
+bool ParseNumber(const std::string& text, double* out) {
+  const char* begin = text.data();
+  auto [ptr, ec] = std::from_chars(begin, begin + text.size(), *out);
+  return ec == std::errc() && ptr == begin + text.size();
+}
+
+}  // namespace
+
+PairFeatureExtractor::PairFeatureExtractor(const EmTask& task,
+                                           const Options& options)
+    : numeric_(task.numeric),
+      buckets_(Discretizer::EquiWidth(0.0, 1.0 + 1e-9,
+                                      options.similarity_buckets)) {
+  auto schema = std::make_shared<Schema>();
+  for (size_t a = 0; a < task.attributes.size(); ++a) {
+    FeatureId f = schema->AddFeature(task.attributes[a] + "_sim");
+    for (ValueId b = 0; b < buckets_.num_buckets(); ++b) {
+      schema->InternValue(f, buckets_.BucketName(b));
+    }
+  }
+  schema->InternLabel("NoMatch");
+  schema->InternLabel("Match");
+  schema_ = std::move(schema);
+}
+
+double PairFeatureExtractor::AttributeSimilarity(const RecordPair& pair,
+                                                 size_t attribute) const {
+  CCE_CHECK(attribute < numeric_.size());
+  const std::string& a = pair.left.values[attribute];
+  const std::string& b = pair.right.values[attribute];
+  if (numeric_[attribute]) {
+    double va;
+    double vb;
+    if (ParseNumber(a, &va) && ParseNumber(b, &vb)) {
+      double denom = std::max({std::abs(va), std::abs(vb), 1e-9});
+      return std::max(0.0, 1.0 - std::abs(va - vb) / denom);
+    }
+    // Fall through to string similarity when parsing fails.
+  }
+  return 0.6 * TokenJaccard(a, b) + 0.4 * EditSimilarity(ToLower(a),
+                                                         ToLower(b));
+}
+
+Instance PairFeatureExtractor::Encode(const RecordPair& pair) const {
+  Instance x(numeric_.size());
+  for (size_t a = 0; a < numeric_.size(); ++a) {
+    x[a] = buckets_.Bucket(AttributeSimilarity(pair, a));
+  }
+  return x;
+}
+
+Dataset PairFeatureExtractor::EncodeAll(const EmTask& task) const {
+  Dataset dataset(schema_);
+  for (const RecordPair& pair : task.pairs) {
+    dataset.Add(Encode(pair), pair.is_match ? 1u : 0u);
+  }
+  return dataset;
+}
+
+}  // namespace cce::em

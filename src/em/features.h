@@ -1,0 +1,47 @@
+#ifndef CCE_EM_FEATURES_H_
+#define CCE_EM_FEATURES_H_
+
+#include <memory>
+
+#include "core/dataset.h"
+#include "core/discretizer.h"
+#include "em/records.h"
+
+namespace cce::em {
+
+/// Turns candidate record pairs into the library's discrete representation:
+/// one feature per source attribute holding the bucketed similarity of the
+/// two records on that attribute. This is the granularity at which CCE,
+/// Anchor and CERTA explain entity-matching decisions (paper Section 7.5 —
+/// the EM datasets have 3-5 features, one per attribute).
+class PairFeatureExtractor {
+ public:
+  struct Options {
+    int similarity_buckets = 10;
+  };
+
+  /// Builds the extractor (and its schema) for the attributes of `task`.
+  PairFeatureExtractor(const EmTask& task, const Options& options);
+
+  /// Per-attribute similarity in [0, 1]: blended token-Jaccard and edit
+  /// similarity for text, relative distance for numerics.
+  double AttributeSimilarity(const RecordPair& pair, size_t attribute) const;
+
+  /// Encodes a single pair against the extractor's schema.
+  Instance Encode(const RecordPair& pair) const;
+
+  /// Encodes all pairs of the task; labels are the ground-truth match
+  /// labels (0 = non-match, 1 = match).
+  Dataset EncodeAll(const EmTask& task) const;
+
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
+
+ private:
+  std::vector<bool> numeric_;
+  Discretizer buckets_;
+  std::shared_ptr<const Schema> schema_;
+};
+
+}  // namespace cce::em
+
+#endif  // CCE_EM_FEATURES_H_

@@ -1,0 +1,22 @@
+#include "em/matcher.h"
+
+namespace cce::em {
+
+Result<std::unique_ptr<SimilarityMatcher>> SimilarityMatcher::Train(
+    const Dataset& train, const Options& options) {
+  Result<std::unique_ptr<ml::Gbdt>> gbdt =
+      ml::Gbdt::Train(train, options.gbdt);
+  if (!gbdt.ok()) return gbdt.status();
+  return std::unique_ptr<SimilarityMatcher>(
+      new SimilarityMatcher(std::move(gbdt).value()));
+}
+
+Label SimilarityMatcher::Predict(const Instance& x) const {
+  return gbdt_->Predict(x);
+}
+
+double SimilarityMatcher::Score(const Instance& x) const {
+  return gbdt_->Margin(x);
+}
+
+}  // namespace cce::em

@@ -1,0 +1,44 @@
+#ifndef CCE_EM_MATCHER_H_
+#define CCE_EM_MATCHER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/model.h"
+#include "ml/gbdt.h"
+
+namespace cce::em {
+
+/// The entity matcher: a GBDT over per-attribute similarity features — our
+/// stand-in for Ditto [57] (see DESIGN.md §1). Explainers treat it as a
+/// black box mapping encoded pairs to Match/NoMatch.
+class SimilarityMatcher : public Model {
+ public:
+  struct Options {
+    ml::Gbdt::Options gbdt;
+    Options() {
+      gbdt.num_trees = 60;
+      gbdt.max_depth = 4;
+      gbdt.learning_rate = 0.2;
+    }
+  };
+
+  /// Trains on an encoded pair dataset (labels: 0 NoMatch / 1 Match).
+  static Result<std::unique_ptr<SimilarityMatcher>> Train(
+      const Dataset& train, const Options& options);
+
+  Label Predict(const Instance& x) const override;
+  double Score(const Instance& x) const override;
+
+  const ml::Gbdt& gbdt() const { return *gbdt_; }
+
+ private:
+  explicit SimilarityMatcher(std::unique_ptr<ml::Gbdt> gbdt)
+      : gbdt_(std::move(gbdt)) {}
+
+  std::unique_ptr<ml::Gbdt> gbdt_;
+};
+
+}  // namespace cce::em
+
+#endif  // CCE_EM_MATCHER_H_

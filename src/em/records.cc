@@ -1,0 +1,49 @@
+#include "em/records.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace cce::em {
+
+std::string PerturbText(const std::string& value, const DirtyOptions& options,
+                        Rng* rng) {
+  std::vector<std::string> tokens = Split(value, ' ');
+  std::vector<std::string> kept;
+  for (std::string& token : tokens) {
+    if (token.empty()) continue;
+    if (kept.size() > 1 && rng->Bernoulli(options.token_drop_prob)) {
+      continue;  // drop a token (keep at least the first two)
+    }
+    if (token.size() > 4 && rng->Bernoulli(options.abbreviate_prob)) {
+      token = token.substr(0, 3) + ".";
+    }
+    if (token.size() > 2 && rng->Bernoulli(options.typo_prob)) {
+      size_t i = 1 + rng->Uniform(token.size() - 2);
+      std::swap(token[i], token[i + 1 < token.size() ? i + 1 : i - 1]);
+    }
+    kept.push_back(std::move(token));
+  }
+  if (kept.empty()) return value;
+  return Join(kept, " ");
+}
+
+std::string PerturbNumber(const std::string& value,
+                          const DirtyOptions& options, Rng* rng) {
+  double number = 0.0;
+  const char* begin = value.data();
+  auto [ptr, ec] = std::from_chars(begin, begin + value.size(), number);
+  if (ec != std::errc()) return value;
+  (void)ptr;
+  double jitter = 1.0 + (rng->UniformDouble() * 2.0 - 1.0) *
+                            options.numeric_jitter;
+  double out = number * jitter;
+  // Keep integers integral (years, model numbers).
+  if (std::abs(number - std::round(number)) < 1e-9) {
+    return std::to_string(static_cast<long long>(std::llround(out)));
+  }
+  return StrFormat("%.2f", out);
+}
+
+}  // namespace cce::em

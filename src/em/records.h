@@ -1,0 +1,55 @@
+#ifndef CCE_EM_RECORDS_H_
+#define CCE_EM_RECORDS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace cce::em {
+
+/// A source record: one string value per attribute of its table schema.
+struct Record {
+  std::vector<std::string> values;
+};
+
+/// A candidate pair of records from two sources plus the ground-truth
+/// match label.
+struct RecordPair {
+  Record left;
+  Record right;
+  bool is_match = false;
+};
+
+/// An entity-matching task: two tables over the same attribute list and the
+/// candidate pairs linking them (paper Section 7.5).
+struct EmTask {
+  std::string name;
+  std::vector<std::string> attributes;
+  /// True for attributes holding numbers (price, year): similarity is
+  /// computed on the numeric distance rather than string overlap.
+  std::vector<bool> numeric;
+  std::vector<RecordPair> pairs;
+};
+
+/// Dirty-duplicate perturbations applied when generating the "other source"
+/// view of an entity: token drops, abbreviation, character typos, numeric
+/// jitter.
+struct DirtyOptions {
+  double token_drop_prob = 0.15;
+  double abbreviate_prob = 0.1;
+  double typo_prob = 0.08;
+  double numeric_jitter = 0.05;  // relative jitter for numeric attributes
+};
+
+/// Returns a perturbed copy of a string attribute value.
+std::string PerturbText(const std::string& value, const DirtyOptions& options,
+                        Rng* rng);
+
+/// Returns a jittered copy of a numeric attribute value.
+std::string PerturbNumber(const std::string& value,
+                          const DirtyOptions& options, Rng* rng);
+
+}  // namespace cce::em
+
+#endif  // CCE_EM_RECORDS_H_

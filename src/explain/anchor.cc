@@ -1,0 +1,147 @@
+#include "explain/anchor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "explain/kl_bounds.h"
+
+namespace cce::explain {
+namespace {
+
+struct Candidate {
+  FeatureSet anchor;
+  double precision = 0.0;
+  int samples = 0;
+};
+
+}  // namespace
+
+Anchor::Anchor(const Model* model, const Dataset* reference,
+               const Options& options)
+    : model_(model), sampler_(reference), options_(options),
+      rng_(options.seed) {}
+
+double Anchor::EstimatePrecision(const Instance& x, const FeatureSet& anchor,
+                                 int num_samples) {
+  const size_t n = x.size();
+  std::vector<bool> keep(n, false);
+  for (FeatureId f : anchor) keep[f] = true;
+  const Label y0 = model_->Predict(x);
+  int hits = 0;
+  for (int s = 0; s < num_samples; ++s) {
+    Instance z = sampler_.Sample(x, keep, &rng_);
+    if (model_->Predict(z) == y0) ++hits;
+  }
+  return num_samples == 0 ? 0.0
+                          : static_cast<double>(hits) / num_samples;
+}
+
+double Anchor::EstimateCoverage(const Instance& x, const FeatureSet& anchor,
+                                int num_samples) {
+  if (num_samples <= 0) return 0.0;
+  const Dataset& reference = sampler_.reference();
+  int matches = 0;
+  for (int s = 0; s < num_samples; ++s) {
+    size_t row = rng_.Uniform(reference.size());
+    bool match = true;
+    for (FeatureId f : anchor) {
+      if (reference.value(row, f) != x[f]) {
+        match = false;
+        break;
+      }
+    }
+    matches += match;
+  }
+  return static_cast<double>(matches) / num_samples;
+}
+
+Result<FeatureSet> Anchor::ExplainFeatures(const Instance& x,
+                                           size_t target_size) {
+  const size_t n = x.size();
+  if (n == 0) return FeatureSet{};
+
+  std::vector<Candidate> beam = {Candidate{}};  // start from the empty rule
+  Candidate best_valid;
+  bool have_valid = false;
+
+  const size_t max_size = target_size == 0 ? n : std::min(target_size, n);
+  for (size_t size = 1; size <= max_size; ++size) {
+    // Expand every beam member by one unused predicate.
+    std::vector<Candidate> expanded;
+    for (const Candidate& base : beam) {
+      for (FeatureId f = 0; f < n; ++f) {
+        if (FeatureSetContains(base.anchor, f)) continue;
+        Candidate next;
+        next.anchor = base.anchor;
+        FeatureSetInsert(&next.anchor, f);
+        expanded.push_back(std::move(next));
+      }
+    }
+    if (expanded.empty()) break;
+
+    // Successive-halving evaluation: every candidate gets batches until the
+    // sample budget is spent, dropping the weakest half each round.
+    std::vector<size_t> alive(expanded.size());
+    for (size_t i = 0; i < alive.size(); ++i) alive[i] = i;
+    int spent = 0;
+    while (spent < options_.max_samples && alive.size() > 1) {
+      for (size_t idx : alive) {
+        Candidate& c = expanded[idx];
+        double fresh = EstimatePrecision(x, c.anchor, options_.batch_size);
+        c.precision = (c.precision * c.samples +
+                       fresh * options_.batch_size) /
+                      (c.samples + options_.batch_size);
+        c.samples += options_.batch_size;
+      }
+      spent += options_.batch_size;
+      std::sort(alive.begin(), alive.end(), [&](size_t a, size_t b) {
+        return expanded[a].precision > expanded[b].precision;
+      });
+      size_t keep = std::max<size_t>(
+          static_cast<size_t>(options_.beam_width),
+          (alive.size() + 1) / 2);
+      if (keep < alive.size()) alive.resize(keep);
+    }
+    // Make sure survivors have at least one batch of evidence.
+    for (size_t idx : alive) {
+      Candidate& c = expanded[idx];
+      if (c.samples == 0) {
+        c.precision = EstimatePrecision(x, c.anchor, options_.batch_size);
+        c.samples = options_.batch_size;
+      }
+    }
+    std::sort(alive.begin(), alive.end(), [&](size_t a, size_t b) {
+      return expanded[a].precision > expanded[b].precision;
+    });
+
+    // New beam: the top beam_width candidates of this size.
+    std::vector<Candidate> next_beam;
+    for (size_t i = 0;
+         i < alive.size() &&
+         i < static_cast<size_t>(options_.beam_width);
+         ++i) {
+      next_beam.push_back(expanded[alive[i]]);
+    }
+    beam = std::move(next_beam);
+
+    // Termination: in native mode, stop as soon as the best candidate's
+    // KL-LUCB precision lower bound clears the threshold.
+    const Candidate& best = beam.front();
+    double lower_bound = KlLowerBound(
+        best.precision, static_cast<size_t>(best.samples),
+        LucbBeta(static_cast<size_t>(best.samples), options_.delta));
+    if (target_size == 0 &&
+        lower_bound >= options_.precision_threshold) {
+      return best.anchor;
+    }
+    if (target_size != 0 && size == max_size) {
+      return best.anchor;
+    }
+    best_valid = best;
+    have_valid = true;
+  }
+  if (have_valid) return best_valid.anchor;
+  return FeatureSet{};
+}
+
+}  // namespace cce::explain

@@ -1,0 +1,59 @@
+#ifndef CCE_EXPLAIN_ANCHOR_H_
+#define CCE_EXPLAIN_ANCHOR_H_
+
+#include "common/random.h"
+#include "core/model.h"
+#include "explain/explainer.h"
+#include "explain/perturbation.h"
+
+namespace cce::explain {
+
+/// Anchor [75]: beam search over candidate anchors (conjunctions of
+/// "feature = x[feature]" predicates), extending the anchor until the
+/// estimated precision — the probability that perturbed instances matching
+/// the anchor keep the prediction — clears a threshold with Hoeffding
+/// confidence (a KL-LUCB-style best-arm routine). Heuristic: no conformity
+/// guarantee, which Figures 3a/3b measure.
+class Anchor : public FeatureExplainer {
+ public:
+  struct Options {
+    double precision_threshold = 0.95;
+    double delta = 0.1;          // confidence parameter
+    int beam_width = 2;
+    int batch_size = 50;         // samples drawn per evaluation round
+    int max_samples = 600;       // per candidate
+    uint64_t seed = 19;
+  };
+
+  Anchor(const Model* model, const Dataset* reference,
+         const Options& options);
+
+  std::string name() const override { return "Anchor"; }
+
+  /// `target_size` > 0 forces the anchor to exactly that size (threshold is
+  /// ignored and the best candidate of that size is returned), mirroring the
+  /// paper's size-matched evaluation protocol.
+  Result<FeatureSet> ExplainFeatures(const Instance& x,
+                                     size_t target_size) override;
+
+  /// Estimated precision of an anchor for x (fraction of matching perturbed
+  /// samples that keep the prediction).
+  double EstimatePrecision(const Instance& x, const FeatureSet& anchor,
+                           int num_samples);
+
+  /// Estimated coverage of an anchor: the probability that a reference-
+  /// distribution instance matches the anchor's predicates (Anchor's
+  /// second reported quality; larger anchors cover less).
+  double EstimateCoverage(const Instance& x, const FeatureSet& anchor,
+                          int num_samples);
+
+ private:
+  const Model* model_;
+  PerturbationSampler sampler_;
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace cce::explain
+
+#endif  // CCE_EXPLAIN_ANCHOR_H_

@@ -1,0 +1,35 @@
+#include "explain/explainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cce::explain {
+
+std::vector<FeatureId> RankByImportance(const std::vector<double>& scores) {
+  std::vector<FeatureId> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<FeatureId>(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](FeatureId a, FeatureId b) {
+                     return std::abs(scores[a]) > std::abs(scores[b]);
+                   });
+  return order;
+}
+
+Result<FeatureSet> ImportanceExplainer::ExplainFeatures(const Instance& x,
+                                                        size_t target_size) {
+  Result<std::vector<double>> scores = ImportanceScores(x);
+  if (!scores.ok()) return scores.status();
+  std::vector<FeatureId> order = RankByImportance(*scores);
+  FeatureSet explanation;
+  size_t limit = target_size == 0 ? order.size() : target_size;
+  for (FeatureId f : order) {
+    if (explanation.size() >= limit) break;
+    if (target_size == 0 && std::abs((*scores)[f]) < 1e-12) break;
+    FeatureSetInsert(&explanation, f);
+  }
+  return explanation;
+}
+
+}  // namespace cce::explain

@@ -1,0 +1,47 @@
+#ifndef CCE_EXPLAIN_EXPLAINER_H_
+#define CCE_EXPLAIN_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace cce::explain {
+
+/// Common interface of the compared explanation methods (paper Table 2).
+/// Unlike CCE, every implementation queries the ML model.
+class FeatureExplainer {
+ public:
+  virtual ~FeatureExplainer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Produces a feature explanation for `x`. `target_size` = 0 lets the
+  /// method choose its native size; a positive value requests a
+  /// size-matched explanation (Section 7.1: importance methods take the
+  /// top-k scored features; Anchor tunes its threshold).
+  virtual Result<FeatureSet> ExplainFeatures(const Instance& x,
+                                             size_t target_size) = 0;
+};
+
+/// Feature-importance methods additionally expose per-feature scores
+/// (LIME, SHAP, GAM, CERTA).
+class ImportanceExplainer : public FeatureExplainer {
+ public:
+  /// Signed importance score per feature (positive pushes toward the
+  /// predicted outcome).
+  virtual Result<std::vector<double>> ImportanceScores(const Instance& x) = 0;
+
+  /// Default derivation [13]: rank by |score| descending, take the top
+  /// `target_size` (or all nonzero when 0).
+  Result<FeatureSet> ExplainFeatures(const Instance& x,
+                                     size_t target_size) override;
+};
+
+/// Ranks feature ids by |score| descending (stable for ties).
+std::vector<FeatureId> RankByImportance(const std::vector<double>& scores);
+
+}  // namespace cce::explain
+
+#endif  // CCE_EXPLAIN_EXPLAINER_H_

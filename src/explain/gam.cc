@@ -1,0 +1,96 @@
+#include "explain/gam.h"
+
+#include <cmath>
+#include <memory>
+
+namespace cce::explain {
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Result<std::unique_ptr<Gam>> Gam::Fit(const Model* model,
+                                      const Dataset* reference,
+                                      const Options& options) {
+  if (model == nullptr || reference == nullptr || reference->empty()) {
+    return Status::InvalidArgument("Gam::Fit needs a model and data");
+  }
+  auto gam = std::unique_ptr<Gam>(new Gam());
+  const Schema& schema = reference->schema();
+  const size_t n = schema.num_features();
+  gam->terms_.resize(n);
+  gam->value_freq_.resize(n);
+  for (FeatureId f = 0; f < n; ++f) {
+    gam->terms_[f].assign(schema.DomainSize(f), 0.0);
+    gam->value_freq_[f].assign(schema.DomainSize(f), 0.0);
+  }
+  for (size_t row = 0; row < reference->size(); ++row) {
+    for (FeatureId f = 0; f < n; ++f) {
+      ValueId v = reference->value(row, f);
+      if (v < gam->value_freq_[f].size()) gam->value_freq_[f][v] += 1.0;
+    }
+  }
+  for (FeatureId f = 0; f < n; ++f) {
+    for (double& freq : gam->value_freq_[f]) {
+      freq /= static_cast<double>(reference->size());
+    }
+  }
+
+  // Surrogate targets: the black-box model's own predictions.
+  std::vector<double> targets(reference->size());
+  for (size_t row = 0; row < reference->size(); ++row) {
+    targets[row] =
+        static_cast<double>(model->Predict(reference->instance(row)));
+  }
+
+  std::vector<size_t> order(reference->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(options.seed);
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    // Simple per-epoch learning-rate decay.
+    double lr = options.learning_rate / (1.0 + 0.3 * epoch);
+    for (size_t row : order) {
+      const Instance& x = reference->instance(row);
+      double p = gam->SurrogateProbability(x);
+      double gradient = p - targets[row];
+      gam->bias_ -= lr * gradient;
+      for (FeatureId f = 0; f < n; ++f) {
+        ValueId v = x[f];
+        if (v >= gam->terms_[f].size()) continue;
+        double& w = gam->terms_[f][v];
+        w -= lr * (gradient + options.l2 * w);
+      }
+    }
+  }
+  return gam;
+}
+
+double Gam::SurrogateProbability(const Instance& x) const {
+  double z = bias_;
+  for (FeatureId f = 0; f < terms_.size(); ++f) {
+    ValueId v = x[f];
+    if (v < terms_[f].size()) z += terms_[f][v];
+  }
+  return Sigmoid(z);
+}
+
+Result<std::vector<double>> Gam::ImportanceScores(const Instance& x) {
+  std::vector<double> scores(terms_.size(), 0.0);
+  for (FeatureId f = 0; f < terms_.size(); ++f) {
+    ValueId v = x[f];
+    if (v >= terms_[f].size()) continue;
+    // Centre the shape term by its reference-marginal mean so the score is
+    // the deviation this particular value causes.
+    double mean = 0.0;
+    for (size_t u = 0; u < terms_[f].size(); ++u) {
+      mean += terms_[f][u] * value_freq_[f][u];
+    }
+    scores[f] = terms_[f][v] - mean;
+  }
+  return scores;
+}
+
+}  // namespace cce::explain

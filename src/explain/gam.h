@@ -1,0 +1,48 @@
+#ifndef CCE_EXPLAIN_GAM_H_
+#define CCE_EXPLAIN_GAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/model.h"
+#include "explain/explainer.h"
+
+namespace cce::explain {
+
+/// GAM [59]: a generalized additive surrogate of the black-box model —
+/// one shape term per (feature, value), fitted by logistic SGD against the
+/// model's predictions on a reference set. The importance of feature f for
+/// instance x is its (mean-centred) shape-term contribution w[f][x[f]].
+class Gam : public ImportanceExplainer {
+ public:
+  struct Options {
+    int epochs = 12;
+    double learning_rate = 0.15;
+    double l2 = 1e-4;
+    uint64_t seed = 17;
+  };
+
+  /// Fits the additive surrogate on `reference` rows labelled by `model`.
+  static Result<std::unique_ptr<Gam>> Fit(const Model* model,
+                                          const Dataset* reference,
+                                          const Options& options);
+
+  std::string name() const override { return "GAM"; }
+  Result<std::vector<double>> ImportanceScores(const Instance& x) override;
+
+  /// Surrogate positive-class probability (exposed for testing).
+  double SurrogateProbability(const Instance& x) const;
+
+ private:
+  Gam() = default;
+
+  double bias_ = 0.0;
+  std::vector<std::vector<double>> terms_;       // per feature, per value
+  std::vector<std::vector<double>> value_freq_;  // reference marginals
+};
+
+}  // namespace cce::explain
+
+#endif  // CCE_EXPLAIN_GAM_H_

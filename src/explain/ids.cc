@@ -1,0 +1,168 @@
+#include "explain/ids.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cce::explain {
+
+bool IdsRule::Matches(const Instance& x) const {
+  for (const auto& [feature, value] : antecedent) {
+    if (x[feature] != value) return false;
+  }
+  return true;
+}
+
+std::string IdsRule::ToString(const Schema& schema) const {
+  std::string out = "IF ";
+  for (size_t i = 0; i < antecedent.size(); ++i) {
+    if (i > 0) out += " AND ";
+    const auto& [feature, value] = antecedent[i];
+    out += schema.FeatureName(feature) + "='" +
+           schema.ValueName(feature, value) + "'";
+  }
+  out += " THEN " + schema.LabelName(consequent);
+  return out;
+}
+
+Result<Ids> Ids::Summarize(const Dataset& dataset, const Options& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot summarise an empty dataset");
+  }
+  if (options.max_antecedent == 0) {
+    return Status::InvalidArgument("max_antecedent must be >= 1");
+  }
+
+  const size_t n = dataset.num_features();
+  const size_t rows = dataset.size();
+  const size_t min_count = std::max<size_t>(
+      1, static_cast<size_t>(options.min_support *
+                             static_cast<double>(rows)));
+
+  // Level 1: frequent single predicates.
+  std::map<std::pair<FeatureId, ValueId>, size_t> singles;
+  for (size_t row = 0; row < rows; ++row) {
+    const Instance& x = dataset.instance(row);
+    for (FeatureId f = 0; f < n; ++f) ++singles[{f, x[f]}];
+  }
+  std::vector<std::pair<FeatureId, ValueId>> frequent;
+  for (const auto& [predicate, count] : singles) {
+    if (count >= min_count) frequent.push_back(predicate);
+  }
+
+  // Candidate antecedents: all frequent predicate combinations up to
+  // max_antecedent (Apriori pruning: every subset must be frequent, which
+  // level-wise construction from `frequent` guarantees for pairs).
+  std::vector<std::vector<std::pair<FeatureId, ValueId>>> antecedents;
+  for (const auto& p : frequent) antecedents.push_back({p});
+  if (options.max_antecedent >= 2) {
+    for (size_t i = 0; i < frequent.size(); ++i) {
+      for (size_t j = i + 1; j < frequent.size(); ++j) {
+        if (frequent[i].first == frequent[j].first) continue;
+        antecedents.push_back({frequent[i], frequent[j]});
+      }
+    }
+  }
+  if (options.max_antecedent >= 3) {
+    for (size_t i = 0; i < frequent.size(); ++i) {
+      for (size_t j = i + 1; j < frequent.size(); ++j) {
+        if (frequent[i].first == frequent[j].first) continue;
+        for (size_t k = j + 1; k < frequent.size(); ++k) {
+          if (frequent[k].first == frequent[i].first ||
+              frequent[k].first == frequent[j].first) {
+            continue;
+          }
+          antecedents.push_back({frequent[i], frequent[j], frequent[k]});
+        }
+      }
+    }
+  }
+
+  // Score candidates: coverage and majority label.
+  struct Candidate {
+    IdsRule rule;
+    std::vector<size_t> covered;
+  };
+  std::vector<Candidate> candidates;
+  size_t num_labels = dataset.schema().num_labels();
+  for (auto& antecedent : antecedents) {
+    Candidate c;
+    c.rule.antecedent = std::move(antecedent);
+    std::vector<size_t> label_counts(std::max<size_t>(num_labels, 1), 0);
+    for (size_t row = 0; row < rows; ++row) {
+      if (!c.rule.Matches(dataset.instance(row))) continue;
+      c.covered.push_back(row);
+      ++label_counts[dataset.label(row)];
+    }
+    if (c.covered.size() < min_count) continue;
+    size_t best_label = 0;
+    for (size_t y = 1; y < label_counts.size(); ++y) {
+      if (label_counts[y] > label_counts[best_label]) best_label = y;
+    }
+    c.rule.consequent = static_cast<Label>(best_label);
+    c.rule.coverage = c.covered.size();
+    c.rule.precision = static_cast<double>(label_counts[best_label]) /
+                       static_cast<double>(c.covered.size());
+    if (c.rule.precision < options.min_precision) continue;
+    candidates.push_back(std::move(c));
+  }
+
+  Ids result;
+  result.candidates_mined_ = candidates.size();
+
+  if (options.max_rules == 0) {
+    // Unrestricted mode: keep everything (the slow configuration).
+    for (auto& c : candidates) result.rules_.push_back(std::move(c.rule));
+    return result;
+  }
+
+  // Greedy selection under the (submodular-ish) IDS objective.
+  std::vector<bool> chosen(candidates.size(), false);
+  std::vector<size_t> covered_by(rows, 0);  // how many chosen rules cover row
+  for (size_t pick = 0; pick < options.max_rules; ++pick) {
+    double best_gain = 0.0;
+    int best_index = -1;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (chosen[i]) continue;
+      const Candidate& c = candidates[i];
+      double new_coverage = 0.0;
+      double overlap = 0.0;
+      for (size_t row : c.covered) {
+        if (covered_by[row] == 0) {
+          new_coverage += 1.0;
+        } else {
+          overlap += 1.0;
+        }
+      }
+      // IDS-style objective: fresh coverage, per-rule accuracy over the
+      // rule's whole extent (precision is rewarded even where rules
+      // overlap), an overlap penalty, and a conciseness penalty.
+      double gain =
+          options.coverage_weight * new_coverage /
+              static_cast<double>(rows) +
+          options.precision_weight * c.rule.precision *
+              (static_cast<double>(c.rule.coverage) /
+               static_cast<double>(rows)) -
+          options.overlap_penalty * overlap / static_cast<double>(rows) -
+          options.size_penalty *
+              static_cast<double>(c.rule.antecedent.size()) / 10.0;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_index = static_cast<int>(i);
+      }
+    }
+    if (best_index < 0) break;
+    chosen[best_index] = true;
+    for (size_t row : candidates[best_index].covered) ++covered_by[row];
+    result.rules_.push_back(candidates[best_index].rule);
+  }
+  return result;
+}
+
+int Ids::CoveringRule(const Instance& x) const {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].Matches(x)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace cce::explain

@@ -1,0 +1,68 @@
+#ifndef CCE_EXPLAIN_IDS_H_
+#define CCE_EXPLAIN_IDS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace cce::explain {
+
+/// One conjunctive pattern rule: IF antecedent THEN label.
+struct IdsRule {
+  /// Conjunction of (feature, value) equality predicates.
+  std::vector<std::pair<FeatureId, ValueId>> antecedent;
+  Label consequent = 0;
+  size_t coverage = 0;   // rows matching the antecedent
+  double precision = 0;  // fraction of covered rows with the consequent
+
+  /// True iff x satisfies every predicate.
+  bool Matches(const Instance& x) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// IDS [55]: interpretable decision sets — a *global*, pattern-level
+/// explanation: a small set of independent conjunctive rules summarising a
+/// labelled dataset. Candidate rules come from Apriori-style frequent
+/// predicate mining; selection greedily optimises the IDS objective
+/// (coverage + precision - overlap - size). Being global, a given instance
+/// may be covered by no rule at all — the failure mode of Section 7.2.
+class Ids {
+ public:
+  struct Options {
+    /// Number of rules to select; 0 = keep every mined candidate
+    /// (the unrestricted, slow configuration of the case study).
+    size_t max_rules = 8;
+    double min_support = 0.01;     // candidate support threshold
+    double min_precision = 0.55;   // candidate precision threshold
+    size_t max_antecedent = 2;     // predicates per rule
+    // Objective weights.
+    double coverage_weight = 1.0;
+    double precision_weight = 2.0;
+    double overlap_penalty = 0.5;
+    double size_penalty = 0.2;
+  };
+
+  /// Mines and selects a rule set summarising `dataset`.
+  static Result<Ids> Summarize(const Dataset& dataset,
+                               const Options& options);
+
+  const std::vector<IdsRule>& rules() const { return rules_; }
+
+  /// First selected rule covering x, or -1 when none does.
+  int CoveringRule(const Instance& x) const;
+
+  /// Size-ranked candidate count before selection (for reporting).
+  size_t candidates_mined() const { return candidates_mined_; }
+
+ private:
+  std::vector<IdsRule> rules_;
+  size_t candidates_mined_ = 0;
+};
+
+}  // namespace cce::explain
+
+#endif  // CCE_EXPLAIN_IDS_H_

@@ -1,0 +1,86 @@
+#include "explain/kernel_shap.h"
+
+#include <cmath>
+
+#include "explain/linalg.h"
+
+namespace cce::explain {
+namespace {
+
+double LogChoose(size_t n, size_t k) {
+  return std::lgamma(static_cast<double>(n + 1)) -
+         std::lgamma(static_cast<double>(k + 1)) -
+         std::lgamma(static_cast<double>(n - k + 1));
+}
+
+// Shapley kernel weight for a coalition of size k out of n players.
+double ShapleyKernel(size_t n, size_t k) {
+  if (k == 0 || k == n) return 1e6;  // constraints approximated by weight
+  double log_w = std::log(static_cast<double>(n - 1)) - LogChoose(n, k) -
+                 std::log(static_cast<double>(k)) -
+                 std::log(static_cast<double>(n - k));
+  return std::exp(log_w);
+}
+
+}  // namespace
+
+KernelShap::KernelShap(const Model* model, const Dataset* reference,
+                       const Options& options)
+    : model_(model), sampler_(reference), options_(options),
+      rng_(options.seed) {}
+
+double KernelShap::CoalitionValue(const Instance& x,
+                                  const std::vector<bool>& keep) {
+  double total = 0.0;
+  for (int s = 0; s < options_.background_samples; ++s) {
+    Instance z = sampler_.Sample(x, keep, &rng_);
+    total += model_->Score(z);
+  }
+  return total / options_.background_samples;
+}
+
+Result<std::vector<double>> KernelShap::ImportanceScores(const Instance& x) {
+  const size_t n = x.size();
+  if (n == 0) return std::vector<double>{};
+  if (n == 1) {
+    // One player takes the whole payoff difference.
+    double empty = CoalitionValue(x, {false});
+    double full = CoalitionValue(x, {true});
+    return std::vector<double>{full - empty};
+  }
+
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  std::vector<double> weights;
+
+  auto add_coalition = [&](const std::vector<bool>& keep, double weight) {
+    std::vector<double> row(n + 1, 0.0);
+    for (size_t f = 0; f < n; ++f) row[f] = keep[f] ? 1.0 : 0.0;
+    row[n] = 1.0;
+    rows.push_back(std::move(row));
+    targets.push_back(CoalitionValue(x, keep));
+    weights.push_back(weight);
+  };
+
+  // The empty and full coalitions anchor phi_0 and the efficiency
+  // constraint (enforced softly via their large kernel weight).
+  add_coalition(std::vector<bool>(n, false), ShapleyKernel(n, 0));
+  add_coalition(std::vector<bool>(n, true), ShapleyKernel(n, n));
+
+  for (int c = 0; c < options_.num_coalitions; ++c) {
+    // Sample the coalition size ~ the kernel's size profile (heavier at the
+    // extremes), then a uniform subset of that size.
+    size_t k = 1 + rng_.Uniform(n - 1);
+    std::vector<bool> keep(n, false);
+    for (size_t idx : rng_.SampleWithoutReplacement(n, k)) keep[idx] = true;
+    add_coalition(keep, ShapleyKernel(n, k));
+  }
+
+  Result<std::vector<double>> beta =
+      SolveWeightedRidge(rows, targets, weights, options_.ridge_lambda);
+  if (!beta.ok()) return beta.status();
+  beta->resize(n);
+  return beta;
+}
+
+}  // namespace cce::explain

@@ -1,0 +1,44 @@
+#ifndef CCE_EXPLAIN_KERNEL_SHAP_H_
+#define CCE_EXPLAIN_KERNEL_SHAP_H_
+
+#include "common/random.h"
+#include "core/model.h"
+#include "explain/explainer.h"
+#include "explain/perturbation.h"
+
+namespace cce::explain {
+
+/// KernelSHAP [60]: model-agnostic Shapley-value estimation via weighted
+/// linear regression over sampled coalitions, with the Shapley kernel
+///   w(S) = (n - 1) / (C(n,|S|) * |S| * (n - |S|)).
+/// Coalition values are Monte-Carlo estimates: features outside the
+/// coalition are integrated out by sampling reference rows.
+class KernelShap : public ImportanceExplainer {
+ public:
+  struct Options {
+    int num_coalitions = 300;
+    int background_samples = 8;  // reference draws per coalition evaluation
+    double ridge_lambda = 1e-3;
+    uint64_t seed = 13;
+  };
+
+  KernelShap(const Model* model, const Dataset* reference,
+             const Options& options);
+
+  std::string name() const override { return "SHAP"; }
+  Result<std::vector<double>> ImportanceScores(const Instance& x) override;
+
+ private:
+  /// Monte-Carlo value v(S): expected positive-class score with features in
+  /// S fixed to x and the rest drawn from the reference distribution.
+  double CoalitionValue(const Instance& x, const std::vector<bool>& keep);
+
+  const Model* model_;
+  PerturbationSampler sampler_;
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace cce::explain
+
+#endif  // CCE_EXPLAIN_KERNEL_SHAP_H_

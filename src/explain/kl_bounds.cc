@@ -1,0 +1,62 @@
+#include "explain/kl_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cce::explain {
+namespace {
+
+constexpr double kEps = 1e-12;
+constexpr int kBisectionSteps = 60;
+
+}  // namespace
+
+double KlBernoulli(double p, double q) {
+  p = std::clamp(p, 0.0, 1.0);
+  q = std::clamp(q, kEps, 1.0 - kEps);
+  double kl = 0.0;
+  if (p > 0.0) kl += p * std::log(p / q);
+  if (p < 1.0) kl += (1.0 - p) * std::log((1.0 - p) / (1.0 - q));
+  return kl;
+}
+
+double KlUpperBound(double p_hat, size_t n, double beta) {
+  if (n == 0) return 1.0;
+  double budget = beta / static_cast<double>(n);
+  double lo = std::clamp(p_hat, 0.0, 1.0);
+  double hi = 1.0;
+  for (int step = 0; step < kBisectionSteps; ++step) {
+    double mid = 0.5 * (lo + hi);
+    if (KlBernoulli(p_hat, mid) > budget) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+double KlLowerBound(double p_hat, size_t n, double beta) {
+  if (n == 0) return 0.0;
+  double budget = beta / static_cast<double>(n);
+  double lo = 0.0;
+  double hi = std::clamp(p_hat, 0.0, 1.0);
+  for (int step = 0; step < kBisectionSteps; ++step) {
+    double mid = 0.5 * (lo + hi);
+    if (KlBernoulli(p_hat, mid) > budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double LucbBeta(size_t n, double delta) {
+  double t = std::max<double>(1.0, static_cast<double>(n));
+  // log(1/delta) + extra slack growing with the sample count, as in the
+  // Anchor reference implementation's simplified schedule.
+  return std::log(1.0 / delta) + std::log(1.0 + std::log(t));
+}
+
+}  // namespace cce::explain

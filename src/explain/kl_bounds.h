@@ -1,0 +1,30 @@
+#ifndef CCE_EXPLAIN_KL_BOUNDS_H_
+#define CCE_EXPLAIN_KL_BOUNDS_H_
+
+#include <cstddef>
+
+namespace cce::explain {
+
+/// Bernoulli KL confidence bounds — the machinery behind Anchor's KL-LUCB
+/// best-arm identification [75, 37]. Tighter than Hoeffding for proportions
+/// near 0 or 1, which is exactly where anchor precisions live.
+
+/// KL divergence KL(p || q) between Bernoulli(p) and Bernoulli(q).
+/// Defined (by limits) for p in [0,1]; q is clamped away from {0,1}.
+double KlBernoulli(double p, double q);
+
+/// Upper confidence bound: the largest q >= p_hat with
+/// n * KL(p_hat || q) <= beta (found by bisection).
+double KlUpperBound(double p_hat, size_t n, double beta);
+
+/// Lower confidence bound: the smallest q <= p_hat with
+/// n * KL(p_hat || q) <= beta.
+double KlLowerBound(double p_hat, size_t n, double beta);
+
+/// The exploration rate beta = log(1/delta) + log-ish terms, following the
+/// simplified schedule used by Anchor's reference implementation.
+double LucbBeta(size_t n, double delta);
+
+}  // namespace cce::explain
+
+#endif  // CCE_EXPLAIN_KL_BOUNDS_H_

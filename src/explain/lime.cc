@@ -1,0 +1,60 @@
+#include "explain/lime.h"
+
+#include <cmath>
+
+#include "explain/linalg.h"
+
+namespace cce::explain {
+
+Lime::Lime(const Model* model, const Dataset* reference,
+           const Options& options)
+    : model_(model), sampler_(reference), options_(options),
+      rng_(options.seed) {}
+
+Result<std::vector<double>> Lime::ImportanceScores(const Instance& x) {
+  const size_t n = x.size();
+  const Label y0 = model_->Predict(x);
+
+  // Design matrix: one indicator column per feature plus an intercept.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  std::vector<double> weights;
+  rows.reserve(options_.num_samples + 1);
+
+  const double width = options_.kernel_width * std::sqrt(
+      static_cast<double>(n));
+
+  // Anchor row: the instance itself with full weight.
+  {
+    std::vector<double> row(n + 1, 1.0);
+    rows.push_back(std::move(row));
+    targets.push_back(1.0);
+    weights.push_back(1.0);
+  }
+  for (int s = 0; s < options_.num_samples; ++s) {
+    std::vector<bool> keep = sampler_.RandomMask(n, options_.keep_prob,
+                                                 &rng_);
+    Instance z = sampler_.Sample(x, keep, &rng_);
+    double hamming = 0.0;
+    std::vector<double> row(n + 1, 0.0);
+    for (size_t f = 0; f < n; ++f) {
+      row[f] = keep[f] ? 1.0 : 0.0;
+      if (!keep[f]) hamming += 1.0;
+    }
+    row[n] = 1.0;  // intercept
+    double distance = std::sqrt(hamming);
+    double weight = std::exp(-(distance * distance) / (width * width));
+    rows.push_back(std::move(row));
+    // Target: agreement with the prediction being explained.
+    targets.push_back(model_->Predict(z) == y0 ? 1.0 : 0.0);
+    weights.push_back(weight);
+  }
+
+  Result<std::vector<double>> beta =
+      SolveWeightedRidge(rows, targets, weights, options_.ridge_lambda);
+  if (!beta.ok()) return beta.status();
+  beta->resize(n);  // drop the intercept
+  return beta;
+}
+
+}  // namespace cce::explain

@@ -1,0 +1,41 @@
+#ifndef CCE_EXPLAIN_LIME_H_
+#define CCE_EXPLAIN_LIME_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/model.h"
+#include "explain/explainer.h"
+#include "explain/perturbation.h"
+
+namespace cce::explain {
+
+/// LIME [74]: fits a locally-weighted linear surrogate over binary
+/// "feature kept" indicators of perturbed neighbours; the surrogate
+/// coefficients are the feature importances.
+class Lime : public ImportanceExplainer {
+ public:
+  struct Options {
+    int num_samples = 500;
+    double keep_prob = 0.5;      // per-feature keep probability
+    double kernel_width = 0.75;  // of sqrt(n), exponential kernel
+    double ridge_lambda = 1.0;
+    uint64_t seed = 11;
+  };
+
+  /// `model` and `reference` must outlive the explainer.
+  Lime(const Model* model, const Dataset* reference, const Options& options);
+
+  std::string name() const override { return "LIME"; }
+  Result<std::vector<double>> ImportanceScores(const Instance& x) override;
+
+ private:
+  const Model* model_;
+  PerturbationSampler sampler_;
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace cce::explain
+
+#endif  // CCE_EXPLAIN_LIME_H_

@@ -1,0 +1,74 @@
+#include "explain/linalg.h"
+
+#include <cmath>
+
+namespace cce::explain {
+
+Result<std::vector<double>> SolveSpd(std::vector<std::vector<double>> a,
+                                     std::vector<double> b) {
+  const size_t n = a.size();
+  if (n == 0 || b.size() != n) {
+    return Status::InvalidArgument("bad system dimensions");
+  }
+  // Cholesky factorisation A = L L^T (lower triangle stored in `a`).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a[i][j];
+      for (size_t k = 0; k < j; ++k) sum -= a[i][k] * a[j][k];
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::InvalidArgument("matrix not positive definite");
+        }
+        a[i][i] = std::sqrt(sum);
+      } else {
+        a[i][j] = sum / a[j][j];
+      }
+    }
+  }
+  // Forward solve L z = b.
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= a[i][k] * b[k];
+    b[i] = sum / a[i][i];
+  }
+  // Backward solve L^T x = z.
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= a[k][i] * b[k];
+    b[i] = sum / a[i][i];
+  }
+  return b;
+}
+
+Result<std::vector<double>> SolveWeightedRidge(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& targets, const std::vector<double>& weights,
+    double lambda) {
+  const size_t rows = features.size();
+  if (rows == 0 || targets.size() != rows || weights.size() != rows) {
+    return Status::InvalidArgument("inconsistent regression inputs");
+  }
+  const size_t cols = features[0].size();
+  if (cols == 0) return Status::InvalidArgument("no regression columns");
+
+  // Normal equations: (X^T W X + lambda I) beta = X^T W y.
+  std::vector<std::vector<double>> gram(cols,
+                                        std::vector<double>(cols, 0.0));
+  std::vector<double> rhs(cols, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    const std::vector<double>& x = features[r];
+    double w = weights[r];
+    for (size_t i = 0; i < cols; ++i) {
+      double wx = w * x[i];
+      rhs[i] += wx * targets[r];
+      for (size_t j = i; j < cols; ++j) gram[i][j] += wx * x[j];
+    }
+  }
+  for (size_t i = 0; i < cols; ++i) {
+    gram[i][i] += lambda;
+    for (size_t j = 0; j < i; ++j) gram[i][j] = gram[j][i];
+  }
+  return SolveSpd(std::move(gram), std::move(rhs));
+}
+
+}  // namespace cce::explain

@@ -1,0 +1,27 @@
+#ifndef CCE_EXPLAIN_LINALG_H_
+#define CCE_EXPLAIN_LINALG_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace cce::explain {
+
+/// Minimal dense linear algebra for the surrogate-model explainers.
+
+/// Solves the weighted ridge regression
+///   min_beta  sum_i w_i (y_i - x_i . beta)^2 + lambda ||beta||^2
+/// where `features` is row-major (rows x cols). Returns beta (cols values).
+Result<std::vector<double>> SolveWeightedRidge(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& targets, const std::vector<double>& weights,
+    double lambda);
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Cholesky; InvalidArgument on non-SPD input.
+Result<std::vector<double>> SolveSpd(std::vector<std::vector<double>> a,
+                                     std::vector<double> b);
+
+}  // namespace cce::explain
+
+#endif  // CCE_EXPLAIN_LINALG_H_

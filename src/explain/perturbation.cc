@@ -1,0 +1,33 @@
+#include "explain/perturbation.h"
+
+#include "common/logging.h"
+
+namespace cce::explain {
+
+PerturbationSampler::PerturbationSampler(const Dataset* reference)
+    : reference_(reference) {
+  CCE_CHECK(reference_ != nullptr);
+  CCE_CHECK(!reference_->empty());
+}
+
+Instance PerturbationSampler::Sample(const Instance& x,
+                                     const std::vector<bool>& keep,
+                                     Rng* rng) const {
+  CCE_CHECK(keep.size() == x.size());
+  Instance out = x;
+  for (FeatureId f = 0; f < x.size(); ++f) {
+    if (keep[f]) continue;
+    size_t row = rng->Uniform(reference_->size());
+    out[f] = reference_->value(row, f);
+  }
+  return out;
+}
+
+std::vector<bool> PerturbationSampler::RandomMask(size_t n, double keep_prob,
+                                                  Rng* rng) const {
+  std::vector<bool> mask(n);
+  for (size_t i = 0; i < n; ++i) mask[i] = rng->Bernoulli(keep_prob);
+  return mask;
+}
+
+}  // namespace cce::explain

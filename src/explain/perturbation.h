@@ -1,0 +1,37 @@
+#ifndef CCE_EXPLAIN_PERTURBATION_H_
+#define CCE_EXPLAIN_PERTURBATION_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace cce::explain {
+
+/// Draws perturbed neighbours of an instance from the empirical training
+/// distribution — the sampling backbone shared by LIME, KernelSHAP, Anchor
+/// and the faithfulness metric. Masked-out features take the value of a
+/// random reference row (per-feature, preserving marginals).
+class PerturbationSampler {
+ public:
+  /// `reference` provides the empirical distribution; it must stay alive.
+  explicit PerturbationSampler(const Dataset* reference);
+
+  /// Returns a copy of `x` where feature f keeps x[f] iff keep[f]; other
+  /// features are resampled from the reference marginal.
+  Instance Sample(const Instance& x, const std::vector<bool>& keep,
+                  Rng* rng) const;
+
+  /// Random binary mask with each bit kept with probability `keep_prob`.
+  std::vector<bool> RandomMask(size_t n, double keep_prob, Rng* rng) const;
+
+  const Dataset& reference() const { return *reference_; }
+
+ private:
+  const Dataset* reference_;
+};
+
+}  // namespace cce::explain
+
+#endif  // CCE_EXPLAIN_PERTURBATION_H_

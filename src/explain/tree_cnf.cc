@@ -1,0 +1,96 @@
+#include "explain/tree_cnf.h"
+
+#include "common/logging.h"
+
+namespace cce::explain {
+
+TreeCnfEncoder::TreeCnfEncoder(const ml::RegressionTree& tree,
+                               const Schema& schema, double base_score,
+                               Label y0) {
+  const size_t n = schema.num_features();
+  value_vars_.resize(n);
+  for (FeatureId f = 0; f < n; ++f) {
+    size_t domain = schema.DomainSize(f);
+    value_vars_[f].resize(domain);
+    std::vector<sat::Lit> one_of;
+    one_of.reserve(domain);
+    for (ValueId v = 0; v < domain; ++v) {
+      value_vars_[f][v] = formula_.NewVar();
+      one_of.push_back(sat::Pos(value_vars_[f][v]));
+    }
+    if (!one_of.empty()) formula_.AddExactlyOne(one_of);
+  }
+
+  // Walk root-to-leaf paths, collecting edge constraints. An edge
+  // "f <= t" (left) constrains the value to [0, t]; "f > t" (right) to
+  // (t, domain).
+  struct Frame {
+    int node;
+    std::vector<std::pair<FeatureId, std::pair<ValueId, ValueId>>> ranges;
+  };
+  const auto& nodes = tree.nodes();
+  CCE_CHECK(!nodes.empty());
+  std::vector<sat::Lit> opposing_leaves;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, {}});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const ml::TreeNode& node = nodes[frame.node];
+    if (!node.is_leaf) {
+      size_t domain = schema.DomainSize(node.feature);
+      Frame left = frame;
+      left.node = node.left;
+      left.ranges.push_back({node.feature, {0, node.threshold}});
+      stack.push_back(std::move(left));
+      Frame right = std::move(frame);
+      right.node = node.right;
+      right.ranges.push_back(
+          {node.feature,
+           {node.threshold + 1, static_cast<ValueId>(domain - 1)}});
+      stack.push_back(std::move(right));
+      continue;
+    }
+    // Leaf: only leaves predicting the *opposite* label matter.
+    Label leaf_label = (base_score + node.value) > 0.0 ? 1 : 0;
+    if (leaf_label == y0) continue;
+    sat::Var selector = formula_.NewVar();
+    opposing_leaves.push_back(sat::Pos(selector));
+    for (const auto& [feature, range] : frame.ranges) {
+      // selector -> (value in [lo, hi]).
+      sat::Clause clause;
+      clause.push_back(sat::Neg(selector));
+      for (ValueId v = range.first; v <= range.second; ++v) {
+        clause.push_back(sat::Pos(value_vars_[feature][v]));
+      }
+      formula_.AddClause(std::move(clause));
+    }
+  }
+  if (opposing_leaves.empty()) {
+    // The tree cannot predict the opposite label at all: the query is
+    // trivially UNSAT. Encode with an empty clause.
+    formula_.AddClause({});
+  } else {
+    formula_.AddClause(opposing_leaves);
+  }
+}
+
+std::vector<sat::Lit> TreeCnfEncoder::Assumptions(const Instance& x,
+                                                  const FeatureSet& e) const {
+  std::vector<sat::Lit> assumptions;
+  assumptions.reserve(e.size());
+  for (FeatureId f : e) {
+    CCE_CHECK(f < value_vars_.size());
+    CCE_CHECK(x[f] < value_vars_[f].size());
+    assumptions.push_back(sat::Pos(value_vars_[f][x[f]]));
+  }
+  return assumptions;
+}
+
+sat::Var TreeCnfEncoder::ValueVar(FeatureId f, ValueId v) const {
+  CCE_CHECK(f < value_vars_.size());
+  CCE_CHECK(v < value_vars_[f].size());
+  return value_vars_[f][v];
+}
+
+}  // namespace cce::explain

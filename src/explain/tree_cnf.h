@@ -1,0 +1,46 @@
+#ifndef CCE_EXPLAIN_TREE_CNF_H_
+#define CCE_EXPLAIN_TREE_CNF_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/schema.h"
+#include "core/types.h"
+#include "ml/tree.h"
+#include "sat/cnf.h"
+
+namespace cce::explain {
+
+/// CNF encoding of single-tree entailment queries, used to cross-validate
+/// the branch-and-bound oracle of Xreason with the CDCL solver (the
+/// original Xreason is (Max)SAT-based).
+///
+/// Encoding: one boolean per (feature, value) with exactly-one-per-feature
+/// constraints; one selector per leaf whose sign opposes the target label,
+/// implied to its path constraints; a clause asserting some opposing leaf
+/// is reached. The query "does fixing E to x's values entail label y0?" is
+/// then UNSAT under assumption literals pinning x[E].
+class TreeCnfEncoder {
+ public:
+  /// Builds the encoding for `tree` (margin sign semantics: label 1 iff
+  /// base + leaf > 0) against prediction `y0`.
+  TreeCnfEncoder(const ml::RegressionTree& tree, const Schema& schema,
+                 double base_score, Label y0);
+
+  const sat::CnfFormula& formula() const { return formula_; }
+
+  /// Assumption literals pinning x's values on the features of `e`.
+  std::vector<sat::Lit> Assumptions(const Instance& x,
+                                    const FeatureSet& e) const;
+
+  /// Variable encoding feature `f` taking value `v`.
+  sat::Var ValueVar(FeatureId f, ValueId v) const;
+
+ private:
+  sat::CnfFormula formula_;
+  std::vector<std::vector<sat::Var>> value_vars_;  // per feature, per value
+};
+
+}  // namespace cce::explain
+
+#endif  // CCE_EXPLAIN_TREE_CNF_H_

@@ -1,0 +1,152 @@
+#include "explain/xreason.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cce::explain {
+
+Xreason::Xreason(const ml::Gbdt* model, std::shared_ptr<const Schema> schema,
+                 const Options& options)
+    : model_(model), schema_(std::move(schema)), options_(options) {
+  CCE_CHECK(model_ != nullptr);
+  used_features_ = model_->UsedFeatures();
+  tree_use_count_.assign(schema_->num_features(), 0);
+  for (const ml::RegressionTree& tree : model_->trees()) {
+    for (FeatureId f : tree.UsedFeatures()) ++tree_use_count_[f];
+  }
+}
+
+bool Xreason::ExistsFlip(std::vector<int64_t>* fixed, Label y0,
+                         size_t* nodes, bool* aborted) const {
+  if (++*nodes > options_.max_nodes) {
+    *aborted = true;
+    return true;  // conservative: assume a flip is possible
+  }
+
+  // Margin bounds from per-tree reachable leaves. lo <= true min margin,
+  // hi >= true max margin over all completions of `fixed`.
+  double lo = model_->base_score();
+  double hi = model_->base_score();
+  for (const ml::RegressionTree& tree : model_->trees()) {
+    auto [tree_lo, tree_hi] = tree.ReachableRange(*fixed);
+    lo += tree_lo;
+    hi += tree_hi;
+  }
+
+  if (y0 == 1) {
+    if (lo > 0.0) return false;  // every completion keeps margin > 0
+    if (hi <= 0.0) return true;  // every completion flips
+  } else {
+    if (hi <= 0.0) return false;
+    if (lo > 0.0) return true;
+  }
+
+  // Undecided: branch on the free used feature read by the most trees.
+  FeatureId branch_feature = 0;
+  size_t best_count = 0;
+  bool found = false;
+  for (FeatureId f : used_features_) {
+    if ((*fixed)[f] >= 0) continue;
+    if (!found || tree_use_count_[f] > best_count) {
+      branch_feature = f;
+      best_count = tree_use_count_[f];
+      found = true;
+    }
+  }
+  if (!found) {
+    // All features the ensemble reads are fixed, yet the relaxation is
+    // undecided — impossible since bounds are exact on full assignments.
+    // Evaluate the margin sign directly as a safeguard.
+    return y0 == 1 ? lo <= 0.0 : hi > 0.0;
+  }
+
+  const size_t domain = schema_->DomainSize(branch_feature);
+  for (size_t v = 0; v < domain; ++v) {
+    (*fixed)[branch_feature] = static_cast<int64_t>(v);
+    if (ExistsFlip(fixed, y0, nodes, aborted)) {
+      (*fixed)[branch_feature] = -1;
+      return true;
+    }
+  }
+  (*fixed)[branch_feature] = -1;
+  return false;
+}
+
+bool Xreason::Entails(const Instance& x, const FeatureSet& e) const {
+  ++oracle_calls_;
+  const Label y0 = model_->Predict(x);
+  std::vector<int64_t> fixed(schema_->num_features(), -1);
+  for (FeatureId f : e) fixed[f] = static_cast<int64_t>(x[f]);
+  size_t nodes = 0;
+  bool aborted = false;
+  bool flip = ExistsFlip(&fixed, y0, &nodes, &aborted);
+  return !flip;
+}
+
+FeatureSet Xreason::QuickXplain(const Instance& x,
+                                const FeatureSet& background,
+                                const FeatureSet& candidates,
+                                bool background_may_suffice) const {
+  if (candidates.empty()) return {};
+  if (background_may_suffice && Entails(x, background)) return {};
+  if (candidates.size() == 1) return candidates;
+
+  size_t half = candidates.size() / 2;
+  FeatureSet first(candidates.begin(),
+                   candidates.begin() + static_cast<long>(half));
+  FeatureSet second(candidates.begin() + static_cast<long>(half),
+                    candidates.end());
+
+  FeatureSet with_first = background;
+  for (FeatureId f : first) FeatureSetInsert(&with_first, f);
+  FeatureSet need_second =
+      QuickXplain(x, with_first, second, !first.empty());
+
+  FeatureSet with_second = background;
+  for (FeatureId f : need_second) FeatureSetInsert(&with_second, f);
+  FeatureSet need_first =
+      QuickXplain(x, with_second, first, !need_second.empty());
+
+  for (FeatureId f : need_second) FeatureSetInsert(&need_first, f);
+  return need_first;
+}
+
+Result<FeatureSet> Xreason::ExplainFeatures(const Instance& x,
+                                            size_t /*target_size*/) {
+  if (x.size() != schema_->num_features()) {
+    return Status::InvalidArgument("instance arity does not match schema");
+  }
+  // Only features the ensemble actually reads can influence the prediction;
+  // everything else is trivially removable.
+  FeatureSet explanation(used_features_.begin(), used_features_.end());
+
+  if (options_.minimization == Minimization::kQuickXplain) {
+    FeatureSet minimal = QuickXplain(x, {}, explanation,
+                                     /*background_may_suffice=*/false);
+    // Safety net for aborted oracle calls (QuickXplain's divide-and-
+    // conquer assumes exact answers): fall back to the full feature set if
+    // the result does not verifiably entail.
+    if (!Entails(x, minimal)) return explanation;
+    return minimal;
+  }
+
+  // Deletion-based prime-implicant computation: drop features whose removal
+  // preserves entailment. Try widest-domain features first — removing them
+  // relaxes the most.
+  std::vector<FeatureId> order(explanation);
+  std::sort(order.begin(), order.end(), [&](FeatureId a, FeatureId b) {
+    return schema_->DomainSize(a) > schema_->DomainSize(b);
+  });
+  for (FeatureId f : order) {
+    FeatureSet candidate;
+    candidate.reserve(explanation.size() - 1);
+    for (FeatureId g : explanation) {
+      if (g != f) candidate.push_back(g);
+    }
+    if (Entails(x, candidate)) explanation = std::move(candidate);
+  }
+  return explanation;
+}
+
+}  // namespace cce::explain

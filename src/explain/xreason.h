@@ -1,0 +1,82 @@
+#ifndef CCE_EXPLAIN_XREASON_H_
+#define CCE_EXPLAIN_XREASON_H_
+
+#include <memory>
+
+#include "core/schema.h"
+#include "explain/explainer.h"
+#include "ml/gbdt.h"
+
+namespace cce::explain {
+
+/// Xreason [47]: *formal* feature explanation of a tree-ensemble model.
+/// The returned explanation E is a prime implicant: for EVERY instance x'
+/// in the whole feature space, x'[E] = x[E] implies M(x') = M(x), and no
+/// proper subset of E has this property.
+///
+/// Implementation: deletion-based minimisation driven by a sound-and-
+/// complete branch-and-bound entailment oracle over the ensemble (per-tree
+/// reachable-leaf margin bounds). The original uses MaxSAT; our CNF/SAT
+/// path (tree_cnf.h) validates this oracle on single trees. Like the
+/// original, the explanation size is not tunable and the model structure
+/// must be known — the two restrictions CCE removes.
+class Xreason : public FeatureExplainer {
+ public:
+  /// Strategy for shrinking the explanation to a prime implicant.
+  enum class Minimization {
+    kDeletion,     // linear scan: one oracle call per feature
+    kQuickXplain,  // divide-and-conquer: fewer calls for small explanations
+  };
+
+  struct Options {
+    /// Abort the oracle after this many search nodes; an aborted check is
+    /// treated as "may flip", keeping the explanation sound (possibly less
+    /// succinct).
+    size_t max_nodes = 5'000'000;
+    Minimization minimization = Minimization::kDeletion;
+  };
+
+  /// `model` and `schema` must outlive the explainer.
+  Xreason(const ml::Gbdt* model, std::shared_ptr<const Schema> schema,
+          const Options& options);
+
+  std::string name() const override { return "Xreason"; }
+
+  /// `target_size` is ignored: formal explanations are not size-tunable
+  /// (paper Section 7.1).
+  Result<FeatureSet> ExplainFeatures(const Instance& x,
+                                     size_t target_size) override;
+
+  /// Entailment oracle: true iff fixing the features of `e` to x's values
+  /// forces prediction M(x) over the entire feature space. Exposed for
+  /// tests and the SAT cross-validation.
+  bool Entails(const Instance& x, const FeatureSet& e) const;
+
+  /// Oracle invocations since construction/reset (for the minimisation
+  /// cost ablation).
+  size_t oracle_calls() const { return oracle_calls_; }
+  void ResetOracleCalls() { oracle_calls_ = 0; }
+
+ private:
+  /// QuickXplain: returns a minimal subset E of `candidates` such that
+  /// `background` ∪ E entails the prediction, assuming background ∪
+  /// candidates does.
+  FeatureSet QuickXplain(const Instance& x, const FeatureSet& background,
+                         const FeatureSet& candidates,
+                         bool background_may_suffice) const;
+  /// True iff some completion of `fixed` flips the prediction away from y0.
+  /// Sets *aborted when the node budget runs out.
+  bool ExistsFlip(std::vector<int64_t>* fixed, Label y0, size_t* nodes,
+                  bool* aborted) const;
+
+  const ml::Gbdt* model_;
+  std::shared_ptr<const Schema> schema_;
+  Options options_;
+  std::vector<FeatureId> used_features_;  // features the ensemble reads
+  std::vector<size_t> tree_use_count_;    // branching heuristic
+  mutable size_t oracle_calls_ = 0;
+};
+
+}  // namespace cce::explain
+
+#endif  // CCE_EXPLAIN_XREASON_H_

@@ -1,0 +1,312 @@
+#include "io/serialize.h"
+
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace cce::io {
+namespace {
+
+constexpr char kDatasetMagic[] = "CCEDATASET v1";
+constexpr char kGbdtMagic[] = "CCEGBDT v1";
+
+// Reads one line, stripping a trailing \r; IoError at EOF.
+Result<std::string> ReadLine(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::IoError("unexpected end of stream");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+Result<long long> ReadCount(std::istream* in, const std::string& keyword) {
+  Result<std::string> line = ReadLine(in);
+  if (!line.ok()) return line.status();
+  std::istringstream parser(*line);
+  std::string word;
+  long long count = -1;
+  parser >> word >> count;
+  if (word != keyword || count < 0) {
+    return Status::InvalidArgument("expected '" + keyword +
+                                   " <count>', got '" + *line + "'");
+  }
+  return count;
+}
+
+}  // namespace
+
+std::string EscapeLine(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeLine(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out.push_back(text[i]);
+      continue;
+    }
+    if (i + 1 >= text.size()) {
+      return Status::InvalidArgument("dangling escape at end of line");
+    }
+    switch (text[++i]) {
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'r':
+        out.push_back('\r');
+        break;
+      case 't':
+        out.push_back('\t');
+        break;
+      default:
+        return Status::InvalidArgument("unknown escape in line");
+    }
+  }
+  return out;
+}
+
+Status SaveDataset(const Dataset& dataset, std::ostream* out) {
+  const Schema& schema = dataset.schema();
+  *out << kDatasetMagic << "\n";
+  *out << "features " << schema.num_features() << "\n";
+  for (FeatureId f = 0; f < schema.num_features(); ++f) {
+    *out << "feature " << schema.DomainSize(f) << " "
+         << EscapeLine(schema.FeatureName(f)) << "\n";
+    for (ValueId v = 0; v < schema.DomainSize(f); ++v) {
+      *out << EscapeLine(schema.ValueName(f, v)) << "\n";
+    }
+  }
+  *out << "labels " << schema.num_labels() << "\n";
+  for (Label y = 0; y < schema.num_labels(); ++y) {
+    *out << EscapeLine(schema.LabelName(y)) << "\n";
+  }
+  *out << "rows " << dataset.size() << "\n";
+  for (size_t row = 0; row < dataset.size(); ++row) {
+    const Instance& x = dataset.instance(row);
+    for (ValueId v : x) *out << v << " ";
+    *out << dataset.label(row) << "\n";
+  }
+  if (!out->good()) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+Result<Dataset> LoadDataset(std::istream* in) {
+  Result<std::string> magic = ReadLine(in);
+  if (!magic.ok()) return magic.status();
+  if (*magic != kDatasetMagic) {
+    return Status::InvalidArgument("bad dataset magic: '" + *magic + "'");
+  }
+  Result<long long> feature_count = ReadCount(in, "features");
+  if (!feature_count.ok()) return feature_count.status();
+
+  auto schema = std::make_shared<Schema>();
+  for (long long f = 0; f < *feature_count; ++f) {
+    Result<std::string> header = ReadLine(in);
+    if (!header.ok()) return header.status();
+    std::istringstream parser(*header);
+    std::string word;
+    long long domain = -1;
+    parser >> word >> domain;
+    if (word != "feature" || domain < 0) {
+      return Status::InvalidArgument("bad feature header: '" + *header +
+                                     "'");
+    }
+    std::string rest;
+    std::getline(parser, rest);
+    if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+    Result<std::string> name = UnescapeLine(rest);
+    if (!name.ok()) return name.status();
+    FeatureId id = schema->AddFeature(*name);
+    for (long long v = 0; v < domain; ++v) {
+      Result<std::string> value_line = ReadLine(in);
+      if (!value_line.ok()) return value_line.status();
+      Result<std::string> value = UnescapeLine(*value_line);
+      if (!value.ok()) return value.status();
+      schema->InternValue(id, *value);
+    }
+  }
+
+  Result<long long> label_count = ReadCount(in, "labels");
+  if (!label_count.ok()) return label_count.status();
+  for (long long y = 0; y < *label_count; ++y) {
+    Result<std::string> label_line = ReadLine(in);
+    if (!label_line.ok()) return label_line.status();
+    Result<std::string> label = UnescapeLine(*label_line);
+    if (!label.ok()) return label.status();
+    schema->InternLabel(*label);
+  }
+
+  Result<long long> row_count = ReadCount(in, "rows");
+  if (!row_count.ok()) return row_count.status();
+  Dataset dataset(schema);
+  const size_t n = schema->num_features();
+  for (long long row = 0; row < *row_count; ++row) {
+    Result<std::string> line = ReadLine(in);
+    if (!line.ok()) return line.status();
+    std::istringstream parser(*line);
+    Instance x(n);
+    for (size_t f = 0; f < n; ++f) {
+      if (!(parser >> x[f])) {
+        return Status::InvalidArgument("short data row");
+      }
+      if (x[f] >= schema->DomainSize(static_cast<FeatureId>(f))) {
+        return Status::InvalidArgument("value id outside feature domain");
+      }
+    }
+    Label y;
+    if (!(parser >> y)) return Status::InvalidArgument("row missing label");
+    if (y >= schema->num_labels()) {
+      return Status::InvalidArgument("label id outside label dictionary");
+    }
+    dataset.Add(std::move(x), y);
+  }
+  return dataset;
+}
+
+Status SaveGbdt(const ml::Gbdt& model, std::ostream* out) {
+  out->precision(17);
+  *out << kGbdtMagic << "\n";
+  *out << "base_score " << model.base_score() << "\n";
+  *out << "trees " << model.trees().size() << "\n";
+  for (const ml::RegressionTree& tree : model.trees()) {
+    *out << "tree " << tree.nodes().size() << "\n";
+    for (const ml::TreeNode& node : tree.nodes()) {
+      *out << (node.is_leaf ? 1 : 0) << " " << node.feature << " "
+           << node.threshold << " " << node.left << " " << node.right << " "
+           << node.value << "\n";
+    }
+  }
+  if (!out->good()) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<ml::Gbdt>> LoadGbdt(std::istream* in) {
+  Result<std::string> magic = ReadLine(in);
+  if (!magic.ok()) return magic.status();
+  if (*magic != kGbdtMagic) {
+    return Status::InvalidArgument("bad model magic: '" + *magic + "'");
+  }
+  Result<std::string> base_line = ReadLine(in);
+  if (!base_line.ok()) return base_line.status();
+  std::istringstream base_parser(*base_line);
+  std::string word;
+  double base_score = 0.0;
+  base_parser >> word >> base_score;
+  if (word != "base_score") {
+    return Status::InvalidArgument("expected base_score line");
+  }
+  Result<long long> tree_count = ReadCount(in, "trees");
+  if (!tree_count.ok()) return tree_count.status();
+
+  std::vector<ml::RegressionTree> trees;
+  trees.reserve(static_cast<size_t>(*tree_count));
+  for (long long t = 0; t < *tree_count; ++t) {
+    Result<long long> node_count = ReadCount(in, "tree");
+    if (!node_count.ok()) return node_count.status();
+    std::vector<ml::TreeNode> nodes;
+    nodes.reserve(static_cast<size_t>(*node_count));
+    for (long long i = 0; i < *node_count; ++i) {
+      Result<std::string> line = ReadLine(in);
+      if (!line.ok()) return line.status();
+      std::istringstream parser(*line);
+      int is_leaf = 0;
+      ml::TreeNode node;
+      if (!(parser >> is_leaf >> node.feature >> node.threshold >>
+            node.left >> node.right >> node.value)) {
+        return Status::InvalidArgument("bad tree node line: '" + *line +
+                                       "'");
+      }
+      node.is_leaf = (is_leaf != 0);
+      nodes.push_back(node);
+    }
+    Result<ml::RegressionTree> tree =
+        ml::RegressionTree::FromNodes(std::move(nodes));
+    if (!tree.ok()) return tree.status();
+    trees.push_back(std::move(tree).value());
+  }
+  return ml::Gbdt::FromParts(base_score, std::move(trees));
+}
+
+Result<CsvTable> DatasetToCsv(const Dataset& dataset,
+                              const std::string& label_column) {
+  if (label_column.empty()) {
+    return Status::InvalidArgument("label_column must not be empty");
+  }
+  const Schema& schema = dataset.schema();
+  for (FeatureId f = 0; f < schema.num_features(); ++f) {
+    if (schema.FeatureName(f) == label_column) {
+      return Status::InvalidArgument(
+          "label_column collides with feature '" + label_column + "'");
+    }
+  }
+  CsvTable table;
+  for (FeatureId f = 0; f < schema.num_features(); ++f) {
+    table.header.push_back(schema.FeatureName(f));
+  }
+  table.header.push_back(label_column);
+  for (size_t row = 0; row < dataset.size(); ++row) {
+    std::vector<std::string> record;
+    record.reserve(schema.num_features() + 1);
+    for (FeatureId f = 0; f < schema.num_features(); ++f) {
+      record.push_back(schema.ValueName(f, dataset.value(row, f)));
+    }
+    record.push_back(schema.LabelName(dataset.label(row)));
+    table.rows.push_back(std::move(record));
+  }
+  return table;
+}
+
+Status SaveDatasetToFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return SaveDataset(dataset, &out);
+}
+
+Result<Dataset> LoadDatasetFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  return LoadDataset(&in);
+}
+
+Status SaveGbdtToFile(const ml::Gbdt& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return SaveGbdt(model, &out);
+}
+
+Result<std::unique_ptr<ml::Gbdt>> LoadGbdtFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  return LoadGbdt(&in);
+}
+
+}  // namespace cce::io

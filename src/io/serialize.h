@@ -1,0 +1,54 @@
+#ifndef CCE_IO_SERIALIZE_H_
+#define CCE_IO_SERIALIZE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/csv.h"
+#include "common/status.h"
+#include "core/dataset.h"
+#include "ml/gbdt.h"
+
+namespace cce::io {
+
+/// Persistence for the client-side artifacts: the context a client accrues
+/// during model serving (a Dataset of instances + predictions) and, for
+/// users who own their model, the GBDT itself. Formats are line-oriented
+/// versioned text: diff-able, greppable, stable across platforms.
+
+/// Writes `dataset` (schema, label dictionary, rows) to `out`.
+Status SaveDataset(const Dataset& dataset, std::ostream* out);
+
+/// Reads a dataset previously written by SaveDataset.
+Result<Dataset> LoadDataset(std::istream* in);
+
+/// File-path conveniences.
+Status SaveDatasetToFile(const Dataset& dataset, const std::string& path);
+Result<Dataset> LoadDatasetFromFile(const std::string& path);
+
+/// Writes the GBDT ensemble (base score and tree structures) to `out`.
+Status SaveGbdt(const ml::Gbdt& model, std::ostream* out);
+
+/// Reads a model previously written by SaveGbdt.
+Result<std::unique_ptr<ml::Gbdt>> LoadGbdt(std::istream* in);
+
+Status SaveGbdtToFile(const ml::Gbdt& model, const std::string& path);
+Result<std::unique_ptr<ml::Gbdt>> LoadGbdtFromFile(const std::string& path);
+
+/// Renders a dataset as CSV with human-readable values (the inverse of
+/// data::LoadCsvDataset): one column per feature plus a final prediction
+/// column named `label_column`. Lets clients hand a context to auditors or
+/// external tooling.
+Result<CsvTable> DatasetToCsv(const Dataset& dataset,
+                              const std::string& label_column);
+
+/// Escapes a string for single-line storage (\\, \n, \r, \t).
+std::string EscapeLine(const std::string& text);
+
+/// Inverse of EscapeLine; InvalidArgument on a malformed escape.
+Result<std::string> UnescapeLine(const std::string& text);
+
+}  // namespace cce::io
+
+#endif  // CCE_IO_SERIALIZE_H_

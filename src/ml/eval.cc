@@ -1,0 +1,101 @@
+#include "ml/eval.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cce::ml {
+
+Result<double> AreaUnderRoc(const std::vector<double>& scores,
+                            const std::vector<Label>& labels) {
+  if (scores.size() != labels.size()) {
+    return Status::InvalidArgument("scores/labels size mismatch");
+  }
+  size_t positives = 0;
+  for (Label y : labels) {
+    if (y > 1) {
+      return Status::InvalidArgument("labels must be binary");
+    }
+    positives += y;
+  }
+  size_t negatives = labels.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    return Status::FailedPrecondition(
+        "AUC undefined with a single class present");
+  }
+
+  // Rank-based AUC: sort by score, assign average ranks to ties, then
+  // AUC = (sum of positive ranks - P(P+1)/2) / (P * N).
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::vector<double> ranks(scores.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    double average_rank = (static_cast<double>(i) +
+                           static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = average_rank;
+    i = j + 1;
+  }
+  double positive_rank_sum = 0.0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) positive_rank_sum += ranks[k];
+  }
+  double p = static_cast<double>(positives);
+  double auc = (positive_rank_sum - p * (p + 1.0) / 2.0) /
+               (p * static_cast<double>(negatives));
+  return auc;
+}
+
+Result<BinaryReport> EvaluateBinary(const Model& model,
+                                    const Dataset& dataset) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot evaluate on an empty dataset");
+  }
+  BinaryReport report;
+  std::vector<double> scores;
+  scores.reserve(dataset.size());
+  for (size_t row = 0; row < dataset.size(); ++row) {
+    Label truth = dataset.label(row);
+    if (truth > 1) {
+      return Status::InvalidArgument("labels must be binary");
+    }
+    Label predicted = model.Predict(dataset.instance(row));
+    scores.push_back(model.Score(dataset.instance(row)));
+    if (predicted == 1 && truth == 1) ++report.true_positives;
+    if (predicted == 0 && truth == 0) ++report.true_negatives;
+    if (predicted == 1 && truth == 0) ++report.false_positives;
+    if (predicted == 0 && truth == 1) ++report.false_negatives;
+  }
+  double total = static_cast<double>(dataset.size());
+  report.accuracy =
+      static_cast<double>(report.true_positives + report.true_negatives) /
+      total;
+  size_t predicted_positive =
+      report.true_positives + report.false_positives;
+  size_t actual_positive = report.true_positives + report.false_negatives;
+  report.precision =
+      predicted_positive == 0
+          ? 0.0
+          : static_cast<double>(report.true_positives) /
+                static_cast<double>(predicted_positive);
+  report.recall = actual_positive == 0
+                      ? 0.0
+                      : static_cast<double>(report.true_positives) /
+                            static_cast<double>(actual_positive);
+  report.f1 = (report.precision + report.recall) == 0.0
+                  ? 0.0
+                  : 2.0 * report.precision * report.recall /
+                        (report.precision + report.recall);
+  Result<double> auc = AreaUnderRoc(scores, dataset.labels());
+  report.auc = auc.ok() ? *auc : 0.5;
+  return report;
+}
+
+}  // namespace cce::ml

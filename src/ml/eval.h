@@ -1,0 +1,36 @@
+#ifndef CCE_ML_EVAL_H_
+#define CCE_ML_EVAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/model.h"
+
+namespace cce::ml {
+
+/// Binary-classification evaluation report.
+struct BinaryReport {
+  size_t true_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double accuracy = 0.0;
+  double precision = 0.0;  // of the positive class
+  double recall = 0.0;
+  double f1 = 0.0;
+  double auc = 0.0;  // ranking quality of Model::Score
+};
+
+/// Evaluates `model` against the labelled `dataset` (labels 0/1).
+Result<BinaryReport> EvaluateBinary(const Model& model,
+                                    const Dataset& dataset);
+
+/// Area under the ROC curve for raw `scores` against binary `labels`,
+/// computed by the rank statistic (ties get half credit).
+Result<double> AreaUnderRoc(const std::vector<double>& scores,
+                            const std::vector<Label>& labels);
+
+}  // namespace cce::ml
+
+#endif  // CCE_ML_EVAL_H_

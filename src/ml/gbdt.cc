@@ -1,0 +1,203 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cce::ml {
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+namespace {
+
+// Validation log-loss of `margins` against labels.
+double LogLoss(const std::vector<double>& margins,
+               const std::vector<Label>& labels) {
+  double total = 0.0;
+  for (size_t i = 0; i < margins.size(); ++i) {
+    double p = std::clamp(Sigmoid(margins[i]), 1e-12, 1.0 - 1e-12);
+    total -= labels[i] == 1 ? std::log(p) : std::log(1.0 - p);
+  }
+  return total / static_cast<double>(margins.size());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Gbdt>> Gbdt::Train(const Dataset& train,
+                                          const Options& options) {
+  if (options.early_stopping_rounds > 0) {
+    return Status::InvalidArgument(
+        "early stopping needs a validation set; use TrainWithValidation");
+  }
+  Dataset no_validation(train.schema_ptr());
+  return TrainWithValidation(train, no_validation, options);
+}
+
+Result<std::unique_ptr<Gbdt>> Gbdt::TrainWithValidation(
+    const Dataset& train, const Dataset& validation,
+    const Options& options) {
+  if (train.empty()) {
+    return Status::InvalidArgument("training set is empty");
+  }
+  if (options.num_trees <= 0 || options.max_depth <= 0) {
+    return Status::InvalidArgument("num_trees and max_depth must be > 0");
+  }
+  if (options.subsample <= 0.0 || options.subsample > 1.0) {
+    return Status::InvalidArgument("subsample must be in (0, 1]");
+  }
+  if (options.colsample <= 0.0 || options.colsample > 1.0) {
+    return Status::InvalidArgument("colsample must be in (0, 1]");
+  }
+  if (options.early_stopping_rounds > 0 && validation.empty()) {
+    return Status::InvalidArgument(
+        "early_stopping_rounds > 0 requires a non-empty validation set");
+  }
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (train.label(i) > 1) {
+      return Status::InvalidArgument(
+          "Gbdt supports binary labels (ids 0/1) only");
+    }
+  }
+
+  auto model = std::unique_ptr<Gbdt>(new Gbdt());
+
+  // Prior log-odds of the positive class, clamped away from +-inf for
+  // single-class training sets.
+  size_t positives = 0;
+  for (size_t i = 0; i < train.size(); ++i) positives += train.label(i);
+  double p = std::clamp(static_cast<double>(positives) /
+                            static_cast<double>(train.size()),
+                        1e-6, 1.0 - 1e-6);
+  model->base_score_ = std::log(p / (1.0 - p));
+
+  std::vector<double> margins(train.size(), model->base_score_);
+  std::vector<double> validation_margins(validation.size(),
+                                         model->base_score_);
+  std::vector<double> gradients(train.size());
+  std::vector<double> hessians(train.size());
+  Rng rng(options.seed);
+
+  RegressionTree::Options tree_options;
+  tree_options.max_depth = options.max_depth;
+  tree_options.lambda = options.lambda;
+  tree_options.gamma = options.gamma;
+  tree_options.min_child_weight = options.min_child_weight;
+
+  const size_t n = train.num_features();
+  double best_validation_loss = std::numeric_limits<double>::infinity();
+  size_t best_round_trees = 0;
+  int rounds_since_improvement = 0;
+
+  for (int round = 0; round < options.num_trees; ++round) {
+    for (size_t i = 0; i < train.size(); ++i) {
+      double prob = Sigmoid(margins[i]);
+      gradients[i] = prob - static_cast<double>(train.label(i));
+      hessians[i] = std::max(prob * (1.0 - prob), 1e-12);
+    }
+
+    std::vector<size_t> rows;
+    if (options.subsample >= 1.0) {
+      rows.resize(train.size());
+      for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    } else {
+      size_t k = std::max<size_t>(
+          1, static_cast<size_t>(options.subsample *
+                                 static_cast<double>(train.size())));
+      rows = rng.SampleWithoutReplacement(train.size(), k);
+      std::sort(rows.begin(), rows.end());
+    }
+
+    if (options.colsample < 1.0) {
+      size_t k = std::max<size_t>(
+          1, static_cast<size_t>(options.colsample *
+                                 static_cast<double>(n)));
+      tree_options.allowed_features.assign(n, false);
+      for (size_t f : rng.SampleWithoutReplacement(n, k)) {
+        tree_options.allowed_features[f] = true;
+      }
+    }
+
+    RegressionTree tree;
+    tree.Fit(train, gradients, hessians, rows, tree_options);
+    tree.ScaleLeaves(options.learning_rate);
+    for (size_t i = 0; i < train.size(); ++i) {
+      margins[i] += tree.Predict(train.instance(i));
+    }
+    for (size_t i = 0; i < validation.size(); ++i) {
+      validation_margins[i] += tree.Predict(validation.instance(i));
+    }
+    model->trees_.push_back(std::move(tree));
+
+    if (options.early_stopping_rounds > 0) {
+      double loss = LogLoss(validation_margins, validation.labels());
+      if (loss < best_validation_loss - 1e-9) {
+        best_validation_loss = loss;
+        best_round_trees = model->trees_.size();
+        rounds_since_improvement = 0;
+      } else if (++rounds_since_improvement >=
+                 options.early_stopping_rounds) {
+        break;
+      }
+    }
+  }
+  if (options.early_stopping_rounds > 0 && best_round_trees > 0) {
+    model->trees_.resize(best_round_trees);
+  }
+  return model;
+}
+
+std::unique_ptr<Gbdt> Gbdt::FromParts(double base_score,
+                                      std::vector<RegressionTree> trees) {
+  auto model = std::unique_ptr<Gbdt>(new Gbdt());
+  model->base_score_ = base_score;
+  model->trees_ = std::move(trees);
+  return model;
+}
+
+double Gbdt::Margin(const Instance& x) const {
+  double margin = base_score_;
+  for (const RegressionTree& tree : trees_) margin += tree.Predict(x);
+  return margin;
+}
+
+double Gbdt::Probability(const Instance& x) const {
+  return Sigmoid(Margin(x));
+}
+
+Label Gbdt::Predict(const Instance& x) const {
+  return Margin(x) > 0.0 ? 1 : 0;
+}
+
+std::vector<double> Gbdt::GainImportance(size_t num_features) const {
+  std::vector<double> importance(num_features, 0.0);
+  double total = 0.0;
+  for (const RegressionTree& tree : trees_) {
+    for (const TreeNode& node : tree.nodes()) {
+      if (node.is_leaf || node.feature >= num_features) continue;
+      importance[node.feature] += node.gain;
+      total += node.gain;
+    }
+  }
+  if (total > 0.0) {
+    for (double& value : importance) value /= total;
+  }
+  return importance;
+}
+
+std::vector<FeatureId> Gbdt::UsedFeatures() const {
+  std::vector<FeatureId> used;
+  for (const RegressionTree& tree : trees_) {
+    std::vector<FeatureId> tree_used = tree.UsedFeatures();
+    used.insert(used.end(), tree_used.begin(), tree_used.end());
+  }
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  return used;
+}
+
+}  // namespace cce::ml

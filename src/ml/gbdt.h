@@ -1,0 +1,83 @@
+#ifndef CCE_ML_GBDT_H_
+#define CCE_ML_GBDT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/model.h"
+#include "ml/tree.h"
+
+namespace cce::ml {
+
+/// Gradient-boosted decision trees for binary classification with the
+/// second-order logistic objective — a from-scratch stand-in for the
+/// XGBoost models the paper trains (Section 7.1). Implements cce::Model, so
+/// every explainer (and none of the relative-key code) can query it.
+class Gbdt : public Model {
+ public:
+  struct Options {
+    int num_trees = 50;
+    int max_depth = 4;
+    double learning_rate = 0.2;
+    double lambda = 1.0;
+    double gamma = 0.0;
+    double min_child_weight = 1.0;
+    double subsample = 1.0;    // row subsampling fraction per round
+    double colsample = 1.0;    // feature subsampling fraction per round
+    /// Stop when the validation log-loss has not improved for this many
+    /// rounds (0 disables; requires a validation set at Train time).
+    int early_stopping_rounds = 0;
+    uint64_t seed = 7;
+  };
+
+  /// Trains on `train`; labels must be binary (0/1 label ids).
+  static Result<std::unique_ptr<Gbdt>> Train(const Dataset& train,
+                                             const Options& options);
+
+  /// Trains with early stopping monitored on `validation` (required
+  /// non-empty when options.early_stopping_rounds > 0). The returned
+  /// ensemble is truncated to the best validation round.
+  static Result<std::unique_ptr<Gbdt>> TrainWithValidation(
+      const Dataset& train, const Dataset& validation,
+      const Options& options);
+
+  /// Rebuilds an ensemble from its parts (deserialization path).
+  static std::unique_ptr<Gbdt> FromParts(double base_score,
+                                         std::vector<RegressionTree> trees);
+
+  /// Raw additive margin (positive favours label 1).
+  double Margin(const Instance& x) const;
+
+  /// Positive-class probability sigmoid(margin).
+  double Probability(const Instance& x) const;
+
+  // Model interface.
+  Label Predict(const Instance& x) const override;
+  double Score(const Instance& x) const override { return Margin(x); }
+
+  /// Ensemble internals for the formal explainer.
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+  double base_score() const { return base_score_; }
+
+  /// Features used anywhere in the ensemble, sorted unique.
+  std::vector<FeatureId> UsedFeatures() const;
+
+  /// Global gain-based feature importance: total split gain attributed to
+  /// each feature across the ensemble, normalised to sum to 1 (all zeros
+  /// for a stump-only model). The standard "model importance" XGBoost
+  /// reports; contrast with context-relative importance
+  /// (core/importance.h).
+  std::vector<double> GainImportance(size_t num_features) const;
+
+ private:
+  Gbdt() = default;
+
+  std::vector<RegressionTree> trees_;
+  double base_score_ = 0.0;  // prior log-odds
+};
+
+}  // namespace cce::ml
+
+#endif  // CCE_ML_GBDT_H_

@@ -1,0 +1,69 @@
+#include "ml/multiclass.h"
+
+#include <limits>
+
+namespace cce::ml {
+
+Result<std::unique_ptr<OneVsRestGbdt>> OneVsRestGbdt::Train(
+    const Dataset& train, const Options& options) {
+  if (train.empty()) {
+    return Status::InvalidArgument("training set is empty");
+  }
+  Label max_label = 0;
+  for (size_t row = 0; row < train.size(); ++row) {
+    max_label = std::max(max_label, train.label(row));
+  }
+  const size_t num_classes = static_cast<size_t>(max_label) + 1;
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+
+  auto model = std::unique_ptr<OneVsRestGbdt>(new OneVsRestGbdt());
+  // A binary task per class: this-class-vs-rest, sharing the schema.
+  for (size_t k = 0; k < num_classes; ++k) {
+    Dataset binary(train.schema_ptr());
+    for (size_t row = 0; row < train.size(); ++row) {
+      binary.Add(train.instance(row),
+                 train.label(row) == static_cast<Label>(k) ? 1u : 0u);
+    }
+    Gbdt::Options member_options = options.gbdt;
+    member_options.seed = options.gbdt.seed + k;
+    Result<std::unique_ptr<Gbdt>> member =
+        Gbdt::Train(binary, member_options);
+    if (!member.ok()) return member.status();
+    model->members_.push_back(std::move(member).value());
+  }
+  return model;
+}
+
+std::vector<double> OneVsRestGbdt::ClassMargins(const Instance& x) const {
+  std::vector<double> margins;
+  margins.reserve(members_.size());
+  for (const auto& member : members_) {
+    margins.push_back(member->Margin(x));
+  }
+  return margins;
+}
+
+Label OneVsRestGbdt::Predict(const Instance& x) const {
+  Label best = 0;
+  double best_margin = -std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k < members_.size(); ++k) {
+    double margin = members_[k]->Margin(x);
+    if (margin > best_margin) {
+      best_margin = margin;
+      best = static_cast<Label>(k);
+    }
+  }
+  return best;
+}
+
+double OneVsRestGbdt::Score(const Instance& x) const {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& member : members_) {
+    best = std::max(best, member->Margin(x));
+  }
+  return best;
+}
+
+}  // namespace cce::ml

@@ -1,0 +1,47 @@
+#ifndef CCE_ML_MULTICLASS_H_
+#define CCE_ML_MULTICLASS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/model.h"
+#include "ml/gbdt.h"
+
+namespace cce::ml {
+
+/// One-vs-rest multiclass classifier over K binary GBDTs. Relative keys
+/// are label-agnostic (they only compare prediction ids), so multiclass
+/// models plug into CCE unchanged — this covers tasks like German's credit
+/// levels and, more broadly, any K-way serving pipeline.
+class OneVsRestGbdt : public Model {
+ public:
+  struct Options {
+    Gbdt::Options gbdt;
+  };
+
+  /// Trains on `train`; labels may be any ids in [0, num_labels).
+  static Result<std::unique_ptr<OneVsRestGbdt>> Train(
+      const Dataset& train, const Options& options);
+
+  /// The class with the highest one-vs-rest margin.
+  Label Predict(const Instance& x) const override;
+
+  /// Margin of the winning class.
+  double Score(const Instance& x) const override;
+
+  /// Per-class margin vector.
+  std::vector<double> ClassMargins(const Instance& x) const;
+
+  size_t num_classes() const { return members_.size(); }
+  const Gbdt& member(size_t k) const { return *members_[k]; }
+
+ private:
+  OneVsRestGbdt() = default;
+
+  std::vector<std::unique_ptr<Gbdt>> members_;
+};
+
+}  // namespace cce::ml
+
+#endif  // CCE_ML_MULTICLASS_H_

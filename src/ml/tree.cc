@@ -1,0 +1,206 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cce::ml {
+namespace {
+
+double LeafWeight(double grad_sum, double hess_sum, double lambda) {
+  return -grad_sum / (hess_sum + lambda);
+}
+
+double HalfScore(double grad_sum, double hess_sum, double lambda) {
+  return grad_sum * grad_sum / (hess_sum + lambda);
+}
+
+}  // namespace
+
+void RegressionTree::Fit(const Dataset& data,
+                         const std::vector<double>& gradients,
+                         const std::vector<double>& hessians,
+                         const std::vector<size_t>& rows,
+                         const Options& options) {
+  CCE_CHECK(gradients.size() == data.size());
+  CCE_CHECK(hessians.size() == data.size());
+  nodes_.clear();
+  if (rows.empty()) {
+    nodes_.push_back(TreeNode{});  // zero-weight leaf
+    return;
+  }
+  BuildNode(data, gradients, hessians, rows, 0, options);
+}
+
+int RegressionTree::BuildNode(const Dataset& data,
+                              const std::vector<double>& gradients,
+                              const std::vector<double>& hessians,
+                              const std::vector<size_t>& rows, int depth,
+                              const Options& options) {
+  double grad_sum = 0.0;
+  double hess_sum = 0.0;
+  for (size_t row : rows) {
+    grad_sum += gradients[row];
+    hess_sum += hessians[row];
+  }
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(TreeNode{});
+  nodes_[node_id].value = LeafWeight(grad_sum, hess_sum, options.lambda);
+
+  if (depth >= options.max_depth || rows.size() < 2) return node_id;
+
+  // Exact greedy split search via per-value histograms: domains are small
+  // (bucketed numerics / categoricals), so accumulating G/H per value and
+  // prefix-scanning in value order enumerates all "<= v" thresholds.
+  const size_t n = data.num_features();
+  double best_gain = options.gamma;
+  FeatureId best_feature = 0;
+  ValueId best_threshold = 0;
+  const double parent_score = HalfScore(grad_sum, hess_sum, options.lambda);
+
+  std::vector<double> grad_hist;
+  std::vector<double> hess_hist;
+  for (FeatureId f = 0; f < n; ++f) {
+    if (!options.allowed_features.empty() &&
+        (f >= options.allowed_features.size() ||
+         !options.allowed_features[f])) {
+      continue;
+    }
+    size_t domain = data.schema().DomainSize(f);
+    if (domain < 2) continue;
+    grad_hist.assign(domain, 0.0);
+    hess_hist.assign(domain, 0.0);
+    for (size_t row : rows) {
+      ValueId v = data.value(row, f);
+      if (v >= domain) continue;  // value unseen at schema freeze time
+      grad_hist[v] += gradients[row];
+      hess_hist[v] += hessians[row];
+    }
+    double left_grad = 0.0;
+    double left_hess = 0.0;
+    for (ValueId v = 0; v + 1 < domain; ++v) {
+      left_grad += grad_hist[v];
+      left_hess += hess_hist[v];
+      double right_grad = grad_sum - left_grad;
+      double right_hess = hess_sum - left_hess;
+      if (left_hess < options.min_child_weight ||
+          right_hess < options.min_child_weight) {
+        continue;
+      }
+      double gain = 0.5 * (HalfScore(left_grad, left_hess, options.lambda) +
+                           HalfScore(right_grad, right_hess,
+                                     options.lambda) -
+                           parent_score);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = v;
+      }
+    }
+  }
+
+  if (best_gain <= options.gamma) return node_id;  // keep as leaf
+
+  std::vector<size_t> left_rows;
+  std::vector<size_t> right_rows;
+  for (size_t row : rows) {
+    if (data.value(row, best_feature) <= best_threshold) {
+      left_rows.push_back(row);
+    } else {
+      right_rows.push_back(row);
+    }
+  }
+  if (left_rows.empty() || right_rows.empty()) return node_id;
+
+  int left = BuildNode(data, gradients, hessians, left_rows, depth + 1,
+                       options);
+  int right = BuildNode(data, gradients, hessians, right_rows, depth + 1,
+                        options);
+  TreeNode& node = nodes_[node_id];
+  node.is_leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  node.gain = best_gain;
+  return node_id;
+}
+
+double RegressionTree::Predict(const Instance& x) const {
+  CCE_CHECK(!nodes_.empty());
+  int node_id = 0;
+  while (!nodes_[node_id].is_leaf) {
+    const TreeNode& node = nodes_[node_id];
+    node_id = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[node_id].value;
+}
+
+std::pair<double, double> RegressionTree::ReachableRange(
+    const std::vector<int64_t>& fixed) const {
+  CCE_CHECK(!nodes_.empty());
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  // Iterative DFS; tree sizes are tiny (2^depth nodes).
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    int node_id = stack.back();
+    stack.pop_back();
+    const TreeNode& node = nodes_[node_id];
+    if (node.is_leaf) {
+      lo = std::min(lo, node.value);
+      hi = std::max(hi, node.value);
+      continue;
+    }
+    int64_t fixed_value =
+        node.feature < fixed.size() ? fixed[node.feature] : -1;
+    if (fixed_value < 0) {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    } else if (fixed_value <= static_cast<int64_t>(node.threshold)) {
+      stack.push_back(node.left);
+    } else {
+      stack.push_back(node.right);
+    }
+  }
+  return {lo, hi};
+}
+
+Result<RegressionTree> RegressionTree::FromNodes(
+    std::vector<TreeNode> nodes) {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("a tree needs at least one node");
+  }
+  for (const TreeNode& node : nodes) {
+    if (node.is_leaf) continue;
+    if (node.left < 0 || node.right < 0 ||
+        node.left >= static_cast<int>(nodes.size()) ||
+        node.right >= static_cast<int>(nodes.size())) {
+      return Status::InvalidArgument("tree node child index out of range");
+    }
+  }
+  RegressionTree tree;
+  tree.nodes_ = std::move(nodes);
+  return tree;
+}
+
+void RegressionTree::ScaleLeaves(double factor) {
+  for (TreeNode& node : nodes_) {
+    if (node.is_leaf) node.value *= factor;
+  }
+}
+
+std::vector<FeatureId> RegressionTree::UsedFeatures() const {
+  std::vector<FeatureId> used;
+  for (const TreeNode& node : nodes_) {
+    if (!node.is_leaf) used.push_back(node.feature);
+  }
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  return used;
+}
+
+}  // namespace cce::ml

@@ -1,0 +1,85 @@
+#ifndef CCE_ML_TREE_H_
+#define CCE_ML_TREE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace cce::ml {
+
+/// One node of a regression tree. Internal nodes route on
+/// `value(x, feature) <= threshold` (dictionary codes are treated as
+/// ordinals — bucketed numerics keep their order; categoricals get an
+/// arbitrary but fixed order, as XGBoost does after label encoding).
+struct TreeNode {
+  bool is_leaf = true;
+  FeatureId feature = 0;
+  ValueId threshold = 0;  // go left iff x[feature] <= threshold
+  int left = -1;
+  int right = -1;
+  double value = 0.0;  // leaf weight (only meaningful for leaves)
+  double gain = 0.0;   // split gain (internal nodes; not serialized)
+};
+
+/// A depth-limited CART regression tree fitted on gradient/hessian pairs
+/// with the second-order (XGBoost-style) gain:
+///   gain = 1/2 [ GL^2/(HL+λ) + GR^2/(HR+λ) - G^2/(H+λ) ] - γ.
+/// The tree structure is public so the formal explainer can reason about
+/// reachable leaves under partial feature assignments.
+class RegressionTree {
+ public:
+  struct Options {
+    int max_depth = 4;
+    double lambda = 1.0;           // L2 regularisation on leaf weights
+    double gamma = 0.0;            // minimum gain to split
+    double min_child_weight = 1.0; // minimum hessian mass per child
+    /// When non-empty, only features with allowed_features[f] true may be
+    /// split on (per-round column subsampling).
+    std::vector<bool> allowed_features;
+  };
+
+  /// Fits the tree to rows `rows` of `data` with per-row gradients and
+  /// hessians (indexed by dataset row id).
+  void Fit(const Dataset& data, const std::vector<double>& gradients,
+           const std::vector<double>& hessians,
+           const std::vector<size_t>& rows, const Options& options);
+
+  /// Rebuilds a tree from serialized nodes (deserialization path).
+  /// Validates child indices; node 0 is the root.
+  static Result<RegressionTree> FromNodes(std::vector<TreeNode> nodes);
+
+  /// Raw leaf weight reached by `x`.
+  double Predict(const Instance& x) const;
+
+  /// Bounds on the leaf weight reachable by any instance that agrees with
+  /// `fixed` wherever it is non-negative (free features may take any value).
+  /// Used by the formal explainer's branch-and-bound entailment oracle.
+  /// `fixed[f] < 0` means feature f is unconstrained.
+  std::pair<double, double> ReachableRange(
+      const std::vector<int64_t>& fixed) const;
+
+  /// Scales every leaf weight by `factor` (the ensemble learning rate).
+  void ScaleLeaves(double factor);
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Features referenced by any internal node, sorted and unique.
+  std::vector<FeatureId> UsedFeatures() const;
+
+ private:
+  int BuildNode(const Dataset& data, const std::vector<double>& gradients,
+                const std::vector<double>& hessians,
+                const std::vector<size_t>& rows, int depth,
+                const Options& options);
+
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace cce::ml
+
+#endif  // CCE_ML_TREE_H_

@@ -1,0 +1,16 @@
+#include "sat/cnf.h"
+
+namespace cce::sat {
+
+void CnfFormula::AddExactlyOne(const std::vector<Lit>& lits) {
+  // At least one.
+  AddClause(lits);
+  // At most one, pairwise.
+  for (size_t i = 0; i < lits.size(); ++i) {
+    for (size_t j = i + 1; j < lits.size(); ++j) {
+      AddBinary(~lits[i], ~lits[j]);
+    }
+  }
+}
+
+}  // namespace cce::sat

@@ -1,0 +1,56 @@
+#ifndef CCE_SAT_CNF_H_
+#define CCE_SAT_CNF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cce::sat {
+
+/// A propositional variable, 0-based.
+using Var = int32_t;
+
+/// A literal in MiniSat encoding: code = 2*var + (negated ? 1 : 0).
+struct Lit {
+  int32_t code = -1;
+
+  Var var() const { return code >> 1; }
+  bool negated() const { return (code & 1) != 0; }
+  Lit operator~() const { return Lit{code ^ 1}; }
+  bool operator==(const Lit& other) const = default;
+};
+
+inline Lit Pos(Var v) { return Lit{2 * v}; }
+inline Lit Neg(Var v) { return Lit{2 * v + 1}; }
+
+using Clause = std::vector<Lit>;
+
+/// A CNF formula under construction. Variables are allocated through
+/// NewVar(); clauses reference allocated variables only.
+class CnfFormula {
+ public:
+  Var NewVar() { return num_vars_++; }
+
+  /// Adds a clause (disjunction of literals). An empty clause makes the
+  /// formula trivially unsatisfiable.
+  void AddClause(Clause clause) { clauses_.push_back(std::move(clause)); }
+
+  void AddUnit(Lit a) { AddClause({a}); }
+  void AddBinary(Lit a, Lit b) { AddClause({a, b}); }
+  void AddTernary(Lit a, Lit b, Lit c) { AddClause({a, b, c}); }
+
+  /// Asserts exactly one of `lits` is true (pairwise encoding — adequate
+  /// for the small feature domains we encode).
+  void AddExactlyOne(const std::vector<Lit>& lits);
+
+  int num_vars() const { return num_vars_; }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+ private:
+  int num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace cce::sat
+
+#endif  // CCE_SAT_CNF_H_

@@ -1,0 +1,86 @@
+#include "sat/dimacs.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace cce::sat {
+
+Status WriteDimacs(const CnfFormula& formula, std::ostream* out) {
+  *out << "p cnf " << formula.num_vars() << " " << formula.clauses().size()
+       << "\n";
+  for (const Clause& clause : formula.clauses()) {
+    for (Lit lit : clause) {
+      *out << (lit.negated() ? -(lit.var() + 1) : (lit.var() + 1)) << " ";
+    }
+    *out << "0\n";
+  }
+  if (!out->good()) return Status::IoError("write failed");
+  return Status::Ok();
+}
+
+std::string ToDimacsString(const CnfFormula& formula) {
+  std::ostringstream out;
+  WriteDimacs(formula, &out);
+  return out.str();
+}
+
+Result<CnfFormula> ParseDimacs(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  CnfFormula formula;
+  long long declared_vars = -1;
+  long long declared_clauses = -1;
+  size_t parsed_clauses = 0;
+  Clause current;
+  bool clause_open = false;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      if (declared_vars >= 0) {
+        return Status::InvalidArgument("duplicate problem line");
+      }
+      std::istringstream parser(line);
+      std::string p, cnf;
+      parser >> p >> cnf >> declared_vars >> declared_clauses;
+      if (cnf != "cnf" || declared_vars < 0 || declared_clauses < 0) {
+        return Status::InvalidArgument("bad problem line: '" + line + "'");
+      }
+      for (long long v = 0; v < declared_vars; ++v) formula.NewVar();
+      continue;
+    }
+    if (declared_vars < 0) {
+      return Status::InvalidArgument("clause before problem line");
+    }
+    std::istringstream parser(line);
+    long long raw;
+    while (parser >> raw) {
+      if (raw == 0) {
+        formula.AddClause(current);
+        current.clear();
+        clause_open = false;
+        ++parsed_clauses;
+        continue;
+      }
+      long long var = raw > 0 ? raw : -raw;
+      if (var > declared_vars) {
+        return Status::InvalidArgument("literal exceeds declared vars");
+      }
+      current.push_back(raw > 0 ? Pos(static_cast<Var>(var - 1))
+                                : Neg(static_cast<Var>(var - 1)));
+      clause_open = true;
+    }
+  }
+  if (clause_open) {
+    return Status::InvalidArgument("last clause not 0-terminated");
+  }
+  if (declared_vars < 0) {
+    return Status::InvalidArgument("missing problem line");
+  }
+  if (static_cast<long long>(parsed_clauses) != declared_clauses) {
+    return Status::InvalidArgument("clause count mismatch");
+  }
+  return formula;
+}
+
+}  // namespace cce::sat

@@ -1,0 +1,28 @@
+#ifndef CCE_SAT_DIMACS_H_
+#define CCE_SAT_DIMACS_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "sat/cnf.h"
+
+namespace cce::sat {
+
+/// DIMACS CNF interchange, so formulas can be exported to (and imported
+/// from) standard SAT tooling for cross-checking the built-in solver.
+
+/// Writes `formula` in DIMACS format ("p cnf <vars> <clauses>" header,
+/// 1-based signed literals, 0-terminated clauses).
+Status WriteDimacs(const CnfFormula& formula, std::ostream* out);
+
+/// Renders to a string (convenience for tests/logging).
+std::string ToDimacsString(const CnfFormula& formula);
+
+/// Parses DIMACS text. Comment lines ('c ...') are skipped; the problem
+/// line is validated against the clause payload.
+Result<CnfFormula> ParseDimacs(const std::string& text);
+
+}  // namespace cce::sat
+
+#endif  // CCE_SAT_DIMACS_H_

@@ -1,0 +1,309 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cce::sat {
+
+Solver::Solver(const CnfFormula& formula, Options options)
+    : options_(options) {
+  const int n = formula.num_vars();
+  watches_.resize(2 * static_cast<size_t>(n));
+  values_.assign(n, kUndef);
+  phase_.assign(n, kFalse);
+  levels_.assign(n, 0);
+  reasons_.assign(n, -1);
+  activity_.assign(n, 0.0);
+
+  for (const Clause& original : formula.clauses()) {
+    // Normalise: drop duplicate literals; skip tautologies.
+    Clause clause = original;
+    std::sort(clause.begin(), clause.end(),
+              [](Lit a, Lit b) { return a.code < b.code; });
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+    bool tautology = false;
+    for (size_t i = 0; i + 1 < clause.size(); ++i) {
+      if (clause[i].var() == clause[i + 1].var()) {
+        tautology = true;
+        break;
+      }
+    }
+    if (tautology) continue;
+    if (clause.empty()) {
+      unsat_at_root_ = true;
+      return;
+    }
+    clauses_.push_back(std::move(clause));
+    if (!AttachClause(static_cast<int>(clauses_.size()) - 1)) {
+      unsat_at_root_ = true;
+      return;
+    }
+  }
+}
+
+bool Solver::AttachClause(int clause_index) {
+  Clause& clause = clauses_[clause_index];
+  if (clause.size() == 1) {
+    // Unit at root level.
+    if (LitValue(clause[0]) == kFalse) return false;
+    if (LitValue(clause[0]) == kUndef) Enqueue(clause[0], clause_index);
+    return true;
+  }
+  watches_[clause[0].code ^ 1].push_back(clause_index);
+  watches_[clause[1].code ^ 1].push_back(clause_index);
+  return true;
+}
+
+int8_t Solver::LitValue(Lit lit) const {
+  int8_t v = values_[lit.var()];
+  if (v == kUndef) return kUndef;
+  return lit.negated() ? static_cast<int8_t>(v ^ 1) : v;
+}
+
+void Solver::Enqueue(Lit lit, int reason_clause) {
+  CCE_CHECK(LitValue(lit) == kUndef);
+  values_[lit.var()] = lit.negated() ? kFalse : kTrue;
+  levels_[lit.var()] = CurrentLevel();
+  reasons_[lit.var()] = reason_clause;
+  trail_.push_back(lit);
+}
+
+int Solver::Propagate() {
+  while (propagate_head_ < trail_.size()) {
+    Lit lit = trail_[propagate_head_++];
+    ++stats_.propagations;
+    // Clauses watching ~lit must be inspected: lit just became true, so the
+    // watched literal ~lit became false.
+    std::vector<int>& watch_list = watches_[lit.code];
+    size_t keep = 0;
+    for (size_t i = 0; i < watch_list.size(); ++i) {
+      int clause_index = watch_list[i];
+      Clause& clause = clauses_[clause_index];
+      // Ensure the false literal is at position 1.
+      Lit false_lit{lit.code ^ 1};
+      if (clause[0] == false_lit) std::swap(clause[0], clause[1]);
+      if (LitValue(clause[0]) == kTrue) {
+        watch_list[keep++] = clause_index;  // clause already satisfied
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (size_t k = 2; k < clause.size(); ++k) {
+        if (LitValue(clause[k]) != kFalse) {
+          std::swap(clause[1], clause[k]);
+          watches_[clause[1].code ^ 1].push_back(clause_index);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // No replacement: clause is unit or conflicting.
+      watch_list[keep++] = clause_index;
+      if (LitValue(clause[0]) == kFalse) {
+        // Conflict: restore untraversed watches and report.
+        for (size_t j = i + 1; j < watch_list.size(); ++j) {
+          watch_list[keep++] = watch_list[j];
+        }
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return clause_index;
+      }
+      Enqueue(clause[0], clause_index);
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::BumpVar(Var v) {
+  activity_[v] += activity_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    activity_inc_ *= 1e-100;
+  }
+}
+
+void Solver::DecayActivities() { activity_inc_ *= (1.0 / 0.95); }
+
+int Solver::Analyze(int conflict_clause, Clause* learned) {
+  learned->clear();
+  learned->push_back(Lit{-2});  // placeholder for the asserting literal
+
+  std::vector<bool> seen(values_.size(), false);
+  int counter = 0;  // literals of the current level pending resolution
+  Lit resolved{-2};
+  size_t trail_index = trail_.size();
+  int clause_index = conflict_clause;
+
+  do {
+    CCE_CHECK(clause_index >= 0);
+    const Clause& clause = clauses_[clause_index];
+    // Skip clause[0] on later iterations: it is the resolved literal.
+    size_t start = (resolved.code == -2) ? 0 : 1;
+    for (size_t i = start; i < clause.size(); ++i) {
+      Lit q = clause[i];
+      if (seen[q.var()] || levels_[q.var()] == 0) continue;
+      seen[q.var()] = true;
+      BumpVar(q.var());
+      if (levels_[q.var()] >= CurrentLevel()) {
+        ++counter;
+      } else {
+        learned->push_back(q);
+      }
+    }
+    // Pick the next current-level literal from the trail to resolve on.
+    while (!seen[trail_[trail_index - 1].var()]) --trail_index;
+    --trail_index;
+    resolved = trail_[trail_index];
+    clause_index = reasons_[resolved.var()];
+    seen[resolved.var()] = false;
+    --counter;
+  } while (counter > 0);
+  (*learned)[0] = ~resolved;  // the first-UIP asserting literal
+
+  // Backjump level: highest level among the non-asserting literals.
+  int backjump = 0;
+  size_t max_index = 1;
+  for (size_t i = 1; i < learned->size(); ++i) {
+    int level = levels_[(*learned)[i].var()];
+    if (level > backjump) {
+      backjump = level;
+      max_index = i;
+    }
+  }
+  if (learned->size() > 1) {
+    std::swap((*learned)[1], (*learned)[max_index]);
+  }
+  return backjump;
+}
+
+void Solver::Backtrack(int level) {
+  while (CurrentLevel() > level) {
+    size_t boundary = static_cast<size_t>(trail_lim_.back());
+    while (trail_.size() > boundary) {
+      Lit lit = trail_.back();
+      trail_.pop_back();
+      phase_[lit.var()] = values_[lit.var()];
+      values_[lit.var()] = kUndef;
+      reasons_[lit.var()] = -1;
+    }
+    trail_lim_.pop_back();
+  }
+  propagate_head_ = std::min(propagate_head_, trail_.size());
+}
+
+Lit Solver::PickBranchLit() {
+  Var best = -1;
+  double best_activity = -1.0;
+  for (Var v = 0; v < static_cast<Var>(values_.size()); ++v) {
+    if (values_[v] == kUndef && activity_[v] > best_activity) {
+      best_activity = activity_[v];
+      best = v;
+    }
+  }
+  if (best < 0) return Lit{-1};
+  return phase_[best] == kTrue ? Pos(best) : Neg(best);
+}
+
+int64_t Solver::Luby(int64_t i) {
+  // Luby sequence 1 1 2 1 1 2 4 ... (MiniSat formulation, 0-based index).
+  int64_t size = 1;
+  int64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return 1LL << seq;
+}
+
+Solver::Outcome Solver::Solve(const std::vector<Lit>& assumptions) {
+  if (unsat_at_root_) return Outcome::kUnsat;
+
+  // Reset to root level for re-entrant calls.
+  Backtrack(0);
+  int conflict = Propagate();
+  if (conflict >= 0) return Outcome::kUnsat;
+
+  int64_t restart_count = 0;
+  int64_t conflicts_until_restart = 100 * Luby(restart_count);
+  int64_t conflicts_since_restart = 0;
+
+  while (true) {
+    conflict = Propagate();
+    if (conflict >= 0) {
+      ++stats_.conflicts;
+      ++conflicts_since_restart;
+      if (CurrentLevel() == 0) return Outcome::kUnsat;
+      // Conflicts among assumption-forced levels mean UNSAT under the
+      // assumptions (we place assumptions on the lowest decision levels).
+      Clause learned;
+      int backjump = Analyze(conflict, &learned);
+      // Backjumping below an assumption level unassigns that assumption;
+      // the re-assumption loop below re-asserts it, and a now-false
+      // assumption is reported as kUnsat there.
+      Backtrack(backjump);
+      clauses_.push_back(learned);
+      ++stats_.learned_clauses;
+      int clause_index = static_cast<int>(clauses_.size()) - 1;
+      if (learned.size() >= 2) {
+        watches_[learned[0].code ^ 1].push_back(clause_index);
+        watches_[learned[1].code ^ 1].push_back(clause_index);
+        Enqueue(learned[0], clause_index);
+      } else {
+        if (LitValue(learned[0]) == kFalse) return Outcome::kUnsat;
+        if (LitValue(learned[0]) == kUndef) Enqueue(learned[0], clause_index);
+      }
+      DecayActivities();
+      if (options_.max_conflicts >= 0 &&
+          stats_.conflicts >= options_.max_conflicts) {
+        return Outcome::kUnknown;
+      }
+      if (conflicts_since_restart >= conflicts_until_restart) {
+        ++stats_.restarts;
+        ++restart_count;
+        conflicts_since_restart = 0;
+        conflicts_until_restart = 100 * Luby(restart_count);
+        Backtrack(0);
+      }
+      continue;
+    }
+
+    // Re-assert any assumption not yet on the trail, one level each.
+    bool conflict_on_assumption = false;
+    bool enqueued_assumption = false;
+    for (const Lit& assumption : assumptions) {
+      int8_t value = LitValue(assumption);
+      if (value == kTrue) continue;
+      if (value == kFalse) {
+        conflict_on_assumption = true;
+        break;
+      }
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      Enqueue(assumption, -1);
+      enqueued_assumption = true;
+      break;
+    }
+    if (conflict_on_assumption) return Outcome::kUnsat;
+    if (enqueued_assumption) continue;
+
+    Lit decision = PickBranchLit();
+    if (decision.code < 0) return Outcome::kSat;  // full assignment
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    Enqueue(decision, -1);
+  }
+}
+
+bool Solver::ModelValue(Var v) const {
+  CCE_CHECK(v >= 0 && v < static_cast<Var>(values_.size()));
+  return values_[v] == kTrue;
+}
+
+}  // namespace cce::sat

@@ -1,0 +1,80 @@
+#ifndef CCE_SAT_SOLVER_H_
+#define CCE_SAT_SOLVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sat/cnf.h"
+
+namespace cce::sat {
+
+/// A compact CDCL SAT solver: two-watched-literal propagation, first-UIP
+/// clause learning, VSIDS-style activity decisions with phase saving, and
+/// Luby restarts. Used by the Xreason baseline's CNF path and tested
+/// standalone; deliberately favours clarity over raw speed.
+class Solver {
+ public:
+  enum class Outcome { kSat, kUnsat, kUnknown };
+
+  struct Options {
+    /// Abort with kUnknown after this many conflicts (< 0 = unlimited).
+    int64_t max_conflicts = -1;
+  };
+
+  struct Stats {
+    int64_t decisions = 0;
+    int64_t propagations = 0;
+    int64_t conflicts = 0;
+    int64_t restarts = 0;
+    int64_t learned_clauses = 0;
+  };
+
+  explicit Solver(const CnfFormula& formula) : Solver(formula, Options()) {}
+  Solver(const CnfFormula& formula, Options options);
+
+  /// Decides satisfiability under the given assumption literals.
+  Outcome Solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model value of `v`; valid only after Solve() returned kSat.
+  bool ModelValue(Var v) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum : int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+  int8_t LitValue(Lit lit) const;
+  void Enqueue(Lit lit, int reason_clause);
+  /// Returns the conflicting clause index, or -1 on success.
+  int Propagate();
+  /// First-UIP conflict analysis; fills `learned` (asserting literal first)
+  /// and returns the backjump level.
+  int Analyze(int conflict_clause, Clause* learned);
+  void Backtrack(int level);
+  Lit PickBranchLit();
+  void BumpVar(Var v);
+  void DecayActivities();
+  bool AttachClause(int clause_index);
+  int CurrentLevel() const { return static_cast<int>(trail_lim_.size()); }
+  static int64_t Luby(int64_t i);
+
+  Options options_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int>> watches_;  // per literal code
+  std::vector<int8_t> values_;             // per var
+  std::vector<int8_t> phase_;              // saved phase per var
+  std::vector<int> levels_;                // per var
+  std::vector<int> reasons_;               // per var, clause index or -1
+  std::vector<double> activity_;           // per var
+  double activity_inc_ = 1.0;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  size_t propagate_head_ = 0;
+  bool unsat_at_root_ = false;
+  Stats stats_;
+};
+
+}  // namespace cce::sat
+
+#endif  // CCE_SAT_SOLVER_H_

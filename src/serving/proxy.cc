@@ -1,0 +1,87 @@
+#include "serving/proxy.h"
+
+#include "core/srk.h"
+
+namespace cce::serving {
+
+ExplainableProxy::ExplainableProxy(std::shared_ptr<const Schema> schema,
+                                   const Model* model,
+                                   const Options& options)
+    : schema_(std::move(schema)), model_(model), options_(options) {
+  if (options_.monitor_drift) {
+    drift_ = std::make_unique<DriftMonitor>(schema_, options_.drift);
+  }
+}
+
+Result<std::unique_ptr<ExplainableProxy>> ExplainableProxy::Create(
+    std::shared_ptr<const Schema> schema, const Model* model,
+    const Options& options) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("schema must not be null");
+  }
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  return std::unique_ptr<ExplainableProxy>(
+      new ExplainableProxy(std::move(schema), model, options));
+}
+
+Result<Label> ExplainableProxy::Predict(const Instance& x) {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition(
+        "proxy was created without a model; use Record()");
+  }
+  if (x.size() != schema_->num_features()) {
+    return Status::InvalidArgument("instance arity does not match schema");
+  }
+  Label y = model_->Predict(x);
+  CCE_RETURN_IF_ERROR(Record(x, y));
+  return y;
+}
+
+Status ExplainableProxy::Record(const Instance& x, Label y) {
+  if (x.size() != schema_->num_features()) {
+    return Status::InvalidArgument("instance arity does not match schema");
+  }
+  window_.emplace_back(x, y);
+  if (options_.context_capacity > 0) {
+    while (window_.size() > options_.context_capacity) {
+      window_.pop_front();
+    }
+  }
+  ++recorded_;
+  if (drift_ != nullptr) drift_->Observe(x, y);
+  return Status::Ok();
+}
+
+Context ExplainableProxy::ContextSnapshot() const {
+  Context context(schema_);
+  for (const auto& [x, y] : window_) context.Add(x, y);
+  return context;
+}
+
+Result<KeyResult> ExplainableProxy::Explain(const Instance& x,
+                                            Label y) const {
+  if (window_.empty()) {
+    return Status::FailedPrecondition("no predictions recorded yet");
+  }
+  Context context = ContextSnapshot();
+  Srk::Options options;
+  options.alpha = options_.alpha;
+  return Srk::ExplainInstance(context, x, y, options);
+}
+
+Result<std::vector<RelativeCounterfactual>>
+ExplainableProxy::Counterfactuals(const Instance& x, Label y) const {
+  if (window_.empty()) {
+    return Status::FailedPrecondition("no predictions recorded yet");
+  }
+  Context context = ContextSnapshot();
+  return CounterfactualFinder::FindForInstance(context, x, y, {});
+}
+
+bool ExplainableProxy::DriftAlarmed() const {
+  return drift_ != nullptr && drift_->Alarmed();
+}
+
+}  // namespace cce::serving

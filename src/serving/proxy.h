@@ -1,0 +1,83 @@
+#ifndef CCE_SERVING_PROXY_H_
+#define CCE_SERVING_PROXY_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cce.h"
+#include "core/counterfactual.h"
+#include "core/dataset.h"
+#include "core/key_result.h"
+#include "core/model.h"
+
+namespace cce::serving {
+
+/// The CCE deployment story in one object (paper Section 6): a proxy that
+/// sits between a client and a (possibly remote) model. Every Predict()
+/// passes through to the model and is recorded into a rolling client-side
+/// context; explanations, counterfactuals and drift monitoring then come
+/// from the recorded context alone — the model is never consulted for
+/// explaining.
+///
+/// The proxy also works without any model (`Create` with nullptr +
+/// `Record`): a client of a remote API can feed the served predictions it
+/// observed and retain every explanation capability.
+class ExplainableProxy {
+ public:
+  struct Options {
+    /// Rolling context capacity; 0 = unbounded (batch users).
+    size_t context_capacity = 0;
+    /// Conformity bound for explanations.
+    double alpha = 1.0;
+    /// Enable the succinctness-based drift monitor.
+    bool monitor_drift = true;
+    DriftMonitor::Options drift;
+  };
+
+  /// `model` may be null (record-only mode via Record()); it is not owned
+  /// and must outlive the proxy when provided.
+  static Result<std::unique_ptr<ExplainableProxy>> Create(
+      std::shared_ptr<const Schema> schema, const Model* model,
+      const Options& options);
+
+  /// Serves one prediction through the wrapped model and records it.
+  /// FailedPrecondition when constructed without a model.
+  Result<Label> Predict(const Instance& x);
+
+  /// Records an externally served (instance, prediction) pair.
+  Status Record(const Instance& x, Label y);
+
+  /// Relative key for a recorded (instance, prediction) against the
+  /// current context.
+  Result<KeyResult> Explain(const Instance& x, Label y) const;
+
+  /// Closest counterfactual witnesses from the current context.
+  Result<std::vector<RelativeCounterfactual>> Counterfactuals(
+      const Instance& x, Label y) const;
+
+  /// True when the drift monitor has raised an alarm.
+  bool DriftAlarmed() const;
+
+  /// Snapshot of the current context (e.g. for io::SaveDataset).
+  Context ContextSnapshot() const;
+
+  size_t recorded() const { return recorded_; }
+
+ private:
+  ExplainableProxy(std::shared_ptr<const Schema> schema, const Model* model,
+                   const Options& options);
+
+  std::shared_ptr<const Schema> schema_;
+  const Model* model_;  // may be null
+  Options options_;
+  std::deque<std::pair<Instance, Label>> window_;
+  std::unique_ptr<DriftMonitor> drift_;
+  size_t recorded_ = 0;
+};
+
+}  // namespace cce::serving
+
+#endif  // CCE_SERVING_PROXY_H_

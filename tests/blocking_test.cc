@@ -1,0 +1,141 @@
+#include "em/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "em/datasets.h"
+#include "ml/gbdt.h"
+
+namespace cce::em {
+namespace {
+
+std::vector<Record> Table(std::initializer_list<const char*> titles) {
+  std::vector<Record> out;
+  for (const char* title : titles) out.push_back(Record{{title}});
+  return out;
+}
+
+TEST(TokenBlockerTest, ValidatesArguments) {
+  std::vector<Record> table = Table({"a b c"});
+  EXPECT_FALSE(TokenBlocker::Block({}, table, {}).ok());
+  EXPECT_FALSE(TokenBlocker::Block(table, {}, {}).ok());
+  TokenBlocker::Options bad;
+  bad.key_attribute = 5;
+  EXPECT_FALSE(TokenBlocker::Block(table, table, bad).ok());
+  bad = TokenBlocker::Options();
+  bad.min_shared_tokens = 0;
+  EXPECT_FALSE(TokenBlocker::Block(table, table, bad).ok());
+}
+
+TEST(TokenBlockerTest, FindsOverlappingPairs) {
+  std::vector<Record> left = Table({"adobe photoshop elements",
+                                    "corel draw suite"});
+  std::vector<Record> right = Table({"photoshop elements adobe bundle",
+                                     "corel paint shop",
+                                     "unrelated office thing"});
+  auto candidates = TokenBlocker::Block(left, right, {});
+  ASSERT_TRUE(candidates.ok());
+  // left0-right0 share 3 tokens; left1-right1 share only 1 (below the
+  // default threshold of 2).
+  ASSERT_EQ(candidates->size(), 1u);
+  EXPECT_EQ((*candidates)[0].left, 0u);
+  EXPECT_EQ((*candidates)[0].right, 0u);
+  EXPECT_EQ((*candidates)[0].shared_tokens, 3u);
+}
+
+TEST(TokenBlockerTest, StopTokensDoNotBlock) {
+  // "the" appears everywhere on the right; it must not create candidates.
+  std::vector<Record> left = Table({"the alpha"});
+  std::vector<Record> right = Table({"the beta", "the gamma", "the delta",
+                                     "the epsilon"});
+  TokenBlocker::Options options;
+  options.min_shared_tokens = 1;
+  options.stop_token_fraction = 0.5;
+  auto candidates = TokenBlocker::Block(left, right, options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_TRUE(candidates->empty());
+}
+
+TEST(TokenBlockerTest, CandidatesSortedByOverlapAndCapped) {
+  std::vector<Record> left = Table({"a b c d e"});
+  std::vector<Record> right = Table({"a b", "a b c", "a b c d"});
+  TokenBlocker::Options options;
+  options.min_shared_tokens = 2;
+  options.stop_token_fraction = 1.0;  // tiny table: disable stop words
+  auto all = TokenBlocker::Block(left, right, options);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 3u);
+  EXPECT_EQ((*all)[0].shared_tokens, 4u);
+  EXPECT_EQ((*all)[2].shared_tokens, 2u);
+  options.max_candidates = 1;
+  auto capped = TokenBlocker::Block(left, right, options);
+  ASSERT_TRUE(capped.ok());
+  ASSERT_EQ(capped->size(), 1u);
+  EXPECT_EQ((*capped)[0].shared_tokens, 4u);
+}
+
+TEST(TokenBlockerTest, BlockingRecallArithmetic) {
+  std::vector<TokenBlocker::Candidate> candidates = {{0, 0, 3}, {1, 2, 2}};
+  EXPECT_DOUBLE_EQ(
+      TokenBlocker::BlockingRecall(candidates, {{0, 0}, {1, 1}}), 0.5);
+  EXPECT_DOUBLE_EQ(TokenBlocker::BlockingRecall(candidates, {}), 1.0);
+}
+
+TEST(TokenBlockerTest, HighRecallOnGeneratedMatches) {
+  // Build two "tables" from the A-G generator's match pairs; blocking on
+  // titles must retain nearly all true matches.
+  EmGeneratorOptions options;
+  options.pairs = 1500;
+  EmTask task = GenerateAmazonGoogle(options);
+  std::vector<Record> left;
+  std::vector<Record> right;
+  std::vector<std::pair<size_t, size_t>> true_matches;
+  for (const RecordPair& pair : task.pairs) {
+    if (!pair.is_match) continue;
+    true_matches.emplace_back(left.size(), right.size());
+    left.push_back(pair.left);
+    right.push_back(pair.right);
+  }
+  ASSERT_GT(true_matches.size(), 50u);
+  TokenBlocker::Options block_options;
+  block_options.min_shared_tokens = 2;
+  block_options.stop_token_fraction = 0.6;
+  auto candidates = TokenBlocker::Block(left, right, block_options);
+  ASSERT_TRUE(candidates.ok());
+  double recall =
+      TokenBlocker::BlockingRecall(*candidates, true_matches);
+  EXPECT_GE(recall, 0.85);
+  // And blocking prunes: far fewer candidates than the full cross product.
+  EXPECT_LT(candidates->size(), left.size() * right.size() / 4);
+}
+
+TEST(GainImportanceTest, InformativeFeaturesGetTheGain) {
+  // Piggybacked here to exercise ml::Gbdt::GainImportance on EM-style
+  // data: labels depend only on feature 0.
+  auto schema = std::make_shared<Schema>();
+  FeatureId a = schema->AddFeature("a");
+  FeatureId b = schema->AddFeature("b");
+  for (FeatureId f : {a, b}) {
+    for (int v = 0; v < 4; ++v) {
+      schema->InternValue(f, std::to_string(v));
+    }
+  }
+  schema->InternLabel("neg");
+  schema->InternLabel("pos");
+  Dataset labelled(schema);
+  Rng rng(8);
+  for (int i = 0; i < 600; ++i) {
+    ValueId va = static_cast<ValueId>(rng.Uniform(4));
+    ValueId vb = static_cast<ValueId>(rng.Uniform(4));
+    labelled.Add({va, vb}, va >= 2 ? 1u : 0u);
+  }
+  auto model = ml::Gbdt::Train(labelled, {});
+  ASSERT_TRUE(model.ok());
+  std::vector<double> importance = (*model)->GainImportance(2);
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[a], 0.9);
+  EXPECT_LT(importance[b], 0.1);
+  EXPECT_NEAR(importance[a] + importance[b], 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cce::em

@@ -1,0 +1,203 @@
+#include "core/cce.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conformity.h"
+#include "data/drift.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(CceBatchTest, MatchesSrkOnFig2) {
+  testing::Fig2Context fig2;
+  CceBatch cce(fig2.context, 1.0);
+  auto result = cce.Explain(0);
+  ASSERT_TRUE(result.ok());
+  FeatureSet expected = {fig2.income, fig2.credit};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(result->key, expected);
+}
+
+TEST(CceBatchTest, AdHocInstanceExplained) {
+  testing::Fig2Context fig2;
+  CceBatch cce(fig2.context, 1.0);
+  auto result =
+      cce.ExplainInstance(fig2.context.instance(5), fig2.approved);
+  ASSERT_TRUE(result.ok());
+  ConformityChecker checker(&cce.context());
+  EXPECT_TRUE(checker.IsAlphaConformant(fig2.context.instance(5),
+                                        fig2.approved, result->key, 1.0));
+}
+
+TEST(CceOnlineTest, DelegatesToOsrk) {
+  testing::Fig2Context fig2;
+  CceOnline::Options options;
+  options.seed = 4;
+  auto cce = CceOnline::Create(fig2.schema, fig2.context.instance(0),
+                               fig2.denied, options);
+  ASSERT_TRUE(cce.ok());
+  for (size_t row = 1; row < fig2.context.size(); ++row) {
+    (*cce)->Observe(fig2.context.instance(row), fig2.context.label(row));
+  }
+  EXPECT_EQ((*cce)->context_size(), 6u);
+  EXPECT_DOUBLE_EQ((*cce)->achieved_alpha(), 1.0);
+  // The online key must itself be a relative key for the arrived context.
+  std::vector<size_t> rows = {1, 2, 3, 4, 5, 6};
+  Dataset arrived = fig2.context.Subset(rows);
+  ConformityChecker checker(&arrived);
+  EXPECT_TRUE(checker.IsAlphaConformant(fig2.context.instance(0),
+                                        fig2.denied, (*cce)->key(), 1.0));
+}
+
+TEST(SlidingWindowTest, CreateValidatesOptions) {
+  testing::Fig2Context fig2;
+  SlidingWindowExplainer::Options options;
+  options.window_size = 0;
+  EXPECT_FALSE(SlidingWindowExplainer::Create(fig2.schema, options).ok());
+  options.window_size = 8;
+  options.step = 0;
+  EXPECT_FALSE(SlidingWindowExplainer::Create(fig2.schema, options).ok());
+  options.step = 9;
+  EXPECT_FALSE(SlidingWindowExplainer::Create(fig2.schema, options).ok());
+  options.step = 4;
+  options.alpha = 0.0;
+  EXPECT_FALSE(SlidingWindowExplainer::Create(fig2.schema, options).ok());
+}
+
+TEST(SlidingWindowTest, WindowEvictsOldInstances) {
+  Dataset stream = testing::RandomContext(50, 4, 3, 808);
+  SlidingWindowExplainer::Options options;
+  options.window_size = 16;
+  options.step = 4;
+  auto window = SlidingWindowExplainer::Create(stream.schema_ptr(), options);
+  ASSERT_TRUE(window.ok());
+  for (size_t row = 0; row < stream.size(); ++row) {
+    (*window)->Observe(stream.instance(row), stream.label(row));
+  }
+  EXPECT_EQ((*window)->window_population(), 16u);
+}
+
+TEST(SlidingWindowTest, LastWinsRecomputesAcrossEpochs) {
+  Dataset stream = testing::RandomContext(64, 4, 3, 909, /*noise=*/0.0);
+  SlidingWindowExplainer::Options options;
+  options.window_size = 16;
+  options.step = 8;
+  options.policy = KeyResolutionPolicy::kLastWins;
+  auto window = SlidingWindowExplainer::Create(stream.schema_ptr(), options);
+  ASSERT_TRUE(window.ok());
+  const Instance& x0 = stream.instance(0);
+  Label y0 = stream.label(0);
+  for (size_t row = 0; row < 16; ++row) {
+    (*window)->Observe(stream.instance(row), stream.label(row));
+  }
+  auto first = (*window)->Explain(x0, y0);
+  ASSERT_TRUE(first.ok());
+  for (size_t row = 16; row < 64; ++row) {
+    (*window)->Observe(stream.instance(row), stream.label(row));
+  }
+  auto second = (*window)->Explain(x0, y0);
+  ASSERT_TRUE(second.ok());
+  // Whatever the keys are, the last-wins key reflects the *current* window.
+  Context current(stream.schema_ptr());
+  for (size_t row = 48; row < 64; ++row) {
+    current.Add(stream.instance(row), stream.label(row));
+  }
+  ConformityChecker checker(&current);
+  EXPECT_TRUE(checker.IsAlphaConformant(x0, y0, second->key, 1.0));
+}
+
+TEST(SlidingWindowTest, FirstWinsKeepsInitialKey) {
+  Dataset stream = testing::RandomContext(64, 4, 3, 1010, /*noise=*/0.0);
+  SlidingWindowExplainer::Options options;
+  options.window_size = 16;
+  options.step = 8;
+  options.policy = KeyResolutionPolicy::kFirstWins;
+  auto window = SlidingWindowExplainer::Create(stream.schema_ptr(), options);
+  ASSERT_TRUE(window.ok());
+  const Instance& x0 = stream.instance(0);
+  Label y0 = stream.label(0);
+  for (size_t row = 0; row < 16; ++row) {
+    (*window)->Observe(stream.instance(row), stream.label(row));
+  }
+  auto first = (*window)->Explain(x0, y0);
+  ASSERT_TRUE(first.ok());
+  for (size_t row = 16; row < 64; ++row) {
+    (*window)->Observe(stream.instance(row), stream.label(row));
+  }
+  auto second = (*window)->Explain(x0, y0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->key, second->key);
+}
+
+TEST(SlidingWindowTest, UnionKeyAccumulates) {
+  Dataset stream = testing::RandomContext(64, 4, 3, 1111, /*noise=*/0.0);
+  SlidingWindowExplainer::Options options;
+  options.window_size = 16;
+  options.step = 8;
+  options.policy = KeyResolutionPolicy::kUnionKey;
+  auto window = SlidingWindowExplainer::Create(stream.schema_ptr(), options);
+  ASSERT_TRUE(window.ok());
+  const Instance& x0 = stream.instance(0);
+  Label y0 = stream.label(0);
+  FeatureSet previous;
+  for (size_t row = 0; row < 64; ++row) {
+    (*window)->Observe(stream.instance(row), stream.label(row));
+    if (row % 16 == 15) {
+      auto result = (*window)->Explain(x0, y0);
+      ASSERT_TRUE(result.ok());
+      EXPECT_TRUE(FeatureSetIsSubset(previous, result->key));
+      previous = result->key;
+    }
+  }
+}
+
+TEST(DriftMonitorTest, NoAlarmOnCleanStream) {
+  Dataset stream = testing::RandomContext(600, 6, 3, 1212, /*noise=*/0.0);
+  DriftMonitor::Options options;
+  options.probe_count = 4;
+  DriftMonitor monitor(stream.schema_ptr(), options);
+  for (size_t row = 0; row < stream.size(); ++row) {
+    monitor.Observe(stream.instance(row), stream.label(row));
+  }
+  EXPECT_FALSE(monitor.Alarmed());
+}
+
+TEST(DriftMonitorTest, AlarmsOnInjectedNoise) {
+  Dataset clean = testing::RandomContext(800, 6, 4, 1313, /*noise=*/0.0);
+  Rng rng(5);
+  // Heavy tail noise: random labels + scrambled features in the last 40%.
+  Dataset noisy = data::InjectTailNoise(clean, 0.4, 0.8, &rng);
+  for (size_t row = noisy.size() * 6 / 10; row < noisy.size(); ++row) {
+    noisy.set_label(row, static_cast<Label>(rng.Uniform(2)));
+  }
+  DriftMonitor::Options options;
+  options.probe_count = 4;
+  options.alarm_growth = 1.0;
+  options.alarm_window = 400;
+  DriftMonitor monitor(noisy.schema_ptr(), options);
+  for (size_t row = 0; row < noisy.size(); ++row) {
+    monitor.Observe(noisy.instance(row), noisy.label(row));
+  }
+  EXPECT_TRUE(monitor.Alarmed());
+}
+
+TEST(DriftMonitorTest, AverageSuccinctnessGrowsMonotonically) {
+  Dataset stream = testing::RandomContext(300, 5, 3, 1414, /*noise=*/0.0);
+  DriftMonitor::Options options;
+  options.probe_count = 4;
+  DriftMonitor monitor(stream.schema_ptr(), options);
+  double previous = 0.0;
+  for (size_t row = 0; row < stream.size(); ++row) {
+    monitor.Observe(stream.instance(row), stream.label(row));
+    double current = monitor.AverageSuccinctness();
+    if (row >= options.probe_count) {
+      // Once the probe panel is fixed, coherence means keys only grow.
+      EXPECT_GE(current, previous - 1e-12);
+    }
+    previous = current;
+  }
+}
+
+}  // namespace
+}  // namespace cce

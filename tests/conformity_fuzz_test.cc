@@ -1,0 +1,126 @@
+// Randomised cross-validation of the conformity engine against a naive
+// reference implementation, over a grid of context shapes. The posting-list
+// checker is the backbone of every algorithm and metric, so it gets the
+// heaviest fuzzing.
+
+#include <gtest/gtest.h>
+
+#include "core/conformity.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+// Naive O(|I| * |E|) reference implementations.
+size_t NaiveViolators(const Context& context, const Instance& x0, Label y0,
+                      const FeatureSet& e) {
+  size_t violators = 0;
+  for (size_t row = 0; row < context.size(); ++row) {
+    bool agrees = true;
+    for (FeatureId f : e) {
+      if (context.value(row, f) != x0[f]) {
+        agrees = false;
+        break;
+      }
+    }
+    if (agrees && context.label(row) != y0) ++violators;
+  }
+  return violators;
+}
+
+std::vector<size_t> NaiveAgreeing(const Context& context,
+                                  const Instance& x0, const FeatureSet& e) {
+  std::vector<size_t> rows;
+  for (size_t row = 0; row < context.size(); ++row) {
+    bool agrees = true;
+    for (FeatureId f : e) {
+      if (context.value(row, f) != x0[f]) {
+        agrees = false;
+        break;
+      }
+    }
+    if (agrees) rows.push_back(row);
+  }
+  return rows;
+}
+
+struct FuzzParam {
+  uint64_t seed;
+  size_t rows;
+  size_t features;
+  size_t domain;
+};
+
+class ConformityFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(ConformityFuzzTest, MatchesNaiveReference) {
+  const auto& p = GetParam();
+  Dataset context = testing::RandomContext(p.rows, p.features, p.domain,
+                                           p.seed);
+  ConformityChecker checker(&context);
+  Rng rng(p.seed ^ 0xABCDEF);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random probe instance (not necessarily in the context) and subset.
+    Instance x0(p.features);
+    for (FeatureId f = 0; f < p.features; ++f) {
+      x0[f] = static_cast<ValueId>(rng.Uniform(p.domain));
+    }
+    Label y0 = static_cast<Label>(rng.Uniform(2));
+    FeatureSet e;
+    for (FeatureId f = 0; f < p.features; ++f) {
+      if (rng.Bernoulli(0.4)) e.push_back(f);
+    }
+    EXPECT_EQ(checker.CountViolators(x0, y0, e),
+              NaiveViolators(context, x0, y0, e));
+    EXPECT_EQ(checker.AgreeingRows(x0, e), NaiveAgreeing(context, x0, e));
+    double precision = checker.Precision(x0, y0, e);
+    EXPECT_GE(precision, 0.0);
+    EXPECT_LE(precision, 1.0);
+    EXPECT_NEAR(precision,
+                1.0 - static_cast<double>(NaiveViolators(context, x0, y0,
+                                                         e)) /
+                          static_cast<double>(context.size()),
+                1e-12);
+    // IsAlphaConformant consistency with Precision at the exact boundary.
+    EXPECT_TRUE(checker.IsAlphaConformant(x0, y0, e, precision));
+  }
+}
+
+TEST_P(ConformityFuzzTest, MonotoneInExplanationSize) {
+  // Adding features can only shrink the agreeing set, so violators and
+  // precision move monotonically.
+  const auto& p = GetParam();
+  Dataset context = testing::RandomContext(p.rows, p.features, p.domain,
+                                           p.seed + 101);
+  ConformityChecker checker(&context);
+  Rng rng(p.seed ^ 0x123);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t row = rng.Uniform(context.size());
+    const Instance& x0 = context.instance(row);
+    Label y0 = context.label(row);
+    FeatureSet e;
+    size_t previous_violators = checker.CountViolators(x0, y0, e);
+    std::vector<FeatureId> order(p.features);
+    for (FeatureId f = 0; f < p.features; ++f) order[f] = f;
+    rng.Shuffle(&order);
+    for (FeatureId f : order) {
+      FeatureSetInsert(&e, f);
+      size_t violators = checker.CountViolators(x0, y0, e);
+      EXPECT_LE(violators, previous_violators);
+      previous_violators = violators;
+    }
+    // x0 is a context row: it always agrees with itself, so the full key
+    // leaves at least one agreeing row.
+    EXPECT_GE(checker.AgreeingRows(x0, e).size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConformityFuzzTest,
+    ::testing::Values(FuzzParam{1, 20, 3, 2}, FuzzParam{2, 50, 5, 3},
+                      FuzzParam{3, 200, 4, 4}, FuzzParam{4, 500, 8, 2},
+                      FuzzParam{5, 1000, 6, 5}, FuzzParam{6, 37, 10, 3},
+                      FuzzParam{7, 333, 7, 6}, FuzzParam{8, 64, 12, 2}));
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,123 @@
+#include "core/conformity.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+class ConformityTest : public ::testing::Test {
+ protected:
+  testing::Fig2Context fig2_;
+};
+
+TEST_F(ConformityTest, EmptyExplanationAgreesWithEveryRow) {
+  ConformityChecker checker(&fig2_.context);
+  const Instance& x0 = fig2_.context.instance(0);
+  EXPECT_EQ(checker.AgreeingRows(x0, {}).size(), 7u);
+}
+
+TEST_F(ConformityTest, AgreeingRowsForCredit) {
+  ConformityChecker checker(&fig2_.context);
+  const Instance& x0 = fig2_.context.instance(0);
+  // Credit = poor matches x0..x4.
+  std::vector<size_t> rows = checker.AgreeingRows(x0, {fig2_.credit});
+  EXPECT_EQ(rows, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(ConformityTest, ViolatorsOfEmptyExplanation) {
+  ConformityChecker checker(&fig2_.context);
+  const Instance& x0 = fig2_.context.instance(0);
+  // x1, x5, x6 are approved.
+  EXPECT_EQ(checker.CountViolators(x0, fig2_.denied, {}), 3u);
+}
+
+TEST_F(ConformityTest, PaperKeyHasNoViolators) {
+  ConformityChecker checker(&fig2_.context);
+  const Instance& x0 = fig2_.context.instance(0);
+  FeatureSet key = {fig2_.income, fig2_.credit};
+  std::sort(key.begin(), key.end());
+  EXPECT_EQ(checker.CountViolators(x0, fig2_.denied, key), 0u);
+  EXPECT_TRUE(checker.IsAlphaConformant(x0, fig2_.denied, key, 1.0));
+  EXPECT_DOUBLE_EQ(checker.Precision(x0, fig2_.denied, key), 1.0);
+}
+
+TEST_F(ConformityTest, CreditAloneIsSixSeventhsConformant) {
+  ConformityChecker checker(&fig2_.context);
+  const Instance& x0 = fig2_.context.instance(0);
+  FeatureSet credit_only = {fig2_.credit};
+  EXPECT_EQ(checker.CountViolators(x0, fig2_.denied, credit_only), 1u);
+  EXPECT_TRUE(checker.IsAlphaConformant(x0, fig2_.denied, credit_only,
+                                        6.0 / 7.0));
+  EXPECT_FALSE(checker.IsAlphaConformant(x0, fig2_.denied, credit_only,
+                                         1.0));
+  EXPECT_NEAR(checker.Precision(x0, fig2_.denied, credit_only), 6.0 / 7.0,
+              1e-12);
+}
+
+TEST_F(ConformityTest, ViolatorBudget) {
+  ConformityChecker checker(&fig2_.context);
+  EXPECT_EQ(checker.ViolatorBudget(1.0), 0u);
+  EXPECT_EQ(checker.ViolatorBudget(6.0 / 7.0), 1u);
+  EXPECT_EQ(checker.ViolatorBudget(0.5), 3u);
+}
+
+TEST_F(ConformityTest, CoveredRowsShareThePrediction) {
+  ConformityChecker checker(&fig2_.context);
+  const Instance& x0 = fig2_.context.instance(0);
+  FeatureSet key = {fig2_.income, fig2_.credit};
+  std::sort(key.begin(), key.end());
+  // Agreeing on Income=3-4K & Credit=poor: x0, x2, x3 — all denied.
+  EXPECT_EQ(checker.CoveredRows(x0, fig2_.denied, key),
+            (std::vector<size_t>{0, 2, 3}));
+}
+
+TEST_F(ConformityTest, FullFeatureSetSeparatesDistinctInstances) {
+  ConformityChecker checker(&fig2_.context);
+  const Instance& x0 = fig2_.context.instance(0);
+  FeatureSet all = {fig2_.gender, fig2_.income, fig2_.credit,
+                    fig2_.dependent};
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(checker.CountViolators(x0, fig2_.denied, all), 0u);
+}
+
+TEST(ConformityEdgeTest, EmptyContext) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  Dataset empty(schema);
+  ConformityChecker checker(&empty);
+  Instance x0 = {0};
+  EXPECT_EQ(checker.CountViolators(x0, 0, {}), 0u);
+  EXPECT_DOUBLE_EQ(checker.Precision(x0, 0, {}), 1.0);
+  EXPECT_TRUE(checker.IsAlphaConformant(x0, 0, {}, 1.0));
+}
+
+TEST(ConformityEdgeTest, UnseenValueHasNoAgreeingRows) {
+  testing::Fig2Context fig2;
+  ConformityChecker checker(&fig2.context);
+  Instance alien = fig2.context.instance(0);
+  alien[fig2.income] = 999;  // value never interned in the context
+  EXPECT_TRUE(checker.AgreeingRows(alien, {fig2.income}).empty());
+  EXPECT_EQ(checker.CountViolators(alien, fig2.denied, {fig2.income}), 0u);
+}
+
+TEST(ConformityEdgeTest, ConflictingDuplicatesNeverConformant) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  schema->InternLabel("l0");
+  schema->InternLabel("l1");
+  Dataset context(schema);
+  context.Add({0}, 0);
+  context.Add({0}, 1);  // exact duplicate, different prediction
+  ConformityChecker checker(&context);
+  Instance x0 = {0};
+  EXPECT_EQ(checker.CountViolators(x0, 0, {f}), 1u);
+  EXPECT_FALSE(checker.IsAlphaConformant(x0, 0, {f}, 1.0));
+  EXPECT_TRUE(checker.IsAlphaConformant(x0, 0, {f}, 0.5));
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,100 @@
+#include "core/counterfactual.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(CounterfactualTest, ValidatesArguments) {
+  testing::Fig2Context fig2;
+  EXPECT_EQ(CounterfactualFinder::Find(fig2.context, 99, {})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  CounterfactualFinder::Options bad;
+  bad.max_witnesses = 0;
+  EXPECT_FALSE(CounterfactualFinder::Find(fig2.context, 0, bad).ok());
+  EXPECT_FALSE(CounterfactualFinder::FindForInstance(fig2.context,
+                                                     Instance{0}, 0, {})
+                   .ok());
+}
+
+TEST(CounterfactualTest, Fig2ClosestWitnessForX0) {
+  // x0 is denied; the closest approved instances are x1 (differs only on
+  // Income) and x6 (differs only on Credit) — both at distance 1.
+  testing::Fig2Context fig2;
+  auto witnesses = CounterfactualFinder::Find(fig2.context, 0, {});
+  ASSERT_TRUE(witnesses.ok());
+  ASSERT_GE(witnesses->size(), 2u);
+  EXPECT_EQ((*witnesses)[0].changed_features.size(), 1u);
+  EXPECT_EQ((*witnesses)[1].changed_features.size(), 1u);
+  std::set<FeatureId> singles = {(*witnesses)[0].changed_features[0],
+                                 (*witnesses)[1].changed_features[0]};
+  EXPECT_TRUE(singles.count(fig2.income));
+  EXPECT_TRUE(singles.count(fig2.credit));
+  for (const auto& w : *witnesses) {
+    EXPECT_EQ(w.witness_label, fig2.approved);
+    EXPECT_NE(fig2.context.label(w.witness_row), fig2.denied);
+  }
+}
+
+TEST(CounterfactualTest, WitnessesAreSortedByDistanceAndDistinct) {
+  Dataset context = testing::RandomContext(300, 6, 3, 71);
+  CounterfactualFinder::Options options;
+  options.max_witnesses = 5;
+  auto witnesses = CounterfactualFinder::Find(context, 0, options);
+  ASSERT_TRUE(witnesses.ok());
+  ASSERT_FALSE(witnesses->empty());
+  std::set<FeatureSet> seen;
+  size_t previous = 0;
+  for (const auto& w : *witnesses) {
+    EXPECT_GE(w.changed_features.size(), previous);
+    previous = w.changed_features.size();
+    EXPECT_TRUE(seen.insert(w.changed_features).second)
+        << "duplicate change set";
+    // The change set is exactly the disagreement set of the witness.
+    const Instance& x0 = context.instance(0);
+    for (FeatureId f = 0; f < context.num_features(); ++f) {
+      bool differs =
+          context.value(w.witness_row, f) != x0[f];
+      EXPECT_EQ(differs, FeatureSetContains(w.changed_features, f));
+    }
+  }
+}
+
+TEST(CounterfactualTest, SingleClassContextHasNoWitness) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "u");
+  schema->InternValue(f, "v");
+  schema->InternLabel("only");
+  Dataset context(schema);
+  context.Add({0}, 0);
+  context.Add({1}, 0);
+  EXPECT_EQ(CounterfactualFinder::Find(context, 0, {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CounterfactualTest, DuplicateWitnessDistanceZero) {
+  // A conflicting duplicate is a distance-0 counterfactual: the context
+  // proves the prediction is not a function of the features at all.
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  schema->InternLabel("l0");
+  schema->InternLabel("l1");
+  Dataset context(schema);
+  context.Add({0}, 0);
+  context.Add({0}, 1);
+  auto witnesses = CounterfactualFinder::Find(context, 0, {});
+  ASSERT_TRUE(witnesses.ok());
+  ASSERT_EQ(witnesses->size(), 1u);
+  EXPECT_TRUE((*witnesses)[0].changed_features.empty());
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,97 @@
+// Robustness fuzzing for the CSV parser: random byte soup must never
+// crash, and structurally valid random tables must round-trip.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/random.h"
+#include "core/types.h"
+
+namespace cce {
+namespace {
+
+class CsvFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  const char alphabet[] = "ab,\"\n\r \\x";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string soup;
+    size_t length = rng.Uniform(80);
+    for (size_t i = 0; i < length; ++i) {
+      soup.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    Result<CsvTable> table = ParseCsv(soup);  // ok() or error, no crash
+    if (table.ok()) {
+      // Any successfully parsed table must be rectangular.
+      for (const auto& row : table->rows) {
+        EXPECT_EQ(row.size(), table->header.size());
+      }
+    }
+  }
+}
+
+TEST_P(CsvFuzzTest, RandomTablesRoundTrip) {
+  Rng rng(GetParam() + 1000);
+  const char cell_alphabet[] = "abc,\"\n d";
+  for (int trial = 0; trial < 50; ++trial) {
+    CsvTable table;
+    size_t columns = 1 + rng.Uniform(5);
+    size_t rows = rng.Uniform(6);
+    for (size_t c = 0; c < columns; ++c) {
+      table.header.push_back("col" + std::to_string(c));
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row;
+      for (size_t c = 0; c < columns; ++c) {
+        std::string cell;
+        size_t length = rng.Uniform(8);
+        for (size_t i = 0; i < length; ++i) {
+          cell.push_back(
+              cell_alphabet[rng.Uniform(sizeof(cell_alphabet) - 1)]);
+        }
+        row.push_back(std::move(cell));
+      }
+      table.rows.push_back(std::move(row));
+    }
+    auto reparsed = ParseCsv(WriteCsv(table));
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed->header, table.header);
+    EXPECT_EQ(reparsed->rows, table.rows);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(FeatureSetOpsTest, InsertKeepsSortedUnique) {
+  FeatureSet set;
+  FeatureSetInsert(&set, 5);
+  FeatureSetInsert(&set, 1);
+  FeatureSetInsert(&set, 5);
+  FeatureSetInsert(&set, 3);
+  EXPECT_EQ(set, (FeatureSet{1, 3, 5}));
+  EXPECT_TRUE(FeatureSetContains(set, 3));
+  EXPECT_FALSE(FeatureSetContains(set, 2));
+}
+
+TEST(FeatureSetOpsTest, SubsetChecks) {
+  FeatureSet small = {1, 3};
+  FeatureSet big = {1, 2, 3};
+  EXPECT_TRUE(FeatureSetIsSubset(small, big));
+  EXPECT_FALSE(FeatureSetIsSubset(big, small));
+  EXPECT_TRUE(FeatureSetIsSubset({}, small));
+  EXPECT_TRUE(FeatureSetIsSubset(small, small));
+}
+
+TEST(FeatureSetOpsTest, ToStringHandlesUnknownIds) {
+  std::vector<std::string> names = {"A", "B"};
+  EXPECT_EQ(FeatureSetToString({0, 1}, names), "{A, B}");
+  EXPECT_EQ(FeatureSetToString({0, 7}, names), "{A, A7}");
+  EXPECT_EQ(FeatureSetToString({}, names), "{}");
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,95 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace cce {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto table = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvTest, HandlesMissingTrailingNewline) {
+  auto table = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvTest, HandlesCrlf) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "1");
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndNewlines) {
+  auto table = ParseCsv("name,notes\nalice,\"hi, there\nsecond line\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "hi, there\nsecond line");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto table = ParseCsv("a\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvTest, EmptyFields) {
+  auto table = ParseCsv("a,b,c\n,,\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto table = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, HeaderOnlyIsValid) {
+  auto table = ParseCsv("a,b\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->rows.empty());
+}
+
+TEST(CsvTest, ColumnIndexLookup) {
+  auto table = ParseCsv("x,y,z\n1,2,3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ColumnIndex("y"), 1);
+  EXPECT_EQ(table->ColumnIndex("missing"), -1);
+}
+
+TEST(CsvTest, WriteRoundTrip) {
+  CsvTable table;
+  table.header = {"a", "notes"};
+  table.rows = {{"1", "plain"},
+                {"2", "needs, quoting"},
+                {"3", "has \"quotes\""},
+                {"4", "multi\nline"}};
+  auto reparsed = ParseCsv(WriteCsv(table));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->header, table.header);
+  EXPECT_EQ(reparsed->rows, table.rows);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto result = ReadCsvFile("/nonexistent/path.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cce

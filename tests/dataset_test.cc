@@ -1,0 +1,75 @@
+#include "core/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(DatasetTest, AddAndAccess) {
+  testing::Fig2Context fig2;
+  const Dataset& d = fig2.context;
+  EXPECT_EQ(d.size(), 7u);
+  EXPECT_EQ(d.num_features(), 4u);
+  EXPECT_EQ(d.label(0), fig2.denied);
+  EXPECT_EQ(d.label(1), fig2.approved);
+  // x0 and x3 are identical.
+  EXPECT_EQ(d.instance(0), d.instance(3));
+  EXPECT_NE(d.instance(0), d.instance(1));
+}
+
+TEST(DatasetTest, SetLabel) {
+  testing::Fig2Context fig2;
+  fig2.context.set_label(0, fig2.approved);
+  EXPECT_EQ(fig2.context.label(0), fig2.approved);
+}
+
+TEST(DatasetTest, SubsetPreservesOrder) {
+  testing::Fig2Context fig2;
+  Dataset sub = fig2.context.Subset({5, 1, 0});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.instance(0), fig2.context.instance(5));
+  EXPECT_EQ(sub.instance(2), fig2.context.instance(0));
+  EXPECT_EQ(sub.label(1), fig2.context.label(1));
+}
+
+TEST(DatasetTest, PrefixClampsToSize) {
+  testing::Fig2Context fig2;
+  EXPECT_EQ(fig2.context.Prefix(3).size(), 3u);
+  EXPECT_EQ(fig2.context.Prefix(100).size(), 7u);
+  EXPECT_EQ(fig2.context.Prefix(0).size(), 0u);
+}
+
+TEST(DatasetTest, SplitPartitionsAllRows) {
+  Dataset d = testing::RandomContext(100, 4, 3, 5);
+  Rng rng(1);
+  auto [train, test] = d.Split(0.7, &rng);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+}
+
+TEST(DatasetTest, SplitExtremes) {
+  Dataset d = testing::RandomContext(10, 2, 2, 5);
+  Rng rng(1);
+  auto [all_train, empty_test] = d.Split(1.0, &rng);
+  EXPECT_EQ(all_train.size(), 10u);
+  EXPECT_TRUE(empty_test.empty());
+}
+
+TEST(DatasetTest, LabelAgreement) {
+  testing::Fig2Context fig2;
+  std::vector<Label> reference = fig2.context.labels();
+  EXPECT_DOUBLE_EQ(fig2.context.LabelAgreement(reference), 1.0);
+  reference[0] = fig2.approved;
+  EXPECT_NEAR(fig2.context.LabelAgreement(reference), 6.0 / 7.0, 1e-12);
+}
+
+TEST(DatasetTest, SchemaSharedAcrossSubsets) {
+  testing::Fig2Context fig2;
+  Dataset sub = fig2.context.Subset({0});
+  EXPECT_EQ(&sub.schema(), &fig2.context.schema());
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,96 @@
+#include "core/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(DiagnosticsTest, RejectsEmptyContext) {
+  testing::Fig2Context fig2;
+  Dataset empty(fig2.schema);
+  EXPECT_FALSE(DiagnoseContext(empty).ok());
+}
+
+TEST(DiagnosticsTest, Fig2ContextIsMostlyHealthy) {
+  testing::Fig2Context fig2;
+  auto d = DiagnoseContext(fig2.context);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->instances, 7u);
+  EXPECT_EQ(d->features, 4u);
+  EXPECT_EQ(d->conflicting_groups, 0u);
+  // x0 and x3 are identical with identical predictions.
+  EXPECT_EQ(d->redundant_duplicates, 1u);
+  EXPECT_NEAR(d->majority_label_share, 4.0 / 7.0, 1e-12);
+  EXPECT_TRUE(d->constant_features.empty());
+  // Only the small-context warning applies.
+  ASSERT_EQ(d->warnings.size(), 1u);
+  EXPECT_NE(d->warnings[0].find("only 7 instances"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, DetectsConflictingGroups) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "u");
+  schema->InternValue(f, "v");
+  schema->InternLabel("l0");
+  schema->InternLabel("l1");
+  Dataset context(schema);
+  context.Add({0}, 0);
+  context.Add({0}, 1);  // conflict
+  context.Add({0}, 0);  // same group
+  context.Add({1}, 1);
+  auto d = DiagnoseContext(context);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->conflicting_groups, 1u);
+  EXPECT_EQ(d->conflicting_instances, 3u);
+  EXPECT_FALSE(d->healthy());
+  bool mentions_alpha = false;
+  for (const auto& w : d->warnings) {
+    mentions_alpha |= w.find("alpha") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_alpha);
+}
+
+TEST(DiagnosticsTest, DetectsSingleClassAndConstantFeatures) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId varying = schema->AddFeature("varying");
+  schema->InternValue(varying, "u");
+  schema->InternValue(varying, "v");
+  FeatureId constant = schema->AddFeature("constant");
+  schema->InternValue(constant, "only");
+  schema->InternLabel("one");
+  Dataset context(schema);
+  for (int i = 0; i < 40; ++i) {
+    context.Add({static_cast<ValueId>(i % 2), 0}, 0);
+  }
+  auto d = DiagnoseContext(context);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->majority_label_share, 1.0);
+  ASSERT_EQ(d->constant_features.size(), 1u);
+  EXPECT_EQ(d->constant_features[0], constant);
+  EXPECT_GE(d->warnings.size(), 2u);  // single-class + constant feature
+}
+
+TEST(DiagnosticsTest, LargeCleanContextIsHealthy) {
+  Dataset context = testing::RandomContext(500, 5, 3, 44, /*noise=*/0.0);
+  auto d = DiagnoseContext(context);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->conflicting_groups, 0u);
+  EXPECT_TRUE(d->healthy())
+      << (d->warnings.empty() ? std::string() : d->warnings[0]);
+}
+
+TEST(DiagnosticsTest, NoisyContextReportsConflicts) {
+  // 15% label noise over a small domain guarantees conflicting duplicate
+  // groups in a 3000-row context (2 features x 9 combinations).
+  Dataset context = testing::RandomContext(3000, 2, 3, 45, /*noise=*/0.15);
+  auto d = DiagnoseContext(context);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d->conflicting_groups, 0u);
+  EXPECT_FALSE(d->healthy());
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,65 @@
+#include "sat/dimacs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sat/solver.h"
+
+namespace cce::sat {
+namespace {
+
+TEST(DimacsTest, WritesCanonicalForm) {
+  CnfFormula f;
+  Var a = f.NewVar();
+  Var b = f.NewVar();
+  f.AddBinary(Pos(a), Neg(b));
+  f.AddUnit(Pos(b));
+  EXPECT_EQ(ToDimacsString(f), "p cnf 2 2\n1 -2 0\n2 0\n");
+}
+
+TEST(DimacsTest, ParsesWithCommentsAndMultiLineClauses) {
+  auto f = ParseDimacs(
+      "c a comment\n"
+      "p cnf 3 2\n"
+      "1 -2\n"
+      "3 0\n"
+      "c trailing comment\n"
+      "-1 0\n");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->num_vars(), 3);
+  ASSERT_EQ(f->clauses().size(), 2u);
+  EXPECT_EQ(f->clauses()[0].size(), 3u);  // clause spans two lines
+  EXPECT_EQ(f->clauses()[1].size(), 1u);
+}
+
+TEST(DimacsTest, RoundTripPreservesSatisfiability) {
+  Rng rng(3);
+  CnfFormula original;
+  for (int v = 0; v < 10; ++v) original.NewVar();
+  for (int c = 0; c < 40; ++c) {
+    Clause clause;
+    for (int k = 0; k < 3; ++k) {
+      Var v = static_cast<Var>(rng.Uniform(10));
+      clause.push_back(rng.Bernoulli(0.5) ? Neg(v) : Pos(v));
+    }
+    original.AddClause(clause);
+  }
+  auto reparsed = ParseDimacs(ToDimacsString(original));
+  ASSERT_TRUE(reparsed.ok());
+  Solver solver_a(original);
+  Solver solver_b(*reparsed);
+  EXPECT_EQ(solver_a.Solve(), solver_b.Solve());
+}
+
+TEST(DimacsTest, RejectsMalformedInputs) {
+  EXPECT_FALSE(ParseDimacs("").ok());
+  EXPECT_FALSE(ParseDimacs("1 2 0\n").ok());           // clause before p
+  EXPECT_FALSE(ParseDimacs("p cnf 2 1\n3 0\n").ok());  // var out of range
+  EXPECT_FALSE(ParseDimacs("p cnf 2 2\n1 0\n").ok());  // count mismatch
+  EXPECT_FALSE(ParseDimacs("p cnf 2 1\n1 2\n").ok());  // unterminated
+  EXPECT_FALSE(
+      ParseDimacs("p cnf 2 1\n1 0\np cnf 2 1\n1 0\n").ok());  // dup p
+}
+
+}  // namespace
+}  // namespace cce::sat

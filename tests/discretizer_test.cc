@@ -1,0 +1,79 @@
+#include "core/discretizer.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cce {
+namespace {
+
+TEST(DiscretizerTest, EquiWidthBucketCount) {
+  Discretizer d = Discretizer::EquiWidth(0.0, 10.0, 5);
+  EXPECT_EQ(d.num_buckets(), 5u);
+}
+
+TEST(DiscretizerTest, EquiWidthAssignsInOrder) {
+  Discretizer d = Discretizer::EquiWidth(0.0, 10.0, 5);
+  EXPECT_EQ(d.Bucket(0.5), 0u);
+  EXPECT_EQ(d.Bucket(2.5), 1u);
+  EXPECT_EQ(d.Bucket(9.9), 4u);
+}
+
+TEST(DiscretizerTest, BoundaryGoesToUpperBucket) {
+  Discretizer d = Discretizer::EquiWidth(0.0, 10.0, 5);
+  // Buckets are [lo, hi): the cut value belongs to the bucket above.
+  EXPECT_EQ(d.Bucket(2.0), 1u);
+  EXPECT_EQ(d.Bucket(8.0), 4u);
+}
+
+TEST(DiscretizerTest, OutOfRangeClamps) {
+  Discretizer d = Discretizer::EquiWidth(0.0, 10.0, 5);
+  EXPECT_EQ(d.Bucket(-100.0), 0u);
+  EXPECT_EQ(d.Bucket(100.0), 4u);
+}
+
+TEST(DiscretizerTest, SingleBucket) {
+  Discretizer d = Discretizer::EquiWidth(0.0, 1.0, 1);
+  EXPECT_EQ(d.num_buckets(), 1u);
+  EXPECT_EQ(d.Bucket(0.5), 0u);
+  EXPECT_EQ(d.Bucket(-5.0), 0u);
+}
+
+TEST(DiscretizerTest, WithCutsRespectsCutPoints) {
+  Discretizer d = Discretizer::WithCuts({1.0, 5.0, 20.0});
+  EXPECT_EQ(d.num_buckets(), 4u);
+  EXPECT_EQ(d.Bucket(0.0), 0u);
+  EXPECT_EQ(d.Bucket(3.0), 1u);
+  EXPECT_EQ(d.Bucket(10.0), 2u);
+  EXPECT_EQ(d.Bucket(100.0), 3u);
+}
+
+TEST(DiscretizerTest, BucketNamesAreDistinct) {
+  Discretizer d = Discretizer::EquiWidth(0.0, 10.0, 10);
+  std::set<std::string> names;
+  for (ValueId b = 0; b < d.num_buckets(); ++b) {
+    names.insert(d.BucketName(b));
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(DiscretizerTest, MidpointRoundTrips) {
+  Discretizer d = Discretizer::EquiWidth(0.0, 10.0, 5);
+  for (ValueId b = 0; b < d.num_buckets(); ++b) {
+    EXPECT_EQ(d.Bucket(d.BucketMidpoint(b)), b);
+  }
+}
+
+TEST(DiscretizerTest, MoreBucketsRefinePartition) {
+  // The #-bucket knob: refining buckets never merges distinct coarse
+  // buckets' midpoints.
+  Discretizer coarse = Discretizer::EquiWidth(0.0, 20.0, 10);
+  Discretizer fine = Discretizer::EquiWidth(0.0, 20.0, 20);
+  EXPECT_EQ(fine.num_buckets(), 20u);
+  EXPECT_LT(coarse.Bucket(3.0), coarse.Bucket(11.0));
+  EXPECT_LT(fine.Bucket(3.0), fine.Bucket(11.0));
+}
+
+}  // namespace
+}  // namespace cce

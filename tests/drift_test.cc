@@ -1,0 +1,73 @@
+#include "data/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cce::data {
+namespace {
+
+TEST(DriftTest, TailNoiseLeavesHeadUntouched) {
+  Dataset clean = cce::testing::RandomContext(100, 4, 3, 1);
+  Rng rng(2);
+  Dataset noisy = InjectTailNoise(clean, 0.4, 1.0, &rng);
+  ASSERT_EQ(noisy.size(), clean.size());
+  for (size_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(noisy.instance(i), clean.instance(i)) << "row " << i;
+  }
+}
+
+TEST(DriftTest, TailNoisePerturbsTail) {
+  Dataset clean = cce::testing::RandomContext(100, 6, 4, 3);
+  Rng rng(2);
+  Dataset noisy = InjectTailNoise(clean, 0.4, 1.0, &rng);
+  size_t changed = 0;
+  for (size_t i = 60; i < 100; ++i) {
+    changed += noisy.instance(i) != clean.instance(i);
+  }
+  EXPECT_GT(changed, 30u);
+}
+
+TEST(DriftTest, ZeroRateIsIdentity) {
+  Dataset clean = cce::testing::RandomContext(50, 4, 3, 4);
+  Rng rng(2);
+  Dataset noisy = InjectTailNoise(clean, 1.0, 0.0, &rng);
+  for (size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(noisy.instance(i), clean.instance(i));
+  }
+}
+
+TEST(DriftTest, LabelsPreserved) {
+  Dataset clean = cce::testing::RandomContext(50, 4, 3, 5);
+  Rng rng(2);
+  Dataset noisy = InjectTailNoise(clean, 0.5, 1.0, &rng);
+  for (size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(noisy.label(i), clean.label(i));
+  }
+}
+
+TEST(DriftTest, SplitPhasesPartitionsEvenly) {
+  Dataset data = cce::testing::RandomContext(103, 3, 2, 6);
+  std::vector<Dataset> phases = SplitPhases(data, 5);
+  ASSERT_EQ(phases.size(), 5u);
+  size_t total = 0;
+  for (size_t p = 0; p < 5; ++p) {
+    total += phases[p].size();
+    if (p < 4) EXPECT_EQ(phases[p].size(), 20u);
+  }
+  EXPECT_EQ(total, data.size());
+  EXPECT_EQ(phases[4].size(), 23u);  // remainder in the last phase
+  // First phase holds the first rows.
+  EXPECT_EQ(phases[0].instance(0), data.instance(0));
+  EXPECT_EQ(phases[1].instance(0), data.instance(20));
+}
+
+TEST(DriftTest, SinglePhaseIsWholeDataset) {
+  Dataset data = cce::testing::RandomContext(10, 2, 2, 7);
+  std::vector<Dataset> phases = SplitPhases(data, 1);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].size(), data.size());
+}
+
+}  // namespace
+}  // namespace cce::data

@@ -1,0 +1,184 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "em/datasets.h"
+#include "em/features.h"
+#include "em/matcher.h"
+#include "em/records.h"
+#include "explain/certa.h"
+
+namespace cce::em {
+namespace {
+
+TEST(RecordsTest, PerturbTextKeepsMostTokens) {
+  Rng rng(1);
+  DirtyOptions options;
+  std::string original = "adobe photoshop professional edition 2007";
+  int total_kept = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::string perturbed = PerturbText(original, options, &rng);
+    EXPECT_FALSE(perturbed.empty());
+    total_kept += static_cast<int>(Split(perturbed, ' ').size());
+  }
+  // On average most tokens survive.
+  EXPECT_GT(total_kept, 50 * 3);
+}
+
+TEST(RecordsTest, PerturbNumberStaysClose) {
+  Rng rng(2);
+  DirtyOptions options;
+  for (int i = 0; i < 50; ++i) {
+    std::string out = PerturbNumber("100", options, &rng);
+    double v = std::stod(out);
+    EXPECT_GT(v, 90.0);
+    EXPECT_LT(v, 110.0);
+  }
+}
+
+TEST(RecordsTest, PerturbNumberNonNumericUnchanged) {
+  Rng rng(3);
+  DirtyOptions options;
+  EXPECT_EQ(PerturbNumber("abc", options, &rng), "abc");
+}
+
+TEST(EmDatasetsTest, PaperShapes) {
+  struct Expected {
+    const char* name;
+    size_t pairs;
+    size_t matches;
+    size_t attributes;
+  };
+  const Expected expected[] = {{"A-G", 11460, 1167, 3},
+                               {"D-A", 12363, 2220, 4},
+                               {"D-G", 28707, 5347, 4},
+                               {"W-A", 10242, 962, 5}};
+  for (const auto& e : expected) {
+    auto task = GenerateEmByName(e.name, 1);
+    ASSERT_TRUE(task.ok()) << e.name;
+    EXPECT_EQ(task->pairs.size(), e.pairs) << e.name;
+    EXPECT_EQ(task->attributes.size(), e.attributes) << e.name;
+    size_t matches = 0;
+    for (const RecordPair& pair : task->pairs) matches += pair.is_match;
+    EXPECT_EQ(matches, e.matches) << e.name;
+  }
+}
+
+TEST(EmDatasetsTest, UnknownNameRejected) {
+  EXPECT_FALSE(GenerateEmByName("X-Y", 1).ok());
+}
+
+TEST(EmDatasetsTest, PairOverrideShrinks) {
+  auto task = GenerateEmByName("A-G", 1, 500);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->pairs.size(), 500u);
+}
+
+TEST(FeaturesTest, MatchPairsScoreHigherSimilarity) {
+  EmGeneratorOptions options;
+  options.pairs = 2000;
+  EmTask task = GenerateAmazonGoogle(options);
+  PairFeatureExtractor extractor(task, {});
+  double match_sim = 0.0;
+  double nonmatch_sim = 0.0;
+  size_t match_n = 0;
+  size_t nonmatch_n = 0;
+  for (const RecordPair& pair : task.pairs) {
+    double sim = extractor.AttributeSimilarity(pair, 0);  // title
+    if (pair.is_match) {
+      match_sim += sim;
+      ++match_n;
+    } else {
+      nonmatch_sim += sim;
+      ++nonmatch_n;
+    }
+  }
+  ASSERT_GT(match_n, 0u);
+  ASSERT_GT(nonmatch_n, 0u);
+  EXPECT_GT(match_sim / match_n, nonmatch_sim / nonmatch_n + 0.2);
+}
+
+TEST(FeaturesTest, EncodeAllShapes) {
+  EmGeneratorOptions options;
+  options.pairs = 300;
+  EmTask task = GenerateDblpAcm(options);
+  PairFeatureExtractor extractor(task, {});
+  Dataset encoded = extractor.EncodeAll(task);
+  EXPECT_EQ(encoded.size(), 300u);
+  EXPECT_EQ(encoded.num_features(), 4u);
+  EXPECT_EQ(encoded.schema().num_labels(), 2u);
+}
+
+TEST(FeaturesTest, SimilarityBucketsRespectKnob) {
+  EmGeneratorOptions options;
+  options.pairs = 50;
+  EmTask task = GenerateWalmartAmazon(options);
+  PairFeatureExtractor::Options extractor_options;
+  extractor_options.similarity_buckets = 5;
+  PairFeatureExtractor extractor(task, extractor_options);
+  EXPECT_EQ(extractor.schema()->DomainSize(0), 5u);
+}
+
+TEST(MatcherTest, LearnsToMatch) {
+  EmGeneratorOptions options;
+  options.pairs = 4000;
+  EmTask task = GenerateAmazonGoogle(options);
+  PairFeatureExtractor extractor(task, {});
+  Dataset encoded = extractor.EncodeAll(task);
+  Rng rng(4);
+  auto [train, test] = encoded.Split(0.7, &rng);
+  auto matcher = SimilarityMatcher::Train(train, {});
+  ASSERT_TRUE(matcher.ok());
+  EXPECT_GT((*matcher)->Accuracy(test), 0.9);
+}
+
+TEST(MatcherTest, CertaExplainsMatcherDecisions) {
+  EmGeneratorOptions options;
+  options.pairs = 1200;
+  EmTask task = GenerateWalmartAmazon(options);
+  PairFeatureExtractor extractor(task, {});
+  Dataset encoded = extractor.EncodeAll(task);
+  auto matcher = SimilarityMatcher::Train(encoded, {});
+  ASSERT_TRUE(matcher.ok());
+  explain::Certa::Options certa_options;
+  certa_options.samples_per_feature = 40;
+  certa_options.samples_per_pair = 10;
+  explain::Certa certa(matcher->get(), &encoded, certa_options);
+  auto scores = certa.ImportanceScores(encoded.instance(0));
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), 5u);
+  double total = 0.0;
+  for (double s : *scores) {
+    EXPECT_GE(s, 0.0);
+    total += s;
+  }
+  EXPECT_GT(total, 0.0);  // something must be salient
+  auto explanation = certa.ExplainFeatures(encoded.instance(0), 2);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->size(), 2u);
+}
+
+TEST(MatcherTest, CertaConstantModelGivesZeroSaliency) {
+  // A single-class reference makes every prediction identical; CERTA
+  // must degrade gracefully.
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a_sim");
+  schema->InternValue(f, "low");
+  schema->InternValue(f, "high");
+  schema->InternLabel("NoMatch");
+  schema->InternLabel("Match");
+  Dataset reference(schema);
+  for (int i = 0; i < 10; ++i) {
+    reference.Add({static_cast<ValueId>(i % 2)}, 1);
+  }
+  auto matcher = SimilarityMatcher::Train(reference, {});
+  ASSERT_TRUE(matcher.ok());
+  explain::Certa certa(matcher->get(), &reference, {});
+  auto scores = certa.ImportanceScores(reference.instance(0));
+  ASSERT_TRUE(scores.ok());
+  EXPECT_DOUBLE_EQ((*scores)[0], 0.0);
+}
+
+}  // namespace
+}  // namespace cce::em

@@ -1,0 +1,86 @@
+#include "ml/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/gbdt.h"
+#include "tests/test_util.h"
+
+namespace cce::ml {
+namespace {
+
+TEST(AucTest, PerfectRankingIsOne) {
+  auto auc = AreaUnderRoc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 1.0);
+}
+
+TEST(AucTest, InvertedRankingIsZero) {
+  auto auc = AreaUnderRoc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.0);
+}
+
+TEST(AucTest, AllTiedIsHalf) {
+  auto auc = AreaUnderRoc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.5);
+}
+
+TEST(AucTest, KnownPartialOrdering) {
+  // Scores: neg {0.1, 0.6}, pos {0.4, 0.8}. Pairs won: (0.4>0.1),
+  // (0.8>0.1), (0.8>0.6) = 3 of 4 -> 0.75.
+  auto auc = AreaUnderRoc({0.1, 0.4, 0.6, 0.8}, {0, 1, 0, 1});
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 0.75);
+}
+
+TEST(AucTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(AreaUnderRoc({0.1}, {0, 1}).ok());
+  EXPECT_FALSE(AreaUnderRoc({0.1, 0.2}, {0, 0}).ok());
+  EXPECT_FALSE(AreaUnderRoc({0.1, 0.2}, {1, 1}).ok());
+  EXPECT_FALSE(AreaUnderRoc({0.1, 0.2}, {0, 2}).ok());
+}
+
+TEST(EvaluateBinaryTest, PerfectModelOnCleanData) {
+  Dataset data = cce::testing::RandomContext(800, 4, 3, 21, /*noise=*/0.0);
+  Gbdt::Options options;
+  options.num_trees = 60;
+  auto model = Gbdt::Train(data, options);
+  ASSERT_TRUE(model.ok());
+  auto report = EvaluateBinary(**model, data);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->accuracy, 0.97);
+  EXPECT_GT(report->auc, 0.99);
+  EXPECT_GT(report->f1, 0.95);
+  EXPECT_EQ(report->true_positives + report->true_negatives +
+                report->false_positives + report->false_negatives,
+            data.size());
+}
+
+TEST(EvaluateBinaryTest, ConfusionCountsConsistent) {
+  Dataset data = cce::testing::RandomContext(400, 4, 3, 22, /*noise=*/0.2);
+  auto model = Gbdt::Train(data, {});
+  ASSERT_TRUE(model.ok());
+  auto report = EvaluateBinary(**model, data);
+  ASSERT_TRUE(report.ok());
+  double recomputed_accuracy =
+      static_cast<double>(report->true_positives +
+                          report->true_negatives) /
+      static_cast<double>(data.size());
+  EXPECT_DOUBLE_EQ(report->accuracy, recomputed_accuracy);
+  EXPECT_GE(report->precision, 0.0);
+  EXPECT_LE(report->precision, 1.0);
+  EXPECT_GE(report->recall, 0.0);
+  EXPECT_LE(report->recall, 1.0);
+}
+
+TEST(EvaluateBinaryTest, RejectsEmptyAndNonBinary) {
+  Dataset data = cce::testing::RandomContext(10, 2, 2, 23);
+  Dataset empty(data.schema_ptr());
+  auto model = Gbdt::Train(data, {});
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(EvaluateBinary(**model, empty).ok());
+}
+
+}  // namespace
+}  // namespace cce::ml

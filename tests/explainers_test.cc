@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "explain/anchor.h"
+#include "explain/gam.h"
+#include "explain/kernel_shap.h"
+#include "explain/lime.h"
+#include "explain/linalg.h"
+#include "ml/gbdt.h"
+#include "tests/test_util.h"
+
+namespace cce::explain {
+namespace {
+
+// Shared fixture: a model whose label depends only on features 0 and 1.
+class ExplainersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = std::make_unique<Dataset>(
+        cce::testing::RandomContext(1200, 5, 3, 42, /*noise=*/0.0));
+    ml::Gbdt::Options options;
+    options.num_trees = 50;
+    auto model = ml::Gbdt::Train(*data_, options);
+    CCE_CHECK_OK(model.status());
+    model_ = std::move(model).value();
+    CCE_CHECK(model_->Accuracy(*data_) > 0.95);
+  }
+
+  // The informative features are 0 and 1 by construction of RandomContext.
+  void ExpectInformativeFeaturesRanked(ImportanceExplainer* explainer) {
+    int hits = 0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+      auto scores = explainer->ImportanceScores(data_->instance(t));
+      ASSERT_TRUE(scores.ok());
+      std::vector<FeatureId> order = RankByImportance(*scores);
+      // The top-2 features should be {0, 1} for most instances.
+      bool top2 = (order[0] <= 1) && (order[1] <= 1);
+      hits += top2;
+    }
+    EXPECT_GE(hits, trials - 3);
+  }
+
+  std::unique_ptr<Dataset> data_;
+  std::unique_ptr<ml::Gbdt> model_;
+};
+
+TEST_F(ExplainersTest, LimeFindsInformativeFeatures) {
+  Lime lime(model_.get(), data_.get(), {});
+  ExpectInformativeFeaturesRanked(&lime);
+}
+
+TEST_F(ExplainersTest, LimeSizeMatchedExplanation) {
+  Lime lime(model_.get(), data_.get(), {});
+  auto explanation = lime.ExplainFeatures(data_->instance(0), 2);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->size(), 2u);
+}
+
+TEST_F(ExplainersTest, ShapFindsInformativeFeatures) {
+  KernelShap shap(model_.get(), data_.get(), {});
+  ExpectInformativeFeaturesRanked(&shap);
+}
+
+TEST_F(ExplainersTest, ShapEfficiencyRoughlyHolds) {
+  // Sum of Shapley values should roughly track f(x) - E[f] (soft
+  // constraint in our sampling formulation).
+  KernelShap::Options options;
+  options.num_coalitions = 600;
+  KernelShap shap(model_.get(), data_.get(), options);
+  const Instance& x = data_->instance(3);
+  auto scores = shap.ImportanceScores(x);
+  ASSERT_TRUE(scores.ok());
+  double sum = 0.0;
+  for (double s : *scores) sum += s;
+  double fx = model_->Score(x);
+  double mean = 0.0;
+  for (size_t i = 0; i < 200; ++i) {
+    mean += model_->Score(data_->instance(i));
+  }
+  mean /= 200.0;
+  EXPECT_NEAR(sum, fx - mean, std::abs(fx - mean) * 0.8 + 1.5);
+}
+
+TEST_F(ExplainersTest, GamFindsInformativeFeatures) {
+  auto gam = Gam::Fit(model_.get(), data_.get(), {});
+  ASSERT_TRUE(gam.ok());
+  ExpectInformativeFeaturesRanked(gam->get());
+}
+
+TEST_F(ExplainersTest, GamSurrogateTracksModel) {
+  auto gam = Gam::Fit(model_.get(), data_.get(), {});
+  ASSERT_TRUE(gam.ok());
+  // Note: the target concept (XOR-like on two features) is not additive,
+  // so the surrogate cannot be perfect; it must still beat chance.
+  int agree = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const Instance& x = data_->instance(t);
+    bool gam_positive = (*gam)->SurrogateProbability(x) > 0.5;
+    bool model_positive = model_->Predict(x) == 1;
+    agree += (gam_positive == model_positive);
+  }
+  EXPECT_GT(agree, trials * 45 / 100);
+}
+
+TEST_F(ExplainersTest, AnchorReachesPrecisionThreshold) {
+  Anchor anchor(model_.get(), data_.get(), {});
+  auto explanation = anchor.ExplainFeatures(data_->instance(0), 0);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_FALSE(explanation->empty());
+  double precision =
+      anchor.EstimatePrecision(data_->instance(0), *explanation, 400);
+  EXPECT_GT(precision, 0.85);
+}
+
+TEST_F(ExplainersTest, AnchorSizeMatchedMode) {
+  Anchor anchor(model_.get(), data_.get(), {});
+  auto explanation = anchor.ExplainFeatures(data_->instance(1), 2);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(explanation->size(), 2u);
+}
+
+TEST_F(ExplainersTest, AnchorFullAnchorHasPerfectPrecision) {
+  Anchor anchor(model_.get(), data_.get(), {});
+  FeatureSet all = {0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(
+      anchor.EstimatePrecision(data_->instance(0), all, 100), 1.0);
+}
+
+TEST_F(ExplainersTest, ExplainerNames) {
+  Lime lime(model_.get(), data_.get(), {});
+  KernelShap shap(model_.get(), data_.get(), {});
+  Anchor anchor(model_.get(), data_.get(), {});
+  EXPECT_EQ(lime.name(), "LIME");
+  EXPECT_EQ(shap.name(), "SHAP");
+  EXPECT_EQ(anchor.name(), "Anchor");
+}
+
+TEST(RankByImportanceTest, OrdersByAbsoluteValue) {
+  std::vector<double> scores = {0.1, -0.9, 0.5, 0.0};
+  std::vector<FeatureId> order = RankByImportance(scores);
+  EXPECT_EQ(order, (std::vector<FeatureId>{1, 2, 0, 3}));
+}
+
+TEST(LinalgTest, SolvesDiagonalSystem) {
+  auto x = SolveSpd({{2.0, 0.0}, {0.0, 4.0}}, {2.0, 8.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LinalgTest, SolvesGeneralSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5].
+  auto x = SolveSpd({{4.0, 2.0}, {2.0, 3.0}}, {10.0, 8.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.75, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.5, 1e-12);
+}
+
+TEST(LinalgTest, RejectsNonSpd) {
+  EXPECT_FALSE(SolveSpd({{0.0, 0.0}, {0.0, 0.0}}, {1.0, 1.0}).ok());
+  EXPECT_FALSE(SolveSpd({}, {}).ok());
+}
+
+TEST(LinalgTest, RidgeRecoversLinearCoefficients) {
+  // y = 3 x0 - 2 x1 with plenty of rows and tiny ridge.
+  Rng rng(9);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  std::vector<double> weights;
+  for (int i = 0; i < 200; ++i) {
+    double x0 = rng.UniformDouble();
+    double x1 = rng.UniformDouble();
+    rows.push_back({x0, x1});
+    targets.push_back(3.0 * x0 - 2.0 * x1);
+    weights.push_back(1.0);
+  }
+  auto beta = SolveWeightedRidge(rows, targets, weights, 1e-9);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 3.0, 1e-5);
+  EXPECT_NEAR((*beta)[1], -2.0, 1e-5);
+}
+
+TEST(LinalgTest, RidgeShrinksTowardZero) {
+  std::vector<std::vector<double>> rows = {{1.0}, {1.0}};
+  std::vector<double> targets = {1.0, 1.0};
+  std::vector<double> weights = {1.0, 1.0};
+  auto small = SolveWeightedRidge(rows, targets, weights, 1e-9);
+  auto large = SolveWeightedRidge(rows, targets, weights, 100.0);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_NEAR((*small)[0], 1.0, 1e-6);
+  EXPECT_LT((*large)[0], 0.1);
+}
+
+TEST(LinalgTest, RejectsInconsistentShapes) {
+  EXPECT_FALSE(SolveWeightedRidge({{1.0}}, {1.0, 2.0}, {1.0}, 0.1).ok());
+  EXPECT_FALSE(SolveWeightedRidge({}, {}, {}, 0.1).ok());
+}
+
+}  // namespace
+}  // namespace cce::explain

@@ -1,0 +1,138 @@
+#include "ml/gbdt.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cce::ml {
+namespace {
+
+TEST(GbdtTest, RejectsBadOptions) {
+  Dataset data = cce::testing::RandomContext(50, 3, 2, 1);
+  Gbdt::Options options;
+  options.num_trees = 0;
+  EXPECT_FALSE(Gbdt::Train(data, options).ok());
+  options = Gbdt::Options();
+  options.subsample = 0.0;
+  EXPECT_FALSE(Gbdt::Train(data, options).ok());
+  Dataset empty(data.schema_ptr());
+  EXPECT_FALSE(Gbdt::Train(empty, Gbdt::Options()).ok());
+}
+
+TEST(GbdtTest, RejectsNonBinaryLabels) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  schema->InternLabel("l0");
+  schema->InternLabel("l1");
+  schema->InternLabel("l2");
+  Dataset data(schema);
+  data.Add({0}, 2);
+  EXPECT_FALSE(Gbdt::Train(data, Gbdt::Options()).ok());
+}
+
+TEST(GbdtTest, LearnsDeterministicFunction) {
+  // Labels are a noise-free function of features 0 and 1.
+  Dataset data = cce::testing::RandomContext(1500, 5, 3, 2, /*noise=*/0.0);
+  Rng rng(1);
+  auto [train, test] = data.Split(0.7, &rng);
+  Gbdt::Options options;
+  options.num_trees = 60;
+  options.max_depth = 4;
+  auto model = Gbdt::Train(train, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT((*model)->Accuracy(test), 0.95);
+}
+
+TEST(GbdtTest, HandlesNoisyLabels) {
+  Dataset data = cce::testing::RandomContext(1500, 5, 3, 3, /*noise=*/0.1);
+  Rng rng(1);
+  auto [train, test] = data.Split(0.7, &rng);
+  auto model = Gbdt::Train(train, Gbdt::Options());
+  ASSERT_TRUE(model.ok());
+  // Bayes accuracy is 0.9; the model should land well above chance.
+  EXPECT_GT((*model)->Accuracy(test), 0.8);
+}
+
+TEST(GbdtTest, MarginConsistentWithPrediction) {
+  Dataset data = cce::testing::RandomContext(400, 4, 3, 4);
+  auto model = Gbdt::Train(data, Gbdt::Options());
+  ASSERT_TRUE(model.ok());
+  for (size_t i = 0; i < 50; ++i) {
+    const Instance& x = data.instance(i);
+    Label y = (*model)->Predict(x);
+    double margin = (*model)->Margin(x);
+    EXPECT_EQ(y, margin > 0.0 ? 1u : 0u);
+    double p = (*model)->Probability(x);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    EXPECT_EQ(p > 0.5, margin > 0.0);
+  }
+}
+
+TEST(GbdtTest, SingleClassTrainingPredictsThatClass) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "u");
+  schema->InternValue(f, "v");
+  schema->InternLabel("l0");
+  schema->InternLabel("l1");
+  Dataset data(schema);
+  for (int i = 0; i < 20; ++i) data.Add({static_cast<ValueId>(i % 2)}, 1);
+  auto model = Gbdt::Train(data, Gbdt::Options());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->Predict({0}), 1u);
+  EXPECT_EQ((*model)->Predict({1}), 1u);
+}
+
+TEST(GbdtTest, SubsamplingStillLearns) {
+  Dataset data = cce::testing::RandomContext(1000, 4, 3, 5, /*noise=*/0.0);
+  Gbdt::Options options;
+  options.subsample = 0.5;
+  options.num_trees = 80;
+  auto model = Gbdt::Train(data, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT((*model)->Accuracy(data), 0.9);
+}
+
+TEST(GbdtTest, MakeContextUsesModelPredictions) {
+  Dataset data = cce::testing::RandomContext(200, 4, 3, 6);
+  auto model = Gbdt::Train(data, Gbdt::Options());
+  ASSERT_TRUE(model.ok());
+  Dataset context = (*model)->MakeContext(data);
+  ASSERT_EQ(context.size(), data.size());
+  for (size_t i = 0; i < context.size(); ++i) {
+    EXPECT_EQ(context.label(i), (*model)->Predict(data.instance(i)));
+    EXPECT_EQ(context.instance(i), data.instance(i));
+  }
+}
+
+TEST(GbdtTest, UsedFeaturesWithinSchema) {
+  Dataset data = cce::testing::RandomContext(500, 6, 3, 7, /*noise=*/0.0);
+  auto model = Gbdt::Train(data, Gbdt::Options());
+  ASSERT_TRUE(model.ok());
+  std::vector<FeatureId> used = (*model)->UsedFeatures();
+  EXPECT_FALSE(used.empty());
+  for (FeatureId f : used) EXPECT_LT(f, 6u);
+  // Features 0 and 1 determine the label; the model should use them.
+  EXPECT_TRUE(std::binary_search(used.begin(), used.end(), 0u));
+  EXPECT_TRUE(std::binary_search(used.begin(), used.end(), 1u));
+}
+
+TEST(GbdtTest, DeterministicGivenSeed) {
+  Dataset data = cce::testing::RandomContext(300, 4, 3, 8);
+  Gbdt::Options options;
+  options.subsample = 0.7;
+  options.seed = 99;
+  auto a = Gbdt::Train(data, options);
+  auto b = Gbdt::Train(data, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)->Margin(data.instance(i)),
+                     (*b)->Margin(data.instance(i)));
+  }
+}
+
+}  // namespace
+}  // namespace cce::ml

@@ -1,0 +1,108 @@
+// Training-control features of the GBDT: column subsampling and
+// early stopping (split out from gbdt_test.cc, which covers the learner's
+// core behaviour).
+
+#include <gtest/gtest.h>
+
+#include "ml/gbdt.h"
+#include "tests/test_util.h"
+
+namespace cce::ml {
+namespace {
+
+TEST(GbdtTrainingTest, ColsampleValidation) {
+  Dataset data = cce::testing::RandomContext(100, 4, 3, 1);
+  Gbdt::Options options;
+  options.colsample = 0.0;
+  EXPECT_FALSE(Gbdt::Train(data, options).ok());
+  options.colsample = 1.5;
+  EXPECT_FALSE(Gbdt::Train(data, options).ok());
+}
+
+TEST(GbdtTrainingTest, ColsampleStillLearns) {
+  Dataset data = cce::testing::RandomContext(1200, 6, 3, 2, /*noise=*/0.0);
+  Gbdt::Options options;
+  options.colsample = 0.5;
+  options.num_trees = 80;
+  auto model = Gbdt::Train(data, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT((*model)->Accuracy(data), 0.9);
+}
+
+TEST(GbdtTrainingTest, ColsampleOneMatchesBaseline) {
+  Dataset data = cce::testing::RandomContext(300, 4, 3, 3);
+  Gbdt::Options options;
+  options.colsample = 1.0;
+  auto a = Gbdt::Train(data, options);
+  auto b = Gbdt::Train(data, Gbdt::Options());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ((*a)->Margin(data.instance(i)),
+                     (*b)->Margin(data.instance(i)));
+  }
+}
+
+TEST(GbdtTrainingTest, EarlyStoppingRequiresValidation) {
+  Dataset data = cce::testing::RandomContext(100, 4, 3, 4);
+  Gbdt::Options options;
+  options.early_stopping_rounds = 5;
+  EXPECT_FALSE(Gbdt::Train(data, options).ok());
+  Dataset empty(data.schema_ptr());
+  EXPECT_FALSE(Gbdt::TrainWithValidation(data, empty, options).ok());
+}
+
+TEST(GbdtTrainingTest, EarlyStoppingTruncatesNoisyFits) {
+  // Very noisy labels: validation loss bottoms out early, so the stopped
+  // ensemble must be (much) smaller than the full budget.
+  Dataset data = cce::testing::RandomContext(1200, 5, 3, 5, /*noise=*/0.35);
+  Rng rng(1);
+  auto [train, validation] = data.Split(0.7, &rng);
+  Gbdt::Options options;
+  options.num_trees = 200;
+  options.max_depth = 6;
+  options.learning_rate = 0.4;
+  options.early_stopping_rounds = 5;
+  auto stopped = Gbdt::TrainWithValidation(train, validation, options);
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_LT((*stopped)->trees().size(), 200u);
+  EXPECT_GT((*stopped)->trees().size(), 0u);
+}
+
+TEST(GbdtTrainingTest, EarlyStoppingDoesNotHurtCleanFits) {
+  Dataset data = cce::testing::RandomContext(1200, 5, 3, 6, /*noise=*/0.0);
+  Rng rng(1);
+  auto [train, validation] = data.Split(0.7, &rng);
+  Gbdt::Options options;
+  options.num_trees = 80;
+  options.early_stopping_rounds = 15;
+  auto model = Gbdt::TrainWithValidation(train, validation, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT((*model)->Accuracy(validation), 0.93);
+}
+
+TEST(GbdtTrainingTest, StoppedModelGeneralizesAtLeastAsWellAsFull) {
+  // The point of early stopping: on noisy data the truncated ensemble's
+  // held-out accuracy is within noise of (usually above) the over-fitted
+  // full ensemble's.
+  Dataset data = cce::testing::RandomContext(2000, 5, 3, 7, /*noise=*/0.3);
+  Rng rng(2);
+  auto [train_all, test] = data.Split(0.7, &rng);
+  Rng rng2(3);
+  auto [train, validation] = train_all.Split(0.8, &rng2);
+  Gbdt::Options overfit;
+  overfit.num_trees = 150;
+  overfit.max_depth = 6;
+  overfit.learning_rate = 0.4;
+  auto full = Gbdt::Train(train, overfit);
+  ASSERT_TRUE(full.ok());
+  Gbdt::Options stopped_options = overfit;
+  stopped_options.early_stopping_rounds = 8;
+  auto stopped = Gbdt::TrainWithValidation(train, validation,
+                                           stopped_options);
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_GE((*stopped)->Accuracy(test) + 0.03, (*full)->Accuracy(test));
+}
+
+}  // namespace
+}  // namespace cce::ml

@@ -1,0 +1,98 @@
+// Schema-level contracts of the synthetic dataset generators: the feature
+// names, domain shapes, and knob behaviours the benches and examples rely
+// on. Split out from generators_test.cc, which covers the statistical
+// behaviour.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace cce::data {
+namespace {
+
+TEST(GeneratorSchemaTest, LoanFeatureNamesMatchTheCaseStudy) {
+  Dataset loan = GenerateLoan({});
+  const char* expected[] = {"Gender",    "Married",    "Dependents",
+                            "Education", "SelfEmployed", "Income",
+                            "CoIncome",  "Credit",     "LoanAmount",
+                            "LoanTerm",  "Area"};
+  ASSERT_EQ(loan.num_features(), 11u);
+  for (FeatureId f = 0; f < 11; ++f) {
+    EXPECT_EQ(loan.schema().FeatureName(f), expected[f]);
+  }
+  EXPECT_TRUE(loan.schema().LookupLabel("Denied").ok());
+  EXPECT_TRUE(loan.schema().LookupLabel("Approved").ok());
+}
+
+TEST(GeneratorSchemaTest, LoanCategoricalDomains) {
+  Dataset loan = GenerateLoan({});
+  const Schema& s = loan.schema();
+  EXPECT_EQ(s.DomainSize(*s.FeatureIndex("Gender")), 2u);
+  EXPECT_EQ(s.DomainSize(*s.FeatureIndex("Credit")), 2u);
+  EXPECT_EQ(s.DomainSize(*s.FeatureIndex("Dependents")), 4u);
+  EXPECT_EQ(s.DomainSize(*s.FeatureIndex("LoanTerm")), 4u);
+  EXPECT_EQ(s.DomainSize(*s.FeatureIndex("Area")), 3u);
+  EXPECT_TRUE(s.LookupValue(*s.FeatureIndex("Credit"), "good").ok());
+  EXPECT_TRUE(s.LookupValue(*s.FeatureIndex("Credit"), "poor").ok());
+}
+
+TEST(GeneratorSchemaTest, AdultBucketKnobResizesNumericDomains) {
+  for (int buckets : {8, 12, 16}) {
+    AdultOptions options;
+    options.rows = 50;
+    options.numeric_buckets = buckets;
+    Dataset adult = GenerateAdult(options);
+    const Schema& s = adult.schema();
+    EXPECT_EQ(s.DomainSize(*s.FeatureIndex("Age")),
+              static_cast<size_t>(buckets));
+    EXPECT_EQ(s.DomainSize(*s.FeatureIndex("HoursPerWeek")),
+              static_cast<size_t>(buckets));
+    EXPECT_EQ(s.DomainSize(*s.FeatureIndex("CapitalGain")),
+              static_cast<size_t>(buckets));
+  }
+}
+
+TEST(GeneratorSchemaTest, EveryValueIdWithinDomain) {
+  for (const std::string& name : GeneralDatasetNames()) {
+    auto dataset = GenerateByName(name, 7, 500);
+    ASSERT_TRUE(dataset.ok());
+    for (size_t row = 0; row < dataset->size(); ++row) {
+      for (FeatureId f = 0; f < dataset->num_features(); ++f) {
+        EXPECT_LT(dataset->value(row, f), dataset->schema().DomainSize(f))
+            << name << " row " << row << " feature " << f;
+      }
+      EXPECT_LT(dataset->label(row), dataset->schema().num_labels());
+    }
+  }
+}
+
+TEST(GeneratorSchemaTest, AllFeaturesTakeMultipleValues) {
+  // Degenerate single-valued features would be dead weight for every
+  // algorithm; the generators must produce live domains.
+  for (const std::string& name : GeneralDatasetNames()) {
+    auto dataset = GenerateByName(name, 9, 2000);
+    ASSERT_TRUE(dataset.ok());
+    for (FeatureId f = 0; f < dataset->num_features(); ++f) {
+      std::set<ValueId> seen;
+      for (size_t row = 0; row < dataset->size(); ++row) {
+        seen.insert(dataset->value(row, f));
+      }
+      EXPECT_GE(seen.size(), 2u)
+          << name << " feature " << dataset->schema().FeatureName(f);
+    }
+  }
+}
+
+TEST(GeneratorSchemaTest, GermanHas21FeaturesWithUniqueNames) {
+  Dataset german = GenerateGerman({});
+  std::set<std::string> names;
+  for (FeatureId f = 0; f < german.num_features(); ++f) {
+    names.insert(german.schema().FeatureName(f));
+  }
+  EXPECT_EQ(names.size(), 21u);
+}
+
+}  // namespace
+}  // namespace cce::data

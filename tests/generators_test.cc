@@ -1,0 +1,138 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/gbdt.h"
+
+namespace cce::data {
+namespace {
+
+TEST(GeneratorsTest, LoanMatchesPaperShape) {
+  LoanOptions options;
+  Dataset loan = GenerateLoan(options);
+  EXPECT_EQ(loan.size(), 614u);
+  EXPECT_EQ(loan.num_features(), 11u);
+  EXPECT_EQ(loan.schema().num_labels(), 2u);
+}
+
+TEST(GeneratorsTest, PaperShapesForAllDatasets) {
+  struct Expected {
+    const char* name;
+    size_t rows;
+    size_t features;
+  };
+  const Expected expected[] = {{"Adult", 32526, 14},
+                               {"German", 1000, 21},
+                               {"Compas", 6172, 11},
+                               {"Loan", 614, 11},
+                               {"Recid", 6340, 15}};
+  for (const auto& e : expected) {
+    auto dataset = GenerateByName(e.name, 1);
+    ASSERT_TRUE(dataset.ok()) << e.name;
+    EXPECT_EQ(dataset->size(), e.rows) << e.name;
+    EXPECT_EQ(dataset->num_features(), e.features) << e.name;
+  }
+}
+
+TEST(GeneratorsTest, RowOverrideShrinksDataset) {
+  auto dataset = GenerateByName("Adult", 1, 500);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->size(), 500u);
+}
+
+TEST(GeneratorsTest, UnknownNameRejected) {
+  EXPECT_EQ(GenerateByName("Mnist", 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(GeneratorsTest, DeterministicPerSeed) {
+  LoanOptions options;
+  options.seed = 7;
+  Dataset a = GenerateLoan(options);
+  Dataset b = GenerateLoan(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.instance(i), b.instance(i));
+    EXPECT_EQ(a.label(i), b.label(i));
+  }
+  options.seed = 8;
+  Dataset c = GenerateLoan(options);
+  size_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) diff += a.instance(i) != c.instance(i);
+  EXPECT_GT(diff, a.size() / 2);
+}
+
+TEST(GeneratorsTest, BothClassesPresentEverywhere) {
+  for (const std::string& name : GeneralDatasetNames()) {
+    auto dataset = GenerateByName(name, 3, 1000);
+    ASSERT_TRUE(dataset.ok());
+    size_t positives = 0;
+    for (size_t i = 0; i < dataset->size(); ++i) {
+      positives += dataset->label(i);
+    }
+    double rate = static_cast<double>(positives) /
+                  static_cast<double>(dataset->size());
+    EXPECT_GT(rate, 0.08) << name;
+    EXPECT_LT(rate, 0.92) << name;
+  }
+}
+
+TEST(GeneratorsTest, LoanBucketKnobChangesLoanAmountDomain) {
+  LoanOptions coarse;
+  coarse.loan_amount_buckets = 10;
+  LoanOptions fine;
+  fine.loan_amount_buckets = 20;
+  Dataset a = GenerateLoan(coarse);
+  Dataset b = GenerateLoan(fine);
+  FeatureId f = *a.schema().FeatureIndex("LoanAmount");
+  EXPECT_EQ(a.schema().DomainSize(f), 10u);
+  EXPECT_EQ(b.schema().DomainSize(*b.schema().FeatureIndex("LoanAmount")),
+            20u);
+}
+
+TEST(GeneratorsTest, LabelsAreLearnable) {
+  // The labelling functions must be learnable from the features — the
+  // precondition for every downstream experiment. Tested on subsampled
+  // versions to keep the suite fast.
+  for (const std::string& name : GeneralDatasetNames()) {
+    auto dataset = GenerateByName(name, 5, 2000);
+    ASSERT_TRUE(dataset.ok());
+    Rng rng(2);
+    auto [train, test] = dataset->Split(0.7, &rng);
+    ml::Gbdt::Options options;
+    options.num_trees = 40;
+    auto model = ml::Gbdt::Train(train, options);
+    ASSERT_TRUE(model.ok()) << name;
+    double accuracy = (*model)->Accuracy(test);
+    EXPECT_GT(accuracy, 0.7) << name << " accuracy " << accuracy;
+  }
+}
+
+TEST(GeneratorsTest, FeatureAssociationsExist) {
+  // Loan: married applicants should report higher co-income on average —
+  // the kind of association relative keys exploit (paper benefit (b)).
+  LoanOptions options;
+  options.rows = 5000;
+  Dataset loan = GenerateLoan(options);
+  FeatureId married = *loan.schema().FeatureIndex("Married");
+  FeatureId coincome = *loan.schema().FeatureIndex("CoIncome");
+  double married_co = 0.0;
+  double single_co = 0.0;
+  size_t married_n = 0;
+  size_t single_n = 0;
+  for (size_t i = 0; i < loan.size(); ++i) {
+    if (loan.value(i, married) == 1) {
+      married_co += loan.value(i, coincome);
+      ++married_n;
+    } else {
+      single_co += loan.value(i, coincome);
+      ++single_n;
+    }
+  }
+  ASSERT_GT(married_n, 0u);
+  ASSERT_GT(single_n, 0u);
+  EXPECT_GT(married_co / married_n, single_co / single_n + 0.3);
+}
+
+}  // namespace
+}  // namespace cce::data

@@ -1,0 +1,104 @@
+#include "explain/ids.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "tests/test_util.h"
+
+namespace cce::explain {
+namespace {
+
+TEST(IdsTest, RejectsBadInputs) {
+  cce::testing::Fig2Context fig2;
+  Dataset empty(fig2.schema);
+  EXPECT_FALSE(Ids::Summarize(empty, {}).ok());
+  Ids::Options options;
+  options.max_antecedent = 0;
+  EXPECT_FALSE(Ids::Summarize(fig2.context, options).ok());
+}
+
+TEST(IdsTest, RuleMatching) {
+  cce::testing::Fig2Context fig2;
+  IdsRule rule;
+  rule.antecedent = {{fig2.credit, 0}};  // Credit = poor
+  EXPECT_TRUE(rule.Matches(fig2.context.instance(0)));
+  EXPECT_FALSE(rule.Matches(fig2.context.instance(5)));
+}
+
+TEST(IdsTest, RuleToStringRendersPredicates) {
+  cce::testing::Fig2Context fig2;
+  IdsRule rule;
+  rule.antecedent = {{fig2.credit, 0}, {fig2.income, 0}};
+  rule.consequent = fig2.denied;
+  std::string text = rule.ToString(*fig2.schema);
+  EXPECT_NE(text.find("Credit='poor'"), std::string::npos);
+  EXPECT_NE(text.find("THEN Denied"), std::string::npos);
+}
+
+TEST(IdsTest, SelectedRulesAreAccurate) {
+  Dataset data = cce::testing::RandomContext(800, 5, 3, 70, /*noise=*/0.0);
+  Ids::Options options;
+  options.max_rules = 8;
+  auto ids = Ids::Summarize(data, options);
+  ASSERT_TRUE(ids.ok());
+  EXPECT_LE(ids->rules().size(), 8u);
+  EXPECT_FALSE(ids->rules().empty());
+  for (const IdsRule& rule : ids->rules()) {
+    EXPECT_GE(rule.precision, 0.55);
+    EXPECT_GT(rule.coverage, 0u);
+  }
+}
+
+TEST(IdsTest, SmallRuleSetsMissInstances) {
+  // The Section 7.2 failure mode: a small global summary does not cover
+  // every instance.
+  data::LoanOptions loan_options;
+  Dataset loan = data::GenerateLoan(loan_options);
+  Ids::Options options;
+  options.max_rules = 8;
+  auto ids = Ids::Summarize(loan, options);
+  ASSERT_TRUE(ids.ok());
+  // An instance is *explained* only when some covering rule also predicts
+  // its label; a small global summary leaves instances unexplained.
+  size_t unexplained = 0;
+  for (size_t row = 0; row < loan.size(); ++row) {
+    int rule = ids->CoveringRule(loan.instance(row));
+    if (rule < 0 ||
+        ids->rules()[static_cast<size_t>(rule)].consequent !=
+            loan.label(row)) {
+      ++unexplained;
+    }
+  }
+  EXPECT_GT(unexplained, 0u);
+}
+
+TEST(IdsTest, UnrestrictedModeMinesManyMoreRules) {
+  data::LoanOptions loan_options;
+  Dataset loan = data::GenerateLoan(loan_options);
+  Ids::Options restricted;
+  restricted.max_rules = 8;
+  Ids::Options unrestricted;
+  unrestricted.max_rules = 0;
+  unrestricted.min_support = 0.005;
+  auto small = Ids::Summarize(loan, restricted);
+  auto large = Ids::Summarize(loan, unrestricted);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->rules().size(), 10 * small->rules().size());
+}
+
+TEST(IdsTest, GreedySelectionPrefersCoverage) {
+  auto ids = Ids::Summarize(
+      cce::testing::RandomContext(500, 4, 3, 71, /*noise=*/0.0), {});
+  ASSERT_TRUE(ids.ok());
+  // The selected set must cover a decent share of the dataset.
+  Dataset data = cce::testing::RandomContext(500, 4, 3, 71, /*noise=*/0.0);
+  size_t covered = 0;
+  for (size_t row = 0; row < data.size(); ++row) {
+    if (ids->CoveringRule(data.instance(row)) >= 0) ++covered;
+  }
+  EXPECT_GT(covered, data.size() / 4);
+}
+
+}  // namespace
+}  // namespace cce::explain

@@ -1,0 +1,186 @@
+#include "core/importance.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(ContextShapleyTest, ValidatesArguments) {
+  testing::Fig2Context fig2;
+  ContextShapley::Options bad;
+  bad.permutations = 0;
+  EXPECT_FALSE(ContextShapley::ComputeForRow(fig2.context, 0, bad).ok());
+  EXPECT_FALSE(
+      ContextShapley::Compute(fig2.context, Instance{0}, 0, {}).ok());
+  EXPECT_EQ(
+      ContextShapley::ComputeForRow(fig2.context, 99, {}).status().code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST(ContextShapleyTest, EfficiencyAxiomExact) {
+  // With 4 features the computation is exact: values must sum to
+  // v(all) - v(empty) = conformity gain of the full feature set.
+  testing::Fig2Context fig2;
+  auto shapley = ContextShapley::ComputeForRow(fig2.context, 0, {});
+  ASSERT_TRUE(shapley.ok());
+  double sum = std::accumulate(shapley->begin(), shapley->end(), 0.0);
+  // v(empty) = 1 - 3/7 (three approved rows agree vacuously); v(all) = 1.
+  EXPECT_NEAR(sum, 3.0 / 7.0, 1e-12);
+}
+
+TEST(ContextShapleyTest, KeyFeaturesDominates) {
+  // For Fig. 2's x0 the relative key is {Income, Credit}; those two
+  // features must carry the highest importance.
+  testing::Fig2Context fig2;
+  auto shapley = ContextShapley::ComputeForRow(fig2.context, 0, {});
+  ASSERT_TRUE(shapley.ok());
+  double income = (*shapley)[fig2.income];
+  double credit = (*shapley)[fig2.credit];
+  double gender = (*shapley)[fig2.gender];
+  EXPECT_GT(credit, gender);
+  EXPECT_GT(income, gender);
+  // Credit alone removes 2 of 3 violators: it should rank highest.
+  EXPECT_GE(credit, income);
+}
+
+TEST(ContextShapleyTest, NullFeatureGetsZero) {
+  // A feature with a single-value domain can never separate instances.
+  auto schema = std::make_shared<Schema>();
+  FeatureId informative = schema->AddFeature("a");
+  schema->InternValue(informative, "u");
+  schema->InternValue(informative, "v");
+  FeatureId constant = schema->AddFeature("b");
+  schema->InternValue(constant, "only");
+  schema->InternLabel("neg");
+  schema->InternLabel("pos");
+  Dataset context(schema);
+  context.Add({0, 0}, 0);
+  context.Add({1, 0}, 1);
+  context.Add({0, 0}, 0);
+  auto shapley = ContextShapley::ComputeForRow(context, 0, {});
+  ASSERT_TRUE(shapley.ok());
+  EXPECT_NEAR((*shapley)[constant], 0.0, 1e-12);
+  EXPECT_GT((*shapley)[informative], 0.0);
+}
+
+TEST(ContextShapleyTest, SymmetryAxiomExact) {
+  // Two clones of the same separating feature must get equal values.
+  auto schema = std::make_shared<Schema>();
+  FeatureId a = schema->AddFeature("a");
+  FeatureId b = schema->AddFeature("b");
+  for (FeatureId f : {a, b}) {
+    schema->InternValue(f, "u");
+    schema->InternValue(f, "v");
+  }
+  schema->InternLabel("neg");
+  schema->InternLabel("pos");
+  Dataset context(schema);
+  context.Add({0, 0}, 0);
+  context.Add({1, 1}, 1);  // differs from x0 on both clones
+  auto shapley = ContextShapley::ComputeForRow(context, 0, {});
+  ASSERT_TRUE(shapley.ok());
+  EXPECT_NEAR((*shapley)[a], (*shapley)[b], 1e-12);
+}
+
+TEST(ContextShapleyTest, SampledApproximatesExact) {
+  Dataset context = testing::RandomContext(150, 6, 3, 71, /*noise=*/0.0);
+  ContextShapley::Options exact_options;
+  exact_options.exact_limit = 720;  // 6! enumerable
+  auto exact = ContextShapley::ComputeForRow(context, 0, exact_options);
+  ASSERT_TRUE(exact.ok());
+  ContextShapley::Options sampled_options;
+  sampled_options.exact_limit = 0;  // force sampling
+  sampled_options.permutations = 4000;
+  auto sampled = ContextShapley::ComputeForRow(context, 0,
+                                               sampled_options);
+  ASSERT_TRUE(sampled.ok());
+  for (size_t f = 0; f < 6; ++f) {
+    EXPECT_NEAR((*sampled)[f], (*exact)[f], 0.03) << "feature " << f;
+  }
+}
+
+TEST(OnlineContextShapleyTest, ValidatesArguments) {
+  testing::Fig2Context fig2;
+  OnlineContextShapley::Options bad;
+  bad.window_size = 0;
+  EXPECT_FALSE(OnlineContextShapley::Create(
+                   fig2.schema, fig2.context.instance(0), fig2.denied, bad)
+                   .ok());
+  EXPECT_FALSE(
+      OnlineContextShapley::Create(nullptr, fig2.context.instance(0),
+                                   fig2.denied, {})
+          .ok());
+}
+
+TEST(OnlineContextShapleyTest, TracksWindowContents) {
+  testing::Fig2Context fig2;
+  OnlineContextShapley::Options options;
+  options.refresh_every = 1;  // refresh after every arrival
+  auto online = OnlineContextShapley::Create(
+      fig2.schema, fig2.context.instance(0), fig2.denied, options);
+  ASSERT_TRUE(online.ok());
+  for (size_t row = 1; row < fig2.context.size(); ++row) {
+    CCE_CHECK_OK((*online)->Observe(fig2.context.instance(row),
+                                    fig2.context.label(row)));
+  }
+  // After the full stream the window equals the Fig. 2 context minus x0;
+  // compare against the batch computation on the same rows.
+  std::vector<size_t> rows = {1, 2, 3, 4, 5, 6};
+  Dataset arrived = fig2.context.Subset(rows);
+  auto batch = ContextShapley::Compute(arrived, fig2.context.instance(0),
+                                       fig2.denied, {});
+  ASSERT_TRUE(batch.ok());
+  for (size_t f = 0; f < 4; ++f) {
+    EXPECT_NEAR((*online)->importances()[f], (*batch)[f], 1e-12);
+  }
+}
+
+TEST(OnlineContextShapleyTest, ImportanceShiftsUnderDrift) {
+  // Stream where feature 0 decides labels first, then feature 1 does: the
+  // windowed importances must shift accordingly.
+  auto schema = std::make_shared<Schema>();
+  FeatureId a = schema->AddFeature("a");
+  FeatureId b = schema->AddFeature("b");
+  for (FeatureId f : {a, b}) {
+    schema->InternValue(f, "u");
+    schema->InternValue(f, "v");
+  }
+  schema->InternLabel("neg");
+  schema->InternLabel("pos");
+
+  OnlineContextShapley::Options options;
+  options.window_size = 64;
+  options.refresh_every = 16;
+  Instance x0 = {0, 0};
+  auto online = OnlineContextShapley::Create(schema, x0, 0, options);
+  ASSERT_TRUE(online.ok());
+
+  Rng rng(5);
+  // Phase 1: label = feature a.
+  for (int i = 0; i < 128; ++i) {
+    ValueId va = static_cast<ValueId>(rng.Uniform(2));
+    ValueId vb = static_cast<ValueId>(rng.Uniform(2));
+    CCE_CHECK_OK((*online)->Observe({va, vb}, va));
+  }
+  double a_phase1 = (*online)->importances()[a];
+  double b_phase1 = (*online)->importances()[b];
+  EXPECT_GT(a_phase1, b_phase1);
+  // Phase 2: label = feature b; after the window turns over, b dominates.
+  for (int i = 0; i < 128; ++i) {
+    ValueId va = static_cast<ValueId>(rng.Uniform(2));
+    ValueId vb = static_cast<ValueId>(rng.Uniform(2));
+    CCE_CHECK_OK((*online)->Observe({va, vb}, vb));
+  }
+  double a_phase2 = (*online)->importances()[a];
+  double b_phase2 = (*online)->importances()[b];
+  EXPECT_GT(b_phase2, a_phase2);
+}
+
+}  // namespace
+}  // namespace cce

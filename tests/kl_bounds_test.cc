@@ -1,0 +1,88 @@
+#include "explain/kl_bounds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace cce::explain {
+namespace {
+
+TEST(KlBernoulliTest, ZeroAtEquality) {
+  for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(KlBernoulli(p, p), 0.0, 1e-9) << p;
+  }
+}
+
+TEST(KlBernoulliTest, PositiveAndIncreasingAwayFromP) {
+  EXPECT_GT(KlBernoulli(0.5, 0.6), 0.0);
+  EXPECT_GT(KlBernoulli(0.5, 0.7), KlBernoulli(0.5, 0.6));
+  EXPECT_GT(KlBernoulli(0.5, 0.3), KlBernoulli(0.5, 0.4));
+}
+
+TEST(KlBernoulliTest, KnownValue) {
+  // KL(0.5 || 0.25) = 0.5 ln 2 + 0.5 ln(2/3).
+  EXPECT_NEAR(KlBernoulli(0.5, 0.25),
+              0.5 * std::log(2.0) + 0.5 * std::log(2.0 / 3.0), 1e-9);
+}
+
+TEST(KlBoundsTest, BracketsTheEstimate) {
+  for (double p_hat : {0.0, 0.2, 0.5, 0.95, 1.0}) {
+    for (size_t n : {5u, 50u, 500u}) {
+      double beta = LucbBeta(n, 0.05);
+      double upper = KlUpperBound(p_hat, n, beta);
+      double lower = KlLowerBound(p_hat, n, beta);
+      EXPECT_LE(lower, p_hat + 1e-9);
+      EXPECT_GE(upper, p_hat - 1e-9);
+      EXPECT_GE(lower, 0.0);
+      EXPECT_LE(upper, 1.0);
+    }
+  }
+}
+
+TEST(KlBoundsTest, TightenWithSamples) {
+  double beta = std::log(1.0 / 0.05);
+  double wide = KlUpperBound(0.8, 10, beta) - KlLowerBound(0.8, 10, beta);
+  double narrow =
+      KlUpperBound(0.8, 1000, beta) - KlLowerBound(0.8, 1000, beta);
+  EXPECT_LT(narrow, wide);
+  EXPECT_LT(narrow, 0.1);
+}
+
+TEST(KlBoundsTest, DegenerateSampleCounts) {
+  EXPECT_DOUBLE_EQ(KlUpperBound(0.5, 0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(KlLowerBound(0.5, 0, 1.0), 0.0);
+}
+
+TEST(KlBoundsTest, CoverageSimulation) {
+  // Empirical coverage check: the KL lower bound at delta = 0.1 must
+  // undershoot the true proportion in well over 90% of trials.
+  Rng rng(17);
+  const double truth = 0.9;
+  const size_t n = 200;
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) hits += rng.Bernoulli(truth);
+    double p_hat = static_cast<double>(hits) / n;
+    double lcb = KlLowerBound(p_hat, n, LucbBeta(n, 0.1));
+    covered += (lcb <= truth);
+  }
+  EXPECT_GT(covered, trials * 92 / 100);
+}
+
+TEST(KlBoundsTest, TighterThanHoeffdingNearOne) {
+  // The reason Anchor uses KL bounds: near p = 1 the KL interval is much
+  // tighter than Hoeffding's sqrt(log(2/delta) / 2n).
+  const size_t n = 100;
+  const double delta = 0.05;
+  double hoeffding = std::sqrt(std::log(2.0 / delta) / (2.0 * n));
+  double kl_halfwidth =
+      0.98 - KlLowerBound(0.98, n, std::log(1.0 / delta));
+  EXPECT_LT(kl_halfwidth, hoeffding / 2.0);
+}
+
+}  // namespace
+}  // namespace cce::explain

@@ -1,0 +1,117 @@
+#include "data/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace cce::data {
+namespace {
+
+CsvTable MixedTable() {
+  auto table = ParseCsv(
+      "age,color,score,label\n"
+      "25,red,1.5,yes\n"
+      "35,blue,2.5,no\n"
+      "45,red,3.5,yes\n"
+      "55,green,4.5,no\n");
+  CCE_CHECK(table.ok());
+  return *table;
+}
+
+TEST(LoaderTest, RequiresLabelColumn) {
+  LoadOptions options;
+  EXPECT_FALSE(LoadCsvDataset(MixedTable(), options).ok());
+  options.label_column = "missing";
+  EXPECT_EQ(LoadCsvDataset(MixedTable(), options).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LoaderTest, BuildsSchemaWithAutoTyping) {
+  LoadOptions options;
+  options.label_column = "label";
+  options.numeric_buckets = 4;
+  auto dataset = LoadCsvDataset(MixedTable(), options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->size(), 4u);
+  EXPECT_EQ(dataset->num_features(), 3u);
+  // age and score become bucketed numerics (+1 missing marker bucket),
+  // color a 3-value categorical.
+  FeatureId age = *dataset->schema().FeatureIndex("age");
+  FeatureId color = *dataset->schema().FeatureIndex("color");
+  EXPECT_EQ(dataset->schema().DomainSize(age), 5u);
+  EXPECT_EQ(dataset->schema().DomainSize(color), 3u);
+  EXPECT_EQ(dataset->schema().num_labels(), 2u);
+}
+
+TEST(LoaderTest, NumericOrderingPreserved) {
+  LoadOptions options;
+  options.label_column = "label";
+  options.numeric_buckets = 4;
+  auto dataset = LoadCsvDataset(MixedTable(), options);
+  ASSERT_TRUE(dataset.ok());
+  FeatureId age = *dataset->schema().FeatureIndex("age");
+  // Rows are sorted by age in the fixture: bucket ids must be
+  // non-decreasing.
+  for (size_t i = 1; i < dataset->size(); ++i) {
+    EXPECT_LE(dataset->value(i - 1, age), dataset->value(i, age));
+  }
+  EXPECT_LT(dataset->value(0, age), dataset->value(3, age));
+}
+
+TEST(LoaderTest, MissingMarkersBecomeCategory) {
+  auto table = ParseCsv(
+      "x,label\n"
+      "1,a\n"
+      "?,b\n"
+      "3,a\n");
+  ASSERT_TRUE(table.ok());
+  LoadOptions options;
+  options.label_column = "label";
+  auto dataset = LoadCsvDataset(*table, options);
+  ASSERT_TRUE(dataset.ok());
+  FeatureId x = *dataset->schema().FeatureIndex("x");
+  ValueId missing = *dataset->schema().LookupValue(x, "?");
+  EXPECT_EQ(dataset->value(1, x), missing);
+  EXPECT_NE(dataset->value(0, x), missing);
+}
+
+TEST(LoaderTest, AllCategoricalColumn) {
+  auto table = ParseCsv(
+      "x,label\n"
+      "1a,pos\n"
+      "2b,neg\n");
+  ASSERT_TRUE(table.ok());
+  LoadOptions options;
+  options.label_column = "label";
+  auto dataset = LoadCsvDataset(*table, options);
+  ASSERT_TRUE(dataset.ok());
+  FeatureId x = *dataset->schema().FeatureIndex("x");
+  EXPECT_EQ(dataset->schema().DomainSize(x), 2u);
+}
+
+TEST(LoaderTest, RejectsEmptyTable) {
+  auto table = ParseCsv("a,label\n");
+  ASSERT_TRUE(table.ok());
+  LoadOptions options;
+  options.label_column = "label";
+  EXPECT_FALSE(LoadCsvDataset(*table, options).ok());
+}
+
+TEST(LoaderTest, RejectsBadBucketCount) {
+  LoadOptions options;
+  options.label_column = "label";
+  options.numeric_buckets = 0;
+  EXPECT_FALSE(LoadCsvDataset(MixedTable(), options).ok());
+}
+
+TEST(LoaderTest, MissingFilePropagatesIoError) {
+  LoadOptions options;
+  options.label_column = "label";
+  EXPECT_EQ(LoadCsvDatasetFromFile("/no/such/file.csv", options)
+                .status()
+                .code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cce::data

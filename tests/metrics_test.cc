@@ -1,0 +1,124 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/gbdt.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+std::vector<ExplainedInstance> Fig2Explained(
+    const testing::Fig2Context& fig2) {
+  std::vector<ExplainedInstance> out;
+  FeatureSet good_key = {fig2.income, fig2.credit};
+  std::sort(good_key.begin(), good_key.end());
+  FeatureSet bad_key = {fig2.credit};  // violated by x1
+  out.push_back({fig2.context.instance(0), fig2.denied, good_key});
+  out.push_back({fig2.context.instance(0), fig2.denied, bad_key});
+  return out;
+}
+
+TEST(MetricsTest, ConformityCountsConformantExplanations) {
+  testing::Fig2Context fig2;
+  double conformity = Conformity(fig2.context, Fig2Explained(fig2));
+  EXPECT_DOUBLE_EQ(conformity, 50.0);
+}
+
+TEST(MetricsTest, ConformityOfEmptyListIsPerfect) {
+  testing::Fig2Context fig2;
+  EXPECT_DOUBLE_EQ(Conformity(fig2.context, {}), 100.0);
+}
+
+TEST(MetricsTest, AveragePrecision) {
+  testing::Fig2Context fig2;
+  double precision = AveragePrecision(fig2.context, Fig2Explained(fig2));
+  EXPECT_NEAR(precision, (1.0 + 6.0 / 7.0) / 2.0, 1e-12);
+}
+
+TEST(MetricsTest, AverageSuccinctness) {
+  testing::Fig2Context fig2;
+  EXPECT_DOUBLE_EQ(AverageSuccinctness(Fig2Explained(fig2)), 1.5);
+  EXPECT_DOUBLE_EQ(AverageSuccinctness({}), 0.0);
+}
+
+TEST(MetricsTest, RecallOfEqualCoverIsBalanced) {
+  testing::Fig2Context fig2;
+  const Instance& x0 = fig2.context.instance(0);
+  FeatureSet key = {fig2.income, fig2.credit};
+  std::sort(key.begin(), key.end());
+  EXPECT_DOUBLE_EQ(Recall(fig2.context, x0, fig2.denied, key, key), 1.0);
+}
+
+TEST(MetricsTest, SmallerKeyCoversMoreSoRecallHigher) {
+  testing::Fig2Context fig2;
+  const Instance& x0 = fig2.context.instance(0);
+  FeatureSet small_key = {fig2.income, fig2.credit};
+  std::sort(small_key.begin(), small_key.end());
+  FeatureSet big_key = {fig2.gender, fig2.income, fig2.credit,
+                        fig2.dependent};
+  std::sort(big_key.begin(), big_key.end());
+  double recall_small =
+      Recall(fig2.context, x0, fig2.denied, small_key, big_key);
+  double recall_big =
+      Recall(fig2.context, x0, fig2.denied, big_key, small_key);
+  EXPECT_GT(recall_small, recall_big);
+  EXPECT_DOUBLE_EQ(recall_small, 1.0);  // covers a superset
+}
+
+TEST(MetricsTest, RecallInUnitInterval) {
+  testing::Fig2Context fig2;
+  const Instance& x0 = fig2.context.instance(0);
+  for (FeatureId a = 0; a < 4; ++a) {
+    for (FeatureId b = 0; b < 4; ++b) {
+      double recall = Recall(fig2.context, x0, fig2.denied, {a}, {b});
+      EXPECT_GE(recall, 0.0);
+      EXPECT_LE(recall, 1.0);
+    }
+  }
+}
+
+TEST(MetricsTest, EvaluateQualityMatchesIndividualMetrics) {
+  testing::Fig2Context fig2;
+  auto explained = Fig2Explained(fig2);
+  QualityReport report = EvaluateQuality(fig2.context, explained);
+  EXPECT_DOUBLE_EQ(report.conformity, Conformity(fig2.context, explained));
+  EXPECT_NEAR(report.precision, AveragePrecision(fig2.context, explained),
+              1e-12);
+  EXPECT_DOUBLE_EQ(report.succinctness, AverageSuccinctness(explained));
+}
+
+TEST(MetricsTest, FaithfulnessBoundsAndMonotonicity) {
+  // Faithfulness is in [0,1]; masking an empty explanation never changes
+  // the prediction, so it scores exactly 1 (the worst value).
+  Dataset data = testing::RandomContext(400, 5, 3, 9, /*noise=*/0.05);
+  Rng split_rng(1);
+  auto [train, test] = data.Split(0.7, &split_rng);
+  ml::Gbdt::Options options;
+  options.num_trees = 20;
+  auto model = ml::Gbdt::Train(train, options);
+  ASSERT_TRUE(model.ok());
+
+  std::vector<ExplainedInstance> empty_explanations;
+  std::vector<ExplainedInstance> full_explanations;
+  for (size_t row = 0; row < 10; ++row) {
+    const Instance& x = test.instance(row);
+    Label y = (*model)->Predict(x);
+    empty_explanations.push_back({x, y, {}});
+    FeatureSet all = {0, 1, 2, 3, 4};
+    full_explanations.push_back({x, y, all});
+  }
+  Rng rng(3);
+  double empty_faithfulness =
+      Faithfulness(**model, train, empty_explanations, 16, &rng);
+  double full_faithfulness =
+      Faithfulness(**model, train, full_explanations, 16, &rng);
+  EXPECT_DOUBLE_EQ(empty_faithfulness, 1.0);
+  EXPECT_GE(full_faithfulness, 0.0);
+  EXPECT_LE(full_faithfulness, 1.0);
+  // Masking everything perturbs at least as much as masking nothing.
+  EXPECT_LE(full_faithfulness, empty_faithfulness);
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,93 @@
+#include "ml/multiclass.h"
+
+#include <gtest/gtest.h>
+
+#include "core/srk.h"
+#include "tests/test_util.h"
+
+namespace cce::ml {
+namespace {
+
+// A 3-class dataset whose label is a function of feature 0.
+Dataset ThreeClassData(size_t rows, uint64_t seed, double noise) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId a = schema->AddFeature("a");
+  FeatureId b = schema->AddFeature("b");
+  for (FeatureId f : {a, b}) {
+    for (int v = 0; v < 6; ++v) {
+      schema->InternValue(f, "v" + std::to_string(v));
+    }
+  }
+  schema->InternLabel("c0");
+  schema->InternLabel("c1");
+  schema->InternLabel("c2");
+  Dataset data(schema);
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    Instance x = {static_cast<ValueId>(rng.Uniform(6)),
+                  static_cast<ValueId>(rng.Uniform(6))};
+    Label y = static_cast<Label>(x[0] / 2);  // 0,1 -> c0; 2,3 -> c1; ...
+    if (noise > 0.0 && rng.Bernoulli(noise)) {
+      y = static_cast<Label>(rng.Uniform(3));
+    }
+    data.Add(std::move(x), y);
+  }
+  return data;
+}
+
+TEST(OneVsRestTest, RejectsDegenerateInputs) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  schema->InternLabel("only");
+  Dataset single(schema);
+  single.Add({0}, 0);
+  EXPECT_FALSE(OneVsRestGbdt::Train(single, {}).ok());
+  Dataset empty(schema);
+  EXPECT_FALSE(OneVsRestGbdt::Train(empty, {}).ok());
+}
+
+TEST(OneVsRestTest, LearnsThreeClasses) {
+  Dataset data = ThreeClassData(1200, 3, 0.0);
+  auto model = OneVsRestGbdt::Train(data, {});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ((*model)->num_classes(), 3u);
+  EXPECT_GT((*model)->Accuracy(data), 0.97);
+}
+
+TEST(OneVsRestTest, ClassMarginsAgreeWithPrediction) {
+  Dataset data = ThreeClassData(600, 4, 0.05);
+  auto model = OneVsRestGbdt::Train(data, {});
+  ASSERT_TRUE(model.ok());
+  for (size_t row = 0; row < 50; ++row) {
+    std::vector<double> margins =
+        (*model)->ClassMargins(data.instance(row));
+    ASSERT_EQ(margins.size(), 3u);
+    Label predicted = (*model)->Predict(data.instance(row));
+    for (double m : margins) {
+      EXPECT_LE(m, margins[predicted] + 1e-12);
+    }
+    EXPECT_DOUBLE_EQ((*model)->Score(data.instance(row)),
+                     margins[predicted]);
+  }
+}
+
+TEST(OneVsRestTest, RelativeKeysWorkOnMulticlassContexts) {
+  // The point of the exercise: CCE is label-agnostic, so multiclass
+  // contexts explain exactly like binary ones.
+  Dataset data = ThreeClassData(800, 5, 0.0);
+  auto model = OneVsRestGbdt::Train(data, {});
+  ASSERT_TRUE(model.ok());
+  Context context = (*model)->MakeContext(data);
+  for (size_t row = 0; row < 10; ++row) {
+    auto key = Srk::Explain(context, row, {});
+    ASSERT_TRUE(key.ok());
+    EXPECT_TRUE(key->satisfied);
+    // Labels depend only on feature 0, so keys never need feature 1 (the
+    // model may ignore it entirely) and never exceed one feature.
+    EXPECT_LE(key->key.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace cce::ml

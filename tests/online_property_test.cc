@@ -1,0 +1,148 @@
+// Cross-algorithm property sweeps for the online algorithms, over grids of
+// (alpha, stream shape): validity, coherence, bookkeeping consistency, and
+// the OSRK/SSRK-vs-SRK relationships the paper relies on.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/conformity.h"
+#include "core/osrk.h"
+#include "core/srk.h"
+#include "core/ssrk.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+struct OnlineParam {
+  uint64_t seed;
+  size_t rows;
+  size_t features;
+  size_t domain;
+  double alpha;
+};
+
+class OnlinePropertyTest : public ::testing::TestWithParam<OnlineParam> {};
+
+TEST_P(OnlinePropertyTest, OsrkAndSsrkInvariantsHold) {
+  const auto& p = GetParam();
+  Dataset universe = testing::RandomContext(p.rows, p.features, p.domain,
+                                            p.seed, /*noise=*/0.0);
+  const Instance& x0 = universe.instance(0);
+  Label y0 = universe.label(0);
+
+  Osrk::Options osrk_options;
+  osrk_options.alpha = p.alpha;
+  osrk_options.seed = p.seed;
+  auto osrk = Osrk::Create(universe.schema_ptr(), x0, y0, osrk_options);
+  ASSERT_TRUE(osrk.ok());
+  Ssrk::Options ssrk_options;
+  ssrk_options.alpha = p.alpha;
+  auto ssrk = Ssrk::Create(universe, x0, y0, ssrk_options);
+  ASSERT_TRUE(ssrk.ok());
+
+  FeatureSet osrk_previous;
+  FeatureSet ssrk_previous;
+  for (size_t row = 1; row < universe.size(); ++row) {
+    const FeatureSet& osrk_key =
+        (*osrk)->Observe(universe.instance(row), universe.label(row));
+    const FeatureSet& ssrk_key =
+        (*ssrk)->Observe(universe.instance(row), universe.label(row));
+    // Coherence for both algorithms, at every step.
+    ASSERT_TRUE(FeatureSetIsSubset(osrk_previous, osrk_key)) << row;
+    ASSERT_TRUE(FeatureSetIsSubset(ssrk_previous, ssrk_key)) << row;
+    osrk_previous = osrk_key;
+    ssrk_previous = ssrk_key;
+  }
+
+  // Final keys are alpha-conformant over the arrived stream (noise = 0, so
+  // the bound is always attainable), and the internal alpha bookkeeping
+  // matches an offline recount.
+  std::vector<size_t> arrived_rows;
+  for (size_t r = 1; r < universe.size(); ++r) arrived_rows.push_back(r);
+  Dataset arrived = universe.Subset(arrived_rows);
+  ConformityChecker checker(&arrived);
+  EXPECT_TRUE((*osrk)->satisfied());
+  EXPECT_TRUE((*ssrk)->satisfied());
+  EXPECT_TRUE(
+      checker.IsAlphaConformant(x0, y0, (*osrk)->key(), p.alpha));
+  EXPECT_TRUE(
+      checker.IsAlphaConformant(x0, y0, (*ssrk)->key(), p.alpha));
+  EXPECT_NEAR((*osrk)->achieved_alpha(),
+              checker.Precision(x0, y0, (*osrk)->key()), 1e-9);
+  EXPECT_NEAR((*ssrk)->achieved_alpha(),
+              checker.Precision(x0, y0, (*ssrk)->key()), 1e-9);
+
+  // The batch key for the same stream is itself valid — the coherent
+  // online keys are alternatives, not prerequisites.
+  Srk::Options srk_options;
+  srk_options.alpha = p.alpha;
+  auto batch = Srk::ExplainInstance(arrived, x0, y0, srk_options);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->satisfied);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OnlinePropertyTest,
+    ::testing::Values(OnlineParam{11, 100, 4, 3, 1.0},
+                      OnlineParam{12, 100, 4, 3, 0.95},
+                      OnlineParam{13, 250, 6, 2, 1.0},
+                      OnlineParam{14, 250, 6, 2, 0.9},
+                      OnlineParam{15, 400, 8, 4, 1.0},
+                      OnlineParam{16, 400, 8, 4, 0.97},
+                      OnlineParam{17, 150, 5, 5, 1.0},
+                      OnlineParam{18, 150, 5, 5, 0.92},
+                      OnlineParam{19, 600, 10, 3, 1.0},
+                      OnlineParam{20, 600, 10, 3, 0.9}));
+
+// Interleaving property: feeding only same-prediction instances between
+// violating arrivals never changes the key.
+TEST(OnlineInterleavingTest, SamePredictionArrivalsAreFreeForBoth) {
+  Dataset universe = testing::RandomContext(200, 5, 3, 303, /*noise=*/0.0);
+  const Instance& x0 = universe.instance(0);
+  Label y0 = universe.label(0);
+  auto osrk = Osrk::Create(universe.schema_ptr(), x0, y0, {});
+  ASSERT_TRUE(osrk.ok());
+  auto ssrk = Ssrk::Create(universe, x0, y0, {});
+  ASSERT_TRUE(ssrk.ok());
+  for (size_t row = 1; row < universe.size(); ++row) {
+    if (universe.label(row) != y0) continue;  // same-prediction only
+    FeatureSet osrk_before = (*osrk)->key();
+    FeatureSet ssrk_before = (*ssrk)->key();
+    (*osrk)->Observe(universe.instance(row), universe.label(row));
+    (*ssrk)->Observe(universe.instance(row), universe.label(row));
+    EXPECT_EQ((*osrk)->key(), osrk_before);
+    EXPECT_EQ((*ssrk)->key(), ssrk_before);
+  }
+  EXPECT_TRUE((*osrk)->key().empty());
+  EXPECT_TRUE((*ssrk)->key().empty());
+}
+
+// Permutation robustness: SSRK stays valid for any arrival order of the
+// same universe (the setting of Section 5.3 — static features, uncertain
+// order).
+TEST(OnlineInterleavingTest, SsrkValidUnderArrivalPermutations) {
+  Dataset universe = testing::RandomContext(120, 5, 3, 404, /*noise=*/0.0);
+  const Instance& x0 = universe.instance(0);
+  Label y0 = universe.label(0);
+  Rng rng(9);
+  for (int permutation = 0; permutation < 5; ++permutation) {
+    std::vector<size_t> order;
+    for (size_t r = 1; r < universe.size(); ++r) order.push_back(r);
+    rng.Shuffle(&order);
+    auto ssrk = Ssrk::Create(universe, x0, y0, {});
+    ASSERT_TRUE(ssrk.ok());
+    for (size_t row : order) {
+      (*ssrk)->Observe(universe.instance(row), universe.label(row));
+    }
+    std::vector<size_t> sorted_order = order;
+    std::sort(sorted_order.begin(), sorted_order.end());
+    Dataset arrived = universe.Subset(sorted_order);
+    ConformityChecker checker(&arrived);
+    EXPECT_TRUE(checker.IsAlphaConformant(x0, y0, (*ssrk)->key(), 1.0))
+        << "permutation " << permutation;
+  }
+}
+
+}  // namespace
+}  // namespace cce

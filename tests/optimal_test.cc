@@ -1,0 +1,98 @@
+#include "core/optimal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conformity.h"
+#include "core/srk.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(OptimalTest, Fig2OptimalKeyHasSizeTwo) {
+  testing::Fig2Context fig2;
+  auto result = OptimalKeyFinder::FindForRow(fig2.context, 0, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->satisfied);
+  EXPECT_EQ(result->key.size(), 2u);
+  ConformityChecker checker(&fig2.context);
+  EXPECT_TRUE(checker.IsAlphaConformant(fig2.context.instance(0),
+                                        fig2.denied, result->key, 1.0));
+}
+
+TEST(OptimalTest, Fig2AlphaRelaxedOptimalIsSingleton) {
+  testing::Fig2Context fig2;
+  OptimalKeyFinder::Options options;
+  options.alpha = 6.0 / 7.0;
+  auto result = OptimalKeyFinder::FindForRow(fig2.context, 0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->key.size(), 1u);
+}
+
+TEST(OptimalTest, EmptyKeyWhenAlreadyConformant) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "u");
+  schema->InternLabel("only");
+  Dataset context(schema);
+  context.Add({0}, 0);
+  auto result = OptimalKeyFinder::FindForRow(context, 0, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->key.empty());
+  EXPECT_TRUE(result->satisfied);
+}
+
+TEST(OptimalTest, ConflictingDuplicatesUnsatisfied) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  schema->InternLabel("l0");
+  schema->InternLabel("l1");
+  Dataset context(schema);
+  context.Add({0}, 0);
+  context.Add({0}, 1);
+  auto result = OptimalKeyFinder::FindForRow(context, 0, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfied);
+  EXPECT_EQ(result->key.size(), 1u);  // all features
+}
+
+TEST(OptimalTest, RefusesLargeFeatureCounts) {
+  Dataset context = testing::RandomContext(10, 30, 2, 1);
+  OptimalKeyFinder::Options options;
+  options.max_features = 24;
+  EXPECT_EQ(OptimalKeyFinder::FindForRow(context, 0, options)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(OptimalTest, NeverLargerThanSrk) {
+  for (uint64_t seed : {61u, 62u, 63u, 64u, 65u}) {
+    Dataset context = testing::RandomContext(80, 7, 3, seed);
+    auto optimal = OptimalKeyFinder::FindForRow(context, 0, {});
+    auto greedy = Srk::Explain(context, 0, {});
+    ASSERT_TRUE(optimal.ok());
+    ASSERT_TRUE(greedy.ok());
+    if (optimal->satisfied && greedy->satisfied) {
+      EXPECT_LE(optimal->key.size(), greedy->key.size());
+    }
+  }
+}
+
+TEST(OptimalTest, InvalidAlphaRejected) {
+  testing::Fig2Context fig2;
+  OptimalKeyFinder::Options options;
+  options.alpha = 0.0;
+  EXPECT_FALSE(OptimalKeyFinder::FindForRow(fig2.context, 0, options).ok());
+}
+
+TEST(OptimalTest, RowOutOfRange) {
+  testing::Fig2Context fig2;
+  EXPECT_EQ(
+      OptimalKeyFinder::FindForRow(fig2.context, 100, {}).status().code(),
+      StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,197 @@
+#include "core/osrk.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "core/conformity.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+std::unique_ptr<Osrk> MakeOsrk(const testing::Fig2Context& fig2,
+                               double alpha = 1.0, uint64_t seed = 42) {
+  Osrk::Options options;
+  options.alpha = alpha;
+  options.seed = seed;
+  auto osrk = Osrk::Create(fig2.schema, fig2.context.instance(0),
+                           fig2.denied, options);
+  CCE_CHECK_OK(osrk.status());
+  return std::move(osrk).value();
+}
+
+TEST(OsrkTest, CreateValidatesArguments) {
+  testing::Fig2Context fig2;
+  Osrk::Options bad_alpha;
+  bad_alpha.alpha = 0.0;
+  EXPECT_FALSE(Osrk::Create(fig2.schema, fig2.context.instance(0),
+                            fig2.denied, bad_alpha)
+                   .ok());
+  Osrk::Options ok_options;
+  EXPECT_FALSE(
+      Osrk::Create(nullptr, fig2.context.instance(0), fig2.denied,
+                   ok_options)
+          .ok());
+  EXPECT_FALSE(
+      Osrk::Create(fig2.schema, Instance{0}, fig2.denied, ok_options).ok());
+}
+
+TEST(OsrkTest, SamePredictionNeverChangesKey) {
+  testing::Fig2Context fig2;
+  auto osrk = MakeOsrk(fig2);
+  for (size_t row : {0u, 2u, 3u, 4u}) {  // all denied like x0
+    osrk->Observe(fig2.context.instance(row), fig2.denied);
+  }
+  EXPECT_TRUE(osrk->key().empty());
+  EXPECT_EQ(osrk->context_size(), 4u);
+  EXPECT_DOUBLE_EQ(osrk->achieved_alpha(), 1.0);
+}
+
+TEST(OsrkTest, KeyIsCoherentAcrossStream) {
+  Dataset context = testing::RandomContext(400, 8, 3, 99);
+  auto schema = context.schema_ptr();
+  Osrk::Options options;
+  options.seed = 7;
+  auto osrk = Osrk::Create(schema, context.instance(0), context.label(0),
+                           options);
+  ASSERT_TRUE(osrk.ok());
+  FeatureSet previous;
+  for (size_t row = 1; row < context.size(); ++row) {
+    const FeatureSet& key =
+        (*osrk)->Observe(context.instance(row), context.label(row));
+    EXPECT_TRUE(FeatureSetIsSubset(previous, key))
+        << "coherence violated at row " << row;
+    previous = key;
+  }
+}
+
+TEST(OsrkTest, FinalKeyIsConformantOverStream) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Dataset context =
+        testing::RandomContext(300, 6, 3, 1000 + seed, /*noise=*/0.0);
+    Osrk::Options options;
+    options.seed = seed;
+    auto osrk = Osrk::Create(context.schema_ptr(), context.instance(0),
+                             context.label(0), options);
+    ASSERT_TRUE(osrk.ok());
+    for (size_t row = 1; row < context.size(); ++row) {
+      (*osrk)->Observe(context.instance(row), context.label(row));
+    }
+    // Verify against an offline checker over the arrived instances.
+    Dataset arrived = context.Subset([&] {
+      std::vector<size_t> rows;
+      for (size_t r = 1; r < context.size(); ++r) rows.push_back(r);
+      return rows;
+    }());
+    ConformityChecker checker(&arrived);
+    EXPECT_TRUE(checker.IsAlphaConformant(context.instance(0),
+                                          context.label(0), (*osrk)->key(),
+                                          1.0))
+        << "seed " << seed;
+    EXPECT_TRUE((*osrk)->satisfied());
+  }
+}
+
+TEST(OsrkTest, AchievedAlphaMatchesOfflineRecount) {
+  // Bookkeeping invariant: the incrementally-maintained violator count must
+  // agree with an offline recount of the arrived stream, for any alpha.
+  for (double alpha : {1.0, 0.95, 0.9}) {
+    for (uint64_t seed : {11u, 12u, 13u}) {
+      Dataset context = testing::RandomContext(300, 6, 3, 2000 + seed);
+      Osrk::Options options;
+      options.alpha = alpha;
+      options.seed = seed;
+      auto osrk = Osrk::Create(context.schema_ptr(), context.instance(0),
+                               context.label(0), options);
+      ASSERT_TRUE(osrk.ok());
+      for (size_t row = 1; row < context.size(); ++row) {
+        (*osrk)->Observe(context.instance(row), context.label(row));
+      }
+      std::vector<size_t> arrived_rows;
+      for (size_t r = 1; r < context.size(); ++r) arrived_rows.push_back(r);
+      Dataset arrived = context.Subset(arrived_rows);
+      ConformityChecker checker(&arrived);
+      EXPECT_NEAR((*osrk)->achieved_alpha(),
+                  checker.Precision(context.instance(0), context.label(0),
+                                    (*osrk)->key()),
+                  1e-9)
+          << "alpha " << alpha << " seed " << seed;
+      if ((*osrk)->satisfied()) {
+        EXPECT_GE((*osrk)->achieved_alpha(), alpha - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(OsrkTest, PaperExample7Stream) {
+  // Example 7: after the initial context, x7 (Denied) and x8 (differs on
+  // Credit) leave the key alone; x9 (Male, 3-4K, poor, 0 -> Approved)
+  // forces an expansion covering Dependent.
+  testing::Fig2Context fig2;
+  auto osrk = MakeOsrk(fig2, 1.0, /*seed=*/3);
+  // Feed the original context first.
+  for (size_t row = 1; row < fig2.context.size(); ++row) {
+    osrk->Observe(fig2.context.instance(row), fig2.context.label(row));
+  }
+  FeatureSet before = osrk->key();
+  // x7: (Female, 3-4K, poor, 2) Denied — no change.
+  Instance x7(4);
+  x7[fig2.gender] = *fig2.schema->LookupValue(fig2.gender, "Female");
+  x7[fig2.income] = *fig2.schema->LookupValue(fig2.income, "3-4K");
+  x7[fig2.credit] = *fig2.schema->LookupValue(fig2.credit, "poor");
+  x7[fig2.dependent] = *fig2.schema->LookupValue(fig2.dependent, "2");
+  osrk->Observe(x7, fig2.denied);
+  EXPECT_EQ(osrk->key(), before);
+  // x9: (Male, 3-4K, poor, 0) Approved — differs from x0 only on
+  // Dependent, so the key must grow to include Dependent.
+  Instance x9 = fig2.context.instance(0);
+  x9[fig2.dependent] = *fig2.schema->LookupValue(fig2.dependent, "0");
+  osrk->Observe(x9, fig2.approved);
+  EXPECT_TRUE(FeatureSetContains(osrk->key(), fig2.dependent));
+}
+
+TEST(OsrkTest, ConflictingDuplicateReportsUnsatisfied) {
+  testing::Fig2Context fig2;
+  auto osrk = MakeOsrk(fig2);
+  // A duplicate of x0 with the opposite prediction cannot be separated.
+  osrk->Observe(fig2.context.instance(0), fig2.approved);
+  EXPECT_FALSE(osrk->satisfied());
+  EXPECT_LT(osrk->achieved_alpha(), 1.0);
+}
+
+TEST(OsrkTest, UpdateCostIndependentOfContextSize) {
+  // Not a timing test: verifies the violator set stays bounded (covered
+  // violators are dropped), which is what makes updates O(n log n).
+  Dataset context = testing::RandomContext(2000, 8, 3, 31, /*noise=*/0.0);
+  Osrk::Options options;
+  options.seed = 5;
+  auto osrk = Osrk::Create(context.schema_ptr(), context.instance(0),
+                           context.label(0), options);
+  ASSERT_TRUE(osrk.ok());
+  for (size_t row = 1; row < context.size(); ++row) {
+    (*osrk)->Observe(context.instance(row), context.label(row));
+  }
+  EXPECT_TRUE((*osrk)->satisfied());
+  EXPECT_LE((*osrk)->key().size(), context.num_features());
+}
+
+TEST(OsrkTest, DifferentSeedsAllConformant) {
+  Dataset context = testing::RandomContext(200, 6, 3, 555, /*noise=*/0.0);
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Osrk::Options options;
+    options.seed = seed;
+    auto osrk = Osrk::Create(context.schema_ptr(), context.instance(0),
+                             context.label(0), options);
+    ASSERT_TRUE(osrk.ok());
+    for (size_t row = 1; row < context.size(); ++row) {
+      (*osrk)->Observe(context.instance(row), context.label(row));
+    }
+    EXPECT_TRUE((*osrk)->satisfied()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cce

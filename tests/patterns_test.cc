@@ -1,0 +1,124 @@
+#include "core/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(ContextPatternsTest, ValidatesArguments) {
+  testing::Fig2Context fig2;
+  Dataset empty(fig2.schema);
+  EXPECT_FALSE(ContextPatternMiner::Mine(empty, {}).ok());
+  ContextPatternMiner::Options bad_alpha;
+  bad_alpha.alpha = 0.0;
+  EXPECT_FALSE(ContextPatternMiner::Mine(fig2.context, bad_alpha).ok());
+}
+
+TEST(ContextPatternsTest, Fig2PatternsIncludeTheRelativeKeyRule) {
+  testing::Fig2Context fig2;
+  ContextPatternMiner::Options options;
+  options.seeds = 0;  // seed from every row
+  auto patterns = ContextPatternMiner::Mine(fig2.context, options);
+  ASSERT_TRUE(patterns.ok());
+  // The grounded key of x0 — Income='3-4K' AND Credit='poor' -> Denied —
+  // must appear among the mined patterns.
+  bool found = false;
+  for (const ContextPattern& p : *patterns) {
+    if (p.consequent != fig2.denied) continue;
+    if (p.condition.size() != 2) continue;
+    bool has_income = false;
+    bool has_credit = false;
+    for (const auto& [f, v] : p.condition) {
+      if (f == fig2.income &&
+          v == *fig2.schema->LookupValue(fig2.income, "3-4K")) {
+        has_income = true;
+      }
+      if (f == fig2.credit &&
+          v == *fig2.schema->LookupValue(fig2.credit, "poor")) {
+        has_credit = true;
+      }
+    }
+    if (has_income && has_credit) {
+      found = true;
+      EXPECT_DOUBLE_EQ(p.conformity, 1.0);
+      EXPECT_EQ(p.support, 3u);  // x0, x2, x3
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ContextPatternsTest, PerfectConformityWithAlphaOne) {
+  // With alpha = 1 every mined pattern is a grounded (perfect) relative
+  // key, so its measured conformity over the context must be 1.
+  Dataset context = testing::RandomContext(300, 5, 3, 81, /*noise=*/0.0);
+  ContextPatternMiner::Options options;
+  options.seeds = 40;
+  auto patterns = ContextPatternMiner::Mine(context, options);
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_FALSE(patterns->empty());
+  for (const ContextPattern& p : *patterns) {
+    EXPECT_DOUBLE_EQ(p.conformity, 1.0) << p.ToString(context.schema());
+    EXPECT_GT(p.support, 0u);
+  }
+}
+
+TEST(ContextPatternsTest, SortedBySupportAndCapped) {
+  Dataset context = testing::RandomContext(300, 5, 3, 82, /*noise=*/0.0);
+  ContextPatternMiner::Options options;
+  options.seeds = 60;
+  options.max_patterns = 4;
+  auto patterns = ContextPatternMiner::Mine(context, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_LE(patterns->size(), 4u);
+  for (size_t i = 1; i < patterns->size(); ++i) {
+    EXPECT_GE((*patterns)[i - 1].support, (*patterns)[i].support);
+  }
+}
+
+TEST(ContextPatternsTest, FullSeedingExplainsEverything) {
+  // Seeding from every row yields a pattern for each instance, so the
+  // summary explains the entire context — unlike heuristic IDS summaries.
+  Dataset context = testing::RandomContext(200, 4, 3, 83, /*noise=*/0.0);
+  ContextPatternMiner::Options options;
+  options.seeds = 0;
+  auto patterns = ContextPatternMiner::Mine(context, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_DOUBLE_EQ(
+      ContextPatternMiner::ExplainedFraction(context, *patterns), 1.0);
+}
+
+TEST(ContextPatternsTest, DedupesIdenticalKeys) {
+  // Identical rows ground to identical patterns; the miner must dedupe.
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "u");
+  schema->InternValue(f, "v");
+  schema->InternLabel("neg");
+  schema->InternLabel("pos");
+  Dataset context(schema);
+  for (int i = 0; i < 10; ++i) context.Add({0}, 0);
+  for (int i = 0; i < 10; ++i) context.Add({1}, 1);
+  ContextPatternMiner::Options options;
+  options.seeds = 0;
+  auto patterns = ContextPatternMiner::Mine(context, options);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ(patterns->size(), 2u);
+  for (const ContextPattern& p : *patterns) {
+    EXPECT_EQ(p.support, 10u);
+  }
+}
+
+TEST(ContextPatternsTest, ToStringRendersCondition) {
+  testing::Fig2Context fig2;
+  ContextPattern pattern;
+  pattern.condition = {{fig2.credit, 0}};
+  pattern.consequent = fig2.denied;
+  std::string text = pattern.ToString(*fig2.schema);
+  EXPECT_NE(text.find("Credit='poor'"), std::string::npos);
+  EXPECT_NE(text.find("THEN Denied"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,82 @@
+#include "explain/perturbation.h"
+
+#include <gtest/gtest.h>
+
+#include "explain/anchor.h"
+#include "ml/gbdt.h"
+#include "tests/test_util.h"
+
+namespace cce::explain {
+namespace {
+
+TEST(PerturbationTest, KeptFeaturesNeverChange) {
+  Dataset reference = cce::testing::RandomContext(100, 5, 4, 3);
+  PerturbationSampler sampler(&reference);
+  Rng rng(1);
+  Instance x = reference.instance(0);
+  std::vector<bool> keep = {true, false, true, false, true};
+  for (int trial = 0; trial < 200; ++trial) {
+    Instance z = sampler.Sample(x, keep, &rng);
+    for (FeatureId f = 0; f < 5; ++f) {
+      if (keep[f]) EXPECT_EQ(z[f], x[f]) << "feature " << f;
+    }
+  }
+}
+
+TEST(PerturbationTest, MaskedFeaturesFollowReferenceMarginals) {
+  // A reference set where feature 0 takes value 0 in 80% of rows: masked
+  // samples must reproduce that marginal.
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "common");
+  schema->InternValue(f, "rare");
+  schema->InternLabel("l");
+  Dataset reference(schema);
+  for (int i = 0; i < 100; ++i) {
+    reference.Add({i < 80 ? 0u : 1u}, 0);
+  }
+  PerturbationSampler sampler(&reference);
+  Rng rng(2);
+  Instance x = {1};
+  std::vector<bool> keep = {false};
+  int common = 0;
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    common += sampler.Sample(x, keep, &rng)[0] == 0;
+  }
+  EXPECT_NEAR(common / static_cast<double>(trials), 0.8, 0.03);
+}
+
+TEST(PerturbationTest, RandomMaskRespectsKeepProbability) {
+  Dataset reference = cce::testing::RandomContext(20, 4, 2, 5);
+  PerturbationSampler sampler(&reference);
+  Rng rng(3);
+  int kept = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    for (bool bit : sampler.RandomMask(4, 0.3, &rng)) kept += bit;
+  }
+  EXPECT_NEAR(kept / static_cast<double>(trials * 4), 0.3, 0.03);
+}
+
+TEST(AnchorCoverageTest, LargerAnchorsCoverLess) {
+  Dataset data = cce::testing::RandomContext(600, 5, 3, 7, /*noise=*/0.0);
+  ml::Gbdt::Options options;
+  options.num_trees = 20;
+  auto model = ml::Gbdt::Train(data, options);
+  ASSERT_TRUE(model.ok());
+  Anchor anchor(model->get(), &data, {});
+  const Instance& x = data.instance(0);
+  double empty_coverage = anchor.EstimateCoverage(x, {}, 500);
+  double one_coverage = anchor.EstimateCoverage(x, {0}, 500);
+  double full_coverage =
+      anchor.EstimateCoverage(x, {0, 1, 2, 3, 4}, 500);
+  EXPECT_DOUBLE_EQ(empty_coverage, 1.0);
+  EXPECT_LE(one_coverage, 1.0);
+  EXPECT_LE(full_coverage, one_coverage + 0.05);
+  // Value 0 of a 3-ary uniform feature covers roughly a third.
+  EXPECT_NEAR(one_coverage, 1.0 / 3.0, 0.1);
+}
+
+}  // namespace
+}  // namespace cce::explain

@@ -1,0 +1,180 @@
+// End-to-end integration tests: dataset -> model -> context -> relative
+// keys -> quality metrics, mirroring the experimental pipeline of Section 7.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "core/cce.h"
+#include "core/conformity.h"
+#include "core/metrics.h"
+#include "core/srk.h"
+#include "data/generators.h"
+#include "explain/anchor.h"
+#include "explain/xreason.h"
+#include "ml/gbdt.h"
+
+namespace cce {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::LoanOptions options;
+    options.seed = 11;
+    loan_ = std::make_unique<Dataset>(data::GenerateLoan(options));
+    Rng rng(1);
+    auto [train, test] = loan_->Split(0.7, &rng);
+    train_ = std::make_unique<Dataset>(std::move(train));
+    inference_ = std::make_unique<Dataset>(std::move(test));
+    ml::Gbdt::Options gbdt_options;
+    gbdt_options.num_trees = 40;
+    auto model = ml::Gbdt::Train(*train_, gbdt_options);
+    CCE_CHECK_OK(model.status());
+    model_ = std::move(model).value();
+    context_ = std::make_unique<Context>(model_->MakeContext(*inference_));
+  }
+
+  std::unique_ptr<Dataset> loan_, train_, inference_;
+  std::unique_ptr<ml::Gbdt> model_;
+  std::unique_ptr<Context> context_;
+};
+
+TEST_F(PipelineTest, ModelIsUsable) {
+  EXPECT_GT(model_->Accuracy(*inference_), 0.75);
+}
+
+TEST_F(PipelineTest, RelativeKeysAreAlwaysConformantOverContext) {
+  // Fig. 3a's headline property: 100% conformity of CCE on the inference
+  // context.
+  CceBatch cce(*context_, 1.0);
+  std::vector<ExplainedInstance> explained;
+  for (size_t row = 0; row < 50; ++row) {
+    auto result = cce.Explain(row);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->satisfied);
+    explained.push_back(
+        {context_->instance(row), context_->label(row), result->key});
+  }
+  EXPECT_DOUBLE_EQ(Conformity(*context_, explained), 100.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision(*context_, explained), 1.0);
+}
+
+TEST_F(PipelineTest, RelativeKeysMoreSuccinctThanXreason) {
+  // Fig. 3d: formal explanations over the whole feature space are larger
+  // than keys relative to the inference context.
+  explain::Xreason xreason(model_.get(), loan_->schema_ptr(), {});
+  CceBatch cce(*context_, 1.0);
+  double cce_total = 0.0;
+  double xreason_total = 0.0;
+  const size_t count = 12;
+  for (size_t row = 0; row < count; ++row) {
+    auto key = cce.Explain(row);
+    ASSERT_TRUE(key.ok());
+    auto formal = xreason.ExplainFeatures(context_->instance(row), 0);
+    ASSERT_TRUE(formal.ok());
+    cce_total += static_cast<double>(key->key.size());
+    xreason_total += static_cast<double>(formal->size());
+  }
+  EXPECT_LT(cce_total, xreason_total);
+}
+
+TEST_F(PipelineTest, RelativeKeysBeatXreasonRecall) {
+  // Fig. 3c: smaller conformant keys cover more instances.
+  explain::Xreason xreason(model_.get(), loan_->schema_ptr(), {});
+  CceBatch cce(*context_, 1.0);
+  double cce_recall = 0.0;
+  double xreason_recall = 0.0;
+  const size_t count = 10;
+  for (size_t row = 0; row < count; ++row) {
+    auto key = cce.Explain(row);
+    auto formal = xreason.ExplainFeatures(context_->instance(row), 0);
+    ASSERT_TRUE(key.ok());
+    ASSERT_TRUE(formal.ok());
+    cce_recall += Recall(*context_, context_->instance(row),
+                         context_->label(row), key->key, *formal);
+    xreason_recall += Recall(*context_, context_->instance(row),
+                             context_->label(row), *formal, key->key);
+  }
+  EXPECT_GE(cce_recall, xreason_recall);
+}
+
+TEST_F(PipelineTest, AnchorCanViolateConformityWhereCceCannot) {
+  // The Example 1 phenomenon. Anchor has no conformity guarantee; across
+  // enough instances its conformity on the context stays at or below
+  // CCE's perfect 100%, and precision is never higher.
+  explain::Anchor anchor(model_.get(), train_.get(), {});
+  CceBatch cce(*context_, 1.0);
+  std::vector<ExplainedInstance> anchor_explained;
+  std::vector<ExplainedInstance> cce_explained;
+  for (size_t row = 0; row < 25; ++row) {
+    auto key = cce.Explain(row);
+    ASSERT_TRUE(key.ok());
+    cce_explained.push_back(
+        {context_->instance(row), context_->label(row), key->key});
+    auto anchor_key = anchor.ExplainFeatures(
+        context_->instance(row), std::max<size_t>(key->key.size(), 1));
+    ASSERT_TRUE(anchor_key.ok());
+    anchor_explained.push_back(
+        {context_->instance(row), context_->label(row), *anchor_key});
+  }
+  QualityReport cce_quality = EvaluateQuality(*context_, cce_explained);
+  QualityReport anchor_quality =
+      EvaluateQuality(*context_, anchor_explained);
+  EXPECT_DOUBLE_EQ(cce_quality.conformity, 100.0);
+  EXPECT_LE(anchor_quality.conformity, 100.0);
+  EXPECT_LE(anchor_quality.precision, cce_quality.precision + 1e-9);
+}
+
+TEST_F(PipelineTest, AlphaTradeoffShrinksKeysEndToEnd) {
+  // Fig. 3f on the real pipeline.
+  double strict_total = 0.0;
+  double relaxed_total = 0.0;
+  for (size_t row = 0; row < 30; ++row) {
+    Srk::Options strict;
+    strict.alpha = 1.0;
+    Srk::Options relaxed;
+    relaxed.alpha = 0.9;
+    auto a = Srk::Explain(*context_, row, strict);
+    auto b = Srk::Explain(*context_, row, relaxed);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    strict_total += static_cast<double>(a->key.size());
+    relaxed_total += static_cast<double>(b->key.size());
+  }
+  EXPECT_LE(relaxed_total, strict_total);
+}
+
+TEST_F(PipelineTest, OnlineMonitoringConvergesToBatchQuality) {
+  CceOnline::Options options;
+  options.seed = 8;
+  auto online = CceOnline::Create(loan_->schema_ptr(),
+                                  context_->instance(0),
+                                  context_->label(0), options);
+  ASSERT_TRUE(online.ok());
+  for (size_t row = 1; row < context_->size(); ++row) {
+    (*online)->Observe(context_->instance(row), context_->label(row));
+  }
+  // The online key must be conformant over the streamed context.
+  std::vector<size_t> rows;
+  for (size_t r = 1; r < context_->size(); ++r) rows.push_back(r);
+  Dataset streamed = context_->Subset(rows);
+  ConformityChecker checker(&streamed);
+  EXPECT_TRUE(checker.IsAlphaConformant(context_->instance(0),
+                                        context_->label(0),
+                                        (*online)->key(), 1.0));
+}
+
+TEST_F(PipelineTest, ClientNeverQueriesModel) {
+  // Structural property (paper Section 6): batch explanation works from
+  // the recorded context alone. We delete the model before explaining.
+  Context context_copy = *context_;
+  model_.reset();
+  CceBatch cce(std::move(context_copy), 1.0);
+  auto result = cce.Explain(0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->satisfied);
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,150 @@
+#include "serving/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/conformity.h"
+#include "data/drift.h"
+#include "ml/gbdt.h"
+#include "tests/test_util.h"
+
+namespace cce::serving {
+namespace {
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = std::make_unique<Dataset>(
+        cce::testing::RandomContext(800, 5, 3, 99, /*noise=*/0.0));
+    ml::Gbdt::Options options;
+    options.num_trees = 30;
+    auto model = ml::Gbdt::Train(*data_, options);
+    CCE_CHECK_OK(model.status());
+    model_ = std::move(model).value();
+  }
+
+  std::unique_ptr<Dataset> data_;
+  std::unique_ptr<ml::Gbdt> model_;
+};
+
+TEST_F(ProxyTest, CreateValidatesArguments) {
+  ExplainableProxy::Options options;
+  EXPECT_FALSE(ExplainableProxy::Create(nullptr, model_.get(), options)
+                   .ok());
+  options.alpha = 0.0;
+  EXPECT_FALSE(
+      ExplainableProxy::Create(data_->schema_ptr(), model_.get(), options)
+          .ok());
+}
+
+TEST_F(ProxyTest, PredictRecordsAndMatchesModel) {
+  auto proxy =
+      ExplainableProxy::Create(data_->schema_ptr(), model_.get(), {});
+  ASSERT_TRUE(proxy.ok());
+  for (size_t row = 0; row < 50; ++row) {
+    auto served = (*proxy)->Predict(data_->instance(row));
+    ASSERT_TRUE(served.ok());
+    EXPECT_EQ(*served, model_->Predict(data_->instance(row)));
+  }
+  EXPECT_EQ((*proxy)->recorded(), 50u);
+  Context snapshot = (*proxy)->ContextSnapshot();
+  EXPECT_EQ(snapshot.size(), 50u);
+  EXPECT_EQ(snapshot.instance(0), data_->instance(0));
+}
+
+TEST_F(ProxyTest, ModelFreeModeRecordsExternalPredictions) {
+  auto proxy =
+      ExplainableProxy::Create(data_->schema_ptr(), nullptr, {});
+  ASSERT_TRUE(proxy.ok());
+  EXPECT_EQ((*proxy)->Predict(data_->instance(0)).status().code(),
+            StatusCode::kFailedPrecondition);
+  CCE_CHECK_OK((*proxy)->Record(data_->instance(0), 1));
+  EXPECT_EQ((*proxy)->recorded(), 1u);
+}
+
+TEST_F(ProxyTest, ExplanationsAreConformantOverTheSnapshot) {
+  auto proxy =
+      ExplainableProxy::Create(data_->schema_ptr(), model_.get(), {});
+  ASSERT_TRUE(proxy.ok());
+  for (size_t row = 0; row < 200; ++row) {
+    ASSERT_TRUE((*proxy)->Predict(data_->instance(row)).ok());
+  }
+  const Instance& x0 = data_->instance(0);
+  Label y0 = model_->Predict(x0);
+  auto key = (*proxy)->Explain(x0, y0);
+  ASSERT_TRUE(key.ok());
+  EXPECT_TRUE(key->satisfied);
+  Context snapshot = (*proxy)->ContextSnapshot();
+  ConformityChecker checker(&snapshot);
+  EXPECT_TRUE(checker.IsAlphaConformant(x0, y0, key->key, 1.0));
+}
+
+TEST_F(ProxyTest, ExplainBeforeAnyTrafficFails) {
+  auto proxy =
+      ExplainableProxy::Create(data_->schema_ptr(), model_.get(), {});
+  ASSERT_TRUE(proxy.ok());
+  EXPECT_EQ((*proxy)->Explain(data_->instance(0), 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(
+      (*proxy)->Counterfactuals(data_->instance(0), 0).status().code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ProxyTest, RollingCapacityEvictsOldTraffic) {
+  ExplainableProxy::Options options;
+  options.context_capacity = 32;
+  auto proxy = ExplainableProxy::Create(data_->schema_ptr(), model_.get(),
+                                        options);
+  ASSERT_TRUE(proxy.ok());
+  for (size_t row = 0; row < 100; ++row) {
+    ASSERT_TRUE((*proxy)->Predict(data_->instance(row)).ok());
+  }
+  Context snapshot = (*proxy)->ContextSnapshot();
+  EXPECT_EQ(snapshot.size(), 32u);
+  // The snapshot holds the most recent traffic.
+  EXPECT_EQ(snapshot.instance(31), data_->instance(99));
+  EXPECT_EQ((*proxy)->recorded(), 100u);
+}
+
+TEST_F(ProxyTest, CounterfactualsComeFromRecordedTraffic) {
+  auto proxy =
+      ExplainableProxy::Create(data_->schema_ptr(), model_.get(), {});
+  ASSERT_TRUE(proxy.ok());
+  for (size_t row = 0; row < 300; ++row) {
+    ASSERT_TRUE((*proxy)->Predict(data_->instance(row)).ok());
+  }
+  const Instance& x0 = data_->instance(0);
+  Label y0 = model_->Predict(x0);
+  auto witnesses = (*proxy)->Counterfactuals(x0, y0);
+  ASSERT_TRUE(witnesses.ok());
+  ASSERT_FALSE(witnesses->empty());
+  Context snapshot = (*proxy)->ContextSnapshot();
+  for (const auto& w : *witnesses) {
+    EXPECT_NE(snapshot.label(w.witness_row), y0);
+  }
+}
+
+TEST_F(ProxyTest, DriftAlarmFiresOnScrambledTraffic) {
+  ExplainableProxy::Options options;
+  options.drift.probe_count = 4;
+  options.drift.alarm_growth = 1.0;
+  options.drift.alarm_window = 400;
+  options.drift.warmup = 300;
+  auto proxy = ExplainableProxy::Create(data_->schema_ptr(), model_.get(),
+                                        options);
+  ASSERT_TRUE(proxy.ok());
+  Rng rng(5);
+  Dataset noisy = data::InjectTailNoise(*data_, 0.5, 0.9, &rng);
+  for (size_t row = 0; row < noisy.size(); ++row) {
+    // Scrambled features with random labels simulate an upstream model
+    // meltdown in the second half of the stream.
+    Label y = row < noisy.size() / 2
+                  ? model_->Predict(noisy.instance(row))
+                  : static_cast<Label>(rng.Uniform(2));
+    CCE_CHECK_OK((*proxy)->Record(noisy.instance(row), y));
+  }
+  EXPECT_TRUE((*proxy)->DriftAlarmed());
+}
+
+}  // namespace
+}  // namespace cce::serving

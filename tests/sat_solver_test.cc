@@ -1,0 +1,267 @@
+#include "sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace cce::sat {
+namespace {
+
+TEST(CnfTest, ExactlyOneEncodesBothDirections) {
+  CnfFormula f;
+  Var a = f.NewVar();
+  Var b = f.NewVar();
+  Var c = f.NewVar();
+  f.AddExactlyOne({Pos(a), Pos(b), Pos(c)});
+  // at-least-one + 3 pairwise at-most-one clauses.
+  EXPECT_EQ(f.clauses().size(), 4u);
+}
+
+TEST(SolverTest, EmptyFormulaIsSat) {
+  CnfFormula f;
+  Solver solver(f);
+  EXPECT_EQ(solver.Solve(), Solver::Outcome::kSat);
+}
+
+TEST(SolverTest, SingleUnitClause) {
+  CnfFormula f;
+  Var a = f.NewVar();
+  f.AddUnit(Pos(a));
+  Solver solver(f);
+  ASSERT_EQ(solver.Solve(), Solver::Outcome::kSat);
+  EXPECT_TRUE(solver.ModelValue(a));
+}
+
+TEST(SolverTest, ContradictoryUnitsAreUnsat) {
+  CnfFormula f;
+  Var a = f.NewVar();
+  f.AddUnit(Pos(a));
+  f.AddUnit(Neg(a));
+  Solver solver(f);
+  EXPECT_EQ(solver.Solve(), Solver::Outcome::kUnsat);
+}
+
+TEST(SolverTest, EmptyClauseIsUnsat) {
+  CnfFormula f;
+  f.AddClause({});
+  Solver solver(f);
+  EXPECT_EQ(solver.Solve(), Solver::Outcome::kUnsat);
+}
+
+TEST(SolverTest, SimpleImplicationChain) {
+  CnfFormula f;
+  Var a = f.NewVar();
+  Var b = f.NewVar();
+  Var c = f.NewVar();
+  f.AddUnit(Pos(a));
+  f.AddBinary(Neg(a), Pos(b));  // a -> b
+  f.AddBinary(Neg(b), Pos(c));  // b -> c
+  Solver solver(f);
+  ASSERT_EQ(solver.Solve(), Solver::Outcome::kSat);
+  EXPECT_TRUE(solver.ModelValue(a));
+  EXPECT_TRUE(solver.ModelValue(b));
+  EXPECT_TRUE(solver.ModelValue(c));
+}
+
+TEST(SolverTest, RequiresConflictAnalysis) {
+  // (a ∨ b) ∧ (a ∨ ¬b) ∧ (¬a ∨ c) ∧ (¬a ∨ ¬c) is UNSAT.
+  CnfFormula f;
+  Var a = f.NewVar();
+  Var b = f.NewVar();
+  Var c = f.NewVar();
+  f.AddBinary(Pos(a), Pos(b));
+  f.AddBinary(Pos(a), Neg(b));
+  f.AddBinary(Neg(a), Pos(c));
+  f.AddBinary(Neg(a), Neg(c));
+  Solver solver(f);
+  EXPECT_EQ(solver.Solve(), Solver::Outcome::kUnsat);
+}
+
+TEST(SolverTest, TautologousClausesIgnored) {
+  CnfFormula f;
+  Var a = f.NewVar();
+  Var b = f.NewVar();
+  f.AddClause({Pos(a), Neg(a)});
+  f.AddUnit(Pos(b));
+  Solver solver(f);
+  EXPECT_EQ(solver.Solve(), Solver::Outcome::kSat);
+}
+
+TEST(SolverTest, ModelSatisfiesAllClauses) {
+  // Random satisfiable instance: a solution is planted.
+  Rng rng(5);
+  const int num_vars = 30;
+  std::vector<bool> planted(num_vars);
+  for (auto&& bit : planted) bit = rng.Bernoulli(0.5);
+  CnfFormula f;
+  for (int v = 0; v < num_vars; ++v) f.NewVar();
+  for (int c = 0; c < 120; ++c) {
+    Clause clause;
+    bool satisfied = false;
+    for (int k = 0; k < 3; ++k) {
+      Var v = static_cast<Var>(rng.Uniform(num_vars));
+      bool negate = rng.Bernoulli(0.5);
+      clause.push_back(negate ? Neg(v) : Pos(v));
+      satisfied |= (planted[v] != negate);
+    }
+    if (!satisfied) {
+      // Flip one literal to agree with the planted assignment.
+      Var v = clause[0].var();
+      clause[0] = planted[v] ? Pos(v) : Neg(v);
+    }
+    f.AddClause(clause);
+  }
+  Solver solver(f);
+  ASSERT_EQ(solver.Solve(), Solver::Outcome::kSat);
+  for (const Clause& clause : f.clauses()) {
+    bool sat = false;
+    for (Lit lit : clause) {
+      sat |= (solver.ModelValue(lit.var()) != lit.negated());
+    }
+    EXPECT_TRUE(sat);
+  }
+}
+
+TEST(SolverTest, PigeonholeUnsat) {
+  // 4 pigeons, 3 holes: classic UNSAT needing real search.
+  const int pigeons = 4;
+  const int holes = 3;
+  CnfFormula f;
+  std::vector<std::vector<Var>> var(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) var[p][h] = f.NewVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    Clause clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(Pos(var[p][h]));
+    f.AddClause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        f.AddBinary(Neg(var[p1][h]), Neg(var[p2][h]));
+      }
+    }
+  }
+  Solver solver(f);
+  EXPECT_EQ(solver.Solve(), Solver::Outcome::kUnsat);
+  EXPECT_GT(solver.stats().conflicts, 0);
+}
+
+TEST(SolverTest, AssumptionsRestrictModels) {
+  CnfFormula f;
+  Var a = f.NewVar();
+  Var b = f.NewVar();
+  f.AddBinary(Pos(a), Pos(b));
+  Solver solver(f);
+  ASSERT_EQ(solver.Solve({Neg(a)}), Solver::Outcome::kSat);
+  EXPECT_FALSE(solver.ModelValue(a));
+  EXPECT_TRUE(solver.ModelValue(b));
+}
+
+TEST(SolverTest, ConflictingAssumptionsUnsat) {
+  CnfFormula f;
+  Var a = f.NewVar();
+  Var b = f.NewVar();
+  f.AddBinary(Neg(a), Pos(b));  // a -> b
+  Solver solver(f);
+  EXPECT_EQ(solver.Solve({Pos(a), Neg(b)}), Solver::Outcome::kUnsat);
+}
+
+TEST(SolverTest, ReentrantSolveWithDifferentAssumptions) {
+  CnfFormula f;
+  Var a = f.NewVar();
+  Var b = f.NewVar();
+  f.AddBinary(Pos(a), Pos(b));
+  Solver solver(f);
+  EXPECT_EQ(solver.Solve({Neg(a)}), Solver::Outcome::kSat);
+  EXPECT_EQ(solver.Solve({Neg(b)}), Solver::Outcome::kSat);
+  EXPECT_EQ(solver.Solve({Neg(a), Neg(b)}), Solver::Outcome::kUnsat);
+  EXPECT_EQ(solver.Solve(), Solver::Outcome::kSat);
+}
+
+TEST(SolverTest, ConflictBudgetReturnsUnknown) {
+  // A hard pigeonhole instance with a 1-conflict budget must give up.
+  const int pigeons = 7;
+  const int holes = 6;
+  CnfFormula f;
+  std::vector<std::vector<Var>> var(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) var[p][h] = f.NewVar();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    Clause clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(Pos(var[p][h]));
+    f.AddClause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        f.AddBinary(Neg(var[p1][h]), Neg(var[p2][h]));
+      }
+    }
+  }
+  Solver::Options options;
+  options.max_conflicts = 1;
+  Solver solver(f, options);
+  EXPECT_EQ(solver.Solve(), Solver::Outcome::kUnknown);
+}
+
+// Brute-force cross-check on random small formulas.
+class SolverRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+bool BruteForceSat(const CnfFormula& f) {
+  const int n = f.num_vars();
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    bool all = true;
+    for (const Clause& clause : f.clauses()) {
+      bool sat = false;
+      for (Lit lit : clause) {
+        bool value = (mask >> lit.var()) & 1u;
+        sat |= (value != lit.negated());
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST_P(SolverRandomTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  const int num_vars = 8;
+  const int num_clauses = 34;  // near the 3-SAT phase transition
+  CnfFormula f;
+  for (int v = 0; v < num_vars; ++v) f.NewVar();
+  for (int c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    for (int k = 0; k < 3; ++k) {
+      Var v = static_cast<Var>(rng.Uniform(num_vars));
+      clause.push_back(rng.Bernoulli(0.5) ? Neg(v) : Pos(v));
+    }
+    f.AddClause(clause);
+  }
+  Solver solver(f);
+  Solver::Outcome outcome = solver.Solve();
+  bool expected = BruteForceSat(f);
+  EXPECT_EQ(outcome, expected ? Solver::Outcome::kSat
+                              : Solver::Outcome::kUnsat);
+  if (outcome == Solver::Outcome::kSat) {
+    for (const Clause& clause : f.clauses()) {
+      bool sat = false;
+      for (Lit lit : clause) {
+        sat |= (solver.ModelValue(lit.var()) != lit.negated());
+      }
+      EXPECT_TRUE(sat);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFormulas, SolverRandomTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace cce::sat

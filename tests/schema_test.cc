@@ -1,0 +1,77 @@
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace cce {
+namespace {
+
+TEST(SchemaTest, AddFeatureAssignsSequentialIds) {
+  Schema s;
+  EXPECT_EQ(s.AddFeature("a"), 0u);
+  EXPECT_EQ(s.AddFeature("b"), 1u);
+  EXPECT_EQ(s.num_features(), 2u);
+  EXPECT_EQ(s.FeatureName(1), "b");
+}
+
+TEST(SchemaTest, InternValueIsIdempotent) {
+  Schema s;
+  FeatureId f = s.AddFeature("color");
+  ValueId red = s.InternValue(f, "red");
+  ValueId blue = s.InternValue(f, "blue");
+  EXPECT_NE(red, blue);
+  EXPECT_EQ(s.InternValue(f, "red"), red);
+  EXPECT_EQ(s.DomainSize(f), 2u);
+  EXPECT_EQ(s.ValueName(f, blue), "blue");
+}
+
+TEST(SchemaTest, ValuesAreScopedPerFeature) {
+  Schema s;
+  FeatureId f0 = s.AddFeature("a");
+  FeatureId f1 = s.AddFeature("b");
+  EXPECT_EQ(s.InternValue(f0, "x"), s.InternValue(f1, "x"));
+  EXPECT_EQ(s.DomainSize(f0), 1u);
+  EXPECT_EQ(s.DomainSize(f1), 1u);
+}
+
+TEST(SchemaTest, LookupValueNotFound) {
+  Schema s;
+  FeatureId f = s.AddFeature("a");
+  s.InternValue(f, "x");
+  EXPECT_TRUE(s.LookupValue(f, "x").ok());
+  EXPECT_EQ(s.LookupValue(f, "y").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, LookupValueOutOfRangeFeature) {
+  Schema s;
+  EXPECT_EQ(s.LookupValue(3, "x").status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SchemaTest, LabelsInternAndLookup) {
+  Schema s;
+  Label a = s.InternLabel("Denied");
+  Label b = s.InternLabel("Approved");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(s.InternLabel("Denied"), a);
+  EXPECT_EQ(s.num_labels(), 2u);
+  EXPECT_EQ(s.LabelName(b), "Approved");
+  EXPECT_FALSE(s.LookupLabel("Unknown").ok());
+  EXPECT_EQ(*s.LookupLabel("Approved"), b);
+}
+
+TEST(SchemaTest, FeatureIndexByName) {
+  Schema s;
+  s.AddFeature("Income");
+  s.AddFeature("Credit");
+  EXPECT_EQ(*s.FeatureIndex("Credit"), 1u);
+  EXPECT_FALSE(s.FeatureIndex("Area").ok());
+}
+
+TEST(SchemaTest, FeatureNamesInOrder) {
+  Schema s;
+  s.AddFeature("x");
+  s.AddFeature("y");
+  EXPECT_EQ(s.FeatureNames(), (std::vector<std::string>{"x", "y"}));
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,224 @@
+#include "core/srk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/conformity.h"
+#include "core/optimal.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(SrkTest, PaperExample6KeyForX0) {
+  testing::Fig2Context fig2;
+  Srk::Options options;
+  auto result = Srk::Explain(fig2.context, 0, options);
+  ASSERT_TRUE(result.ok());
+  FeatureSet expected = {fig2.income, fig2.credit};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(result->key, expected);
+  EXPECT_TRUE(result->satisfied);
+  EXPECT_DOUBLE_EQ(result->achieved_alpha, 1.0);
+  // Example 6: Credit is picked first, then Income.
+  ASSERT_EQ(result->pick_order.size(), 2u);
+  EXPECT_EQ(result->pick_order[0], fig2.credit);
+  EXPECT_EQ(result->pick_order[1], fig2.income);
+}
+
+TEST(SrkTest, PaperExample6AlphaSixSevenths) {
+  testing::Fig2Context fig2;
+  Srk::Options options;
+  options.alpha = 6.0 / 7.0;
+  auto result = Srk::Explain(fig2.context, 0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->key, FeatureSet{fig2.credit});
+  EXPECT_TRUE(result->satisfied);
+  EXPECT_NEAR(result->achieved_alpha, 6.0 / 7.0, 1e-12);
+}
+
+TEST(SrkTest, InvalidAlphaRejected) {
+  testing::Fig2Context fig2;
+  Srk::Options options;
+  options.alpha = 0.0;
+  EXPECT_FALSE(Srk::Explain(fig2.context, 0, options).ok());
+  options.alpha = 1.5;
+  EXPECT_FALSE(Srk::Explain(fig2.context, 0, options).ok());
+  options.alpha = -0.2;
+  EXPECT_FALSE(Srk::Explain(fig2.context, 0, options).ok());
+}
+
+TEST(SrkTest, RowOutOfRangeRejected) {
+  testing::Fig2Context fig2;
+  EXPECT_EQ(Srk::Explain(fig2.context, 99, {}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SrkTest, WrongArityRejected) {
+  testing::Fig2Context fig2;
+  Instance bad = {0, 1};
+  EXPECT_FALSE(
+      Srk::ExplainInstance(fig2.context, bad, fig2.denied, {}).ok());
+}
+
+TEST(SrkTest, SingleClassContextYieldsEmptyKey) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "u");
+  schema->InternValue(f, "v");
+  schema->InternLabel("only");
+  Dataset context(schema);
+  context.Add({0}, 0);
+  context.Add({1}, 0);
+  auto result = Srk::Explain(context, 0, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->key.empty());
+  EXPECT_TRUE(result->satisfied);
+}
+
+TEST(SrkTest, ConflictingDuplicateReportsUnsatisfied) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  schema->InternLabel("l0");
+  schema->InternLabel("l1");
+  Dataset context(schema);
+  context.Add({0}, 0);
+  context.Add({0}, 1);
+  auto result = Srk::Explain(context, 0, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfied);
+  EXPECT_NEAR(result->achieved_alpha, 0.5, 1e-12);
+}
+
+TEST(SrkTest, ConflictingDuplicateToleratedByLowAlpha) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  schema->InternValue(f, "w");
+  schema->InternLabel("l0");
+  schema->InternLabel("l1");
+  Dataset context(schema);
+  context.Add({0}, 0);
+  context.Add({0}, 1);
+  context.Add({1}, 1);
+  context.Add({1}, 1);
+  Srk::Options options;
+  options.alpha = 0.75;  // one violator tolerated out of 4
+  auto result = Srk::Explain(context, 0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->satisfied);
+  // Feature a removes the two {1} rows; the duplicate is tolerated.
+  EXPECT_EQ(result->key, FeatureSet{f});
+}
+
+TEST(SrkTest, ExplainInstanceNotInContext) {
+  testing::Fig2Context fig2;
+  // An ad-hoc instance (Female, 5-6K, good, 0) predicted Approved.
+  Instance x(4);
+  x[fig2.gender] = *fig2.schema->LookupValue(fig2.gender, "Female");
+  x[fig2.income] = *fig2.schema->LookupValue(fig2.income, "5-6K");
+  x[fig2.credit] = *fig2.schema->LookupValue(fig2.credit, "good");
+  x[fig2.dependent] = *fig2.schema->LookupValue(fig2.dependent, "0");
+  auto result = Srk::ExplainInstance(fig2.context, x, fig2.approved, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->satisfied);
+  ConformityChecker checker(&fig2.context);
+  EXPECT_TRUE(checker.IsAlphaConformant(x, fig2.approved, result->key, 1.0));
+}
+
+TEST(SrkTest, KeyShrinksOrStaysWithSmallerAlpha) {
+  Dataset context = testing::RandomContext(300, 6, 4, 77);
+  for (double alpha : {1.0, 0.98, 0.95, 0.9}) {
+    Srk::Options strict;
+    strict.alpha = alpha;
+    Srk::Options loose;
+    loose.alpha = alpha - 0.05;
+    auto strict_key = Srk::Explain(context, 0, strict);
+    auto loose_key = Srk::Explain(context, 0, loose);
+    ASSERT_TRUE(strict_key.ok());
+    ASSERT_TRUE(loose_key.ok());
+    EXPECT_LE(loose_key->key.size(), strict_key->key.size());
+  }
+}
+
+// ------------------------- property sweep: alpha-conformance + ln bound --
+
+struct SrkPropertyParam {
+  uint64_t seed;
+  size_t rows;
+  size_t features;
+  size_t domain;
+  double alpha;
+};
+
+class SrkPropertyTest : public ::testing::TestWithParam<SrkPropertyParam> {};
+
+TEST_P(SrkPropertyTest, KeyIsAlphaConformant) {
+  const auto& p = GetParam();
+  Dataset context = testing::RandomContext(p.rows, p.features, p.domain,
+                                           p.seed);
+  ConformityChecker checker(&context);
+  Srk::Options options;
+  options.alpha = p.alpha;
+  for (size_t row = 0; row < std::min<size_t>(10, context.size()); ++row) {
+    auto result = Srk::Explain(context, row, options);
+    ASSERT_TRUE(result.ok());
+    if (result->satisfied) {
+      EXPECT_TRUE(checker.IsAlphaConformant(context.instance(row),
+                                            context.label(row), result->key,
+                                            p.alpha))
+          << "row " << row;
+    }
+    EXPECT_NEAR(result->achieved_alpha,
+                checker.Precision(context.instance(row), context.label(row),
+                                  result->key),
+                1e-9);
+  }
+}
+
+TEST_P(SrkPropertyTest, WithinLogBoundOfOptimal) {
+  const auto& p = GetParam();
+  if (p.features > 10) GTEST_SKIP() << "optimal search too large";
+  Dataset context = testing::RandomContext(p.rows, p.features, p.domain,
+                                           p.seed);
+  Srk::Options options;
+  options.alpha = p.alpha;
+  OptimalKeyFinder::Options opt_options;
+  opt_options.alpha = p.alpha;
+  for (size_t row = 0; row < std::min<size_t>(5, context.size()); ++row) {
+    auto greedy = Srk::Explain(context, row, options);
+    auto optimal = OptimalKeyFinder::FindForRow(context, row, opt_options);
+    ASSERT_TRUE(greedy.ok());
+    ASSERT_TRUE(optimal.ok());
+    if (!optimal->satisfied) continue;
+    EXPECT_GE(greedy->key.size(), optimal->key.size());
+    // Lemma 3: succinct(SRK) <= ln(alpha |I|) * succinct(OPT) (+1 for the
+    // ceiling slack on tiny optima).
+    double bound = std::log(p.alpha * static_cast<double>(context.size()));
+    double limit =
+        std::max(1.0, bound) * static_cast<double>(optimal->key.size()) +
+        1.0;
+    EXPECT_LE(static_cast<double>(greedy->key.size()), limit)
+        << "row " << row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SrkPropertyTest,
+    ::testing::Values(
+        SrkPropertyParam{1, 50, 4, 3, 1.0},
+        SrkPropertyParam{2, 50, 4, 3, 0.9},
+        SrkPropertyParam{3, 120, 6, 2, 1.0},
+        SrkPropertyParam{4, 120, 6, 2, 0.95},
+        SrkPropertyParam{5, 200, 8, 4, 1.0},
+        SrkPropertyParam{6, 200, 8, 4, 0.92},
+        SrkPropertyParam{7, 400, 10, 3, 1.0},
+        SrkPropertyParam{8, 400, 10, 3, 0.9},
+        SrkPropertyParam{9, 800, 12, 5, 1.0},
+        SrkPropertyParam{10, 800, 12, 5, 0.97}));
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,168 @@
+#include "core/ssrk.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conformity.h"
+#include "core/osrk.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(SsrkTest, CreateValidatesArguments) {
+  testing::Fig2Context fig2;
+  Ssrk::Options bad_alpha;
+  bad_alpha.alpha = 2.0;
+  EXPECT_FALSE(Ssrk::Create(fig2.context, fig2.context.instance(0),
+                            fig2.denied, bad_alpha)
+                   .ok());
+  EXPECT_FALSE(
+      Ssrk::Create(fig2.context, Instance{0}, fig2.denied, {}).ok());
+  Dataset empty(fig2.schema);
+  EXPECT_FALSE(
+      Ssrk::Create(empty, fig2.context.instance(0), fig2.denied, {}).ok());
+}
+
+TEST(SsrkTest, SamePredictionNeverChangesKey) {
+  testing::Fig2Context fig2;
+  auto ssrk = Ssrk::Create(fig2.context, fig2.context.instance(0),
+                           fig2.denied, {});
+  ASSERT_TRUE(ssrk.ok());
+  for (size_t row : {2u, 3u, 4u}) {
+    (*ssrk)->Observe(fig2.context.instance(row), fig2.denied);
+  }
+  EXPECT_TRUE((*ssrk)->key().empty());
+  EXPECT_DOUBLE_EQ((*ssrk)->achieved_alpha(), 1.0);
+}
+
+TEST(SsrkTest, CoherentAndConformantOnFig2) {
+  testing::Fig2Context fig2;
+  auto ssrk = Ssrk::Create(fig2.context, fig2.context.instance(0),
+                           fig2.denied, {});
+  ASSERT_TRUE(ssrk.ok());
+  FeatureSet previous;
+  for (size_t row = 1; row < fig2.context.size(); ++row) {
+    const FeatureSet& key = (*ssrk)->Observe(fig2.context.instance(row),
+                                             fig2.context.label(row));
+    EXPECT_TRUE(FeatureSetIsSubset(previous, key));
+    previous = key;
+  }
+  ConformityChecker checker(&fig2.context);
+  // The arrived stream is rows 1..6; conformity over it plus x0 itself.
+  EXPECT_TRUE((*ssrk)->satisfied());
+  EXPECT_TRUE(checker.IsAlphaConformant(fig2.context.instance(0),
+                                        fig2.denied, (*ssrk)->key(), 1.0));
+}
+
+TEST(SsrkTest, StreamOverRandomUniverseIsConformant) {
+  for (uint64_t seed : {21u, 22u, 23u, 24u}) {
+    Dataset universe =
+        testing::RandomContext(250, 6, 3, 3000 + seed, /*noise=*/0.0);
+    auto ssrk = Ssrk::Create(universe, universe.instance(0),
+                             universe.label(0), {});
+    ASSERT_TRUE(ssrk.ok());
+    FeatureSet previous;
+    for (size_t row = 1; row < universe.size(); ++row) {
+      const FeatureSet& key =
+          (*ssrk)->Observe(universe.instance(row), universe.label(row));
+      EXPECT_TRUE(FeatureSetIsSubset(previous, key));
+      previous = key;
+    }
+    std::vector<size_t> arrived_rows;
+    for (size_t r = 1; r < universe.size(); ++r) arrived_rows.push_back(r);
+    Dataset arrived = universe.Subset(arrived_rows);
+    ConformityChecker checker(&arrived);
+    EXPECT_TRUE(checker.IsAlphaConformant(universe.instance(0),
+                                          universe.label(0), (*ssrk)->key(),
+                                          1.0))
+        << "seed " << seed;
+    EXPECT_TRUE((*ssrk)->satisfied());
+  }
+}
+
+TEST(SsrkTest, AchievedAlphaMatchesOfflineRecount) {
+  for (double alpha : {1.0, 0.9}) {
+    Dataset universe = testing::RandomContext(200, 5, 3, 404);
+    Ssrk::Options options;
+    options.alpha = alpha;
+    auto ssrk = Ssrk::Create(universe, universe.instance(0),
+                             universe.label(0), options);
+    ASSERT_TRUE(ssrk.ok());
+    for (size_t row = 1; row < universe.size(); ++row) {
+      (*ssrk)->Observe(universe.instance(row), universe.label(row));
+    }
+    std::vector<size_t> arrived_rows;
+    for (size_t r = 1; r < universe.size(); ++r) arrived_rows.push_back(r);
+    Dataset arrived = universe.Subset(arrived_rows);
+    ConformityChecker checker(&arrived);
+    EXPECT_NEAR((*ssrk)->achieved_alpha(),
+                checker.Precision(universe.instance(0), universe.label(0),
+                                  (*ssrk)->key()),
+                1e-9);
+  }
+}
+
+TEST(SsrkTest, DeterministicAcrossRuns) {
+  Dataset universe = testing::RandomContext(150, 5, 3, 777, /*noise=*/0.0);
+  FeatureSet first_run;
+  for (int run = 0; run < 2; ++run) {
+    auto ssrk = Ssrk::Create(universe, universe.instance(0),
+                             universe.label(0), {});
+    ASSERT_TRUE(ssrk.ok());
+    for (size_t row = 1; row < universe.size(); ++row) {
+      (*ssrk)->Observe(universe.instance(row), universe.label(row));
+    }
+    if (run == 0) {
+      first_run = (*ssrk)->key();
+    } else {
+      EXPECT_EQ((*ssrk)->key(), first_run);
+    }
+  }
+}
+
+TEST(SsrkTest, TendsToBeMoreSuccinctThanOsrkOnAverage) {
+  // Section 7.4: SSRK produces more succinct keys than OSRK on average.
+  // Averaged over several streams to keep the comparison stable.
+  double ssrk_total = 0.0;
+  double osrk_total = 0.0;
+  int streams = 0;
+  for (uint64_t seed : {41u, 42u, 43u, 44u, 45u, 46u}) {
+    Dataset universe =
+        testing::RandomContext(300, 8, 3, 5000 + seed, /*noise=*/0.0);
+    auto ssrk = Ssrk::Create(universe, universe.instance(0),
+                             universe.label(0), {});
+    ASSERT_TRUE(ssrk.ok());
+    Osrk::Options osrk_options;
+    osrk_options.seed = seed;
+    auto osrk = Osrk::Create(universe.schema_ptr(), universe.instance(0),
+                             universe.label(0), osrk_options);
+    ASSERT_TRUE(osrk.ok());
+    for (size_t row = 1; row < universe.size(); ++row) {
+      (*ssrk)->Observe(universe.instance(row), universe.label(row));
+      (*osrk)->Observe(universe.instance(row), universe.label(row));
+    }
+    ssrk_total += static_cast<double>((*ssrk)->key().size());
+    osrk_total += static_cast<double>((*osrk)->key().size());
+    ++streams;
+  }
+  EXPECT_LE(ssrk_total / streams, osrk_total / streams + 0.5)
+      << "SSRK should not be materially less succinct than OSRK";
+}
+
+TEST(SsrkTest, ConflictingDuplicateHandledGracefully) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  schema->InternLabel("l0");
+  schema->InternLabel("l1");
+  Dataset universe(schema);
+  universe.Add({0}, 0);
+  universe.Add({0}, 1);
+  auto ssrk = Ssrk::Create(universe, universe.instance(0), 0, {});
+  ASSERT_TRUE(ssrk.ok());
+  (*ssrk)->Observe(universe.instance(1), 1);
+  EXPECT_FALSE((*ssrk)->satisfied());
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,93 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cce {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::InvalidArgument("bad alpha").message(), "bad alpha");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad alpha").ToString(),
+            "InvalidArgument: bad alpha");
+  EXPECT_EQ(Status::NotFound("").ToString(), "NotFound");
+}
+
+TEST(StatusTest, NonOkIsNotOk) {
+  EXPECT_FALSE(Status::Internal("boom").ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r->push_back(3);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+Status FailingHelper() { return Status::Internal("inner"); }
+
+Status PropagationSite() {
+  CCE_RETURN_IF_ERROR(FailingHelper());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  Status s = PropagationSite();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+Status SucceedingSite() {
+  CCE_RETURN_IF_ERROR(Status::Ok());
+  return Status::InvalidArgument("reached end");
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOnOk) {
+  EXPECT_EQ(SucceedingSite().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,94 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cce {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoSeparator) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ToLowerTest, LowersAscii) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+}
+
+TEST(TokenizeTest, SplitsOnNonAlnumAndLowercases) {
+  EXPECT_EQ(Tokenize("Adobe Photoshop CS-2!"),
+            (std::vector<std::string>{"adobe", "photoshop", "cs", "2"}));
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("--- !!").empty());
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+}
+
+TEST(EditSimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  double sim = EditSimilarity("kitten", "sitting");
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(TokenJaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b c", "a b c"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "c d"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b c d", "a b"), 0.5);
+  EXPECT_DOUBLE_EQ(TokenJaccard("", ""), 1.0);
+}
+
+TEST(TokenJaccardTest, CaseInsensitive) {
+  EXPECT_DOUBLE_EQ(TokenJaccard("Adobe Photoshop", "adobe PHOTOSHOP"), 1.0);
+}
+
+TEST(TokenContainmentTest, SmallerInLarger) {
+  EXPECT_DOUBLE_EQ(TokenContainment("a b", "a b c d"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenContainment("a x", "a b c d"), 0.5);
+  EXPECT_DOUBLE_EQ(TokenContainment("", "a"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenContainment("", ""), 1.0);
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,109 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/conformity.h"
+#include "core/srk.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(SweepTest, RowOutOfRangeRejected) {
+  testing::Fig2Context fig2;
+  EXPECT_EQ(Srk::SweepTradeoff(fig2.context, 99).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SweepTest, Fig2CurveMatchesTheWorkedExample) {
+  testing::Fig2Context fig2;
+  auto curve = Srk::SweepTradeoff(fig2.context, 0);
+  ASSERT_TRUE(curve.ok());
+  // Empty key: 3 of 7 instances violate -> alpha 4/7; Credit removes two
+  // violators -> 6/7; Income removes the last -> 1.
+  ASSERT_EQ(curve->size(), 3u);
+  EXPECT_EQ((*curve)[0].succinctness, 0u);
+  EXPECT_NEAR((*curve)[0].achieved_alpha, 4.0 / 7.0, 1e-12);
+  EXPECT_EQ((*curve)[1].picked, fig2.credit);
+  EXPECT_NEAR((*curve)[1].achieved_alpha, 6.0 / 7.0, 1e-12);
+  EXPECT_EQ((*curve)[2].picked, fig2.income);
+  EXPECT_NEAR((*curve)[2].achieved_alpha, 1.0, 1e-12);
+}
+
+TEST(SweepTest, CurveIsMonotoneAndConsistentWithChecker) {
+  Dataset context = testing::RandomContext(300, 6, 3, 909);
+  ConformityChecker checker(&context);
+  auto curve = Srk::SweepTradeoff(context, 0);
+  ASSERT_TRUE(curve.ok());
+  FeatureSet prefix;
+  double previous_alpha = -1.0;
+  for (const auto& point : *curve) {
+    if (point.succinctness > 0) FeatureSetInsert(&prefix, point.picked);
+    EXPECT_EQ(prefix.size(), point.succinctness);
+    EXPECT_GE(point.achieved_alpha, previous_alpha);
+    previous_alpha = point.achieved_alpha;
+    EXPECT_NEAR(point.achieved_alpha,
+                checker.Precision(context.instance(0), context.label(0),
+                                  prefix),
+                1e-12);
+  }
+}
+
+TEST(SweepTest, CurvePredictsExplainForEveryAlpha) {
+  // The sweep must agree with per-alpha SRK runs: the first curve point
+  // meeting the bound has the same size as the key SRK returns (the
+  // greedy pick sequence is deterministic and alpha only moves the stop).
+  Dataset context = testing::RandomContext(250, 5, 3, 808, /*noise=*/0.0);
+  auto curve = Srk::SweepTradeoff(context, 3);
+  ASSERT_TRUE(curve.ok());
+  for (double alpha : {1.0, 0.98, 0.95, 0.9, 0.8}) {
+    Srk::Options options;
+    options.alpha = alpha;
+    auto key = Srk::Explain(context, 3, options);
+    ASSERT_TRUE(key.ok());
+    size_t budget = static_cast<size_t>(
+        std::floor((1.0 - alpha) * context.size() + 1e-9));
+    double needed = 1.0 - static_cast<double>(budget) /
+                              static_cast<double>(context.size());
+    size_t predicted = curve->back().succinctness;
+    for (const auto& point : *curve) {
+      if (point.achieved_alpha >= needed - 1e-12) {
+        predicted = point.succinctness;
+        break;
+      }
+    }
+    EXPECT_EQ(key->key.size(), predicted) << "alpha " << alpha;
+  }
+}
+
+TEST(SweepTest, SingleClassContextIsASinglePoint) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  schema->InternLabel("only");
+  Dataset context(schema);
+  context.Add({0}, 0);
+  auto curve = Srk::SweepTradeoff(context, 0);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 1u);
+  EXPECT_DOUBLE_EQ((*curve)[0].achieved_alpha, 1.0);
+}
+
+TEST(SweepTest, ConflictingDuplicateCurveStopsEarly) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  schema->InternLabel("l0");
+  schema->InternLabel("l1");
+  Dataset context(schema);
+  context.Add({0}, 0);
+  context.Add({0}, 1);
+  auto curve = Srk::SweepTradeoff(context, 0);
+  ASSERT_TRUE(curve.ok());
+  // No feature separates the duplicate: the curve is just the empty key.
+  ASSERT_EQ(curve->size(), 1u);
+  EXPECT_NEAR((*curve)[0].achieved_alpha, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cce.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsIdempotentAndReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Wait();  // nothing submitted yet
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(50, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must still run everything.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ExplainManyTest, MatchesSequentialExplain) {
+  Dataset context = testing::RandomContext(400, 6, 3, 515);
+  CceBatch cce(context, 1.0);
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < 60; ++r) rows.push_back(r);
+  std::vector<Result<KeyResult>> parallel = cce.ExplainMany(rows, 4);
+  ASSERT_EQ(parallel.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto sequential = cce.Explain(rows[i]);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_TRUE(parallel[i].ok()) << "row " << rows[i];
+    EXPECT_EQ(parallel[i]->key, sequential->key) << "row " << rows[i];
+    EXPECT_DOUBLE_EQ(parallel[i]->achieved_alpha,
+                     sequential->achieved_alpha);
+  }
+}
+
+TEST(ExplainManyTest, BadRowsYieldPerEntryErrors) {
+  Dataset context = testing::RandomContext(20, 3, 2, 616);
+  CceBatch cce(context, 1.0);
+  std::vector<Result<KeyResult>> results =
+      cce.ExplainMany({0, 999, 1}, 2);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(results[2].ok());
+}
+
+}  // namespace
+}  // namespace cce

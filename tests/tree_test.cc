@@ -1,0 +1,164 @@
+#include "ml/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace cce::ml {
+namespace {
+
+// Builds a dataset and the squared-loss gradients for regression-style
+// fitting: grad = prediction - target with prediction 0, hess = 1.
+struct FitProblem {
+  Dataset data;
+  std::vector<double> gradients;
+  std::vector<double> hessians;
+  std::vector<size_t> rows;
+
+  explicit FitProblem(Dataset d) : data(std::move(d)) {
+    gradients.resize(data.size());
+    hessians.assign(data.size(), 1.0);
+    rows.resize(data.size());
+    for (size_t i = 0; i < data.size(); ++i) rows[i] = i;
+  }
+
+  void TargetFromLabel() {
+    for (size_t i = 0; i < data.size(); ++i) {
+      gradients[i] = -static_cast<double>(data.label(i));  // 0 - target
+    }
+  }
+};
+
+TEST(TreeTest, FitsConstantOnPureLeaf) {
+  FitProblem p(cce::testing::RandomContext(50, 3, 2, 1, /*noise=*/0.0));
+  for (size_t i = 0; i < p.data.size(); ++i) p.gradients[i] = -1.0;
+  RegressionTree tree;
+  RegressionTree::Options options;
+  options.max_depth = 0;  // force a single leaf
+  tree.Fit(p.data, p.gradients, p.hessians, p.rows, options);
+  ASSERT_EQ(tree.nodes().size(), 1u);
+  EXPECT_TRUE(tree.nodes()[0].is_leaf);
+  // Leaf weight -G/(H+lambda) = 50/(50+1).
+  EXPECT_NEAR(tree.Predict(p.data.instance(0)), 50.0 / 51.0, 1e-9);
+}
+
+TEST(TreeTest, LearnsSingleFeatureSplit) {
+  // Target depends only on feature 0 being even.
+  FitProblem p(cce::testing::RandomContext(300, 4, 4, 2, /*noise=*/0.0));
+  for (size_t i = 0; i < p.data.size(); ++i) {
+    double target = (p.data.value(i, 0) <= 1) ? 1.0 : 0.0;
+    p.gradients[i] = -target;
+  }
+  RegressionTree tree;
+  RegressionTree::Options options;
+  options.max_depth = 2;
+  tree.Fit(p.data, p.gradients, p.hessians, p.rows, options);
+  // Predictions must separate the two groups.
+  double low = 0.0;
+  double high = 0.0;
+  int low_n = 0;
+  int high_n = 0;
+  for (size_t i = 0; i < p.data.size(); ++i) {
+    if (p.data.value(i, 0) <= 1) {
+      high += tree.Predict(p.data.instance(i));
+      ++high_n;
+    } else {
+      low += tree.Predict(p.data.instance(i));
+      ++low_n;
+    }
+  }
+  ASSERT_GT(low_n, 0);
+  ASSERT_GT(high_n, 0);
+  EXPECT_GT(high / high_n, 0.8);
+  EXPECT_LT(low / low_n, 0.2);
+}
+
+TEST(TreeTest, EmptyRowsYieldZeroLeaf) {
+  FitProblem p(cce::testing::RandomContext(10, 2, 2, 3));
+  RegressionTree tree;
+  tree.Fit(p.data, p.gradients, p.hessians, {}, {});
+  EXPECT_TRUE(tree.nodes()[0].is_leaf);
+  EXPECT_DOUBLE_EQ(tree.Predict(p.data.instance(0)), 0.0);
+}
+
+TEST(TreeTest, ReachableRangeBracketsAllPredictions) {
+  FitProblem p(cce::testing::RandomContext(200, 4, 3, 4));
+  p.TargetFromLabel();
+  RegressionTree tree;
+  RegressionTree::Options options;
+  options.max_depth = 4;
+  tree.Fit(p.data, p.gradients, p.hessians, p.rows, options);
+  std::vector<int64_t> free(4, -1);
+  auto [lo, hi] = tree.ReachableRange(free);
+  for (size_t i = 0; i < p.data.size(); ++i) {
+    double pred = tree.Predict(p.data.instance(i));
+    EXPECT_GE(pred, lo - 1e-12);
+    EXPECT_LE(pred, hi + 1e-12);
+  }
+}
+
+TEST(TreeTest, ReachableRangeCollapsesWhenAllFixed) {
+  FitProblem p(cce::testing::RandomContext(200, 4, 3, 5));
+  p.TargetFromLabel();
+  RegressionTree tree;
+  RegressionTree::Options options;
+  options.max_depth = 4;
+  tree.Fit(p.data, p.gradients, p.hessians, p.rows, options);
+  const Instance& x = p.data.instance(7);
+  std::vector<int64_t> fixed(x.begin(), x.end());
+  auto [lo, hi] = tree.ReachableRange(fixed);
+  EXPECT_DOUBLE_EQ(lo, hi);
+  EXPECT_DOUBLE_EQ(lo, tree.Predict(x));
+}
+
+TEST(TreeTest, PartialFixNarrowsRange) {
+  FitProblem p(cce::testing::RandomContext(300, 4, 3, 6));
+  p.TargetFromLabel();
+  RegressionTree tree;
+  RegressionTree::Options options;
+  options.max_depth = 4;
+  tree.Fit(p.data, p.gradients, p.hessians, p.rows, options);
+  std::vector<int64_t> free(4, -1);
+  auto [free_lo, free_hi] = tree.ReachableRange(free);
+  std::vector<int64_t> partial = free;
+  partial[0] = static_cast<int64_t>(p.data.value(0, 0));
+  auto [part_lo, part_hi] = tree.ReachableRange(partial);
+  EXPECT_GE(part_lo, free_lo - 1e-12);
+  EXPECT_LE(part_hi, free_hi + 1e-12);
+}
+
+TEST(TreeTest, ScaleLeavesScalesPredictions) {
+  FitProblem p(cce::testing::RandomContext(100, 3, 3, 7));
+  p.TargetFromLabel();
+  RegressionTree tree;
+  tree.Fit(p.data, p.gradients, p.hessians, p.rows, {});
+  double before = tree.Predict(p.data.instance(0));
+  tree.ScaleLeaves(0.5);
+  EXPECT_NEAR(tree.Predict(p.data.instance(0)), 0.5 * before, 1e-12);
+}
+
+TEST(TreeTest, UsedFeaturesSortedUnique) {
+  FitProblem p(cce::testing::RandomContext(300, 5, 3, 8));
+  p.TargetFromLabel();
+  RegressionTree tree;
+  RegressionTree::Options options;
+  options.max_depth = 5;
+  tree.Fit(p.data, p.gradients, p.hessians, p.rows, options);
+  std::vector<FeatureId> used = tree.UsedFeatures();
+  EXPECT_TRUE(std::is_sorted(used.begin(), used.end()));
+  EXPECT_EQ(std::adjacent_find(used.begin(), used.end()), used.end());
+  for (FeatureId f : used) EXPECT_LT(f, 5u);
+}
+
+TEST(TreeTest, MinChildWeightPreventsTinySplits) {
+  FitProblem p(cce::testing::RandomContext(20, 3, 2, 9));
+  p.TargetFromLabel();
+  RegressionTree tree;
+  RegressionTree::Options options;
+  options.min_child_weight = 100.0;  // larger than any child can reach
+  tree.Fit(p.data, p.gradients, p.hessians, p.rows, options);
+  EXPECT_TRUE(tree.nodes()[0].is_leaf);
+}
+
+}  // namespace
+}  // namespace cce::ml

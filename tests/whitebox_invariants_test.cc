@@ -1,0 +1,135 @@
+// White-box invariants of the online algorithms that the competitive
+// analyses lean on (Sections 5.2-5.3): OSRK's weight discipline and
+// SSRK's non-increasing potential, observed through behaviour.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/osrk.h"
+#include "core/ssrk.h"
+#include "tests/test_util.h"
+
+namespace cce {
+namespace {
+
+TEST(OsrkWhiteboxTest, FirstViolatorIsAlwaysCoveredImmediately) {
+  // For alpha = 1 the algorithm must leave no violator behind at any
+  // step: after each Observe, achieved_alpha is exactly 1 (noise-free
+  // contexts have no conflicting duplicates).
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Dataset context =
+        testing::RandomContext(150, 6, 3, 7000 + seed, /*noise=*/0.0);
+    Osrk::Options options;
+    options.seed = seed;
+    auto osrk = Osrk::Create(context.schema_ptr(), context.instance(0),
+                             context.label(0), options);
+    ASSERT_TRUE(osrk.ok());
+    for (size_t row = 1; row < context.size(); ++row) {
+      (*osrk)->Observe(context.instance(row), context.label(row));
+      ASSERT_DOUBLE_EQ((*osrk)->achieved_alpha(), 1.0)
+          << "violator left uncovered at row " << row;
+    }
+  }
+}
+
+TEST(OsrkWhiteboxTest, KeySizeStaysWellBelowTheDeterministicLowerBound) {
+  // Theorem 5's point in practice: even on adversarially ordered streams
+  // the randomized key stays O(log t log n) rather than n. We use a
+  // moderately hard stream (labels from two features, many arrivals) and
+  // require the key to stay below half the feature count on average.
+  double total = 0.0;
+  const int runs = 10;
+  for (int run = 0; run < runs; ++run) {
+    Dataset context = testing::RandomContext(
+        500, 16, 3, 8000 + static_cast<uint64_t>(run), /*noise=*/0.0);
+    Osrk::Options options;
+    options.seed = static_cast<uint64_t>(run);
+    auto osrk = Osrk::Create(context.schema_ptr(), context.instance(0),
+                             context.label(0), options);
+    ASSERT_TRUE(osrk.ok());
+    for (size_t row = 1; row < context.size(); ++row) {
+      (*osrk)->Observe(context.instance(row), context.label(row));
+    }
+    total += static_cast<double>((*osrk)->key().size());
+  }
+  EXPECT_LT(total / runs, 8.0);
+}
+
+TEST(SsrkWhiteboxTest, KeyNeverExceedsUniverseSeparatingFeatures) {
+  // SSRK only ever adds features on which some differently-predicted
+  // universe instance disagrees with x0 — features that agree with x0
+  // everywhere in the universe can never enter the key.
+  Dataset universe = testing::RandomContext(200, 8, 3, 9100,
+                                            /*noise=*/0.0);
+  const Instance& x0 = universe.instance(0);
+  Label y0 = universe.label(0);
+  FeatureSet separating;
+  for (size_t row = 0; row < universe.size(); ++row) {
+    if (universe.label(row) == y0) continue;
+    for (FeatureId f = 0; f < universe.num_features(); ++f) {
+      if (universe.value(row, f) != x0[f]) FeatureSetInsert(&separating, f);
+    }
+  }
+  auto ssrk = Ssrk::Create(universe, x0, y0, {});
+  ASSERT_TRUE(ssrk.ok());
+  for (size_t row = 1; row < universe.size(); ++row) {
+    (*ssrk)->Observe(universe.instance(row), universe.label(row));
+    ASSERT_TRUE(FeatureSetIsSubset((*ssrk)->key(), separating));
+  }
+}
+
+TEST(SsrkWhiteboxTest, ImmediateCoverageForAlphaOne) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Dataset universe =
+        testing::RandomContext(150, 6, 4, 9200 + seed, /*noise=*/0.0);
+    auto ssrk = Ssrk::Create(universe, universe.instance(0),
+                             universe.label(0), {});
+    ASSERT_TRUE(ssrk.ok());
+    for (size_t row = 1; row < universe.size(); ++row) {
+      (*ssrk)->Observe(universe.instance(row), universe.label(row));
+      ASSERT_DOUBLE_EQ((*ssrk)->achieved_alpha(), 1.0)
+          << "seed " << seed << " row " << row;
+    }
+  }
+}
+
+TEST(SsrkWhiteboxTest, PotentialNeverIncreases) {
+  // The heart of Theorem 6's proof: Φ is non-increasing over arrivals.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Dataset universe =
+        testing::RandomContext(200, 7, 3, 9400 + seed, /*noise=*/0.0);
+    auto ssrk = Ssrk::Create(universe, universe.instance(0),
+                             universe.label(0), {});
+    ASSERT_TRUE(ssrk.ok());
+    double previous = (*ssrk)->log_potential();
+    for (size_t row = 1; row < universe.size(); ++row) {
+      (*ssrk)->Observe(universe.instance(row), universe.label(row));
+      double current = (*ssrk)->log_potential();
+      ASSERT_LE(current, previous + 1e-9)
+          << "potential increased at row " << row << " (seed " << seed
+          << ")";
+      previous = current;
+    }
+  }
+}
+
+TEST(SsrkWhiteboxTest, RepeatedArrivalsAreIdempotent) {
+  // Re-observing an already-covered instance never grows the key: its
+  // separation is already established.
+  Dataset universe = testing::RandomContext(120, 5, 3, 9300,
+                                            /*noise=*/0.0);
+  auto ssrk = Ssrk::Create(universe, universe.instance(0),
+                           universe.label(0), {});
+  ASSERT_TRUE(ssrk.ok());
+  for (size_t row = 1; row < universe.size(); ++row) {
+    (*ssrk)->Observe(universe.instance(row), universe.label(row));
+  }
+  FeatureSet before = (*ssrk)->key();
+  for (size_t row = 1; row < universe.size(); ++row) {
+    (*ssrk)->Observe(universe.instance(row), universe.label(row));
+  }
+  EXPECT_EQ((*ssrk)->key(), before);
+}
+
+}  // namespace
+}  // namespace cce

@@ -1,0 +1,193 @@
+#include "explain/xreason.h"
+
+#include <functional>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "explain/tree_cnf.h"
+#include "ml/gbdt.h"
+#include "sat/solver.h"
+#include "tests/test_util.h"
+
+namespace cce::explain {
+namespace {
+
+// Enumerates the entire (small) feature space to decide entailment
+// exhaustively — ground truth for the oracle.
+bool BruteForceEntails(const ml::Gbdt& model, const Schema& schema,
+                       const Instance& x, const FeatureSet& e) {
+  Label y0 = model.Predict(x);
+  Instance probe(schema.num_features());
+  std::function<bool(FeatureId)> recurse = [&](FeatureId f) -> bool {
+    if (f == schema.num_features()) return model.Predict(probe) == y0;
+    if (FeatureSetContains(e, f)) {
+      probe[f] = x[f];
+      return recurse(f + 1);
+    }
+    for (ValueId v = 0; v < schema.DomainSize(f); ++v) {
+      probe[f] = v;
+      if (!recurse(f + 1)) return false;
+    }
+    return true;
+  };
+  return recurse(0);
+}
+
+class XreasonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = std::make_unique<Dataset>(
+        cce::testing::RandomContext(600, 4, 3, 17, /*noise=*/0.0));
+    ml::Gbdt::Options options;
+    options.num_trees = 12;
+    options.max_depth = 3;
+    auto model = ml::Gbdt::Train(*data_, options);
+    CCE_CHECK_OK(model.status());
+    model_ = std::move(model).value();
+  }
+
+  std::unique_ptr<Dataset> data_;
+  std::unique_ptr<ml::Gbdt> model_;
+};
+
+TEST_F(XreasonTest, OracleMatchesBruteForce) {
+  Xreason xreason(model_.get(), data_->schema_ptr(), {});
+  // Check every subset of features on a handful of instances (4 features
+  // -> 16 subsets).
+  for (size_t row = 0; row < 5; ++row) {
+    const Instance& x = data_->instance(row);
+    for (uint32_t mask = 0; mask < 16; ++mask) {
+      FeatureSet e;
+      for (FeatureId f = 0; f < 4; ++f) {
+        if (mask & (1u << f)) e.push_back(f);
+      }
+      EXPECT_EQ(xreason.Entails(x, e),
+                BruteForceEntails(*model_, data_->schema(), x, e))
+          << "row " << row << " mask " << mask;
+    }
+  }
+}
+
+TEST_F(XreasonTest, FullFeatureSetAlwaysEntails) {
+  Xreason xreason(model_.get(), data_->schema_ptr(), {});
+  FeatureSet all = {0, 1, 2, 3};
+  for (size_t row = 0; row < 10; ++row) {
+    EXPECT_TRUE(xreason.Entails(data_->instance(row), all));
+  }
+}
+
+TEST_F(XreasonTest, ExplanationIsFormal) {
+  Xreason xreason(model_.get(), data_->schema_ptr(), {});
+  for (size_t row = 0; row < 10; ++row) {
+    const Instance& x = data_->instance(row);
+    auto explanation = xreason.ExplainFeatures(x, 0);
+    ASSERT_TRUE(explanation.ok());
+    EXPECT_TRUE(BruteForceEntails(*model_, data_->schema(), x,
+                                  *explanation))
+        << "row " << row;
+  }
+}
+
+TEST_F(XreasonTest, ExplanationIsSubsetMinimal) {
+  Xreason xreason(model_.get(), data_->schema_ptr(), {});
+  for (size_t row = 0; row < 6; ++row) {
+    const Instance& x = data_->instance(row);
+    auto explanation = xreason.ExplainFeatures(x, 0);
+    ASSERT_TRUE(explanation.ok());
+    for (FeatureId drop : *explanation) {
+      FeatureSet smaller;
+      for (FeatureId f : *explanation) {
+        if (f != drop) smaller.push_back(f);
+      }
+      EXPECT_FALSE(xreason.Entails(x, smaller))
+          << "feature " << drop << " is removable at row " << row;
+    }
+  }
+}
+
+TEST_F(XreasonTest, WrongArityRejected) {
+  Xreason xreason(model_.get(), data_->schema_ptr(), {});
+  EXPECT_FALSE(xreason.ExplainFeatures(Instance{0}, 0).ok());
+}
+
+TEST_F(XreasonTest, SatEncoderAgreesWithOracleOnSingleTree) {
+  // Train a single-tree model so the CNF path applies.
+  ml::Gbdt::Options options;
+  options.num_trees = 1;
+  options.max_depth = 4;
+  options.learning_rate = 1.0;
+  auto single = ml::Gbdt::Train(*data_, options);
+  ASSERT_TRUE(single.ok());
+  Xreason xreason(single->get(), data_->schema_ptr(), {});
+  const ml::RegressionTree& tree = (*single)->trees()[0];
+  for (size_t row = 0; row < 4; ++row) {
+    const Instance& x = data_->instance(row);
+    Label y0 = (*single)->Predict(x);
+    TreeCnfEncoder encoder(tree, data_->schema(), (*single)->base_score(),
+                           y0);
+    for (uint32_t mask = 0; mask < 16; ++mask) {
+      FeatureSet e;
+      for (FeatureId f = 0; f < 4; ++f) {
+        if (mask & (1u << f)) e.push_back(f);
+      }
+      sat::Solver solver(encoder.formula());
+      sat::Solver::Outcome outcome =
+          solver.Solve(encoder.Assumptions(x, e));
+      bool entails_by_sat = (outcome == sat::Solver::Outcome::kUnsat);
+      EXPECT_EQ(entails_by_sat, xreason.Entails(x, e))
+          << "row " << row << " mask " << mask;
+    }
+  }
+}
+
+TEST_F(XreasonTest, QuickXplainAgreesWithDeletionOnFormality) {
+  Xreason::Options qx_options;
+  qx_options.minimization = Xreason::Minimization::kQuickXplain;
+  Xreason quickxplain(model_.get(), data_->schema_ptr(), qx_options);
+  Xreason deletion(model_.get(), data_->schema_ptr(), {});
+  for (size_t row = 0; row < 8; ++row) {
+    const Instance& x = data_->instance(row);
+    auto qx = quickxplain.ExplainFeatures(x, 0);
+    ASSERT_TRUE(qx.ok());
+    // Both strategies must return formal, subset-minimal explanations
+    // (the explanations themselves may differ).
+    EXPECT_TRUE(BruteForceEntails(*model_, data_->schema(), x, *qx));
+    for (FeatureId drop : *qx) {
+      FeatureSet smaller;
+      for (FeatureId f : *qx) {
+        if (f != drop) smaller.push_back(f);
+      }
+      EXPECT_FALSE(quickxplain.Entails(x, smaller));
+    }
+    auto del = deletion.ExplainFeatures(x, 0);
+    ASSERT_TRUE(del.ok());
+    EXPECT_TRUE(BruteForceEntails(*model_, data_->schema(), x, *del));
+  }
+}
+
+TEST_F(XreasonTest, OracleCallCounterAdvances) {
+  Xreason xreason(model_.get(), data_->schema_ptr(), {});
+  EXPECT_EQ(xreason.oracle_calls(), 0u);
+  ASSERT_TRUE(xreason.ExplainFeatures(data_->instance(0), 0).ok());
+  EXPECT_GT(xreason.oracle_calls(), 0u);
+  xreason.ResetOracleCalls();
+  EXPECT_EQ(xreason.oracle_calls(), 0u);
+}
+
+TEST_F(XreasonTest, NodeBudgetAbortsConservatively) {
+  Xreason::Options options;
+  options.max_nodes = 1;  // force an abort on any nontrivial query
+  Xreason xreason(model_.get(), data_->schema_ptr(), options);
+  const Instance& x = data_->instance(0);
+  // With an exhausted budget the oracle reports "may flip": explanations
+  // keep all used features (sound, maximal).
+  auto explanation = xreason.ExplainFeatures(x, 0);
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_EQ(*explanation, model_->UsedFeatures());
+}
+
+}  // namespace
+}  // namespace cce::explain
