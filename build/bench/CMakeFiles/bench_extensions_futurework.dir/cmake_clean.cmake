@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extensions_futurework.dir/bench_extensions_futurework.cc.o"
+  "CMakeFiles/bench_extensions_futurework.dir/bench_extensions_futurework.cc.o.d"
+  "bench_extensions_futurework"
+  "bench_extensions_futurework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extensions_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

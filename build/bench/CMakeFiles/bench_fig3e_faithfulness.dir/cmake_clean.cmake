@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3e_faithfulness.dir/bench_fig3e_faithfulness.cc.o"
+  "CMakeFiles/bench_fig3e_faithfulness.dir/bench_fig3e_faithfulness.cc.o.d"
+  "bench_fig3e_faithfulness"
+  "bench_fig3e_faithfulness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3e_faithfulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3hi_buckets.dir/bench_fig3hi_buckets.cc.o"
+  "CMakeFiles/bench_fig3hi_buckets.dir/bench_fig3hi_buckets.cc.o.d"
+  "bench_fig3hi_buckets"
+  "bench_fig3hi_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3hi_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

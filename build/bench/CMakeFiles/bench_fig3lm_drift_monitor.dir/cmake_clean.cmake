@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3lm_drift_monitor.dir/bench_fig3lm_drift_monitor.cc.o"
+  "CMakeFiles/bench_fig3lm_drift_monitor.dir/bench_fig3lm_drift_monitor.cc.o.d"
+  "bench_fig3lm_drift_monitor"
+  "bench_fig3lm_drift_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3lm_drift_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

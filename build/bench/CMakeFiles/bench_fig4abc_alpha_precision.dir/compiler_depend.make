@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4abc_alpha_precision.
+# This may be replaced when dependencies are built.

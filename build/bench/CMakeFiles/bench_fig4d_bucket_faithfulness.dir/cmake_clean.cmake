@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4d_bucket_faithfulness.dir/bench_fig4d_bucket_faithfulness.cc.o"
+  "CMakeFiles/bench_fig4d_bucket_faithfulness.dir/bench_fig4d_bucket_faithfulness.cc.o.d"
+  "bench_fig4d_bucket_faithfulness"
+  "bench_fig4d_bucket_faithfulness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4d_bucket_faithfulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4e_ssrk_context.dir/bench_fig4e_ssrk_context.cc.o"
+  "CMakeFiles/bench_fig4e_ssrk_context.dir/bench_fig4e_ssrk_context.cc.o.d"
+  "bench_fig4e_ssrk_context"
+  "bench_fig4e_ssrk_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4e_ssrk_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

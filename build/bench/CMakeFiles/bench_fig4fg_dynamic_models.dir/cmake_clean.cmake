@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4fg_dynamic_models.dir/bench_fig4fg_dynamic_models.cc.o"
+  "CMakeFiles/bench_fig4fg_dynamic_models.dir/bench_fig4fg_dynamic_models.cc.o.d"
+  "bench_fig4fg_dynamic_models"
+  "bench_fig4fg_dynamic_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4fg_dynamic_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

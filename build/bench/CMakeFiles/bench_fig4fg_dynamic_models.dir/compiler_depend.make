@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4fg_dynamic_models.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec72_ids_study.dir/bench_sec72_ids_study.cc.o"
+  "CMakeFiles/bench_sec72_ids_study.dir/bench_sec72_ids_study.cc.o.d"
+  "bench_sec72_ids_study"
+  "bench_sec72_ids_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec72_ids_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec74_online_quality.dir/bench_sec74_online_quality.cc.o"
+  "CMakeFiles/bench_sec74_online_quality.dir/bench_sec74_online_quality.cc.o.d"
+  "bench_sec74_online_quality"
+  "bench_sec74_online_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec74_online_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

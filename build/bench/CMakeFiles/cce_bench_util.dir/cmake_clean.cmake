@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cce_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/cce_bench_util.dir/bench_util.cc.o.d"
+  "libcce_bench_util.a"
+  "libcce_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cce_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

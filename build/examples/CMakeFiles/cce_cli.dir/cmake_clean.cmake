@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cce_cli.dir/cce_cli.cpp.o"
+  "CMakeFiles/cce_cli.dir/cce_cli.cpp.o.d"
+  "cce_cli"
+  "cce_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cce_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_workflow.dir/hybrid_workflow.cpp.o"
+  "CMakeFiles/hybrid_workflow.dir/hybrid_workflow.cpp.o.d"
+  "hybrid_workflow"
+  "hybrid_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loan_case_study.dir/loan_case_study.cpp.o"
+  "CMakeFiles/loan_case_study.dir/loan_case_study.cpp.o.d"
+  "loan_case_study"
+  "loan_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loan_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_proxy.dir/serving_proxy.cpp.o"
+  "CMakeFiles/serving_proxy.dir/serving_proxy.cpp.o.d"
+  "serving_proxy"
+  "serving_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_entity_matching "/root/repo/build/examples/entity_matching")
+set_tests_properties(example_entity_matching PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hybrid_workflow "/root/repo/build/examples/hybrid_workflow")
+set_tests_properties(example_hybrid_workflow PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_loan_case_study "/root/repo/build/examples/loan_case_study")
+set_tests_properties(example_loan_case_study PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_online_monitoring "/root/repo/build/examples/online_monitoring")
+set_tests_properties(example_online_monitoring PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_serving_proxy "/root/repo/build/examples/serving_proxy")
+set_tests_properties(example_serving_proxy PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cce_cli "/root/repo/build/examples/cce_cli" "--data" "/root/repo/tests/data/fig2_context.csv" "--label" "prediction" "--row" "0" "--alpha" "1.0" "--importance" "--patterns" "5" "--all-keys" "--counterfactual")
+set_tests_properties(example_cce_cli PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cce_common.dir/csv.cc.o"
+  "CMakeFiles/cce_common.dir/csv.cc.o.d"
+  "CMakeFiles/cce_common.dir/random.cc.o"
+  "CMakeFiles/cce_common.dir/random.cc.o.d"
+  "CMakeFiles/cce_common.dir/status.cc.o"
+  "CMakeFiles/cce_common.dir/status.cc.o.d"
+  "CMakeFiles/cce_common.dir/string_util.cc.o"
+  "CMakeFiles/cce_common.dir/string_util.cc.o.d"
+  "CMakeFiles/cce_common.dir/thread_pool.cc.o"
+  "CMakeFiles/cce_common.dir/thread_pool.cc.o.d"
+  "libcce_common.a"
+  "libcce_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cce_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cce.cc" "src/core/CMakeFiles/cce_core.dir/cce.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/cce.cc.o.d"
+  "/root/repo/src/core/conformity.cc" "src/core/CMakeFiles/cce_core.dir/conformity.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/conformity.cc.o.d"
+  "/root/repo/src/core/counterfactual.cc" "src/core/CMakeFiles/cce_core.dir/counterfactual.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/counterfactual.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/cce_core.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/dataset.cc.o.d"
+  "/root/repo/src/core/diagnostics.cc" "src/core/CMakeFiles/cce_core.dir/diagnostics.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/diagnostics.cc.o.d"
+  "/root/repo/src/core/discretizer.cc" "src/core/CMakeFiles/cce_core.dir/discretizer.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/discretizer.cc.o.d"
+  "/root/repo/src/core/enumerate.cc" "src/core/CMakeFiles/cce_core.dir/enumerate.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/enumerate.cc.o.d"
+  "/root/repo/src/core/importance.cc" "src/core/CMakeFiles/cce_core.dir/importance.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/importance.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/cce_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/optimal.cc" "src/core/CMakeFiles/cce_core.dir/optimal.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/optimal.cc.o.d"
+  "/root/repo/src/core/osrk.cc" "src/core/CMakeFiles/cce_core.dir/osrk.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/osrk.cc.o.d"
+  "/root/repo/src/core/patterns.cc" "src/core/CMakeFiles/cce_core.dir/patterns.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/patterns.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/core/CMakeFiles/cce_core.dir/schema.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/schema.cc.o.d"
+  "/root/repo/src/core/srk.cc" "src/core/CMakeFiles/cce_core.dir/srk.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/srk.cc.o.d"
+  "/root/repo/src/core/ssrk.cc" "src/core/CMakeFiles/cce_core.dir/ssrk.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/ssrk.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/cce_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/cce_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

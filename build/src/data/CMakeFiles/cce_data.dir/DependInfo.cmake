@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/adult.cc" "src/data/CMakeFiles/cce_data.dir/adult.cc.o" "gcc" "src/data/CMakeFiles/cce_data.dir/adult.cc.o.d"
+  "/root/repo/src/data/compas.cc" "src/data/CMakeFiles/cce_data.dir/compas.cc.o" "gcc" "src/data/CMakeFiles/cce_data.dir/compas.cc.o.d"
+  "/root/repo/src/data/drift.cc" "src/data/CMakeFiles/cce_data.dir/drift.cc.o" "gcc" "src/data/CMakeFiles/cce_data.dir/drift.cc.o.d"
+  "/root/repo/src/data/gen_util.cc" "src/data/CMakeFiles/cce_data.dir/gen_util.cc.o" "gcc" "src/data/CMakeFiles/cce_data.dir/gen_util.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/data/CMakeFiles/cce_data.dir/generators.cc.o" "gcc" "src/data/CMakeFiles/cce_data.dir/generators.cc.o.d"
+  "/root/repo/src/data/german.cc" "src/data/CMakeFiles/cce_data.dir/german.cc.o" "gcc" "src/data/CMakeFiles/cce_data.dir/german.cc.o.d"
+  "/root/repo/src/data/loader.cc" "src/data/CMakeFiles/cce_data.dir/loader.cc.o" "gcc" "src/data/CMakeFiles/cce_data.dir/loader.cc.o.d"
+  "/root/repo/src/data/loan.cc" "src/data/CMakeFiles/cce_data.dir/loan.cc.o" "gcc" "src/data/CMakeFiles/cce_data.dir/loan.cc.o.d"
+  "/root/repo/src/data/recid.cc" "src/data/CMakeFiles/cce_data.dir/recid.cc.o" "gcc" "src/data/CMakeFiles/cce_data.dir/recid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cce_data.dir/adult.cc.o"
+  "CMakeFiles/cce_data.dir/adult.cc.o.d"
+  "CMakeFiles/cce_data.dir/compas.cc.o"
+  "CMakeFiles/cce_data.dir/compas.cc.o.d"
+  "CMakeFiles/cce_data.dir/drift.cc.o"
+  "CMakeFiles/cce_data.dir/drift.cc.o.d"
+  "CMakeFiles/cce_data.dir/gen_util.cc.o"
+  "CMakeFiles/cce_data.dir/gen_util.cc.o.d"
+  "CMakeFiles/cce_data.dir/generators.cc.o"
+  "CMakeFiles/cce_data.dir/generators.cc.o.d"
+  "CMakeFiles/cce_data.dir/german.cc.o"
+  "CMakeFiles/cce_data.dir/german.cc.o.d"
+  "CMakeFiles/cce_data.dir/loader.cc.o"
+  "CMakeFiles/cce_data.dir/loader.cc.o.d"
+  "CMakeFiles/cce_data.dir/loan.cc.o"
+  "CMakeFiles/cce_data.dir/loan.cc.o.d"
+  "CMakeFiles/cce_data.dir/recid.cc.o"
+  "CMakeFiles/cce_data.dir/recid.cc.o.d"
+  "libcce_data.a"
+  "libcce_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cce_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

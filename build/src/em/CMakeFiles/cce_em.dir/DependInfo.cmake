@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/blocking.cc" "src/em/CMakeFiles/cce_em.dir/blocking.cc.o" "gcc" "src/em/CMakeFiles/cce_em.dir/blocking.cc.o.d"
+  "/root/repo/src/em/datasets.cc" "src/em/CMakeFiles/cce_em.dir/datasets.cc.o" "gcc" "src/em/CMakeFiles/cce_em.dir/datasets.cc.o.d"
+  "/root/repo/src/em/features.cc" "src/em/CMakeFiles/cce_em.dir/features.cc.o" "gcc" "src/em/CMakeFiles/cce_em.dir/features.cc.o.d"
+  "/root/repo/src/em/matcher.cc" "src/em/CMakeFiles/cce_em.dir/matcher.cc.o" "gcc" "src/em/CMakeFiles/cce_em.dir/matcher.cc.o.d"
+  "/root/repo/src/em/records.cc" "src/em/CMakeFiles/cce_em.dir/records.cc.o" "gcc" "src/em/CMakeFiles/cce_em.dir/records.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cce_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cce_em.dir/blocking.cc.o"
+  "CMakeFiles/cce_em.dir/blocking.cc.o.d"
+  "CMakeFiles/cce_em.dir/datasets.cc.o"
+  "CMakeFiles/cce_em.dir/datasets.cc.o.d"
+  "CMakeFiles/cce_em.dir/features.cc.o"
+  "CMakeFiles/cce_em.dir/features.cc.o.d"
+  "CMakeFiles/cce_em.dir/matcher.cc.o"
+  "CMakeFiles/cce_em.dir/matcher.cc.o.d"
+  "CMakeFiles/cce_em.dir/records.cc.o"
+  "CMakeFiles/cce_em.dir/records.cc.o.d"
+  "libcce_em.a"
+  "libcce_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cce_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

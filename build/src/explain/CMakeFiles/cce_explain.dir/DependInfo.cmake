@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explain/anchor.cc" "src/explain/CMakeFiles/cce_explain.dir/anchor.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/anchor.cc.o.d"
+  "/root/repo/src/explain/certa.cc" "src/explain/CMakeFiles/cce_explain.dir/certa.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/certa.cc.o.d"
+  "/root/repo/src/explain/explainer.cc" "src/explain/CMakeFiles/cce_explain.dir/explainer.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/explainer.cc.o.d"
+  "/root/repo/src/explain/gam.cc" "src/explain/CMakeFiles/cce_explain.dir/gam.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/gam.cc.o.d"
+  "/root/repo/src/explain/ids.cc" "src/explain/CMakeFiles/cce_explain.dir/ids.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/ids.cc.o.d"
+  "/root/repo/src/explain/kernel_shap.cc" "src/explain/CMakeFiles/cce_explain.dir/kernel_shap.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/kernel_shap.cc.o.d"
+  "/root/repo/src/explain/kl_bounds.cc" "src/explain/CMakeFiles/cce_explain.dir/kl_bounds.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/kl_bounds.cc.o.d"
+  "/root/repo/src/explain/lime.cc" "src/explain/CMakeFiles/cce_explain.dir/lime.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/lime.cc.o.d"
+  "/root/repo/src/explain/linalg.cc" "src/explain/CMakeFiles/cce_explain.dir/linalg.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/linalg.cc.o.d"
+  "/root/repo/src/explain/perturbation.cc" "src/explain/CMakeFiles/cce_explain.dir/perturbation.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/perturbation.cc.o.d"
+  "/root/repo/src/explain/tree_cnf.cc" "src/explain/CMakeFiles/cce_explain.dir/tree_cnf.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/tree_cnf.cc.o.d"
+  "/root/repo/src/explain/xreason.cc" "src/explain/CMakeFiles/cce_explain.dir/xreason.cc.o" "gcc" "src/explain/CMakeFiles/cce_explain.dir/xreason.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cce_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/cce_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cce_explain.dir/anchor.cc.o"
+  "CMakeFiles/cce_explain.dir/anchor.cc.o.d"
+  "CMakeFiles/cce_explain.dir/certa.cc.o"
+  "CMakeFiles/cce_explain.dir/certa.cc.o.d"
+  "CMakeFiles/cce_explain.dir/explainer.cc.o"
+  "CMakeFiles/cce_explain.dir/explainer.cc.o.d"
+  "CMakeFiles/cce_explain.dir/gam.cc.o"
+  "CMakeFiles/cce_explain.dir/gam.cc.o.d"
+  "CMakeFiles/cce_explain.dir/ids.cc.o"
+  "CMakeFiles/cce_explain.dir/ids.cc.o.d"
+  "CMakeFiles/cce_explain.dir/kernel_shap.cc.o"
+  "CMakeFiles/cce_explain.dir/kernel_shap.cc.o.d"
+  "CMakeFiles/cce_explain.dir/kl_bounds.cc.o"
+  "CMakeFiles/cce_explain.dir/kl_bounds.cc.o.d"
+  "CMakeFiles/cce_explain.dir/lime.cc.o"
+  "CMakeFiles/cce_explain.dir/lime.cc.o.d"
+  "CMakeFiles/cce_explain.dir/linalg.cc.o"
+  "CMakeFiles/cce_explain.dir/linalg.cc.o.d"
+  "CMakeFiles/cce_explain.dir/perturbation.cc.o"
+  "CMakeFiles/cce_explain.dir/perturbation.cc.o.d"
+  "CMakeFiles/cce_explain.dir/tree_cnf.cc.o"
+  "CMakeFiles/cce_explain.dir/tree_cnf.cc.o.d"
+  "CMakeFiles/cce_explain.dir/xreason.cc.o"
+  "CMakeFiles/cce_explain.dir/xreason.cc.o.d"
+  "libcce_explain.a"
+  "libcce_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cce_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cce_io.dir/serialize.cc.o"
+  "CMakeFiles/cce_io.dir/serialize.cc.o.d"
+  "libcce_io.a"
+  "libcce_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cce_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cce_ml.dir/eval.cc.o"
+  "CMakeFiles/cce_ml.dir/eval.cc.o.d"
+  "CMakeFiles/cce_ml.dir/gbdt.cc.o"
+  "CMakeFiles/cce_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/cce_ml.dir/multiclass.cc.o"
+  "CMakeFiles/cce_ml.dir/multiclass.cc.o.d"
+  "CMakeFiles/cce_ml.dir/tree.cc.o"
+  "CMakeFiles/cce_ml.dir/tree.cc.o.d"
+  "libcce_ml.a"
+  "libcce_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cce_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

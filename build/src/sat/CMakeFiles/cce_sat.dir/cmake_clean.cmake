@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cce_sat.dir/cnf.cc.o"
+  "CMakeFiles/cce_sat.dir/cnf.cc.o.d"
+  "CMakeFiles/cce_sat.dir/dimacs.cc.o"
+  "CMakeFiles/cce_sat.dir/dimacs.cc.o.d"
+  "CMakeFiles/cce_sat.dir/solver.cc.o"
+  "CMakeFiles/cce_sat.dir/solver.cc.o.d"
+  "libcce_sat.a"
+  "libcce_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cce_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cce_serving.dir/proxy.cc.o"
+  "CMakeFiles/cce_serving.dir/proxy.cc.o.d"
+  "libcce_serving.a"
+  "libcce_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cce_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcce_serving.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cce_test.dir/cce_test.cc.o"
+  "CMakeFiles/cce_test.dir/cce_test.cc.o.d"
+  "cce_test"
+  "cce_test.pdb"
+  "cce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

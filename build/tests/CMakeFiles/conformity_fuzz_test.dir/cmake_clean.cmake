@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformity_fuzz_test.dir/conformity_fuzz_test.cc.o"
+  "CMakeFiles/conformity_fuzz_test.dir/conformity_fuzz_test.cc.o.d"
+  "conformity_fuzz_test"
+  "conformity_fuzz_test.pdb"
+  "conformity_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformity_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformity_test.dir/conformity_test.cc.o"
+  "CMakeFiles/conformity_test.dir/conformity_test.cc.o.d"
+  "conformity_test"
+  "conformity_test.pdb"
+  "conformity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbdt_training_test.dir/gbdt_training_test.cc.o"
+  "CMakeFiles/gbdt_training_test.dir/gbdt_training_test.cc.o.d"
+  "gbdt_training_test"
+  "gbdt_training_test.pdb"
+  "gbdt_training_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbdt_training_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

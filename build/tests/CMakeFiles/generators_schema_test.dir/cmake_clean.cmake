@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generators_schema_test.dir/generators_schema_test.cc.o"
+  "CMakeFiles/generators_schema_test.dir/generators_schema_test.cc.o.d"
+  "generators_schema_test"
+  "generators_schema_test.pdb"
+  "generators_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generators_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_bounds_test.dir/kl_bounds_test.cc.o"
+  "CMakeFiles/kl_bounds_test.dir/kl_bounds_test.cc.o.d"
+  "kl_bounds_test"
+  "kl_bounds_test.pdb"
+  "kl_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

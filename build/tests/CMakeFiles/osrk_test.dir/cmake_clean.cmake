@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osrk_test.dir/osrk_test.cc.o"
+  "CMakeFiles/osrk_test.dir/osrk_test.cc.o.d"
+  "osrk_test"
+  "osrk_test.pdb"
+  "osrk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osrk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/patterns_test.cc" "tests/CMakeFiles/patterns_test.dir/patterns_test.cc.o" "gcc" "tests/CMakeFiles/patterns_test.dir/patterns_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cce_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cce_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/cce_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/cce_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/cce_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cce_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/cce_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srk_test.dir/srk_test.cc.o"
+  "CMakeFiles/srk_test.dir/srk_test.cc.o.d"
+  "srk_test"
+  "srk_test.pdb"
+  "srk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

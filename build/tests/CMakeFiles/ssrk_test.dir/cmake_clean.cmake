@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssrk_test.dir/ssrk_test.cc.o"
+  "CMakeFiles/ssrk_test.dir/ssrk_test.cc.o.d"
+  "ssrk_test"
+  "ssrk_test.pdb"
+  "ssrk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssrk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whitebox_invariants_test.dir/whitebox_invariants_test.cc.o"
+  "CMakeFiles/whitebox_invariants_test.dir/whitebox_invariants_test.cc.o.d"
+  "whitebox_invariants_test"
+  "whitebox_invariants_test.pdb"
+  "whitebox_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whitebox_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xreason_test.dir/xreason_test.cc.o"
+  "CMakeFiles/xreason_test.dir/xreason_test.cc.o.d"
+  "xreason_test"
+  "xreason_test.pdb"
+  "xreason_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xreason_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
