@@ -1,0 +1,127 @@
+// Google-benchmark coverage for the serving fault-tolerance layer: proxy
+// Predict overhead against a healthy backend, retry cost under transient
+// fault rates, fail-fast latency with an open breaker, and deadline-bounded
+// (degraded) Explain against the unbounded search.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "common/deadline.h"
+#include "common/logging.h"
+#include "serving/fault_model.h"
+#include "serving/proxy.h"
+#include "serving/resilience.h"
+#include "tests/test_util.h"
+
+namespace cce::serving {
+namespace {
+
+/// Cheap deterministic backend so the bench isolates proxy overhead from
+/// model inference cost.
+class ParityModel : public Model {
+ public:
+  Label Predict(const Instance& x) const override {
+    return static_cast<Label>(x.empty() ? 0 : x[0] % 2);
+  }
+};
+
+ExplainableProxy::Options FastOptions() {
+  ExplainableProxy::Options options;
+  options.monitor_drift = false;
+  options.sleep = [](std::chrono::milliseconds) {};  // no real backoff waits
+  return options;
+}
+
+void BM_ProxyPredict_Healthy(benchmark::State& state) {
+  Dataset data = testing::RandomContext(4096, 12, 6, 42);
+  ParityModel model;
+  auto proxy =
+      ExplainableProxy::Create(data.schema_ptr(), &model, FastOptions());
+  CCE_CHECK_OK(proxy.status());
+  size_t row = 0;
+  for (auto _ : state) {
+    auto served = (*proxy)->Predict(data.instance(row));
+    benchmark::DoNotOptimize(served);
+    row = row + 1 < data.size() ? row + 1 : 0;
+  }
+}
+BENCHMARK(BM_ProxyPredict_Healthy);
+
+void BM_ProxyPredict_TransientFaults(benchmark::State& state) {
+  Dataset data = testing::RandomContext(4096, 12, 6, 42);
+  ParityModel model;
+  FaultInjectingModel::Options fault_options;
+  fault_options.failure_rate =
+      static_cast<double>(state.range(0)) / 100.0;
+  FaultInjectingModel flaky(&model, fault_options);
+  ExplainableProxy::Options options = FastOptions();
+  options.retry.max_attempts = 8;
+  auto proxy = ExplainableProxy::CreateWithEndpoint(data.schema_ptr(),
+                                                    &flaky, options);
+  CCE_CHECK_OK(proxy.status());
+  size_t row = 0;
+  for (auto _ : state) {
+    auto served = (*proxy)->Predict(data.instance(row));
+    benchmark::DoNotOptimize(served);
+    row = row + 1 < data.size() ? row + 1 : 0;
+  }
+  state.counters["retries"] = static_cast<double>((*proxy)->Health().retries);
+}
+BENCHMARK(BM_ProxyPredict_TransientFaults)->Arg(0)->Arg(10)->Arg(30);
+
+void BM_ProxyPredict_BreakerOpenFailFast(benchmark::State& state) {
+  Dataset data = testing::RandomContext(1024, 12, 6, 42);
+  ParityModel model;
+  FaultInjectingModel::Options fault_options;
+  fault_options.fail_forever = true;
+  FaultInjectingModel dead(&model, fault_options);
+  ExplainableProxy::Options options = FastOptions();
+  options.retry.max_attempts = 1;
+  options.breaker.failure_threshold = 1;
+  options.breaker.open_cooldown = std::chrono::hours(24);
+  auto proxy = ExplainableProxy::CreateWithEndpoint(data.schema_ptr(),
+                                                    &dead, options);
+  CCE_CHECK_OK(proxy.status());
+  (void)(*proxy)->Predict(data.instance(0));  // trip the breaker
+  for (auto _ : state) {
+    auto served = (*proxy)->Predict(data.instance(0));
+    benchmark::DoNotOptimize(served);
+  }
+}
+BENCHMARK(BM_ProxyPredict_BreakerOpenFailFast);
+
+void BM_ProxyExplain_DeadlineBounded(benchmark::State& state) {
+  Dataset data = testing::RandomContext(65536, 16, 3, 7, /*noise=*/0.0);
+  ExplainableProxy::Options options;
+  options.monitor_drift = false;
+  auto proxy = ExplainableProxy::Create(data.schema_ptr(), nullptr, options);
+  CCE_CHECK_OK(proxy.status());
+  for (size_t row = 0; row < data.size(); ++row) {
+    CCE_CHECK_OK((*proxy)->Record(data.instance(row), data.label(row)));
+  }
+  const int64_t budget_us = state.range(0);
+  size_t degraded = 0, calls = 0;
+  for (auto _ : state) {
+    Deadline deadline =
+        budget_us == 0 ? Deadline::Infinite()
+                       : Deadline::After(std::chrono::microseconds(budget_us));
+    auto key = (*proxy)->Explain(data.instance(0), data.label(0), deadline);
+    benchmark::DoNotOptimize(key);
+    ++calls;
+    if (key.ok() && key->degraded) ++degraded;
+  }
+  state.counters["degraded_frac"] =
+      calls == 0 ? 0.0
+                 : static_cast<double>(degraded) / static_cast<double>(calls);
+}
+BENCHMARK(BM_ProxyExplain_DeadlineBounded)
+    ->Arg(0)       // unbounded baseline
+    ->Arg(100)     // 100us: heavy truncation
+    ->Arg(1000)    // 1ms
+    ->Arg(10000);  // 10ms: usually completes
+
+}  // namespace
+}  // namespace cce::serving
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the tier-1 suite: builds everything with
+# AddressSanitizer + UndefinedBehaviorSanitizer and runs ctest. The
+# concurrency paths (thread pool backpressure, retry/breaker machinery,
+# deadline-bounded search) must stay sanitizer-clean.
+#
+# Usage: scripts/check.sh [extra ctest args...]
+#   BUILD_DIR=build-asan JOBS=8 scripts/check.sh -R ProxyTest
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$JOBS" "$@"

@@ -1,0 +1,57 @@
+#ifndef CCE_COMMON_DEADLINE_H_
+#define CCE_COMMON_DEADLINE_H_
+
+#include <chrono>
+
+namespace cce {
+
+/// A per-call time budget on the monotonic clock. Deadlines are absolute
+/// (a point in time, not a duration) so they compose across layers: a proxy
+/// that spends part of the budget on retries hands the *same* deadline to
+/// the key search, which then sees only the remainder.
+///
+/// The default-constructed deadline is infinite — existing call sites that
+/// never set one keep their unbounded behaviour.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite deadline: never expires.
+  Deadline() : expiry_(Clock::time_point::max()) {}
+
+  /// A deadline `budget` from now.
+  static Deadline After(std::chrono::nanoseconds budget) {
+    return Deadline(Clock::now() + budget);
+  }
+
+  /// An already-expired deadline (useful in tests).
+  static Deadline Expired() { return Deadline(Clock::time_point::min()); }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline At(Clock::time_point expiry) { return Deadline(expiry); }
+
+  bool infinite() const { return expiry_ == Clock::time_point::max(); }
+
+  bool expired() const { return !infinite() && Clock::now() >= expiry_; }
+
+  /// Time left before expiry; zero when already expired, the maximum
+  /// duration when infinite.
+  std::chrono::nanoseconds remaining() const {
+    if (infinite()) return std::chrono::nanoseconds::max();
+    Clock::time_point now = Clock::now();
+    if (now >= expiry_) return std::chrono::nanoseconds::zero();
+    return expiry_ - now;
+  }
+
+  Clock::time_point expiry() const { return expiry_; }
+
+ private:
+  explicit Deadline(Clock::time_point expiry) : expiry_(expiry) {}
+
+  Clock::time_point expiry_;
+};
+
+}  // namespace cce
+
+#endif  // CCE_COMMON_DEADLINE_H_

@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include "common/logging.h"
+
 namespace cce {
 namespace {
 
@@ -21,11 +23,26 @@ const char* CodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }
 
 }  // namespace
+
+namespace internal_status {
+
+void DieOkStatusInResult() {
+  CCE_LOG_FATAL << "Result<T> constructed from an OK Status";
+  std::abort();  // unreachable: the fatal log aborts; keeps [[noreturn]] honest
+}
+
+}  // namespace internal_status
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

@@ -8,7 +8,8 @@
 namespace cce {
 
 /// Error categories used across the library. Kept deliberately small: callers
-/// usually branch on ok() only and surface the message.
+/// usually branch on ok() only and surface the message. The serving layer
+/// additionally branches on the retryability of a code (see IsRetryable).
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -18,6 +19,15 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  /// A per-call deadline elapsed before the operation completed. Not
+  /// retryable: the caller's budget is already spent.
+  kDeadlineExceeded,
+  /// The backing service is temporarily unreachable (transient fault,
+  /// open circuit breaker). Retryable with backoff.
+  kUnavailable,
+  /// A bounded resource (queue slot, probe budget) was exhausted.
+  /// Retryable once load subsides.
+  kResourceExhausted,
 };
 
 /// Lightweight status object in the RocksDB/Abseil tradition. The library
@@ -51,10 +61,28 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// True when the failure is transient and the same call may succeed if
+  /// repeated (with backoff): kUnavailable and kResourceExhausted. Deadline
+  /// misses are deliberately not retryable — the caller's budget is gone —
+  /// and every other code reports a deterministic error.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kResourceExhausted;
+  }
 
   /// Human-readable rendering, e.g. "InvalidArgument: bad alpha".
   std::string ToString() const;
@@ -64,6 +92,12 @@ class Status {
   std::string message_;
 };
 
+namespace internal_status {
+/// Aborts: a Result<T> was constructed from an OK status, which would leave
+/// it with neither a value nor an error. Defined in status.cc.
+[[noreturn]] void DieOkStatusInResult();
+}  // namespace internal_status
+
 /// A value-or-status union. `ok()` implies `value()` is valid. Accessing the
 /// wrong arm is a programmer error and aborts via CHECK in debug builds.
 template <typename T>
@@ -72,7 +106,12 @@ class Result {
   /// Implicit construction from a value or a non-OK Status keeps call sites
   /// terse: `return value;` or `return Status::InvalidArgument(...)`.
   Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    // An OK status carries no value; allowing it would turn every later
+    // value() into a latent abort far from the bug. Fail loudly at the
+    // construction site instead.
+    if (std::get<Status>(data_).ok()) internal_status::DieOkStatusInResult();
+  }
 
   bool ok() const { return std::holds_alternative<T>(data_); }
 
@@ -102,6 +141,23 @@ class Result {
     ::cce::Status cce_status_ = (expr);          \
     if (!cce_status_.ok()) return cce_status_;   \
   } while (0)
+
+/// Evaluates a Result<T>-returning expression; on success assigns the value
+/// to `lhs` (a declaration or an existing lvalue), on error propagates the
+/// status to the caller. Usable in functions returning Status or Result<U>:
+///
+///   CCE_ASSIGN_OR_RETURN(auto model, ml::Gbdt::Train(data, opts));
+#define CCE_ASSIGN_OR_RETURN(lhs, expr)                                \
+  CCE_ASSIGN_OR_RETURN_IMPL_(                                          \
+      CCE_STATUS_CONCAT_(cce_result_, __LINE__), lhs, expr)
+
+#define CCE_ASSIGN_OR_RETURN_IMPL_(result_var, lhs, expr)              \
+  auto result_var = (expr);                                            \
+  if (!result_var.ok()) return result_var.status();                    \
+  lhs = std::move(result_var).value()
+
+#define CCE_STATUS_CONCAT_(a, b) CCE_STATUS_CONCAT_IMPL_(a, b)
+#define CCE_STATUS_CONCAT_IMPL_(a, b) a##b
 
 }  // namespace cce
 

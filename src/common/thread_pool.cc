@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace cce {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -20,18 +23,55 @@ ThreadPool::~ThreadPool() {
     shutting_down_ = true;
   }
   work_available_.notify_all();
+  space_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ThreadPool::CheckNotWorkerThread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& worker : workers_) {
+    if (worker.get_id() == self) {
+      CCE_LOG_FATAL << "Submit/Wait from inside a pool task: reentrant use "
+                       "deadlocks a full queue and breaks the Wait() "
+                       "contract";
+    }
+  }
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
+  CheckNotWorkerThread();
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_capacity_ > 0) {
+      space_available_.wait(lock, [this] {
+        return shutting_down_ || queue_.size() < queue_capacity_;
+      });
+    }
     queue_.push(std::move(task));
   }
   work_available_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  CheckNotWorkerThread();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_capacity_ > 0 && queue_.size() >= queue_capacity_) {
+      return false;
+    }
+    queue_.push(std::move(task));
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::queued() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 void ThreadPool::Wait() {
+  CheckNotWorkerThread();
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] {
     return queue_.empty() && in_flight_ == 0;
@@ -54,6 +94,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
       ++in_flight_;
     }
+    space_available_.notify_one();
     task();
     {
       std::unique_lock<std::mutex> lock(mutex_);

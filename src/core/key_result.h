@@ -25,6 +25,12 @@ struct KeyResult {
   /// features and `achieved_alpha` reports the best attainable value.
   bool satisfied = true;
 
+  /// True when a per-call deadline cut the greedy search short and the key
+  /// was completed by padding instead of minimised: still alpha-conformant
+  /// (when `satisfied`), but possibly far from succinct. Serving-layer
+  /// callers surface this so clients can re-ask with a larger budget.
+  bool degraded = false;
+
   size_t succinctness() const { return key.size(); }
 };
 

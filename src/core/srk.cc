@@ -139,14 +139,50 @@ Result<KeyResult> Srk::ExplainInstance(const Context& context,
     }
   }
 
+  // Deadline handling: when the per-call budget expires mid-search we stop
+  // enumerating candidates and *pad* the key with every remaining feature.
+  // The all-feature key is the most conformant key that exists (only exact
+  // duplicates of x0 with a different prediction survive it), so the result
+  // remains alpha-conformant whenever any key is — just not minimal. The
+  // caller sees `degraded = true`.
+  const bool bounded = !options.deadline.infinite();
+  auto finish_degraded = [&]() -> KeyResult {
+    for (FeatureId f = 0; f < n; ++f) {
+      if (!in_key[f]) FeatureSetInsert(&result.key, f);
+    }
+    std::vector<size_t> surviving;
+    for (size_t row : violators) {
+      bool duplicate = true;
+      for (FeatureId f = 0; f < n && duplicate; ++f) {
+        duplicate = context.value(row, f) == x0[f];
+      }
+      if (duplicate) surviving.push_back(row);
+    }
+    violators = std::move(surviving);
+    result.degraded = true;
+    result.achieved_alpha =
+        1.0 - static_cast<double>(violators.size()) /
+                  static_cast<double>(context_size);
+    result.satisfied = violators.size() <= tolerated;
+    return result;
+  };
+
   while (violators.size() > tolerated) {
+    if (bounded && options.deadline.expired()) return finish_degraded();
     // Greedy step (Algorithm 1 lines 1-6): pick the feature minimising the
     // number of surviving violators, i.e. |I[A_i = a_i] ∩ violators|.
     FeatureId best_feature = 0;
     size_t best_count = std::numeric_limits<size_t>::max();
     size_t best_frequency = 0;
+    bool scan_expired = false;
     for (FeatureId f = 0; f < n; ++f) {
       if (in_key[f]) continue;
+      // Check inside the candidate scan too: one full scan over a large
+      // violator set can dwarf a millisecond-scale budget.
+      if (bounded && options.deadline.expired()) {
+        scan_expired = true;
+        break;
+      }
       size_t count = 0;
       for (size_t row : violators) {
         if (context.value(row, f) == x0[f]) ++count;
@@ -158,6 +194,7 @@ Result<KeyResult> Srk::ExplainInstance(const Context& context,
         best_frequency = value_frequency[f];
       }
     }
+    if (scan_expired) return finish_degraded();
     if (best_count == std::numeric_limits<size_t>::max() ||
         best_count == violators.size()) {
       // Either all features are used up, or no remaining feature removes a

@@ -1,6 +1,7 @@
 #ifndef CCE_CORE_SRK_H_
 #define CCE_CORE_SRK_H_
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/dataset.h"
 #include "core/key_result.h"
@@ -20,6 +21,11 @@ class Srk {
     /// Conformity bound in (0, 1]; 1 demands a (perfectly conformant)
     /// relative key.
     double alpha = 1.0;
+    /// Per-call budget for the greedy search. When it expires mid-search
+    /// the candidate enumeration stops and the key is completed by adding
+    /// every remaining feature — maximally conformant but non-minimal —
+    /// and the result is flagged `degraded`. Infinite by default.
+    Deadline deadline;
   };
 
   /// Explains the instance stored at `row` of `context`, whose label is the

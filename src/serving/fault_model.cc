@@ -1,0 +1,59 @@
+#include "serving/fault_model.h"
+
+#include <algorithm>
+#include <string>
+
+namespace cce::serving {
+
+FaultInjectingModel::FaultInjectingModel(const Model* model,
+                                         const Options& options,
+                                         SleepFn sleep)
+    : model_(model),
+      options_(options),
+      sleep_(std::move(sleep)),
+      rng_(options.seed) {}
+
+Result<Label> FaultInjectingModel::Predict(const Instance& x) {
+  ++stats_.calls;
+
+  if (options_.fail_forever) {
+    ++stats_.transient_failures;
+    return Status::Unavailable("injected: backend outage (fail_forever)");
+  }
+
+  // Draw the schedule before branching so the random stream consumed per
+  // call is fixed — the schedule stays comparable across configurations
+  // with the same seed.
+  const bool start_fault =
+      options_.failure_rate > 0.0 && rng_.Bernoulli(options_.failure_rate);
+  const bool fault_transient =
+      options_.transient_fraction >= 1.0 ||
+      rng_.Bernoulli(std::max(0.0, options_.transient_fraction));
+  const bool spike = options_.latency_spike_rate > 0.0 &&
+                     rng_.Bernoulli(options_.latency_spike_rate);
+
+  if (burst_remaining_ == 0 && start_fault) {
+    burst_remaining_ = std::max(1, options_.burst_length);
+    burst_transient_ = fault_transient;
+  }
+
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    if (burst_transient_) {
+      ++stats_.transient_failures;
+      return Status::Unavailable("injected: transient fault");
+    }
+    ++stats_.permanent_failures;
+    return Status::Internal("injected: permanent fault");
+  }
+
+  if (spike) {
+    ++stats_.latency_spikes;
+    if (sleep_) sleep_(options_.latency_spike);
+  }
+
+  ++stats_.successes;
+  return model_->Predict(x);
+}
+
+}  // namespace cce::serving

@@ -1,0 +1,88 @@
+#ifndef CCE_SERVING_FAULT_MODEL_H_
+#define CCE_SERVING_FAULT_MODEL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/model.h"
+#include "core/types.h"
+#include "serving/resilience.h"
+
+namespace cce::serving {
+
+/// A ModelEndpoint decorator that injects faults into an otherwise healthy
+/// model, so every failure mode the resilience layer must survive is
+/// reproducible in tests and benches from a single seed:
+///
+///   - transient errors (kUnavailable) at a configurable rate,
+///   - permanent errors (kInternal, non-retryable) at a configurable split,
+///   - correlated failure bursts (one fault knocks out the next k calls),
+///   - latency spikes (simulated via an injectable sleep),
+///   - hard outages (`fail_forever`, e.g. a dead backend).
+///
+/// The fault schedule is a pure function of (seed, call sequence): two
+/// instances with identical options observe identical schedules, and the
+/// schedule does not depend on the instances being predicted.
+class FaultInjectingModel : public ModelEndpoint {
+ public:
+  struct Options {
+    /// Per-call probability of starting a fault (or fault burst).
+    double failure_rate = 0.0;
+    /// Among injected faults, the fraction that are transient
+    /// (kUnavailable, retryable); the rest are permanent (kInternal).
+    double transient_fraction = 1.0;
+    /// A fault affects this many consecutive calls (correlated failures);
+    /// 1 = independent faults.
+    int burst_length = 1;
+    /// Per-call probability of a latency spike on an otherwise
+    /// successful call.
+    double latency_spike_rate = 0.0;
+    /// Duration of an injected latency spike.
+    std::chrono::milliseconds latency_spike{20};
+    /// Every call fails with kUnavailable: a hard outage.
+    bool fail_forever = false;
+    /// Seed for the deterministic fault schedule.
+    uint64_t seed = 42;
+  };
+
+  /// Counters for assertions and observability.
+  struct Stats {
+    uint64_t calls = 0;
+    uint64_t successes = 0;
+    uint64_t transient_failures = 0;
+    uint64_t permanent_failures = 0;
+    uint64_t latency_spikes = 0;
+  };
+
+  using SleepFn = std::function<void(std::chrono::milliseconds)>;
+
+  /// Wraps `model` (not owned, must outlive this). `sleep` implements the
+  /// latency spikes; the default does not actually sleep — it only accounts
+  /// the spike in stats — keeping tests fast.
+  FaultInjectingModel(const Model* model, const Options& options,
+                      SleepFn sleep = nullptr);
+
+  Result<Label> Predict(const Instance& x) override;
+
+  const Stats& stats() const { return stats_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  const Model* model_;
+  Options options_;
+  SleepFn sleep_;
+  Rng rng_;
+  Stats stats_;
+  /// Remaining calls of the current fault burst (0 = healthy).
+  int burst_remaining_ = 0;
+  /// Whether the current burst is transient or permanent.
+  bool burst_transient_ = true;
+};
+
+}  // namespace cce::serving
+
+#endif  // CCE_SERVING_FAULT_MODEL_H_

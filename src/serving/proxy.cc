@@ -1,15 +1,29 @@
 #include "serving/proxy.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "core/srk.h"
 
 namespace cce::serving {
 
 ExplainableProxy::ExplainableProxy(std::shared_ptr<const Schema> schema,
-                                   const Model* model,
+                                   ModelEndpoint* endpoint,
                                    const Options& options)
-    : schema_(std::move(schema)), model_(model), options_(options) {
+    : schema_(std::move(schema)),
+      endpoint_(endpoint),
+      options_(options),
+      retry_policy_(options.retry),
+      breaker_(options.breaker, options.clock),
+      retry_rng_(options.resilience_seed),
+      sleep_(options.sleep) {
   if (options_.monitor_drift) {
     drift_ = std::make_unique<DriftMonitor>(schema_, options_.drift);
+  }
+  if (!sleep_) {
+    sleep_ = [](std::chrono::milliseconds d) {
+      std::this_thread::sleep_for(d);
+    };
   }
 }
 
@@ -22,21 +36,88 @@ Result<std::unique_ptr<ExplainableProxy>> ExplainableProxy::Create(
   if (options.alpha <= 0.0 || options.alpha > 1.0) {
     return Status::InvalidArgument("alpha must be in (0, 1]");
   }
-  return std::unique_ptr<ExplainableProxy>(
-      new ExplainableProxy(std::move(schema), model, options));
+  auto proxy = std::unique_ptr<ExplainableProxy>(
+      new ExplainableProxy(std::move(schema), nullptr, options));
+  if (model != nullptr) {
+    proxy->owned_endpoint_ = std::make_unique<LocalModelEndpoint>(model);
+    proxy->endpoint_ = proxy->owned_endpoint_.get();
+  }
+  return proxy;
 }
 
-Result<Label> ExplainableProxy::Predict(const Instance& x) {
-  if (model_ == nullptr) {
+Result<std::unique_ptr<ExplainableProxy>> ExplainableProxy::CreateWithEndpoint(
+    std::shared_ptr<const Schema> schema, ModelEndpoint* endpoint,
+    const Options& options) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("schema must not be null");
+  }
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  return std::unique_ptr<ExplainableProxy>(
+      new ExplainableProxy(std::move(schema), endpoint, options));
+}
+
+Result<Label> ExplainableProxy::CallEndpoint(const Instance& x,
+                                             const Deadline& deadline) {
+  retry_policy_.Reset();
+  int attempts = 0;
+  while (true) {
+    if (deadline.expired()) {
+      ++health_.deadline_misses;
+      return Status::DeadlineExceeded(
+          "predict deadline expired after " + std::to_string(attempts) +
+          " attempt(s)");
+    }
+    Result<Label> served = endpoint_->Predict(x);
+    ++attempts;
+    if (served.ok()) return served;
+    if (!served.status().IsRetryable() ||
+        !retry_policy_.ShouldRetry(attempts)) {
+      return served.status();
+    }
+    ++health_.retries;
+    std::chrono::milliseconds backoff =
+        retry_policy_.NextBackoff(&retry_rng_);
+    if (!deadline.infinite()) {
+      // Never sleep past the deadline; the expiry check at the top of the
+      // loop then converts the exhausted budget into kDeadlineExceeded.
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline.remaining());
+      backoff = std::min(backoff, remaining);
+    }
+    if (backoff.count() > 0) sleep_(backoff);
+  }
+}
+
+Result<Label> ExplainableProxy::Predict(const Instance& x,
+                                        const Deadline& deadline) {
+  ++health_.predicts;
+  if (endpoint_ == nullptr) {
     return Status::FailedPrecondition(
         "proxy was created without a model; use Record()");
   }
   if (x.size() != schema_->num_features()) {
     return Status::InvalidArgument("instance arity does not match schema");
   }
-  Label y = model_->Predict(x);
-  CCE_RETURN_IF_ERROR(Record(x, y));
-  return y;
+  if (!breaker_.AllowRequest()) {
+    return Status::Unavailable(
+        "circuit breaker open; proxy is serving record-only (Explain still "
+        "available)");
+  }
+  Result<Label> served = CallEndpoint(x, deadline);
+  if (!served.ok()) {
+    // A deadline miss reflects the client's budget, not backend health, so
+    // it does not count towards tripping the breaker.
+    if (served.status().code() != StatusCode::kDeadlineExceeded) {
+      breaker_.RecordFailure();
+    }
+    ++health_.predict_failures;
+    return served.status();
+  }
+  breaker_.RecordSuccess();
+  CCE_RETURN_IF_ERROR(Record(x, *served));
+  return *served;
 }
 
 Status ExplainableProxy::Record(const Instance& x, Label y) {
@@ -60,15 +141,27 @@ Context ExplainableProxy::ContextSnapshot() const {
   return context;
 }
 
-Result<KeyResult> ExplainableProxy::Explain(const Instance& x,
-                                            Label y) const {
+Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
+                                            const Deadline& deadline) const {
   if (window_.empty()) {
     return Status::FailedPrecondition("no predictions recorded yet");
+  }
+  // Explaining consults only the recorded context (paper Section 6), so it
+  // keeps working when the breaker has taken the model out of the path —
+  // that serve is the "record-only fallback" rung of the ladder.
+  if (breaker_.state() == CircuitBreaker::State::kOpen) {
+    ++health_.fallback_serves;
   }
   Context context = ContextSnapshot();
   Srk::Options options;
   options.alpha = options_.alpha;
-  return Srk::ExplainInstance(context, x, y, options);
+  options.deadline = deadline;
+  Result<KeyResult> key = Srk::ExplainInstance(context, x, y, options);
+  if (key.ok() && key->degraded) {
+    ++health_.degraded_explains;
+    ++health_.deadline_misses;
+  }
+  return key;
 }
 
 Result<std::vector<RelativeCounterfactual>>
@@ -76,12 +169,23 @@ ExplainableProxy::Counterfactuals(const Instance& x, Label y) const {
   if (window_.empty()) {
     return Status::FailedPrecondition("no predictions recorded yet");
   }
+  if (breaker_.state() == CircuitBreaker::State::kOpen) {
+    ++health_.fallback_serves;
+  }
   Context context = ContextSnapshot();
   return CounterfactualFinder::FindForInstance(context, x, y, {});
 }
 
 bool ExplainableProxy::DriftAlarmed() const {
   return drift_ != nullptr && drift_->Alarmed();
+}
+
+HealthSnapshot ExplainableProxy::Health() const {
+  HealthSnapshot snapshot = health_;
+  snapshot.breaker_state = breaker_.state();
+  snapshot.breaker_rejections = breaker_.rejected_count();
+  snapshot.breaker_trips = breaker_.trip_count();
+  return snapshot;
 }
 
 }  // namespace cce::serving

@@ -1,17 +1,22 @@
 #ifndef CCE_SERVING_PROXY_H_
 #define CCE_SERVING_PROXY_H_
 
+#include <chrono>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/random.h"
 #include "common/status.h"
 #include "core/cce.h"
 #include "core/counterfactual.h"
 #include "core/dataset.h"
 #include "core/key_result.h"
 #include "core/model.h"
+#include "serving/resilience.h"
 
 namespace cce::serving {
 
@@ -25,6 +30,22 @@ namespace cce::serving {
 /// The proxy also works without any model (`Create` with nullptr +
 /// `Record`): a client of a remote API can feed the served predictions it
 /// observed and retain every explanation capability.
+///
+/// Fault tolerance (the production half of the story): model calls go
+/// through a retry policy (capped exponential backoff, decorrelated jitter)
+/// and a circuit breaker. The degradation ladder is
+///
+///   full service  ->  retries absorb transient faults
+///                 ->  breaker opens on persistent failure; Predict fails
+///                     fast with kUnavailable while Explain/Counterfactuals
+///                     keep answering from the recorded context (CCE needs
+///                     no model call to explain), i.e. record-only mode
+///                 ->  breaker half-opens after a cooldown and probes the
+///                     backend back to health.
+///
+/// Per-call Deadlines bound Predict (including its retries) and Explain
+/// (the SRK search returns a padded, `degraded` key at budget exhaustion).
+/// Health() exposes the machinery for observability.
 class ExplainableProxy {
  public:
   struct Options {
@@ -35,24 +56,50 @@ class ExplainableProxy {
     /// Enable the succinctness-based drift monitor.
     bool monitor_drift = true;
     DriftMonitor::Options drift;
+
+    /// Retry schedule for model calls; max_attempts <= 1 disables retries.
+    RetryPolicy::Options retry;
+    /// Circuit breaker guarding the model endpoint.
+    CircuitBreaker::Options breaker;
+    /// Seed for the retry jitter (deterministic backoff schedules).
+    uint64_t resilience_seed = 42;
+    /// How Predict waits out a backoff delay. Defaults to a real
+    /// sleep_for; tests inject a recorder to stay fast and deterministic.
+    std::function<void(std::chrono::milliseconds)> sleep;
+    /// Clock for the breaker's cooldown timer (tests inject manual time).
+    CircuitBreaker::ClockFn clock;
   };
 
   /// `model` may be null (record-only mode via Record()); it is not owned
-  /// and must outlive the proxy when provided.
+  /// and must outlive the proxy when provided. The model is wrapped in a
+  /// LocalModelEndpoint internally.
   static Result<std::unique_ptr<ExplainableProxy>> Create(
       std::shared_ptr<const Schema> schema, const Model* model,
       const Options& options);
 
-  /// Serves one prediction through the wrapped model and records it.
-  /// FailedPrecondition when constructed without a model.
-  Result<Label> Predict(const Instance& x);
+  /// As Create, but serving an arbitrary (possibly remote, possibly
+  /// failing) endpoint. `endpoint` is not owned and must outlive the proxy.
+  static Result<std::unique_ptr<ExplainableProxy>> CreateWithEndpoint(
+      std::shared_ptr<const Schema> schema, ModelEndpoint* endpoint,
+      const Options& options);
+
+  /// Serves one prediction through the wrapped endpoint and records it.
+  /// Transient endpoint failures are retried with backoff within the
+  /// deadline; persistent failure trips the breaker, after which calls
+  /// fail fast with kUnavailable until the backend recovers (record-only
+  /// degradation: Explain keeps working). FailedPrecondition when
+  /// constructed without a model.
+  Result<Label> Predict(const Instance& x, const Deadline& deadline = {});
 
   /// Records an externally served (instance, prediction) pair.
   Status Record(const Instance& x, Label y);
 
   /// Relative key for a recorded (instance, prediction) against the
-  /// current context.
-  Result<KeyResult> Explain(const Instance& x, Label y) const;
+  /// current context. Never touches the model, so it works at every rung
+  /// of the degradation ladder. A finite deadline bounds the key search;
+  /// on expiry the result is valid but `degraded` (non-minimal key).
+  Result<KeyResult> Explain(const Instance& x, Label y,
+                            const Deadline& deadline = {}) const;
 
   /// Closest counterfactual witnesses from the current context.
   Result<std::vector<RelativeCounterfactual>> Counterfactuals(
@@ -64,18 +111,33 @@ class ExplainableProxy {
   /// Snapshot of the current context (e.g. for io::SaveDataset).
   Context ContextSnapshot() const;
 
+  /// Point-in-time resilience counters and breaker state.
+  HealthSnapshot Health() const;
+
   size_t recorded() const { return recorded_; }
 
  private:
-  ExplainableProxy(std::shared_ptr<const Schema> schema, const Model* model,
-                   const Options& options);
+  ExplainableProxy(std::shared_ptr<const Schema> schema,
+                   ModelEndpoint* endpoint, const Options& options);
+
+  /// One endpoint call guarded by retries; shared by Predict.
+  Result<Label> CallEndpoint(const Instance& x, const Deadline& deadline);
 
   std::shared_ptr<const Schema> schema_;
-  const Model* model_;  // may be null
+  std::unique_ptr<LocalModelEndpoint> owned_endpoint_;  // Create(Model*) path
+  ModelEndpoint* endpoint_;  // may be null (record-only construction)
   Options options_;
   std::deque<std::pair<Instance, Label>> window_;
   std::unique_ptr<DriftMonitor> drift_;
   size_t recorded_ = 0;
+
+  RetryPolicy retry_policy_;
+  CircuitBreaker breaker_;
+  Rng retry_rng_;
+  std::function<void(std::chrono::milliseconds)> sleep_;
+
+  // Mutable: Explain() is logically const but counts degraded serves.
+  mutable HealthSnapshot health_;
 };
 
 }  // namespace cce::serving

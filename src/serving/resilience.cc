@@ -1,0 +1,137 @@
+#include "serving/resilience.h"
+
+#include <algorithm>
+
+namespace cce::serving {
+
+RetryPolicy::RetryPolicy(const Options& options)
+    : options_(options), previous_(options.initial_backoff) {}
+
+void RetryPolicy::Reset() {
+  previous_ = options_.initial_backoff;
+  first_ = true;
+}
+
+std::chrono::milliseconds RetryPolicy::NextBackoff(Rng* rng) {
+  const auto base = options_.initial_backoff;
+  const auto cap = options_.max_backoff;
+  std::chrono::milliseconds next;
+  if (options_.jitter && rng != nullptr) {
+    // Decorrelated jitter: uniform in [base, 3 * previous]. The widening
+    // window spreads correlated clients apart while never sleeping less
+    // than the base delay.
+    const int64_t lo = base.count();
+    const int64_t hi = std::max<int64_t>(lo, previous_.count() * 3);
+    next = std::chrono::milliseconds(rng->UniformInt(lo, hi));
+  } else if (first_) {
+    next = base;
+  } else {
+    next = std::chrono::milliseconds(static_cast<int64_t>(
+        static_cast<double>(previous_.count()) * options_.multiplier));
+    next = std::max(next, base);
+  }
+  next = std::min(next, cap);
+  previous_ = next;
+  first_ = false;
+  return next;
+}
+
+CircuitBreaker::CircuitBreaker(const Options& options, ClockFn clock)
+    : options_(options), clock_(std::move(clock)) {
+  if (!clock_) {
+    clock_ = [] { return std::chrono::steady_clock::now(); };
+  }
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::AllowRequest() {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (clock_() - opened_at_ >= options_.open_cooldown) {
+        state_ = State::kHalfOpen;
+        probes_in_flight_ = 0;
+        probe_successes_ = 0;
+        return AllowRequest();
+      }
+      ++rejected_;
+      return false;
+    case State::kHalfOpen:
+      if (probes_in_flight_ < options_.probe_budget) {
+        ++probes_in_flight_;
+        return true;
+      }
+      ++rejected_;
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::TripOpen() {
+  state_ = State::kOpen;
+  opened_at_ = clock_();
+  consecutive_failures_ = 0;
+  ++trips_;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      ++probe_successes_;
+      if (probe_successes_ >= options_.successes_to_close) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+      }
+      break;
+    case State::kOpen:
+      // A success reported while open (late completion); ignore.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        TripOpen();
+      }
+      break;
+    case State::kHalfOpen:
+      // One failing probe is enough: the backend is still sick.
+      TripOpen();
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+std::string HealthSnapshot::ToString() const {
+  std::string out = "breaker=";
+  out += CircuitBreaker::StateName(breaker_state);
+  out += " predicts=" + std::to_string(predicts);
+  out += " predict_failures=" + std::to_string(predict_failures);
+  out += " retries=" + std::to_string(retries);
+  out += " breaker_rejections=" + std::to_string(breaker_rejections);
+  out += " breaker_trips=" + std::to_string(breaker_trips);
+  out += " deadline_misses=" + std::to_string(deadline_misses);
+  out += " degraded_explains=" + std::to_string(degraded_explains);
+  out += " fallback_serves=" + std::to_string(fallback_serves);
+  return out;
+}
+
+}  // namespace cce::serving

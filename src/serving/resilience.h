@@ -1,0 +1,180 @@
+#ifndef CCE_SERVING_RESILIENCE_H_
+#define CCE_SERVING_RESILIENCE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/model.h"
+#include "core/types.h"
+
+namespace cce::serving {
+
+/// A fallible prediction backend — the remote-service view of a model.
+/// Where core::Model promises an answer, an endpoint may time out, throttle
+/// or fail; the proxy's resilience machinery (retries, breaker, deadlines)
+/// exists to absorb exactly that difference.
+class ModelEndpoint {
+ public:
+  virtual ~ModelEndpoint() = default;
+
+  /// Serves one prediction, or a non-OK status describing the failure.
+  virtual Result<Label> Predict(const Instance& x) = 0;
+};
+
+/// Adapts an in-process core::Model (which cannot fail) to the endpoint
+/// interface, for proxies serving a local model.
+class LocalModelEndpoint : public ModelEndpoint {
+ public:
+  /// `model` is not owned and must outlive the endpoint.
+  explicit LocalModelEndpoint(const Model* model) : model_(model) {}
+
+  Result<Label> Predict(const Instance& x) override {
+    return model_->Predict(x);
+  }
+
+ private:
+  const Model* model_;
+};
+
+/// Capped exponential backoff with decorrelated jitter (the AWS
+/// architecture-blog scheme): each delay is drawn uniformly from
+/// [base, 3 * previous], capped at `max_backoff`. Jitter is driven by an
+/// external cce::Rng so schedules are reproducible from a seed.
+///
+/// The policy only *computes* delays; the caller decides how to wait, which
+/// keeps tests free of real sleeps.
+class RetryPolicy {
+ public:
+  struct Options {
+    /// Total tries including the first; <= 1 disables retrying.
+    int max_attempts = 4;
+    /// First (and minimum) backoff delay.
+    std::chrono::milliseconds initial_backoff{1};
+    /// Upper bound on any single delay.
+    std::chrono::milliseconds max_backoff{250};
+    /// Growth factor used when jitter is disabled.
+    double multiplier = 2.0;
+    /// Decorrelated jitter; false gives deterministic pure exponential.
+    bool jitter = true;
+  };
+
+  explicit RetryPolicy(const Options& options);
+
+  /// Delay to wait before retry number `attempt` (1-based: the delay after
+  /// the first failure is attempt 1). Advances the decorrelated-jitter
+  /// state; call Reset() between logical operations.
+  std::chrono::milliseconds NextBackoff(Rng* rng);
+
+  /// Forgets the jitter state so the next operation starts from
+  /// initial_backoff again.
+  void Reset();
+
+  /// True while `attempt` (number of tries already made) leaves budget.
+  bool ShouldRetry(int attempts_made) const {
+    return attempts_made < options_.max_attempts;
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::chrono::milliseconds previous_;
+  bool first_ = true;
+};
+
+/// Classic three-state circuit breaker protecting a model endpoint.
+///
+///   closed    — requests flow; `failure_threshold` *consecutive operation
+///               failures* (an operation = one client call including all its
+///               retries) trip it open.
+///   open      — requests are rejected instantly (the proxy degrades to
+///               record-only serving); after `open_cooldown` the next
+///               request transitions to half-open.
+///   half-open — up to `probe_budget` requests are let through as probes;
+///               `successes_to_close` consecutive probe successes close the
+///               breaker, any probe failure re-opens it.
+///
+/// Time is read through an injectable clock so the state machine is testable
+/// without real waiting. Not thread-safe; the proxy serialises access.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive operation failures that trip the breaker.
+    int failure_threshold = 5;
+    /// How long the breaker stays open before probing.
+    std::chrono::milliseconds open_cooldown{1000};
+    /// Max probes admitted while half-open before a verdict.
+    int probe_budget = 3;
+    /// Consecutive probe successes required to close again.
+    int successes_to_close = 2;
+  };
+
+  /// Monotonic now; injectable for tests.
+  using ClockFn = std::function<std::chrono::steady_clock::time_point()>;
+
+  explicit CircuitBreaker(const Options& options, ClockFn clock = nullptr);
+
+  /// True when a request may proceed. Handles the open -> half-open
+  /// transition when the cooldown has elapsed; a false return means the
+  /// caller must fail fast (and may serve degraded results instead).
+  bool AllowRequest();
+
+  /// Reports the outcome of an admitted operation.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const { return state_; }
+
+  uint64_t rejected_count() const { return rejected_; }
+  uint64_t trip_count() const { return trips_; }
+
+  static const char* StateName(State state);
+
+ private:
+  void TripOpen();
+
+  Options options_;
+  ClockFn clock_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int probes_in_flight_ = 0;
+  int probe_successes_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+  uint64_t rejected_ = 0;
+  uint64_t trips_ = 0;
+};
+
+/// Point-in-time view of the proxy's resilience machinery, exposed for
+/// observability (dashboards, alerting, tests).
+struct HealthSnapshot {
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+  /// Client calls to Predict() (before any retries).
+  uint64_t predicts = 0;
+  /// Predict operations that failed after exhausting retries.
+  uint64_t predict_failures = 0;
+  /// Individual retry attempts made across all operations.
+  uint64_t retries = 0;
+  /// Requests rejected fast because the breaker was open.
+  uint64_t breaker_rejections = 0;
+  /// Times the breaker tripped from closed/half-open to open.
+  uint64_t breaker_trips = 0;
+  /// Calls that ran out of deadline (Predict or Explain).
+  uint64_t deadline_misses = 0;
+  /// Explain calls answered with a degraded (deadline-truncated) key.
+  uint64_t degraded_explains = 0;
+  /// Explain/Counterfactual calls served while the breaker was open
+  /// (record-only fallback mode still answering from context).
+  uint64_t fallback_serves = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace cce::serving
+
+#endif  // CCE_SERVING_RESILIENCE_H_

@@ -1,0 +1,149 @@
+#include "serving/fault_model.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "tests/test_util.h"
+
+namespace cce::serving {
+namespace {
+
+/// Trivial deterministic backend: predicts parity of the first feature.
+class ParityModel : public Model {
+ public:
+  Label Predict(const Instance& x) const override {
+    return static_cast<Label>(x.empty() ? 0 : x[0] % 2);
+  }
+};
+
+Instance SomeInstance() { return Instance{1, 2, 0}; }
+
+std::vector<StatusCode> Schedule(const FaultInjectingModel::Options& options,
+                                 size_t calls) {
+  ParityModel base;
+  FaultInjectingModel model(&base, options);
+  std::vector<StatusCode> outcomes;
+  outcomes.reserve(calls);
+  for (size_t i = 0; i < calls; ++i) {
+    outcomes.push_back(model.Predict(SomeInstance()).status().code());
+  }
+  return outcomes;
+}
+
+TEST(FaultModelTest, HealthyPassThroughMatchesWrappedModel) {
+  ParityModel base;
+  FaultInjectingModel model(&base, {});
+  for (ValueId v = 0; v < 6; ++v) {
+    Instance x{v, 0, 0};
+    auto served = model.Predict(x);
+    ASSERT_TRUE(served.ok());
+    EXPECT_EQ(*served, base.Predict(x));
+  }
+  EXPECT_EQ(model.stats().calls, 6u);
+  EXPECT_EQ(model.stats().successes, 6u);
+  EXPECT_EQ(model.stats().transient_failures, 0u);
+}
+
+TEST(FaultModelTest, SchedulesAreDeterministicInTheSeed) {
+  FaultInjectingModel::Options options;
+  options.failure_rate = 0.3;
+  options.transient_fraction = 0.7;
+  options.latency_spike_rate = 0.1;
+  options.seed = 7;
+  std::vector<StatusCode> first = Schedule(options, 500);
+  std::vector<StatusCode> second = Schedule(options, 500);
+  EXPECT_EQ(first, second);
+
+  options.seed = 8;
+  EXPECT_NE(Schedule(options, 500), first) << "seed must drive the schedule";
+}
+
+TEST(FaultModelTest, FailureRateIsRoughlyRespected) {
+  FaultInjectingModel::Options options;
+  options.failure_rate = 0.3;
+  options.seed = 11;
+  ParityModel base;
+  FaultInjectingModel model(&base, options);
+  constexpr size_t kCalls = 2000;
+  for (size_t i = 0; i < kCalls; ++i) model.Predict(SomeInstance());
+  const double observed =
+      static_cast<double>(model.stats().transient_failures) / kCalls;
+  EXPECT_NEAR(observed, 0.3, 0.05);
+  EXPECT_EQ(model.stats().permanent_failures, 0u)
+      << "default transient_fraction=1 must never inject permanent faults";
+}
+
+TEST(FaultModelTest, TransientAndPermanentErrorsHaveDistinctCodes) {
+  FaultInjectingModel::Options options;
+  options.failure_rate = 1.0;
+  options.transient_fraction = 0.0;
+  ParityModel base;
+  FaultInjectingModel model(&base, options);
+  auto served = model.Predict(SomeInstance());
+  ASSERT_FALSE(served.ok());
+  EXPECT_EQ(served.status().code(), StatusCode::kInternal);
+  EXPECT_FALSE(served.status().IsRetryable());
+
+  options.transient_fraction = 1.0;
+  FaultInjectingModel transient(&base, options);
+  auto transient_served = transient.Predict(SomeInstance());
+  ASSERT_FALSE(transient_served.ok());
+  EXPECT_EQ(transient_served.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(transient_served.status().IsRetryable());
+}
+
+TEST(FaultModelTest, BurstsProduceCorrelatedRunsOfFailures) {
+  FaultInjectingModel::Options options;
+  options.failure_rate = 0.05;
+  options.burst_length = 4;
+  options.seed = 3;
+  std::vector<StatusCode> outcomes = Schedule(options, 3000);
+  // Every maximal run of failures is a whole number of bursts.
+  size_t run = 0, failures = 0;
+  for (StatusCode code : outcomes) {
+    if (code != StatusCode::kOk) {
+      ++run;
+      ++failures;
+    } else if (run > 0) {
+      EXPECT_EQ(run % 4, 0u) << "failure runs must be whole bursts";
+      run = 0;
+    }
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+TEST(FaultModelTest, FailForeverModelsAHardOutage) {
+  ParityModel base;
+  FaultInjectingModel::Options options;
+  options.fail_forever = true;
+  FaultInjectingModel model(&base, options);
+  for (int i = 0; i < 50; ++i) {
+    auto served = model.Predict(SomeInstance());
+    ASSERT_FALSE(served.ok());
+    EXPECT_EQ(served.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(model.stats().transient_failures, 50u);
+  EXPECT_EQ(model.stats().successes, 0u);
+}
+
+TEST(FaultModelTest, LatencySpikesGoThroughTheInjectedSleep) {
+  ParityModel base;
+  FaultInjectingModel::Options options;
+  options.latency_spike_rate = 0.5;
+  options.latency_spike = std::chrono::milliseconds(17);
+  std::vector<std::chrono::milliseconds> slept;
+  FaultInjectingModel model(
+      &base, options,
+      [&slept](std::chrono::milliseconds d) { slept.push_back(d); });
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(model.Predict(SomeInstance()).ok());
+  }
+  EXPECT_EQ(model.stats().latency_spikes, slept.size());
+  EXPECT_GT(slept.size(), 20u);
+  for (auto d : slept) EXPECT_EQ(d, std::chrono::milliseconds(17));
+}
+
+}  // namespace
+}  // namespace cce::serving

@@ -1,0 +1,195 @@
+#include "serving/resilience.h"
+
+#include <chrono>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace cce::serving {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+std::vector<int64_t> BackoffSchedule(const RetryPolicy::Options& options,
+                                     uint64_t seed, int steps) {
+  RetryPolicy policy(options);
+  Rng rng(seed);
+  std::vector<int64_t> delays;
+  for (int i = 0; i < steps; ++i) {
+    delays.push_back(policy.NextBackoff(&rng).count());
+  }
+  return delays;
+}
+
+TEST(RetryPolicyTest, PureExponentialWithoutJitter) {
+  RetryPolicy::Options options;
+  options.initial_backoff = milliseconds(2);
+  options.max_backoff = milliseconds(40);
+  options.multiplier = 2.0;
+  options.jitter = false;
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.NextBackoff(nullptr).count(), 2);
+  EXPECT_EQ(policy.NextBackoff(nullptr).count(), 4);
+  EXPECT_EQ(policy.NextBackoff(nullptr).count(), 8);
+  EXPECT_EQ(policy.NextBackoff(nullptr).count(), 16);
+  EXPECT_EQ(policy.NextBackoff(nullptr).count(), 32);
+  EXPECT_EQ(policy.NextBackoff(nullptr).count(), 40) << "capped";
+  EXPECT_EQ(policy.NextBackoff(nullptr).count(), 40);
+  policy.Reset();
+  EXPECT_EQ(policy.NextBackoff(nullptr).count(), 2)
+      << "Reset must restart the schedule";
+}
+
+TEST(RetryPolicyTest, DecorrelatedJitterStaysInWindowAndUnderCap) {
+  RetryPolicy::Options options;
+  options.initial_backoff = milliseconds(1);
+  options.max_backoff = milliseconds(50);
+  RetryPolicy policy(options);
+  Rng rng(99);
+  int64_t previous = options.initial_backoff.count();
+  for (int i = 0; i < 200; ++i) {
+    int64_t delay = policy.NextBackoff(&rng).count();
+    EXPECT_GE(delay, options.initial_backoff.count());
+    EXPECT_LE(delay, std::min<int64_t>(options.max_backoff.count(),
+                                       std::max<int64_t>(previous * 3, 1)));
+    previous = delay;
+  }
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicInTheSeed) {
+  RetryPolicy::Options options;
+  EXPECT_EQ(BackoffSchedule(options, 5, 50), BackoffSchedule(options, 5, 50));
+  EXPECT_NE(BackoffSchedule(options, 5, 50), BackoffSchedule(options, 6, 50));
+}
+
+TEST(RetryPolicyTest, ShouldRetryHonoursTheAttemptBudget) {
+  RetryPolicy::Options options;
+  options.max_attempts = 3;
+  RetryPolicy policy(options);
+  EXPECT_TRUE(policy.ShouldRetry(1));
+  EXPECT_TRUE(policy.ShouldRetry(2));
+  EXPECT_FALSE(policy.ShouldRetry(3));
+
+  options.max_attempts = 1;
+  RetryPolicy no_retries(options);
+  EXPECT_FALSE(no_retries.ShouldRetry(1)) << "max_attempts=1 disables retry";
+}
+
+/// Fixture owning a manually advanced clock, so breaker cooldowns are
+/// exercised without real waiting.
+class CircuitBreakerTest : public ::testing::Test {
+ protected:
+  CircuitBreaker Make(const CircuitBreaker::Options& options) {
+    return CircuitBreaker(options, [this] { return now_; });
+  }
+
+  void Advance(milliseconds d) { now_ += d; }
+
+  steady_clock::time_point now_ = steady_clock::time_point{} +
+                                  std::chrono::hours(1);
+};
+
+TEST_F(CircuitBreakerTest, TripsOpenAfterConsecutiveFailures) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  CircuitBreaker breaker = Make(options);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.AllowRequest());
+    breaker.RecordFailure();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  }
+  // A success resets the consecutive count.
+  breaker.RecordSuccess();
+  for (int i = 0; i < 2; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 1u);
+}
+
+TEST_F(CircuitBreakerTest, OpenRejectsUntilCooldownThenHalfOpens) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.open_cooldown = milliseconds(100);
+  CircuitBreaker breaker = Make(options);
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  EXPECT_FALSE(breaker.AllowRequest());
+  Advance(milliseconds(99));
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.rejected_count(), 2u);
+
+  Advance(milliseconds(1));
+  EXPECT_TRUE(breaker.AllowRequest()) << "cooldown elapsed: half-open probe";
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST_F(CircuitBreakerTest, HalfOpenAdmitsOnlyTheProbeBudget) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.open_cooldown = milliseconds(10);
+  options.probe_budget = 2;
+  CircuitBreaker breaker = Make(options);
+  breaker.RecordFailure();
+  Advance(milliseconds(10));
+
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest()) << "probe budget exhausted";
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST_F(CircuitBreakerTest, ProbeSuccessesCloseTheBreaker) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.open_cooldown = milliseconds(10);
+  options.probe_budget = 3;
+  options.successes_to_close = 2;
+  CircuitBreaker breaker = Make(options);
+  breaker.RecordFailure();
+  Advance(milliseconds(10));
+
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST_F(CircuitBreakerTest, AProbeFailureReopensAndRestartsTheCooldown) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.open_cooldown = milliseconds(10);
+  CircuitBreaker breaker = Make(options);
+  breaker.RecordFailure();
+  Advance(milliseconds(10));
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 2u);
+  EXPECT_FALSE(breaker.AllowRequest()) << "cooldown restarted";
+  Advance(milliseconds(10));
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(HealthSnapshotTest, RendersEveryCounter) {
+  HealthSnapshot snapshot;
+  snapshot.breaker_state = CircuitBreaker::State::kHalfOpen;
+  snapshot.predicts = 7;
+  snapshot.retries = 3;
+  std::string rendered = snapshot.ToString();
+  EXPECT_NE(rendered.find("breaker=half-open"), std::string::npos);
+  EXPECT_NE(rendered.find("predicts=7"), std::string::npos);
+  EXPECT_NE(rendered.find("retries=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cce::serving

@@ -67,6 +67,29 @@ TEST(ResultTest, MutableAccess) {
   EXPECT_EQ(r.value().size(), 3u);
 }
 
+TEST(StatusTest, ServingCodesRoundTripThroughToString) {
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::Unavailable("down").ToString(), "Unavailable: down");
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "ResourceExhausted: full");
+}
+
+TEST(StatusTest, IsRetryableClassifiesTransientCodesOnly) {
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsRetryable());
+  EXPECT_FALSE(Status::Ok().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::Internal("x").IsRetryable());
+  EXPECT_FALSE(Status::IoError("x").IsRetryable());
+}
+
 Status FailingHelper() { return Status::Internal("inner"); }
 
 Status PropagationSite() {
@@ -87,6 +110,46 @@ Status SucceedingSite() {
 
 TEST(StatusTest, ReturnIfErrorPassesThroughOnOk) {
   EXPECT_EQ(SucceedingSite().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<std::string> DescribeQuarter(int v) {
+  CCE_ASSIGN_OR_RETURN(int half, HalveEven(v));
+  CCE_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return std::to_string(quarter);
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsValues) {
+  auto r = DescribeQuarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "2");
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesErrorsFromAnyStep) {
+  EXPECT_EQ(DescribeQuarter(7).status().code(),
+            StatusCode::kInvalidArgument);  // first step fails
+  EXPECT_EQ(DescribeQuarter(6).status().code(),
+            StatusCode::kInvalidArgument);  // second step fails
+}
+
+TEST(ResultTest, AssignOrReturnIntoExistingLvalue) {
+  auto f = []() -> Result<int> {
+    int total = 0;
+    CCE_ASSIGN_OR_RETURN(total, HalveEven(4));
+    return total + 1;
+  };
+  auto r = f();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 3);
+}
+
+TEST(ResultDeathTest, ConstructingFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int> r(Status::Ok()),
+               "Result<T> constructed from an OK Status");
 }
 
 }  // namespace

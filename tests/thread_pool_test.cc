@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <future>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -57,6 +59,68 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
     // No Wait(): the destructor must still run everything.
   }
   EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, TrySubmitIsUnboundedByDefault) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, TrySubmitRejectsWhenTheQueueIsFull) {
+  ThreadPool pool(1, /*queue_capacity=*/2);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> ran{0};
+
+  // Park the single worker so queued tasks pile up behind it.
+  pool.Submit([released, &ran] {
+    released.wait();
+    ran.fetch_add(1);
+  });
+  // Give the worker a moment to dequeue the blocker, then fill the queue.
+  while (pool.queued() > 0) std::this_thread::yield();
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  // Queue now holds 2 tasks = capacity: backpressure kicks in.
+  EXPECT_FALSE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  EXPECT_EQ(pool.queued(), 2u);
+
+  release.set_value();
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 3);
+  // Space is available again once the queue drained.
+  EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }));
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPoolTest, BoundedSubmitBlocksInsteadOfGrowing) {
+  ThreadPool pool(2, /*queue_capacity=*/4);
+  std::atomic<int> counter{0};
+  // 200 tasks through a capacity-4 queue: Submit applies backpressure but
+  // every task still runs exactly once.
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+    EXPECT_LE(pool.queued(), 4u);
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolDeathTest, ReentrantSubmitIsAProgrammerError) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        pool.Submit([&pool] { pool.Submit([] {}); });
+        pool.Wait();
+      },
+      "reentrant");
 }
 
 TEST(ExplainManyTest, MatchesSequentialExplain) {
