@@ -1,0 +1,144 @@
+// Google-benchmark coverage for the durable-context subsystem: raw WAL
+// append throughput under the three sync policies (every record, batched,
+// never), proxy Record overhead with durability on vs off, CRC32C
+// throughput, and recovery time as a function of log length (up to the
+// 100k-record log called out in the design).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+#include "io/context_wal.h"
+#include "serving/proxy.h"
+#include "tests/test_util.h"
+
+namespace cce::io {
+namespace {
+
+std::string BenchPath(const std::string& name) {
+  return "/tmp/cce_bench_durability." + name;
+}
+
+Instance BenchInstance(size_t i) {
+  return {static_cast<ValueId>(i % 7), static_cast<ValueId>(i % 5),
+          static_cast<ValueId>(i % 3), static_cast<ValueId>(i % 11),
+          static_cast<ValueId>(i % 13)};
+}
+
+/// Append throughput under each sync policy. arg == 0 means "never sync";
+/// the gap between arg=1 and arg=0 is the price of per-record durability.
+void BM_WalAppend_SyncEvery(benchmark::State& state) {
+  const std::string path =
+      BenchPath("append." + std::to_string(state.range(0)) + ".wal");
+  std::remove(path.c_str());
+  ContextWal::Options options;
+  options.sync_every = static_cast<size_t>(state.range(0));
+  auto wal = ContextWal::Open(path, options, nullptr, nullptr);
+  CCE_CHECK_OK(wal.status());
+  size_t i = 0;
+  for (auto _ : state) {
+    CCE_CHECK_OK((*wal)->Append(BenchInstance(i), static_cast<Label>(i % 3)));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["fsyncs"] = static_cast<double>((*wal)->fsyncs());
+  wal->reset();
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_WalAppend_SyncEvery)->Arg(1)->Arg(64)->Arg(0);
+
+/// Recovery (salvage scan + replay) time as the log grows; Arg is the
+/// number of records in the log.
+void BM_WalRecovery_LogLength(benchmark::State& state) {
+  const std::string path =
+      BenchPath("recover." + std::to_string(state.range(0)) + ".wal");
+  std::remove(path.c_str());
+  const size_t records = static_cast<size_t>(state.range(0));
+  {
+    ContextWal::Options options;
+    options.sync_every = 0;  // build the fixture fast
+    auto wal = ContextWal::Open(path, options, nullptr, nullptr);
+    CCE_CHECK_OK(wal.status());
+    for (size_t i = 0; i < records; ++i) {
+      CCE_CHECK_OK(
+          (*wal)->Append(BenchInstance(i), static_cast<Label>(i % 3)));
+    }
+    CCE_CHECK_OK((*wal)->Sync());
+  }
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    ContextWal::RecoveryStats stats;
+    auto wal = ContextWal::Open(
+        path, {},
+        [&replayed](const Instance&, Label) {
+          ++replayed;
+          return Status::Ok();
+        },
+        &stats);
+    CCE_CHECK_OK(wal.status());
+    CCE_CHECK(stats.records_recovered == records);
+  }
+  benchmark::DoNotOptimize(replayed);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_WalRecovery_LogLength)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/// End-to-end proxy Record cost: durability off vs WAL with each sync
+/// policy (arg: -1 = durability disabled, otherwise sync_every).
+void BM_ProxyRecord_Durability(benchmark::State& state) {
+  Dataset data = cce::testing::RandomContext(4096, 8, 5, 42);
+  serving::ExplainableProxy::Options options;
+  options.monitor_drift = false;
+  const std::string dir =
+      BenchPath("proxy." + std::to_string(state.range(0)));
+  if (state.range(0) >= 0) {
+    std::remove((dir + "/context.wal").c_str());
+    std::remove((dir + "/context.snapshot").c_str());
+    options.durability.dir = dir;
+    options.durability.sync_every = static_cast<size_t>(state.range(0));
+    // Keep compaction out of the loop so the numbers isolate Append cost.
+    options.durability.compact_threshold_bytes = 1ull << 40;
+  }
+  auto proxy = serving::ExplainableProxy::Create(data.schema_ptr(), nullptr,
+                                                 options);
+  CCE_CHECK_OK(proxy.status());
+  size_t row = 0;
+  for (auto _ : state) {
+    CCE_CHECK_OK((*proxy)->Record(data.instance(row), data.label(row)));
+    row = row + 1 < data.size() ? row + 1 : 0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (state.range(0) >= 0) {
+    std::remove((dir + "/context.wal").c_str());
+    std::remove((dir + "/context.snapshot").c_str());
+  }
+}
+BENCHMARK(BM_ProxyRecord_Durability)->Arg(-1)->Arg(1)->Arg(64)->Arg(0);
+
+void BM_Crc32c_Throughput(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), '\x5a');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i * 131 + 17);
+  }
+  for (auto _ : state) {
+    uint32_t crc = crc32c::Value(data.data(), data.size());
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32c_Throughput)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace cce::io
+
+BENCHMARK_MAIN();

@@ -1,21 +1,41 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the tier-1 suite: builds everything with
+# Sanitizer gate for the tier-1 suite. Default mode builds everything with
 # AddressSanitizer + UndefinedBehaviorSanitizer and runs ctest. The
 # concurrency paths (thread pool backpressure, retry/breaker machinery,
-# deadline-bounded search) must stay sanitizer-clean.
+# deadline-bounded search, proxy locking) must stay sanitizer-clean.
+#
+# SANITIZER=thread switches to ThreadSanitizer (own build tree, since TSan
+# is incompatible with ASan in one binary); use it over the concurrency
+# suites, e.g.:
+#   SANITIZER=thread scripts/check.sh -R 'ProxyConcurrency|ThreadPool'
 #
 # Usage: scripts/check.sh [extra ctest args...]
 #   BUILD_DIR=build-asan JOBS=8 scripts/check.sh -R ProxyTest
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build-asan}
+SANITIZER=${SANITIZER:-address}
 JOBS=${JOBS:-$(nproc)}
+
+case "$SANITIZER" in
+  address)
+    BUILD_DIR=${BUILD_DIR:-build-asan}
+    SAN_FLAGS="-fsanitize=address,undefined"
+    ;;
+  thread)
+    BUILD_DIR=${BUILD_DIR:-build-tsan}
+    SAN_FLAGS="-fsanitize=thread"
+    ;;
+  *)
+    echo "unknown SANITIZER='$SANITIZER' (expected 'address' or 'thread')" >&2
+    exit 2
+    ;;
+esac
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 cd "$BUILD_DIR"

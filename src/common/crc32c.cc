@@ -1,0 +1,60 @@
+#include "common/crc32c.h"
+
+namespace cce::crc32c {
+namespace {
+
+/// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+/// Four 256-entry tables for slicing-by-4: table[0] is the classic
+/// Sarwate byte table, table[k][b] is the CRC contribution of byte b seen
+/// k positions earlier. Built once at first use.
+struct Tables {
+  uint32_t t[4][256];
+
+  Tables() {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][b] = crc;
+    }
+    for (uint32_t b = 0; b < 256; ++b) {
+      for (int k = 1; k < 4; ++k) {
+        t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xFFu];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tab = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  // Slicing-by-4 over the aligned middle; byte-at-a-time for the remainder.
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tab.t[3][crc & 0xFFu] ^ tab.t[2][(crc >> 8) & 0xFFu] ^
+          tab.t[1][(crc >> 16) & 0xFFu] ^ tab.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p) & 0xFFu];
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace cce::crc32c

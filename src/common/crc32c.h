@@ -1,0 +1,38 @@
+#ifndef CCE_COMMON_CRC32C_H_
+#define CCE_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cce::crc32c {
+
+/// Software CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected) with a
+/// slicing-by-4 table-driven kernel. This is the checksum guarding every
+/// write-ahead-log frame (io/context_wal.h): CRC-32C detects all single-bit
+/// errors and all bursts up to 32 bits, which is exactly the corruption
+/// model of torn writes and flipped disk bits.
+
+/// CRC of the concatenation of the data previously summarised by `crc` and
+/// `data[0, n)`.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// CRC of `data[0, n)`.
+inline uint32_t Value(const void* data, size_t n) { return Extend(0, data, n); }
+
+/// Masks a CRC before storing it alongside the data it covers. Computing
+/// the CRC of a byte stream that embeds CRCs of its own prefix degenerates
+/// (the checksum of data + its checksum is a constant); the rotate-and-add
+/// mask (same scheme as LevelDB/RocksDB) breaks that structure.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+/// Inverse of Mask.
+inline uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace cce::crc32c
+
+#endif  // CCE_COMMON_CRC32C_H_

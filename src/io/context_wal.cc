@@ -1,0 +1,268 @@
+#include "io/context_wal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+#include "common/crc32c.h"
+
+namespace cce::io {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'C', 'E', 'W', 'A', 'L', '\x01', '\n'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 24;
+/// Bytes before the payload in every frame: u32 length + u32 masked CRC.
+constexpr size_t kFrameOverhead = 8;
+/// Fixed payload prefix: u64 seq + u32 label + u32 value_count.
+constexpr size_t kPayloadFixed = 16;
+/// Upper bound on a frame payload; anything larger is corruption, not a
+/// record (16 MiB ≈ a 4M-feature instance).
+constexpr uint32_t kMaxPayload = 1u << 24;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFFu));
+  out->push_back(static_cast<char>((v >> 8) & 0xFFu));
+  out->push_back(static_cast<char>((v >> 16) & 0xFFu));
+  out->push_back(static_cast<char>((v >> 24) & 0xFFu));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+std::string EncodeHeader(uint64_t base) {
+  std::string header(kMagic, sizeof(kMagic));
+  PutU32(&header, kVersion);
+  PutU64(&header, base);
+  PutU32(&header,
+         crc32c::Mask(crc32c::Value(header.data(), header.size())));
+  return header;
+}
+
+/// Parses the header; returns base_recorded or nullopt-ish via ok flag.
+bool DecodeHeader(const std::string& content, uint64_t* base) {
+  if (content.size() < kHeaderSize) return false;
+  if (std::memcmp(content.data(), kMagic, sizeof(kMagic)) != 0) return false;
+  if (GetU32(content.data() + 8) != kVersion) return false;
+  const uint32_t stored = GetU32(content.data() + 20);
+  if (crc32c::Unmask(stored) !=
+      crc32c::Value(content.data(), kHeaderSize - 4)) {
+    return false;
+  }
+  *base = GetU64(content.data() + 12);
+  return true;
+}
+
+}  // namespace
+
+ContextWal::ContextWal(std::string path, const Options& options)
+    : path_(std::move(path)), options_(options) {}
+
+ContextWal::~ContextWal() {
+#ifndef _WIN32
+  // Deliberately no fsync: durability comes from the sync policy, so a
+  // destructor-skipping crash and a clean shutdown are indistinguishable.
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+Result<std::unique_ptr<ContextWal>> ContextWal::Open(
+    const std::string& path, const Options& options, const ReplayFn& fn,
+    RecoveryStats* stats) {
+#ifdef _WIN32
+  return Status::Unimplemented("ContextWal requires POSIX file primitives");
+#else
+  if (path.empty()) return Status::InvalidArgument("empty wal path");
+  RecoveryStats local;
+  RecoveryStats* out = stats != nullptr ? stats : &local;
+  *out = RecoveryStats{};
+
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::string buffer((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+      content = std::move(buffer);
+    }
+  }
+
+  uint64_t base = 0;
+  const bool header_ok = DecodeHeader(content, &base);
+  size_t valid_end = 0;
+  if (header_ok) {
+    out->base_recorded = base;
+    size_t pos = kHeaderSize;
+    uint64_t expected_seq = base;
+    // Salvage the longest valid frame prefix; any failure below means a
+    // torn or corrupt tail and stops the scan (never resurrect a record
+    // past the first bad byte).
+    while (true) {
+      if (pos + kFrameOverhead > content.size()) break;
+      const uint32_t len = GetU32(content.data() + pos);
+      const uint32_t masked_crc = GetU32(content.data() + pos + 4);
+      if (len < kPayloadFixed || len > kMaxPayload) break;
+      if (pos + kFrameOverhead + len > content.size()) break;
+      const char* payload = content.data() + pos + kFrameOverhead;
+      if (crc32c::Unmask(masked_crc) != crc32c::Value(payload, len)) break;
+      const uint64_t seq = GetU64(payload);
+      const uint32_t label = GetU32(payload + 8);
+      const uint32_t value_count = GetU32(payload + 12);
+      if (len != kPayloadFixed + 4ull * value_count) break;
+      // A checksum-valid frame out of sequence is a duplicated or
+      // misplaced tail block (e.g. a replayed copy of the last frame).
+      if (seq != expected_seq) break;
+      Instance x(value_count);
+      for (uint32_t i = 0; i < value_count; ++i) {
+        x[i] = GetU32(payload + kPayloadFixed + 4 * i);
+      }
+      if (fn != nullptr) {
+        CCE_RETURN_IF_ERROR(fn(x, static_cast<Label>(label)));
+      }
+      ++out->records_recovered;
+      ++expected_seq;
+      pos += kFrameOverhead + len;
+    }
+    valid_end = pos;
+  }
+  if (content.size() > valid_end) {
+    out->bytes_discarded = content.size() - valid_end;
+    // Everything past the first bad byte is unrecoverable; count the
+    // corruption event as (at least) one lost record.
+    ++out->records_dropped;
+  }
+
+  auto wal = std::unique_ptr<ContextWal>(new ContextWal(path, options));
+  wal->fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (wal->fd_ < 0) {
+    return Status::IoError("cannot open wal '" + path +
+                           "': " + std::strerror(errno));
+  }
+  if (!header_ok) {
+    // Missing, empty or header-corrupt log: restart the generation.
+    CCE_RETURN_IF_ERROR(wal->Reset(0));
+  } else {
+    if (out->bytes_discarded > 0 &&
+        ::ftruncate(wal->fd_, static_cast<off_t>(valid_end)) != 0) {
+      return Status::IoError("cannot truncate corrupt wal tail of '" + path +
+                             "': " + std::strerror(errno));
+    }
+    wal->size_ = valid_end;
+    wal->base_ = base;
+    wal->next_seq_ = base + out->records_recovered;
+    if (out->bytes_discarded > 0) CCE_RETURN_IF_ERROR(wal->Sync());
+  }
+  return wal;
+#endif
+}
+
+Status ContextWal::WriteHeader(uint64_t base) {
+#ifndef _WIN32
+  const std::string header = EncodeHeader(base);
+  const ssize_t wrote = ::write(fd_, header.data(), header.size());
+  if (wrote != static_cast<ssize_t>(header.size())) {
+    return Status::IoError("cannot write wal header to '" + path_ +
+                           "': " + std::strerror(errno));
+  }
+  size_ = kHeaderSize;
+#endif
+  return Status::Ok();
+}
+
+Status ContextWal::Append(const Instance& x, Label y) {
+#ifdef _WIN32
+  (void)x;
+  (void)y;
+  return Status::Unimplemented("ContextWal requires POSIX file primitives");
+#else
+  if (fd_ < 0) return Status::FailedPrecondition("wal is closed");
+  if (x.size() > (kMaxPayload - kPayloadFixed) / 4) {
+    return Status::InvalidArgument("instance too large for a wal frame");
+  }
+  std::string payload;
+  payload.reserve(kPayloadFixed + 4 * x.size());
+  PutU64(&payload, next_seq_);
+  PutU32(&payload, y);
+  PutU32(&payload, static_cast<uint32_t>(x.size()));
+  for (ValueId v : x) PutU32(&payload, v);
+
+  std::string frame;
+  frame.reserve(kFrameOverhead + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame,
+         crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  frame += payload;
+
+  const ssize_t wrote = ::write(fd_, frame.data(), frame.size());
+  if (wrote != static_cast<ssize_t>(frame.size())) {
+    // Roll the file back to the last frame boundary so a failed append
+    // (disk full, I/O error) cannot leave a torn frame behind.
+    (void)::ftruncate(fd_, static_cast<off_t>(size_));
+    return Status::IoError("wal append to '" + path_ +
+                           "' failed: " + std::strerror(errno));
+  }
+  size_ += frame.size();
+  ++next_seq_;
+  ++appended_;
+  if (options_.sync_every > 0 &&
+      ++unsynced_appends_ >= options_.sync_every) {
+    return Sync();
+  }
+  return Status::Ok();
+#endif
+}
+
+Status ContextWal::Sync() {
+#ifndef _WIN32
+  if (fd_ < 0) return Status::FailedPrecondition("wal is closed");
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("wal fsync of '" + path_ +
+                           "' failed: " + std::strerror(errno));
+  }
+  ++fsyncs_;
+  unsynced_appends_ = 0;
+#endif
+  return Status::Ok();
+}
+
+Status ContextWal::Reset(uint64_t base) {
+#ifndef _WIN32
+  if (fd_ < 0) return Status::FailedPrecondition("wal is closed");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError("cannot truncate wal '" + path_ +
+                           "': " + std::strerror(errno));
+  }
+  size_ = 0;
+  CCE_RETURN_IF_ERROR(WriteHeader(base));
+  base_ = base;
+  next_seq_ = base;
+  unsynced_appends_ = 0;
+  return Sync();
+#else
+  (void)base;
+  return Status::Unimplemented("ContextWal requires POSIX file primitives");
+#endif
+}
+
+}  // namespace cce::io

@@ -1,0 +1,129 @@
+#ifndef CCE_IO_CONTEXT_WAL_H_
+#define CCE_IO_CONTEXT_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace cce::io {
+
+/// Append-only, per-record-checksummed write-ahead log of served
+/// (instance, prediction) pairs — the durability half of the proxy's
+/// client-side context (see DESIGN.md §7).
+///
+/// On-disk layout (all integers little-endian, fixed width):
+///
+///   header (24 bytes):
+///     bytes  0..7   magic "CCEWAL\x01\n"
+///     bytes  8..11  u32 version (currently 1)
+///     bytes 12..19  u64 base_recorded — records already compacted into the
+///                   snapshot when this log generation began
+///     bytes 20..23  u32 masked CRC-32C of bytes 0..19
+///   frame (one per record):
+///     u32 payload_length
+///     u32 masked CRC-32C of the payload
+///     payload:
+///       u64 sequence number (base_recorded + index of this record)
+///       u32 label
+///       u32 value_count
+///       u32 values[value_count]
+///
+/// Recovery is salvage-prefix: Open() replays valid frames in order and
+/// stops at the first torn, truncated or checksum-failing frame — or at a
+/// frame whose sequence number breaks the expected chain (which rejects
+/// duplicated tail blocks) — then truncates the file back to the valid
+/// prefix so later appends never interleave with garbage. Corruption is
+/// reported in RecoveryStats, never as an error: a damaged log yields a
+/// shorter context, not a dead proxy.
+///
+/// Durability policy: `sync_every` = N issues an fsync after every Nth
+/// append (1 = every record is durable before Append returns; 0 = never
+/// sync automatically, the OS decides). Sync() forces one on demand. The
+/// destructor closes without syncing — durability comes from the policy,
+/// not from a clean shutdown.
+///
+/// Not thread-safe; the proxy serialises access under its own mutex.
+class ContextWal {
+ public:
+  struct Options {
+    /// fsync cadence in appends; 1 = every append, 0 = never automatic.
+    size_t sync_every = 1;
+  };
+
+  /// What Open() found in an existing log.
+  struct RecoveryStats {
+    /// Frames replayed from the valid prefix.
+    uint64_t records_recovered = 0;
+    /// Lower bound on records lost to corruption (counted as corruption
+    /// events: everything after the first bad byte is unrecoverable).
+    uint64_t records_dropped = 0;
+    /// Trailing bytes discarded by the salvage truncation.
+    uint64_t bytes_discarded = 0;
+    /// base_recorded from the (valid) header; 0 when the header itself
+    /// was corrupt and the log restarted from scratch.
+    uint64_t base_recorded = 0;
+  };
+
+  /// Called once per salvaged record, in append order. A non-OK return
+  /// aborts recovery and fails Open() — return OK and skip internally for
+  /// records the caller merely wants to ignore.
+  using ReplayFn = std::function<Status(const Instance&, Label)>;
+
+  /// Opens (creating if absent) the log at `path`, salvage-replays the
+  /// valid prefix through `fn` (may be null to skip replay), truncates any
+  /// trailing garbage, and returns a writer positioned for append.
+  static Result<std::unique_ptr<ContextWal>> Open(const std::string& path,
+                                                  const Options& options,
+                                                  const ReplayFn& fn,
+                                                  RecoveryStats* stats);
+
+  ~ContextWal();
+  ContextWal(const ContextWal&) = delete;
+  ContextWal& operator=(const ContextWal&) = delete;
+
+  /// Appends one record frame; durable per the sync policy. A partial
+  /// write is rolled back (the file is truncated to the previous frame
+  /// boundary) so a failed append can never leave a torn frame for the
+  /// next recovery to trip over.
+  Status Append(const Instance& x, Label y);
+
+  /// Forces an fsync now regardless of the cadence.
+  Status Sync();
+
+  /// Resets the log to empty with base_recorded = `base` — the truncation
+  /// half of snapshot+compaction. Writes and fsyncs the fresh header.
+  Status Reset(uint64_t base);
+
+  /// Current file size in bytes (header + frames).
+  uint64_t size_bytes() const { return size_; }
+  /// Frames appended through this writer (excludes replayed ones).
+  uint64_t appended() const { return appended_; }
+  /// fsyncs issued (policy + explicit + Reset).
+  uint64_t fsyncs() const { return fsyncs_; }
+  /// base_recorded of the current log generation.
+  uint64_t base_recorded() const { return base_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  ContextWal(std::string path, const Options& options);
+
+  Status WriteHeader(uint64_t base);
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  uint64_t base_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t appended_ = 0;
+  uint64_t fsyncs_ = 0;
+  size_t unsynced_appends_ = 0;
+};
+
+}  // namespace cce::io
+
+#endif  // CCE_IO_CONTEXT_WAL_H_

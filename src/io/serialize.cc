@@ -1,11 +1,14 @@
 #include "io/serialize.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <memory>
 #include <ostream>
 #include <sstream>
 #include <vector>
+
+#include "io/atomic_file.h"
 
 namespace cce::io {
 namespace {
@@ -228,12 +231,15 @@ Result<std::unique_ptr<ml::Gbdt>> LoadGbdt(std::istream* in) {
   if (!tree_count.ok()) return tree_count.status();
 
   std::vector<ml::RegressionTree> trees;
-  trees.reserve(static_cast<size_t>(*tree_count));
+  // Counts come from untrusted input: cap the eager reservation so a
+  // corrupted count line degrades into a parse error, not a huge
+  // allocation. The loops still honour the full count.
+  trees.reserve(std::min<long long>(*tree_count, 1 << 16));
   for (long long t = 0; t < *tree_count; ++t) {
     Result<long long> node_count = ReadCount(in, "tree");
     if (!node_count.ok()) return node_count.status();
     std::vector<ml::TreeNode> nodes;
-    nodes.reserve(static_cast<size_t>(*node_count));
+    nodes.reserve(std::min<long long>(*node_count, 1 << 16));
     for (long long i = 0; i < *node_count; ++i) {
       Result<std::string> line = ReadLine(in);
       if (!line.ok()) return line.status();
@@ -286,9 +292,11 @@ Result<CsvTable> DatasetToCsv(const Dataset& dataset,
 }
 
 Status SaveDatasetToFile(const Dataset& dataset, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  return SaveDataset(dataset, &out);
+  // Atomic replacement (temp + fsync + rename): a crash or a full disk
+  // mid-write can no longer leave a truncated file behind an OK status.
+  return AtomicWriteFile(path, [&dataset](std::ostream* out) {
+    return SaveDataset(dataset, out);
+  });
 }
 
 Result<Dataset> LoadDatasetFromFile(const std::string& path) {
@@ -298,9 +306,9 @@ Result<Dataset> LoadDatasetFromFile(const std::string& path) {
 }
 
 Status SaveGbdtToFile(const ml::Gbdt& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  return SaveGbdt(model, &out);
+  return AtomicWriteFile(path, [&model](std::ostream* out) {
+    return SaveGbdt(model, out);
+  });
 }
 
 Result<std::unique_ptr<ml::Gbdt>> LoadGbdtFromFile(const std::string& path) {

@@ -1,11 +1,52 @@
 #include "serving/proxy.h"
 
 #include <algorithm>
+#include <fstream>
 #include <thread>
+#include <utility>
 
 #include "core/srk.h"
+#include "io/atomic_file.h"
+#include "io/serialize.h"
 
 namespace cce::serving {
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  return probe.good();
+}
+
+/// A recovered snapshot must describe the same feature space as the live
+/// schema: feature/label names and domain sizes all line up. Anything else
+/// means the directory belongs to a different deployment.
+Status CheckSchemaCompatible(const Schema& live, const Schema& stored) {
+  if (live.num_features() != stored.num_features()) {
+    return Status::InvalidArgument(
+        "recovered snapshot has " + std::to_string(stored.num_features()) +
+        " features, schema expects " + std::to_string(live.num_features()));
+  }
+  for (FeatureId f = 0; f < live.num_features(); ++f) {
+    if (live.FeatureName(f) != stored.FeatureName(f)) {
+      return Status::InvalidArgument("recovered snapshot feature " +
+                                     std::to_string(f) + " is '" +
+                                     stored.FeatureName(f) + "', expected '" +
+                                     live.FeatureName(f) + "'");
+    }
+    if (live.DomainSize(f) < stored.DomainSize(f)) {
+      return Status::InvalidArgument(
+          "recovered snapshot domain of '" + live.FeatureName(f) +
+          "' is larger than the live schema's");
+    }
+  }
+  if (live.num_labels() < stored.num_labels()) {
+    return Status::InvalidArgument(
+        "recovered snapshot has more labels than the live schema");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 ExplainableProxy::ExplainableProxy(std::shared_ptr<const Schema> schema,
                                    ModelEndpoint* endpoint,
@@ -42,6 +83,7 @@ Result<std::unique_ptr<ExplainableProxy>> ExplainableProxy::Create(
     proxy->owned_endpoint_ = std::make_unique<LocalModelEndpoint>(model);
     proxy->endpoint_ = proxy->owned_endpoint_.get();
   }
+  CCE_RETURN_IF_ERROR(proxy->InitDurability());
   return proxy;
 }
 
@@ -54,8 +96,69 @@ Result<std::unique_ptr<ExplainableProxy>> ExplainableProxy::CreateWithEndpoint(
   if (options.alpha <= 0.0 || options.alpha > 1.0) {
     return Status::InvalidArgument("alpha must be in (0, 1]");
   }
-  return std::unique_ptr<ExplainableProxy>(
+  auto proxy = std::unique_ptr<ExplainableProxy>(
       new ExplainableProxy(std::move(schema), endpoint, options));
+  CCE_RETURN_IF_ERROR(proxy->InitDurability());
+  return proxy;
+}
+
+Status ExplainableProxy::InitDurability() {
+  const Options::Durability& durability = options_.durability;
+  if (durability.dir.empty()) return Status::Ok();
+  CCE_RETURN_IF_ERROR(io::EnsureDirectory(durability.dir));
+  snapshot_path_ = durability.dir + "/context.snapshot";
+  const std::string wal_path = durability.dir + "/context.wal";
+
+  // Recovery replays into the window without re-logging: snapshot rows are
+  // summarised by the log's base_recorded, log rows are already on disk.
+  // Rows that no longer fit the live schema are skipped and counted as
+  // dropped rather than failing recovery.
+  size_t snapshot_rows = 0;
+  if (FileExists(snapshot_path_)) {
+    CCE_ASSIGN_OR_RETURN(Dataset snapshot,
+                         io::LoadDatasetFromFile(snapshot_path_));
+    CCE_RETURN_IF_ERROR(CheckSchemaCompatible(*schema_, snapshot.schema()));
+    for (size_t row = 0; row < snapshot.size(); ++row) {
+      if (RecordLocked(snapshot.instance(row), snapshot.label(row),
+                       /*log=*/false)
+              .ok()) {
+        ++snapshot_rows;
+      } else {
+        ++health_.wal_records_dropped;
+      }
+    }
+  }
+
+  io::ContextWal::RecoveryStats stats;
+  uint64_t wal_rows = 0;
+  auto replay = [this, &wal_rows](const Instance& x, Label y) {
+    if (RecordLocked(x, y, /*log=*/false).ok()) {
+      ++wal_rows;
+    } else {
+      ++health_.wal_records_dropped;
+    }
+    return Status::Ok();
+  };
+  io::ContextWal::Options wal_options;
+  wal_options.sync_every = durability.sync_every;
+  CCE_ASSIGN_OR_RETURN(wal_,
+                       io::ContextWal::Open(wal_path, wal_options, replay,
+                                            &stats));
+
+  // Total ever recorded: the log's base covers everything compacted away
+  // (including rows evicted from the snapshot by the window capacity).
+  recorded_ = static_cast<size_t>(
+      std::max<uint64_t>(stats.base_recorded, snapshot_rows) +
+      stats.records_recovered);
+  health_.wal_records_recovered = snapshot_rows + wal_rows;
+  health_.wal_records_dropped += stats.records_dropped;
+
+  // Start the new process on a clean generation: fold the replayed log
+  // (and any salvage-truncated garbage) into a fresh snapshot.
+  if (stats.records_recovered > 0 || stats.bytes_discarded > 0) {
+    CCE_RETURN_IF_ERROR(CompactLocked());
+  }
+  return Status::Ok();
 }
 
 Result<Label> ExplainableProxy::CallEndpoint(const Instance& x,
@@ -92,6 +195,7 @@ Result<Label> ExplainableProxy::CallEndpoint(const Instance& x,
 
 Result<Label> ExplainableProxy::Predict(const Instance& x,
                                         const Deadline& deadline) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++health_.predicts;
   if (endpoint_ == nullptr) {
     return Status::FailedPrecondition(
@@ -116,13 +220,30 @@ Result<Label> ExplainableProxy::Predict(const Instance& x,
     return served.status();
   }
   breaker_.RecordSuccess();
-  CCE_RETURN_IF_ERROR(Record(x, *served));
+  CCE_RETURN_IF_ERROR(RecordLocked(x, *served, /*log=*/true));
   return *served;
 }
 
 Status ExplainableProxy::Record(const Instance& x, Label y) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RecordLocked(x, y, /*log=*/true);
+}
+
+Status ExplainableProxy::RecordLocked(const Instance& x, Label y, bool log) {
   if (x.size() != schema_->num_features()) {
     return Status::InvalidArgument("instance arity does not match schema");
+  }
+  if (y >= schema_->num_labels()) {
+    return Status::InvalidArgument(
+        "label " + std::to_string(y) +
+        " is not in the schema's label dictionary (" +
+        std::to_string(schema_->num_labels()) + " labels)");
+  }
+  if (log && wal_ != nullptr) {
+    // Write-ahead: the pair is durable (per the sync policy) before it
+    // becomes visible in the window.
+    CCE_RETURN_IF_ERROR(wal_->Append(x, y));
+    ++health_.wal_records_logged;
   }
   window_.emplace_back(x, y);
   if (options_.context_capacity > 0) {
@@ -132,32 +253,57 @@ Status ExplainableProxy::Record(const Instance& x, Label y) {
   }
   ++recorded_;
   if (drift_ != nullptr) drift_->Observe(x, y);
+  if (log && wal_ != nullptr &&
+      options_.durability.compact_threshold_bytes > 0 &&
+      wal_->size_bytes() >= options_.durability.compact_threshold_bytes) {
+    CCE_RETURN_IF_ERROR(CompactLocked());
+  }
   return Status::Ok();
 }
 
-Context ExplainableProxy::ContextSnapshot() const {
+Status ExplainableProxy::CompactLocked() {
+  CCE_RETURN_IF_ERROR(io::SaveDatasetToFile(SnapshotLocked(),
+                                            snapshot_path_));
+  CCE_RETURN_IF_ERROR(wal_->Reset(recorded_));
+  ++health_.wal_compactions;
+  return Status::Ok();
+}
+
+Context ExplainableProxy::SnapshotLocked() const {
   Context context(schema_);
   for (const auto& [x, y] : window_) context.Add(x, y);
   return context;
 }
 
+Context ExplainableProxy::ContextSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
 Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
                                             const Deadline& deadline) const {
-  if (window_.empty()) {
-    return Status::FailedPrecondition("no predictions recorded yet");
+  Context context(schema_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (window_.empty()) {
+      return Status::FailedPrecondition("no predictions recorded yet");
+    }
+    // Explaining consults only the recorded context (paper Section 6), so
+    // it keeps working when the breaker has taken the model out of the
+    // path — that serve is the "record-only fallback" rung of the ladder.
+    if (breaker_.state() == CircuitBreaker::State::kOpen) {
+      ++health_.fallback_serves;
+    }
+    context = SnapshotLocked();
   }
-  // Explaining consults only the recorded context (paper Section 6), so it
-  // keeps working when the breaker has taken the model out of the path —
-  // that serve is the "record-only fallback" rung of the ladder.
-  if (breaker_.state() == CircuitBreaker::State::kOpen) {
-    ++health_.fallback_serves;
-  }
-  Context context = ContextSnapshot();
+  // The key search runs on the copy, outside the lock: a slow Explain
+  // never stalls Predict/Record traffic.
   Srk::Options options;
   options.alpha = options_.alpha;
   options.deadline = deadline;
   Result<KeyResult> key = Srk::ExplainInstance(context, x, y, options);
   if (key.ok() && key->degraded) {
+    std::lock_guard<std::mutex> lock(mu_);
     ++health_.degraded_explains;
     ++health_.deadline_misses;
   }
@@ -166,25 +312,37 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
 
 Result<std::vector<RelativeCounterfactual>>
 ExplainableProxy::Counterfactuals(const Instance& x, Label y) const {
-  if (window_.empty()) {
-    return Status::FailedPrecondition("no predictions recorded yet");
+  Context context(schema_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (window_.empty()) {
+      return Status::FailedPrecondition("no predictions recorded yet");
+    }
+    if (breaker_.state() == CircuitBreaker::State::kOpen) {
+      ++health_.fallback_serves;
+    }
+    context = SnapshotLocked();
   }
-  if (breaker_.state() == CircuitBreaker::State::kOpen) {
-    ++health_.fallback_serves;
-  }
-  Context context = ContextSnapshot();
   return CounterfactualFinder::FindForInstance(context, x, y, {});
 }
 
 bool ExplainableProxy::DriftAlarmed() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return drift_ != nullptr && drift_->Alarmed();
 }
 
+size_t ExplainableProxy::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
 HealthSnapshot ExplainableProxy::Health() const {
+  std::lock_guard<std::mutex> lock(mu_);
   HealthSnapshot snapshot = health_;
   snapshot.breaker_state = breaker_.state();
   snapshot.breaker_rejections = breaker_.rejected_count();
   snapshot.breaker_trips = breaker_.trip_count();
+  if (wal_ != nullptr) snapshot.wal_fsyncs = wal_->fsyncs();
   return snapshot;
 }
 

@@ -5,6 +5,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "core/dataset.h"
 #include "core/key_result.h"
 #include "core/model.h"
+#include "io/context_wal.h"
 #include "serving/resilience.h"
 
 namespace cce::serving {
@@ -46,6 +48,19 @@ namespace cce::serving {
 /// Per-call Deadlines bound Predict (including its retries) and Explain
 /// (the SRK search returns a padded, `degraded` key at budget exhaustion).
 /// Health() exposes the machinery for observability.
+///
+/// Durability (DESIGN.md §7): with Options::durability enabled, every
+/// recorded pair is appended to a checksummed write-ahead log before it
+/// enters the in-memory window, the log is periodically compacted into an
+/// atomically-replaced snapshot, and Create() replays snapshot + log so a
+/// crashed or restarted proxy resumes with its context — and therefore its
+/// explanations — intact.
+///
+/// Thread safety: all public methods may be called concurrently. Predict
+/// and Record are serialised by an internal mutex (the breaker counts
+/// consecutive *operations*, which only means anything serialised); Explain
+/// and Counterfactuals copy the context under the lock and run the key
+/// search outside it, so slow explanations never block recording.
 class ExplainableProxy {
  public:
   struct Options {
@@ -68,11 +83,30 @@ class ExplainableProxy {
     std::function<void(std::chrono::milliseconds)> sleep;
     /// Clock for the breaker's cooldown timer (tests inject manual time).
     CircuitBreaker::ClockFn clock;
+
+    /// Crash-durable context. When `dir` is set, Create() recovers the
+    /// context recorded by any previous proxy on the same directory.
+    struct Durability {
+      /// Directory holding the snapshot + write-ahead log; empty disables
+      /// durability. Created if missing (parents must exist).
+      std::string dir;
+      /// fsync after every N recorded pairs; 1 = every record is durable
+      /// before Record/Predict returns, 0 = never sync automatically (the
+      /// OS decides — fastest, weakest).
+      size_t sync_every = 1;
+      /// Snapshot the window and truncate the log once it exceeds this
+      /// many bytes; 0 = never compact.
+      uint64_t compact_threshold_bytes = 4 * 1024 * 1024;
+    };
+    Durability durability;
   };
 
   /// `model` may be null (record-only mode via Record()); it is not owned
   /// and must outlive the proxy when provided. The model is wrapped in a
-  /// LocalModelEndpoint internally.
+  /// LocalModelEndpoint internally. With durability enabled, replays the
+  /// snapshot + log under `durability.dir` (salvaging the valid prefix of
+  /// a corrupt log) before returning; the recovered counts are visible in
+  /// Health().
   static Result<std::unique_ptr<ExplainableProxy>> Create(
       std::shared_ptr<const Schema> schema, const Model* model,
       const Options& options);
@@ -91,7 +125,9 @@ class ExplainableProxy {
   /// constructed without a model.
   Result<Label> Predict(const Instance& x, const Deadline& deadline = {});
 
-  /// Records an externally served (instance, prediction) pair.
+  /// Records an externally served (instance, prediction) pair. The label
+  /// must exist in the schema's label dictionary — an arbitrary integer
+  /// would poison both the context and the write-ahead log.
   Status Record(const Instance& x, Label y);
 
   /// Relative key for a recorded (instance, prediction) against the
@@ -111,10 +147,11 @@ class ExplainableProxy {
   /// Snapshot of the current context (e.g. for io::SaveDataset).
   Context ContextSnapshot() const;
 
-  /// Point-in-time resilience counters and breaker state.
+  /// Point-in-time resilience + durability counters and breaker state.
   HealthSnapshot Health() const;
 
-  size_t recorded() const { return recorded_; }
+  /// Total pairs ever recorded, including those recovered at Create.
+  size_t recorded() const;
 
  private:
   ExplainableProxy(std::shared_ptr<const Schema> schema,
@@ -123,10 +160,29 @@ class ExplainableProxy {
   /// One endpoint call guarded by retries; shared by Predict.
   Result<Label> CallEndpoint(const Instance& x, const Deadline& deadline);
 
+  /// Replays snapshot + WAL from durability.dir and opens the log for
+  /// append. No-op when durability is disabled.
+  Status InitDurability();
+
+  /// Record() body; caller holds mu_. `log` = false while replaying (the
+  /// record is already in the log or summarised by the snapshot).
+  Status RecordLocked(const Instance& x, Label y, bool log);
+
+  /// Writes the window as an atomic snapshot and truncates the log;
+  /// caller holds mu_.
+  Status CompactLocked();
+
+  /// Copy of the rolling window as a Dataset; caller holds mu_.
+  Context SnapshotLocked() const;
+
   std::shared_ptr<const Schema> schema_;
   std::unique_ptr<LocalModelEndpoint> owned_endpoint_;  // Create(Model*) path
   ModelEndpoint* endpoint_;  // may be null (record-only construction)
   Options options_;
+
+  /// Guards every mutable member below (and the resilience machinery,
+  /// which is documented non-thread-safe).
+  mutable std::mutex mu_;
   std::deque<std::pair<Instance, Label>> window_;
   std::unique_ptr<DriftMonitor> drift_;
   size_t recorded_ = 0;
@@ -135,6 +191,9 @@ class ExplainableProxy {
   CircuitBreaker breaker_;
   Rng retry_rng_;
   std::function<void(std::chrono::milliseconds)> sleep_;
+
+  std::unique_ptr<io::ContextWal> wal_;  // null when durability disabled
+  std::string snapshot_path_;
 
   // Mutable: Explain() is logically const but counts degraded serves.
   mutable HealthSnapshot health_;

@@ -131,6 +131,11 @@ std::string HealthSnapshot::ToString() const {
   out += " deadline_misses=" + std::to_string(deadline_misses);
   out += " degraded_explains=" + std::to_string(degraded_explains);
   out += " fallback_serves=" + std::to_string(fallback_serves);
+  out += " wal_records_logged=" + std::to_string(wal_records_logged);
+  out += " wal_fsyncs=" + std::to_string(wal_fsyncs);
+  out += " wal_compactions=" + std::to_string(wal_compactions);
+  out += " wal_records_recovered=" + std::to_string(wal_records_recovered);
+  out += " wal_records_dropped=" + std::to_string(wal_records_dropped);
   return out;
 }
 

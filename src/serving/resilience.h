@@ -172,6 +172,18 @@ struct HealthSnapshot {
   /// (record-only fallback mode still answering from context).
   uint64_t fallback_serves = 0;
 
+  // Durability counters (all zero when Options::durability is disabled).
+  /// Records appended to the write-ahead log.
+  uint64_t wal_records_logged = 0;
+  /// fsyncs issued by the log (sync policy + compactions).
+  uint64_t wal_fsyncs = 0;
+  /// Snapshot+truncate compactions performed.
+  uint64_t wal_compactions = 0;
+  /// Records replayed from snapshot + log at Create (crash recovery).
+  uint64_t wal_records_recovered = 0;
+  /// Lower bound on records lost to log corruption at recovery.
+  uint64_t wal_records_dropped = 0;
+
   std::string ToString() const;
 };
 

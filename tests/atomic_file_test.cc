@@ -1,0 +1,94 @@
+#include "io/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace cce::io {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(AtomicFileTest, WritesNewFile) {
+  const std::string path = ::testing::TempDir() + "/atomic_new.txt";
+  std::remove(path.c_str());
+  CCE_CHECK_OK(AtomicWriteFile(path, [](std::ostream* out) {
+    *out << "hello\n";
+    return Status::Ok();
+  }));
+  EXPECT_EQ(ReadAll(path), "hello\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, ReplacesExistingContentAtomically) {
+  const std::string path = ::testing::TempDir() + "/atomic_replace.txt";
+  CCE_CHECK_OK(AtomicWriteFile(path, [](std::ostream* out) {
+    *out << "old";
+    return Status::Ok();
+  }));
+  CCE_CHECK_OK(AtomicWriteFile(path, [](std::ostream* out) {
+    *out << "new content";
+    return Status::Ok();
+  }));
+  EXPECT_EQ(ReadAll(path), "new content");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, WriterErrorLeavesOriginalIntactAndNoTempBehind) {
+  const std::string path = ::testing::TempDir() + "/atomic_failed.txt";
+  CCE_CHECK_OK(AtomicWriteFile(path, [](std::ostream* out) {
+    *out << "precious";
+    return Status::Ok();
+  }));
+  Status failed = AtomicWriteFile(path, [](std::ostream* out) {
+    *out << "half-writ";
+    return Status::IoError("simulated mid-write failure");
+  });
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadAll(path), "precious")
+      << "a failed rewrite must not touch the target";
+  // The temp file must have been cleaned up.
+  EXPECT_FALSE(std::ifstream(path + ".tmp.0").good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileTest, UnwritableDirectoryFails) {
+  Status failed = AtomicWriteFile("/no/such/dir/file.txt",
+                                  [](std::ostream* out) {
+                                    *out << "x";
+                                    return Status::Ok();
+                                  });
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+}
+
+TEST(EnsureDirectoryTest, CreatesOnceAndIsIdempotent) {
+  const std::string dir = ::testing::TempDir() + "/atomic_mkdir_test";
+  CCE_CHECK_OK(EnsureDirectory(dir));
+  CCE_CHECK_OK(EnsureDirectory(dir));
+  // A file with the same name is rejected.
+  const std::string file = dir + "/occupied";
+  CCE_CHECK_OK(AtomicWriteFile(file, [](std::ostream* out) {
+    *out << "x";
+    return Status::Ok();
+  }));
+  EXPECT_EQ(EnsureDirectory(file).code(), StatusCode::kIoError);
+  std::remove(file.c_str());
+}
+
+TEST(EnsureDirectoryTest, RejectsEmptyPath) {
+  EXPECT_EQ(EnsureDirectory("").code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cce::io

@@ -1,0 +1,71 @@
+#include "common/crc32c.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace cce::crc32c {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The classic CRC-32C check value (RFC 3720 / Castagnoli literature).
+  EXPECT_EQ(Value("123456789", 9), 0xE3069283u);
+
+  unsigned char zeros[32];
+  std::memset(zeros, 0x00, sizeof(zeros));
+  EXPECT_EQ(Value(zeros, sizeof(zeros)), 0x8A9136AAu);
+
+  unsigned char ones[32];
+  std::memset(ones, 0xFF, sizeof(ones));
+  EXPECT_EQ(Value(ones, sizeof(ones)), 0x62A8AB43u);
+
+  unsigned char ascending[32];
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<unsigned char>(i);
+  EXPECT_EQ(Value(ascending, sizeof(ascending)), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Value("", 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShotAtEverySplitPoint) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Value(data.data(), data.size());
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Value(data.data(), split);
+    crc = Extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsEverySingleBitFlip) {
+  // The WAL's corruption model: CRC-32C must catch any single flipped bit.
+  Rng rng(7);
+  std::vector<unsigned char> data(64);
+  for (auto& b : data) b = static_cast<unsigned char>(rng.Uniform(256));
+  const uint32_t clean = Value(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<unsigned char>(1u << bit);
+      EXPECT_NE(Value(data.data(), data.size()), clean)
+          << "missed flip at byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<unsigned char>(1u << bit);
+    }
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndChangesTheValue) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t crc = static_cast<uint32_t>(rng.Next());
+    EXPECT_EQ(Unmask(Mask(crc)), crc);
+    EXPECT_NE(Mask(crc), crc) << "mask must not be the identity";
+  }
+}
+
+}  // namespace
+}  // namespace cce::crc32c

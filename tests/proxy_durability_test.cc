@@ -1,0 +1,296 @@
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "ml/gbdt.h"
+#include "serving/proxy.h"
+#include "tests/test_util.h"
+
+namespace cce::serving {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class ProxyDurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = std::make_unique<Dataset>(
+        cce::testing::RandomContext(400, 5, 3, 99, /*noise=*/0.0));
+  }
+
+  /// A fresh durability directory, unique per test.
+  std::string MakeDir(const std::string& tag) {
+    const std::string dir = ::testing::TempDir() + "/cce_durability_" + tag;
+    // Clear leftovers from a previous run.
+    std::remove((dir + "/context.wal").c_str());
+    std::remove((dir + "/context.snapshot").c_str());
+    return dir;
+  }
+
+  ExplainableProxy::Options DurableOptions(const std::string& dir,
+                                           size_t sync_every = 1) {
+    ExplainableProxy::Options options;
+    options.monitor_drift = false;
+    options.durability.dir = dir;
+    options.durability.sync_every = sync_every;
+    return options;
+  }
+
+  std::unique_ptr<Dataset> data_;
+};
+
+TEST_F(ProxyDurabilityTest, KillRecoverRoundTripPreservesTheExplanation) {
+  const std::string dir = MakeDir("kill_recover");
+  const size_t kRecords = 60;
+  const Instance& x0 = data_->instance(0);
+  const Label y0 = data_->label(0);
+  KeyResult key_before{};
+
+  {
+    auto proxy = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir));
+    ASSERT_TRUE(proxy.ok()) << proxy.status().ToString();
+    for (size_t row = 0; row < kRecords; ++row) {
+      CCE_CHECK_OK((*proxy)->Record(data_->instance(row),
+                                    data_->label(row)));
+    }
+    auto key = (*proxy)->Explain(x0, y0);
+    ASSERT_TRUE(key.ok());
+    key_before = *key;
+    // The proxy is dropped here with no clean-shutdown call: neither the
+    // proxy nor the WAL flushes anything in a destructor, so this is
+    // equivalent to a crash as far as the durability machinery goes. With
+    // sync_every=1 every record was fsync-durable before Record returned.
+  }
+
+  auto revived = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir));
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ((*revived)->recorded(), kRecords);
+  HealthSnapshot health = (*revived)->Health();
+  EXPECT_EQ(health.wal_records_recovered, kRecords);
+  EXPECT_EQ(health.wal_records_dropped, 0u);
+  EXPECT_GE(health.wal_compactions, 1u)
+      << "recovery folds the replayed log into a fresh snapshot";
+
+  Context snapshot = (*revived)->ContextSnapshot();
+  ASSERT_EQ(snapshot.size(), kRecords);
+  for (size_t row = 0; row < kRecords; ++row) {
+    EXPECT_EQ(snapshot.instance(row), data_->instance(row));
+    EXPECT_EQ(snapshot.label(row), data_->label(row));
+  }
+
+  auto key_after = (*revived)->Explain(x0, y0);
+  ASSERT_TRUE(key_after.ok());
+  EXPECT_EQ(key_after->key, key_before.key)
+      << "the recovered context must yield the same relative key";
+  EXPECT_EQ(key_after->achieved_alpha, key_before.achieved_alpha);
+}
+
+TEST_F(ProxyDurabilityTest, ModelServedTrafficSurvivesRestart) {
+  const std::string dir = MakeDir("model_restart");
+  ml::Gbdt::Options gbdt_options;
+  gbdt_options.num_trees = 20;
+  auto model = ml::Gbdt::Train(*data_, gbdt_options);
+  CCE_CHECK_OK(model.status());
+
+  {
+    auto proxy = ExplainableProxy::Create(data_->schema_ptr(), model->get(),
+                                          DurableOptions(dir));
+    ASSERT_TRUE(proxy.ok());
+    for (size_t row = 0; row < 40; ++row) {
+      ASSERT_TRUE((*proxy)->Predict(data_->instance(row)).ok());
+    }
+  }
+
+  // Day 2: the model is gone; the recovered context still explains.
+  auto revived = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir));
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ((*revived)->recorded(), 40u);
+  const Instance& x0 = data_->instance(0);
+  const Label y0 = (*model)->Predict(x0);
+  auto key = (*revived)->Explain(x0, y0);
+  ASSERT_TRUE(key.ok());
+  EXPECT_TRUE(key->satisfied);
+}
+
+TEST_F(ProxyDurabilityTest, CorruptLogTailIsSalvagedNotFatal) {
+  const std::string dir = MakeDir("corrupt_tail");
+  {
+    auto proxy = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir));
+    ASSERT_TRUE(proxy.ok());
+    for (size_t row = 0; row < 20; ++row) {
+      CCE_CHECK_OK((*proxy)->Record(data_->instance(row),
+                                    data_->label(row)));
+    }
+  }
+  // A torn final write: garbage lands on the log tail.
+  const std::string wal = dir + "/context.wal";
+  WriteFileBytes(wal, ReadFileBytes(wal) + "\x07garbage-torn-tail");
+
+  auto revived = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir));
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ((*revived)->recorded(), 20u);
+  HealthSnapshot health = (*revived)->Health();
+  EXPECT_EQ(health.wal_records_recovered, 20u);
+  EXPECT_GE(health.wal_records_dropped, 1u);
+}
+
+TEST_F(ProxyDurabilityTest, MidLogBitFlipSalvagesThePrefix) {
+  const std::string dir = MakeDir("bit_flip");
+  {
+    auto proxy = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir));
+    ASSERT_TRUE(proxy.ok());
+    for (size_t row = 0; row < 20; ++row) {
+      CCE_CHECK_OK((*proxy)->Record(data_->instance(row),
+                                    data_->label(row)));
+    }
+  }
+  const std::string wal = dir + "/context.wal";
+  std::string bytes = ReadFileBytes(wal);
+  // 24-byte header, then frames of 8 + 16 + 4*5 bytes (5 features).
+  const size_t frame_size = (bytes.size() - 24) / 20;
+  const size_t flip_at = 24 + 10 * frame_size + frame_size / 2;
+  ASSERT_LT(flip_at, bytes.size());
+  bytes[flip_at] = static_cast<char>(bytes[flip_at] ^ 0x10);
+  WriteFileBytes(wal, bytes);
+
+  auto revived = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir));
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ((*revived)->recorded(), 10u)
+      << "records before the flipped frame survive, the rest are dropped";
+  Context snapshot = (*revived)->ContextSnapshot();
+  ASSERT_EQ(snapshot.size(), 10u);
+  for (size_t row = 0; row < 10; ++row) {
+    EXPECT_EQ(snapshot.instance(row), data_->instance(row));
+  }
+  EXPECT_GE((*revived)->Health().wal_records_dropped, 1u);
+}
+
+TEST_F(ProxyDurabilityTest, CompactionBoundsTheLogAndPreservesTotals) {
+  const std::string dir = MakeDir("compaction");
+  ExplainableProxy::Options options = DurableOptions(dir);
+  options.context_capacity = 16;
+  options.durability.compact_threshold_bytes = 512;
+  {
+    auto proxy =
+        ExplainableProxy::Create(data_->schema_ptr(), nullptr, options);
+    ASSERT_TRUE(proxy.ok());
+    for (size_t row = 0; row < 100; ++row) {
+      CCE_CHECK_OK((*proxy)->Record(data_->instance(row),
+                                    data_->label(row)));
+    }
+    HealthSnapshot health = (*proxy)->Health();
+    EXPECT_GE(health.wal_compactions, 2u);
+    EXPECT_LE((*proxy)->Health().wal_records_logged, 100u);
+  }
+
+  auto revived =
+      ExplainableProxy::Create(data_->schema_ptr(), nullptr, options);
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ((*revived)->recorded(), 100u)
+      << "the total survives even though only the window is retained";
+  Context snapshot = (*revived)->ContextSnapshot();
+  ASSERT_EQ(snapshot.size(), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(snapshot.instance(i), data_->instance(100 - 16 + i));
+  }
+}
+
+TEST_F(ProxyDurabilityTest, RecordRejectsLabelsOutsideTheDictionary) {
+  const std::string dir = MakeDir("bad_label");
+  auto proxy = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                        DurableOptions(dir));
+  ASSERT_TRUE(proxy.ok());
+  // The schema has 2 labels; 7 would poison the context and the log.
+  EXPECT_EQ((*proxy)->Record(data_->instance(0), 7).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*proxy)->recorded(), 0u);
+  EXPECT_EQ((*proxy)->Health().wal_records_logged, 0u);
+  CCE_CHECK_OK((*proxy)->Record(data_->instance(0), 1));
+  EXPECT_EQ((*proxy)->recorded(), 1u);
+}
+
+TEST_F(ProxyDurabilityTest, ForeignSchemaDirectoryIsRejected) {
+  const std::string dir = MakeDir("schema_clash");
+  {
+    auto proxy = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir));
+    ASSERT_TRUE(proxy.ok());
+    for (size_t row = 0; row < 8; ++row) {
+      CCE_CHECK_OK((*proxy)->Record(data_->instance(row),
+                                    data_->label(row)));
+    }
+  }
+  // Force a snapshot into the directory so the schema check sees it.
+  {
+    auto again = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir));
+    ASSERT_TRUE(again.ok());
+    ASSERT_GE((*again)->Health().wal_compactions, 1u);
+  }
+  Dataset other =
+      cce::testing::RandomContext(10, 3, 2, 7);  // different feature space
+  auto clash = ExplainableProxy::Create(other.schema_ptr(), nullptr,
+                                        DurableOptions(dir));
+  EXPECT_FALSE(clash.ok());
+  EXPECT_EQ(clash.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProxyDurabilityTest, DisabledDurabilityTouchesNoFiles) {
+  ExplainableProxy::Options options;
+  options.monitor_drift = false;
+  auto proxy =
+      ExplainableProxy::Create(data_->schema_ptr(), nullptr, options);
+  ASSERT_TRUE(proxy.ok());
+  CCE_CHECK_OK((*proxy)->Record(data_->instance(0), data_->label(0)));
+  HealthSnapshot health = (*proxy)->Health();
+  EXPECT_EQ(health.wal_records_logged, 0u);
+  EXPECT_EQ(health.wal_fsyncs, 0u);
+  EXPECT_EQ(health.wal_compactions, 0u);
+}
+
+TEST_F(ProxyDurabilityTest, SyncNeverStillRecoversWrittenRecords) {
+  // sync_every=0 never fsyncs, but the write(2)s are visible to a process
+  // restart (only an OS crash could lose them) — the weakest, fastest rung.
+  const std::string dir = MakeDir("sync_never");
+  {
+    auto proxy = ExplainableProxy::Create(
+        data_->schema_ptr(), nullptr, DurableOptions(dir, /*sync_every=*/0));
+    ASSERT_TRUE(proxy.ok());
+    for (size_t row = 0; row < 12; ++row) {
+      CCE_CHECK_OK((*proxy)->Record(data_->instance(row),
+                                    data_->label(row)));
+    }
+    // Exactly one fsync: the generation header written at open. No
+    // per-record syncing happened.
+    EXPECT_EQ((*proxy)->Health().wal_fsyncs, 1u);
+  }
+  auto revived = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir, 0));
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ((*revived)->recorded(), 12u);
+}
+
+}  // namespace
+}  // namespace cce::serving

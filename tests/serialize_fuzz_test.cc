@@ -1,0 +1,135 @@
+// Fuzz-style robustness for the LoadDataset/LoadGbdt parsers (the same
+// spirit as csv_fuzz_test): every truncation prefix of a valid file and a
+// barrage of random byte mutations must come back as a clean Status —
+// never a crash, hang or sanitizer report. Runs under ASan/UBSan via
+// scripts/check.sh.
+
+#include "io/serialize.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "tests/test_util.h"
+
+namespace cce::io {
+namespace {
+
+std::string ValidDatasetBytes() {
+  cce::testing::Fig2Context fig2;
+  std::stringstream buffer;
+  CCE_CHECK_OK(SaveDataset(fig2.context, &buffer));
+  return buffer.str();
+}
+
+std::string ValidGbdtBytes() {
+  Dataset data = cce::testing::RandomContext(120, 4, 3, 31, /*noise=*/0.0);
+  ml::Gbdt::Options options;
+  options.num_trees = 8;
+  auto model = ml::Gbdt::Train(data, options);
+  CCE_CHECK_OK(model.status());
+  std::stringstream buffer;
+  CCE_CHECK_OK(SaveGbdt(**model, &buffer));
+  return buffer.str();
+}
+
+/// A successfully parsed dataset must be internally consistent no matter
+/// what bytes produced it: every value inside its feature's domain, every
+/// label inside the dictionary.
+void CheckDatasetInvariants(const Dataset& dataset) {
+  const Schema& schema = dataset.schema();
+  for (size_t row = 0; row < dataset.size(); ++row) {
+    ASSERT_EQ(dataset.instance(row).size(), schema.num_features());
+    for (FeatureId f = 0; f < schema.num_features(); ++f) {
+      ASSERT_LT(dataset.value(row, f), schema.DomainSize(f));
+    }
+    ASSERT_LT(dataset.label(row), schema.num_labels());
+  }
+}
+
+TEST(SerializeFuzzTest, EveryDatasetPrefixFailsCleanly) {
+  const std::string bytes = ValidDatasetBytes();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    auto loaded = LoadDataset(&truncated);
+    if (loaded.ok()) CheckDatasetInvariants(*loaded);
+  }
+  std::stringstream whole(bytes);
+  EXPECT_TRUE(LoadDataset(&whole).ok());
+}
+
+TEST(SerializeFuzzTest, EveryGbdtPrefixFailsCleanly) {
+  const std::string bytes = ValidGbdtBytes();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    auto loaded = LoadGbdt(&truncated);
+    // Any prefix the parser accepts must at least be a usable model.
+    if (loaded.ok()) ASSERT_NE(loaded->get(), nullptr);
+  }
+  std::stringstream whole(bytes);
+  EXPECT_TRUE(LoadGbdt(&whole).ok());
+}
+
+TEST(SerializeFuzzTest, RandomDatasetByteMutationsNeverCrash) {
+  const std::string bytes = ValidDatasetBytes();
+  Rng rng(1234);
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string mutated = bytes;
+    // 1-3 byte substitutions anywhere in the file.
+    const int edits = 1 + static_cast<int>(rng.Uniform(3));
+    for (int e = 0; e < edits; ++e) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    std::stringstream in(mutated);
+    auto loaded = LoadDataset(&in);
+    if (loaded.ok()) CheckDatasetInvariants(*loaded);
+  }
+}
+
+TEST(SerializeFuzzTest, RandomGbdtByteMutationsNeverCrash) {
+  const std::string bytes = ValidGbdtBytes();
+  Rng rng(4321);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = bytes;
+    const int edits = 1 + static_cast<int>(rng.Uniform(3));
+    for (int e = 0; e < edits; ++e) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    std::stringstream in(mutated);
+    auto loaded = LoadGbdt(&in);
+    (void)loaded;
+  }
+}
+
+TEST(SerializeFuzzTest, RandomGarbageIsRejected) {
+  Rng rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage(rng.Uniform(512), '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng.Uniform(256));
+    std::stringstream dataset_in(garbage);
+    EXPECT_FALSE(LoadDataset(&dataset_in).ok());
+    std::stringstream gbdt_in(garbage);
+    EXPECT_FALSE(LoadGbdt(&gbdt_in).ok());
+  }
+}
+
+TEST(SerializeFuzzTest, HostileCountLinesFailWithoutHugeAllocations) {
+  // A corrupted count must parse into an error, not an allocation storm.
+  std::stringstream huge_trees("CCEGBDT v1\nbase_score 0\ntrees 99999999\n");
+  EXPECT_FALSE(LoadGbdt(&huge_trees).ok());
+  std::stringstream huge_nodes(
+      "CCEGBDT v1\nbase_score 0\ntrees 1\ntree 987654321\n");
+  EXPECT_FALSE(LoadGbdt(&huge_nodes).ok());
+  std::stringstream huge_rows(
+      "CCEDATASET v1\nfeatures 1\nfeature 1 a\nv\nlabels 1\nl\n"
+      "rows 123456789\n");
+  EXPECT_FALSE(LoadDataset(&huge_rows).ok());
+}
+
+}  // namespace
+}  // namespace cce::io
