@@ -9,13 +9,32 @@
 # suites, e.g.:
 #   SANITIZER=thread scripts/check.sh -R 'ProxyConcurrency|ThreadPool'
 #
+# SUITE=stress is the tier-2 gate (README "Stress suite"): forces
+# ThreadSanitizer, exports CCE_STRESS=1 (the overload / durability stress
+# tests scale up their thread counts and iteration budgets), and runs the
+# overload, concurrency and durability suites — including the mixed-traffic
+# test that drives the proxy's admission control against a fault injector in
+# overload-burst (brownout) mode.
+#
 # Usage: scripts/check.sh [extra ctest args...]
 #   BUILD_DIR=build-asan JOBS=8 scripts/check.sh -R ProxyTest
+#   SUITE=stress scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SANITIZER=${SANITIZER:-address}
+SUITE=${SUITE:-}
 JOBS=${JOBS:-$(nproc)}
+
+STRESS_ARGS=()
+if [[ "$SUITE" == "stress" ]]; then
+  SANITIZER=thread
+  export CCE_STRESS=1
+  STRESS_ARGS=(-R 'Overload|TokenBucket|ProxyConcurrency|ProxyDurability|ContextWal|ThreadPool')
+elif [[ -n "$SUITE" ]]; then
+  echo "unknown SUITE='$SUITE' (expected 'stress' or unset)" >&2
+  exit 2
+fi
 
 case "$SANITIZER" in
   address)
@@ -39,4 +58,4 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 cd "$BUILD_DIR"
-ctest --output-on-failure -j "$JOBS" "$@"
+ctest --output-on-failure -j "$JOBS" ${STRESS_ARGS[@]+"${STRESS_ARGS[@]}"} "$@"

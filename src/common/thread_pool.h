@@ -1,6 +1,7 @@
 #ifndef CCE_COMMON_THREAD_POOL_H_
 #define CCE_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -50,11 +51,21 @@ class ThreadPool {
   /// Tasks queued but not yet picked up by a worker.
   size_t queued() const;
 
-  /// Runs fn(i) for i in [0, count) across the pool and waits.
+  /// Runs fn(i) for i in [0, count) across the pool and waits. Work is
+  /// chunked into contiguous ranges (~4 tasks per worker) rather than one
+  /// task per item, so per-task overhead never dominates a small loop body
+  /// and a bounded-queue pool never blocks the producer on huge counts.
+  /// Within a chunk, indices run in order on one worker.
   template <typename Fn>
   void ParallelFor(size_t count, Fn&& fn) {
-    for (size_t i = 0; i < count; ++i) {
-      Submit([&fn, i] { fn(i); });
+    if (count == 0) return;
+    const size_t max_tasks = std::max<size_t>(1, num_threads()) * 4;
+    const size_t chunk = (count + max_tasks - 1) / max_tasks;
+    for (size_t begin = 0; begin < count; begin += chunk) {
+      const size_t end = std::min(count, begin + chunk);
+      Submit([&fn, begin, end] {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      });
     }
     Wait();
   }

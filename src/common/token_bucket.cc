@@ -1,0 +1,51 @@
+#include "common/token_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cce {
+
+TokenBucket::TokenBucket(const Options& options, ClockFn clock)
+    : options_(options), clock_(std::move(clock)) {
+  options_.burst = std::max(options_.burst, 1.0);
+  if (!clock_) {
+    clock_ = [] { return Clock::now(); };
+  }
+  tokens_ = options_.burst;  // start full: the first burst is free
+  last_refill_ = clock_();
+}
+
+void TokenBucket::Refill() {
+  const Clock::time_point now = clock_();
+  if (now <= last_refill_) return;
+  const double elapsed_sec =
+      std::chrono::duration<double>(now - last_refill_).count();
+  tokens_ = std::min(options_.burst,
+                     tokens_ + elapsed_sec * options_.refill_per_sec);
+  last_refill_ = now;
+}
+
+bool TokenBucket::TryAcquire(double tokens) {
+  if (unlimited()) return true;
+  Refill();
+  if (tokens_ + 1e-9 < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::available() {
+  if (unlimited()) return options_.burst;
+  Refill();
+  return tokens_;
+}
+
+std::chrono::milliseconds TokenBucket::RetryAfter(double tokens) {
+  if (unlimited()) return std::chrono::milliseconds::zero();
+  Refill();
+  const double deficit = tokens - tokens_;
+  if (deficit <= 0.0) return std::chrono::milliseconds::zero();
+  const double ms = std::ceil(deficit / options_.refill_per_sec * 1000.0);
+  return std::chrono::milliseconds(static_cast<int64_t>(ms));
+}
+
+}  // namespace cce

@@ -1,0 +1,61 @@
+#ifndef CCE_COMMON_TOKEN_BUCKET_H_
+#define CCE_COMMON_TOKEN_BUCKET_H_
+
+#include <chrono>
+#include <functional>
+
+namespace cce {
+
+/// Classic token-bucket rate limiter: the bucket holds up to `burst` tokens
+/// and refills continuously at `refill_per_sec`. A request that finds a
+/// token proceeds; one that does not is the caller's to reject (with the
+/// RetryAfter() hint) or to queue. Continuous refill means a client that
+/// stays under its rate keeps its full burst budget for traffic spikes.
+///
+/// Time is read through an injectable clock so refill schedules are exactly
+/// reproducible in tests. Not thread-safe: the serving layer serialises
+/// access under its own admission mutex.
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using ClockFn = std::function<Clock::time_point()>;
+
+  struct Options {
+    /// Sustained admission rate in tokens per second. <= 0 disables the
+    /// limiter entirely: every acquire succeeds (an unlimited class).
+    double refill_per_sec = 0.0;
+    /// Bucket capacity — the largest burst admitted at once. Clamped to at
+    /// least 1 token so a positive rate can ever admit anything.
+    double burst = 1.0;
+  };
+
+  explicit TokenBucket(const Options& options, ClockFn clock = nullptr);
+
+  /// True (and consumes) when `tokens` are available now.
+  bool TryAcquire(double tokens = 1.0);
+
+  /// Time until `tokens` will be available at the current fill level; zero
+  /// when they already are (or the bucket is unlimited). The natural
+  /// retry-after hint for a rejected request.
+  std::chrono::milliseconds RetryAfter(double tokens = 1.0);
+
+  /// Tokens available right now (refreshes the fill level).
+  double available();
+
+  bool unlimited() const { return options_.refill_per_sec <= 0.0; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Accrues tokens for the time elapsed since the last refill.
+  void Refill();
+
+  Options options_;
+  ClockFn clock_;
+  double tokens_;
+  Clock::time_point last_refill_;
+};
+
+}  // namespace cce
+
+#endif  // CCE_COMMON_TOKEN_BUCKET_H_

@@ -1,6 +1,7 @@
 #include "core/discretizer.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -45,6 +46,15 @@ ValueId Discretizer::Bucket(double value) const {
   // First cut point strictly greater than value identifies the bucket.
   auto it = std::upper_bound(cuts_.begin(), cuts_.end(), value);
   return static_cast<ValueId>(it - cuts_.begin());
+}
+
+Result<ValueId> Discretizer::TryBucket(double value) const {
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument(
+        "non-finite feature value cannot be discretized (" +
+        std::string(std::isnan(value) ? "NaN" : "Inf") + ")");
+  }
+  return Bucket(value);
 }
 
 std::string Discretizer::BucketName(ValueId bucket) const {

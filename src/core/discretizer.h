@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/types.h"
 
 namespace cce {
@@ -21,8 +22,16 @@ class Discretizer {
   /// [cuts[i-1], cuts[i]), with open ends below cuts[0] / above cuts.back().
   static Discretizer WithCuts(std::vector<double> cuts);
 
-  /// Bucket index of `value`, in [0, num_buckets()).
+  /// Bucket index of `value`, in [0, num_buckets()). `value` must be
+  /// finite: a NaN silently lands in the top bucket (NaN compares false
+  /// against every cut), which would poison any downstream context. Use
+  /// TryBucket for untrusted input.
   ValueId Bucket(double value) const;
+
+  /// Bucket() for untrusted input: rejects non-finite values (NaN, ±Inf)
+  /// with kInvalidArgument instead of silently clamping them into an end
+  /// bucket.
+  Result<ValueId> TryBucket(double value) const;
 
   /// Human-readable bucket label, e.g. "[3.0,4.0)".
   std::string BucketName(ValueId bucket) const;

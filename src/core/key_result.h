@@ -31,6 +31,12 @@ struct KeyResult {
   /// callers surface this so clients can re-ask with a larger budget.
   bool degraded = false;
 
+  /// True when the serving layer answered from its explanation cache: a
+  /// real, recently minimal key for the identical discretized instance,
+  /// computed against a context at most a bounded number of records older
+  /// than the current one (the cached rung of the degradation ladder).
+  bool cached = false;
+
   size_t succinctness() const { return key.size(); }
 };
 

@@ -91,4 +91,31 @@ std::vector<std::string> Schema::FeatureNames() const {
   return names;
 }
 
+Status Schema::ValidateInstance(const Instance& x) const {
+  if (x.size() != features_.size()) {
+    return Status::InvalidArgument(
+        "instance has " + std::to_string(x.size()) + " values, schema has " +
+        std::to_string(features_.size()) + " features");
+  }
+  for (FeatureId f = 0; f < x.size(); ++f) {
+    if (x[f] >= features_[f].value_names.size()) {
+      return Status::InvalidArgument(
+          "value code " + std::to_string(x[f]) + " of feature '" +
+          features_[f].name + "' is outside its domain of " +
+          std::to_string(features_[f].value_names.size()) + " values");
+    }
+  }
+  return Status::Ok();
+}
+
+Status Schema::ValidateLabel(Label y) const {
+  if (y >= label_names_.size()) {
+    return Status::InvalidArgument(
+        "label " + std::to_string(y) +
+        " is not in the schema's label dictionary (" +
+        std::to_string(label_names_.size()) + " labels)");
+  }
+  return Status::Ok();
+}
+
 }  // namespace cce

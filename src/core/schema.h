@@ -51,6 +51,16 @@ class Schema {
   /// All feature names in id order; handy for rendering FeatureSets.
   std::vector<std::string> FeatureNames() const;
 
+  /// Checks that `x` is a well-formed instance over this schema: one value
+  /// per feature and every code inside the feature's interned domain.
+  /// The serving boundary calls this on every request so a poisoned
+  /// instance (truncated arity, out-of-range categorical code) never
+  /// reaches the context, the write-ahead log, or a key search.
+  Status ValidateInstance(const Instance& x) const;
+
+  /// Checks that `y` exists in the label dictionary.
+  Status ValidateLabel(Label y) const;
+
  private:
   struct FeatureInfo {
     std::string name;

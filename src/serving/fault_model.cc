@@ -31,6 +31,11 @@ Result<Label> FaultInjectingModel::Predict(const Instance& x) {
       rng_.Bernoulli(std::max(0.0, options_.transient_fraction));
   const bool spike = options_.latency_spike_rate > 0.0 &&
                      rng_.Bernoulli(options_.latency_spike_rate);
+  // Drawn after the original three so schedules of pre-existing
+  // configurations are unchanged for the same seed.
+  const bool start_overload =
+      options_.overload_burst_rate > 0.0 &&
+      rng_.Bernoulli(options_.overload_burst_rate);
 
   if (burst_remaining_ == 0 && start_fault) {
     burst_remaining_ = std::max(1, options_.burst_length);
@@ -45,6 +50,21 @@ Result<Label> FaultInjectingModel::Predict(const Instance& x) {
     }
     ++stats_.permanent_failures;
     return Status::Internal("injected: permanent fault");
+  }
+
+  if (overload_remaining_ == 0 && start_overload) {
+    overload_remaining_ = std::max(1, options_.overload_burst_length);
+    ++stats_.overload_bursts;
+  }
+  if (overload_remaining_ > 0) {
+    // Brownout: the call succeeds but crawls — the backend is overloaded,
+    // not down, so retries and breakers must NOT fire; only admission
+    // control and deadlines help.
+    --overload_remaining_;
+    ++stats_.overloaded_calls;
+    if (sleep_) sleep_(options_.overload_latency);
+    ++stats_.successes;
+    return model_->Predict(x);
   }
 
   if (spike) {

@@ -42,6 +42,16 @@ class FaultInjectingModel : public ModelEndpoint {
     double latency_spike_rate = 0.0;
     /// Duration of an injected latency spike.
     std::chrono::milliseconds latency_spike{20};
+    /// Per-call probability of the backend entering an *overload burst*:
+    /// the next `overload_burst_length` calls still succeed, but each one
+    /// takes `overload_latency` (a brownout, not an outage). This is the
+    /// fault that drives the proxy's admission control in stress tests —
+    /// a slow backend inflates in-flight work until shedding kicks in.
+    double overload_burst_rate = 0.0;
+    /// Consecutive slow calls per overload burst.
+    int overload_burst_length = 8;
+    /// Injected latency of each call inside an overload burst.
+    std::chrono::milliseconds overload_latency{50};
     /// Every call fails with kUnavailable: a hard outage.
     bool fail_forever = false;
     /// Seed for the deterministic fault schedule.
@@ -55,6 +65,8 @@ class FaultInjectingModel : public ModelEndpoint {
     uint64_t transient_failures = 0;
     uint64_t permanent_failures = 0;
     uint64_t latency_spikes = 0;
+    uint64_t overload_bursts = 0;
+    uint64_t overloaded_calls = 0;
   };
 
   using SleepFn = std::function<void(std::chrono::milliseconds)>;
@@ -81,6 +93,8 @@ class FaultInjectingModel : public ModelEndpoint {
   int burst_remaining_ = 0;
   /// Whether the current burst is transient or permanent.
   bool burst_transient_ = true;
+  /// Remaining slow (but successful) calls of the current overload burst.
+  int overload_remaining_ = 0;
 };
 
 }  // namespace cce::serving

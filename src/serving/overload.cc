@@ -1,0 +1,313 @@
+#include "serving/overload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace cce::serving {
+
+const char* RequestClassName(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::kPredict:
+      return "predict";
+    case RequestClass::kRecord:
+      return "record";
+    case RequestClass::kExplain:
+      return "explain";
+    case RequestClass::kCounterfactuals:
+      return "counterfactuals";
+  }
+  return "unknown";
+}
+
+int64_t ParseRetryAfterMs(const Status& status) {
+  static constexpr char kTag[] = "retry_after_ms=";
+  const std::string& message = status.message();
+  const size_t pos = message.find(kTag);
+  if (pos == std::string::npos) return -1;
+  const char* digits = message.c_str() + pos + sizeof(kTag) - 1;
+  char* end = nullptr;
+  const long long value = std::strtoll(digits, &end, 10);
+  if (end == digits || value < 0) return -1;
+  return static_cast<int64_t>(value);
+}
+
+bool CodelDetector::Observe(std::chrono::nanoseconds sojourn,
+                            std::chrono::steady_clock::time_point now) {
+  if (sojourn <= options_.target) {
+    // One good sojourn proves the queue drains: leave shedding mode.
+    above_target_ = false;
+    shedding_ = false;
+    return shedding_;
+  }
+  if (!above_target_) {
+    above_target_ = true;
+    first_above_ = now;
+  } else if (now - first_above_ >= options_.interval) {
+    shedding_ = true;
+  }
+  return shedding_;
+}
+
+AdaptiveConcurrency::AdaptiveConcurrency(const Options& options)
+    : options_(options) {
+  options_.min = std::max(1, options_.min);
+  options_.max = std::max(options_.min, options_.max);
+  options_.increase_every = std::max(1, options_.increase_every);
+  options_.decrease_factor =
+      std::clamp(options_.decrease_factor, 0.05, 0.95);
+  limit_ = std::clamp(options_.initial, options_.min, options_.max);
+}
+
+void AdaptiveConcurrency::OnCompletion(std::chrono::nanoseconds latency) {
+  if (latency > options_.latency_target) {
+    fast_streak_ = 0;
+    const int cut = std::max(
+        options_.min,
+        static_cast<int>(std::floor(limit_ * options_.decrease_factor)));
+    // A slow completion at the floor keeps the floor; only count real cuts.
+    if (cut < limit_) {
+      limit_ = cut;
+      ++decreases_;
+    }
+    return;
+  }
+  if (++fast_streak_ >= options_.increase_every) {
+    fast_streak_ = 0;
+    if (limit_ < options_.max) {
+      ++limit_;
+      ++increases_;
+    }
+  }
+}
+
+size_t ExplainCache::CacheKeyHash::operator()(const CacheKey& key) const {
+  // FNV-1a over the value ids + label; instances are short (tens of
+  // features), so this is cheaper than building a string key.
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ull;
+  };
+  for (ValueId v : key.x) mix(v);
+  mix(0x9E3779B97F4A7C15ull ^ key.y);
+  return static_cast<size_t>(hash);
+}
+
+void ExplainCache::Put(const Instance& x, Label y, uint64_t generation,
+                       const KeyResult& key) {
+  if (options_.capacity == 0) return;
+  CacheKey cache_key{x, y};
+  auto found = index_.find(cache_key);
+  if (found != index_.end()) {
+    found->second->result = key;
+    found->second->generation = generation;
+    entries_.splice(entries_.begin(), entries_, found->second);
+    ++stats_.insertions;
+    return;
+  }
+  entries_.push_front(Entry{std::move(cache_key), key, generation});
+  index_[entries_.front().key] = entries_.begin();
+  ++stats_.insertions;
+  while (entries_.size() > options_.capacity) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+  }
+}
+
+std::optional<KeyResult> ExplainCache::Get(const Instance& x, Label y,
+                                           uint64_t generation) {
+  if (options_.capacity == 0) return std::nullopt;
+  auto found = index_.find(CacheKey{x, y});
+  if (found == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const Entry& entry = *found->second;
+  if (generation < entry.generation ||
+      generation - entry.generation > options_.max_generation_lag) {
+    // Too stale to serve (or from a rolled-back generation): drop so the
+    // slot is free for a fresh key.
+    entries_.erase(found->second);
+    index_.erase(found);
+    ++stats_.stale_drops;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  entries_.splice(entries_.begin(), entries_, found->second);
+  ++stats_.hits;
+  KeyResult result = entry.result;
+  result.cached = true;
+  return result;
+}
+
+OverloadController::OverloadController(const Options& options)
+    : options_(options),
+      clock_(options.clock),
+      predict_bucket_(options.predict_bucket, options.clock),
+      record_bucket_(options.record_bucket, options.clock),
+      explain_bucket_(options.explain_bucket, options.clock),
+      codel_(options.codel),
+      concurrency_(options.concurrency) {
+  if (!clock_) {
+    clock_ = [] { return Clock::now(); };
+  }
+}
+
+Status OverloadController::Shed(const std::string& reason,
+                                std::chrono::milliseconds retry_after) {
+  const int64_t ms = std::max<int64_t>(1, retry_after.count());
+  return Status::ResourceExhausted("overload: " + reason +
+                                   "; retry_after_ms=" + std::to_string(ms));
+}
+
+double OverloadController::EstimatedTotalUs() const {
+  if (!have_latency_) return 0.0;
+  const int limit = std::max(1, concurrency_.limit());
+  const double queue_ahead =
+      in_flight_ >= limit ? static_cast<double>(waiters_ + 1) : 0.0;
+  return ewma_latency_us_ * (1.0 + queue_ahead / limit);
+}
+
+Status OverloadController::AdmitCheap(RequestClass cls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TokenBucket& bucket =
+      cls == RequestClass::kPredict ? predict_bucket_ : record_bucket_;
+  if (!bucket.TryAcquire()) {
+    ++stats_.shed_rate_limited;
+    return Shed(std::string(RequestClassName(cls)) + " rate limit",
+                bucket.RetryAfter());
+  }
+  if (cls == RequestClass::kPredict) {
+    ++stats_.admitted_predicts;
+  } else {
+    ++stats_.admitted_records;
+  }
+  return Status::Ok();
+}
+
+Result<OverloadController::Permit> OverloadController::AdmitExpensive(
+    RequestClass cls, const Deadline& deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!explain_bucket_.TryAcquire()) {
+    ++stats_.shed_rate_limited;
+    return Shed(std::string(RequestClassName(cls)) + " rate limit",
+                explain_bucket_.RetryAfter());
+  }
+
+  const Clock::time_point enqueued = clock_();
+  const auto estimate_ms = [this] {
+    return std::chrono::milliseconds(
+        static_cast<int64_t>(EstimatedTotalUs() / 1000.0));
+  };
+
+  // Deadline-aware shedding: a request whose budget cannot cover the
+  // predicted queue wait + service time would only occupy a slot to miss
+  // its deadline anyway — reject it now, while retrying later can work.
+  if (options_.shed_unmeetable_deadlines && !deadline.infinite() &&
+      have_latency_) {
+    const double remaining_us =
+        std::chrono::duration<double, std::micro>(deadline.remaining())
+            .count();
+    if (remaining_us < EstimatedTotalUs()) {
+      ++stats_.shed_deadline_unmeetable;
+      return Shed("deadline below predicted queue+service time",
+                  estimate_ms());
+    }
+  }
+
+  // CoDel verdict from past sojourns: under sustained buildup, shed new
+  // arrivals while the standing queue drains.
+  if (codel_.shedding() && in_flight_ >= concurrency_.limit()) {
+    ++stats_.shed_codel;
+    return Shed("queue delay above target (CoDel)",
+                std::max<std::chrono::milliseconds>(
+                    codel_.options().interval, estimate_ms()));
+  }
+
+  const auto admit = [&](std::chrono::nanoseconds sojourn) -> Permit {
+    ++in_flight_;
+    codel_.Observe(sojourn, clock_());
+    const bool pressure = waiters_ > 0 || codel_.shedding() ||
+                          in_flight_ >= concurrency_.limit();
+    if (cls == RequestClass::kExplain) {
+      ++stats_.admitted_explains;
+    } else {
+      ++stats_.admitted_counterfactuals;
+    }
+    return Permit(this, clock_(), pressure, sojourn);
+  };
+
+  if (in_flight_ < concurrency_.limit() && waiters_ == 0) {
+    return admit(std::chrono::nanoseconds::zero());
+  }
+
+  if (waiters_ >= options_.max_queue) {
+    ++stats_.shed_queue_full;
+    return Shed("admission queue full", estimate_ms());
+  }
+
+  ++waiters_;
+  ++stats_.queue_waits;
+  const auto slot_available = [this] {
+    return in_flight_ < concurrency_.limit();
+  };
+  bool got_slot;
+  if (deadline.infinite()) {
+    slot_free_.wait(lock, slot_available);
+    got_slot = true;
+  } else {
+    got_slot = slot_free_.wait_until(lock, deadline.expiry(), slot_available);
+  }
+  --waiters_;
+  const std::chrono::nanoseconds sojourn = clock_() - enqueued;
+  if (!got_slot) {
+    // The budget died in the queue: that is a deadline miss, not a
+    // retryable rejection — the caller's remaining budget is zero.
+    ++stats_.shed_queue_deadline;
+    codel_.Observe(sojourn, clock_());
+    return Status::DeadlineExceeded(
+        "deadline expired while queued for an explain slot");
+  }
+  return admit(sojourn);
+}
+
+void OverloadController::Release(Clock::time_point admitted_at) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::chrono::nanoseconds latency = clock_() - admitted_at;
+    --in_flight_;
+    concurrency_.OnCompletion(latency);
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(latency).count();
+    if (!have_latency_) {
+      ewma_latency_us_ = latency_us;
+      have_latency_ = true;
+    } else {
+      ewma_latency_us_ += options_.latency_ewma_alpha *
+                          (latency_us - ewma_latency_us_);
+    }
+  }
+  // The limit may have moved in either direction: wake every waiter to
+  // re-evaluate rather than guessing how many slots opened.
+  slot_free_.notify_all();
+}
+
+bool OverloadController::UnderPressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return codel_.shedding() || waiters_ > 0 ||
+         in_flight_ >= concurrency_.limit();
+}
+
+OverloadController::Stats OverloadController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.concurrency_limit = concurrency_.limit();
+  stats.in_flight = in_flight_;
+  stats.concurrency_increases = concurrency_.increases();
+  stats.concurrency_decreases = concurrency_.decreases();
+  stats.explain_latency_ewma_us = static_cast<int64_t>(ewma_latency_us_);
+  return stats;
+}
+
+}  // namespace cce::serving

@@ -66,6 +66,10 @@ ExplainableProxy::ExplainableProxy(std::shared_ptr<const Schema> schema,
       std::this_thread::sleep_for(d);
     };
   }
+  if (options_.overload.enabled) {
+    overload_ = std::make_unique<OverloadController>(options_.overload);
+    explain_cache_ = std::make_unique<ExplainCache>(options_.explain_cache);
+  }
 }
 
 Result<std::unique_ptr<ExplainableProxy>> ExplainableProxy::Create(
@@ -193,6 +197,14 @@ Result<Label> ExplainableProxy::CallEndpoint(const Instance& x,
   }
 }
 
+Status ExplainableProxy::ValidateRequestLocked(const Instance& x, Label y,
+                                               bool check_label) const {
+  Status valid = schema_->ValidateInstance(x);
+  if (valid.ok() && check_label) valid = schema_->ValidateLabel(y);
+  if (!valid.ok()) ++health_.validation_rejects;
+  return valid;
+}
+
 Result<Label> ExplainableProxy::Predict(const Instance& x,
                                         const Deadline& deadline) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -201,8 +213,9 @@ Result<Label> ExplainableProxy::Predict(const Instance& x,
     return Status::FailedPrecondition(
         "proxy was created without a model; use Record()");
   }
-  if (x.size() != schema_->num_features()) {
-    return Status::InvalidArgument("instance arity does not match schema");
+  CCE_RETURN_IF_ERROR(ValidateRequestLocked(x, 0, /*check_label=*/false));
+  if (overload_ != nullptr) {
+    CCE_RETURN_IF_ERROR(overload_->AdmitCheap(RequestClass::kPredict));
   }
   if (!breaker_.AllowRequest()) {
     return Status::Unavailable(
@@ -226,19 +239,19 @@ Result<Label> ExplainableProxy::Predict(const Instance& x,
 
 Status ExplainableProxy::Record(const Instance& x, Label y) {
   std::lock_guard<std::mutex> lock(mu_);
+  CCE_RETURN_IF_ERROR(ValidateRequestLocked(x, y, /*check_label=*/true));
+  if (overload_ != nullptr) {
+    CCE_RETURN_IF_ERROR(overload_->AdmitCheap(RequestClass::kRecord));
+  }
   return RecordLocked(x, y, /*log=*/true);
 }
 
 Status ExplainableProxy::RecordLocked(const Instance& x, Label y, bool log) {
-  if (x.size() != schema_->num_features()) {
-    return Status::InvalidArgument("instance arity does not match schema");
-  }
-  if (y >= schema_->num_labels()) {
-    return Status::InvalidArgument(
-        "label " + std::to_string(y) +
-        " is not in the schema's label dictionary (" +
-        std::to_string(schema_->num_labels()) + " labels)");
-  }
+  // Full validation (not just arity) also runs on the replay path, so a
+  // poisoned row in a tampered WAL or snapshot is dropped rather than
+  // admitted into the context.
+  CCE_RETURN_IF_ERROR(schema_->ValidateInstance(x));
+  CCE_RETURN_IF_ERROR(schema_->ValidateLabel(y));
   if (log && wal_ != nullptr) {
     // Write-ahead: the pair is durable (per the sync policy) before it
     // becomes visible in the window.
@@ -282,7 +295,33 @@ Context ExplainableProxy::ContextSnapshot() const {
 
 Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
                                             const Deadline& deadline) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++health_.explains;
+    CCE_RETURN_IF_ERROR(ValidateRequestLocked(x, y, /*check_label=*/true));
+  }
+  // Admission runs outside mu_: a request queued for an explain slot must
+  // never block Predict/Record traffic.
+  std::optional<OverloadController::Permit> permit;
+  if (overload_ != nullptr) {
+    auto admitted =
+        overload_->AdmitExpensive(RequestClass::kExplain, deadline);
+    if (!admitted.ok()) {
+      // Shed — the cached rung of the ladder: an identical discretized
+      // instance explained recently enough is still a real answer.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (explain_cache_ != nullptr) {
+        if (auto cached = explain_cache_->Get(x, y, recorded_)) {
+          ++health_.cache_served_explains;
+          return *cached;
+        }
+      }
+      return admitted.status();
+    }
+    permit.emplace(std::move(admitted).value());
+  }
   Context context(schema_);
+  uint64_t generation = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (window_.empty()) {
@@ -294,7 +333,17 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
     if (breaker_.state() == CircuitBreaker::State::kOpen) {
       ++health_.fallback_serves;
     }
+    // Admitted but under pressure (queued, saturated limiter, CoDel):
+    // prefer the cached key over burning a saturated machine on a search.
+    if (permit.has_value() && permit->under_pressure() &&
+        explain_cache_ != nullptr) {
+      if (auto cached = explain_cache_->Get(x, y, recorded_)) {
+        ++health_.cache_served_explains;
+        return *cached;
+      }
+    }
     context = SnapshotLocked();
+    generation = recorded_;
   }
   // The key search runs on the copy, outside the lock: a slow Explain
   // never stalls Predict/Record traffic.
@@ -302,16 +351,33 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
   options.alpha = options_.alpha;
   options.deadline = deadline;
   Result<KeyResult> key = Srk::ExplainInstance(context, x, y, options);
-  if (key.ok() && key->degraded) {
+  if (key.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
-    ++health_.degraded_explains;
-    ++health_.deadline_misses;
+    if (key->degraded) {
+      ++health_.degraded_explains;
+      ++health_.deadline_misses;
+    } else if (explain_cache_ != nullptr) {
+      // Only full (minimised) keys are worth caching: a padded degraded
+      // key served from cache would degrade answers even when idle.
+      explain_cache_->Put(x, y, generation, *key);
+    }
   }
   return key;
 }
 
 Result<std::vector<RelativeCounterfactual>>
 ExplainableProxy::Counterfactuals(const Instance& x, Label y) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CCE_RETURN_IF_ERROR(ValidateRequestLocked(x, y, /*check_label=*/true));
+  }
+  std::optional<OverloadController::Permit> permit;
+  if (overload_ != nullptr) {
+    auto admitted = overload_->AdmitExpensive(
+        RequestClass::kCounterfactuals, Deadline::Infinite());
+    if (!admitted.ok()) return admitted.status();
+    permit.emplace(std::move(admitted).value());
+  }
   Context context(schema_);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -343,6 +409,31 @@ HealthSnapshot ExplainableProxy::Health() const {
   snapshot.breaker_rejections = breaker_.rejected_count();
   snapshot.breaker_trips = breaker_.trip_count();
   if (wal_ != nullptr) snapshot.wal_fsyncs = wal_->fsyncs();
+  if (overload_ != nullptr) {
+    // Lock order is always mu_ -> controller mutex (admission itself
+    // never holds mu_), so this nested snapshot cannot invert.
+    OverloadController::Stats admission = overload_->stats();
+    snapshot.admitted_predicts = admission.admitted_predicts;
+    snapshot.admitted_records = admission.admitted_records;
+    snapshot.admitted_explains = admission.admitted_explains;
+    snapshot.admitted_counterfactuals = admission.admitted_counterfactuals;
+    snapshot.shed_rate_limited = admission.shed_rate_limited;
+    snapshot.shed_queue_full = admission.shed_queue_full;
+    snapshot.shed_deadline_unmeetable = admission.shed_deadline_unmeetable;
+    snapshot.shed_queue_deadline = admission.shed_queue_deadline;
+    snapshot.shed_codel = admission.shed_codel;
+    snapshot.explain_queue_waits = admission.queue_waits;
+    snapshot.concurrency_limit = admission.concurrency_limit;
+    snapshot.concurrency_increases = admission.concurrency_increases;
+    snapshot.concurrency_decreases = admission.concurrency_decreases;
+    snapshot.explain_latency_ewma_us = admission.explain_latency_ewma_us;
+  }
+  if (explain_cache_ != nullptr) {
+    const ExplainCache::Stats& cache = explain_cache_->stats();
+    snapshot.cache_hits = cache.hits;
+    snapshot.cache_misses = cache.misses;
+    snapshot.cache_stale_drops = cache.stale_drops;
+  }
   return snapshot;
 }
 

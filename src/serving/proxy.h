@@ -18,6 +18,7 @@
 #include "core/key_result.h"
 #include "core/model.h"
 #include "io/context_wal.h"
+#include "serving/overload.h"
 #include "serving/resilience.h"
 
 namespace cce::serving {
@@ -48,6 +49,23 @@ namespace cce::serving {
 /// Per-call Deadlines bound Predict (including its retries) and Explain
 /// (the SRK search returns a padded, `degraded` key at budget exhaustion).
 /// Health() exposes the machinery for observability.
+///
+/// Overload protection (DESIGN.md §8): with Options::overload.enabled,
+/// every entry point passes a per-class admission layer — token-bucket
+/// rate limits, a bounded deadline-aware queue with CoDel-style shedding,
+/// and an AIMD concurrency limit on in-flight key searches — so the proxy
+/// survives its own clients, not just a failing backend. Explain's
+/// degradation ladder becomes
+///
+///   full key  ->  cached key for an identical recently-explained
+///                 instance (bounded staleness) when admitted under
+///                 pressure or shed
+///             ->  padded degraded key at deadline expiry
+///             ->  shed with kResourceExhausted + a retry_after hint.
+///
+/// Malformed instances (wrong arity, out-of-domain value codes, unknown
+/// labels) are rejected with kInvalidArgument at every boundary before
+/// they can reach the context, the WAL, or a key search.
 ///
 /// Durability (DESIGN.md §7): with Options::durability enabled, every
 /// recorded pair is appended to a checksummed write-ahead log before it
@@ -99,6 +117,14 @@ class ExplainableProxy {
       uint64_t compact_threshold_bytes = 4 * 1024 * 1024;
     };
     Durability durability;
+
+    /// Admission control / load shedding for every entry point; disabled
+    /// by default (overload.enabled) so private or batch proxies keep the
+    /// unchecked fast path.
+    OverloadController::Options overload;
+    /// Explanation cache backing the "cached key" rung of the degradation
+    /// ladder; only consulted when overload protection is enabled.
+    ExplainCache::Options explain_cache;
   };
 
   /// `model` may be null (record-only mode via Record()); it is not owned
@@ -164,6 +190,12 @@ class ExplainableProxy {
   /// append. No-op when durability is disabled.
   Status InitDurability();
 
+  /// Boundary validation of a client-supplied (instance, label); counts
+  /// rejects in health_. Caller holds mu_. `check_label` = false for
+  /// Predict, whose label comes from the model.
+  Status ValidateRequestLocked(const Instance& x, Label y,
+                               bool check_label) const;
+
   /// Record() body; caller holds mu_. `log` = false while replaying (the
   /// record is already in the log or summarised by the snapshot).
   Status RecordLocked(const Instance& x, Label y, bool log);
@@ -194,6 +226,13 @@ class ExplainableProxy {
 
   std::unique_ptr<io::ContextWal> wal_;  // null when durability disabled
   std::string snapshot_path_;
+
+  /// Admission layer; null when overload protection is disabled. Has its
+  /// own mutex — expensive-class admission must wait for a slot without
+  /// holding mu_, so Predict/Record stay unblocked.
+  std::unique_ptr<OverloadController> overload_;
+  /// Cached-key ladder rung; guarded by mu_, null when overload disabled.
+  std::unique_ptr<ExplainCache> explain_cache_;
 
   // Mutable: Explain() is logically const but counts degraded serves.
   mutable HealthSnapshot health_;

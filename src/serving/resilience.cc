@@ -136,6 +136,29 @@ std::string HealthSnapshot::ToString() const {
   out += " wal_compactions=" + std::to_string(wal_compactions);
   out += " wal_records_recovered=" + std::to_string(wal_records_recovered);
   out += " wal_records_dropped=" + std::to_string(wal_records_dropped);
+  out += " explains=" + std::to_string(explains);
+  out += " validation_rejects=" + std::to_string(validation_rejects);
+  out += " admitted_predicts=" + std::to_string(admitted_predicts);
+  out += " admitted_records=" + std::to_string(admitted_records);
+  out += " admitted_explains=" + std::to_string(admitted_explains);
+  out += " admitted_counterfactuals=" +
+         std::to_string(admitted_counterfactuals);
+  out += " shed_rate_limited=" + std::to_string(shed_rate_limited);
+  out += " shed_queue_full=" + std::to_string(shed_queue_full);
+  out += " shed_deadline_unmeetable=" +
+         std::to_string(shed_deadline_unmeetable);
+  out += " shed_queue_deadline=" + std::to_string(shed_queue_deadline);
+  out += " shed_codel=" + std::to_string(shed_codel);
+  out += " explain_queue_waits=" + std::to_string(explain_queue_waits);
+  out += " concurrency_limit=" + std::to_string(concurrency_limit);
+  out += " concurrency_increases=" + std::to_string(concurrency_increases);
+  out += " concurrency_decreases=" + std::to_string(concurrency_decreases);
+  out += " explain_latency_ewma_us=" +
+         std::to_string(explain_latency_ewma_us);
+  out += " cache_hits=" + std::to_string(cache_hits);
+  out += " cache_misses=" + std::to_string(cache_misses);
+  out += " cache_stale_drops=" + std::to_string(cache_stale_drops);
+  out += " cache_served_explains=" + std::to_string(cache_served_explains);
   return out;
 }
 

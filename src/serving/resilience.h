@@ -184,6 +184,40 @@ struct HealthSnapshot {
   /// Lower bound on records lost to log corruption at recovery.
   uint64_t wal_records_dropped = 0;
 
+  // Overload-protection counters (DESIGN.md §8; admission fields are zero
+  // when Options::overload.enabled is false).
+  /// Client calls to Explain().
+  uint64_t explains = 0;
+  /// Requests rejected at the boundary for malformed input (wrong arity,
+  /// out-of-domain value code, unknown label).
+  uint64_t validation_rejects = 0;
+  /// Admissions by class.
+  uint64_t admitted_predicts = 0;
+  uint64_t admitted_records = 0;
+  uint64_t admitted_explains = 0;
+  uint64_t admitted_counterfactuals = 0;
+  /// Sheds by cause (kResourceExhausted with a retry_after_ms hint,
+  /// except shed_queue_deadline which is kDeadlineExceeded).
+  uint64_t shed_rate_limited = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline_unmeetable = 0;
+  uint64_t shed_queue_deadline = 0;
+  uint64_t shed_codel = 0;
+  /// Expensive admissions that had to queue for a concurrency slot.
+  uint64_t explain_queue_waits = 0;
+  /// Current AIMD concurrency limit and its adjustment history.
+  int concurrency_limit = 0;
+  uint64_t concurrency_increases = 0;
+  uint64_t concurrency_decreases = 0;
+  /// EWMA of observed Explain service latency, µs.
+  int64_t explain_latency_ewma_us = 0;
+  /// Explanation-cache ladder: lookups, hits, entries dropped as stale,
+  /// and requests actually answered from the cache under pressure.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_stale_drops = 0;
+  uint64_t cache_served_explains = 0;
+
   std::string ToString() const;
 };
 

@@ -1,5 +1,6 @@
 #include "core/discretizer.h"
 
+#include <limits>
 #include <set>
 #include <string>
 
@@ -62,6 +63,26 @@ TEST(DiscretizerTest, MidpointRoundTrips) {
   Discretizer d = Discretizer::EquiWidth(0.0, 10.0, 5);
   for (ValueId b = 0; b < d.num_buckets(); ++b) {
     EXPECT_EQ(d.Bucket(d.BucketMidpoint(b)), b);
+  }
+}
+
+TEST(DiscretizerTest, TryBucketRejectsNonFiniteValues) {
+  Discretizer d = Discretizer::EquiWidth(0.0, 10.0, 5);
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  for (double poisoned : {kNan, kInf, -kInf}) {
+    auto bucket = d.TryBucket(poisoned);
+    ASSERT_FALSE(bucket.ok()) << poisoned;
+    EXPECT_EQ(bucket.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(DiscretizerTest, TryBucketMatchesBucketOnFiniteValues) {
+  Discretizer d = Discretizer::EquiWidth(0.0, 10.0, 5);
+  for (double v : {-100.0, 0.0, 0.5, 2.0, 9.9, 100.0}) {
+    auto bucket = d.TryBucket(v);
+    ASSERT_TRUE(bucket.ok()) << v;
+    EXPECT_EQ(*bucket, d.Bucket(v)) << v;
   }
 }
 

@@ -42,6 +42,43 @@ TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForChunksWorkAcrossTasks) {
+  ThreadPool pool(4);
+  // Chunking target is ~4 tasks per worker: 1000 indices through 4 workers
+  // must arrive as a handful of contiguous ranges, not 1000 tasks — and
+  // still cover every index exactly once.
+  std::vector<std::atomic<int>> hits(1000);
+  std::atomic<int> invocations{0};
+  pool.ParallelFor(1000, [&](size_t i) {
+    hits[i].fetch_add(1);
+    invocations.fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(invocations.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ParallelForHugeCountWithBoundedQueueCompletes) {
+  // Pre-chunking this deadlocked: 100k Submits through a capacity-8 queue
+  // from the submitting thread while workers drain. Chunked, the task count
+  // stays under the bound by construction.
+  ThreadPool pool(2, /*queue_capacity=*/8);
+  std::atomic<size_t> counter{0};
+  pool.ParallelFor(100000, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100000u);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "no index to visit"; });
+}
+
+TEST(ThreadPoolTest, ParallelForFewerIndicesThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
   ThreadPool pool(1);
   std::atomic<int> counter{0};

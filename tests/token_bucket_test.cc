@@ -1,0 +1,109 @@
+// TokenBucket: refill math, burst budgets, retry-after hints — all on a
+// manual clock so every schedule is exact.
+
+#include "common/token_bucket.h"
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+namespace cce {
+namespace {
+
+using std::chrono::milliseconds;
+
+class ManualClock {
+ public:
+  TokenBucket::ClockFn fn() {
+    return [this] { return now_; };
+  }
+  void Advance(milliseconds delta) { now_ += delta; }
+
+ private:
+  TokenBucket::Clock::time_point now_{};
+};
+
+TEST(TokenBucketTest, StartsFullAndServesTheBurst) {
+  ManualClock clock;
+  TokenBucket::Options options;
+  options.refill_per_sec = 10.0;
+  options.burst = 3.0;
+  TokenBucket bucket(options, clock.fn());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire()) << "burst budget spent";
+}
+
+TEST(TokenBucketTest, RefillsAtTheConfiguredRate) {
+  ManualClock clock;
+  TokenBucket::Options options;
+  options.refill_per_sec = 10.0;  // one token per 100ms
+  options.burst = 1.0;
+  TokenBucket bucket(options, clock.fn());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+  clock.Advance(milliseconds(50));
+  EXPECT_FALSE(bucket.TryAcquire()) << "half a token is not a token";
+  clock.Advance(milliseconds(50));
+  EXPECT_TRUE(bucket.TryAcquire());
+}
+
+TEST(TokenBucketTest, RefillNeverExceedsBurst) {
+  ManualClock clock;
+  TokenBucket::Options options;
+  options.refill_per_sec = 100.0;
+  options.burst = 2.0;
+  TokenBucket bucket(options, clock.fn());
+  clock.Advance(milliseconds(10000));
+  EXPECT_DOUBLE_EQ(bucket.available(), 2.0);
+}
+
+TEST(TokenBucketTest, RetryAfterPredictsAvailability) {
+  ManualClock clock;
+  TokenBucket::Options options;
+  options.refill_per_sec = 10.0;
+  options.burst = 1.0;
+  TokenBucket bucket(options, clock.fn());
+  EXPECT_EQ(bucket.RetryAfter().count(), 0);
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_EQ(bucket.RetryAfter().count(), 100);
+  clock.Advance(milliseconds(40));
+  EXPECT_EQ(bucket.RetryAfter().count(), 60);
+  clock.Advance(bucket.RetryAfter());
+  EXPECT_TRUE(bucket.TryAcquire())
+      << "waiting exactly RetryAfter() must be enough";
+}
+
+TEST(TokenBucketTest, ZeroRateMeansUnlimited) {
+  ManualClock clock;
+  TokenBucket bucket(TokenBucket::Options{}, clock.fn());
+  EXPECT_TRUE(bucket.unlimited());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bucket.TryAcquire());
+  }
+  EXPECT_EQ(bucket.RetryAfter().count(), 0);
+}
+
+TEST(TokenBucketTest, BurstClampedToAtLeastOneToken) {
+  ManualClock clock;
+  TokenBucket::Options options;
+  options.refill_per_sec = 10.0;
+  options.burst = 0.0;  // misconfigured: would never admit anything
+  TokenBucket bucket(options, clock.fn());
+  EXPECT_TRUE(bucket.TryAcquire());
+}
+
+TEST(TokenBucketTest, MultiTokenAcquire) {
+  ManualClock clock;
+  TokenBucket::Options options;
+  options.refill_per_sec = 10.0;
+  options.burst = 5.0;
+  TokenBucket bucket(options, clock.fn());
+  EXPECT_TRUE(bucket.TryAcquire(5.0));
+  EXPECT_FALSE(bucket.TryAcquire(1.0));
+  EXPECT_EQ(bucket.RetryAfter(2.0).count(), 200);
+}
+
+}  // namespace
+}  // namespace cce
