@@ -16,9 +16,16 @@
 # test that drives the proxy's admission control against a fault injector in
 # overload-burst (brownout) mode.
 #
+# SUITE=docs is the docs gate (tier 1, also runs inside the default ctest
+# sweep via metrics_doc_test): a stdlib-only markdown link/anchor checker
+# over every *.md in the repo, then the docs-vs-registry consistency test
+# and the exposition golden tests. Builds only those test targets, so it
+# is the fastest gate in the script.
+#
 # Usage: scripts/check.sh [extra ctest args...]
 #   BUILD_DIR=build-asan JOBS=8 scripts/check.sh -R ProxyTest
 #   SUITE=stress scripts/check.sh
+#   SUITE=docs scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,13 +33,18 @@ SANITIZER=${SANITIZER:-address}
 SUITE=${SUITE:-}
 JOBS=${JOBS:-$(nproc)}
 
-STRESS_ARGS=()
+SUITE_ARGS=()
+BUILD_TARGETS=()
 if [[ "$SUITE" == "stress" ]]; then
   SANITIZER=thread
   export CCE_STRESS=1
-  STRESS_ARGS=(-R 'Overload|TokenBucket|ProxyConcurrency|ProxyDurability|ContextWal|ThreadPool')
+  SUITE_ARGS=(-R 'Overload|TokenBucket|ProxyConcurrency|ProxyDurability|ContextWal|ThreadPool')
+elif [[ "$SUITE" == "docs" ]]; then
+  python3 scripts/check_docs.py
+  SUITE_ARGS=(-R 'MetricsDoc|Exposition')
+  BUILD_TARGETS=(--target metrics_doc_test obs_exposition_test)
 elif [[ -n "$SUITE" ]]; then
-  echo "unknown SUITE='$SUITE' (expected 'stress' or unset)" >&2
+  echo "unknown SUITE='$SUITE' (expected 'stress', 'docs' or unset)" >&2
   exit 2
 fi
 
@@ -55,7 +67,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="$SAN_FLAGS -fno-sanitize-recover=all -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
-cmake --build "$BUILD_DIR" -j "$JOBS"
+cmake --build "$BUILD_DIR" -j "$JOBS" ${BUILD_TARGETS[@]+"${BUILD_TARGETS[@]}"}
 
 cd "$BUILD_DIR"
-ctest --output-on-failure -j "$JOBS" ${STRESS_ARGS[@]+"${STRESS_ARGS[@]}"} "$@"
+ctest --output-on-failure -j "$JOBS" ${SUITE_ARGS[@]+"${SUITE_ARGS[@]}"} "$@"

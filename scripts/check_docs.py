@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Markdown integrity checker for the docs suite (SUITE=docs scripts/check.sh).
+
+Walks every tracked *.md file and verifies, stdlib-only:
+
+  - every relative link points at a file that exists in the repo;
+  - every `#fragment` (same-file or cross-file) resolves to a real heading,
+    using GitHub's heading -> anchor slug rules;
+  - no absolute filesystem links (they break for everyone else).
+
+External http(s)/mailto links are deliberately not fetched: this gate must
+be deterministic and offline. Content-level doc drift (metric tables vs the
+live registry) is covered separately by metrics_doc_test.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SKIP_DIRS = {".git", "related"} | {d.name for d in REPO.glob("build*")}
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation,
+    spaces to dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_]", "", text)                      # emphasis markers
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict) -> set:
+    if path not in cache:
+        slugs, seen = set(), {}
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            # GitHub de-duplicates repeated headings as slug, slug-1, ...
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(md: Path, anchor_cache: dict) -> list:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(line):
+            where = f"{md.relative_to(REPO)}:{lineno}"
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            if target.startswith("/"):
+                errors.append(f"{where}: absolute link '{target}'")
+                continue
+            path_part, _, fragment = target.partition("#")
+            dest = md if not path_part else (
+                md.parent / Path(path_part)).resolve()
+            if not dest.exists():
+                errors.append(f"{where}: broken link '{target}'")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in anchors_of(dest, anchor_cache):
+                    errors.append(
+                        f"{where}: '{target}' — no heading for "
+                        f"anchor '#{fragment}'")
+    return errors
+
+
+def main() -> int:
+    markdown = sorted(
+        p for p in REPO.rglob("*.md")
+        if not any(part in SKIP_DIRS for part in p.parts))
+    anchor_cache = {}
+    errors = []
+    for md in markdown:
+        errors.extend(check_file(md, anchor_cache))
+    for error in errors:
+        print(f"check_docs: {error}", file=sys.stderr)
+    print(f"check_docs: {len(markdown)} markdown files, "
+          f"{len(errors)} problems")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

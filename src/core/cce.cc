@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace cce {
 
@@ -30,6 +31,9 @@ std::vector<Result<KeyResult>> CceBatch::ExplainMany(
   std::vector<Result<KeyResult>> results(
       rows.size(), Result<KeyResult>(Status::Internal("not computed")));
   ThreadPool pool(num_threads);
+  // Pull-style gauges in the process registry; unbound when the pool dies.
+  obs::ThreadPoolGauges pool_gauges(&obs::GlobalRegistry(), &pool,
+                                    "explain_many");
   pool.ParallelFor(rows.size(), [&](size_t i) {
     results[i] = Explain(rows[i]);
   });

@@ -1,0 +1,232 @@
+#include "obs/exposition.h"
+
+#include <string>
+#include <vector>
+
+namespace cce::obs {
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// HELP text escaping: backslash and newline (quotes are legal there).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{k1="v1",k2="v2"}`; `extra` (the `le` bucket label) goes last,
+/// matching Prometheus client conventions. Empty label set renders nothing
+/// unless `extra` is present.
+std::string RenderLabels(const Labels& labels, const std::string& extra_key,
+                         const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += EscapeLabelValue(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonString(const std::string& value) {
+  return "\"" + JsonEscape(value) + "\"";
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ", ";
+    first = false;
+    out += JsonString(key);
+    out += ": ";
+    out += JsonString(value);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const Registry& registry) {
+  std::string out;
+  for (const Registry::FamilySnapshot& family : registry.Collect()) {
+    out += "# HELP " + family.name + " " + EscapeHelp(family.help) + "\n";
+    out += "# TYPE " + family.name + " ";
+    out += MetricTypeName(family.type);
+    out += "\n";
+    for (const Registry::SampleSnapshot& sample : family.samples) {
+      if (family.type == MetricType::kHistogram) {
+        const Histogram::Snapshot& h = sample.histogram;
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < h.bounds.size(); ++b) {
+          cumulative += h.counts[b];
+          out += family.name + "_bucket" +
+                 RenderLabels(sample.labels, "le",
+                              std::to_string(h.bounds[b])) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += family.name + "_bucket" +
+               RenderLabels(sample.labels, "le", "+Inf") + " " +
+               std::to_string(h.count) + "\n";
+        out += family.name + "_sum" + RenderLabels(sample.labels, "", "") +
+               " " + std::to_string(h.sum) + "\n";
+        out += family.name + "_count" + RenderLabels(sample.labels, "", "") +
+               " " + std::to_string(h.count) + "\n";
+      } else {
+        out += family.name + RenderLabels(sample.labels, "", "") + " " +
+               std::to_string(sample.value) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const Registry& registry) {
+  std::string out = "{\n  \"metrics\": [";
+  bool first_family = true;
+  for (const Registry::FamilySnapshot& family : registry.Collect()) {
+    out += first_family ? "\n" : ",\n";
+    first_family = false;
+    out += "    {\n";
+    out += "      \"name\": " + JsonString(family.name) + ",\n";
+    out += "      \"type\": " +
+           JsonString(MetricTypeName(family.type)) + ",\n";
+    out += "      \"help\": " + JsonString(family.help) + ",\n";
+    out += "      \"samples\": [";
+    bool first_sample = true;
+    for (const Registry::SampleSnapshot& sample : family.samples) {
+      out += first_sample ? "\n" : ",\n";
+      first_sample = false;
+      out += "        {\"labels\": " + JsonLabels(sample.labels);
+      if (family.type == MetricType::kHistogram) {
+        const Histogram::Snapshot& h = sample.histogram;
+        out += ", \"count\": " + std::to_string(h.count);
+        out += ", \"sum\": " + std::to_string(h.sum);
+        out += ", \"buckets\": [";
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < h.bounds.size(); ++b) {
+          cumulative += h.counts[b];
+          if (b > 0) out += ", ";
+          out += "{\"le\": " + std::to_string(h.bounds[b]) +
+                 ", \"count\": " + std::to_string(cumulative) + "}";
+        }
+        if (!h.bounds.empty()) out += ", ";
+        out += "{\"le\": \"+Inf\", \"count\": " + std::to_string(h.count) +
+               "}]";
+      } else {
+        out += ", \"value\": " + std::to_string(sample.value);
+      }
+      out += "}";
+    }
+    out += "\n      ]\n    }";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string RenderTracesJson(const TraceRing& ring, size_t max_records) {
+  std::string out = "[";
+  bool first = true;
+  for (const TraceRecord& record : ring.Recent(max_records)) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"id\": " + std::to_string(record.id);
+    out += ", \"op\": " + JsonString(record.op);
+    out += ", \"outcome\": " + JsonString(TraceOutcomeName(record.outcome));
+    out += ", \"total_us\": " + std::to_string(record.total_us);
+    out += ", \"detail\": " + JsonString(record.detail);
+    out += ", \"phases\": [";
+    for (size_t i = 0; i < record.num_phases; ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"name\": " + JsonString(record.phases[i].name) +
+             ", \"duration_us\": " +
+             std::to_string(record.phases[i].duration_us) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "]\n" : "\n]\n";
+  return out;
+}
+
+}  // namespace cce::obs

@@ -1,0 +1,37 @@
+#ifndef CCE_OBS_EXPOSITION_H_
+#define CCE_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cce::obs {
+
+/// Renders every metric in `registry` in the Prometheus text exposition
+/// format (version 0.0.4): `# HELP` / `# TYPE` headers per family, one
+/// sample line per child, histograms as cumulative `_bucket{le=...}` series
+/// plus `_sum` and `_count`. Families are ordered by name and children by
+/// label signature, so the output is byte-stable for a given registry state
+/// (golden-tested). Label values are escaped per the spec (backslash,
+/// double quote, newline).
+std::string RenderPrometheusText(const Registry& registry);
+
+/// Renders the same snapshot as deterministic, pretty-printed JSON:
+///
+///   { "metrics": [ { "name": ..., "type": ..., "help": ...,
+///                    "samples": [ { "labels": {...}, "value": N } ] } ] }
+///
+/// Histogram samples carry "count", "sum" and a "buckets" array of
+/// {"le": bound-or-"+Inf", "count": cumulative} objects — the same
+/// cumulative convention as the Prometheus rendering, so the two formats
+/// agree bucket for bucket.
+std::string RenderJson(const Registry& registry);
+
+/// Renders up to `max_records` recent traces (newest first; 0 = all held)
+/// as a JSON array of {id, op, outcome, total_us, detail, phases}.
+std::string RenderTracesJson(const TraceRing& ring, size_t max_records = 0);
+
+}  // namespace cce::obs
+
+#endif  // CCE_OBS_EXPOSITION_H_

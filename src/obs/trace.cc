@@ -1,0 +1,100 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace cce::obs {
+
+const char* TraceOutcomeName(TraceOutcome outcome) {
+  switch (outcome) {
+    case TraceOutcome::kUnset:
+      return "unset";
+    case TraceOutcome::kServedFull:
+      return "served_full";
+    case TraceOutcome::kServedCached:
+      return "served_cached";
+    case TraceOutcome::kDegraded:
+      return "degraded";
+    case TraceOutcome::kShed:
+      return "shed";
+    case TraceOutcome::kRetried:
+      return "retried";
+    case TraceOutcome::kBroke:
+      return "broke";
+    case TraceOutcome::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(size_t capacity, ClockFn clock)
+    : capacity_(capacity), clock_(std::move(clock)), ring_(capacity) {
+  if (!clock_) {
+    clock_ = [] { return std::chrono::steady_clock::now(); };
+  }
+}
+
+void TraceRing::Commit(TraceRecord&& record) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  record.id = ++committed_;
+  ring_[next_] = std::move(record);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceRecord> TraceRing::Recent(size_t max_records) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t held = std::min<uint64_t>(committed_, capacity_);
+  size_t want = max_records == 0 ? held : std::min(max_records, held);
+  std::vector<TraceRecord> out;
+  out.reserve(want);
+  // next_ points at the oldest slot once the ring has wrapped; walk
+  // backwards from the newest commit.
+  size_t index = next_;
+  while (want-- > 0) {
+    index = (index + capacity_ - 1) % capacity_;
+    out.push_back(ring_[index]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_;
+}
+
+RequestTrace::RequestTrace(TraceRing* ring, const char* op) : ring_(ring) {
+  if (ring_ == nullptr) return;
+  record_.op = op;
+  start_ = ring_->now();
+}
+
+RequestTrace::~RequestTrace() {
+  if (ring_ == nullptr) return;
+  record_.total_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         ring_->now() - start_)
+                         .count();
+  ring_->Commit(std::move(record_));
+}
+
+RequestTrace::Span::Span(RequestTrace* parent, const char* name)
+    : parent_(parent), name_(name) {
+  if (parent_ != nullptr) start_ = parent_->ring_->now();
+}
+
+void RequestTrace::Span::End() {
+  if (parent_ == nullptr) return;
+  TraceRecord& record = parent_->record_;
+  if (record.num_phases < TraceRecord::kMaxPhases) {
+    record.phases[record.num_phases++] = TracePhase{
+        name_, std::chrono::duration_cast<std::chrono::microseconds>(
+                   parent_->ring_->now() - start_)
+                   .count()};
+  }
+  parent_ = nullptr;
+}
+
+RequestTrace::Span RequestTrace::Phase(const char* name) {
+  return Span(ring_ == nullptr ? nullptr : this, name);
+}
+
+}  // namespace cce::obs

@@ -1,0 +1,165 @@
+#ifndef CCE_OBS_TRACE_H_
+#define CCE_OBS_TRACE_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cce::obs {
+
+/// Always-on per-request tracing (DESIGN.md §9). Every request through an
+/// instrumented entry point builds one TraceRecord — phase timings plus a
+/// cause-of-outcome annotation — and commits it into a bounded ring of
+/// recent traces. The ring answers the incident-debugging question metrics
+/// cannot: not "how many requests degraded" but "what did the last degraded
+/// request spend its time on".
+///
+/// Cost discipline: a record is a small fixed-size struct (phase names are
+/// static strings, no allocation on the success path), and committing is
+/// one mutex acquisition + a struct move into a preallocated slot. The
+/// Predict-path overhead is measured in bench_obs.
+
+/// Why a request ended the way it did — the degradation ladder, annotated.
+enum class TraceOutcome {
+  kUnset = 0,
+  /// Full service: the request was answered completely and on time.
+  kServedFull,
+  /// Answered from the explanation cache (the cached ladder rung).
+  kServedCached,
+  /// Answered with a valid but non-minimal key (deadline-truncated).
+  kDegraded,
+  /// Rejected by admission control (rate limit, queue, CoDel, deadline
+  /// feasibility) — kResourceExhausted/kDeadlineExceeded to the client.
+  kShed,
+  /// Served successfully, but only after one or more retries.
+  kRetried,
+  /// Rejected fast because the circuit breaker was open.
+  kBroke,
+  /// Any other failure (validation reject, backend error, I/O error).
+  kError,
+};
+
+const char* TraceOutcomeName(TraceOutcome outcome);
+
+/// One timed phase inside a request. `name` must be a string literal (or
+/// otherwise outlive the ring) — records store the pointer, not a copy.
+struct TracePhase {
+  const char* name = "";
+  int64_t duration_us = 0;
+};
+
+/// One completed request.
+struct TraceRecord {
+  /// 1-based commit sequence number (monotonic per ring).
+  uint64_t id = 0;
+  /// Entry point, e.g. "predict" / "explain"; a string literal.
+  const char* op = "";
+  TraceOutcome outcome = TraceOutcome::kUnset;
+  /// Wall time from RequestTrace construction to commit.
+  int64_t total_us = 0;
+  /// Phase timings in execution order (capped at kMaxPhases).
+  static constexpr size_t kMaxPhases = 8;
+  std::array<TracePhase, kMaxPhases> phases{};
+  size_t num_phases = 0;
+  /// Failure detail (status message); empty on the success path.
+  std::string detail;
+};
+
+/// Fixed-capacity ring of recent traces. Thread-safe; commits overwrite the
+/// oldest record once full. Capacity 0 is a valid inert ring.
+class TraceRing {
+ public:
+  using ClockFn = std::function<std::chrono::steady_clock::time_point()>;
+
+  explicit TraceRing(size_t capacity, ClockFn clock = nullptr);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Newest-first copy of up to `max_records` recent traces (0 = all held).
+  std::vector<TraceRecord> Recent(size_t max_records = 0) const;
+
+  /// Traces ever committed (≥ the number currently held).
+  uint64_t committed() const;
+
+  size_t capacity() const { return capacity_; }
+
+  std::chrono::steady_clock::time_point now() const { return clock_(); }
+
+ private:
+  friend class RequestTrace;
+
+  /// Stamps the id and stores the record, overwriting the oldest.
+  void Commit(TraceRecord&& record);
+
+  size_t capacity_;
+  ClockFn clock_;
+  mutable std::mutex mu_;
+  std::vector<TraceRecord> ring_;
+  size_t next_ = 0;
+  uint64_t committed_ = 0;
+};
+
+/// RAII builder for one request's trace. Construct at the top of an entry
+/// point, time phases with Phase(), set the outcome, and the destructor
+/// commits to the ring. A null ring makes every operation a no-op, so call
+/// sites need no "is tracing on" branches.
+class RequestTrace {
+ public:
+  /// `op` must be a string literal.
+  RequestTrace(TraceRing* ring, const char* op);
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+  ~RequestTrace();
+
+  /// RAII phase timer: duration from construction to destruction is
+  /// appended to the parent trace (phases beyond kMaxPhases are dropped).
+  class Span {
+   public:
+    Span(Span&& other) noexcept
+        : parent_(other.parent_), name_(other.name_), start_(other.start_) {
+      other.parent_ = nullptr;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span& operator=(Span&&) = delete;
+    ~Span() { End(); }
+
+    /// Ends the phase early (idempotent).
+    void End();
+
+   private:
+    friend class RequestTrace;
+    Span(RequestTrace* parent, const char* name);
+
+    RequestTrace* parent_;
+    const char* name_;
+    std::chrono::steady_clock::time_point start_{};
+  };
+
+  /// Starts a timed phase; `name` must be a string literal.
+  Span Phase(const char* name);
+
+  void set_outcome(TraceOutcome outcome) { record_.outcome = outcome; }
+  TraceOutcome outcome() const { return record_.outcome; }
+
+  /// Records failure detail (allocates; keep off the success path).
+  void set_detail(std::string detail) { record_.detail = std::move(detail); }
+
+  const char* op() const { return record_.op; }
+
+  bool active() const { return ring_ != nullptr; }
+
+ private:
+  TraceRing* ring_;
+  TraceRecord record_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace cce::obs
+
+#endif  // CCE_OBS_TRACE_H_

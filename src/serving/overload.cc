@@ -81,6 +81,35 @@ void AdaptiveConcurrency::OnCompletion(std::chrono::nanoseconds latency) {
   }
 }
 
+ExplainCache::ExplainCache(const Options& options, obs::Registry* registry)
+    : options_(options) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry = owned_registry_.get();
+  }
+  hits_ = registry->GetCounter(
+      "cce_cache_hits_total",
+      "Explain-cache lookups answered by a fresh enough entry.");
+  misses_ = registry->GetCounter(
+      "cce_cache_misses_total",
+      "Explain-cache lookups that found no servable entry.");
+  stale_drops_ = registry->GetCounter(
+      "cce_cache_stale_drops_total",
+      "Cache entries dropped at lookup for exceeding the generation lag.");
+  insertions_ = registry->GetCounter(
+      "cce_cache_insertions_total",
+      "Relative keys inserted into the explain cache.");
+}
+
+ExplainCache::Stats ExplainCache::stats() const {
+  Stats stats;
+  stats.hits = hits_->Value();
+  stats.misses = misses_->Value();
+  stats.stale_drops = stale_drops_->Value();
+  stats.insertions = insertions_->Value();
+  return stats;
+}
+
 size_t ExplainCache::CacheKeyHash::operator()(const CacheKey& key) const {
   // FNV-1a over the value ids + label; instances are short (tens of
   // features), so this is cheaper than building a string key.
@@ -103,12 +132,12 @@ void ExplainCache::Put(const Instance& x, Label y, uint64_t generation,
     found->second->result = key;
     found->second->generation = generation;
     entries_.splice(entries_.begin(), entries_, found->second);
-    ++stats_.insertions;
+    insertions_->Increment();
     return;
   }
   entries_.push_front(Entry{std::move(cache_key), key, generation});
   index_[entries_.front().key] = entries_.begin();
-  ++stats_.insertions;
+  insertions_->Increment();
   while (entries_.size() > options_.capacity) {
     index_.erase(entries_.back().key);
     entries_.pop_back();
@@ -120,7 +149,7 @@ std::optional<KeyResult> ExplainCache::Get(const Instance& x, Label y,
   if (options_.capacity == 0) return std::nullopt;
   auto found = index_.find(CacheKey{x, y});
   if (found == index_.end()) {
-    ++stats_.misses;
+    misses_->Increment();
     return std::nullopt;
   }
   const Entry& entry = *found->second;
@@ -130,18 +159,19 @@ std::optional<KeyResult> ExplainCache::Get(const Instance& x, Label y,
     // slot is free for a fresh key.
     entries_.erase(found->second);
     index_.erase(found);
-    ++stats_.stale_drops;
-    ++stats_.misses;
+    stale_drops_->Increment();
+    misses_->Increment();
     return std::nullopt;
   }
   entries_.splice(entries_.begin(), entries_, found->second);
-  ++stats_.hits;
+  hits_->Increment();
   KeyResult result = entry.result;
   result.cached = true;
   return result;
 }
 
-OverloadController::OverloadController(const Options& options)
+OverloadController::OverloadController(const Options& options,
+                                       obs::Registry* registry)
     : options_(options),
       clock_(options.clock),
       predict_bucket_(options.predict_bucket, options.clock),
@@ -152,6 +182,54 @@ OverloadController::OverloadController(const Options& options)
   if (!clock_) {
     clock_ = [] { return Clock::now(); };
   }
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry = owned_registry_.get();
+  }
+  static constexpr RequestClass kClasses[] = {
+      RequestClass::kPredict, RequestClass::kRecord, RequestClass::kExplain,
+      RequestClass::kCounterfactuals};
+  for (RequestClass cls : kClasses) {
+    admitted_[static_cast<int>(cls)] = registry->GetCounter(
+        "cce_admitted_total",
+        "Requests admitted by the overload controller, by class.",
+        {{"class", RequestClassName(cls)}});
+  }
+  const auto shed = [registry](const char* cause) {
+    return registry->GetCounter(
+        "cce_shed_total", "Requests shed by the admission layer, by cause.",
+        {{"cause", cause}});
+  };
+  shed_rate_limited_ = shed("rate_limited");
+  shed_queue_full_ = shed("queue_full");
+  shed_deadline_unmeetable_ = shed("deadline_unmeetable");
+  shed_queue_deadline_ = shed("queue_deadline");
+  shed_codel_ = shed("codel");
+  queue_waits_ = registry->GetCounter(
+      "cce_explain_queue_waits_total",
+      "Expensive-class admissions that had to queue for a slot.");
+  concurrency_increases_ = registry->GetCounter(
+      "cce_concurrency_adjustments_total",
+      "AIMD concurrency-limit adjustments, by direction.",
+      {{"direction", "up"}});
+  concurrency_decreases_ = registry->GetCounter(
+      "cce_concurrency_adjustments_total",
+      "AIMD concurrency-limit adjustments, by direction.",
+      {{"direction", "down"}});
+  concurrency_limit_gauge_ = registry->GetGauge(
+      "cce_concurrency_limit",
+      "Live AIMD limit on in-flight expensive-class requests.");
+  concurrency_limit_gauge_->Set(concurrency_.limit());
+  in_flight_gauge_ = registry->GetGauge(
+      "cce_expensive_in_flight",
+      "Expensive-class requests currently holding an admission slot.");
+  latency_ewma_gauge_ = registry->GetGauge(
+      "cce_explain_latency_ewma_us",
+      "EWMA of observed expensive-class service latency, microseconds.");
+  queue_wait_us_ = registry->GetHistogram(
+      "cce_explain_queue_wait_us",
+      "Queueing delay (sojourn) of expensive-class admissions, "
+      "microseconds.");
 }
 
 Status OverloadController::Shed(const std::string& reason,
@@ -174,15 +252,11 @@ Status OverloadController::AdmitCheap(RequestClass cls) {
   TokenBucket& bucket =
       cls == RequestClass::kPredict ? predict_bucket_ : record_bucket_;
   if (!bucket.TryAcquire()) {
-    ++stats_.shed_rate_limited;
+    shed_rate_limited_->Increment();
     return Shed(std::string(RequestClassName(cls)) + " rate limit",
                 bucket.RetryAfter());
   }
-  if (cls == RequestClass::kPredict) {
-    ++stats_.admitted_predicts;
-  } else {
-    ++stats_.admitted_records;
-  }
+  admitted_[static_cast<int>(cls)]->Increment();
   return Status::Ok();
 }
 
@@ -190,7 +264,7 @@ Result<OverloadController::Permit> OverloadController::AdmitExpensive(
     RequestClass cls, const Deadline& deadline) {
   std::unique_lock<std::mutex> lock(mu_);
   if (!explain_bucket_.TryAcquire()) {
-    ++stats_.shed_rate_limited;
+    shed_rate_limited_->Increment();
     return Shed(std::string(RequestClassName(cls)) + " rate limit",
                 explain_bucket_.RetryAfter());
   }
@@ -210,7 +284,7 @@ Result<OverloadController::Permit> OverloadController::AdmitExpensive(
         std::chrono::duration<double, std::micro>(deadline.remaining())
             .count();
     if (remaining_us < EstimatedTotalUs()) {
-      ++stats_.shed_deadline_unmeetable;
+      shed_deadline_unmeetable_->Increment();
       return Shed("deadline below predicted queue+service time",
                   estimate_ms());
     }
@@ -219,7 +293,7 @@ Result<OverloadController::Permit> OverloadController::AdmitExpensive(
   // CoDel verdict from past sojourns: under sustained buildup, shed new
   // arrivals while the standing queue drains.
   if (codel_.shedding() && in_flight_ >= concurrency_.limit()) {
-    ++stats_.shed_codel;
+    shed_codel_->Increment();
     return Shed("queue delay above target (CoDel)",
                 std::max<std::chrono::milliseconds>(
                     codel_.options().interval, estimate_ms()));
@@ -227,14 +301,14 @@ Result<OverloadController::Permit> OverloadController::AdmitExpensive(
 
   const auto admit = [&](std::chrono::nanoseconds sojourn) -> Permit {
     ++in_flight_;
+    in_flight_gauge_->Set(in_flight_);
     codel_.Observe(sojourn, clock_());
+    queue_wait_us_->Observe(
+        std::chrono::duration_cast<std::chrono::microseconds>(sojourn)
+            .count());
     const bool pressure = waiters_ > 0 || codel_.shedding() ||
                           in_flight_ >= concurrency_.limit();
-    if (cls == RequestClass::kExplain) {
-      ++stats_.admitted_explains;
-    } else {
-      ++stats_.admitted_counterfactuals;
-    }
+    admitted_[static_cast<int>(cls)]->Increment();
     return Permit(this, clock_(), pressure, sojourn);
   };
 
@@ -243,12 +317,12 @@ Result<OverloadController::Permit> OverloadController::AdmitExpensive(
   }
 
   if (waiters_ >= options_.max_queue) {
-    ++stats_.shed_queue_full;
+    shed_queue_full_->Increment();
     return Shed("admission queue full", estimate_ms());
   }
 
   ++waiters_;
-  ++stats_.queue_waits;
+  queue_waits_->Increment();
   const auto slot_available = [this] {
     return in_flight_ < concurrency_.limit();
   };
@@ -264,7 +338,7 @@ Result<OverloadController::Permit> OverloadController::AdmitExpensive(
   if (!got_slot) {
     // The budget died in the queue: that is a deadline miss, not a
     // retryable rejection — the caller's remaining budget is zero.
-    ++stats_.shed_queue_deadline;
+    shed_queue_deadline_->Increment();
     codel_.Observe(sojourn, clock_());
     return Status::DeadlineExceeded(
         "deadline expired while queued for an explain slot");
@@ -272,12 +346,28 @@ Result<OverloadController::Permit> OverloadController::AdmitExpensive(
   return admit(sojourn);
 }
 
+void OverloadController::OnCompletionLocked(
+    std::chrono::nanoseconds latency) {
+  const int limit_before = concurrency_.limit();
+  concurrency_.OnCompletion(latency);
+  const int limit_after = concurrency_.limit();
+  if (limit_after > limit_before) {
+    concurrency_increases_->Increment();
+  } else if (limit_after < limit_before) {
+    concurrency_decreases_->Increment();
+  }
+  if (limit_after != limit_before) {
+    concurrency_limit_gauge_->Set(limit_after);
+  }
+}
+
 void OverloadController::Release(Clock::time_point admitted_at) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     const std::chrono::nanoseconds latency = clock_() - admitted_at;
     --in_flight_;
-    concurrency_.OnCompletion(latency);
+    in_flight_gauge_->Set(in_flight_);
+    OnCompletionLocked(latency);
     const double latency_us =
         std::chrono::duration<double, std::micro>(latency).count();
     if (!have_latency_) {
@@ -287,6 +377,7 @@ void OverloadController::Release(Clock::time_point admitted_at) {
       ewma_latency_us_ += options_.latency_ewma_alpha *
                           (latency_us - ewma_latency_us_);
     }
+    latency_ewma_gauge_->Set(static_cast<int64_t>(ewma_latency_us_));
   }
   // The limit may have moved in either direction: wake every waiter to
   // re-evaluate rather than guessing how many slots opened.
@@ -301,7 +392,21 @@ bool OverloadController::UnderPressure() const {
 
 OverloadController::Stats OverloadController::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  Stats stats = stats_;
+  Stats stats;
+  stats.admitted_predicts =
+      admitted_[static_cast<int>(RequestClass::kPredict)]->Value();
+  stats.admitted_records =
+      admitted_[static_cast<int>(RequestClass::kRecord)]->Value();
+  stats.admitted_explains =
+      admitted_[static_cast<int>(RequestClass::kExplain)]->Value();
+  stats.admitted_counterfactuals =
+      admitted_[static_cast<int>(RequestClass::kCounterfactuals)]->Value();
+  stats.shed_rate_limited = shed_rate_limited_->Value();
+  stats.shed_queue_full = shed_queue_full_->Value();
+  stats.shed_deadline_unmeetable = shed_deadline_unmeetable_->Value();
+  stats.shed_queue_deadline = shed_queue_deadline_->Value();
+  stats.shed_codel = shed_codel_->Value();
+  stats.queue_waits = queue_waits_->Value();
   stats.concurrency_limit = concurrency_.limit();
   stats.in_flight = in_flight_;
   stats.concurrency_increases = concurrency_.increases();

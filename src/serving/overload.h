@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -17,6 +18,7 @@
 #include "common/token_bucket.h"
 #include "core/key_result.h"
 #include "core/types.h"
+#include "obs/metrics.h"
 
 namespace cce::serving {
 
@@ -121,7 +123,9 @@ class AdaptiveConcurrency {
 /// `max_generation_lag` records since it was computed; staler entries are
 /// dropped on lookup (one record rarely changes a key, a thousand might).
 ///
-/// Not thread-safe; the proxy uses it under its own mutex.
+/// Not thread-safe; the proxy uses it under its own mutex. Its counters
+/// live in a cce::obs registry (the proxy's, when provided) so HealthSnapshot
+/// and the exposition endpoints read the same cells — docs/metrics.md.
 class ExplainCache {
  public:
   struct Options {
@@ -140,7 +144,9 @@ class ExplainCache {
     uint64_t insertions = 0;
   };
 
-  explicit ExplainCache(const Options& options) : options_(options) {}
+  /// `registry` receives the cache's counters; null creates a private one.
+  explicit ExplainCache(const Options& options,
+                        obs::Registry* registry = nullptr);
 
   /// Caches `key` for (x, y) as of context `generation`, evicting the
   /// least-recently-used entry at capacity.
@@ -152,7 +158,8 @@ class ExplainCache {
   std::optional<KeyResult> Get(const Instance& x, Label y,
                                uint64_t generation);
 
-  const Stats& stats() const { return stats_; }
+  /// Snapshot assembled from the registry counters (the single source).
+  Stats stats() const;
   size_t size() const { return entries_.size(); }
 
  private:
@@ -177,7 +184,12 @@ class ExplainCache {
   std::list<Entry> entries_;
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
       index_;
-  Stats stats_;
+  /// Fallback registry when the caller supplied none.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* stale_drops_;
+  obs::Counter* insertions_;
 };
 
 /// The per-class admission layer in front of every public proxy entry
@@ -303,7 +315,12 @@ class OverloadController {
     std::chrono::nanoseconds queue_wait_{0};
   };
 
-  explicit OverloadController(const Options& options);
+  /// `registry` receives the admission counters, gauges and the queue-wait
+  /// histogram (docs/metrics.md); null creates a private registry. Stats and
+  /// HealthSnapshot are assembled from those cells — there is no parallel
+  /// set of ad-hoc counters.
+  explicit OverloadController(const Options& options,
+                              obs::Registry* registry = nullptr);
 
   /// Token-bucket-only admission for the cheap, latency-critical classes
   /// (kPredict / kRecord). Never blocks.
@@ -335,8 +352,28 @@ class OverloadController {
   /// caller holds mu_.
   double EstimatedTotalUs() const;
 
+  /// Feeds the AIMD controller one completion and mirrors the resulting
+  /// limit (and any adjustment) into the registry; caller holds mu_.
+  void OnCompletionLocked(std::chrono::nanoseconds latency);
+
   Options options_;
   ClockFn clock_;
+
+  /// Fallback registry when the caller supplied none.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Counter* admitted_[4];  // indexed by RequestClass
+  obs::Counter* shed_rate_limited_;
+  obs::Counter* shed_queue_full_;
+  obs::Counter* shed_deadline_unmeetable_;
+  obs::Counter* shed_queue_deadline_;
+  obs::Counter* shed_codel_;
+  obs::Counter* queue_waits_;
+  obs::Counter* concurrency_increases_;
+  obs::Counter* concurrency_decreases_;
+  obs::Gauge* concurrency_limit_gauge_;
+  obs::Gauge* in_flight_gauge_;
+  obs::Gauge* latency_ewma_gauge_;
+  obs::Histogram* queue_wait_us_;
 
   mutable std::mutex mu_;
   std::condition_variable slot_free_;
@@ -349,7 +386,6 @@ class OverloadController {
   size_t waiters_ = 0;
   double ewma_latency_us_ = 0.0;
   bool have_latency_ = false;
-  Stats stats_;
 };
 
 }  // namespace cce::serving

@@ -46,6 +46,32 @@ Status CheckSchemaCompatible(const Schema& live, const Schema& stored) {
   return Status::Ok();
 }
 
+const char* OpName(int op) {
+  switch (op) {
+    case 0:
+      return "predict";
+    case 1:
+      return "record";
+    case 2:
+      return "explain";
+    case 3:
+      return "counterfactuals";
+  }
+  return "unknown";
+}
+
+const char* BreakerStateLabel(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 ExplainableProxy::ExplainableProxy(std::shared_ptr<const Schema> schema,
@@ -66,9 +92,132 @@ ExplainableProxy::ExplainableProxy(std::shared_ptr<const Schema> schema,
       std::this_thread::sleep_for(d);
     };
   }
+  registry_ = options_.observability.registry;
+  if (registry_ == nullptr) {
+    obs::Registry::Options registry_options;
+    registry_options.clock = options_.observability.clock;
+    registry_ = std::make_shared<obs::Registry>(registry_options);
+  }
+  if (options_.observability.trace_capacity > 0) {
+    traces_ = std::make_unique<obs::TraceRing>(
+        options_.observability.trace_capacity, registry_->clock());
+  }
+  InitInstruments();
   if (options_.overload.enabled) {
-    overload_ = std::make_unique<OverloadController>(options_.overload);
-    explain_cache_ = std::make_unique<ExplainCache>(options_.explain_cache);
+    overload_ =
+        std::make_unique<OverloadController>(options_.overload,
+                                             registry_.get());
+    explain_cache_ = std::make_unique<ExplainCache>(options_.explain_cache,
+                                                    registry_.get());
+  }
+}
+
+void ExplainableProxy::InitInstruments() {
+  obs::Registry& reg = *registry_;
+  for (int op = 0; op < kNumOps; ++op) {
+    for (int outcome = 0; outcome < kNumOutcomes; ++outcome) {
+      ins_.requests[op][outcome] = reg.GetCounter(
+          "cce_requests_total",
+          "Requests finished, by entry point and cause of outcome.",
+          {{"op", OpName(op)},
+           {"outcome", obs::TraceOutcomeName(
+                           static_cast<obs::TraceOutcome>(outcome + 1))}});
+    }
+  }
+  ins_.predicts = reg.GetCounter("cce_predicts_total",
+                                 "Predict() calls accepted for serving.");
+  ins_.predict_failures =
+      reg.GetCounter("cce_predict_failures_total",
+                     "Predict() calls that failed after retries.");
+  ins_.retries = reg.GetCounter(
+      "cce_retries_total", "Backend call retries performed by Predict().");
+  ins_.deadline_misses = reg.GetCounter(
+      "cce_deadline_misses_total",
+      "Requests that exhausted their deadline (Predict expiry or degraded "
+      "Explain).");
+  ins_.explains =
+      reg.GetCounter("cce_explains_total", "Explain() calls received.");
+  ins_.degraded_explains = reg.GetCounter(
+      "cce_degraded_explains_total",
+      "Explains answered with a padded, non-minimal key at deadline expiry.");
+  ins_.cache_served_explains =
+      reg.GetCounter("cce_cache_served_explains_total",
+                     "Explains answered from the explanation cache.");
+  ins_.fallback_serves = reg.GetCounter(
+      "cce_fallback_serves_total",
+      "Explain/Counterfactuals served from context while the breaker was "
+      "open (record-only mode).");
+  ins_.validation_rejects = reg.GetCounter(
+      "cce_validation_rejects_total",
+      "Malformed requests rejected at the proxy boundary.");
+  ins_.breaker_rejections = reg.GetCounter(
+      "cce_breaker_rejections_total",
+      "Predicts rejected fast because the circuit breaker was open.");
+  for (int state = 0; state < 3; ++state) {
+    ins_.breaker_transitions[state] = reg.GetCounter(
+        "cce_breaker_transitions_total",
+        "Circuit breaker state transitions, by destination state.",
+        {{"to",
+          BreakerStateLabel(static_cast<CircuitBreaker::State>(state))}});
+  }
+  ins_.breaker_state = reg.GetGauge(
+      "cce_breaker_state",
+      "Circuit breaker state: 0 = closed, 1 = open, 2 = half-open.");
+  ins_.wal_records_logged =
+      reg.GetCounter("cce_wal_records_logged_total",
+                     "Pairs appended to the write-ahead log.");
+  ins_.wal_fsyncs =
+      reg.GetCounter("cce_wal_fsyncs_total", "WAL fsync() calls issued.");
+  ins_.wal_compactions = reg.GetCounter(
+      "cce_wal_compactions_total",
+      "Log compactions (snapshot written, log truncated).");
+  ins_.wal_records_recovered = reg.GetCounter(
+      "cce_wal_records_recovered_total",
+      "Pairs replayed into the context at startup (snapshot + log).");
+  ins_.wal_records_dropped = reg.GetCounter(
+      "cce_wal_records_dropped_total",
+      "Recovery records dropped (corrupt tail or schema-incompatible).");
+  ins_.context_window_size = reg.GetGauge(
+      "cce_context_window_size", "Pairs currently in the rolling context.");
+  ins_.recorded_pairs = reg.GetGauge(
+      "cce_recorded_pairs",
+      "Pairs ever recorded, including those recovered at startup.");
+  ins_.predict_latency_us = reg.GetHistogram(
+      "cce_predict_latency_us",
+      "End-to-end Predict() latency in microseconds.");
+  ins_.explain_latency_us = reg.GetHistogram(
+      "cce_explain_latency_us",
+      "End-to-end Explain() latency in microseconds.");
+  ins_.wal_append_us = reg.GetHistogram(
+      "cce_wal_append_us", "WAL append (+ conditional fsync) latency in "
+      "microseconds.");
+}
+
+void ExplainableProxy::FinishTrace(obs::RequestTrace& trace, Op op,
+                                   obs::TraceOutcome outcome,
+                                   const Status* failure) const {
+  trace.set_outcome(outcome);
+  if (failure != nullptr && trace.active()) {
+    trace.set_detail(failure->message());
+  }
+  ins_.requests[static_cast<int>(op)][static_cast<int>(outcome) - 1]
+      ->Increment();
+}
+
+void ExplainableProxy::SyncBreakerLocked(CircuitBreaker::State before) const {
+  const CircuitBreaker::State after = breaker_.state();
+  if (after != before) {
+    ins_.breaker_transitions[static_cast<int>(after)]->Increment();
+  }
+  ins_.breaker_state->Set(static_cast<int64_t>(after));
+}
+
+void ExplainableProxy::SyncWalFsyncsLocked() {
+  if (wal_ == nullptr) return;
+  const uint64_t fsyncs = wal_->fsyncs();
+  if (fsyncs > wal_fsyncs_exported_) {
+    ins_.wal_fsyncs->Add(fsyncs - wal_fsyncs_exported_);
+    wal_fsyncs_exported_ = fsyncs;
   }
 }
 
@@ -128,7 +277,7 @@ Status ExplainableProxy::InitDurability() {
               .ok()) {
         ++snapshot_rows;
       } else {
-        ++health_.wal_records_dropped;
+        ins_.wal_records_dropped->Increment();
       }
     }
   }
@@ -139,7 +288,7 @@ Status ExplainableProxy::InitDurability() {
     if (RecordLocked(x, y, /*log=*/false).ok()) {
       ++wal_rows;
     } else {
-      ++health_.wal_records_dropped;
+      ins_.wal_records_dropped->Increment();
     }
     return Status::Ok();
   };
@@ -154,36 +303,39 @@ Status ExplainableProxy::InitDurability() {
   recorded_ = static_cast<size_t>(
       std::max<uint64_t>(stats.base_recorded, snapshot_rows) +
       stats.records_recovered);
-  health_.wal_records_recovered = snapshot_rows + wal_rows;
-  health_.wal_records_dropped += stats.records_dropped;
+  ins_.recorded_pairs->Set(static_cast<int64_t>(recorded_));
+  ins_.wal_records_recovered->Add(snapshot_rows + wal_rows);
+  ins_.wal_records_dropped->Add(stats.records_dropped);
 
   // Start the new process on a clean generation: fold the replayed log
   // (and any salvage-truncated garbage) into a fresh snapshot.
   if (stats.records_recovered > 0 || stats.bytes_discarded > 0) {
     CCE_RETURN_IF_ERROR(CompactLocked());
   }
+  SyncWalFsyncsLocked();
   return Status::Ok();
 }
 
 Result<Label> ExplainableProxy::CallEndpoint(const Instance& x,
-                                             const Deadline& deadline) {
+                                             const Deadline& deadline,
+                                             int* attempts) {
   retry_policy_.Reset();
-  int attempts = 0;
+  *attempts = 0;
   while (true) {
     if (deadline.expired()) {
-      ++health_.deadline_misses;
+      ins_.deadline_misses->Increment();
       return Status::DeadlineExceeded(
-          "predict deadline expired after " + std::to_string(attempts) +
+          "predict deadline expired after " + std::to_string(*attempts) +
           " attempt(s)");
     }
     Result<Label> served = endpoint_->Predict(x);
-    ++attempts;
+    ++*attempts;
     if (served.ok()) return served;
     if (!served.status().IsRetryable() ||
-        !retry_policy_.ShouldRetry(attempts)) {
+        !retry_policy_.ShouldRetry(*attempts)) {
       return served.status();
     }
-    ++health_.retries;
+    ins_.retries->Increment();
     std::chrono::milliseconds backoff =
         retry_policy_.NextBackoff(&retry_rng_);
     if (!deadline.infinite()) {
@@ -201,49 +353,118 @@ Status ExplainableProxy::ValidateRequestLocked(const Instance& x, Label y,
                                                bool check_label) const {
   Status valid = schema_->ValidateInstance(x);
   if (valid.ok() && check_label) valid = schema_->ValidateLabel(y);
-  if (!valid.ok()) ++health_.validation_rejects;
+  if (!valid.ok()) ins_.validation_rejects->Increment();
   return valid;
 }
 
 Result<Label> ExplainableProxy::Predict(const Instance& x,
                                         const Deadline& deadline) {
+  obs::RequestTrace trace(traces_.get(), "predict");
+  obs::ScopedLatency latency(registry_.get(), ins_.predict_latency_us);
   std::lock_guard<std::mutex> lock(mu_);
-  ++health_.predicts;
+  ins_.predicts->Increment();
   if (endpoint_ == nullptr) {
-    return Status::FailedPrecondition(
+    Status status = Status::FailedPrecondition(
         "proxy was created without a model; use Record()");
+    FinishTrace(trace, Op::kPredict, obs::TraceOutcome::kError, &status);
+    return status;
   }
-  CCE_RETURN_IF_ERROR(ValidateRequestLocked(x, 0, /*check_label=*/false));
+  {
+    auto span = trace.Phase("validate");
+    Status valid = ValidateRequestLocked(x, 0, /*check_label=*/false);
+    if (!valid.ok()) {
+      FinishTrace(trace, Op::kPredict, obs::TraceOutcome::kError, &valid);
+      return valid;
+    }
+  }
   if (overload_ != nullptr) {
-    CCE_RETURN_IF_ERROR(overload_->AdmitCheap(RequestClass::kPredict));
+    auto span = trace.Phase("admit");
+    Status admitted = overload_->AdmitCheap(RequestClass::kPredict);
+    if (!admitted.ok()) {
+      FinishTrace(trace, Op::kPredict, obs::TraceOutcome::kShed, &admitted);
+      return admitted;
+    }
   }
-  if (!breaker_.AllowRequest()) {
-    return Status::Unavailable(
-        "circuit breaker open; proxy is serving record-only (Explain still "
-        "available)");
+  {
+    // AllowRequest mutates on the open -> half-open cooldown edge; fold
+    // any transition into the gauge + transition counters.
+    const CircuitBreaker::State before = breaker_.state();
+    const bool allowed = breaker_.AllowRequest();
+    SyncBreakerLocked(before);
+    if (!allowed) {
+      ins_.breaker_rejections->Increment();
+      Status status = Status::Unavailable(
+          "circuit breaker open; proxy is serving record-only (Explain "
+          "still available)");
+      FinishTrace(trace, Op::kPredict, obs::TraceOutcome::kBroke, &status);
+      return status;
+    }
   }
-  Result<Label> served = CallEndpoint(x, deadline);
+  int attempts = 0;
+  Result<Label> served = [&] {
+    auto span = trace.Phase("model_call");
+    return CallEndpoint(x, deadline, &attempts);
+  }();
   if (!served.ok()) {
     // A deadline miss reflects the client's budget, not backend health, so
     // it does not count towards tripping the breaker.
     if (served.status().code() != StatusCode::kDeadlineExceeded) {
+      const CircuitBreaker::State before = breaker_.state();
       breaker_.RecordFailure();
+      SyncBreakerLocked(before);
     }
-    ++health_.predict_failures;
+    ins_.predict_failures->Increment();
+    FinishTrace(trace, Op::kPredict, obs::TraceOutcome::kError,
+                &served.status());
     return served.status();
   }
-  breaker_.RecordSuccess();
-  CCE_RETURN_IF_ERROR(RecordLocked(x, *served, /*log=*/true));
+  {
+    const CircuitBreaker::State before = breaker_.state();
+    breaker_.RecordSuccess();
+    SyncBreakerLocked(before);
+  }
+  {
+    auto span = trace.Phase("record");
+    Status recorded = RecordLocked(x, *served, /*log=*/true);
+    if (!recorded.ok()) {
+      FinishTrace(trace, Op::kPredict, obs::TraceOutcome::kError, &recorded);
+      return recorded;
+    }
+  }
+  FinishTrace(trace, Op::kPredict,
+              attempts > 1 ? obs::TraceOutcome::kRetried
+                           : obs::TraceOutcome::kServedFull);
   return *served;
 }
 
 Status ExplainableProxy::Record(const Instance& x, Label y) {
+  obs::RequestTrace trace(traces_.get(), "record");
   std::lock_guard<std::mutex> lock(mu_);
-  CCE_RETURN_IF_ERROR(ValidateRequestLocked(x, y, /*check_label=*/true));
-  if (overload_ != nullptr) {
-    CCE_RETURN_IF_ERROR(overload_->AdmitCheap(RequestClass::kRecord));
+  {
+    auto span = trace.Phase("validate");
+    Status valid = ValidateRequestLocked(x, y, /*check_label=*/true);
+    if (!valid.ok()) {
+      FinishTrace(trace, Op::kRecord, obs::TraceOutcome::kError, &valid);
+      return valid;
+    }
   }
-  return RecordLocked(x, y, /*log=*/true);
+  if (overload_ != nullptr) {
+    auto span = trace.Phase("admit");
+    Status admitted = overload_->AdmitCheap(RequestClass::kRecord);
+    if (!admitted.ok()) {
+      FinishTrace(trace, Op::kRecord, obs::TraceOutcome::kShed, &admitted);
+      return admitted;
+    }
+  }
+  auto span = trace.Phase("record");
+  Status recorded = RecordLocked(x, y, /*log=*/true);
+  span.End();
+  if (!recorded.ok()) {
+    FinishTrace(trace, Op::kRecord, obs::TraceOutcome::kError, &recorded);
+    return recorded;
+  }
+  FinishTrace(trace, Op::kRecord, obs::TraceOutcome::kServedFull);
+  return Status::Ok();
 }
 
 Status ExplainableProxy::RecordLocked(const Instance& x, Label y, bool log) {
@@ -255,8 +476,12 @@ Status ExplainableProxy::RecordLocked(const Instance& x, Label y, bool log) {
   if (log && wal_ != nullptr) {
     // Write-ahead: the pair is durable (per the sync policy) before it
     // becomes visible in the window.
-    CCE_RETURN_IF_ERROR(wal_->Append(x, y));
-    ++health_.wal_records_logged;
+    {
+      obs::ScopedLatency append_latency(registry_.get(), ins_.wal_append_us);
+      CCE_RETURN_IF_ERROR(wal_->Append(x, y));
+    }
+    ins_.wal_records_logged->Increment();
+    SyncWalFsyncsLocked();
   }
   window_.emplace_back(x, y);
   if (options_.context_capacity > 0) {
@@ -265,6 +490,8 @@ Status ExplainableProxy::RecordLocked(const Instance& x, Label y, bool log) {
     }
   }
   ++recorded_;
+  ins_.context_window_size->Set(static_cast<int64_t>(window_.size()));
+  ins_.recorded_pairs->Set(static_cast<int64_t>(recorded_));
   if (drift_ != nullptr) drift_->Observe(x, y);
   if (log && wal_ != nullptr &&
       options_.durability.compact_threshold_bytes > 0 &&
@@ -278,7 +505,8 @@ Status ExplainableProxy::CompactLocked() {
   CCE_RETURN_IF_ERROR(io::SaveDatasetToFile(SnapshotLocked(),
                                             snapshot_path_));
   CCE_RETURN_IF_ERROR(wal_->Reset(recorded_));
-  ++health_.wal_compactions;
+  ins_.wal_compactions->Increment();
+  SyncWalFsyncsLocked();
   return Status::Ok();
 }
 
@@ -295,27 +523,39 @@ Context ExplainableProxy::ContextSnapshot() const {
 
 Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
                                             const Deadline& deadline) const {
+  obs::RequestTrace trace(traces_.get(), "explain");
+  obs::ScopedLatency latency(registry_.get(), ins_.explain_latency_us);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++health_.explains;
-    CCE_RETURN_IF_ERROR(ValidateRequestLocked(x, y, /*check_label=*/true));
+    ins_.explains->Increment();
+    auto span = trace.Phase("validate");
+    Status valid = ValidateRequestLocked(x, y, /*check_label=*/true);
+    if (!valid.ok()) {
+      FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kError, &valid);
+      return valid;
+    }
   }
   // Admission runs outside mu_: a request queued for an explain slot must
   // never block Predict/Record traffic.
   std::optional<OverloadController::Permit> permit;
   if (overload_ != nullptr) {
+    auto span = trace.Phase("admit");
     auto admitted =
         overload_->AdmitExpensive(RequestClass::kExplain, deadline);
+    span.End();
     if (!admitted.ok()) {
       // Shed — the cached rung of the ladder: an identical discretized
       // instance explained recently enough is still a real answer.
       std::lock_guard<std::mutex> lock(mu_);
       if (explain_cache_ != nullptr) {
         if (auto cached = explain_cache_->Get(x, y, recorded_)) {
-          ++health_.cache_served_explains;
+          ins_.cache_served_explains->Increment();
+          FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kServedCached);
           return *cached;
         }
       }
+      FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kShed,
+                  &admitted.status());
       return admitted.status();
     }
     permit.emplace(std::move(admitted).value());
@@ -323,22 +563,27 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
   Context context(schema_);
   uint64_t generation = 0;
   {
+    auto span = trace.Phase("snapshot");
     std::lock_guard<std::mutex> lock(mu_);
     if (window_.empty()) {
-      return Status::FailedPrecondition("no predictions recorded yet");
+      Status status =
+          Status::FailedPrecondition("no predictions recorded yet");
+      FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kError, &status);
+      return status;
     }
     // Explaining consults only the recorded context (paper Section 6), so
     // it keeps working when the breaker has taken the model out of the
     // path — that serve is the "record-only fallback" rung of the ladder.
     if (breaker_.state() == CircuitBreaker::State::kOpen) {
-      ++health_.fallback_serves;
+      ins_.fallback_serves->Increment();
     }
     // Admitted but under pressure (queued, saturated limiter, CoDel):
     // prefer the cached key over burning a saturated machine on a search.
     if (permit.has_value() && permit->under_pressure() &&
         explain_cache_ != nullptr) {
       if (auto cached = explain_cache_->Get(x, y, recorded_)) {
-        ++health_.cache_served_explains;
+        ins_.cache_served_explains->Increment();
+        FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kServedCached);
         return *cached;
       }
     }
@@ -350,46 +595,82 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
   Srk::Options options;
   options.alpha = options_.alpha;
   options.deadline = deadline;
-  Result<KeyResult> key = Srk::ExplainInstance(context, x, y, options);
-  if (key.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (key->degraded) {
-      ++health_.degraded_explains;
-      ++health_.deadline_misses;
-    } else if (explain_cache_ != nullptr) {
+  Result<KeyResult> key = [&] {
+    auto span = trace.Phase("search");
+    return Srk::ExplainInstance(context, x, y, options);
+  }();
+  if (!key.ok()) {
+    FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kError,
+                &key.status());
+    return key;
+  }
+  if (key->degraded) {
+    ins_.degraded_explains->Increment();
+    ins_.deadline_misses->Increment();
+    FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kDegraded);
+  } else {
+    if (explain_cache_ != nullptr) {
       // Only full (minimised) keys are worth caching: a padded degraded
       // key served from cache would degrade answers even when idle.
+      std::lock_guard<std::mutex> lock(mu_);
       explain_cache_->Put(x, y, generation, *key);
     }
+    FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kServedFull);
   }
   return key;
 }
 
 Result<std::vector<RelativeCounterfactual>>
 ExplainableProxy::Counterfactuals(const Instance& x, Label y) const {
+  obs::RequestTrace trace(traces_.get(), "counterfactuals");
   {
     std::lock_guard<std::mutex> lock(mu_);
-    CCE_RETURN_IF_ERROR(ValidateRequestLocked(x, y, /*check_label=*/true));
+    auto span = trace.Phase("validate");
+    Status valid = ValidateRequestLocked(x, y, /*check_label=*/true);
+    if (!valid.ok()) {
+      FinishTrace(trace, Op::kCfs, obs::TraceOutcome::kError, &valid);
+      return valid;
+    }
   }
   std::optional<OverloadController::Permit> permit;
   if (overload_ != nullptr) {
+    auto span = trace.Phase("admit");
     auto admitted = overload_->AdmitExpensive(
         RequestClass::kCounterfactuals, Deadline::Infinite());
-    if (!admitted.ok()) return admitted.status();
+    span.End();
+    if (!admitted.ok()) {
+      FinishTrace(trace, Op::kCfs, obs::TraceOutcome::kShed,
+                  &admitted.status());
+      return admitted.status();
+    }
     permit.emplace(std::move(admitted).value());
   }
   Context context(schema_);
   {
+    auto span = trace.Phase("snapshot");
     std::lock_guard<std::mutex> lock(mu_);
     if (window_.empty()) {
-      return Status::FailedPrecondition("no predictions recorded yet");
+      Status status =
+          Status::FailedPrecondition("no predictions recorded yet");
+      FinishTrace(trace, Op::kCfs, obs::TraceOutcome::kError, &status);
+      return status;
     }
     if (breaker_.state() == CircuitBreaker::State::kOpen) {
-      ++health_.fallback_serves;
+      ins_.fallback_serves->Increment();
     }
     context = SnapshotLocked();
   }
-  return CounterfactualFinder::FindForInstance(context, x, y, {});
+  auto result = [&] {
+    auto span = trace.Phase("search");
+    return CounterfactualFinder::FindForInstance(context, x, y, {});
+  }();
+  if (result.ok()) {
+    FinishTrace(trace, Op::kCfs, obs::TraceOutcome::kServedFull);
+  } else {
+    FinishTrace(trace, Op::kCfs, obs::TraceOutcome::kError,
+                &result.status());
+  }
+  return result;
 }
 
 bool ExplainableProxy::DriftAlarmed() const {
@@ -404,11 +685,29 @@ size_t ExplainableProxy::recorded() const {
 
 HealthSnapshot ExplainableProxy::Health() const {
   std::lock_guard<std::mutex> lock(mu_);
-  HealthSnapshot snapshot = health_;
+  // Every counter below is a read of the one registry cell that tracks the
+  // event (docs/metrics.md); HealthSnapshot is an assembled view, not a
+  // second set of books.
+  HealthSnapshot snapshot;
+  snapshot.predicts = ins_.predicts->Value();
+  snapshot.predict_failures = ins_.predict_failures->Value();
+  snapshot.retries = ins_.retries->Value();
+  snapshot.deadline_misses = ins_.deadline_misses->Value();
+  snapshot.explains = ins_.explains->Value();
+  snapshot.degraded_explains = ins_.degraded_explains->Value();
+  snapshot.cache_served_explains = ins_.cache_served_explains->Value();
+  snapshot.fallback_serves = ins_.fallback_serves->Value();
+  snapshot.validation_rejects = ins_.validation_rejects->Value();
   snapshot.breaker_state = breaker_.state();
-  snapshot.breaker_rejections = breaker_.rejected_count();
-  snapshot.breaker_trips = breaker_.trip_count();
-  if (wal_ != nullptr) snapshot.wal_fsyncs = wal_->fsyncs();
+  snapshot.breaker_rejections = ins_.breaker_rejections->Value();
+  snapshot.breaker_trips =
+      ins_.breaker_transitions[static_cast<int>(CircuitBreaker::State::kOpen)]
+          ->Value();
+  snapshot.wal_records_logged = ins_.wal_records_logged->Value();
+  snapshot.wal_fsyncs = ins_.wal_fsyncs->Value();
+  snapshot.wal_compactions = ins_.wal_compactions->Value();
+  snapshot.wal_records_recovered = ins_.wal_records_recovered->Value();
+  snapshot.wal_records_dropped = ins_.wal_records_dropped->Value();
   if (overload_ != nullptr) {
     // Lock order is always mu_ -> controller mutex (admission itself
     // never holds mu_), so this nested snapshot cannot invert.
@@ -429,7 +728,7 @@ HealthSnapshot ExplainableProxy::Health() const {
     snapshot.explain_latency_ewma_us = admission.explain_latency_ewma_us;
   }
   if (explain_cache_ != nullptr) {
-    const ExplainCache::Stats& cache = explain_cache_->stats();
+    const ExplainCache::Stats cache = explain_cache_->stats();
     snapshot.cache_hits = cache.hits;
     snapshot.cache_misses = cache.misses;
     snapshot.cache_stale_drops = cache.stale_drops;

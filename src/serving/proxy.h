@@ -18,6 +18,8 @@
 #include "core/key_result.h"
 #include "core/model.h"
 #include "io/context_wal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serving/overload.h"
 #include "serving/resilience.h"
 
@@ -125,6 +127,23 @@ class ExplainableProxy {
     /// Explanation cache backing the "cached key" rung of the degradation
     /// ladder; only consulted when overload protection is enabled.
     ExplainCache::Options explain_cache;
+
+    /// Metrics + tracing (DESIGN.md §9). Always on: the registry write
+    /// path is a relaxed sharded increment, cheap enough to leave enabled.
+    struct Observability {
+      /// Registry receiving every proxy/overload/cache metric. Null means
+      /// the proxy owns a private registry (the common case); share one
+      /// registry across proxies to aggregate, or pass
+      /// obs::GlobalRegistry() via a non-owning shared_ptr.
+      std::shared_ptr<obs::Registry> registry;
+      /// Per-request trace ring capacity (last-N requests, phase timings,
+      /// cause of outcome); 0 disables tracing.
+      size_t trace_capacity = 128;
+      /// Clock for trace timestamps and the private registry; defaults to
+      /// steady_clock (tests inject manual time).
+      obs::Registry::ClockFn clock;
+    };
+    Observability observability;
   };
 
   /// `model` may be null (record-only mode via Record()); it is not owned
@@ -173,26 +192,64 @@ class ExplainableProxy {
   /// Snapshot of the current context (e.g. for io::SaveDataset).
   Context ContextSnapshot() const;
 
-  /// Point-in-time resilience + durability counters and breaker state.
+  /// Point-in-time resilience + durability counters and breaker state,
+  /// assembled from the metrics registry (docs/metrics.md): every counter
+  /// lives in exactly one registry cell; this is a read, not a second
+  /// bookkeeping path.
   HealthSnapshot Health() const;
 
   /// Total pairs ever recorded, including those recovered at Create.
   size_t recorded() const;
 
+  /// The registry all proxy metrics land in (the injected one, or the
+  /// proxy's private registry). Feed to obs::RenderPrometheusText /
+  /// obs::RenderJson for exposition.
+  obs::Registry& registry() const { return *registry_; }
+
+  /// Recent-request trace ring; null when observability.trace_capacity = 0.
+  const obs::TraceRing* traces() const { return traces_.get(); }
+
  private:
+  /// Entry-point index for the requests_total{op,outcome} matrix; values
+  /// deliberately mirror RequestClass.
+  enum class Op { kPredict = 0, kRecord = 1, kExplain = 2, kCfs = 3 };
+  static constexpr int kNumOps = 4;
+  static constexpr int kNumOutcomes = 7;  // TraceOutcome minus kUnset
+
   ExplainableProxy(std::shared_ptr<const Schema> schema,
                    ModelEndpoint* endpoint, const Options& options);
 
-  /// One endpoint call guarded by retries; shared by Predict.
-  Result<Label> CallEndpoint(const Instance& x, const Deadline& deadline);
+  /// Creates every proxy-level metric cell in registry_ (called once from
+  /// the constructor, before any request can race with it).
+  void InitInstruments();
+
+  /// Stamps the trace outcome (+ failure detail) and bumps
+  /// cce_requests_total{op,outcome}.
+  void FinishTrace(obs::RequestTrace& trace, Op op, obs::TraceOutcome outcome,
+                   const Status* failure = nullptr) const;
+
+  /// Folds a breaker state change (if any) into the transition counters and
+  /// the state gauge; caller holds mu_ and captured `before` just before
+  /// the mutating breaker call.
+  void SyncBreakerLocked(CircuitBreaker::State before) const;
+
+  /// Exports newly performed WAL fsyncs as counter increments (the WAL
+  /// keeps the authoritative count; the registry mirrors it by delta).
+  /// Caller holds mu_.
+  void SyncWalFsyncsLocked();
+
+  /// One endpoint call guarded by retries; shared by Predict. Reports the
+  /// number of attempts made through `attempts` (always >= 1).
+  Result<Label> CallEndpoint(const Instance& x, const Deadline& deadline,
+                             int* attempts);
 
   /// Replays snapshot + WAL from durability.dir and opens the log for
   /// append. No-op when durability is disabled.
   Status InitDurability();
 
   /// Boundary validation of a client-supplied (instance, label); counts
-  /// rejects in health_. Caller holds mu_. `check_label` = false for
-  /// Predict, whose label comes from the model.
+  /// rejects in cce_validation_rejects_total. Caller holds mu_.
+  /// `check_label` = false for Predict, whose label comes from the model.
   Status ValidateRequestLocked(const Instance& x, Label y,
                                bool check_label) const;
 
@@ -234,8 +291,45 @@ class ExplainableProxy {
   /// Cached-key ladder rung; guarded by mu_, null when overload disabled.
   std::unique_ptr<ExplainCache> explain_cache_;
 
-  // Mutable: Explain() is logically const but counts degraded serves.
-  mutable HealthSnapshot health_;
+  /// Injected or privately owned; every metric cell below points into it.
+  std::shared_ptr<obs::Registry> registry_;
+  /// Recent-request ring; null when tracing is disabled.
+  std::unique_ptr<obs::TraceRing> traces_;
+
+  /// Raw metric cells (owned by registry_; cached here so the hot path is
+  /// one pointer chase + one sharded atomic op). Created in
+  /// InitInstruments; the mutable ones are written from const entry points
+  /// (Explain/Counterfactuals are logically const but count serves).
+  struct Instruments {
+    obs::Counter* requests[kNumOps][kNumOutcomes] = {};
+    obs::Counter* predicts = nullptr;
+    obs::Counter* predict_failures = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* deadline_misses = nullptr;
+    obs::Counter* explains = nullptr;
+    obs::Counter* degraded_explains = nullptr;
+    obs::Counter* cache_served_explains = nullptr;
+    obs::Counter* fallback_serves = nullptr;
+    obs::Counter* validation_rejects = nullptr;
+    obs::Counter* breaker_rejections = nullptr;
+    obs::Counter* breaker_transitions[3] = {};  // indexed by breaker State
+    obs::Gauge* breaker_state = nullptr;
+    obs::Counter* wal_records_logged = nullptr;
+    obs::Counter* wal_fsyncs = nullptr;
+    obs::Counter* wal_compactions = nullptr;
+    obs::Counter* wal_records_recovered = nullptr;
+    obs::Counter* wal_records_dropped = nullptr;
+    obs::Gauge* context_window_size = nullptr;
+    obs::Gauge* recorded_pairs = nullptr;
+    obs::Histogram* predict_latency_us = nullptr;
+    obs::Histogram* explain_latency_us = nullptr;
+    obs::Histogram* wal_append_us = nullptr;
+  };
+  mutable Instruments ins_;
+  /// Export cursor for SyncWalFsyncsLocked (not a counter — the registry
+  /// cell is the counter; this remembers how much of wal_->fsyncs() has
+  /// been exported already).
+  uint64_t wal_fsyncs_exported_ = 0;
 };
 
 }  // namespace cce::serving

@@ -1,0 +1,177 @@
+// Exposition formats: byte-exact golden files for the Prometheus text and
+// JSON renderings of a fixed registry (satellite 4), escaping rules for
+// hostile label values, and the traces-JSON rendering. Regenerate goldens
+// with CCE_UPDATE_GOLDENS=1 after an intentional format change and review
+// the diff like any other API change.
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifndef CCE_SOURCE_DIR
+#error "tests must be compiled with CCE_SOURCE_DIR"
+#endif
+
+namespace cce::obs {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::steady_clock;
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(CCE_SOURCE_DIR) + "/tests/data/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void ExpectMatchesGolden(const std::string& rendered,
+                         const std::string& golden_name) {
+  const std::string path = GoldenPath(golden_name);
+  const char* update = std::getenv("CCE_UPDATE_GOLDENS");
+  if (update != nullptr && update[0] != '\0' && update[0] != '0') {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << rendered;
+    ASSERT_TRUE(out.good()) << "failed to update " << path;
+    return;
+  }
+  EXPECT_EQ(rendered, ReadFile(path))
+      << "rendering drifted from " << path
+      << "; if intentional, regenerate with CCE_UPDATE_GOLDENS=1 and review "
+         "the diff";
+}
+
+/// The fixed registry behind both goldens: one of each metric kind, a
+/// multi-child labelled family, and a label value exercising every escape.
+void PopulateGoldenRegistry(Registry* registry) {
+  registry->GetGauge("demo_info", "Build info-style gauge.",
+                     {{"path", "C:\\tmp\"x\ny"}})
+      ->Set(1);
+  Histogram::Options histogram_options;
+  histogram_options.sub_buckets_per_octave = 2;
+  histogram_options.max_value = 8;
+  Histogram* latency = registry->GetHistogram(
+      "demo_latency_us", "Demo latency in microseconds.", {},
+      histogram_options);
+  latency->Observe(1);
+  latency->Observe(2);
+  latency->Observe(3);
+  latency->Observe(5);
+  latency->Observe(100);
+  registry->GetGauge("demo_queue_depth", "Demo queue depth.")->Set(7);
+  registry
+      ->GetCounter("demo_requests_total", "Requests served.",
+                   {{"op", "explain"}})
+      ->Add(2);
+  registry
+      ->GetCounter("demo_requests_total", "Requests served.",
+                   {{"op", "predict"}})
+      ->Add(3);
+}
+
+TEST(ExpositionGoldenTest, PrometheusText) {
+  Registry registry;
+  PopulateGoldenRegistry(&registry);
+  ExpectMatchesGolden(RenderPrometheusText(registry), "obs_golden.prom");
+}
+
+TEST(ExpositionGoldenTest, Json) {
+  Registry registry;
+  PopulateGoldenRegistry(&registry);
+  ExpectMatchesGolden(RenderJson(registry), "obs_golden.json");
+}
+
+TEST(ExpositionTest, PrometheusEscapesLabelValuesAndHelp) {
+  Registry registry;
+  registry
+      .GetCounter("esc_total", "line one\nline \\two",
+                  {{"v", "a\\b\"c\nd"}})
+      ->Add(1);
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("# HELP esc_total line one\\nline \\\\two"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("esc_total{v=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ExpositionTest, PrometheusHistogramBucketsAreCumulative) {
+  Registry registry;
+  Histogram::Options options;
+  options.sub_buckets_per_octave = 2;
+  options.max_value = 4;  // bounds 1, 2, 3, 4
+  Histogram* h = registry.GetHistogram("h_us", "help", {}, options);
+  h->Observe(1);
+  h->Observe(2);
+  h->Observe(9);  // overflow
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("h_us_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("h_us_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("h_us_bucket{le=\"4\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("h_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("h_us_sum 12\n"), std::string::npos);
+  EXPECT_NE(text.find("h_us_count 3\n"), std::string::npos);
+}
+
+TEST(ExpositionTest, JsonEscapesControlCharacters) {
+  Registry registry;
+  registry
+      .GetCounter("esc_total", "tab\there", {{"v", std::string("a\x01" "b")}})
+      ->Add(1);
+  const std::string json = RenderJson(registry);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos) << json;
+  EXPECT_NE(json.find("a\\u0001b"), std::string::npos) << json;
+}
+
+TEST(ExpositionTest, TracesJsonRendersNewestFirst) {
+  steady_clock::time_point now{};
+  TraceRing ring(4, [&now] { return now; });
+  {
+    RequestTrace trace(&ring, "predict");
+    {
+      auto span = trace.Phase("model_call");
+      now += microseconds(40);
+    }
+    trace.set_outcome(TraceOutcome::kServedFull);
+  }
+  {
+    RequestTrace trace(&ring, "explain");
+    now += microseconds(7);
+    trace.set_outcome(TraceOutcome::kShed);
+    trace.set_detail("queue full");
+  }
+  const std::string json = RenderTracesJson(ring);
+  const std::string expected =
+      "[\n"
+      "  {\"id\": 2, \"op\": \"explain\", \"outcome\": \"shed\", "
+      "\"total_us\": 7, \"detail\": \"queue full\", \"phases\": []},\n"
+      "  {\"id\": 1, \"op\": \"predict\", \"outcome\": \"served_full\", "
+      "\"total_us\": 40, \"detail\": \"\", \"phases\": [{\"name\": "
+      "\"model_call\", \"duration_us\": 40}]}\n"
+      "]\n";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(ExpositionTest, EmptyRegistryAndRingRenderCleanly) {
+  Registry registry;
+  EXPECT_EQ(RenderPrometheusText(registry), "");
+  EXPECT_EQ(RenderJson(registry), "{\n  \"metrics\": [\n  ]\n}\n");
+  TraceRing ring(2);
+  EXPECT_EQ(RenderTracesJson(ring), "[]\n");
+}
+
+}  // namespace
+}  // namespace cce::obs

@@ -1,0 +1,152 @@
+// Request tracing (DESIGN.md §9): RAII traces + phase spans on an injected
+// clock, ring overwrite semantics, newest-first reads, null-ring no-ops,
+// and outcome annotation — the "what did the last degraded request do"
+// debugging surface.
+
+#include <chrono>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace cce::obs {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::steady_clock;
+
+struct ManualClock {
+  steady_clock::time_point now{};
+  TraceRing::ClockFn fn() {
+    return [this] { return now; };
+  }
+};
+
+TEST(TraceRingTest, CommitsAndReadsNewestFirst) {
+  ManualClock clock;
+  TraceRing ring(4, clock.fn());
+  for (int i = 0; i < 3; ++i) {
+    RequestTrace trace(&ring, "predict");
+    trace.set_outcome(TraceOutcome::kServedFull);
+  }
+  EXPECT_EQ(ring.committed(), 3u);
+  auto recent = ring.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].id, 3u);
+  EXPECT_EQ(recent[1].id, 2u);
+  EXPECT_EQ(recent[2].id, 1u);
+  EXPECT_STREQ(recent[0].op, "predict");
+  EXPECT_EQ(recent[0].outcome, TraceOutcome::kServedFull);
+}
+
+TEST(TraceRingTest, OverwritesOldestOnceFull) {
+  ManualClock clock;
+  TraceRing ring(2, clock.fn());
+  for (int i = 0; i < 5; ++i) {
+    RequestTrace trace(&ring, "explain");
+  }
+  EXPECT_EQ(ring.committed(), 5u);
+  auto recent = ring.Recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].id, 5u);
+  EXPECT_EQ(recent[1].id, 4u);
+  // Bounded reads return the newest slice.
+  auto one = ring.Recent(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].id, 5u);
+}
+
+TEST(TraceRingTest, CapacityZeroIsInert) {
+  TraceRing ring(0);
+  {
+    RequestTrace trace(&ring, "predict");
+    trace.set_outcome(TraceOutcome::kError);
+  }
+  EXPECT_EQ(ring.Recent().size(), 0u);
+}
+
+TEST(RequestTraceTest, PhasesAndTotalUseTheInjectedClock) {
+  ManualClock clock;
+  TraceRing ring(4, clock.fn());
+  {
+    RequestTrace trace(&ring, "explain");
+    {
+      auto span = trace.Phase("validate");
+      clock.now += microseconds(10);
+    }
+    {
+      auto span = trace.Phase("search");
+      clock.now += microseconds(300);
+    }
+    clock.now += microseconds(5);  // outside any phase: total only
+    trace.set_outcome(TraceOutcome::kDegraded);
+    trace.set_detail("deadline expired");
+  }
+  auto recent = ring.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  const TraceRecord& record = recent[0];
+  EXPECT_EQ(record.total_us, 315);
+  ASSERT_EQ(record.num_phases, 2u);
+  EXPECT_STREQ(record.phases[0].name, "validate");
+  EXPECT_EQ(record.phases[0].duration_us, 10);
+  EXPECT_STREQ(record.phases[1].name, "search");
+  EXPECT_EQ(record.phases[1].duration_us, 300);
+  EXPECT_EQ(record.outcome, TraceOutcome::kDegraded);
+  EXPECT_EQ(record.detail, "deadline expired");
+}
+
+TEST(RequestTraceTest, SpanEndIsIdempotentAndEarlyEndStopsTheClock) {
+  ManualClock clock;
+  TraceRing ring(2, clock.fn());
+  {
+    RequestTrace trace(&ring, "record");
+    auto span = trace.Phase("wal");
+    clock.now += microseconds(50);
+    span.End();
+    clock.now += microseconds(1000);  // after End: not attributed to "wal"
+    span.End();                       // second End must not double-append
+  }
+  auto recent = ring.Recent();
+  ASSERT_EQ(recent[0].num_phases, 1u);
+  EXPECT_EQ(recent[0].phases[0].duration_us, 50);
+}
+
+TEST(RequestTraceTest, PhasesBeyondTheCapAreDropped) {
+  ManualClock clock;
+  TraceRing ring(2, clock.fn());
+  {
+    RequestTrace trace(&ring, "predict");
+    for (size_t i = 0; i < TraceRecord::kMaxPhases + 3; ++i) {
+      auto span = trace.Phase("p");
+      clock.now += microseconds(1);
+    }
+  }
+  EXPECT_EQ(ring.Recent()[0].num_phases, TraceRecord::kMaxPhases);
+}
+
+TEST(RequestTraceTest, NullRingMakesEverythingANoOp) {
+  RequestTrace trace(nullptr, "predict");
+  EXPECT_FALSE(trace.active());
+  auto span = trace.Phase("validate");
+  span.End();
+  trace.set_outcome(TraceOutcome::kServedFull);
+  // Destruction must not touch a ring.
+}
+
+TEST(TraceOutcomeTest, NamesAreStableApiSurface) {
+  // These strings are the `outcome` label of cce_requests_total and the
+  // JSON exposition values — renaming them is a breaking change.
+  EXPECT_STREQ(TraceOutcomeName(TraceOutcome::kUnset), "unset");
+  EXPECT_STREQ(TraceOutcomeName(TraceOutcome::kServedFull), "served_full");
+  EXPECT_STREQ(TraceOutcomeName(TraceOutcome::kServedCached),
+               "served_cached");
+  EXPECT_STREQ(TraceOutcomeName(TraceOutcome::kDegraded), "degraded");
+  EXPECT_STREQ(TraceOutcomeName(TraceOutcome::kShed), "shed");
+  EXPECT_STREQ(TraceOutcomeName(TraceOutcome::kRetried), "retried");
+  EXPECT_STREQ(TraceOutcomeName(TraceOutcome::kBroke), "broke");
+  EXPECT_STREQ(TraceOutcomeName(TraceOutcome::kError), "error");
+}
+
+}  // namespace
+}  // namespace cce::obs
