@@ -1,10 +1,16 @@
 // Google-benchmark micro-benchmarks for the core algorithms: SRK scaling
-// in |I| and n, OSRK/SSRK per-arrival update cost, and the conformity
-// checker's index construction.
+// in |I| and n, OSRK/SSRK per-arrival update cost, the conformity
+// checker's index construction, and the serial-vs-bitset engine
+// comparison at 1/2/4/8 pool threads (EXPERIMENTS.md "Bitset conformity
+// engine" records the numbers).
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/bitset_conformity.h"
 #include "core/conformity.h"
 #include "core/osrk.h"
 #include "core/srk.h"
@@ -85,6 +91,100 @@ void BM_ConformityIndexBuild(benchmark::State& state) {
   state.SetComplexityN(static_cast<int64_t>(rows));
 }
 BENCHMARK(BM_ConformityIndexBuild)->Range(1024, 32768)->Complexity();
+
+// -- Engine comparison: sorted-merge reference vs blocked bitset. ---------
+//
+// Same context, same key, same query; the bitset benchmarks take the pool
+// width as the second argument (0 = no pool, the serial bitset path).
+// Shards are RowBitmap::kShardWords (256 Ki rows), so the 2 Mi-row case
+// fans out 8 shards per count.
+
+void BM_ViolatorCountSorted(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Dataset context = testing::RandomContext(rows, 12, 6, 42);
+  ConformityChecker checker(&context);
+  FeatureSet key = {0, 3, 7};
+  for (auto _ : state) {
+    size_t violators =
+        checker.CountViolators(context.instance(0), context.label(0), key);
+    benchmark::DoNotOptimize(violators);
+  }
+}
+BENCHMARK(BM_ViolatorCountSorted)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_ViolatorCountBitset(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  size_t threads = static_cast<size_t>(state.range(1));
+  Dataset context = testing::RandomContext(rows, 12, 6, 42);
+  std::unique_ptr<ThreadPool> pool;
+  BitsetConformityChecker::Options options;
+  if (threads > 0) {
+    pool = std::make_unique<ThreadPool>(threads);
+    options.pool = pool.get();
+  }
+  BitsetConformityChecker checker(&context, options);
+  FeatureSet key = {0, 3, 7};
+  for (auto _ : state) {
+    size_t violators =
+        checker.CountViolators(context.instance(0), context.label(0), key);
+    benchmark::DoNotOptimize(violators);
+  }
+}
+BENCHMARK(BM_ViolatorCountBitset)
+    ->Args({1 << 18, 0})
+    ->Args({1 << 21, 0})
+    ->Args({1 << 21, 1})
+    ->Args({1 << 21, 2})
+    ->Args({1 << 21, 4})
+    ->Args({1 << 21, 8});
+
+void BM_SrkSorted(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Dataset context = testing::RandomContext(rows, 12, 6, 42);
+  for (auto _ : state) {
+    auto key = Srk::Explain(context, 0, {});
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_SrkSorted)->Arg(1 << 15)->Arg(1 << 18);
+
+void BM_SrkBitset(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  size_t threads = static_cast<size_t>(state.range(1));
+  Dataset context = testing::RandomContext(rows, 12, 6, 42);
+  std::unique_ptr<ThreadPool> pool;
+  Srk::Options options;
+  options.parallel_conformity = true;
+  if (threads > 0) {
+    pool = std::make_unique<ThreadPool>(threads);
+    options.pool = pool.get();
+  }
+  // Bitmap construction happens inside Explain, so this measures the
+  // honest end-to-end latency a proxy Explain pays, rebuild included.
+  for (auto _ : state) {
+    auto key = Srk::Explain(context, 0, options);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_SrkBitset)
+    ->Args({1 << 15, 0})
+    ->Args({1 << 18, 0})
+    ->Args({1 << 18, 1})
+    ->Args({1 << 18, 2})
+    ->Args({1 << 18, 4})
+    ->Args({1 << 18, 8});
+
+void BM_BitsetIncrementalAddRow(benchmark::State& state) {
+  Dataset context = testing::RandomContext(4096, 12, 6, 42);
+  BitsetConformityChecker checker(&context);
+  size_t row = 0;
+  for (auto _ : state) {
+    size_t id = checker.AddRow(context.instance(row), context.label(row));
+    checker.RemoveRow(id);  // keep the live set bounded
+    row = row + 1 < context.size() ? row + 1 : 0;
+  }
+}
+BENCHMARK(BM_BitsetIncrementalAddRow);
 
 void BM_ConformityPrecision(benchmark::State& state) {
   Dataset context = testing::RandomContext(16384, 12, 6, 42);

@@ -11,6 +11,11 @@ Walks every tracked *.md file and verifies, stdlib-only:
 External http(s)/mailto links are deliberately not fetched: this gate must
 be deterministic and offline. Content-level doc drift (metric tables vs the
 live registry) is covered separately by metrics_doc_test.
+
+One content-level gate does live here: every tunable named in the first
+column of the docs/operations.md "Tunables" tables must correspond to a
+field that actually exists in some src/**/*.h header, so a renamed or
+deleted Options field cannot keep a ghost entry in the runbook.
 """
 
 import re
@@ -89,6 +94,53 @@ def check_file(md: Path, anchor_cache: dict) -> list:
     return errors
 
 
+def check_options_drift() -> list:
+    """Verify docs/operations.md tunables against the real Options fields.
+
+    Scans the tables under the '## Tunables' heading. Each backticked
+    token in a row's first column names an Options field (possibly dotted,
+    e.g. `retry.max_attempts`, possibly a `prefix.*` family). Every dotted
+    component must appear as an identifier somewhere in src/**/*.h;
+    otherwise the doc row is stale and the gate fails.
+    """
+    ops = REPO / "docs" / "operations.md"
+    if not ops.exists():
+        return [f"{ops.relative_to(REPO)}: missing (options drift gate)"]
+    headers = "\n".join(
+        p.read_text(encoding="utf-8") for p in sorted((REPO / "src").rglob("*.h")))
+    identifiers = set(re.findall(r"\w+", headers))
+    errors = []
+    in_tunables = False
+    checked = 0
+    for lineno, line in enumerate(
+            ops.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.startswith("## "):
+            in_tunables = line.lower().startswith("## tunables")
+            continue
+        if not in_tunables or not line.startswith("|"):
+            continue
+        cells = line.split("|")
+        first = cells[1] if len(cells) > 1 else ""
+        if set(first.strip()) <= set("-: ") or first.strip() == "Option":
+            continue  # separator or header row
+        for token in re.findall(r"`([^`]+)`", first):
+            for component in token.rstrip("*").split("."):
+                component = component.strip()
+                if not component or not re.fullmatch(r"\w+", component):
+                    continue
+                checked += 1
+                if component not in identifiers:
+                    errors.append(
+                        f"docs/operations.md:{lineno}: tunable `{token}` — "
+                        f"no identifier '{component}' in any src/**/*.h "
+                        f"(stale doc entry?)")
+    if checked == 0:
+        errors.append(
+            "docs/operations.md: options drift gate found no tunables under "
+            "'## Tunables' — table layout changed?")
+    return errors
+
+
 def main() -> int:
     markdown = sorted(
         p for p in REPO.rglob("*.md")
@@ -97,10 +149,11 @@ def main() -> int:
     errors = []
     for md in markdown:
         errors.extend(check_file(md, anchor_cache))
+    errors.extend(check_options_drift())
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
-    print(f"check_docs: {len(markdown)} markdown files, "
-          f"{len(errors)} problems")
+    print(f"check_docs: {len(markdown)} markdown files + options drift "
+          f"gate, {len(errors)} problems")
     return 1 if errors else 0
 
 

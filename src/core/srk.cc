@@ -1,12 +1,170 @@
 #include "core/srk.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "core/conformity.h"
+#include "core/row_bitmap.h"
 
 namespace cce {
+
+namespace {
+
+/// The bitset greedy: the same decision sequence as the sorted-row-id loop
+/// in ExplainInstance below, expressed over per-feature agreement bitmaps.
+/// For a fixed x0 the greedy only ever reads the (f, x0[f]) slice of the
+/// (feature, value) bitmap family, so only that slice is built: A_f with
+/// A_f[row] = (context[row][f] == x0[f]), plus a violator bitmap V with
+/// V[row] = (label[row] != y0). Each candidate count is then
+/// popcount(V & A_f); taking feature f updates V &= A_f.
+///
+/// Determinism: every quantity compared by the greedy (candidate counts,
+/// tie-break frequencies) is an exact integer popcount, so the arg-min scan
+/// — which always runs serially in ascending feature order — picks the same
+/// feature as the reference loop regardless of how the counting work was
+/// sharded. Identical keys with 0, 1 or N pool threads.
+KeyResult ExplainInstanceBitset(const Context& context, const Instance& x0,
+                                Label y0, const Srk::Options& options,
+                                size_t tolerated) {
+  const size_t n = context.num_features();
+  const size_t context_size = context.size();
+  ThreadPool* pool = options.pool;
+  Srk::EngineStats* stats = options.stats;
+
+  KeyResult result;
+
+  // Runs fn(f) for every feature, across the pool when one is configured.
+  // Each task stays serial inside (no nested pool use: non-reentrant).
+  auto for_each_feature = [&](auto&& fn) {
+    if (pool == nullptr) {
+      for (FeatureId f = 0; f < n; ++f) fn(f);
+    } else {
+      pool->ParallelFor(n, [&](size_t f) { fn(static_cast<FeatureId>(f)); });
+      if (stats != nullptr) {
+        stats->shard_tasks.fetch_add(n, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  // One row-major pass builds every agreement bitmap and the violator
+  // bitmap together: each row is touched once (instances are row-major, so
+  // per-feature column walks would chase the same row pointers n times)
+  // and words are accumulated locally, one store per 64 rows per bitmap.
+  std::vector<RowBitmap> agree(n);
+  for (FeatureId f = 0; f < n; ++f) agree[f].Resize(context_size);
+  RowBitmap violators(context_size);
+  const size_t num_words = violators.num_words();
+  auto build_words = [&](size_t word_begin, size_t word_end) {
+    std::vector<uint64_t> acc(n);
+    for (size_t w = word_begin; w < word_end; ++w) {
+      std::fill(acc.begin(), acc.end(), 0);
+      uint64_t viol = 0;
+      const size_t row_begin = w << 6;
+      const size_t row_end = std::min(context_size, row_begin + 64);
+      for (size_t row = row_begin; row < row_end; ++row) {
+        const Instance& xr = context.instance(row);
+        const uint64_t bit = uint64_t{1} << (row - row_begin);
+        for (FeatureId f = 0; f < n; ++f) {
+          if (xr[f] == x0[f]) acc[f] |= bit;
+        }
+        if (context.label(row) != y0) viol |= bit;
+      }
+      for (FeatureId f = 0; f < n; ++f) agree[f].mutable_data()[w] = acc[f];
+      violators.mutable_data()[w] = viol;
+    }
+  };
+  // Chunks write disjoint word ranges of every bitmap, so the result is
+  // positional — identical for any pool width, including none.
+  constexpr size_t kBuildChunkWords = 1024;  // 64 Ki rows per task
+  if (pool != nullptr && num_words > kBuildChunkWords) {
+    pool->ParallelChunks(num_words, kBuildChunkWords, build_words);
+    if (stats != nullptr) {
+      stats->shard_tasks.fetch_add(
+          (num_words + kBuildChunkWords - 1) / kBuildChunkWords,
+          std::memory_order_relaxed);
+    }
+  } else {
+    build_words(0, num_words);
+  }
+  if (stats != nullptr) {
+    stats->bitmap_builds.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Same sampled tie-break frequencies as the reference loop; a prefix
+  // popcount of A_f is the same integer the sampled row scan produces.
+  constexpr size_t kFrequencySample = 2048;
+  const size_t sample_rows = std::min(context_size, kFrequencySample);
+  std::vector<size_t> value_frequency(n, 0);
+  for (FeatureId f = 0; f < n; ++f) {
+    value_frequency[f] = agree[f].CountPrefix(sample_rows);
+  }
+
+  std::vector<bool> in_key(n, false);
+  size_t violator_count = violators.Count();
+
+  const bool bounded = !options.deadline.infinite();
+  auto finish_degraded = [&]() -> KeyResult {
+    for (FeatureId f = 0; f < n; ++f) {
+      if (!in_key[f]) FeatureSetInsert(&result.key, f);
+    }
+    // Survivors of the all-feature key are exact duplicates of x0: the
+    // intersection of V with every agreement bitmap.
+    RowBitmap duplicates = violators;
+    for (FeatureId f = 0; f < n; ++f) duplicates.AndWith(agree[f]);
+    const size_t surviving = duplicates.Count();
+    result.degraded = true;
+    result.achieved_alpha =
+        1.0 - static_cast<double>(surviving) /
+                  static_cast<double>(context_size);
+    result.satisfied = surviving <= tolerated;
+    return result;
+  };
+
+  std::vector<size_t> counts(n, 0);
+  while (violator_count > tolerated) {
+    if (bounded && options.deadline.expired()) return finish_degraded();
+    for_each_feature([&](FeatureId f) {
+      if (!in_key[f]) counts[f] = RowBitmap::AndCount(violators, agree[f]);
+    });
+    FeatureId best_feature = 0;
+    size_t best_count = std::numeric_limits<size_t>::max();
+    size_t best_frequency = 0;
+    for (FeatureId f = 0; f < n; ++f) {
+      if (in_key[f]) continue;
+      if (counts[f] < best_count ||
+          (counts[f] == best_count &&
+           value_frequency[f] > best_frequency)) {
+        best_count = counts[f];
+        best_feature = f;
+        best_frequency = value_frequency[f];
+      }
+    }
+    if (best_count == std::numeric_limits<size_t>::max() ||
+        best_count == violator_count) {
+      result.satisfied = false;
+      break;
+    }
+
+    in_key[best_feature] = true;
+    FeatureSetInsert(&result.key, best_feature);
+    result.pick_order.push_back(best_feature);
+    violators.AndWith(agree[best_feature]);
+    violator_count = best_count;
+  }
+
+  result.achieved_alpha =
+      context_size == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(violator_count) /
+                      static_cast<double>(context_size);
+  if (violator_count <= tolerated) result.satisfied = true;
+  return result;
+}
+
+}  // namespace
 
 Result<KeyResult> Srk::Explain(const Context& context, size_t row,
                                const Options& options) {
@@ -107,6 +265,10 @@ Result<KeyResult> Srk::ExplainInstance(const Context& context,
       std::floor((1.0 - options.alpha) * static_cast<double>(context_size) +
                  1e-9);
   const size_t tolerated = static_cast<size_t>(budget);
+
+  if (options.parallel_conformity) {
+    return ExplainInstanceBitset(context, x0, y0, options, tolerated);
+  }
 
   KeyResult result;
 

@@ -1,6 +1,9 @@
 #ifndef CCE_CORE_SRK_H_
 #define CCE_CORE_SRK_H_
 
+#include <atomic>
+#include <cstdint>
+
 #include "common/deadline.h"
 #include "common/status.h"
 #include "core/dataset.h"
@@ -8,6 +11,8 @@
 #include "core/types.h"
 
 namespace cce {
+
+class ThreadPool;
 
 /// Algorithm SRK (paper Algorithm 1): greedy computation of an
 /// alpha-conformant relative key for an instance x0 over a static context I.
@@ -17,6 +22,17 @@ namespace cce {
 /// most succinct alpha-conformant key. Runs in O(n^2 * |I|) worst case.
 class Srk {
  public:
+  /// Counters the bitset engine reports back to the caller (e.g. the proxy's
+  /// observability layer). Fields are atomic so a shared instance can absorb
+  /// concurrent Explain calls.
+  struct EngineStats {
+    /// Full per-call bitmap builds (one per bitset-path Explain).
+    std::atomic<uint64_t> bitmap_builds{0};
+    /// Work items dispatched to the pool — the shard fanout signal. Zero
+    /// when the bitset path ran without a pool.
+    std::atomic<uint64_t> shard_tasks{0};
+  };
+
   struct Options {
     /// Conformity bound in (0, 1]; 1 demands a (perfectly conformant)
     /// relative key.
@@ -25,7 +41,25 @@ class Srk {
     /// the candidate enumeration stops and the key is completed by adding
     /// every remaining feature — maximally conformant but non-minimal —
     /// and the result is flagged `degraded`. Infinite by default.
+    ///
+    /// The bitset engine checks the deadline between greedy rounds rather
+    /// than between candidate features, so expiry can be detected up to one
+    /// candidate scan later than on the serial path.
     Deadline deadline;
+    /// Selects the blocked-bitset conformity engine (docs/algorithms.md):
+    /// violator counting becomes word-AND + popcount over per-feature
+    /// agreement bitmaps instead of sorted-row-id scans. Produces
+    /// bit-identical keys to the serial path (determinism contract,
+    /// enforced by tests/conformity_parallel_test.cc).
+    bool parallel_conformity = false;
+    /// Shards candidate evaluation across this pool (not owned). Only read
+    /// when parallel_conformity is set; null runs the bitset engine serially
+    /// — still the same keys. Must not be a pool whose worker is the calling
+    /// thread (ThreadPool is non-reentrant).
+    ThreadPool* pool = nullptr;
+    /// Optional sink for engine counters (not owned); may be shared across
+    /// concurrent calls.
+    EngineStats* stats = nullptr;
   };
 
   /// Explains the instance stored at `row` of `context`, whose label is the

@@ -103,6 +103,15 @@ ExplainableProxy::ExplainableProxy(std::shared_ptr<const Schema> schema,
         options_.observability.trace_capacity, registry_->clock());
   }
   InitInstruments();
+  if (options_.parallel_conformity && options_.conformity_threads != 1) {
+    // A 1-thread pool is strictly worse than no pool (the caller blocks in
+    // Wait() while one worker does serial work plus dispatch overhead), so
+    // conformity_threads == 1 runs the bitset engine serially instead.
+    conformity_pool_ =
+        std::make_unique<ThreadPool>(options_.conformity_threads);
+    conformity_pool_gauges_ = std::make_unique<obs::ThreadPoolGauges>(
+        registry_.get(), conformity_pool_.get(), "conformity");
+  }
   if (options_.overload.enabled) {
     overload_ =
         std::make_unique<OverloadController>(options_.overload,
@@ -177,6 +186,14 @@ void ExplainableProxy::InitInstruments() {
   ins_.wal_records_dropped = reg.GetCounter(
       "cce_wal_records_dropped_total",
       "Recovery records dropped (corrupt tail or schema-incompatible).");
+  ins_.bitmap_rebuilds = reg.GetCounter(
+      "cce_bitmap_rebuilds_total",
+      "Full conformity-bitmap builds by the bitset engine (one per "
+      "bitset-path Explain).");
+  ins_.conformity_shards = reg.GetCounter(
+      "cce_conformity_shards_total",
+      "Work items dispatched to the conformity pool by the bitset engine "
+      "(shard fanout).");
   ins_.context_window_size = reg.GetGauge(
       "cce_context_window_size", "Pairs currently in the rolling context.");
   ins_.recorded_pairs = reg.GetGauge(
@@ -595,10 +612,24 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
   Srk::Options options;
   options.alpha = options_.alpha;
   options.deadline = deadline;
+  Srk::EngineStats engine_stats;
+  if (options_.parallel_conformity) {
+    options.parallel_conformity = true;
+    options.pool = conformity_pool_.get();
+    options.stats = &engine_stats;
+  }
   Result<KeyResult> key = [&] {
     auto span = trace.Phase("search");
     return Srk::ExplainInstance(context, x, y, options);
   }();
+  if (options_.parallel_conformity) {
+    const uint64_t builds =
+        engine_stats.bitmap_builds.load(std::memory_order_relaxed);
+    if (builds > 0) ins_.bitmap_rebuilds->Add(builds);
+    const uint64_t shards =
+        engine_stats.shard_tasks.load(std::memory_order_relaxed);
+    if (shards > 0) ins_.conformity_shards->Add(shards);
+  }
   if (!key.ok()) {
     FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kError,
                 &key.status());

@@ -12,6 +12,7 @@
 #include "common/deadline.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/cce.h"
 #include "core/counterfactual.h"
 #include "core/dataset.h"
@@ -88,6 +89,18 @@ class ExplainableProxy {
     size_t context_capacity = 0;
     /// Conformity bound for explanations.
     double alpha = 1.0;
+    /// Selects the blocked-bitset conformity engine for Explain's key
+    /// search (docs/algorithms.md): violator counting becomes word-AND +
+    /// popcount sharded across a proxy-owned pool. Keys are bit-identical
+    /// to the serial engine; only latency changes. Adds the
+    /// cce_bitmap_rebuilds_total / cce_conformity_shards_total counters'
+    /// traffic and thread-pool gauges labelled pool="conformity".
+    bool parallel_conformity = false;
+    /// Worker threads for the conformity pool; 0 = hardware concurrency,
+    /// 1 = run the bitset engine serially with no pool at all (a 1-thread
+    /// pool only adds dispatch overhead). Read only when
+    /// parallel_conformity is set.
+    size_t conformity_threads = 0;
     /// Enable the succinctness-based drift monitor.
     bool monitor_drift = true;
     DriftMonitor::Options drift;
@@ -296,6 +309,15 @@ class ExplainableProxy {
   /// Recent-request ring; null when tracing is disabled.
   std::unique_ptr<obs::TraceRing> traces_;
 
+  /// Bitset-engine worker pool; null unless Options::parallel_conformity
+  /// (or when conformity_threads == 1: serial bitset, no pool). Shared by
+  /// concurrent Explain calls (each call's tasks only touch that call's
+  /// buffers). Declared after registry_ and before its gauges so on
+  /// destruction the gauges unbind first, while the registry and the pool
+  /// they reference are both still alive.
+  std::unique_ptr<ThreadPool> conformity_pool_;
+  std::unique_ptr<obs::ThreadPoolGauges> conformity_pool_gauges_;
+
   /// Raw metric cells (owned by registry_; cached here so the hot path is
   /// one pointer chase + one sharded atomic op). Created in
   /// InitInstruments; the mutable ones are written from const entry points
@@ -319,6 +341,8 @@ class ExplainableProxy {
     obs::Counter* wal_compactions = nullptr;
     obs::Counter* wal_records_recovered = nullptr;
     obs::Counter* wal_records_dropped = nullptr;
+    obs::Counter* bitmap_rebuilds = nullptr;
+    obs::Counter* conformity_shards = nullptr;
     obs::Gauge* context_window_size = nullptr;
     obs::Gauge* recorded_pairs = nullptr;
     obs::Histogram* predict_latency_us = nullptr;

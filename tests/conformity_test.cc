@@ -2,10 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include "core/enumerate.h"
 #include "tests/test_util.h"
 
 namespace cce {
 namespace {
+
+/// Brute-force violator count straight from the definition (paper Section
+/// 3.1): rows agreeing with x0 on every feature of E yet predicted
+/// differently. The oracle both engines must match.
+size_t OracleViolators(const Context& context, const Instance& x0, Label y0,
+                       const FeatureSet& e) {
+  size_t count = 0;
+  for (size_t row = 0; row < context.size(); ++row) {
+    bool agrees = true;
+    for (FeatureId f : e) {
+      if (context.value(row, f) != x0[f]) {
+        agrees = false;
+        break;
+      }
+    }
+    if (agrees && context.label(row) != y0) ++count;
+  }
+  return count;
+}
 
 class ConformityTest : public ::testing::Test {
  protected:
@@ -117,6 +137,101 @@ TEST(ConformityEdgeTest, ConflictingDuplicatesNeverConformant) {
   EXPECT_EQ(checker.CountViolators(x0, 0, {f}), 1u);
   EXPECT_FALSE(checker.IsAlphaConformant(x0, 0, {f}, 1.0));
   EXPECT_TRUE(checker.IsAlphaConformant(x0, 0, {f}, 0.5));
+}
+
+TEST(ConformityEdgeTest, AlphaZeroToleratesEveryViolator) {
+  // alpha = 0 puts the whole context in the violator budget, so ANY key —
+  // including the empty one — is conformant. The algorithms reject
+  // alpha = 0 at their API boundary, but the checker's formulas must stay
+  // well-defined there (the sweep code evaluates the full curve).
+  testing::Fig2Context fig2;
+  ConformityChecker checker(&fig2.context);
+  EXPECT_EQ(checker.ViolatorBudget(0.0), fig2.context.size());
+  const Instance& x0 = fig2.context.instance(0);
+  EXPECT_TRUE(checker.IsAlphaConformant(x0, fig2.denied, {}, 0.0));
+  FeatureSet all = {fig2.gender, fig2.income, fig2.credit, fig2.dependent};
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(checker.IsAlphaConformant(x0, fig2.denied, all, 0.0));
+}
+
+TEST(ConformityEdgeTest, EmptyContextEveryAlpha) {
+  auto schema = std::make_shared<Schema>();
+  FeatureId f = schema->AddFeature("a");
+  schema->InternValue(f, "v");
+  Dataset empty(schema);
+  ConformityChecker checker(&empty);
+  Instance x0 = {0};
+  for (double alpha : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(checker.ViolatorBudget(alpha), 0u) << alpha;
+    EXPECT_TRUE(checker.IsAlphaConformant(x0, 0, {f}, alpha)) << alpha;
+  }
+  EXPECT_TRUE(checker.CoveredRows(x0, 0, {}).empty());
+}
+
+TEST(ConformityEdgeTest, FullAttributeKeyCountsOnlyConflictingDuplicates) {
+  // The key covering every attribute is the most conformant key that
+  // exists: only exact duplicates of x0 with a different prediction can
+  // still violate it. Checked against the brute-force oracle on a noisy
+  // random context (duplicates guaranteed by the tiny domain).
+  Dataset context = testing::RandomContext(500, 3, 2, 77, 0.3);
+  ConformityChecker checker(&context);
+  FeatureSet all = {0, 1, 2};
+  for (size_t row = 0; row < context.size(); row += 25) {
+    const Instance& x0 = context.instance(row);
+    const Label y0 = context.label(row);
+    EXPECT_EQ(checker.CountViolators(x0, y0, all),
+              OracleViolators(context, x0, y0, all))
+        << "row " << row;
+    // And the full key's violator count is a lower bound for every subkey.
+    EXPECT_LE(checker.CountViolators(x0, y0, all),
+              checker.CountViolators(x0, y0, {0, 1}));
+  }
+}
+
+TEST(ConformityEdgeTest, RandomQueriesMatchBruteForceOracle) {
+  for (uint64_t seed : {41u, 42u}) {
+    Dataset context = testing::RandomContext(300, 6, 3, seed);
+    ConformityChecker checker(&context);
+    Rng rng(seed + 7);
+    for (int q = 0; q < 60; ++q) {
+      Instance x0 = context.instance(rng.Uniform(context.size()));
+      if (rng.Bernoulli(0.25)) {
+        x0[rng.Uniform(x0.size())] = static_cast<ValueId>(rng.Uniform(3));
+      }
+      const Label y0 = static_cast<Label>(rng.Uniform(2));
+      FeatureSet e;
+      for (FeatureId f = 0; f < 6; ++f) {
+        if (rng.Bernoulli(0.4)) e.push_back(f);
+      }
+      EXPECT_EQ(checker.CountViolators(x0, y0, e),
+                OracleViolators(context, x0, y0, e))
+          << "seed " << seed << " query " << q;
+    }
+  }
+}
+
+TEST(ConformityEdgeTest, EnumeratedMinimalKeysAreConformantAndMinimal) {
+  // Cross-check against the hitting-set enumerator: every minimal key it
+  // returns must be 1-conformant per the checker, and dropping any single
+  // feature from it must break conformance (that is what minimal means).
+  testing::Fig2Context fig2;
+  ConformityChecker checker(&fig2.context);
+  KeyEnumerator::Options options;
+  auto keys = KeyEnumerator::EnumerateMinimalKeys(fig2.context, 0, options);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_FALSE(keys->empty());
+  const Instance& x0 = fig2.context.instance(0);
+  for (const FeatureSet& key : *keys) {
+    EXPECT_TRUE(checker.IsAlphaConformant(x0, fig2.denied, key, 1.0));
+    for (FeatureId drop : key) {
+      FeatureSet smaller;
+      for (FeatureId f : key) {
+        if (f != drop) smaller.push_back(f);
+      }
+      EXPECT_FALSE(checker.IsAlphaConformant(x0, fig2.denied, smaller, 1.0))
+          << "dropping feature " << drop << " kept the key conformant";
+    }
+  }
 }
 
 }  // namespace
