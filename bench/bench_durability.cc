@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "common/crc32c.h"
@@ -40,7 +41,8 @@ void BM_WalAppend_SyncEvery(benchmark::State& state) {
   CCE_CHECK_OK(wal.status());
   size_t i = 0;
   for (auto _ : state) {
-    CCE_CHECK_OK((*wal)->Append(BenchInstance(i), static_cast<Label>(i % 3)));
+    CCE_CHECK_OK(
+        (*wal)->Append(BenchInstance(i), static_cast<Label>(i % 3), i));
     ++i;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
@@ -64,7 +66,7 @@ void BM_WalRecovery_LogLength(benchmark::State& state) {
     CCE_CHECK_OK(wal.status());
     for (size_t i = 0; i < records; ++i) {
       CCE_CHECK_OK(
-          (*wal)->Append(BenchInstance(i), static_cast<Label>(i % 3)));
+          (*wal)->Append(BenchInstance(i), static_cast<Label>(i % 3), i));
     }
     CCE_CHECK_OK((*wal)->Sync());
   }
@@ -73,7 +75,7 @@ void BM_WalRecovery_LogLength(benchmark::State& state) {
     ContextWal::RecoveryStats stats;
     auto wal = ContextWal::Open(
         path, {},
-        [&replayed](const Instance&, Label) {
+        [&replayed](uint64_t, const Instance&, Label) {
           ++replayed;
           return Status::Ok();
         },
@@ -123,6 +125,56 @@ void BM_ProxyRecord_Durability(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProxyRecord_Durability)->Arg(-1)->Arg(1)->Arg(64)->Arg(0);
+
+/// Sharded Record throughput under concurrent writers: four threads drive
+/// one durable proxy while Arg sweeps the shard count. With one shard all
+/// appends and fsyncs serialize behind a single WAL lock; with N shards
+/// records routed to different shards commit in parallel and only the
+/// global sequence counter is shared.
+void BM_ProxyRecord_Shards(benchmark::State& state) {
+  static std::unique_ptr<serving::ExplainableProxy> proxy;
+  static std::unique_ptr<Dataset> shard_data;
+  const std::string dir =
+      BenchPath("shards." + std::to_string(state.range(0)));
+  auto clean_dir = [&dir] {
+    for (size_t shard = 0; shard < 16; ++shard) {
+      const std::string stem =
+          shard == 0 ? "context" : "context." + std::to_string(shard);
+      std::remove((dir + "/" + stem + ".wal").c_str());
+      std::remove((dir + "/" + stem + ".snapshot").c_str());
+    }
+  };
+  if (state.thread_index() == 0) {
+    shard_data =
+        std::make_unique<Dataset>(cce::testing::RandomContext(4096, 8, 5, 42));
+    serving::ExplainableProxy::Options options;
+    options.monitor_drift = false;
+    options.shards = static_cast<size_t>(state.range(0));
+    options.context_capacity = 1024;
+    clean_dir();
+    options.durability.dir = dir;
+    options.durability.sync_every = 1;  // the expensive, durable rung
+    // Keep compaction out of the loop so the numbers isolate Append cost.
+    options.durability.compact_threshold_bytes = 1ull << 40;
+    auto created = serving::ExplainableProxy::Create(
+        shard_data->schema_ptr(), nullptr, options);
+    CCE_CHECK_OK(created.status());
+    proxy = std::move(created).value();
+  }
+  size_t row = static_cast<size_t>(state.thread_index()) * 997;
+  for (auto _ : state) {
+    row = row + 1 < shard_data->size() ? row + 1 : 0;
+    CCE_CHECK_OK(proxy->Record(shard_data->instance(row),
+                               shard_data->label(row)));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (state.thread_index() == 0) {
+    proxy.reset();
+    shard_data.reset();
+    clean_dir();
+  }
+}
+BENCHMARK(BM_ProxyRecord_Shards)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Threads(4);
 
 void BM_Crc32c_Throughput(benchmark::State& state) {
   std::string data(static_cast<size_t>(state.range(0)), '\x5a');

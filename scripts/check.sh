@@ -22,10 +22,18 @@
 # and the exposition golden tests. Builds only those test targets, so it
 # is the fastest gate in the script.
 #
+# SUITE=crash is the kill-and-recover torture gate: AddressSanitizer build
+# of the CrashTorture suite with CCE_CRASH_ITERS=200, so each scenario runs
+# hundreds of write-crash-recover cycles with randomized kill points and
+# injected I/O faults (torn appends, failed fsyncs, ENOSPC during
+# compaction). Every surviving byte must replay cleanly and no recovery
+# path may leak or scribble under ASan.
+#
 # Usage: scripts/check.sh [extra ctest args...]
 #   BUILD_DIR=build-asan JOBS=8 scripts/check.sh -R ProxyTest
 #   SUITE=stress scripts/check.sh
 #   SUITE=docs scripts/check.sh
+#   SUITE=crash scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,13 +46,17 @@ BUILD_TARGETS=()
 if [[ "$SUITE" == "stress" ]]; then
   SANITIZER=thread
   export CCE_STRESS=1
-  SUITE_ARGS=(-R 'Overload|TokenBucket|ProxyConcurrency|ProxyDurability|ContextWal|ThreadPool|ConformityStress|EngineEquivalence')
+  SUITE_ARGS=(-R 'Overload|TokenBucket|ProxyConcurrency|ProxyDurability|ContextWal|ThreadPool|ConformityStress|EngineEquivalence|ShardEquivalence')
 elif [[ "$SUITE" == "docs" ]]; then
   python3 scripts/check_docs.py
   SUITE_ARGS=(-R 'MetricsDoc|Exposition')
   BUILD_TARGETS=(--target metrics_doc_test obs_exposition_test)
+elif [[ "$SUITE" == "crash" ]]; then
+  SANITIZER=address
+  export CCE_CRASH_ITERS=${CCE_CRASH_ITERS:-200}
+  SUITE_ARGS=(-R 'CrashTorture')
 elif [[ -n "$SUITE" ]]; then
-  echo "unknown SUITE='$SUITE' (expected 'stress', 'docs' or unset)" >&2
+  echo "unknown SUITE='$SUITE' (expected 'stress', 'docs', 'crash' or unset)" >&2
   exit 2
 fi
 

@@ -1,39 +1,15 @@
 #include "io/atomic_file.h"
 
 #include <atomic>
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #ifndef _WIN32
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <sys/types.h>
 #include <unistd.h>
 #endif
 
 namespace cce::io {
 namespace {
-
-std::string ErrnoMessage(const std::string& what, const std::string& path) {
-  return what + " '" + path + "': " + std::strerror(errno);
-}
-
-/// Flushes file *data* to disk. No-op where fsync is unavailable.
-Status FsyncPath(const std::string& path) {
-#ifndef _WIN32
-  int fd = ::open(path.c_str(), O_WRONLY);
-  if (fd < 0) return Status::IoError(ErrnoMessage("cannot open", path));
-  int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return Status::IoError(ErrnoMessage("fsync failed for", path));
-#else
-  (void)path;
-#endif
-  return Status::Ok();
-}
 
 /// Directory part of `path` ("." when there is no separator).
 std::string DirName(const std::string& path) {
@@ -45,41 +21,27 @@ std::string DirName(const std::string& path) {
 
 }  // namespace
 
+bool IsAtomicTempName(const std::string& name) {
+  // "<target>.tmp.<suffix>" with a non-empty target and suffix; the suffix
+  // layout (pid.counter) is deliberately not parsed so orphans from older
+  // naming schemes still match.
+  const size_t marker = name.find(".tmp.");
+  return marker != std::string::npos && marker > 0 &&
+         marker + 5 < name.size();
+}
+
 Status SyncDirectory(const std::string& dir) {
-#ifndef _WIN32
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return Status::IoError(ErrnoMessage("cannot open dir", dir));
-  int rc = ::fsync(fd);
-  ::close(fd);
-  // Some filesystems reject fsync on directories (EINVAL); the rename is
-  // still atomic there, only the power-cut guarantee weakens.
-  if (rc != 0 && errno != EINVAL) {
-    return Status::IoError(ErrnoMessage("fsync failed for dir", dir));
-  }
-#else
-  (void)dir;
-#endif
-  return Status::Ok();
+  return Env::Default()->SyncDir(dir);
 }
 
 Status EnsureDirectory(const std::string& path) {
-  if (path.empty()) return Status::InvalidArgument("empty directory path");
-#ifndef _WIN32
-  struct stat st;
-  if (::stat(path.c_str(), &st) == 0) {
-    if (S_ISDIR(st.st_mode)) return Status::Ok();
-    return Status::IoError("'" + path + "' exists and is not a directory");
-  }
-  if (::mkdir(path.c_str(), 0775) != 0 && errno != EEXIST) {
-    return Status::IoError(ErrnoMessage("cannot create directory", path));
-  }
-#endif
-  return Status::Ok();
+  return Env::Default()->CreateDir(path);
 }
 
-Status AtomicWriteFile(const std::string& path,
+Status AtomicWriteFile(Env* env, const std::string& path,
                        const std::function<Status(std::ostream*)>& writer) {
   if (path.empty()) return Status::InvalidArgument("empty file path");
+  if (env == nullptr) env = Env::Default();
   // Unique per process + call so concurrent writers to different targets
   // (or a crashed predecessor's leftovers) never collide.
   static std::atomic<uint64_t> counter{0};
@@ -90,40 +52,34 @@ Status AtomicWriteFile(const std::string& path,
 #endif
       std::to_string(counter.fetch_add(1));
 
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IoError("cannot open " + tmp + " for writing");
-    }
-    Status written = writer(&out);
-    if (written.ok()) {
-      out.flush();
-      // A full disk commonly surfaces only here: the stream buffered the
-      // payload and the flush is what hits ENOSPC.
-      if (!out.good()) {
-        written = Status::IoError("flush failed writing " + tmp +
-                                  " (disk full?)");
-      }
-    }
-    if (!written.ok()) {
-      out.close();
-      std::remove(tmp.c_str());
-      return written;
-    }
-  }
+  // The writer streams into memory first; all disk I/O then goes through
+  // the env so fault injection sees every byte.
+  std::ostringstream buffer;
+  CCE_RETURN_IF_ERROR(writer(&buffer));
+  const std::string content = buffer.str();
 
-  Status synced = FsyncPath(tmp);
-  if (!synced.ok()) {
-    std::remove(tmp.c_str());
-    return synced;
+  auto opened = env->NewTruncatedFile(tmp);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<WritableFile> file = std::move(opened).value();
+  Status written = file->Append(content);
+  if (written.ok()) written = file->Sync();
+  if (written.ok()) written = file->Close();
+  if (!written.ok()) {
+    file.reset();
+    (void)env->RemoveFile(tmp);
+    return written;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    Status failed = Status::IoError(
-        ErrnoMessage("rename to", path));
-    std::remove(tmp.c_str());
-    return failed;
+  Status renamed = env->RenameFile(tmp, path);
+  if (!renamed.ok()) {
+    (void)env->RemoveFile(tmp);
+    return renamed;
   }
-  return SyncDirectory(DirName(path));
+  return env->SyncDir(DirName(path));
+}
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::function<Status(std::ostream*)>& writer) {
+  return AtomicWriteFile(Env::Default(), path, writer);
 }
 
 }  // namespace cce::io

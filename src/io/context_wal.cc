@@ -1,15 +1,7 @@
 #include "io/context_wal.h"
 
-#include <cerrno>
 #include <cstring>
-#include <fstream>
 #include <utility>
-
-#ifndef _WIN32
-#include <fcntl.h>
-#include <sys/types.h>
-#include <unistd.h>
-#endif
 
 #include "common/crc32c.h"
 
@@ -77,44 +69,38 @@ bool DecodeHeader(const std::string& content, uint64_t* base) {
 }  // namespace
 
 ContextWal::ContextWal(std::string path, const Options& options)
-    : path_(std::move(path)), options_(options) {}
+    : path_(std::move(path)),
+      options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {}
 
 ContextWal::~ContextWal() {
-#ifndef _WIN32
   // Deliberately no fsync: durability comes from the sync policy, so a
   // destructor-skipping crash and a clean shutdown are indistinguishable.
-  if (fd_ >= 0) ::close(fd_);
-#endif
 }
 
 Result<std::unique_ptr<ContextWal>> ContextWal::Open(
     const std::string& path, const Options& options, const ReplayFn& fn,
     RecoveryStats* stats) {
-#ifdef _WIN32
-  return Status::Unimplemented("ContextWal requires POSIX file primitives");
-#else
   if (path.empty()) return Status::InvalidArgument("empty wal path");
   RecoveryStats local;
   RecoveryStats* out = stats != nullptr ? stats : &local;
   *out = RecoveryStats{};
 
+  auto wal = std::unique_ptr<ContextWal>(new ContextWal(path, options));
   std::string content;
   {
-    std::ifstream in(path, std::ios::binary);
-    if (in) {
-      std::string buffer((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
-      content = std::move(buffer);
-    }
+    Status read = wal->env_->ReadFileToString(path, &content);
+    if (!read.ok() && read.code() != StatusCode::kNotFound) return read;
   }
 
   uint64_t base = 0;
   const bool header_ok = DecodeHeader(content, &base);
   size_t valid_end = 0;
+  uint64_t last_seq = 0;
+  bool has_seq = false;
   if (header_ok) {
     out->base_recorded = base;
     size_t pos = kHeaderSize;
-    uint64_t expected_seq = base;
     // Salvage the longest valid frame prefix; any failure below means a
     // torn or corrupt tail and stops the scan (never resurrect a record
     // past the first bad byte).
@@ -130,18 +116,21 @@ Result<std::unique_ptr<ContextWal>> ContextWal::Open(
       const uint32_t label = GetU32(payload + 8);
       const uint32_t value_count = GetU32(payload + 12);
       if (len != kPayloadFixed + 4ull * value_count) break;
-      // A checksum-valid frame out of sequence is a duplicated or
-      // misplaced tail block (e.g. a replayed copy of the last frame).
-      if (seq != expected_seq) break;
+      // A checksum-valid frame whose sequence fails to increase is a
+      // duplicated or misplaced tail block (e.g. a replayed copy of the
+      // last frame). Sequences are sparse — the owner interleaves shards
+      // in one global order — so only monotonicity can be checked.
+      if (has_seq && seq <= last_seq) break;
       Instance x(value_count);
       for (uint32_t i = 0; i < value_count; ++i) {
         x[i] = GetU32(payload + kPayloadFixed + 4 * i);
       }
       if (fn != nullptr) {
-        CCE_RETURN_IF_ERROR(fn(x, static_cast<Label>(label)));
+        CCE_RETURN_IF_ERROR(fn(seq, x, static_cast<Label>(label)));
       }
+      last_seq = seq;
+      has_seq = true;
       ++out->records_recovered;
-      ++expected_seq;
       pos += kFrameOverhead + len;
     }
     valid_end = pos;
@@ -153,56 +142,54 @@ Result<std::unique_ptr<ContextWal>> ContextWal::Open(
     ++out->records_dropped;
   }
 
-  auto wal = std::unique_ptr<ContextWal>(new ContextWal(path, options));
-  wal->fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
-  if (wal->fd_ < 0) {
-    return Status::IoError("cannot open wal '" + path +
-                           "': " + std::strerror(errno));
+  {
+    auto opened = wal->env_->NewAppendableFile(path);
+    if (!opened.ok()) return opened.status();
+    wal->file_ = std::move(opened).value();
   }
   if (!header_ok) {
     // Missing, empty or header-corrupt log: restart the generation.
     CCE_RETURN_IF_ERROR(wal->Reset(0));
   } else {
-    if (out->bytes_discarded > 0 &&
-        ::ftruncate(wal->fd_, static_cast<off_t>(valid_end)) != 0) {
-      return Status::IoError("cannot truncate corrupt wal tail of '" + path +
-                             "': " + std::strerror(errno));
+    if (out->bytes_discarded > 0) {
+      CCE_RETURN_IF_ERROR(wal->file_->Truncate(valid_end));
     }
     wal->size_ = valid_end;
     wal->base_ = base;
-    wal->next_seq_ = base + out->records_recovered;
+    wal->last_seq_ = last_seq;
+    wal->has_seq_ = has_seq;
     if (out->bytes_discarded > 0) CCE_RETURN_IF_ERROR(wal->Sync());
   }
   return wal;
-#endif
 }
 
 Status ContextWal::WriteHeader(uint64_t base) {
-#ifndef _WIN32
   const std::string header = EncodeHeader(base);
-  const ssize_t wrote = ::write(fd_, header.data(), header.size());
-  if (wrote != static_cast<ssize_t>(header.size())) {
-    return Status::IoError("cannot write wal header to '" + path_ +
-                           "': " + std::strerror(errno));
-  }
+  CCE_RETURN_IF_ERROR(file_->Append(header));
   size_ = kHeaderSize;
-#endif
   return Status::Ok();
 }
 
-Status ContextWal::Append(const Instance& x, Label y) {
-#ifdef _WIN32
-  (void)x;
-  (void)y;
-  return Status::Unimplemented("ContextWal requires POSIX file primitives");
-#else
-  if (fd_ < 0) return Status::FailedPrecondition("wal is closed");
+Status ContextWal::Append(const Instance& x, Label y, uint64_t seq) {
+  if (file_ == nullptr) return Status::FailedPrecondition("wal is closed");
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "wal '" + path_ +
+        "' is poisoned by a failed fsync; appends are refused until the "
+        "log is rewritten (compaction)");
+  }
+  if (has_seq_ && seq <= last_seq_) {
+    return Status::InvalidArgument(
+        "wal sequence " + std::to_string(seq) +
+        " is not greater than the last logged sequence " +
+        std::to_string(last_seq_));
+  }
   if (x.size() > (kMaxPayload - kPayloadFixed) / 4) {
     return Status::InvalidArgument("instance too large for a wal frame");
   }
   std::string payload;
   payload.reserve(kPayloadFixed + 4 * x.size());
-  PutU64(&payload, next_seq_);
+  PutU64(&payload, seq);
   PutU32(&payload, y);
   PutU32(&payload, static_cast<uint32_t>(x.size()));
   for (ValueId v : x) PutU32(&payload, v);
@@ -214,55 +201,75 @@ Status ContextWal::Append(const Instance& x, Label y) {
          crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
   frame += payload;
 
-  const ssize_t wrote = ::write(fd_, frame.data(), frame.size());
-  if (wrote != static_cast<ssize_t>(frame.size())) {
+  Status wrote = file_->Append(frame);
+  if (!wrote.ok()) {
     // Roll the file back to the last frame boundary so a failed append
-    // (disk full, I/O error) cannot leave a torn frame behind.
-    (void)::ftruncate(fd_, static_cast<off_t>(size_));
-    return Status::IoError("wal append to '" + path_ +
-                           "' failed: " + std::strerror(errno));
+    // (disk full, I/O error) cannot leave a torn frame behind. If even
+    // the rollback fails, a torn frame may be on disk — poison the log so
+    // no later append claims durability on top of it.
+    Status rolled_back = file_->Truncate(size_);
+    if (!rolled_back.ok()) poisoned_ = true;
+    return wrote;
   }
   size_ += frame.size();
-  ++next_seq_;
+  last_seq_ = seq;
+  has_seq_ = true;
   ++appended_;
   if (options_.sync_every > 0 &&
       ++unsynced_appends_ >= options_.sync_every) {
-    return Sync();
+    return SyncInternal();
   }
   return Status::Ok();
-#endif
 }
 
 Status ContextWal::Sync() {
-#ifndef _WIN32
-  if (fd_ < 0) return Status::FailedPrecondition("wal is closed");
-  if (::fsync(fd_) != 0) {
-    return Status::IoError("wal fsync of '" + path_ +
-                           "' failed: " + std::strerror(errno));
+  if (file_ == nullptr) return Status::FailedPrecondition("wal is closed");
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "wal '" + path_ + "' is poisoned by a failed fsync");
+  }
+  return SyncInternal();
+}
+
+Status ContextWal::SyncInternal() {
+  Status synced = file_->Sync();
+  if (!synced.ok()) {
+    // fsyncgate: the kernel may have dropped the dirty pages on failure,
+    // so neither a retried fsync nor further appends can be trusted until
+    // the log is rewritten from scratch (Reset).
+    poisoned_ = true;
+    return synced;
   }
   ++fsyncs_;
   unsynced_appends_ = 0;
-#endif
   return Status::Ok();
 }
 
 Status ContextWal::Reset(uint64_t base) {
-#ifndef _WIN32
-  if (fd_ < 0) return Status::FailedPrecondition("wal is closed");
-  if (::ftruncate(fd_, 0) != 0) {
-    return Status::IoError("cannot truncate wal '" + path_ +
-                           "': " + std::strerror(errno));
+  if (file_ == nullptr) return Status::FailedPrecondition("wal is closed");
+  // Reopen truncated rather than ftruncate in place: after a failed fsync
+  // the old handle's dirty-page state is untrustworthy, and a fresh handle
+  // on a zero-length file starts the new generation clean.
+  file_.reset();
+  auto reopened = env_->NewTruncatedFile(path_);
+  if (!reopened.ok()) {
+    poisoned_ = true;
+    return reopened.status();
   }
+  file_ = std::move(reopened).value();
   size_ = 0;
-  CCE_RETURN_IF_ERROR(WriteHeader(base));
+  poisoned_ = false;
+  Status header = WriteHeader(base);
+  if (!header.ok()) {
+    poisoned_ = true;
+    return header;
+  }
   base_ = base;
-  next_seq_ = base;
+  has_seq_ = false;
   unsynced_appends_ = 0;
-  return Sync();
-#else
-  (void)base;
-  return Status::Unimplemented("ContextWal requires POSIX file primitives");
-#endif
+  Status synced = SyncInternal();
+  if (!synced.ok()) return synced;
+  return Status::Ok();
 }
 
 }  // namespace cce::io

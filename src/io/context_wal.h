@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "core/types.h"
+#include "io/env.h"
 
 namespace cce::io {
 
@@ -27,18 +28,23 @@ namespace cce::io {
 ///     u32 payload_length
 ///     u32 masked CRC-32C of the payload
 ///     payload:
-///       u64 sequence number (base_recorded + index of this record)
+///       u64 sequence number — caller-supplied, strictly increasing within
+///           a generation. A sharded owner passes its global arrival
+///           sequence here, so each shard's log records where its rows sit
+///           in the *cross-shard* arrival order and a restart can rebuild
+///           the exact merged context. Gaps are expected (rows routed to
+///           other shards, failed appends).
 ///       u32 label
 ///       u32 value_count
 ///       u32 values[value_count]
 ///
 /// Recovery is salvage-prefix: Open() replays valid frames in order and
 /// stops at the first torn, truncated or checksum-failing frame — or at a
-/// frame whose sequence number breaks the expected chain (which rejects
-/// duplicated tail blocks) — then truncates the file back to the valid
-/// prefix so later appends never interleave with garbage. Corruption is
-/// reported in RecoveryStats, never as an error: a damaged log yields a
-/// shorter context, not a dead proxy.
+/// frame whose sequence number fails to increase (which rejects duplicated
+/// tail blocks) — then truncates the file back to the valid prefix so
+/// later appends never interleave with garbage. Corruption is reported in
+/// RecoveryStats, never as an error: a damaged log yields a shorter
+/// context, not a dead proxy.
 ///
 /// Durability policy: `sync_every` = N issues an fsync after every Nth
 /// append (1 = every record is durable before Append returns; 0 = never
@@ -46,12 +52,26 @@ namespace cce::io {
 /// destructor closes without syncing — durability comes from the policy,
 /// not from a clean shutdown.
 ///
-/// Not thread-safe; the proxy serialises access under its own mutex.
+/// fsync poisoning (the fsyncgate class of bugs): when an fsync fails the
+/// kernel may have dropped the dirty pages, so retrying the fsync — or
+/// appending more frames and reporting them durable — would silently lose
+/// data. A failed Sync() therefore *poisons* the log: every later Append
+/// and Sync fails with kFailedPrecondition until Reset() rewrites the log
+/// from scratch on a freshly opened file handle. The same applies when a
+/// failed append's rollback truncation fails (a torn frame may be on
+/// disk). poisoned() exposes the state for health reporting.
+///
+/// All file I/O goes through Options::env, so tests can inject torn
+/// writes, EIO, ENOSPC and failed fsyncs deterministically.
+///
+/// Not thread-safe; the owner serialises access under its own mutex.
 class ContextWal {
  public:
   struct Options {
     /// fsync cadence in appends; 1 = every append, 0 = never automatic.
     size_t sync_every = 1;
+    /// I/O surface; null means Env::Default().
+    Env* env = nullptr;
   };
 
   /// What Open() found in an existing log.
@@ -68,10 +88,12 @@ class ContextWal {
     uint64_t base_recorded = 0;
   };
 
-  /// Called once per salvaged record, in append order. A non-OK return
-  /// aborts recovery and fails Open() — return OK and skip internally for
-  /// records the caller merely wants to ignore.
-  using ReplayFn = std::function<Status(const Instance&, Label)>;
+  /// Called once per salvaged record, in append order, with the sequence
+  /// number the record was appended under. A non-OK return aborts recovery
+  /// and fails Open() — return OK and skip internally for records the
+  /// caller merely wants to ignore.
+  using ReplayFn = std::function<Status(uint64_t seq, const Instance&,
+                                        Label)>;
 
   /// Opens (creating if absent) the log at `path`, salvage-replays the
   /// valid prefix through `fn` (may be null to skip replay), truncates any
@@ -85,18 +107,28 @@ class ContextWal {
   ContextWal(const ContextWal&) = delete;
   ContextWal& operator=(const ContextWal&) = delete;
 
-  /// Appends one record frame; durable per the sync policy. A partial
-  /// write is rolled back (the file is truncated to the previous frame
-  /// boundary) so a failed append can never leave a torn frame for the
-  /// next recovery to trip over.
-  Status Append(const Instance& x, Label y);
+  /// Appends one record frame under `seq`; durable per the sync policy.
+  /// `seq` must be strictly greater than every sequence already in the
+  /// log (kInvalidArgument otherwise — recovery relies on monotonicity to
+  /// reject duplicated tail blocks). A partial write is rolled back (the
+  /// file is truncated to the previous frame boundary) so a failed append
+  /// can never leave a torn frame for the next recovery to trip over.
+  /// kFailedPrecondition while poisoned.
+  Status Append(const Instance& x, Label y, uint64_t seq);
 
-  /// Forces an fsync now regardless of the cadence.
+  /// Forces an fsync now regardless of the cadence. A failure poisons the
+  /// log (see class comment).
   Status Sync();
 
   /// Resets the log to empty with base_recorded = `base` — the truncation
-  /// half of snapshot+compaction. Writes and fsyncs the fresh header.
+  /// half of snapshot+compaction. Reopens the file truncated (a fresh
+  /// handle, per the fsyncgate discipline), writes and fsyncs the new
+  /// header, and clears any poisoning on success.
   Status Reset(uint64_t base);
+
+  /// True after a failed fsync (or failed rollback) until a successful
+  /// Reset; appends are refused meanwhile.
+  bool poisoned() const { return poisoned_; }
 
   /// Current file size in bytes (header + frames).
   uint64_t size_bytes() const { return size_; }
@@ -112,13 +144,18 @@ class ContextWal {
   ContextWal(std::string path, const Options& options);
 
   Status WriteHeader(uint64_t base);
+  Status SyncInternal();
 
   std::string path_;
   Options options_;
-  int fd_ = -1;
+  Env* env_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
+  bool poisoned_ = false;
   uint64_t size_ = 0;
   uint64_t base_ = 0;
-  uint64_t next_seq_ = 0;
+  /// Largest sequence number in the log; valid when has_seq_ is true.
+  uint64_t last_seq_ = 0;
+  bool has_seq_ = false;
   uint64_t appended_ = 0;
   uint64_t fsyncs_ = 0;
   size_t unsynced_appends_ = 0;

@@ -1,0 +1,140 @@
+#ifndef CCE_IO_FAULT_ENV_H_
+#define CCE_IO_FAULT_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "io/env.h"
+
+namespace cce::io {
+
+/// A deterministic fault-injecting Env decorator — the I/O analogue of
+/// serving's FaultInjectingModel. Wraps a base Env (usually Env::Default())
+/// and, on a seeded schedule, makes writes tear, reads come up short,
+/// fsyncs fail, and the disk fill up, so recovery and poisoning paths can
+/// be exercised without root, loop devices, or real power cuts.
+///
+/// Two triggering modes compose:
+///   - probabilistic: per-operation fault probabilities drawn from one
+///     seeded Rng (deterministic given a fixed operation sequence);
+///   - one-shot arming: FailNextSync() etc. queue exactly one fault for
+///     the next matching operation — precise scalpel for regression tests.
+///
+/// A torn append writes a strict prefix of the data through to the base
+/// file and then reports failure, exactly what a crash mid-write leaves
+/// behind. The ENOSPC budget counts bytes through Append: once spent,
+/// appends write the remaining budget (possibly zero bytes) and fail, and
+/// snapshot rewrites fail too, until ReplenishSpace().
+///
+/// Thread-safe: all fault state sits behind one mutex. set_enabled(false)
+/// turns the decorator into a transparent pass-through (useful to stage a
+/// healthy startup, then switch faults on).
+class FaultInjectingEnv : public Env {
+ public:
+  struct Options {
+    uint64_t seed = 42;
+    /// Per-Append probability of a full EIO failure (no bytes written).
+    double write_error_probability = 0.0;
+    /// Per-Append probability of a torn write (prefix lands, then EIO).
+    double torn_write_probability = 0.0;
+    /// Per-Sync probability of a failed fsync.
+    double sync_error_probability = 0.0;
+    /// Per-read probability of EIO on ReadFileToString.
+    double read_error_probability = 0.0;
+    /// Per-read probability of dropping a suffix of the content (the
+    /// short-read a crashed writer or torn page leaves behind).
+    double short_read_probability = 0.0;
+    /// Per-Truncate probability of failure.
+    double truncate_error_probability = 0.0;
+    /// Per-Rename probability of failure.
+    double rename_error_probability = 0.0;
+  };
+
+  /// `base` is not owned and must outlive this env.
+  explicit FaultInjectingEnv(Env* base);
+  FaultInjectingEnv(Env* base, const Options& options);
+
+  /// Master switch; disabled = transparent pass-through. Armed one-shot
+  /// faults stay queued while disabled.
+  void set_enabled(bool enabled);
+
+  // One-shot arming. Each call queues one additional fault.
+  void FailNextAppend();
+  /// Next append writes only `keep_bytes` of its data (clamped to the
+  /// data's size - 1 so the frame is genuinely torn), then fails.
+  void TearNextAppend(uint64_t keep_bytes);
+  void FailNextSync();
+  void FailNextTruncate();
+  void FailNextRename();
+  void FailNextRead();
+  /// Next ReadFileToString drops `drop_bytes` from the end (clamped).
+  void ShortenNextRead(uint64_t drop_bytes);
+  /// Start a byte budget: appends consume it; once exhausted they fail
+  /// with a disk-full error (writing any remaining budget first, torn).
+  void ExhaustSpaceAfter(uint64_t bytes);
+  void ReplenishSpace();
+
+  /// Faults actually delivered (for asserting a schedule fired).
+  struct Stats {
+    uint64_t append_errors = 0;
+    uint64_t torn_appends = 0;
+    uint64_t sync_errors = 0;
+    uint64_t read_errors = 0;
+    uint64_t short_reads = 0;
+    uint64_t truncate_errors = 0;
+    uint64_t rename_errors = 0;
+    uint64_t space_exhausted_errors = 0;
+  };
+  Stats stats() const;
+
+  // Env interface.
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewTruncatedFile(
+      const std::string& path) override;
+  Status ReadFileToString(const std::string& path, std::string* out) override;
+  bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+  Status ListDir(const std::string& dir,
+                 std::vector<std::string>* names) override;
+
+  /// Append-time fault decision, taken under mu_. Public only for the
+  /// wrapper file class in fault_env.cc; not part of the test API.
+  struct AppendPlan {
+    bool fail = false;          // report failure after writing keep_bytes
+    bool disk_full = false;     // phrase the error as ENOSPC
+    uint64_t keep_bytes = 0;    // prefix to pass through to the base file
+  };
+  AppendPlan PlanAppend(uint64_t size);
+  Status PlanSync();
+  Status PlanTruncate();
+
+ private:
+  Env* base_;
+  Options options_;
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  Rng rng_;
+  Stats stats_;
+  int armed_append_failures_ = 0;
+  std::optional<uint64_t> armed_tear_keep_bytes_;
+  int armed_sync_failures_ = 0;
+  int armed_truncate_failures_ = 0;
+  int armed_rename_failures_ = 0;
+  int armed_read_failures_ = 0;
+  std::optional<uint64_t> armed_short_read_drop_;
+  std::optional<uint64_t> space_budget_;
+};
+
+}  // namespace cce::io
+
+#endif  // CCE_IO_FAULT_ENV_H_

@@ -1,50 +1,15 @@
 #include "serving/proxy.h"
 
 #include <algorithm>
-#include <fstream>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
 #include "core/srk.h"
 #include "io/atomic_file.h"
-#include "io/serialize.h"
 
 namespace cce::serving {
 namespace {
-
-bool FileExists(const std::string& path) {
-  std::ifstream probe(path, std::ios::binary);
-  return probe.good();
-}
-
-/// A recovered snapshot must describe the same feature space as the live
-/// schema: feature/label names and domain sizes all line up. Anything else
-/// means the directory belongs to a different deployment.
-Status CheckSchemaCompatible(const Schema& live, const Schema& stored) {
-  if (live.num_features() != stored.num_features()) {
-    return Status::InvalidArgument(
-        "recovered snapshot has " + std::to_string(stored.num_features()) +
-        " features, schema expects " + std::to_string(live.num_features()));
-  }
-  for (FeatureId f = 0; f < live.num_features(); ++f) {
-    if (live.FeatureName(f) != stored.FeatureName(f)) {
-      return Status::InvalidArgument("recovered snapshot feature " +
-                                     std::to_string(f) + " is '" +
-                                     stored.FeatureName(f) + "', expected '" +
-                                     live.FeatureName(f) + "'");
-    }
-    if (live.DomainSize(f) < stored.DomainSize(f)) {
-      return Status::InvalidArgument(
-          "recovered snapshot domain of '" + live.FeatureName(f) +
-          "' is larger than the live schema's");
-    }
-  }
-  if (live.num_labels() < stored.num_labels()) {
-    return Status::InvalidArgument(
-        "recovered snapshot has more labels than the live schema");
-  }
-  return Status::Ok();
-}
 
 const char* OpName(int op) {
   switch (op) {
@@ -72,6 +37,33 @@ const char* BreakerStateLabel(CircuitBreaker::State state) {
   return "unknown";
 }
 
+/// On-disk name of shard `i`'s file. Shard 0 keeps the pre-sharding names
+/// ("context.wal" / "context.snapshot") so existing single-shard
+/// directories recover without migration.
+std::string ShardFileName(size_t shard, const char* ext) {
+  if (shard == 0) return std::string("context.") + ext;
+  return "context." + std::to_string(shard) + "." + ext;
+}
+
+/// Parses "context.<i>.wal" names; false for shard 0's "context.wal" and
+/// for anything else.
+bool ParseShardWalName(const std::string& name, size_t* shard) {
+  constexpr char kPrefix[] = "context.";
+  constexpr char kSuffix[] = ".wal";
+  if (name.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1) return false;
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  if (name.compare(name.size() - 4, 4, kSuffix) != 0) return false;
+  const std::string digits =
+      name.substr(sizeof(kPrefix) - 1,
+                  name.size() - (sizeof(kPrefix) - 1) - 4);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *shard = static_cast<size_t>(std::strtoull(digits.c_str(), nullptr, 10));
+  return true;
+}
+
 }  // namespace
 
 ExplainableProxy::ExplainableProxy(std::shared_ptr<const Schema> schema,
@@ -80,13 +72,12 @@ ExplainableProxy::ExplainableProxy(std::shared_ptr<const Schema> schema,
     : schema_(std::move(schema)),
       endpoint_(endpoint),
       options_(options),
+      env_(options.durability.env != nullptr ? options.durability.env
+                                             : io::Env::Default()),
       retry_policy_(options.retry),
       breaker_(options.breaker, options.clock),
       retry_rng_(options.resilience_seed),
       sleep_(options.sleep) {
-  if (options_.monitor_drift) {
-    drift_ = std::make_unique<DriftMonitor>(schema_, options_.drift);
-  }
   if (!sleep_) {
     sleep_ = [](std::chrono::milliseconds d) {
       std::this_thread::sleep_for(d);
@@ -148,7 +139,9 @@ void ExplainableProxy::InitInstruments() {
       reg.GetCounter("cce_explains_total", "Explain() calls received.");
   ins_.degraded_explains = reg.GetCounter(
       "cce_degraded_explains_total",
-      "Explains answered with a padded, non-minimal key at deadline expiry.");
+      "Explains answered degraded: padded non-minimal key at deadline "
+      "expiry, or computed against an incomplete (quarantine-degraded) "
+      "context.");
   ins_.cache_served_explains =
       reg.GetCounter("cce_cache_served_explains_total",
                      "Explains answered from the explanation cache.");
@@ -174,18 +167,30 @@ void ExplainableProxy::InitInstruments() {
       "Circuit breaker state: 0 = closed, 1 = open, 2 = half-open.");
   ins_.wal_records_logged =
       reg.GetCounter("cce_wal_records_logged_total",
-                     "Pairs appended to the write-ahead log.");
-  ins_.wal_fsyncs =
-      reg.GetCounter("cce_wal_fsyncs_total", "WAL fsync() calls issued.");
+                     "Pairs appended to the write-ahead logs (all shards).");
+  ins_.wal_fsyncs = reg.GetCounter(
+      "cce_wal_fsyncs_total", "WAL fsync() calls issued (all shards).");
   ins_.wal_compactions = reg.GetCounter(
       "cce_wal_compactions_total",
-      "Log compactions (snapshot written, log truncated).");
+      "Log compactions (snapshot written, log truncated; all shards).");
   ins_.wal_records_recovered = reg.GetCounter(
       "cce_wal_records_recovered_total",
-      "Pairs replayed into the context at startup (snapshot + log).");
+      "Pairs replayed into the context at startup (snapshot + log, all "
+      "shards).");
   ins_.wal_records_dropped = reg.GetCounter(
       "cce_wal_records_dropped_total",
       "Recovery records dropped (corrupt tail or schema-incompatible).");
+  ins_.compaction_failures = reg.GetCounter(
+      "cce_compaction_failures_total",
+      "Compactions that failed (snapshot write or log reset); the previous "
+      "generation stays in service.");
+  ins_.quarantine_drops = reg.GetCounter(
+      "cce_quarantine_drops_total",
+      "Records not durably applied because their shard was quarantined or "
+      "read-only.");
+  ins_.tmp_orphans_removed = reg.GetCounter(
+      "cce_tmp_orphans_removed_total",
+      "Orphaned *.tmp files swept from the durability dir at startup.");
   ins_.bitmap_rebuilds = reg.GetCounter(
       "cce_bitmap_rebuilds_total",
       "Full conformity-bitmap builds by the bitset engine (one per "
@@ -195,10 +200,15 @@ void ExplainableProxy::InitInstruments() {
       "Work items dispatched to the conformity pool by the bitset engine "
       "(shard fanout).");
   ins_.context_window_size = reg.GetGauge(
-      "cce_context_window_size", "Pairs currently in the rolling context.");
+      "cce_context_window_size",
+      "Pairs currently in the rolling context (all shards).");
   ins_.recorded_pairs = reg.GetGauge(
       "cce_recorded_pairs",
       "Pairs ever recorded, including those recovered at startup.");
+  ins_.context_degraded = reg.GetGauge(
+      "cce_context_degraded",
+      "1 while at least one context shard is quarantined (explanations "
+      "carry degraded = true).");
   ins_.predict_latency_us = reg.GetHistogram(
       "cce_predict_latency_us",
       "End-to-end Predict() latency in microseconds.");
@@ -208,6 +218,47 @@ void ExplainableProxy::InitInstruments() {
   ins_.wal_append_us = reg.GetHistogram(
       "cce_wal_append_us", "WAL append (+ conditional fsync) latency in "
       "microseconds.");
+
+  const size_t num_shards = std::max<size_t>(1, options_.shards);
+  shard_ins_.resize(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    const obs::Labels labels = {{"shard", std::to_string(i)}};
+    ContextShard::Instruments& cells = shard_ins_[i];
+    cells.shard_wal_appends = reg.GetCounter(
+        "cce_shard_wal_appends_total",
+        "Pairs appended to one shard's write-ahead log.", labels);
+    cells.shard_wal_fsyncs = reg.GetCounter(
+        "cce_shard_wal_fsyncs_total",
+        "fsync() calls issued by one shard's log.", labels);
+    cells.shard_recovered_records = reg.GetCounter(
+        "cce_shard_recovered_records_total",
+        "Pairs replayed into one shard at startup.", labels);
+    cells.shard_salvage_dropped = reg.GetCounter(
+        "cce_shard_salvage_dropped_total",
+        "Records one shard dropped at recovery (corrupt tail or invalid "
+        "rows).",
+        labels);
+    cells.shard_repairs = reg.GetCounter(
+        "cce_shard_repairs_total",
+        "Times this shard was re-admitted from quarantine via "
+        "RepairShard().",
+        labels);
+    cells.shard_quarantined = reg.GetGauge(
+        "cce_shard_quarantined",
+        "1 while this shard is quarantined (unrecoverable files).", labels);
+    cells.shard_read_only = reg.GetGauge(
+        "cce_shard_read_only",
+        "1 while this shard is read-only (poisoned WAL awaiting rewrite).",
+        labels);
+    cells.agg_records_logged = ins_.wal_records_logged;
+    cells.agg_fsyncs = ins_.wal_fsyncs;
+    cells.agg_compactions = ins_.wal_compactions;
+    cells.agg_records_recovered = ins_.wal_records_recovered;
+    cells.agg_records_dropped = ins_.wal_records_dropped;
+    cells.compaction_failures = ins_.compaction_failures;
+    cells.wal_append_us = ins_.wal_append_us;
+    cells.registry = registry_.get();
+  }
 }
 
 void ExplainableProxy::FinishTrace(obs::RequestTrace& trace, Op op,
@@ -229,15 +280,6 @@ void ExplainableProxy::SyncBreakerLocked(CircuitBreaker::State before) const {
   ins_.breaker_state->Set(static_cast<int64_t>(after));
 }
 
-void ExplainableProxy::SyncWalFsyncsLocked() {
-  if (wal_ == nullptr) return;
-  const uint64_t fsyncs = wal_->fsyncs();
-  if (fsyncs > wal_fsyncs_exported_) {
-    ins_.wal_fsyncs->Add(fsyncs - wal_fsyncs_exported_);
-    wal_fsyncs_exported_ = fsyncs;
-  }
-}
-
 Result<std::unique_ptr<ExplainableProxy>> ExplainableProxy::Create(
     std::shared_ptr<const Schema> schema, const Model* model,
     const Options& options) {
@@ -253,7 +295,7 @@ Result<std::unique_ptr<ExplainableProxy>> ExplainableProxy::Create(
     proxy->owned_endpoint_ = std::make_unique<LocalModelEndpoint>(model);
     proxy->endpoint_ = proxy->owned_endpoint_.get();
   }
-  CCE_RETURN_IF_ERROR(proxy->InitDurability());
+  CCE_RETURN_IF_ERROR(proxy->InitShards());
   return proxy;
 }
 
@@ -268,69 +310,126 @@ Result<std::unique_ptr<ExplainableProxy>> ExplainableProxy::CreateWithEndpoint(
   }
   auto proxy = std::unique_ptr<ExplainableProxy>(
       new ExplainableProxy(std::move(schema), endpoint, options));
-  CCE_RETURN_IF_ERROR(proxy->InitDurability());
+  CCE_RETURN_IF_ERROR(proxy->InitShards());
   return proxy;
 }
 
-Status ExplainableProxy::InitDurability() {
+Status ExplainableProxy::InitShards() {
   const Options::Durability& durability = options_.durability;
-  if (durability.dir.empty()) return Status::Ok();
-  CCE_RETURN_IF_ERROR(io::EnsureDirectory(durability.dir));
-  snapshot_path_ = durability.dir + "/context.snapshot";
-  const std::string wal_path = durability.dir + "/context.wal";
-
-  // Recovery replays into the window without re-logging: snapshot rows are
-  // summarised by the log's base_recorded, log rows are already on disk.
-  // Rows that no longer fit the live schema are skipped and counted as
-  // dropped rather than failing recovery.
-  size_t snapshot_rows = 0;
-  if (FileExists(snapshot_path_)) {
-    CCE_ASSIGN_OR_RETURN(Dataset snapshot,
-                         io::LoadDatasetFromFile(snapshot_path_));
-    CCE_RETURN_IF_ERROR(CheckSchemaCompatible(*schema_, snapshot.schema()));
-    for (size_t row = 0; row < snapshot.size(); ++row) {
-      if (RecordLocked(snapshot.instance(row), snapshot.label(row),
-                       /*log=*/false)
-              .ok()) {
-        ++snapshot_rows;
-      } else {
-        ins_.wal_records_dropped->Increment();
-      }
-    }
+  const size_t num_shards = std::max<size_t>(1, options_.shards);
+  const bool durable = !durability.dir.empty();
+  if (durable) {
+    CCE_RETURN_IF_ERROR(env_->CreateDir(durability.dir));
+    SweepOrphanTmpFiles();
   }
-
-  io::ContextWal::RecoveryStats stats;
-  uint64_t wal_rows = 0;
-  auto replay = [this, &wal_rows](const Instance& x, Label y) {
-    if (RecordLocked(x, y, /*log=*/false).ok()) {
-      ++wal_rows;
-    } else {
-      ins_.wal_records_dropped->Increment();
+  for (size_t i = 0; i < num_shards; ++i) {
+    ContextShard::Options shard_options;
+    shard_options.index = i;
+    if (durable) {
+      shard_options.wal_path =
+          durability.dir + "/" + ShardFileName(i, "wal");
+      shard_options.snapshot_path =
+          durability.dir + "/" + ShardFileName(i, "snapshot");
     }
-    return Status::Ok();
-  };
-  io::ContextWal::Options wal_options;
-  wal_options.sync_every = durability.sync_every;
-  CCE_ASSIGN_OR_RETURN(wal_,
-                       io::ContextWal::Open(wal_path, wal_options, replay,
-                                            &stats));
-
-  // Total ever recorded: the log's base covers everything compacted away
-  // (including rows evicted from the snapshot by the window capacity).
-  recorded_ = static_cast<size_t>(
-      std::max<uint64_t>(stats.base_recorded, snapshot_rows) +
-      stats.records_recovered);
-  ins_.recorded_pairs->Set(static_cast<int64_t>(recorded_));
-  ins_.wal_records_recovered->Add(snapshot_rows + wal_rows);
-  ins_.wal_records_dropped->Add(stats.records_dropped);
-
-  // Start the new process on a clean generation: fold the replayed log
-  // (and any salvage-truncated garbage) into a fresh snapshot.
-  if (stats.records_recovered > 0 || stats.bytes_discarded > 0) {
-    CCE_RETURN_IF_ERROR(CompactLocked());
+    shard_options.sync_every = durability.sync_every;
+    shard_options.compact_threshold_bytes =
+        durability.compact_threshold_bytes;
+    shard_options.env = env_;
+    shard_options.monitor_drift = options_.monitor_drift;
+    shard_options.drift = options_.drift;
+    shards_.push_back(std::make_unique<ContextShard>(
+        schema_, shard_options, shard_ins_[i]));
   }
-  SyncWalFsyncsLocked();
+  // Shard-major recovery order: deterministic, and each shard is its own
+  // fault domain — only a schema clash (another deployment's directory)
+  // can fail Create; I/O damage quarantines the one shard it hit.
+  for (auto& shard : shards_) {
+    CCE_RETURN_IF_ERROR(shard->Recover(&global_seq_));
+  }
+  size_t rows = 0;
+  for (const auto& shard : shards_) rows += shard->window_size();
+  total_rows_.store(rows, std::memory_order_release);
+  EvictToCapacity();
+  if (durable) AdoptOrphanShardFiles();
+  SyncContextGauges();
   return Status::Ok();
+}
+
+void ExplainableProxy::SweepOrphanTmpFiles() {
+  std::vector<std::string> names;
+  if (!env_->ListDir(options_.durability.dir, &names).ok()) return;
+  for (const std::string& name : names) {
+    if (!io::IsAtomicTempName(name)) continue;
+    if (env_->RemoveFile(options_.durability.dir + "/" + name).ok()) {
+      ins_.tmp_orphans_removed->Increment();
+    }
+  }
+}
+
+void ExplainableProxy::AdoptOrphanShardFiles() {
+  std::vector<std::string> names;
+  if (!env_->ListDir(options_.durability.dir, &names).ok()) return;
+  std::vector<size_t> orphans;
+  for (const std::string& name : names) {
+    size_t shard = 0;
+    if (ParseShardWalName(name, &shard) && shard >= shards_.size()) {
+      orphans.push_back(shard);
+    }
+  }
+  std::sort(orphans.begin(), orphans.end());
+  // Recover every orphan first, then re-log all their rows in one pass
+  // sorted by the original arrival sequence: rows that interleaved across
+  // two abandoned shards keep that interleaving in the adopted context.
+  struct OrphanRow {
+    ContextShard::Row row;
+    size_t orphan;  // position in `orphans`
+  };
+  std::vector<OrphanRow> pending;
+  std::vector<bool> salvaged(orphans.size(), false);
+  for (size_t i = 0; i < orphans.size(); ++i) {
+    const size_t index = orphans[i];
+    // A throwaway shard reuses the whole recovery path (salvage, covers
+    // skip, validation); its rows are then re-routed by hash and re-logged
+    // into the live shards.
+    ContextShard::Options orphan_options;
+    orphan_options.index = index;
+    orphan_options.wal_path =
+        options_.durability.dir + "/" + ShardFileName(index, "wal");
+    orphan_options.snapshot_path =
+        options_.durability.dir + "/" + ShardFileName(index, "snapshot");
+    orphan_options.sync_every = 0;  // the live shards re-log durably
+    orphan_options.compact_threshold_bytes = 0;
+    orphan_options.env = env_;
+    ContextShard orphan(schema_, orphan_options, ContextShard::Instruments{});
+    if (!orphan.Recover(&global_seq_).ok() ||
+        orphan.state() != ContextShard::State::kActive) {
+      // Unsalvageable or foreign: leave the files for forensics.
+      continue;
+    }
+    salvaged[i] = true;
+    std::vector<ContextShard::Row> rows;
+    orphan.SnapshotInto(&rows);
+    for (ContextShard::Row& row : rows) {
+      pending.push_back(OrphanRow{std::move(row), i});
+    }
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const OrphanRow& a, const OrphanRow& b) {
+              return a.row.seq < b.row.seq;
+            });
+  std::vector<bool> adopted(orphans.size(), true);
+  for (const OrphanRow& entry : pending) {
+    if (!RecordToShard(entry.row.x, entry.row.y).ok()) {
+      adopted[entry.orphan] = false;
+    }
+  }
+  for (size_t i = 0; i < orphans.size(); ++i) {
+    if (!salvaged[i] || !adopted[i]) continue;
+    (void)env_->RemoveFile(options_.durability.dir + "/" +
+                           ShardFileName(orphans[i], "wal"));
+    (void)env_->RemoveFile(options_.durability.dir + "/" +
+                           ShardFileName(orphans[i], "snapshot"));
+  }
 }
 
 Result<Label> ExplainableProxy::CallEndpoint(const Instance& x,
@@ -366,12 +465,83 @@ Result<Label> ExplainableProxy::CallEndpoint(const Instance& x,
   }
 }
 
-Status ExplainableProxy::ValidateRequestLocked(const Instance& x, Label y,
-                                               bool check_label) const {
+Status ExplainableProxy::ValidateRequest(const Instance& x, Label y,
+                                         bool check_label) const {
   Status valid = schema_->ValidateInstance(x);
   if (valid.ok() && check_label) valid = schema_->ValidateLabel(y);
   if (!valid.ok()) ins_.validation_rejects->Increment();
   return valid;
+}
+
+Status ExplainableProxy::RecordToShard(const Instance& x, Label y) {
+  ContextShard& shard =
+      *shards_[ContextShard::ShardFor(x, shards_.size())];
+  Status recorded = shard.Record(x, y, &global_seq_);
+  if (!recorded.ok()) {
+    if (recorded.code() == StatusCode::kUnavailable) {
+      ins_.quarantine_drops->Increment();
+    }
+    return recorded;
+  }
+  total_rows_.fetch_add(1, std::memory_order_acq_rel);
+  EvictToCapacity();
+  SyncContextGauges();
+  return Status::Ok();
+}
+
+void ExplainableProxy::EvictToCapacity() {
+  const size_t capacity = options_.context_capacity;
+  if (capacity == 0) return;
+  std::lock_guard<std::mutex> lock(evict_mu_);
+  while (total_rows_.load(std::memory_order_acquire) > capacity) {
+    // Globally oldest first: the shard holding the minimum sequence
+    // number loses its front row, which reproduces the single-window
+    // FIFO exactly.
+    ContextShard* oldest = nullptr;
+    uint64_t best = UINT64_MAX;
+    for (const auto& shard : shards_) {
+      const uint64_t front = shard->front_seq();
+      if (front < best) {
+        best = front;
+        oldest = shard.get();
+      }
+    }
+    if (oldest == nullptr || !oldest->PopFront()) break;
+    total_rows_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+std::vector<ContextShard::Row> ExplainableProxy::MergedRows() const {
+  std::vector<ContextShard::Row> rows;
+  for (const auto& shard : shards_) shard->SnapshotInto(&rows);
+  std::sort(rows.begin(), rows.end(),
+            [](const ContextShard::Row& a, const ContextShard::Row& b) {
+              return a.seq < b.seq;
+            });
+  return rows;
+}
+
+Context ExplainableProxy::MergedContext() const {
+  const std::vector<ContextShard::Row> rows = MergedRows();
+  Context context(schema_);
+  for (const ContextShard::Row& row : rows) context.Add(row.x, row.y);
+  return context;
+}
+
+bool ExplainableProxy::AnyShardQuarantined() const {
+  for (const auto& shard : shards_) {
+    if (shard->state() == ContextShard::State::kQuarantined) return true;
+  }
+  return false;
+}
+
+void ExplainableProxy::SyncContextGauges() const {
+  ins_.context_window_size->Set(
+      static_cast<int64_t>(total_rows_.load(std::memory_order_acquire)));
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->total_recorded();
+  ins_.recorded_pairs->Set(static_cast<int64_t>(total));
+  ins_.context_degraded->Set(AnyShardQuarantined() ? 1 : 0);
 }
 
 Result<Label> ExplainableProxy::Predict(const Instance& x,
@@ -388,7 +558,7 @@ Result<Label> ExplainableProxy::Predict(const Instance& x,
   }
   {
     auto span = trace.Phase("validate");
-    Status valid = ValidateRequestLocked(x, 0, /*check_label=*/false);
+    Status valid = ValidateRequest(x, 0, /*check_label=*/false);
     if (!valid.ok()) {
       FinishTrace(trace, Op::kPredict, obs::TraceOutcome::kError, &valid);
       return valid;
@@ -442,8 +612,15 @@ Result<Label> ExplainableProxy::Predict(const Instance& x,
   }
   {
     auto span = trace.Phase("record");
-    Status recorded = RecordLocked(x, *served, /*log=*/true);
+    Status recorded = RecordToShard(x, *served);
     if (!recorded.ok()) {
+      if (recorded.code() == StatusCode::kUnavailable) {
+        // The prediction is valid; only its durable recording failed
+        // (quarantined or read-only shard). Serve it and say so.
+        FinishTrace(trace, Op::kPredict, obs::TraceOutcome::kDegraded,
+                    &recorded);
+        return *served;
+      }
       FinishTrace(trace, Op::kPredict, obs::TraceOutcome::kError, &recorded);
       return recorded;
     }
@@ -456,10 +633,9 @@ Result<Label> ExplainableProxy::Predict(const Instance& x,
 
 Status ExplainableProxy::Record(const Instance& x, Label y) {
   obs::RequestTrace trace(traces_.get(), "record");
-  std::lock_guard<std::mutex> lock(mu_);
   {
     auto span = trace.Phase("validate");
-    Status valid = ValidateRequestLocked(x, y, /*check_label=*/true);
+    Status valid = ValidateRequest(x, y, /*check_label=*/true);
     if (!valid.ok()) {
       FinishTrace(trace, Op::kRecord, obs::TraceOutcome::kError, &valid);
       return valid;
@@ -474,7 +650,7 @@ Status ExplainableProxy::Record(const Instance& x, Label y) {
     }
   }
   auto span = trace.Phase("record");
-  Status recorded = RecordLocked(x, y, /*log=*/true);
+  Status recorded = RecordToShard(x, y);
   span.End();
   if (!recorded.ok()) {
     FinishTrace(trace, Op::kRecord, obs::TraceOutcome::kError, &recorded);
@@ -484,69 +660,16 @@ Status ExplainableProxy::Record(const Instance& x, Label y) {
   return Status::Ok();
 }
 
-Status ExplainableProxy::RecordLocked(const Instance& x, Label y, bool log) {
-  // Full validation (not just arity) also runs on the replay path, so a
-  // poisoned row in a tampered WAL or snapshot is dropped rather than
-  // admitted into the context.
-  CCE_RETURN_IF_ERROR(schema_->ValidateInstance(x));
-  CCE_RETURN_IF_ERROR(schema_->ValidateLabel(y));
-  if (log && wal_ != nullptr) {
-    // Write-ahead: the pair is durable (per the sync policy) before it
-    // becomes visible in the window.
-    {
-      obs::ScopedLatency append_latency(registry_.get(), ins_.wal_append_us);
-      CCE_RETURN_IF_ERROR(wal_->Append(x, y));
-    }
-    ins_.wal_records_logged->Increment();
-    SyncWalFsyncsLocked();
-  }
-  window_.emplace_back(x, y);
-  if (options_.context_capacity > 0) {
-    while (window_.size() > options_.context_capacity) {
-      window_.pop_front();
-    }
-  }
-  ++recorded_;
-  ins_.context_window_size->Set(static_cast<int64_t>(window_.size()));
-  ins_.recorded_pairs->Set(static_cast<int64_t>(recorded_));
-  if (drift_ != nullptr) drift_->Observe(x, y);
-  if (log && wal_ != nullptr &&
-      options_.durability.compact_threshold_bytes > 0 &&
-      wal_->size_bytes() >= options_.durability.compact_threshold_bytes) {
-    CCE_RETURN_IF_ERROR(CompactLocked());
-  }
-  return Status::Ok();
-}
-
-Status ExplainableProxy::CompactLocked() {
-  CCE_RETURN_IF_ERROR(io::SaveDatasetToFile(SnapshotLocked(),
-                                            snapshot_path_));
-  CCE_RETURN_IF_ERROR(wal_->Reset(recorded_));
-  ins_.wal_compactions->Increment();
-  SyncWalFsyncsLocked();
-  return Status::Ok();
-}
-
-Context ExplainableProxy::SnapshotLocked() const {
-  Context context(schema_);
-  for (const auto& [x, y] : window_) context.Add(x, y);
-  return context;
-}
-
-Context ExplainableProxy::ContextSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return SnapshotLocked();
-}
+Context ExplainableProxy::ContextSnapshot() const { return MergedContext(); }
 
 Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
                                             const Deadline& deadline) const {
   obs::RequestTrace trace(traces_.get(), "explain");
   obs::ScopedLatency latency(registry_.get(), ins_.explain_latency_us);
+  ins_.explains->Increment();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    ins_.explains->Increment();
     auto span = trace.Phase("validate");
-    Status valid = ValidateRequestLocked(x, y, /*check_label=*/true);
+    Status valid = ValidateRequest(x, y, /*check_label=*/true);
     if (!valid.ok()) {
       FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kError, &valid);
       return valid;
@@ -565,7 +688,7 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
       // instance explained recently enough is still a real answer.
       std::lock_guard<std::mutex> lock(mu_);
       if (explain_cache_ != nullptr) {
-        if (auto cached = explain_cache_->Get(x, y, recorded_)) {
+        if (auto cached = explain_cache_->Get(x, y, recorded())) {
           ins_.cache_served_explains->Increment();
           FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kServedCached);
           return *cached;
@@ -579,35 +702,43 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
   }
   Context context(schema_);
   uint64_t generation = 0;
+  bool degraded_context = false;
   {
     auto span = trace.Phase("snapshot");
-    std::lock_guard<std::mutex> lock(mu_);
-    if (window_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Explaining consults only the recorded context (paper Section 6),
+      // so it keeps working when the breaker has taken the model out of
+      // the path — that serve is the "record-only fallback" rung.
+      if (breaker_.state() == CircuitBreaker::State::kOpen) {
+        ins_.fallback_serves->Increment();
+      }
+      // Admitted but under pressure (queued, saturated limiter, CoDel):
+      // prefer the cached key over burning a saturated machine on a
+      // search.
+      if (permit.has_value() && permit->under_pressure() &&
+          explain_cache_ != nullptr) {
+        if (auto cached = explain_cache_->Get(x, y, recorded())) {
+          ins_.cache_served_explains->Increment();
+          FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kServedCached);
+          return *cached;
+        }
+      }
+    }
+    // Merge the shard windows by global sequence number: exact arrival
+    // order, so the key search sees the same context a 1-shard proxy
+    // would and returns bit-identical keys.
+    context = MergedContext();
+    generation = recorded();
+    degraded_context = AnyShardQuarantined();
+    if (context.size() == 0) {
       Status status =
           Status::FailedPrecondition("no predictions recorded yet");
       FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kError, &status);
       return status;
     }
-    // Explaining consults only the recorded context (paper Section 6), so
-    // it keeps working when the breaker has taken the model out of the
-    // path — that serve is the "record-only fallback" rung of the ladder.
-    if (breaker_.state() == CircuitBreaker::State::kOpen) {
-      ins_.fallback_serves->Increment();
-    }
-    // Admitted but under pressure (queued, saturated limiter, CoDel):
-    // prefer the cached key over burning a saturated machine on a search.
-    if (permit.has_value() && permit->under_pressure() &&
-        explain_cache_ != nullptr) {
-      if (auto cached = explain_cache_->Get(x, y, recorded_)) {
-        ins_.cache_served_explains->Increment();
-        FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kServedCached);
-        return *cached;
-      }
-    }
-    context = SnapshotLocked();
-    generation = recorded_;
   }
-  // The key search runs on the copy, outside the lock: a slow Explain
+  // The key search runs on the copy, outside every lock: a slow Explain
   // never stalls Predict/Record traffic.
   Srk::Options options;
   options.alpha = options_.alpha;
@@ -635,9 +766,15 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
                 &key.status());
     return key;
   }
+  const bool deadline_degraded = key->degraded;
+  if (degraded_context) {
+    // A quarantined shard means rows are missing from the context; the
+    // key is honest about its provenance.
+    key->degraded = true;
+  }
   if (key->degraded) {
     ins_.degraded_explains->Increment();
-    ins_.deadline_misses->Increment();
+    if (deadline_degraded) ins_.deadline_misses->Increment();
     FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kDegraded);
   } else {
     if (explain_cache_ != nullptr) {
@@ -655,9 +792,8 @@ Result<std::vector<RelativeCounterfactual>>
 ExplainableProxy::Counterfactuals(const Instance& x, Label y) const {
   obs::RequestTrace trace(traces_.get(), "counterfactuals");
   {
-    std::lock_guard<std::mutex> lock(mu_);
     auto span = trace.Phase("validate");
-    Status valid = ValidateRequestLocked(x, y, /*check_label=*/true);
+    Status valid = ValidateRequest(x, y, /*check_label=*/true);
     if (!valid.ok()) {
       FinishTrace(trace, Op::kCfs, obs::TraceOutcome::kError, &valid);
       return valid;
@@ -679,17 +815,19 @@ ExplainableProxy::Counterfactuals(const Instance& x, Label y) const {
   Context context(schema_);
   {
     auto span = trace.Phase("snapshot");
-    std::lock_guard<std::mutex> lock(mu_);
-    if (window_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (breaker_.state() == CircuitBreaker::State::kOpen) {
+        ins_.fallback_serves->Increment();
+      }
+    }
+    context = MergedContext();
+    if (context.size() == 0) {
       Status status =
           Status::FailedPrecondition("no predictions recorded yet");
       FinishTrace(trace, Op::kCfs, obs::TraceOutcome::kError, &status);
       return status;
     }
-    if (breaker_.state() == CircuitBreaker::State::kOpen) {
-      ins_.fallback_serves->Increment();
-    }
-    context = SnapshotLocked();
   }
   auto result = [&] {
     auto span = trace.Phase("search");
@@ -704,14 +842,27 @@ ExplainableProxy::Counterfactuals(const Instance& x, Label y) const {
   return result;
 }
 
+Status ExplainableProxy::RepairShard(size_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("no such shard: " +
+                                   std::to_string(shard));
+  }
+  CCE_RETURN_IF_ERROR(shards_[shard]->Repair());
+  SyncContextGauges();
+  return Status::Ok();
+}
+
 bool ExplainableProxy::DriftAlarmed() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return drift_ != nullptr && drift_->Alarmed();
+  for (const auto& shard : shards_) {
+    if (shard->DriftAlarmed()) return true;
+  }
+  return false;
 }
 
 size_t ExplainableProxy::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return recorded_;
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->total_recorded();
+  return static_cast<size_t>(total);
 }
 
 HealthSnapshot ExplainableProxy::Health() const {
@@ -739,6 +890,28 @@ HealthSnapshot ExplainableProxy::Health() const {
   snapshot.wal_compactions = ins_.wal_compactions->Value();
   snapshot.wal_records_recovered = ins_.wal_records_recovered->Value();
   snapshot.wal_records_dropped = ins_.wal_records_dropped->Value();
+  snapshot.compaction_failures = ins_.compaction_failures->Value();
+  snapshot.quarantine_drops = ins_.quarantine_drops->Value();
+  snapshot.tmp_orphans_removed = ins_.tmp_orphans_removed->Value();
+  snapshot.degraded_context = AnyShardQuarantined();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ContextShard& shard = *shards_[i];
+    HealthSnapshot::ShardHealth health;
+    health.index = i;
+    health.state = shard.state();
+    health.window_rows = shard.window_size();
+    health.total_recorded = shard.total_recorded();
+    health.wal_poisoned = shard.wal_poisoned();
+    health.quarantine_reason = shard.quarantine_reason();
+    if (health.state == ContextShard::State::kQuarantined) {
+      ++snapshot.shards_quarantined;
+    }
+    if (health.state == ContextShard::State::kReadOnly) {
+      ++snapshot.shards_read_only;
+    }
+    snapshot.shard_repairs += shard_ins_[i].shard_repairs->Value();
+    snapshot.shards.push_back(std::move(health));
+  }
   if (overload_ != nullptr) {
     // Lock order is always mu_ -> controller mutex (admission itself
     // never holds mu_), so this nested snapshot cannot invert.

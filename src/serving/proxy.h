@@ -1,8 +1,8 @@
 #ifndef CCE_SERVING_PROXY_H_
 #define CCE_SERVING_PROXY_H_
 
+#include <atomic>
 #include <chrono>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -18,9 +18,10 @@
 #include "core/dataset.h"
 #include "core/key_result.h"
 #include "core/model.h"
-#include "io/context_wal.h"
+#include "io/env.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serving/context_shard.h"
 #include "serving/overload.h"
 #include "serving/resilience.h"
 
@@ -70,25 +71,44 @@ namespace cce::serving {
 /// labels) are rejected with kInvalidArgument at every boundary before
 /// they can reach the context, the WAL, or a key search.
 ///
-/// Durability (DESIGN.md §7): with Options::durability enabled, every
-/// recorded pair is appended to a checksummed write-ahead log before it
-/// enters the in-memory window, the log is periodically compacted into an
-/// atomically-replaced snapshot, and Create() replays snapshot + log so a
-/// crashed or restarted proxy resumes with its context — and therefore its
-/// explanations — intact.
+/// Durability and fault isolation (DESIGN.md §7, §10): the context is
+/// partitioned into Options::shards ContextShards by instance hash, each
+/// with its own WAL, snapshot/compaction cycle, drift monitor and write
+/// lock — Records on different shards do not contend, and damage to one
+/// shard's files is that shard's problem alone. Every recorded pair is
+/// appended to its shard's checksummed write-ahead log before it enters
+/// the in-memory window, and Create() replays every shard (salvaging the
+/// valid prefix of a corrupt log). Recovery is fail-soft: a shard whose
+/// files cannot be salvaged is *quarantined* — Create still succeeds, the
+/// remaining shards keep serving, Explain results carry `degraded = true`,
+/// and RepairShard() re-admits the shard on a fresh generation. A shard
+/// whose fsync fails goes read-only (its WAL is poisoned; no append may
+/// claim durability on top of possibly-dropped pages) until compaction
+/// rewrites the log. Rows carry a proxy-global sequence number and Explain
+/// merges shard windows by it, so keys are bit-identical to a 1-shard
+/// proxy.
 ///
 /// Thread safety: all public methods may be called concurrently. Predict
-/// and Record are serialised by an internal mutex (the breaker counts
-/// consecutive *operations*, which only means anything serialised); Explain
-/// and Counterfactuals copy the context under the lock and run the key
-/// search outside it, so slow explanations never block recording.
+/// is serialised by an internal mutex (the breaker counts consecutive
+/// *operations*, which only means anything serialised); Record takes only
+/// its target shard's lock; Explain and Counterfactuals copy the context
+/// under the shard locks and run the key search outside them, so slow
+/// explanations never block recording.
 class ExplainableProxy {
  public:
   struct Options {
-    /// Rolling context capacity; 0 = unbounded (batch users).
+    /// Rolling context capacity across all shards; 0 = unbounded (batch
+    /// users). Eviction is globally oldest-first by sequence number, so
+    /// the retained window matches the 1-shard proxy's exactly.
     size_t context_capacity = 0;
     /// Conformity bound for explanations.
     double alpha = 1.0;
+    /// Context shards (fault domains / write-lock stripes). 1 keeps the
+    /// classic single-WAL layout on disk; N > 1 adds per-shard WAL +
+    /// snapshot files ("context.<i>.wal"). A directory written with a
+    /// different shard count is adopted: rows from orphan shard files are
+    /// re-routed by hash and re-logged, then the orphans are deleted.
+    size_t shards = 1;
     /// Selects the blocked-bitset conformity engine for Explain's key
     /// search (docs/algorithms.md): violator counting becomes word-AND +
     /// popcount sharded across a proxy-owned pool. Keys are bit-identical
@@ -101,7 +121,8 @@ class ExplainableProxy {
     /// pool only adds dispatch overhead). Read only when
     /// parallel_conformity is set.
     size_t conformity_threads = 0;
-    /// Enable the succinctness-based drift monitor.
+    /// Enable the succinctness-based drift monitor (one per shard; with
+    /// shards = 1 this is exactly the classic monitor).
     bool monitor_drift = true;
     DriftMonitor::Options drift;
 
@@ -120,16 +141,22 @@ class ExplainableProxy {
     /// Crash-durable context. When `dir` is set, Create() recovers the
     /// context recorded by any previous proxy on the same directory.
     struct Durability {
-      /// Directory holding the snapshot + write-ahead log; empty disables
-      /// durability. Created if missing (parents must exist).
+      /// Directory holding the per-shard snapshots + write-ahead logs;
+      /// empty disables durability. Created if missing (parents must
+      /// exist). Orphaned "*.tmp.*" files from writers that died between
+      /// create and rename are swept on startup.
       std::string dir;
-      /// fsync after every N recorded pairs; 1 = every record is durable
-      /// before Record/Predict returns, 0 = never sync automatically (the
-      /// OS decides — fastest, weakest).
+      /// fsync after every N recorded pairs (per shard); 1 = every record
+      /// is durable before Record/Predict returns, 0 = never sync
+      /// automatically (the OS decides — fastest, weakest).
       size_t sync_every = 1;
-      /// Snapshot the window and truncate the log once it exceeds this
-      /// many bytes; 0 = never compact.
+      /// Snapshot a shard's window and truncate its log once the log
+      /// exceeds this many bytes; 0 = never compact.
       uint64_t compact_threshold_bytes = 4 * 1024 * 1024;
+      /// I/O surface for every durability file operation; null means
+      /// io::Env::Default(). Tests inject an io::FaultInjectingEnv to
+      /// exercise torn writes, EIO, ENOSPC and failed fsyncs.
+      io::Env* env = nullptr;
     };
     Durability durability;
 
@@ -161,10 +188,12 @@ class ExplainableProxy {
 
   /// `model` may be null (record-only mode via Record()); it is not owned
   /// and must outlive the proxy when provided. The model is wrapped in a
-  /// LocalModelEndpoint internally. With durability enabled, replays the
-  /// snapshot + log under `durability.dir` (salvaging the valid prefix of
-  /// a corrupt log) before returning; the recovered counts are visible in
-  /// Health().
+  /// LocalModelEndpoint internally. With durability enabled, replays every
+  /// shard's snapshot + log under `durability.dir` (salvaging the valid
+  /// prefix of a corrupt log; quarantining unsalvageable shards) before
+  /// returning; the recovered counts are visible in Health(). The only
+  /// recovery error that fails Create is a schema clash — the directory
+  /// belongs to a different deployment.
   static Result<std::unique_ptr<ExplainableProxy>> Create(
       std::shared_ptr<const Schema> schema, const Model* model,
       const Options& options);
@@ -179,19 +208,25 @@ class ExplainableProxy {
   /// Transient endpoint failures are retried with backoff within the
   /// deadline; persistent failure trips the breaker, after which calls
   /// fail fast with kUnavailable until the backend recovers (record-only
-  /// degradation: Explain keeps working). FailedPrecondition when
-  /// constructed without a model.
+  /// degradation: Explain keeps working). When the target context shard is
+  /// quarantined or read-only the prediction is still served — the drop is
+  /// counted in cce_quarantine_drops_total and the trace is kDegraded.
+  /// FailedPrecondition when constructed without a model.
   Result<Label> Predict(const Instance& x, const Deadline& deadline = {});
 
   /// Records an externally served (instance, prediction) pair. The label
   /// must exist in the schema's label dictionary — an arbitrary integer
-  /// would poison both the context and the write-ahead log.
+  /// would poison both the context and the write-ahead log. kUnavailable
+  /// when the pair's shard is quarantined or read-only (the caller asked
+  /// for durability the shard cannot give).
   Status Record(const Instance& x, Label y);
 
   /// Relative key for a recorded (instance, prediction) against the
   /// current context. Never touches the model, so it works at every rung
   /// of the degradation ladder. A finite deadline bounds the key search;
-  /// on expiry the result is valid but `degraded` (non-minimal key).
+  /// on expiry the result is valid but `degraded` (non-minimal key). The
+  /// key is also flagged `degraded` when any shard is quarantined: the
+  /// answer is honest about being computed from an incomplete context.
   Result<KeyResult> Explain(const Instance& x, Label y,
                             const Deadline& deadline = {}) const;
 
@@ -199,20 +234,30 @@ class ExplainableProxy {
   Result<std::vector<RelativeCounterfactual>> Counterfactuals(
       const Instance& x, Label y) const;
 
-  /// True when the drift monitor has raised an alarm.
+  /// Re-admits quarantined shard `shard` with an empty window and a fresh
+  /// on-disk generation. kFailedPrecondition when the shard is healthy;
+  /// kInvalidArgument for an out-of-range index.
+  Status RepairShard(size_t shard);
+
+  /// True when any shard's drift monitor has raised an alarm.
   bool DriftAlarmed() const;
 
-  /// Snapshot of the current context (e.g. for io::SaveDataset).
+  /// Snapshot of the current context, merged across shards in global
+  /// arrival order (e.g. for io::SaveDataset).
   Context ContextSnapshot() const;
 
-  /// Point-in-time resilience + durability counters and breaker state,
-  /// assembled from the metrics registry (docs/metrics.md): every counter
-  /// lives in exactly one registry cell; this is a read, not a second
-  /// bookkeeping path.
+  /// Point-in-time resilience + durability counters, breaker state and
+  /// per-shard health, assembled from the metrics registry
+  /// (docs/metrics.md): every counter lives in exactly one registry cell;
+  /// this is a read, not a second bookkeeping path.
   HealthSnapshot Health() const;
 
-  /// Total pairs ever recorded, including those recovered at Create.
+  /// Total pairs ever recorded across shards, including those recovered
+  /// at Create.
   size_t recorded() const;
+
+  /// Number of context shards (Options::shards, clamped to >= 1).
+  size_t num_shards() const { return shards_.size(); }
 
   /// The registry all proxy metrics land in (the injected one, or the
   /// proxy's private registry). Feed to obs::RenderPrometheusText /
@@ -246,56 +291,76 @@ class ExplainableProxy {
   /// the mutating breaker call.
   void SyncBreakerLocked(CircuitBreaker::State before) const;
 
-  /// Exports newly performed WAL fsyncs as counter increments (the WAL
-  /// keeps the authoritative count; the registry mirrors it by delta).
-  /// Caller holds mu_.
-  void SyncWalFsyncsLocked();
-
   /// One endpoint call guarded by retries; shared by Predict. Reports the
   /// number of attempts made through `attempts` (always >= 1).
   Result<Label> CallEndpoint(const Instance& x, const Deadline& deadline,
                              int* attempts);
 
-  /// Replays snapshot + WAL from durability.dir and opens the log for
-  /// append. No-op when durability is disabled.
-  Status InitDurability();
+  /// Builds the shards, sweeps orphaned temp files, recovers every shard
+  /// (fail-soft), and adopts rows from shard files left by a different
+  /// shard-count configuration. Only a schema clash returns an error.
+  Status InitShards();
+
+  /// Unlinks "*.tmp.*" leftovers in the durability dir (AtomicWriteFile
+  /// casualties); counts them in cce_tmp_orphans_removed_total.
+  void SweepOrphanTmpFiles();
+
+  /// Re-routes rows from "context.<i>.wal/.snapshot" files with i >= the
+  /// live shard count into the live shards (re-logged), then removes the
+  /// orphan files. Unsalvageable orphan files are left in place.
+  void AdoptOrphanShardFiles();
 
   /// Boundary validation of a client-supplied (instance, label); counts
-  /// rejects in cce_validation_rejects_total. Caller holds mu_.
+  /// rejects in cce_validation_rejects_total. Lock-free.
   /// `check_label` = false for Predict, whose label comes from the model.
-  Status ValidateRequestLocked(const Instance& x, Label y,
-                               bool check_label) const;
+  Status ValidateRequest(const Instance& x, Label y, bool check_label) const;
 
-  /// Record() body; caller holds mu_. `log` = false while replaying (the
-  /// record is already in the log or summarised by the snapshot).
-  Status RecordLocked(const Instance& x, Label y, bool log);
+  /// Routes (x, y) to its shard, appends it there (WAL first), then
+  /// enforces the global capacity. `x` must already be validated.
+  Status RecordToShard(const Instance& x, Label y);
 
-  /// Writes the window as an atomic snapshot and truncates the log;
-  /// caller holds mu_.
-  Status CompactLocked();
+  /// Evicts globally-oldest rows (min front_seq across shards) until the
+  /// total window fits context_capacity.
+  void EvictToCapacity();
 
-  /// Copy of the rolling window as a Dataset; caller holds mu_.
-  Context SnapshotLocked() const;
+  /// All shard rows merged into global arrival order.
+  std::vector<ContextShard::Row> MergedRows() const;
+
+  /// MergedRows as a Dataset (the Explain/Counterfactuals context copy).
+  Context MergedContext() const;
+
+  /// True when any shard is quarantined (Explain's degraded-context flag).
+  bool AnyShardQuarantined() const;
+
+  /// Refreshes the window-size/recorded gauges and the degraded gauge.
+  void SyncContextGauges() const;
 
   std::shared_ptr<const Schema> schema_;
   std::unique_ptr<LocalModelEndpoint> owned_endpoint_;  // Create(Model*) path
   ModelEndpoint* endpoint_;  // may be null (record-only construction)
   Options options_;
+  io::Env* env_;  // durability.env or Env::Default(); never null
 
-  /// Guards every mutable member below (and the resilience machinery,
-  /// which is documented non-thread-safe).
+  /// Serialises Predict (breaker semantics) and guards the resilience
+  /// machinery + explain cache. Lock order: mu_ -> evict_mu_ -> shard
+  /// locks; never the reverse.
   mutable std::mutex mu_;
-  std::deque<std::pair<Instance, Label>> window_;
-  std::unique_ptr<DriftMonitor> drift_;
-  size_t recorded_ = 0;
+
+  /// The sharded context. Never resized after Create; the vector itself
+  /// is immutable, each shard is internally synchronised.
+  std::vector<std::unique_ptr<ContextShard>> shards_;
+  /// Global arrival order; incremented under the recording shard's lock.
+  std::atomic<uint64_t> global_seq_{0};
+  /// Rows currently across all shard windows (maintained by the proxy;
+  /// shards do not know about the global capacity).
+  std::atomic<size_t> total_rows_{0};
+  /// Serialises global eviction so concurrent Records cannot over-evict.
+  std::mutex evict_mu_;
 
   RetryPolicy retry_policy_;
   CircuitBreaker breaker_;
   Rng retry_rng_;
   std::function<void(std::chrono::milliseconds)> sleep_;
-
-  std::unique_ptr<io::ContextWal> wal_;  // null when durability disabled
-  std::string snapshot_path_;
 
   /// Admission layer; null when overload protection is disabled. Has its
   /// own mutex — expensive-class admission must wait for a slot without
@@ -341,19 +406,22 @@ class ExplainableProxy {
     obs::Counter* wal_compactions = nullptr;
     obs::Counter* wal_records_recovered = nullptr;
     obs::Counter* wal_records_dropped = nullptr;
+    obs::Counter* compaction_failures = nullptr;
+    obs::Counter* quarantine_drops = nullptr;
+    obs::Counter* tmp_orphans_removed = nullptr;
     obs::Counter* bitmap_rebuilds = nullptr;
     obs::Counter* conformity_shards = nullptr;
     obs::Gauge* context_window_size = nullptr;
     obs::Gauge* recorded_pairs = nullptr;
+    obs::Gauge* context_degraded = nullptr;
     obs::Histogram* predict_latency_us = nullptr;
     obs::Histogram* explain_latency_us = nullptr;
     obs::Histogram* wal_append_us = nullptr;
   };
   mutable Instruments ins_;
-  /// Export cursor for SyncWalFsyncsLocked (not a counter — the registry
-  /// cell is the counter; this remembers how much of wal_->fsyncs() has
-  /// been exported already).
-  uint64_t wal_fsyncs_exported_ = 0;
+  /// Per-shard cells ({shard="<i>"} labels), one set per configured shard;
+  /// handed to the matching ContextShard at construction.
+  std::vector<ContextShard::Instruments> shard_ins_;
 };
 
 }  // namespace cce::serving

@@ -136,6 +136,31 @@ std::string HealthSnapshot::ToString() const {
   out += " wal_compactions=" + std::to_string(wal_compactions);
   out += " wal_records_recovered=" + std::to_string(wal_records_recovered);
   out += " wal_records_dropped=" + std::to_string(wal_records_dropped);
+  out += " compaction_failures=" + std::to_string(compaction_failures);
+  out += " quarantine_drops=" + std::to_string(quarantine_drops);
+  out += " tmp_orphans_removed=" + std::to_string(tmp_orphans_removed);
+  out += " shards=" + std::to_string(shards.size());
+  out += " shards_quarantined=" + std::to_string(shards_quarantined);
+  out += " shards_read_only=" + std::to_string(shards_read_only);
+  out += " shard_repairs=" + std::to_string(shard_repairs);
+  out += std::string(" degraded_context=") +
+         (degraded_context ? "true" : "false");
+  for (const ShardHealth& shard : shards) {
+    out += " shard" + std::to_string(shard.index) + "=";
+    switch (shard.state) {
+      case ContextShard::State::kActive:
+        out += "active";
+        break;
+      case ContextShard::State::kReadOnly:
+        out += "read_only";
+        break;
+      case ContextShard::State::kQuarantined:
+        out += "quarantined";
+        break;
+    }
+    out += "/" + std::to_string(shard.window_rows) + "rows";
+    if (shard.wal_poisoned) out += "/poisoned";
+  }
   out += " explains=" + std::to_string(explains);
   out += " validation_rejects=" + std::to_string(validation_rejects);
   out += " admitted_predicts=" + std::to_string(admitted_predicts);

@@ -2,14 +2,17 @@
 #define CCE_SERVING_RESILIENCE_H_
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
 #include "core/model.h"
 #include "core/types.h"
+#include "serving/context_shard.h"
 
 namespace cce::serving {
 
@@ -183,6 +186,33 @@ struct HealthSnapshot {
   uint64_t wal_records_recovered = 0;
   /// Lower bound on records lost to log corruption at recovery.
   uint64_t wal_records_dropped = 0;
+  /// Compactions that failed and left the previous generation serving.
+  uint64_t compaction_failures = 0;
+  /// Records not durably applied (their shard was quarantined/read-only).
+  uint64_t quarantine_drops = 0;
+  /// Orphaned *.tmp files unlinked from the durability dir at startup.
+  uint64_t tmp_orphans_removed = 0;
+
+  // Sharded-context health (one entry per shard; always populated — a
+  // classic single-WAL proxy reports one shard).
+  struct ShardHealth {
+    size_t index = 0;
+    ContextShard::State state = ContextShard::State::kActive;
+    size_t window_rows = 0;
+    uint64_t total_recorded = 0;
+    /// True while the shard's WAL refuses appends after a failed fsync.
+    bool wal_poisoned = false;
+    /// Non-empty while quarantined: what recovery could not salvage.
+    std::string quarantine_reason;
+  };
+  std::vector<ShardHealth> shards;
+  uint64_t shards_quarantined = 0;
+  uint64_t shards_read_only = 0;
+  /// Quarantined shards re-admitted via RepairShard(), summed over shards.
+  uint64_t shard_repairs = 0;
+  /// True while any shard is quarantined: the merged context is missing
+  /// rows and explanations are flagged degraded.
+  bool degraded_context = false;
 
   // Overload-protection counters (DESIGN.md §8; admission fields are zero
   // when Options::overload.enabled is false).

@@ -5,10 +5,13 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "io/env.h"
+#include "io/fault_env.h"
 
 namespace cce::io {
 namespace {
@@ -70,6 +73,94 @@ TEST(AtomicFileTest, UnwritableDirectoryFails) {
                                     return Status::Ok();
                                   });
   EXPECT_EQ(failed.code(), StatusCode::kIoError);
+}
+
+/// Counts files in `dir` whose names match the atomic temp pattern.
+size_t CountTmpOrphans(const std::string& dir) {
+  std::vector<std::string> names;
+  CCE_CHECK_OK(Env::Default()->ListDir(dir, &names));
+  size_t orphans = 0;
+  for (const std::string& name : names) {
+    if (IsAtomicTempName(name)) ++orphans;
+  }
+  return orphans;
+}
+
+class AtomicFileFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/atomic_fault_test";
+    CCE_CHECK_OK(EnsureDirectory(dir_));
+    std::vector<std::string> names;
+    CCE_CHECK_OK(Env::Default()->ListDir(dir_, &names));
+    for (const std::string& name : names) {
+      CCE_CHECK_OK(Env::Default()->RemoveFile(dir_ + "/" + name));
+    }
+    path_ = dir_ + "/target.bin";
+    CCE_CHECK_OK(AtomicWriteFile(path_, [](std::ostream* out) {
+      *out << "previous generation";
+      return Status::Ok();
+    }));
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(AtomicFileFaultTest, EnospcDuringWriteLeavesTargetIntact) {
+  FaultInjectingEnv env(Env::Default());
+  env.ExhaustSpaceAfter(4);  // far less than the payload
+  Status failed = AtomicWriteFile(&env, path_, [](std::ostream* out) {
+    *out << "next generation that will not fit on the device";
+    return Status::Ok();
+  });
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_NE(failed.message().find("ENOSPC"), std::string::npos)
+      << failed.ToString();
+  EXPECT_EQ(ReadAll(path_), "previous generation");
+  EXPECT_EQ(CountTmpOrphans(dir_), 0u)
+      << "the aborted temp file must be unlinked";
+}
+
+TEST_F(AtomicFileFaultTest, FailedFsyncAbortsBeforeTheRename) {
+  FaultInjectingEnv env(Env::Default());
+  env.FailNextSync();
+  Status failed = AtomicWriteFile(&env, path_, [](std::ostream* out) {
+    *out << "unflushed";
+    return Status::Ok();
+  });
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadAll(path_), "previous generation")
+      << "a write that never hit the platter must not replace the target";
+  EXPECT_EQ(CountTmpOrphans(dir_), 0u);
+}
+
+TEST_F(AtomicFileFaultTest, FailedRenameLeavesTargetAndCleansTemp) {
+  FaultInjectingEnv env(Env::Default());
+  env.FailNextRename();
+  Status failed = AtomicWriteFile(&env, path_, [](std::ostream* out) {
+    *out << "stranded";
+    return Status::Ok();
+  });
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  EXPECT_EQ(ReadAll(path_), "previous generation");
+  EXPECT_EQ(CountTmpOrphans(dir_), 0u);
+  // The machinery recovers on the next attempt without operator help.
+  CCE_CHECK_OK(AtomicWriteFile(&env, path_, [](std::ostream* out) {
+    *out << "healed";
+    return Status::Ok();
+  }));
+  EXPECT_EQ(ReadAll(path_), "healed");
+}
+
+TEST(IsAtomicTempNameTest, MatchesOnlyTheTempPattern) {
+  EXPECT_TRUE(IsAtomicTempName("context.snapshot.tmp.1234.7"));
+  EXPECT_TRUE(IsAtomicTempName("x.tmp.0"));
+  EXPECT_FALSE(IsAtomicTempName("context.snapshot"));
+  EXPECT_FALSE(IsAtomicTempName("context.wal"));
+  EXPECT_FALSE(IsAtomicTempName(".tmp.orphan")) << "empty target";
+  EXPECT_FALSE(IsAtomicTempName("file.tmp.")) << "empty suffix";
+  EXPECT_FALSE(IsAtomicTempName(""));
 }
 
 TEST(EnsureDirectoryTest, CreatesOnceAndIsIdempotent) {

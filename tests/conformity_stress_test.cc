@@ -130,6 +130,12 @@ TEST(ConformityStressTest, ConcurrentQueriesAgainstIncrementalMaintenance) {
     checker.AddRow(data.instance(row), data.label(row));
     checker.RemoveRow(oldest++);
   }
+  // On a loaded box the writer can finish every slide before a reader is
+  // even scheduled; hold the run open until at least one query completed
+  // so the queries > 0 assertion cannot flake.
+  while (queries.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
   done.store(true, std::memory_order_release);
   for (std::thread& t : readers) t.join();
 

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "io/fault_env.h"
 
 namespace cce::io {
 namespace {
@@ -33,7 +34,7 @@ RecordList Recover(const std::string& path,
                    ContextWal::RecoveryStats* stats = nullptr,
                    std::unique_ptr<ContextWal>* wal_out = nullptr) {
   RecordList records;
-  auto collect = [&records](const Instance& x, Label y) {
+  auto collect = [&records](uint64_t, const Instance& x, Label y) {
     records.emplace_back(x, y);
     return Status::Ok();
   };
@@ -59,7 +60,8 @@ RecordList BuildLog(const std::string& path, size_t count,
   RecordList records;
   for (size_t i = 0; i < count; ++i) {
     records.emplace_back(MakeInstance(i), static_cast<Label>(i % 3));
-    CCE_CHECK_OK((*wal)->Append(records.back().first, records.back().second));
+    CCE_CHECK_OK(
+        (*wal)->Append(records.back().first, records.back().second, i));
   }
   return records;
 }
@@ -97,7 +99,7 @@ TEST(ContextWalTest, SyncPolicyControlsFsyncCadence) {
     auto wal = ContextWal::Open(path, options, nullptr, nullptr);
     CCE_CHECK_OK(wal.status());
     for (size_t i = 0; i < 8; ++i) {
-      CCE_CHECK_OK((*wal)->Append(MakeInstance(i), 0));
+      CCE_CHECK_OK((*wal)->Append(MakeInstance(i), 0, i));
     }
     // +1: opening a fresh log syncs the generation header once, under
     // every policy — the generation start itself must be durable.
@@ -117,7 +119,7 @@ TEST(ContextWalTest, ResetStartsANewGenerationWithTheGivenBase) {
   Recover(path, nullptr, &wal);
   CCE_CHECK_OK(wal->Reset(6));
   EXPECT_EQ(wal->base_recorded(), 6u);
-  CCE_CHECK_OK(wal->Append(MakeInstance(99), 1));
+  CCE_CHECK_OK(wal->Append(MakeInstance(99), 1, 6));
   wal.reset();
 
   ContextWal::RecoveryStats stats;
@@ -137,7 +139,8 @@ TEST(ContextWalTest, AppendAfterRecoveryContinuesTheChain) {
     RecordList replayed = Recover(path, nullptr, &wal);
     EXPECT_EQ(replayed, written);
     written.emplace_back(MakeInstance(50), 2);
-    CCE_CHECK_OK(wal->Append(written.back().first, written.back().second));
+    CCE_CHECK_OK(
+        wal->Append(written.back().first, written.back().second, 50));
   }
   EXPECT_EQ(Recover(path), written);
   std::remove(path.c_str());
@@ -241,9 +244,106 @@ TEST(ContextWalCorruptionTest, ForeignFileRestartsTheLog) {
   EXPECT_GE(stats.records_dropped, 1u);
   EXPECT_GT(stats.bytes_discarded, 0u);
   // The restarted log is fully functional.
-  CCE_CHECK_OK(wal->Append(MakeInstance(1), 0));
+  CCE_CHECK_OK(wal->Append(MakeInstance(1), 0, 0));
   wal.reset();
   EXPECT_EQ(Recover(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+/// The fsyncgate discipline: after a failed fsync the kernel may have
+/// dropped the dirty pages, so the log must refuse to accept (and claim
+/// durability for) anything more until it is rewritten from scratch.
+TEST(ContextWalPoisonTest, FailedFsyncPoisonsUntilReset) {
+  const std::string path = ::testing::TempDir() + "/wal_poison.wal";
+  std::remove(path.c_str());
+  FaultInjectingEnv fault(Env::Default());
+  ContextWal::Options options;
+  options.env = &fault;
+  auto wal = ContextWal::Open(path, options, nullptr, nullptr);
+  CCE_CHECK_OK(wal.status());
+  CCE_CHECK_OK((*wal)->Append(MakeInstance(0), 0, 0));
+
+  fault.FailNextSync();
+  // The frame lands but the cadence fsync fails: the append must not
+  // report OK, and the log is poisoned from here on.
+  EXPECT_EQ((*wal)->Append(MakeInstance(1), 0, 1).code(),
+            StatusCode::kIoError);
+  ASSERT_TRUE((*wal)->poisoned());
+
+  // No append, no sync, no retry: everything fails fast while poisoned.
+  Status refused = (*wal)->Append(MakeInstance(2), 0, 2);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(refused.message().find("poisoned"), std::string::npos);
+  EXPECT_EQ((*wal)->Sync().code(), StatusCode::kFailedPrecondition);
+
+  // Reset rewrites the log on a fresh handle and clears the poisoning.
+  CCE_CHECK_OK((*wal)->Reset(1));
+  EXPECT_FALSE((*wal)->poisoned());
+  CCE_CHECK_OK((*wal)->Append(MakeInstance(3), 1, 3));
+  wal->reset();
+
+  ContextWal::RecoveryStats stats;
+  RecordList replayed = Recover(path, &stats);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].first, MakeInstance(3));
+  EXPECT_EQ(stats.base_recorded, 1u);
+  std::remove(path.c_str());
+}
+
+/// A failed append rolls the file back to the previous frame boundary; if
+/// that rollback truncation *also* fails, a torn frame may be on disk and
+/// the log poisons itself rather than appending after garbage.
+TEST(ContextWalPoisonTest, FailedRollbackAfterTornAppendPoisons) {
+  const std::string path = ::testing::TempDir() + "/wal_rollback.wal";
+  std::remove(path.c_str());
+  FaultInjectingEnv fault(Env::Default());
+  ContextWal::Options options;
+  options.env = &fault;
+  auto wal = ContextWal::Open(path, options, nullptr, nullptr);
+  CCE_CHECK_OK(wal.status());
+  CCE_CHECK_OK((*wal)->Append(MakeInstance(0), 0, 0));
+
+  fault.TearNextAppend(/*keep_bytes=*/5);
+  fault.FailNextTruncate();  // the rollback fails too
+  EXPECT_FALSE((*wal)->Append(MakeInstance(1), 0, 1).ok());
+  EXPECT_TRUE((*wal)->poisoned());
+  EXPECT_EQ((*wal)->Append(MakeInstance(2), 0, 2).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Recovery still salvages the intact prefix behind the torn frame.
+  wal->reset();
+  ContextWal::RecoveryStats stats;
+  RecordList replayed = Recover(path, &stats);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].first, MakeInstance(0));
+  EXPECT_GE(stats.records_dropped, 1u);
+  std::remove(path.c_str());
+}
+
+/// A failed append whose rollback *succeeds* leaves a clean, unpoisoned
+/// log: the next append lands on the previous frame boundary.
+TEST(ContextWalPoisonTest, SuccessfulRollbackKeepsTheLogClean) {
+  const std::string path = ::testing::TempDir() + "/wal_clean_rollback.wal";
+  std::remove(path.c_str());
+  FaultInjectingEnv fault(Env::Default());
+  ContextWal::Options options;
+  options.env = &fault;
+  auto wal = ContextWal::Open(path, options, nullptr, nullptr);
+  CCE_CHECK_OK(wal.status());
+  CCE_CHECK_OK((*wal)->Append(MakeInstance(0), 0, 0));
+  const uint64_t size_before = (*wal)->size_bytes();
+
+  fault.TearNextAppend(/*keep_bytes=*/3);
+  EXPECT_FALSE((*wal)->Append(MakeInstance(1), 0, 1).ok());
+  EXPECT_FALSE((*wal)->poisoned());
+  EXPECT_EQ((*wal)->size_bytes(), size_before) << "rolled back";
+  CCE_CHECK_OK((*wal)->Append(MakeInstance(2), 1, 2));
+  wal->reset();
+
+  RecordList replayed = Recover(path);
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].first, MakeInstance(0));
+  EXPECT_EQ(replayed[1].first, MakeInstance(2));
   std::remove(path.c_str());
 }
 
@@ -253,7 +353,40 @@ TEST(ContextWalTest, OversizedInstanceIsRejected) {
   std::unique_ptr<ContextWal> wal;
   Recover(path, nullptr, &wal);
   Instance huge((1u << 24) / 4 + 1, 0);
-  EXPECT_EQ(wal->Append(huge, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(wal->Append(huge, 0, 0).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+/// Sequence numbers are caller-supplied and sparse (a sharded owner logs
+/// only its own slice of the global order): gaps round-trip verbatim, and
+/// a non-increasing sequence is rejected before touching the file.
+TEST(ContextWalTest, SparseSequencesRoundTripAndStayMonotonic) {
+  const std::string path = ::testing::TempDir() + "/wal_sparse.wal";
+  std::remove(path.c_str());
+  {
+    auto wal = ContextWal::Open(path, {}, nullptr, nullptr);
+    CCE_CHECK_OK(wal.status());
+    CCE_CHECK_OK((*wal)->Append(MakeInstance(0), 0, 5));
+    CCE_CHECK_OK((*wal)->Append(MakeInstance(1), 1, 9));
+    CCE_CHECK_OK((*wal)->Append(MakeInstance(2), 2, 1000));
+    EXPECT_EQ((*wal)->Append(MakeInstance(3), 0, 1000).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ((*wal)->Append(MakeInstance(3), 0, 999).code(),
+              StatusCode::kInvalidArgument);
+    CCE_CHECK_OK((*wal)->Append(MakeInstance(3), 0, 1001));
+  }
+  std::vector<uint64_t> seqs;
+  auto collect = [&seqs](uint64_t seq, const Instance&, Label) {
+    seqs.push_back(seq);
+    return Status::Ok();
+  };
+  auto wal = ContextWal::Open(path, {}, collect, nullptr);
+  CCE_CHECK_OK(wal.status());
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{5, 9, 1000, 1001}));
+  // The recovered writer continues the monotonic chain.
+  EXPECT_EQ((*wal)->Append(MakeInstance(4), 0, 7).code(),
+            StatusCode::kInvalidArgument);
+  CCE_CHECK_OK((*wal)->Append(MakeInstance(4), 0, 4096));
   std::remove(path.c_str());
 }
 

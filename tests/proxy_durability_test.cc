@@ -3,11 +3,15 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "io/env.h"
+#include "io/fault_env.h"
 #include "ml/gbdt.h"
+#include "serving/context_shard.h"
 #include "serving/proxy.h"
 #include "tests/test_util.h"
 
@@ -36,9 +40,14 @@ class ProxyDurabilityTest : public ::testing::Test {
   /// A fresh durability directory, unique per test.
   std::string MakeDir(const std::string& tag) {
     const std::string dir = ::testing::TempDir() + "/cce_durability_" + tag;
-    // Clear leftovers from a previous run.
-    std::remove((dir + "/context.wal").c_str());
-    std::remove((dir + "/context.snapshot").c_str());
+    // Clear leftovers from a previous run (including shard files and
+    // orphaned temp files).
+    std::vector<std::string> names;
+    if (io::Env::Default()->ListDir(dir, &names).ok()) {
+      for (const std::string& name : names) {
+        (void)io::Env::Default()->RemoveFile(dir + "/" + name);
+      }
+    }
     return dir;
   }
 
@@ -268,6 +277,231 @@ TEST_F(ProxyDurabilityTest, DisabledDurabilityTouchesNoFiles) {
   EXPECT_EQ(health.wal_records_logged, 0u);
   EXPECT_EQ(health.wal_fsyncs, 0u);
   EXPECT_EQ(health.wal_compactions, 0u);
+}
+
+TEST_F(ProxyDurabilityTest, StartupSweepRemovesOrphanTmpFiles) {
+  const std::string dir = MakeDir("tmp_sweep");
+  {
+    auto proxy = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir));
+    ASSERT_TRUE(proxy.ok());
+    CCE_CHECK_OK((*proxy)->Record(data_->instance(0), data_->label(0)));
+  }
+  // A crashed compaction leaves temp files between create and rename.
+  WriteFileBytes(dir + "/context.snapshot.tmp.999.1", "half a snapshot");
+  WriteFileBytes(dir + "/context.snapshot.tmp.999.2", "");
+
+  auto revived = ExplainableProxy::Create(data_->schema_ptr(), nullptr,
+                                          DurableOptions(dir));
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ((*revived)->Health().tmp_orphans_removed, 2u);
+  EXPECT_FALSE(
+      io::Env::Default()->FileExists(dir + "/context.snapshot.tmp.999.1"));
+  EXPECT_FALSE(
+      io::Env::Default()->FileExists(dir + "/context.snapshot.tmp.999.2"));
+  EXPECT_EQ((*revived)->recorded(), 1u)
+      << "the sweep must not touch live generation files";
+}
+
+TEST_F(ProxyDurabilityTest, QuarantinedShardDegradesServingNotCreate) {
+  const std::string dir = MakeDir("quarantine");
+  const size_t kShards = 4;
+  ExplainableProxy::Options options = DurableOptions(dir);
+  options.shards = kShards;
+  {
+    auto proxy =
+        ExplainableProxy::Create(data_->schema_ptr(), nullptr, options);
+    ASSERT_TRUE(proxy.ok());
+    for (size_t row = 0; row < 40; ++row) {
+      CCE_CHECK_OK((*proxy)->Record(data_->instance(row),
+                                    data_->label(row)));
+    }
+  }
+  // Corrupt shard 1's snapshot header beyond salvage.
+  WriteFileBytes(dir + "/context.1.snapshot", "CCESNAP 1\ncovers zaphod\n");
+
+  auto revived =
+      ExplainableProxy::Create(data_->schema_ptr(), nullptr, options);
+  ASSERT_TRUE(revived.ok())
+      << "shard damage must degrade serving, not fail Create: "
+      << revived.status().ToString();
+  ExplainableProxy& proxy = **revived;
+
+  HealthSnapshot health = proxy.Health();
+  EXPECT_EQ(health.shards_quarantined, 1u);
+  EXPECT_TRUE(health.degraded_context);
+  ASSERT_EQ(health.shards.size(), kShards);
+  EXPECT_EQ(health.shards[1].state, ContextShard::State::kQuarantined);
+  EXPECT_FALSE(health.shards[1].quarantine_reason.empty());
+
+  // Traffic routed to the quarantined shard is refused with kUnavailable;
+  // every other shard keeps accepting.
+  size_t refused = 0;
+  size_t accepted = 0;
+  for (size_t row = 40; row < 120; ++row) {
+    Status recorded = proxy.Record(data_->instance(row), data_->label(row));
+    const size_t shard =
+        ContextShard::ShardFor(data_->instance(row), kShards);
+    if (shard == 1) {
+      EXPECT_EQ(recorded.code(), StatusCode::kUnavailable)
+          << recorded.ToString();
+      ++refused;
+    } else {
+      EXPECT_TRUE(recorded.ok()) << recorded.ToString();
+      ++accepted;
+    }
+  }
+  EXPECT_GT(refused, 0u);
+  EXPECT_GT(accepted, 0u);
+  EXPECT_EQ(proxy.Health().quarantine_drops, refused);
+
+  // Explanations still come back, flagged as degraded, and are not cached.
+  auto key = proxy.Explain(data_->instance(0), data_->label(0));
+  ASSERT_TRUE(key.ok()) << key.status().ToString();
+  EXPECT_TRUE(key->degraded)
+      << "a key computed over a partial context must say so";
+  EXPECT_FALSE(key->cached);
+
+  // RepairShard re-admits the shard with a fresh, empty generation.
+  CCE_CHECK_OK(proxy.RepairShard(1));
+  health = proxy.Health();
+  EXPECT_EQ(health.shards_quarantined, 0u);
+  EXPECT_FALSE(health.degraded_context);
+  EXPECT_EQ(health.shards[1].state, ContextShard::State::kActive);
+  EXPECT_EQ(health.shard_repairs, 1u);
+  for (size_t row = 40; row < 120; ++row) {
+    if (ContextShard::ShardFor(data_->instance(row), kShards) == 1) {
+      CCE_CHECK_OK(proxy.Record(data_->instance(row), data_->label(row)));
+    }
+  }
+  auto healed = proxy.Explain(data_->instance(0), data_->label(0));
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed->degraded);
+
+  // Out-of-range repair is an error, not a crash.
+  EXPECT_EQ(proxy.RepairShard(kShards).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProxyDurabilityTest, MultiShardRestartRoundTrip) {
+  const std::string dir = MakeDir("multi_shard");
+  ExplainableProxy::Options options = DurableOptions(dir);
+  options.shards = 4;
+  const size_t kRecords = 60;
+  KeyResult key_before{};
+  {
+    auto proxy =
+        ExplainableProxy::Create(data_->schema_ptr(), nullptr, options);
+    ASSERT_TRUE(proxy.ok());
+    for (size_t row = 0; row < kRecords; ++row) {
+      CCE_CHECK_OK((*proxy)->Record(data_->instance(row),
+                                    data_->label(row)));
+    }
+    auto key = (*proxy)->Explain(data_->instance(0), data_->label(0));
+    ASSERT_TRUE(key.ok());
+    key_before = *key;
+  }
+
+  auto revived =
+      ExplainableProxy::Create(data_->schema_ptr(), nullptr, options);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ((*revived)->recorded(), kRecords);
+  Context snapshot = (*revived)->ContextSnapshot();
+  ASSERT_EQ(snapshot.size(), kRecords);
+  for (size_t row = 0; row < kRecords; ++row) {
+    EXPECT_EQ(snapshot.instance(row), data_->instance(row))
+        << "merged-by-sequence recovery must reproduce arrival order";
+    EXPECT_EQ(snapshot.label(row), data_->label(row));
+  }
+  auto key_after = (*revived)->Explain(data_->instance(0), data_->label(0));
+  ASSERT_TRUE(key_after.ok());
+  EXPECT_EQ(key_after->key, key_before.key);
+  EXPECT_EQ(key_after->achieved_alpha, key_before.achieved_alpha);
+}
+
+TEST_F(ProxyDurabilityTest, ShrinkingShardCountAdoptsOrphanShardFiles) {
+  const std::string dir = MakeDir("shard_shrink");
+  const size_t kRecords = 40;
+  {
+    ExplainableProxy::Options options = DurableOptions(dir);
+    options.shards = 4;
+    auto proxy =
+        ExplainableProxy::Create(data_->schema_ptr(), nullptr, options);
+    ASSERT_TRUE(proxy.ok());
+    for (size_t row = 0; row < kRecords; ++row) {
+      CCE_CHECK_OK((*proxy)->Record(data_->instance(row),
+                                    data_->label(row)));
+    }
+  }
+
+  ExplainableProxy::Options narrow = DurableOptions(dir);
+  narrow.shards = 2;
+  auto revived =
+      ExplainableProxy::Create(data_->schema_ptr(), nullptr, narrow);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  Context snapshot = (*revived)->ContextSnapshot();
+  EXPECT_EQ(snapshot.size(), kRecords)
+      << "rows from shards 2 and 3 must be re-logged through live shards";
+  // Every original row is present exactly once (order may differ: adopted
+  // rows are appended after the live shards' recovered windows).
+  for (size_t row = 0; row < kRecords; ++row) {
+    size_t copies = 0;
+    for (size_t got = 0; got < snapshot.size(); ++got) {
+      if (snapshot.instance(got) == data_->instance(row) &&
+          snapshot.label(got) == data_->label(row)) {
+        ++copies;
+      }
+    }
+    EXPECT_GE(copies, 1u) << "row " << row << " lost during adoption";
+  }
+  EXPECT_FALSE(io::Env::Default()->FileExists(dir + "/context.2.wal"))
+      << "adopted shard files are removed";
+  EXPECT_FALSE(io::Env::Default()->FileExists(dir + "/context.3.wal"));
+  EXPECT_FALSE(io::Env::Default()->FileExists(dir + "/context.2.snapshot"));
+  EXPECT_FALSE(io::Env::Default()->FileExists(dir + "/context.3.snapshot"));
+
+  // The adopted rows are durable: a further restart sees all of them.
+  auto again =
+      ExplainableProxy::Create(data_->schema_ptr(), nullptr, narrow);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->ContextSnapshot().size(), kRecords);
+}
+
+TEST_F(ProxyDurabilityTest, FailedCompactionKeepsPreviousGenerationReadable) {
+  const std::string dir = MakeDir("failed_compaction");
+  io::FaultInjectingEnv fault(io::Env::Default());
+  ExplainableProxy::Options options = DurableOptions(dir);
+  options.durability.compact_threshold_bytes = 256;  // compact eagerly
+  options.durability.env = &fault;
+  const size_t kRecords = 30;
+  {
+    auto proxy =
+        ExplainableProxy::Create(data_->schema_ptr(), nullptr, options);
+    ASSERT_TRUE(proxy.ok()) << proxy.status().ToString();
+    // Only the snapshot save renames; the WAL appends in place. Arming a
+    // one-shot rename EIO therefore fails exactly the first compaction
+    // while every Record keeps succeeding against the previous
+    // generation's WAL.
+    fault.FailNextRename();
+    for (size_t row = 0; row < kRecords; ++row) {
+      CCE_CHECK_OK((*proxy)->Record(data_->instance(row),
+                                    data_->label(row)));
+    }
+    HealthSnapshot health = (*proxy)->Health();
+    EXPECT_GE(health.compaction_failures, 1u)
+        << "the injected rename EIO must have failed one snapshot save";
+    EXPECT_GE(health.wal_compactions, 1u)
+        << "later compactions succeed once the fault clears";
+    EXPECT_EQ(health.shards_quarantined, 0u)
+        << "a failed compaction is not fatal to the shard";
+    EXPECT_EQ(health.shards_read_only, 0u);
+  }
+
+  auto revived =
+      ExplainableProxy::Create(data_->schema_ptr(), nullptr, options);
+  ASSERT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_EQ((*revived)->recorded(), kRecords)
+      << "the previous snapshot+WAL generation stayed fully readable";
 }
 
 TEST_F(ProxyDurabilityTest, SyncNeverStillRecoversWrittenRecords) {

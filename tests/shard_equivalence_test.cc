@@ -1,0 +1,189 @@
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/osrk.h"
+#include "core/ssrk.h"
+#include "serving/proxy.h"
+#include "tests/test_util.h"
+
+namespace cce::serving {
+namespace {
+
+/// The sharding determinism contract: because every row carries a global
+/// sequence number and Explain merges shard windows by it, every
+/// explanation artefact — SRK keys from the proxy, OSRK/SSRK keys
+/// maintained over the merged context — must be bit-identical between a
+/// 1-shard proxy and any N-shard proxy fed the same traffic.
+
+std::unique_ptr<ExplainableProxy> MakeProxy(const Dataset& data,
+                                            size_t shards,
+                                            size_t capacity = 0) {
+  ExplainableProxy::Options options;
+  options.monitor_drift = false;
+  options.shards = shards;
+  options.context_capacity = capacity;
+  auto proxy = ExplainableProxy::Create(data.schema_ptr(), nullptr, options);
+  CCE_CHECK_OK(proxy.status());
+  return std::move(proxy).value();
+}
+
+void ExpectSameContext(const Context& base, const Context& sharded,
+                       size_t shards) {
+  ASSERT_EQ(base.size(), sharded.size()) << "shards=" << shards;
+  for (size_t row = 0; row < base.size(); ++row) {
+    ASSERT_EQ(base.instance(row), sharded.instance(row))
+        << "row " << row << " shards=" << shards;
+    ASSERT_EQ(base.label(row), sharded.label(row))
+        << "row " << row << " shards=" << shards;
+  }
+}
+
+TEST(ShardEquivalenceTest, ExplainKeysAreBitIdenticalAcrossShardCounts) {
+  for (uint64_t seed : {11u, 57u, 91u}) {
+    Dataset data = cce::testing::RandomContext(160, 5, 3, seed,
+                                               /*noise=*/0.1);
+    auto baseline = MakeProxy(data, 1);
+    for (size_t row = 0; row < data.size(); ++row) {
+      CCE_CHECK_OK(baseline->Record(data.instance(row), data.label(row)));
+    }
+    for (size_t shards : {size_t{2}, size_t{4}, size_t{8}}) {
+      auto proxy = MakeProxy(data, shards);
+      for (size_t row = 0; row < data.size(); ++row) {
+        CCE_CHECK_OK(proxy->Record(data.instance(row), data.label(row)));
+      }
+      ExpectSameContext(baseline->ContextSnapshot(),
+                        proxy->ContextSnapshot(), shards);
+      for (size_t probe = 0; probe < 12; ++probe) {
+        auto expected = baseline->Explain(data.instance(probe),
+                                          data.label(probe));
+        auto actual = proxy->Explain(data.instance(probe),
+                                     data.label(probe));
+        ASSERT_TRUE(expected.ok());
+        ASSERT_TRUE(actual.ok());
+        EXPECT_EQ(actual->key, expected->key)
+            << "seed " << seed << " shards " << shards << " probe "
+            << probe;
+        EXPECT_EQ(actual->pick_order, expected->pick_order);
+        EXPECT_EQ(actual->achieved_alpha, expected->achieved_alpha)
+            << "bitwise double equality, not approximate";
+        EXPECT_EQ(actual->satisfied, expected->satisfied);
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, GlobalEvictionMatchesSingleWindowFifo) {
+  Dataset data = cce::testing::RandomContext(200, 4, 2, 77, /*noise=*/0.0);
+  const size_t kCapacity = 48;
+  auto baseline = MakeProxy(data, 1, kCapacity);
+  auto sharded = MakeProxy(data, 4, kCapacity);
+  for (size_t row = 0; row < data.size(); ++row) {
+    CCE_CHECK_OK(baseline->Record(data.instance(row), data.label(row)));
+    CCE_CHECK_OK(sharded->Record(data.instance(row), data.label(row)));
+  }
+  Context base = baseline->ContextSnapshot();
+  ASSERT_EQ(base.size(), kCapacity);
+  ExpectSameContext(base, sharded->ContextSnapshot(), 4);
+}
+
+TEST(ShardEquivalenceTest, OsrkAndSsrkOverMergedContextsAgree) {
+  Dataset data = cce::testing::RandomContext(120, 5, 3, 33, /*noise=*/0.1);
+  auto baseline = MakeProxy(data, 1);
+  auto sharded = MakeProxy(data, 4);
+  for (size_t row = 0; row < data.size(); ++row) {
+    CCE_CHECK_OK(baseline->Record(data.instance(row), data.label(row)));
+    CCE_CHECK_OK(sharded->Record(data.instance(row), data.label(row)));
+  }
+  const Instance& x0 = data.instance(0);
+  const Label y0 = data.label(0);
+
+  // OSRK consumes randomness per arrival, so any reordering of the merged
+  // context would change the maintained key; SSRK's potential accumulates
+  // floats in arrival order. Feed each the merged context of each proxy.
+  for (int alg = 0; alg < 2; ++alg) {
+    FeatureSet keys[2];
+    double alphas[2] = {0.0, 0.0};
+    ExplainableProxy* proxies[2] = {baseline.get(), sharded.get()};
+    for (int p = 0; p < 2; ++p) {
+      Context merged = proxies[p]->ContextSnapshot();
+      if (alg == 0) {
+        Osrk::Options options;
+        options.seed = 7;
+        auto osrk = Osrk::Create(data.schema_ptr(), x0, y0, options);
+        CCE_CHECK_OK(osrk.status());
+        for (size_t row = 0; row < merged.size(); ++row) {
+          (*osrk)->Observe(merged.instance(row), merged.label(row));
+        }
+        keys[p] = (*osrk)->key();
+        alphas[p] = (*osrk)->achieved_alpha();
+      } else {
+        auto ssrk = Ssrk::Create(data, x0, y0, {});
+        CCE_CHECK_OK(ssrk.status());
+        for (size_t row = 0; row < merged.size(); ++row) {
+          (*ssrk)->Observe(merged.instance(row), merged.label(row));
+        }
+        keys[p] = (*ssrk)->key();
+        alphas[p] = (*ssrk)->achieved_alpha();
+      }
+    }
+    EXPECT_EQ(keys[0], keys[1]) << (alg == 0 ? "OSRK" : "SSRK");
+    EXPECT_EQ(alphas[0], alphas[1]) << (alg == 0 ? "OSRK" : "SSRK");
+  }
+}
+
+/// TSan target (SUITE=stress): concurrent Records on different shards race
+/// only on the atomics designed for it, and Explain's merged snapshot is
+/// always a consistent sequence-ordered view.
+TEST(ShardEquivalenceStressTest, ConcurrentShardedRecordAndExplainAreClean) {
+  const bool stress = std::getenv("CCE_STRESS") != nullptr;
+  const size_t kWriters = 4;
+  const size_t kRowsPerWriter = stress ? 400 : 80;
+  Dataset data = cce::testing::RandomContext(
+      kWriters * kRowsPerWriter, 4, 2, 13, /*noise=*/0.1);
+  auto proxy = MakeProxy(data, 4, /*capacity=*/256);
+
+  std::atomic<size_t> recorded{0};
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t i = 0; i < kRowsPerWriter; ++i) {
+        const size_t row = w * kRowsPerWriter + i;
+        if (proxy->Record(data.instance(row), data.label(row)).ok()) {
+          recorded.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Context snapshot = proxy->ContextSnapshot();
+      if (snapshot.size() > 0) {
+        auto key = proxy->Explain(snapshot.instance(0), snapshot.label(0));
+        ASSERT_TRUE(key.ok() ||
+                    key.status().code() == StatusCode::kFailedPrecondition);
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(recorded.load(), kWriters * kRowsPerWriter);
+  EXPECT_EQ(proxy->recorded(), kWriters * kRowsPerWriter);
+  Context final_snapshot = proxy->ContextSnapshot();
+  EXPECT_EQ(final_snapshot.size(), 256u);
+  HealthSnapshot health = proxy->Health();
+  EXPECT_EQ(health.shards_quarantined, 0u);
+  EXPECT_FALSE(health.degraded_context);
+}
+
+}  // namespace
+}  // namespace cce::serving
