@@ -29,11 +29,19 @@
 # compaction). Every surviving byte must replay cleanly and no recovery
 # path may leak or scribble under ASan.
 #
+# SUITE=replica is the replication torture gate: AddressSanitizer build of
+# the ReplicaTorture suite with CCE_REPLICA_ITERS=200 — dual kill-and-recover
+# cycles that drop the leader AND the follower every iteration, with
+# independent fault injectors on the shipping path and the catch-up path.
+# The follower must never crash, never serve a torn view, and re-converge
+# bit-for-bit once faults stop. Failures print the CCE_FAULT_SEED to replay.
+#
 # Usage: scripts/check.sh [extra ctest args...]
 #   BUILD_DIR=build-asan JOBS=8 scripts/check.sh -R ProxyTest
 #   SUITE=stress scripts/check.sh
 #   SUITE=docs scripts/check.sh
 #   SUITE=crash scripts/check.sh
+#   SUITE=replica scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,7 +54,7 @@ BUILD_TARGETS=()
 if [[ "$SUITE" == "stress" ]]; then
   SANITIZER=thread
   export CCE_STRESS=1
-  SUITE_ARGS=(-R 'Overload|TokenBucket|ProxyConcurrency|ProxyDurability|ContextWal|ThreadPool|ConformityStress|EngineEquivalence|ShardEquivalence')
+  SUITE_ARGS=(-R 'Overload|TokenBucket|ProxyConcurrency|ProxyDurability|ContextWal|ThreadPool|ConformityStress|EngineEquivalence|ShardEquivalence|ReplicaStaleness')
 elif [[ "$SUITE" == "docs" ]]; then
   python3 scripts/check_docs.py
   SUITE_ARGS=(-R 'MetricsDoc|Exposition')
@@ -55,8 +63,12 @@ elif [[ "$SUITE" == "crash" ]]; then
   SANITIZER=address
   export CCE_CRASH_ITERS=${CCE_CRASH_ITERS:-200}
   SUITE_ARGS=(-R 'CrashTorture')
+elif [[ "$SUITE" == "replica" ]]; then
+  SANITIZER=address
+  export CCE_REPLICA_ITERS=${CCE_REPLICA_ITERS:-200}
+  SUITE_ARGS=(-R 'ReplicaTorture')
 elif [[ -n "$SUITE" ]]; then
-  echo "unknown SUITE='$SUITE' (expected 'stress', 'docs', 'crash' or unset)" >&2
+  echo "unknown SUITE='$SUITE' (expected 'stress', 'docs', 'crash', 'replica' or unset)" >&2
   exit 2
 fi
 

@@ -1,72 +1,10 @@
 #include "io/context_wal.h"
 
-#include <cstring>
 #include <utility>
 
-#include "common/crc32c.h"
+#include "io/wal_segment.h"
 
 namespace cce::io {
-namespace {
-
-constexpr char kMagic[8] = {'C', 'C', 'E', 'W', 'A', 'L', '\x01', '\n'};
-constexpr uint32_t kVersion = 1;
-constexpr size_t kHeaderSize = 24;
-/// Bytes before the payload in every frame: u32 length + u32 masked CRC.
-constexpr size_t kFrameOverhead = 8;
-/// Fixed payload prefix: u64 seq + u32 label + u32 value_count.
-constexpr size_t kPayloadFixed = 16;
-/// Upper bound on a frame payload; anything larger is corruption, not a
-/// record (16 MiB ≈ a 4M-feature instance).
-constexpr uint32_t kMaxPayload = 1u << 24;
-
-void PutU32(std::string* out, uint32_t v) {
-  out->push_back(static_cast<char>(v & 0xFFu));
-  out->push_back(static_cast<char>((v >> 8) & 0xFFu));
-  out->push_back(static_cast<char>((v >> 16) & 0xFFu));
-  out->push_back(static_cast<char>((v >> 24) & 0xFFu));
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
-  PutU32(out, static_cast<uint32_t>(v >> 32));
-}
-
-uint32_t GetU32(const char* p) {
-  const auto* b = reinterpret_cast<const unsigned char*>(p);
-  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
-         (static_cast<uint32_t>(b[2]) << 16) |
-         (static_cast<uint32_t>(b[3]) << 24);
-}
-
-uint64_t GetU64(const char* p) {
-  return static_cast<uint64_t>(GetU32(p)) |
-         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
-}
-
-std::string EncodeHeader(uint64_t base) {
-  std::string header(kMagic, sizeof(kMagic));
-  PutU32(&header, kVersion);
-  PutU64(&header, base);
-  PutU32(&header,
-         crc32c::Mask(crc32c::Value(header.data(), header.size())));
-  return header;
-}
-
-/// Parses the header; returns base_recorded or nullopt-ish via ok flag.
-bool DecodeHeader(const std::string& content, uint64_t* base) {
-  if (content.size() < kHeaderSize) return false;
-  if (std::memcmp(content.data(), kMagic, sizeof(kMagic)) != 0) return false;
-  if (GetU32(content.data() + 8) != kVersion) return false;
-  const uint32_t stored = GetU32(content.data() + 20);
-  if (crc32c::Unmask(stored) !=
-      crc32c::Value(content.data(), kHeaderSize - 4)) {
-    return false;
-  }
-  *base = GetU64(content.data() + 12);
-  return true;
-}
-
-}  // namespace
 
 ContextWal::ContextWal(std::string path, const Options& options)
     : path_(std::move(path)),
@@ -93,50 +31,21 @@ Result<std::unique_ptr<ContextWal>> ContextWal::Open(
     if (!read.ok() && read.code() != StatusCode::kNotFound) return read;
   }
 
-  uint64_t base = 0;
-  const bool header_ok = DecodeHeader(content, &base);
-  size_t valid_end = 0;
-  uint64_t last_seq = 0;
-  bool has_seq = false;
-  if (header_ok) {
-    out->base_recorded = base;
-    size_t pos = kHeaderSize;
-    // Salvage the longest valid frame prefix; any failure below means a
-    // torn or corrupt tail and stops the scan (never resurrect a record
-    // past the first bad byte).
-    while (true) {
-      if (pos + kFrameOverhead > content.size()) break;
-      const uint32_t len = GetU32(content.data() + pos);
-      const uint32_t masked_crc = GetU32(content.data() + pos + 4);
-      if (len < kPayloadFixed || len > kMaxPayload) break;
-      if (pos + kFrameOverhead + len > content.size()) break;
-      const char* payload = content.data() + pos + kFrameOverhead;
-      if (crc32c::Unmask(masked_crc) != crc32c::Value(payload, len)) break;
-      const uint64_t seq = GetU64(payload);
-      const uint32_t label = GetU32(payload + 8);
-      const uint32_t value_count = GetU32(payload + 12);
-      if (len != kPayloadFixed + 4ull * value_count) break;
-      // A checksum-valid frame whose sequence fails to increase is a
-      // duplicated or misplaced tail block (e.g. a replayed copy of the
-      // last frame). Sequences are sparse — the owner interleaves shards
-      // in one global order — so only monotonicity can be checked.
-      if (has_seq && seq <= last_seq) break;
-      Instance x(value_count);
-      for (uint32_t i = 0; i < value_count; ++i) {
-        x[i] = GetU32(payload + kPayloadFixed + 4 * i);
+  // Shared salvage-prefix scan (io/wal_segment.h): the shipper and the
+  // replica tailer read segments with exactly these rules, so what this
+  // writer would recover and what a follower would apply never diverge.
+  const WalSegmentView view = ScanWalSegment(content);
+  if (view.header_ok) {
+    out->base_recorded = view.base_recorded;
+    out->records_recovered = view.frames.size();
+    if (fn != nullptr) {
+      for (const WalFrame& frame : view.frames) {
+        CCE_RETURN_IF_ERROR(fn(frame.seq, frame.x, frame.y));
       }
-      if (fn != nullptr) {
-        CCE_RETURN_IF_ERROR(fn(seq, x, static_cast<Label>(label)));
-      }
-      last_seq = seq;
-      has_seq = true;
-      ++out->records_recovered;
-      pos += kFrameOverhead + len;
     }
-    valid_end = pos;
   }
-  if (content.size() > valid_end) {
-    out->bytes_discarded = content.size() - valid_end;
+  if (content.size() > view.valid_end) {
+    out->bytes_discarded = content.size() - view.valid_end;
     // Everything past the first bad byte is unrecoverable; count the
     // corruption event as (at least) one lost record.
     ++out->records_dropped;
@@ -147,26 +56,26 @@ Result<std::unique_ptr<ContextWal>> ContextWal::Open(
     if (!opened.ok()) return opened.status();
     wal->file_ = std::move(opened).value();
   }
-  if (!header_ok) {
+  if (!view.header_ok) {
     // Missing, empty or header-corrupt log: restart the generation.
     CCE_RETURN_IF_ERROR(wal->Reset(0));
   } else {
     if (out->bytes_discarded > 0) {
-      CCE_RETURN_IF_ERROR(wal->file_->Truncate(valid_end));
+      CCE_RETURN_IF_ERROR(wal->file_->Truncate(view.valid_end));
     }
-    wal->size_ = valid_end;
-    wal->base_ = base;
-    wal->last_seq_ = last_seq;
-    wal->has_seq_ = has_seq;
+    wal->size_ = view.valid_end;
+    wal->base_ = view.base_recorded;
+    wal->last_seq_ = view.last_seq;
+    wal->has_seq_ = view.has_seq;
     if (out->bytes_discarded > 0) CCE_RETURN_IF_ERROR(wal->Sync());
   }
   return wal;
 }
 
 Status ContextWal::WriteHeader(uint64_t base) {
-  const std::string header = EncodeHeader(base);
+  const std::string header = EncodeWalHeader(base);
   CCE_RETURN_IF_ERROR(file_->Append(header));
-  size_ = kHeaderSize;
+  size_ = kWalHeaderSize;
   return Status::Ok();
 }
 
@@ -184,22 +93,10 @@ Status ContextWal::Append(const Instance& x, Label y, uint64_t seq) {
         " is not greater than the last logged sequence " +
         std::to_string(last_seq_));
   }
-  if (x.size() > (kMaxPayload - kPayloadFixed) / 4) {
+  if (x.size() > (kWalMaxPayload - kWalPayloadFixed) / 4) {
     return Status::InvalidArgument("instance too large for a wal frame");
   }
-  std::string payload;
-  payload.reserve(kPayloadFixed + 4 * x.size());
-  PutU64(&payload, seq);
-  PutU32(&payload, y);
-  PutU32(&payload, static_cast<uint32_t>(x.size()));
-  for (ValueId v : x) PutU32(&payload, v);
-
-  std::string frame;
-  frame.reserve(kFrameOverhead + payload.size());
-  PutU32(&frame, static_cast<uint32_t>(payload.size()));
-  PutU32(&frame,
-         crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
-  frame += payload;
+  const std::string frame = EncodeWalFrame(x, y, seq);
 
   Status wrote = file_->Append(frame);
   if (!wrote.ok()) {

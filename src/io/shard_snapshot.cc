@@ -1,0 +1,100 @@
+#include "io/shard_snapshot.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "io/serialize.h"
+
+namespace cce::io {
+
+Result<LoadedShardSnapshot> ParseShardSnapshot(const std::string& content,
+                                               const std::string& origin) {
+  std::istringstream in(content);
+  uint64_t covers = 0;
+  bool covers_valid = false;
+  std::vector<uint64_t> seqs;
+  if (content.rfind(kShardSnapshotMagic, 0) == 0) {
+    std::string line;
+    std::getline(in, line);  // magic
+    if (!std::getline(in, line) || line.rfind("covers ", 0) != 0) {
+      return Status::IoError("snapshot '" + origin +
+                             "' has a corrupt covers line");
+    }
+    const std::string digits = line.substr(7);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::IoError("snapshot '" + origin +
+                             "' has a corrupt covers value");
+    }
+    covers = std::strtoull(digits.c_str(), nullptr, 10);
+    covers_valid = true;
+    if (!std::getline(in, line) || line.rfind("seqs", 0) != 0) {
+      return Status::IoError("snapshot '" + origin +
+                             "' has a corrupt seqs line");
+    }
+    std::istringstream seq_in(line.substr(4));
+    uint64_t prev = 0;
+    std::string token;
+    while (seq_in >> token) {
+      if (token.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::IoError("snapshot '" + origin +
+                               "' has a corrupt seqs value");
+      }
+      const uint64_t seq = std::strtoull(token.c_str(), nullptr, 10);
+      if (!seqs.empty() && seq <= prev) {
+        return Status::IoError("snapshot '" + origin +
+                               "' has non-increasing seqs");
+      }
+      seqs.push_back(seq);
+      prev = seq;
+    }
+  }
+  CCE_ASSIGN_OR_RETURN(Dataset rows, LoadDataset(&in));
+  if (covers_valid && seqs.size() != rows.size()) {
+    return Status::IoError(
+        "snapshot '" + origin + "' has " + std::to_string(seqs.size()) +
+        " seqs for " + std::to_string(rows.size()) + " rows");
+  }
+  LoadedShardSnapshot loaded;
+  loaded.rows = std::move(rows);
+  loaded.covers = covers;
+  loaded.covers_valid = covers_valid;
+  loaded.seqs = std::move(seqs);
+  return loaded;
+}
+
+Result<LoadedShardSnapshot> LoadShardSnapshot(Env* env,
+                                              const std::string& path) {
+  std::string content;
+  CCE_RETURN_IF_ERROR(env->ReadFileToString(path, &content));
+  return ParseShardSnapshot(content, path);
+}
+
+Status CheckShardSchemaCompatible(const Schema& live, const Schema& stored) {
+  if (live.num_features() != stored.num_features()) {
+    return Status::InvalidArgument(
+        "recovered snapshot has " + std::to_string(stored.num_features()) +
+        " features, schema expects " + std::to_string(live.num_features()));
+  }
+  for (FeatureId f = 0; f < live.num_features(); ++f) {
+    if (live.FeatureName(f) != stored.FeatureName(f)) {
+      return Status::InvalidArgument("recovered snapshot feature " +
+                                     std::to_string(f) + " is '" +
+                                     stored.FeatureName(f) + "', expected '" +
+                                     live.FeatureName(f) + "'");
+    }
+    if (live.DomainSize(f) < stored.DomainSize(f)) {
+      return Status::InvalidArgument(
+          "recovered snapshot domain of '" + live.FeatureName(f) +
+          "' is larger than the live schema's");
+    }
+  }
+  if (live.num_labels() < stored.num_labels()) {
+    return Status::InvalidArgument(
+        "recovered snapshot has more labels than the live schema");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cce::io

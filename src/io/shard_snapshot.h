@@ -1,0 +1,62 @@
+#ifndef CCE_IO_SHARD_SNAPSHOT_H_
+#define CCE_IO_SHARD_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/schema.h"
+#include "io/env.h"
+
+namespace cce::io {
+
+/// The shard snapshot file format, shared by the leader's ContextShard,
+/// the log shipper (which must read the covers count to fence against a
+/// compaction racing the ship), and the follower's bootstrap path.
+///
+/// Layout (text):
+///   CCESNAP 1
+///   covers <records-ever-recorded-when-written>
+///   seqs <s0> <s1> ...          (global arrival sequence of every row)
+///   <io::SaveDataset text>
+///
+/// The covers count closes the torn-compaction window: a crash between the
+/// snapshot rename and the WAL reset leaves log frames the snapshot already
+/// contains, and covers - base_recorded is exactly how many to skip. It
+/// doubles as the snapshot's *generation number* for replication: a
+/// (snapshot, wal) pair is mutually consistent iff covers equals the log
+/// header's base_recorded.
+inline constexpr char kShardSnapshotMagic[] = "CCESNAP 1";
+
+struct LoadedShardSnapshot {
+  Dataset rows;
+  /// Records covered by this snapshot (valid only with the wrapper; a
+  /// legacy headerless snapshot reports covers_valid = false).
+  uint64_t covers = 0;
+  bool covers_valid = false;
+  /// Global arrival sequence of each row, same length as `rows` (valid
+  /// only with the wrapper; legacy rows get fresh sequences assigned).
+  std::vector<uint64_t> seqs;
+
+  LoadedShardSnapshot() : rows(nullptr) {}
+};
+
+/// Parses a snapshot from raw bytes (a file read or a shipped segment).
+Result<LoadedShardSnapshot> ParseShardSnapshot(const std::string& content,
+                                               const std::string& origin);
+
+/// Reads and parses the snapshot at `path` through `env`.
+Result<LoadedShardSnapshot> LoadShardSnapshot(Env* env,
+                                              const std::string& path);
+
+/// A recovered snapshot must describe the same feature space as the live
+/// schema: feature/label names and domain sizes all line up. Anything else
+/// means the file belongs to a different deployment — the one damage class
+/// recovery treats as a hard error instead of quarantining away.
+Status CheckShardSchemaCompatible(const Schema& live, const Schema& stored);
+
+}  // namespace cce::io
+
+#endif  // CCE_IO_SHARD_SNAPSHOT_H_

@@ -1,0 +1,146 @@
+#include "io/ship_manifest.h"
+
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "common/crc32c.h"
+#include "io/atomic_file.h"
+
+namespace cce::io {
+namespace {
+
+constexpr char kMagicLine[] = "CCESHIP 1";
+
+/// Parses a non-negative decimal; false on anything else.
+bool ParseU64(const std::string& token, uint64_t* out) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *out = std::strtoull(token.c_str(), nullptr, 10);
+  return true;
+}
+
+std::string EncodeBody(const ShipManifest& manifest) {
+  std::ostringstream out;
+  out << kMagicLine << "\n";
+  out << "published " << manifest.published_seq << "\n";
+  out << "shards " << manifest.shards.size() << "\n";
+  for (const ShipManifest::Shard& shard : manifest.shards) {
+    out << "shard " << shard.index << " published " << shard.published
+        << " base " << shard.wal_base << " bytes " << shard.wal_bytes
+        << " snapshot " << (shard.has_snapshot ? 1 : 0) << " rows "
+        << shard.rows << " digest " << shard.digest << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string EncodeShipManifest(const ShipManifest& manifest) {
+  std::string body = EncodeBody(manifest);
+  const uint32_t crc =
+      crc32c::Mask(crc32c::Value(body.data(), body.size()));
+  body += "crc " + std::to_string(crc) + "\n";
+  return body;
+}
+
+Result<ShipManifest> ParseShipManifest(const std::string& content) {
+  // The CRC line must be the last line; verify it over everything before.
+  const size_t crc_pos = content.rfind("crc ");
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && content[crc_pos - 1] != '\n')) {
+    return Status::IoError("ship manifest has no crc line");
+  }
+  uint64_t stored = 0;
+  {
+    std::string line = content.substr(crc_pos + 4);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (!ParseU64(line, &stored) || stored > UINT32_MAX) {
+      return Status::IoError("ship manifest has a corrupt crc value");
+    }
+  }
+  if (crc32c::Unmask(static_cast<uint32_t>(stored)) !=
+      crc32c::Value(content.data(), crc_pos)) {
+    return Status::IoError("ship manifest failed its checksum");
+  }
+
+  std::istringstream in(content.substr(0, crc_pos));
+  std::string line;
+  if (!std::getline(in, line) || line != kMagicLine) {
+    return Status::IoError("ship manifest has a bad magic line");
+  }
+  ShipManifest manifest;
+  std::string word;
+  uint64_t shard_count = 0;
+  {
+    if (!std::getline(in, line)) {
+      return Status::IoError("ship manifest is truncated");
+    }
+    std::istringstream fields(line);
+    if (!(fields >> word) || word != "published" || !(fields >> word) ||
+        !ParseU64(word, &manifest.published_seq)) {
+      return Status::IoError("ship manifest has a corrupt published line");
+    }
+  }
+  {
+    if (!std::getline(in, line)) {
+      return Status::IoError("ship manifest is truncated");
+    }
+    std::istringstream fields(line);
+    if (!(fields >> word) || word != "shards" || !(fields >> word) ||
+        !ParseU64(word, &shard_count)) {
+      return Status::IoError("ship manifest has a corrupt shards line");
+    }
+  }
+  for (uint64_t i = 0; i < shard_count; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::IoError("ship manifest is missing shard records");
+    }
+    std::istringstream fields(line);
+    ShipManifest::Shard shard;
+    uint64_t snapshot_flag = 0;
+    uint64_t digest = 0;
+    auto expect = [&fields, &word](const char* name, uint64_t* value) {
+      std::string token;
+      return (fields >> word) && word == name && (fields >> token) &&
+             ParseU64(token, value);
+    };
+    uint64_t index = 0;
+    if (!(fields >> word) || word != "shard" || !(fields >> word) ||
+        !ParseU64(word, &index) || !expect("published", &shard.published) ||
+        !expect("base", &shard.wal_base) ||
+        !expect("bytes", &shard.wal_bytes) ||
+        !expect("snapshot", &snapshot_flag) || snapshot_flag > 1 ||
+        !expect("rows", &shard.rows) || !expect("digest", &digest) ||
+        digest > UINT32_MAX) {
+      return Status::IoError("ship manifest has a corrupt shard record");
+    }
+    shard.index = index;
+    shard.has_snapshot = snapshot_flag == 1;
+    shard.digest = static_cast<uint32_t>(digest);
+    manifest.shards.push_back(shard);
+  }
+  return manifest;
+}
+
+Status SaveShipManifest(Env* env, const std::string& path,
+                        const ShipManifest& manifest) {
+  const std::string encoded = EncodeShipManifest(manifest);
+  return AtomicWriteFile(env, path, [&encoded](std::ostream* out) {
+    out->write(encoded.data(),
+               static_cast<std::streamsize>(encoded.size()));
+    return Status::Ok();
+  });
+}
+
+Result<ShipManifest> LoadShipManifest(Env* env, const std::string& path) {
+  std::string content;
+  CCE_RETURN_IF_ERROR(env->ReadFileToString(path, &content));
+  return ParseShipManifest(content);
+}
+
+}  // namespace cce::io

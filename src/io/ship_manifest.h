@@ -1,0 +1,88 @@
+#ifndef CCE_IO_SHIP_MANIFEST_H_
+#define CCE_IO_SHIP_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/env.h"
+
+namespace cce::io {
+
+/// The replication handshake between a leader's ShardLogShipper and a
+/// follower's ReplicaProxy: one small checksummed text file, atomically
+/// replaced per ship cycle, that names the published sequence watermark
+/// and, per shard, exactly which snapshot generation + WAL prefix the
+/// follower should be reading and what digest its applied state must
+/// reproduce.
+///
+/// Layout (text, one record per line, trailing CRC over everything above):
+///
+///   CCESHIP 1
+///   published <seq>
+///   shards <n>
+///   shard <index> published <p> base <b> bytes <len> snapshot <0|1>
+///       rows <r> digest <d>                            (one line each)
+///   ...
+///   crc <masked CRC-32C of all preceding bytes>
+///
+/// Semantics:
+///   - `published` is the leader's watermark P: every acknowledged record
+///     with sequence < P is contained in the shipped files. Frames with
+///     sequence >= P may also appear (they were in flight past the
+///     watermark when the segment was copied); followers must filter.
+///   - each shard record carries its *own* published watermark p <= P:
+///     the watermark its shipped files are guaranteed complete up to. A
+///     shard the shipper had to skip (generation fence kept failing)
+///     keeps its previous files and previous p, so a follower never
+///     treats stale files as complete up to the new P. The follower's
+///     consistent view sequence is min(p) over shards.
+///   - `base` is the shipped WAL generation (header base_recorded). It
+///     must equal the shipped snapshot's covers count — the generation
+///     fence both sides check.
+///   - `bytes` is the length of the valid shipped WAL prefix. A follower
+///     that salvages fewer bytes from the shipped segment than `bytes` is
+///     looking at a torn ship and must quarantine that shard's tail.
+///   - `digest` is the CRC-32C over the EncodeWalRecordPayload bytes of
+///     every shipped row with sequence < P, in sequence order (snapshot
+///     rows, then frames); `rows` is how many rows that covered. The
+///     follower recomputes it from applied state — any mismatch is
+///     divergence and triggers a resync.
+struct ShipManifest {
+  uint64_t published_seq = 0;
+  struct Shard {
+    uint64_t index = 0;
+    /// This shard's completeness watermark (<= published_seq; see above).
+    uint64_t published = 0;
+    /// base_recorded of the shipped WAL generation (== snapshot covers).
+    uint64_t wal_base = 0;
+    /// Valid bytes of the shipped WAL segment (header + whole frames).
+    uint64_t wal_bytes = 0;
+    bool has_snapshot = false;
+    /// Rows with seq < `published` covered by `digest`.
+    uint64_t rows = 0;
+    /// Masked CRC-32C over the covered rows' payload encodings.
+    uint32_t digest = 0;
+  };
+  std::vector<Shard> shards;
+};
+
+/// Renders the manifest, including the trailing CRC line.
+std::string EncodeShipManifest(const ShipManifest& manifest);
+
+/// Parses and checksum-verifies `content`. kIoError for any damage —
+/// truncated file, bad CRC, malformed record — so a half-replaced or
+/// bit-flipped manifest can never steer a follower.
+Result<ShipManifest> ParseShipManifest(const std::string& content);
+
+/// Atomically writes the manifest at `path` through `env`.
+Status SaveShipManifest(Env* env, const std::string& path,
+                        const ShipManifest& manifest);
+
+/// Reads and parses the manifest at `path`. kNotFound when absent.
+Result<ShipManifest> LoadShipManifest(Env* env, const std::string& path);
+
+}  // namespace cce::io
+
+#endif  // CCE_IO_SHIP_MANIFEST_H_

@@ -1,0 +1,117 @@
+#include "io/wal_segment.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace cce::io {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'C', 'E', 'W', 'A', 'L', '\x01', '\n'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFFu));
+  out->push_back(static_cast<char>((v >> 8) & 0xFFu));
+  out->push_back(static_cast<char>((v >> 16) & 0xFFu));
+  out->push_back(static_cast<char>((v >> 24) & 0xFFu));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+std::string EncodeWalHeader(uint64_t base) {
+  std::string header(kMagic, sizeof(kMagic));
+  PutU32(&header, kVersion);
+  PutU64(&header, base);
+  PutU32(&header, crc32c::Mask(crc32c::Value(header.data(), header.size())));
+  return header;
+}
+
+std::string EncodeWalRecordPayload(const Instance& x, Label y, uint64_t seq) {
+  std::string payload;
+  payload.reserve(kWalPayloadFixed + 4 * x.size());
+  PutU64(&payload, seq);
+  PutU32(&payload, y);
+  PutU32(&payload, static_cast<uint32_t>(x.size()));
+  for (ValueId v : x) PutU32(&payload, v);
+  return payload;
+}
+
+std::string EncodeWalFrame(const Instance& x, Label y, uint64_t seq) {
+  const std::string payload = EncodeWalRecordPayload(x, y, seq);
+  std::string frame;
+  frame.reserve(kWalFrameOverhead + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  frame += payload;
+  return frame;
+}
+
+WalSegmentView ScanWalSegment(const std::string& content) {
+  WalSegmentView view;
+  if (content.size() < kWalHeaderSize) return view;
+  if (std::memcmp(content.data(), kMagic, sizeof(kMagic)) != 0) return view;
+  if (GetU32(content.data() + 8) != kVersion) return view;
+  const uint32_t stored = GetU32(content.data() + 20);
+  if (crc32c::Unmask(stored) !=
+      crc32c::Value(content.data(), kWalHeaderSize - 4)) {
+    return view;
+  }
+  view.header_ok = true;
+  view.base_recorded = GetU64(content.data() + 12);
+
+  size_t pos = kWalHeaderSize;
+  // Salvage the longest valid frame prefix; any failure below means a torn
+  // or corrupt tail and stops the scan (never resurrect a record past the
+  // first bad byte).
+  while (true) {
+    if (pos + kWalFrameOverhead > content.size()) break;
+    const uint32_t len = GetU32(content.data() + pos);
+    const uint32_t masked_crc = GetU32(content.data() + pos + 4);
+    if (len < kWalPayloadFixed || len > kWalMaxPayload) break;
+    if (pos + kWalFrameOverhead + len > content.size()) break;
+    const char* payload = content.data() + pos + kWalFrameOverhead;
+    if (crc32c::Unmask(masked_crc) != crc32c::Value(payload, len)) break;
+    const uint64_t seq = GetU64(payload);
+    const uint32_t label = GetU32(payload + 8);
+    const uint32_t value_count = GetU32(payload + 12);
+    if (len != kWalPayloadFixed + 4ull * value_count) break;
+    // A checksum-valid frame whose sequence fails to increase is a
+    // duplicated or misplaced tail block (e.g. a replayed copy of the last
+    // frame). Sequences are sparse — the owner interleaves shards in one
+    // global order — so only monotonicity can be checked.
+    if (view.has_seq && seq <= view.last_seq) break;
+    WalFrame frame;
+    frame.seq = seq;
+    frame.y = static_cast<Label>(label);
+    frame.x.resize(value_count);
+    for (uint32_t i = 0; i < value_count; ++i) {
+      frame.x[i] = GetU32(payload + kWalPayloadFixed + 4 * i);
+    }
+    view.frames.push_back(std::move(frame));
+    view.last_seq = seq;
+    view.has_seq = true;
+    pos += kWalFrameOverhead + len;
+  }
+  view.valid_end = pos;
+  return view;
+}
+
+}  // namespace cce::io

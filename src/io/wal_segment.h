@@ -1,0 +1,78 @@
+#ifndef CCE_IO_WAL_SEGMENT_H_
+#define CCE_IO_WAL_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace cce::io {
+
+/// The context-WAL byte format, factored out of ContextWal so every reader
+/// of the format — the live log writer's recovery path, the leader-side
+/// log shipper, and the follower's tailer — parses frames with the same
+/// salvage-prefix rules. See io/context_wal.h for the on-disk layout; the
+/// length-prefixed framing is deliberately socket-ready (a shipped segment
+/// and a streamed segment are the same bytes).
+
+/// Header: magic (8) + u32 version + u64 base_recorded + u32 masked CRC.
+inline constexpr size_t kWalHeaderSize = 24;
+/// Bytes before the payload in every frame: u32 length + u32 masked CRC.
+inline constexpr size_t kWalFrameOverhead = 8;
+/// Fixed payload prefix: u64 seq + u32 label + u32 value_count.
+inline constexpr size_t kWalPayloadFixed = 16;
+/// Upper bound on a frame payload; anything larger is corruption, not a
+/// record (16 MiB ≈ a 4M-feature instance).
+inline constexpr uint32_t kWalMaxPayload = 1u << 24;
+
+/// Little-endian integer helpers shared by every writer of the format.
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+uint32_t GetU32(const char* p);
+uint64_t GetU64(const char* p);
+
+/// The 24-byte generation header for base_recorded = `base`.
+std::string EncodeWalHeader(uint64_t base);
+
+/// The record payload (seq, label, value_count, values) — the unit both
+/// the frame CRC and the replication divergence digest are computed over.
+std::string EncodeWalRecordPayload(const Instance& x, Label y, uint64_t seq);
+
+/// A full frame: u32 length + u32 masked CRC + payload.
+std::string EncodeWalFrame(const Instance& x, Label y, uint64_t seq);
+
+/// One salvaged record.
+struct WalFrame {
+  uint64_t seq = 0;
+  Instance x;
+  Label y = 0;
+};
+
+/// What ScanWalSegment found in a byte buffer holding a WAL segment.
+struct WalSegmentView {
+  /// Header present, version-matched and checksum-valid. When false the
+  /// segment is unusable and every other field is zero/empty.
+  bool header_ok = false;
+  /// base_recorded from the header.
+  uint64_t base_recorded = 0;
+  /// Bytes of the valid prefix (header + whole valid frames). Everything
+  /// past it is torn, corrupt, or a duplicated tail.
+  size_t valid_end = 0;
+  /// Largest sequence in the valid prefix; meaningful when has_seq.
+  uint64_t last_seq = 0;
+  bool has_seq = false;
+  /// Salvaged records, in append (= sequence) order.
+  std::vector<WalFrame> frames;
+};
+
+/// Salvage-prefix scan of `content`: decodes whole checksum-valid frames
+/// with strictly increasing sequence numbers and stops at the first torn,
+/// corrupt or non-monotonic frame — never resurrecting a record past the
+/// first bad byte. Works on any byte source (a file read, a shipped
+/// segment, a socket buffer).
+WalSegmentView ScanWalSegment(const std::string& content);
+
+}  // namespace cce::io
+
+#endif  // CCE_IO_WAL_SEGMENT_H_

@@ -8,117 +8,9 @@
 
 #include "io/atomic_file.h"
 #include "io/serialize.h"
+#include "io/shard_snapshot.h"
 
 namespace cce::serving {
-namespace {
-
-/// First line of a shard snapshot file. The wrapper carries the number of
-/// records the snapshot covers (everything the shard had recorded when it
-/// was written), which closes the torn-compaction window: a crash between
-/// snapshot write and WAL reset would otherwise replay the log's frames on
-/// top of the snapshot rows that already contain them. A third line stores
-/// the global arrival sequence of every window row ("seqs s0 s1 ..."), so
-/// a multi-shard restart can re-merge the shards' windows into the exact
-/// cross-shard arrival order.
-constexpr char kSnapshotMagic[] = "CCESNAP 1";
-
-/// A recovered snapshot must describe the same feature space as the live
-/// schema: feature/label names and domain sizes all line up. Anything else
-/// means the directory belongs to a different deployment — the one damage
-/// class that is *not* quarantined away (see class comment).
-Status CheckSchemaCompatible(const Schema& live, const Schema& stored) {
-  if (live.num_features() != stored.num_features()) {
-    return Status::InvalidArgument(
-        "recovered snapshot has " + std::to_string(stored.num_features()) +
-        " features, schema expects " + std::to_string(live.num_features()));
-  }
-  for (FeatureId f = 0; f < live.num_features(); ++f) {
-    if (live.FeatureName(f) != stored.FeatureName(f)) {
-      return Status::InvalidArgument("recovered snapshot feature " +
-                                     std::to_string(f) + " is '" +
-                                     stored.FeatureName(f) + "', expected '" +
-                                     live.FeatureName(f) + "'");
-    }
-    if (live.DomainSize(f) < stored.DomainSize(f)) {
-      return Status::InvalidArgument(
-          "recovered snapshot domain of '" + live.FeatureName(f) +
-          "' is larger than the live schema's");
-    }
-  }
-  if (live.num_labels() < stored.num_labels()) {
-    return Status::InvalidArgument(
-        "recovered snapshot has more labels than the live schema");
-  }
-  return Status::Ok();
-}
-
-struct LoadedSnapshot {
-  Dataset rows;
-  /// Records covered by this snapshot (valid only with the wrapper; a
-  /// legacy headerless snapshot reports covers_valid = false).
-  uint64_t covers = 0;
-  bool covers_valid = false;
-  /// Global arrival sequence of each row, same length as `rows` (valid
-  /// only with the wrapper; legacy rows get fresh sequences assigned).
-  std::vector<uint64_t> seqs;
-};
-
-Result<LoadedSnapshot> LoadShardSnapshot(io::Env* env,
-                                         const std::string& path) {
-  std::string content;
-  CCE_RETURN_IF_ERROR(env->ReadFileToString(path, &content));
-  std::istringstream in(content);
-  uint64_t covers = 0;
-  bool covers_valid = false;
-  std::vector<uint64_t> seqs;
-  if (content.rfind(kSnapshotMagic, 0) == 0) {
-    std::string line;
-    std::getline(in, line);  // magic
-    if (!std::getline(in, line) || line.rfind("covers ", 0) != 0) {
-      return Status::IoError("snapshot '" + path +
-                             "' has a corrupt covers line");
-    }
-    const std::string digits = line.substr(7);
-    if (digits.empty() ||
-        digits.find_first_not_of("0123456789") != std::string::npos) {
-      return Status::IoError("snapshot '" + path +
-                             "' has a corrupt covers value");
-    }
-    covers = std::strtoull(digits.c_str(), nullptr, 10);
-    covers_valid = true;
-    if (!std::getline(in, line) || line.rfind("seqs", 0) != 0) {
-      return Status::IoError("snapshot '" + path +
-                             "' has a corrupt seqs line");
-    }
-    std::istringstream seq_in(line.substr(4));
-    uint64_t prev = 0;
-    std::string token;
-    while (seq_in >> token) {
-      if (token.find_first_not_of("0123456789") != std::string::npos) {
-        return Status::IoError("snapshot '" + path +
-                               "' has a corrupt seqs value");
-      }
-      const uint64_t seq = std::strtoull(token.c_str(), nullptr, 10);
-      if (!seqs.empty() && seq <= prev) {
-        return Status::IoError("snapshot '" + path +
-                               "' has non-increasing seqs");
-      }
-      seqs.push_back(seq);
-      prev = seq;
-    }
-  }
-  CCE_ASSIGN_OR_RETURN(Dataset rows, io::LoadDataset(&in));
-  if (covers_valid && seqs.size() != rows.size()) {
-    return Status::IoError(
-        "snapshot '" + path + "' has " + std::to_string(seqs.size()) +
-        " seqs for " + std::to_string(rows.size()) + " rows");
-  }
-  LoadedSnapshot loaded{std::move(rows), covers, covers_valid,
-                        std::move(seqs)};
-  return loaded;
-}
-
-}  // namespace
 
 ContextShard::ContextShard(std::shared_ptr<const Schema> schema,
                            const Options& options,
@@ -152,8 +44,18 @@ void ContextShard::SetStateLocked(State state) {
   }
 }
 
-Status ContextShard::QuarantineLocked(const std::string& reason) {
+Status ContextShard::QuarantineLocked(const std::string& reason,
+                                      const char* cause) {
   quarantine_reason_ = reason;
+  last_quarantine_reason_ = reason;
+  last_quarantine_cause_ = cause;
+  if (std::string(cause) == "snapshot") {
+    if (ins_.shard_quarantines_snapshot != nullptr) {
+      ins_.shard_quarantines_snapshot->Increment();
+    }
+  } else if (ins_.shard_quarantines_wal != nullptr) {
+    ins_.shard_quarantines_wal->Increment();
+  }
   wal_.reset();
   window_.clear();
   window_size_.store(0, std::memory_order_release);
@@ -187,17 +89,19 @@ Status ContextShard::Recover(std::atomic<uint64_t>* seq) {
   std::lock_guard<std::mutex> lock(mu_);
   if (options_.wal_path.empty()) return Status::Ok();  // in-memory shard
 
-  LoadedSnapshot snapshot{Dataset(schema_), 0, false};
+  io::LoadedShardSnapshot snapshot;
+  snapshot.rows = Dataset(schema_);
   if (env_->FileExists(options_.snapshot_path)) {
-    auto loaded = LoadShardSnapshot(env_, options_.snapshot_path);
+    auto loaded = io::LoadShardSnapshot(env_, options_.snapshot_path);
     if (!loaded.ok()) {
       return QuarantineLocked("shard " + std::to_string(options_.index) +
-                              " snapshot unrecoverable: " +
-                              loaded.status().message());
+                                  " snapshot unrecoverable: " +
+                                  loaded.status().message(),
+                              "snapshot");
     }
     snapshot = std::move(loaded).value();
     Status compatible =
-        CheckSchemaCompatible(*schema_, snapshot.rows.schema());
+        io::CheckShardSchemaCompatible(*schema_, snapshot.rows.schema());
     // A schema clash is the hard failure that must stop Create: serving
     // another deployment's context would silently mis-explain everything.
     CCE_RETURN_IF_ERROR(compatible);
@@ -218,10 +122,16 @@ Status ContextShard::Recover(std::atomic<uint64_t>* seq) {
                                      &stats);
   if (!opened.ok()) {
     return QuarantineLocked("shard " + std::to_string(options_.index) +
-                            " wal unrecoverable: " +
-                            opened.status().message());
+                                " wal unrecoverable: " +
+                                opened.status().message(),
+                            "wal");
   }
   wal_ = std::move(opened).value();
+  last_salvage_truncated_bytes_ = stats.bytes_discarded;
+  if (ins_.shard_salvage_truncated_bytes != nullptr) {
+    ins_.shard_salvage_truncated_bytes->Set(
+        static_cast<int64_t>(stats.bytes_discarded));
+  }
 
   // Torn-compaction healing: a crash after the snapshot rename but before
   // the WAL reset leaves log frames that the snapshot already contains.
@@ -395,7 +305,7 @@ Status ContextShard::CompactLocked() {
   for (const Row& row : window_) rows.Add(row.x, row.y);
   Status wrote = io::AtomicWriteFile(
       env_, options_.snapshot_path, [&](std::ostream* out) {
-        *out << kSnapshotMagic << "\n"
+        *out << io::kShardSnapshotMagic << "\n"
              << "covers " << covers << "\n"
              << "seqs";
         for (const Row& row : window_) *out << ' ' << row.seq;
@@ -484,6 +394,21 @@ bool ContextShard::wal_poisoned() const {
 std::string ContextShard::quarantine_reason() const {
   std::lock_guard<std::mutex> lock(mu_);
   return quarantine_reason_;
+}
+
+uint64_t ContextShard::last_salvage_truncated_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_salvage_truncated_bytes_;
+}
+
+std::string ContextShard::last_quarantine_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_quarantine_reason_;
+}
+
+std::string ContextShard::last_quarantine_cause() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_quarantine_cause_;
 }
 
 }  // namespace cce::serving

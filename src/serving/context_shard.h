@@ -81,6 +81,13 @@ class ContextShard {
     obs::Counter* shard_repairs = nullptr;
     obs::Gauge* shard_quarantined = nullptr;  // 0/1
     obs::Gauge* shard_read_only = nullptr;    // 0/1
+    /// Bytes the last salvage truncated off this shard's log (gauge: the
+    /// most recent recovery's damage, not a lifetime sum).
+    obs::Gauge* shard_salvage_truncated_bytes = nullptr;
+    /// Quarantine events attributed to the file that caused them
+    /// ({cause="snapshot"} / {cause="wal"}).
+    obs::Counter* shard_quarantines_snapshot = nullptr;
+    obs::Counter* shard_quarantines_wal = nullptr;
     obs::Counter* agg_records_logged = nullptr;
     obs::Counter* agg_fsyncs = nullptr;
     obs::Counter* agg_compactions = nullptr;
@@ -158,12 +165,29 @@ class ContextShard {
   bool wal_poisoned() const;
   /// Why the shard is quarantined; empty while not quarantined.
   std::string quarantine_reason() const;
+  /// Bytes the last recovery's salvage truncated off the WAL (0 when the
+  /// log came back clean). Sticky across compactions so operators can see
+  /// the damage after the shard healed itself.
+  uint64_t last_salvage_truncated_bytes() const;
+  /// The most recent quarantine's reason and causing file ("snapshot" or
+  /// "wal"). Unlike quarantine_reason(), these survive Repair(): they
+  /// answer "what happened to this shard" rather than "what is wrong now".
+  std::string last_quarantine_reason() const;
+  std::string last_quarantine_cause() const;
   size_t index() const { return options_.index; }
 
+  /// Exclusive hold on the shard's mutex, for callers that must freeze
+  /// several shards at once (the proxy's published-sequence barrier).
+  /// While held, no Record can claim a sequence number in this shard.
+  std::unique_lock<std::mutex> AcquireLock() const {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+
  private:
-  /// Marks the shard quarantined with `reason`; returns OK (the fail-soft
+  /// Marks the shard quarantined with `reason`, attributed to the damaged
+  /// file class `cause` ("snapshot" or "wal"); returns OK (the fail-soft
   /// translation of an unrecoverable error).
-  Status QuarantineLocked(const std::string& reason);
+  Status QuarantineLocked(const std::string& reason, const char* cause);
   Status RecordLocked(const Instance& x, Label y, std::atomic<uint64_t>* seq);
   Status CompactLocked();
   /// Exports wal_->fsyncs() deltas into the per-shard + aggregate cells.
@@ -181,6 +205,9 @@ class ContextShard {
   std::unique_ptr<io::ContextWal> wal_;  // null for in-memory shards
   std::unique_ptr<DriftMonitor> drift_;
   std::string quarantine_reason_;
+  std::string last_quarantine_reason_;
+  std::string last_quarantine_cause_;
+  uint64_t last_salvage_truncated_bytes_ = 0;
   uint64_t wal_fsyncs_exported_ = 0;
 
   std::atomic<State> state_{State::kActive};

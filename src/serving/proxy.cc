@@ -5,8 +5,9 @@
 #include <thread>
 #include <utility>
 
-#include "core/srk.h"
 #include "io/atomic_file.h"
+#include "serving/read_path.h"
+#include "serving/shard_layout.h"
 
 namespace cce::serving {
 namespace {
@@ -35,33 +36,6 @@ const char* BreakerStateLabel(CircuitBreaker::State state) {
       return "half_open";
   }
   return "unknown";
-}
-
-/// On-disk name of shard `i`'s file. Shard 0 keeps the pre-sharding names
-/// ("context.wal" / "context.snapshot") so existing single-shard
-/// directories recover without migration.
-std::string ShardFileName(size_t shard, const char* ext) {
-  if (shard == 0) return std::string("context.") + ext;
-  return "context." + std::to_string(shard) + "." + ext;
-}
-
-/// Parses "context.<i>.wal" names; false for shard 0's "context.wal" and
-/// for anything else.
-bool ParseShardWalName(const std::string& name, size_t* shard) {
-  constexpr char kPrefix[] = "context.";
-  constexpr char kSuffix[] = ".wal";
-  if (name.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1) return false;
-  if (name.rfind(kPrefix, 0) != 0) return false;
-  if (name.compare(name.size() - 4, 4, kSuffix) != 0) return false;
-  const std::string digits =
-      name.substr(sizeof(kPrefix) - 1,
-                  name.size() - (sizeof(kPrefix) - 1) - 4);
-  if (digits.empty() ||
-      digits.find_first_not_of("0123456789") != std::string::npos) {
-    return false;
-  }
-  *shard = static_cast<size_t>(std::strtoull(digits.c_str(), nullptr, 10));
-  return true;
 }
 
 }  // namespace
@@ -250,6 +224,26 @@ void ExplainableProxy::InitInstruments() {
         "cce_shard_read_only",
         "1 while this shard is read-only (poisoned WAL awaiting rewrite).",
         labels);
+    cells.shard_salvage_truncated_bytes = reg.GetGauge(
+        "cce_shard_salvage_truncated_bytes",
+        "Bytes the last recovery's salvage truncated off this shard's WAL "
+        "(0 = the log came back clean).",
+        labels);
+    {
+      obs::Labels cause_labels = labels;
+      cause_labels.push_back({"cause", "snapshot"});
+      cells.shard_quarantines_snapshot = reg.GetCounter(
+          "cce_shard_quarantines_total",
+          "Quarantine events for this shard, by the file class that caused "
+          "them.",
+          cause_labels);
+      cause_labels.back().second = "wal";
+      cells.shard_quarantines_wal = reg.GetCounter(
+          "cce_shard_quarantines_total",
+          "Quarantine events for this shard, by the file class that caused "
+          "them.",
+          cause_labels);
+    }
     cells.agg_records_logged = ins_.wal_records_logged;
     cells.agg_fsyncs = ins_.wal_fsyncs;
     cells.agg_compactions = ins_.wal_compactions;
@@ -522,10 +516,30 @@ std::vector<ContextShard::Row> ExplainableProxy::MergedRows() const {
 }
 
 Context ExplainableProxy::MergedContext() const {
-  const std::vector<ContextShard::Row> rows = MergedRows();
-  Context context(schema_);
-  for (const ContextShard::Row& row : rows) context.Add(row.x, row.y);
-  return context;
+  return MaterializeContext(schema_, MergedRows());
+}
+
+ReadPath ExplainableProxy::ExplainReadPath() const {
+  ReadPath path;
+  path.alpha = options_.alpha;
+  path.parallel_conformity = options_.parallel_conformity;
+  path.pool = conformity_pool_.get();
+  path.bitmap_rebuilds = ins_.bitmap_rebuilds;
+  path.conformity_shards = ins_.conformity_shards;
+  return path;
+}
+
+uint64_t ExplainableProxy::PublishedSequence() const {
+  // Freeze every shard at once (ascending index; the only multi-shard
+  // lock acquisition in the proxy, so no ordering cycle is possible).
+  // Sequence numbers are claimed and WAL-appended under the owning
+  // shard's lock, so while all locks are held there is no in-flight
+  // claim: every acknowledged record has seq < global_seq_ and is in its
+  // shard's file. That makes the value a sound replication watermark.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.push_back(shard->AcquireLock());
+  return global_seq_.load(std::memory_order_acquire);
 }
 
 bool ExplainableProxy::AnyShardQuarantined() const {
@@ -739,28 +753,13 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
     }
   }
   // The key search runs on the copy, outside every lock: a slow Explain
-  // never stalls Predict/Record traffic.
-  Srk::Options options;
-  options.alpha = options_.alpha;
-  options.deadline = deadline;
-  Srk::EngineStats engine_stats;
-  if (options_.parallel_conformity) {
-    options.parallel_conformity = true;
-    options.pool = conformity_pool_.get();
-    options.stats = &engine_stats;
-  }
+  // never stalls Predict/Record traffic. The configuration is assembled
+  // by the shared read path so a read replica searching the same rows
+  // computes the bit-identical key.
   Result<KeyResult> key = [&] {
     auto span = trace.Phase("search");
-    return Srk::ExplainInstance(context, x, y, options);
+    return SearchKey(context, x, y, deadline, ExplainReadPath());
   }();
-  if (options_.parallel_conformity) {
-    const uint64_t builds =
-        engine_stats.bitmap_builds.load(std::memory_order_relaxed);
-    if (builds > 0) ins_.bitmap_rebuilds->Add(builds);
-    const uint64_t shards =
-        engine_stats.shard_tasks.load(std::memory_order_relaxed);
-    if (shards > 0) ins_.conformity_shards->Add(shards);
-  }
   if (!key.ok()) {
     FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kError,
                 &key.status());
@@ -831,7 +830,7 @@ ExplainableProxy::Counterfactuals(const Instance& x, Label y) const {
   }
   auto result = [&] {
     auto span = trace.Phase("search");
-    return CounterfactualFinder::FindForInstance(context, x, y, {});
+    return SearchCounterfactuals(context, x, y);
   }();
   if (result.ok()) {
     FinishTrace(trace, Op::kCfs, obs::TraceOutcome::kServedFull);
@@ -903,6 +902,10 @@ HealthSnapshot ExplainableProxy::Health() const {
     health.total_recorded = shard.total_recorded();
     health.wal_poisoned = shard.wal_poisoned();
     health.quarantine_reason = shard.quarantine_reason();
+    health.last_salvage_truncated_bytes =
+        shard.last_salvage_truncated_bytes();
+    health.last_quarantine_reason = shard.last_quarantine_reason();
+    health.last_quarantine_cause = shard.last_quarantine_cause();
     if (health.state == ContextShard::State::kQuarantined) {
       ++snapshot.shards_quarantined;
     }

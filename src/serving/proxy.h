@@ -23,6 +23,7 @@
 #include "obs/trace.h"
 #include "serving/context_shard.h"
 #include "serving/overload.h"
+#include "serving/read_path.h"
 #include "serving/resilience.h"
 
 namespace cce::serving {
@@ -256,6 +257,13 @@ class ExplainableProxy {
   /// at Create.
   size_t recorded() const;
 
+  /// The replication watermark P: every acknowledged record has sequence
+  /// < P and is durably in its shard's file. Takes all shard locks for an
+  /// instant (sequence claims happen under the owning shard's lock, so
+  /// holding every lock rules out in-flight claims); cheap at sane shard
+  /// counts, but a barrier — call it per ship cycle, not per request.
+  uint64_t PublishedSequence() const;
+
   /// Number of context shards (Options::shards, clamped to >= 1).
   size_t num_shards() const { return shards_.size(); }
 
@@ -328,6 +336,10 @@ class ExplainableProxy {
 
   /// MergedRows as a Dataset (the Explain/Counterfactuals context copy).
   Context MergedContext() const;
+
+  /// The proxy's key-search configuration as a shared ReadPath (replicas
+  /// build the same structure, which is the bit-identical-keys contract).
+  ReadPath ExplainReadPath() const;
 
   /// True when any shard is quarantined (Explain's degraded-context flag).
   bool AnyShardQuarantined() const;

@@ -1,0 +1,55 @@
+#ifndef CCE_SERVING_READ_PATH_H_
+#define CCE_SERVING_READ_PATH_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/cce.h"
+#include "core/counterfactual.h"
+#include "core/dataset.h"
+#include "core/key_result.h"
+#include "obs/metrics.h"
+#include "serving/context_shard.h"
+
+namespace cce::serving {
+
+/// The one explanation read path, shared by the leader proxy and its read
+/// replicas. Both sides materialize a sequence-ordered row view into a
+/// Context and run the identical SRK search configuration through these
+/// helpers — which is what makes a caught-up replica's keys bit-identical
+/// to the leader's, not merely equivalent.
+struct ReadPath {
+  /// Conformity bound for the key search.
+  double alpha = 1.0;
+  /// Use the blocked-bitset conformity engine (keys unchanged; see
+  /// docs/algorithms.md).
+  bool parallel_conformity = false;
+  /// Worker pool for the bitset engine; null runs it serially.
+  ThreadPool* pool = nullptr;
+  /// Optional engine-stat sinks (cce_bitmap_rebuilds_total /
+  /// cce_conformity_shards_total cells); null skips the export.
+  obs::Counter* bitmap_rebuilds = nullptr;
+  obs::Counter* conformity_shards = nullptr;
+};
+
+/// Builds the search context from rows already merged into global
+/// sequence order (the caller sorts; this only materializes).
+Context MaterializeContext(std::shared_ptr<const Schema> schema,
+                           const std::vector<ContextShard::Row>& rows);
+
+/// Relative key for (x, y) against `context` under `path`'s engine
+/// configuration; exports engine stats into the path's counter sinks.
+Result<KeyResult> SearchKey(const Context& context, const Instance& x,
+                            Label y, const Deadline& deadline,
+                            const ReadPath& path);
+
+/// Closest counterfactual witnesses for (x, y) against `context`.
+Result<std::vector<RelativeCounterfactual>> SearchCounterfactuals(
+    const Context& context, const Instance& x, Label y);
+
+}  // namespace cce::serving
+
+#endif  // CCE_SERVING_READ_PATH_H_

@@ -1,0 +1,253 @@
+#ifndef CCE_SERVING_REPLICA_PROXY_H_
+#define CCE_SERVING_REPLICA_PROXY_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/cce.h"
+#include "core/counterfactual.h"
+#include "core/dataset.h"
+#include "core/key_result.h"
+#include "io/env.h"
+#include "io/ship_manifest.h"
+#include "obs/metrics.h"
+#include "serving/context_shard.h"
+#include "serving/read_path.h"
+
+namespace cce::serving {
+
+/// Follower half of WAL-shipping replication: a read-only proxy that
+/// bootstraps from a ShardLogShipper's ship directory and serves
+/// Explain/Counterfactuals from a generation-consistent view of the
+/// leader's recorded context — with keys *bit-identical* to the leader's
+/// at the same published sequence, because both sides merge rows by the
+/// same global sequence order, apply the same capacity window, and run
+/// the same ReadPath search.
+///
+/// Consistency model. Each manifest shard record carries a per-shard
+/// watermark p (complete up to p); the replica's served view is the
+/// sequence min(p) over shards it has fully applied. A shard whose
+/// shipped files are torn, divergent or unreadable is *tail-quarantined*:
+/// its last-good applied rows keep serving, its watermark stops
+/// advancing, and the whole view holds at the old watermark — stale but
+/// never inconsistent. Explains then carry degraded = true, and
+/// Health().lag_seq bounds the staleness in sequence numbers.
+///
+/// Fail-soft discipline (mirrors the leader's shards): no shipped-file
+/// damage crashes the replica or fails Create. A corrupt manifest keeps
+/// the previous view; a torn segment quarantines one shard's tail; a
+/// divergence digest mismatch triggers an automatic resync of that shard
+/// from the shipped files (dropping only replica-side state — the ship
+/// directory is the source of truth).
+///
+/// Thread safety: all public methods may be called concurrently. CatchUp,
+/// Scrub and ForceResync serialise on an internal catch-up mutex; Explain
+/// copies the view under a short lock and searches outside it.
+class ReplicaProxy {
+ public:
+  struct Options {
+    /// The ship directory a ShardLogShipper publishes into.
+    std::string ship_dir;
+    /// Rolling window capacity — must equal the leader's
+    /// context_capacity for bit-identical keys (0 = unbounded).
+    size_t context_capacity = 0;
+    /// Conformity bound — must equal the leader's alpha.
+    double alpha = 1.0;
+    /// Key-search engine configuration (see ExplainableProxy::Options);
+    /// either setting yields the same keys, only latency differs.
+    bool parallel_conformity = false;
+    size_t conformity_threads = 0;
+    /// I/O surface; null means io::Env::Default(). Tests inject
+    /// io::FaultInjectingEnv to fault the replication read path.
+    io::Env* env = nullptr;
+    /// Metric sink; null means a private registry.
+    std::shared_ptr<obs::Registry> registry;
+    /// Cadence of the background tailing loop started by Start().
+    std::chrono::milliseconds poll_interval{50};
+    /// Run the divergence scrubber every N background catch-ups; 0
+    /// disables background scrubbing (Scrub() can still be called).
+    size_t scrub_every = 8;
+  };
+
+  /// Point-in-time replica health.
+  struct Health {
+    /// The view watermark: every served row has seq < view_published,
+    /// and every leader row with seq < view_published is in the view.
+    uint64_t view_published = 0;
+    /// Watermark of the newest good manifest seen.
+    uint64_t latest_published = 0;
+    /// latest_published - view_published: staleness bound in sequences.
+    uint64_t lag_seq = 0;
+    /// True when any tail is quarantined or the last manifest load
+    /// failed: Explains are flagged degraded.
+    bool degraded = false;
+    /// False until a manifest has been loaded successfully.
+    bool manifest_ok = false;
+    uint64_t rows_in_view = 0;
+    struct Tail {
+      size_t index = 0;
+      bool bootstrapped = false;
+      bool quarantined = false;
+      /// Why the tail is quarantined ("wal", "snapshot", "divergence",
+      /// "read"); empty while healthy.
+      std::string cause;
+      uint64_t applied_rows = 0;
+      uint64_t applied_through = 0;
+      /// Snapshot generation currently applied.
+      uint64_t base = 0;
+    };
+    std::vector<Tail> tails;
+    uint64_t catchups = 0;
+    uint64_t divergences = 0;
+    uint64_t resyncs = 0;
+    uint64_t manifest_failures = 0;
+  };
+
+  /// Builds the replica and runs one catch-up (fail-soft: a missing or
+  /// damaged ship directory yields an empty, degraded view, not an
+  /// error). Fails only for invalid options. `schema` must be the
+  /// leader's schema.
+  static Result<std::unique_ptr<ReplicaProxy>> Create(
+      std::shared_ptr<const Schema> schema, const Options& options);
+
+  ~ReplicaProxy();
+  ReplicaProxy(const ReplicaProxy&) = delete;
+  ReplicaProxy& operator=(const ReplicaProxy&) = delete;
+
+  /// One synchronous catch-up pass: reload the manifest, bootstrap or
+  /// tail every shard, verify digests, advance the view. Returns OK even
+  /// when shards were quarantined (fail-soft); the error cases are
+  /// recorded in Health(). Serialised with Scrub/ForceResync.
+  Status CatchUp();
+
+  /// Divergence scrub: recompute every caught-up shard's digest from
+  /// applied state against the manifest; a mismatch counts a divergence
+  /// and resyncs the shard from the shipped files.
+  Status Scrub();
+
+  /// Drops all replica-side state and rebuilds from the ship directory
+  /// (the runbook's forced-resync operation).
+  Status ForceResync();
+
+  /// Starts/stops the background tailing thread (CatchUp every
+  /// poll_interval, Scrub every scrub_every cycles). Start is idempotent.
+  void Start();
+  void Stop();
+
+  /// Relative key for (x, y) against the replica's current view. The key
+  /// is bit-identical to the leader's Explain at the same published
+  /// sequence; `degraded` is true when the view is behind a quarantined
+  /// or failing replication path. kFailedPrecondition while the view is
+  /// empty.
+  Result<KeyResult> Explain(const Instance& x, Label y,
+                            const Deadline& deadline = {}) const;
+
+  /// Closest counterfactual witnesses from the current view.
+  Result<std::vector<RelativeCounterfactual>> Counterfactuals(
+      const Instance& x, Label y) const;
+
+  /// The served view as a Context (rows with seq < published_seq() in
+  /// arrival order, capacity-windowed) — the replica-side twin of
+  /// ExplainableProxy::ContextSnapshot().
+  Context ContextSnapshot() const;
+
+  /// The view watermark (Health().view_published).
+  uint64_t published_seq() const;
+
+  Health GetHealth() const;
+
+  obs::Registry& registry() const { return *registry_; }
+
+ private:
+  struct ShardTail {
+    bool bootstrapped = false;
+    bool quarantined = false;
+    std::string cause;
+    /// Snapshot generation (covers == wal base) currently applied.
+    uint64_t base = 0;
+    /// Applied rows of the current generation, ascending seq. Never
+    /// trimmed while the generation lives — the digest covers them all.
+    std::vector<ContextShard::Row> rows;
+    /// Manifest watermark this tail is complete up to.
+    uint64_t applied_through = 0;
+  };
+
+  ReplicaProxy(std::shared_ptr<const Schema> schema, const Options& options);
+
+  void InitInstruments();
+  /// Applies one manifest shard record to its tail (bootstrap, tail, or
+  /// quarantine). Called under mu_ with file contents already read.
+  void ApplyShard(const io::ShipManifest::Shard& entry,
+                  const std::string& snapshot_content, bool snapshot_read_ok,
+                  const std::string& wal_content, bool wal_read_ok,
+                  ShardTail* tail);
+  /// CRC-32C digest over `rows` with seq < `published` (the follower
+  /// half of the manifest digest contract).
+  static uint32_t DigestRows(const std::vector<ContextShard::Row>& rows,
+                             uint64_t published);
+  /// Recomputes the view watermark + gauges from the tails. Under mu_.
+  void PublishViewLocked();
+  /// Copies the served view (seq < view watermark, capacity-windowed).
+  std::vector<ContextShard::Row> ViewRows(bool* degraded) const;
+  Status CatchUpLocked();
+  ReadPath ExplainReadPath() const;
+  /// Lazily creates the per-shard tail-quarantined gauge.
+  obs::Gauge* TailGauge(size_t shard) const;
+
+  std::shared_ptr<const Schema> schema_;
+  Options options_;
+  io::Env* env_;
+
+  /// Serialises CatchUp/Scrub/ForceResync (file I/O happens under this,
+  /// never under mu_).
+  std::mutex catchup_mu_;
+  /// Guards tails_ + view fields. Held only for memory work.
+  mutable std::mutex mu_;
+  std::vector<ShardTail> tails_;
+  uint64_t view_published_ = 0;
+  uint64_t latest_published_ = 0;
+  bool manifest_ok_ = false;
+  /// A manifest has loaded successfully at least once (distinguishes
+  /// "leader has not shipped yet" from "the manifest went bad").
+  bool had_manifest_ = false;
+
+  std::shared_ptr<obs::Registry> registry_;
+  std::unique_ptr<ThreadPool> conformity_pool_;
+
+  /// Background tailing loop.
+  std::thread tail_thread_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+
+  obs::Gauge* lag_gauge_ = nullptr;
+  obs::Gauge* published_gauge_ = nullptr;
+  obs::Counter* catchups_ = nullptr;
+  obs::Counter* records_applied_ = nullptr;
+  obs::Counter* divergences_ = nullptr;
+  obs::Counter* resyncs_ = nullptr;
+  obs::Counter* manifest_failures_ = nullptr;
+  obs::Counter* fence_skips_ = nullptr;
+  obs::Counter* scrubs_ = nullptr;
+  obs::Counter* explains_ = nullptr;
+  obs::Counter* bitmap_rebuilds_ = nullptr;
+  obs::Counter* conformity_shards_ = nullptr;
+  obs::Histogram* explain_latency_us_ = nullptr;
+  /// Per-shard {shard="<i>"} quarantine gauges, created lazily (the
+  /// shard count is discovered from the manifest).
+  mutable std::vector<obs::Gauge*> tail_gauges_;
+};
+
+}  // namespace cce::serving
+
+#endif  // CCE_SERVING_REPLICA_PROXY_H_

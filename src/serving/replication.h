@@ -1,0 +1,102 @@
+#ifndef CCE_SERVING_REPLICATION_H_
+#define CCE_SERVING_REPLICATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/env.h"
+#include "io/ship_manifest.h"
+#include "obs/metrics.h"
+
+namespace cce::serving {
+
+/// Leader-side half of WAL-shipping replication (DESIGN.md §11): copies
+/// each context shard's current snapshot generation + valid WAL prefix
+/// from the proxy's durability directory into a ship directory, then
+/// atomically replaces the ship manifest naming the published watermark
+/// those files are complete up to. A ReplicaProxy pointed at the ship
+/// directory (a shared filesystem, an rsync target, or a test tmpdir)
+/// bootstraps and tails those files into a read-only serving view.
+///
+/// The shipper is a *reader* of the leader's files — it never holds a
+/// shard lock, so shipping cannot stall recording. Consistency comes from
+/// two fences instead:
+///
+///   - the watermark fence: the caller obtains P from
+///     ExplainableProxy::PublishedSequence() *before* Ship reads any file,
+///     so every record with seq < P is already durably in its shard's
+///     files, and the frames the copy catches beyond P are filtered by
+///     sequence on the follower;
+///   - the generation fence: a compaction racing the copy is detected by
+///     the snapshot's covers count disagreeing with the WAL header's
+///     base_recorded (they are written to agree). Ship re-reads once;
+///     a shard still torn is skipped — its previous shipped files and its
+///     previous per-shard watermark stay in the manifest, so followers
+///     simply see that shard lag rather than a wrong view.
+///
+/// Each manifest shard record also carries a digest (CRC-32C over the
+/// shipped rows' WAL payload encodings with seq < p, in sequence order):
+/// the follower's divergence scrubber recomputes the digest from applied
+/// state and forces a resync on mismatch.
+///
+/// Thread safety: Ship is not re-entrant; callers serialise ship cycles
+/// (one shipping loop per leader).
+class ShardLogShipper {
+ public:
+  struct Options {
+    /// The leader proxy's durability directory (read side).
+    std::string source_dir;
+    /// Destination directory; created if missing (parents must exist).
+    std::string ship_dir;
+    /// Leader shard count (ExplainableProxy::num_shards()).
+    size_t shards = 1;
+    /// I/O surface for both sides; null means io::Env::Default(). Tests
+    /// inject io::FaultInjectingEnv to tear shipped segments.
+    io::Env* env = nullptr;
+    /// Metric sink; null disables shipper metrics.
+    obs::Registry* registry = nullptr;
+  };
+
+  explicit ShardLogShipper(const Options& options);
+
+  /// Ships every shard's current state and publishes a manifest with
+  /// watermark `published_seq` (from the leader's PublishedSequence(),
+  /// obtained before this call). Per-shard failures are fail-soft: the
+  /// shard keeps its previous shipped files + watermark in the manifest
+  /// and the cycle continues. Only a manifest write failure fails Ship —
+  /// without a new manifest the cycle changed nothing a follower reads.
+  Status Ship(uint64_t published_seq);
+
+  /// The manifest written by the last successful Ship; nullopt before the
+  /// first one. Test/diagnostic accessor.
+  const std::optional<io::ShipManifest>& last_manifest() const {
+    return last_manifest_;
+  }
+
+ private:
+  /// Reads, fences and ships one shard; fills `entry` on success.
+  Status ShipShard(size_t shard, uint64_t published_seq,
+                   io::ShipManifest::Shard* entry);
+  /// One read + fence attempt for ShipShard (which retries once).
+  Status ReadShardState(size_t shard, std::string* snapshot_content,
+                        bool* has_snapshot, std::string* wal_content);
+
+  Options options_;
+  io::Env* env_;
+  bool ship_dir_ready_ = false;
+  /// Previous cycle's manifest entries, reused for fence-skipped shards.
+  std::vector<std::optional<io::ShipManifest::Shard>> last_entries_;
+  std::optional<io::ShipManifest> last_manifest_;
+
+  obs::Counter* cycles_ = nullptr;
+  obs::Counter* shard_skips_ = nullptr;
+  obs::Counter* shipped_bytes_ = nullptr;
+  obs::Gauge* published_seq_gauge_ = nullptr;
+};
+
+}  // namespace cce::serving
+
+#endif  // CCE_SERVING_REPLICATION_H_

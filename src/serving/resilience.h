@@ -204,6 +204,12 @@ struct HealthSnapshot {
     bool wal_poisoned = false;
     /// Non-empty while quarantined: what recovery could not salvage.
     std::string quarantine_reason;
+    /// Bytes the last recovery's salvage truncated off this shard's WAL.
+    uint64_t last_salvage_truncated_bytes = 0;
+    /// Most recent quarantine, surviving Repair(): why, and which file
+    /// class caused it ("snapshot" or "wal"; empty = never quarantined).
+    std::string last_quarantine_reason;
+    std::string last_quarantine_cause;
   };
   std::vector<ShardHealth> shards;
   uint64_t shards_quarantined = 0;

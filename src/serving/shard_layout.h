@@ -1,0 +1,54 @@
+#ifndef CCE_SERVING_SHARD_LAYOUT_H_
+#define CCE_SERVING_SHARD_LAYOUT_H_
+
+#include <cstdlib>
+#include <string>
+
+namespace cce::serving {
+
+/// On-disk naming of a durability directory's shard files, shared by the
+/// proxy (which writes them), the log shipper (which reads them for
+/// replication) and the orphan-adoption sweep.
+
+/// Name of shard `i`'s file with extension `ext` ("wal" / "snapshot").
+/// Shard 0 keeps the pre-sharding names ("context.wal" /
+/// "context.snapshot") so existing single-shard directories recover
+/// without migration.
+inline std::string ShardFileName(size_t shard, const char* ext) {
+  if (shard == 0) return std::string("context.") + ext;
+  return "context." + std::to_string(shard) + "." + ext;
+}
+
+/// Parses "context.<i>.wal" names; false for shard 0's "context.wal" and
+/// for anything else.
+inline bool ParseShardWalName(const std::string& name, size_t* shard) {
+  constexpr char kPrefix[] = "context.";
+  constexpr char kSuffix[] = ".wal";
+  if (name.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1) return false;
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  if (name.compare(name.size() - 4, 4, kSuffix) != 0) return false;
+  const std::string digits =
+      name.substr(sizeof(kPrefix) - 1,
+                  name.size() - (sizeof(kPrefix) - 1) - 4);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *shard = static_cast<size_t>(std::strtoull(digits.c_str(), nullptr, 10));
+  return true;
+}
+
+/// Name of shard `i`'s shipped file in a replication ship directory
+/// ("shard.<i>.wal" / "shard.<i>.snapshot"). Deliberately distinct from
+/// the durability-dir names so a ship dir can never be mistaken for (or
+/// recovered as) a proxy directory.
+inline std::string ShippedShardFileName(size_t shard, const char* ext) {
+  return "shard." + std::to_string(shard) + "." + ext;
+}
+
+/// The ship directory's manifest file (io::ShipManifest).
+inline constexpr char kShipManifestName[] = "MANIFEST";
+
+}  // namespace cce::serving
+
+#endif  // CCE_SERVING_SHARD_LAYOUT_H_

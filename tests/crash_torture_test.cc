@@ -78,9 +78,10 @@ TEST(CrashTortureTest, KillRecoverLoopNeverLosesAcknowledgedRecords) {
   size_t quarantines_seen = 0;
   size_t repairs_done = 0;
 
+  const uint64_t base_seed = cce::testing::FaultScheduleSeed(1000);
   for (size_t iter = 0; iter < kIterations; ++iter) {
     io::FaultInjectingEnv::Options fault_options;
-    fault_options.seed = 1000 + iter;
+    fault_options.seed = base_seed + iter;
     if (iter % 4 != 3) {  // every 4th iteration runs fault-free
       fault_options.write_error_probability = 0.02;
       fault_options.torn_write_probability = 0.01;
@@ -105,7 +106,8 @@ TEST(CrashTortureTest, KillRecoverLoopNeverLosesAcknowledgedRecords) {
     auto created = ExplainableProxy::Create(data.schema_ptr(), nullptr,
                                             options);
     ASSERT_TRUE(created.ok())
-        << "iteration " << iter << ": " << created.status().ToString();
+        << "iteration " << iter << " (CCE_FAULT_SEED="
+        << fault_options.seed << "): " << created.status().ToString();
     ExplainableProxy& proxy = **created;
 
     // Invariant 2: acknowledged records of non-quarantined shards are back.
@@ -126,7 +128,8 @@ TEST(CrashTortureTest, KillRecoverLoopNeverLosesAcknowledgedRecords) {
         continue;
       }
       ASSERT_TRUE(IsSubsequence(oracle[shard], recovered[shard]))
-          << "iteration " << iter << " shard " << shard << " lost "
+          << "iteration " << iter << " (CCE_FAULT_SEED="
+          << fault_options.seed << ") shard " << shard << " lost "
           << "acknowledged records (" << oracle[shard].size()
           << " expected, " << recovered[shard].size() << " recovered)";
       // Re-baseline on what is actually in the window so resurrected rows

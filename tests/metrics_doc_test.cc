@@ -16,6 +16,8 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "serving/proxy.h"
+#include "serving/replica_proxy.h"
+#include "serving/replication.h"
 #include "tests/test_util.h"
 
 #ifndef CCE_SOURCE_DIR
@@ -84,6 +86,24 @@ TEST(MetricsDocTest, DocAndLiveRegistryAgreeExactly) {
   // given; bind them here so the doc must cover them too.
   ThreadPool pool(1);
   obs::ThreadPoolGauges pool_gauges(&registry, &pool, "explain_many");
+
+  // The replication pair registers its families in the same registry; one
+  // ship + catch-up cycle also creates the lazy per-shard tail gauge.
+  const std::string ship_dir = ::testing::TempDir() + "/metrics_doc_ship";
+  ShardLogShipper::Options ship_options;
+  ship_options.source_dir = dir;
+  ship_options.ship_dir = ship_dir;
+  ship_options.shards = 1;
+  ship_options.registry = &registry;
+  ShardLogShipper shipper(ship_options);
+  ASSERT_TRUE(shipper.Ship((*proxy)->PublishedSequence()).ok());
+  ReplicaProxy::Options replica_options;
+  replica_options.ship_dir = ship_dir;
+  // Non-owning alias: the replica reports into the proxy's registry.
+  replica_options.registry =
+      std::shared_ptr<obs::Registry>(std::shared_ptr<void>(), &registry);
+  auto replica = ReplicaProxy::Create(fig2.schema, replica_options);
+  ASSERT_TRUE(replica.ok());
 
   std::map<std::string, std::string> live;
   for (const auto& family : registry.Collect()) {

@@ -1,0 +1,285 @@
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "serving/context_shard.h"
+#include "serving/proxy.h"
+#include "serving/replica_proxy.h"
+#include "serving/replication.h"
+#include "tests/test_util.h"
+
+namespace cce::serving {
+namespace {
+
+/// Dual kill-and-recover torture for the replication pipeline: every
+/// iteration builds a fresh leader AND a fresh follower over the same
+/// directories (neither gets a clean shutdown — the kill points), with
+/// *separate* seeded fault injectors on the leader/shipper I/O path and
+/// on the follower catch-up path. Invariants:
+///
+///   1. Neither Create() ever fails — damage quarantines (leader shards
+///      or follower tails), it never kills a process.
+///   2. The follower never serves a torn view: lag accounting stays
+///      coherent and Explain either serves or reports an empty view.
+///   3. A degraded replication path is visible (degraded flag + cause).
+///   4. With faults switched off, one clean ship + catch-up re-converges
+///      the follower to the leader bit-for-bit.
+///
+/// Iterations default to 25 (tier-1 budget); `scripts/check.sh
+/// SUITE=replica` exports CCE_REPLICA_ITERS=200 for the full gate
+/// (ASan-clean). Replay a CI failure with CCE_FAULT_SEED=<seed>.
+
+size_t IterationBudget() {
+  const char* raw = std::getenv("CCE_REPLICA_ITERS");
+  if (raw == nullptr) return 25;
+  const long parsed = std::strtol(raw, nullptr, 10);
+  return parsed > 0 ? static_cast<size_t>(parsed) : 25;
+}
+
+void WipeDir(const std::string& dir) {
+  std::vector<std::string> names;
+  if (io::Env::Default()->ListDir(dir, &names).ok()) {
+    for (const std::string& entry : names) {
+      (void)io::Env::Default()->RemoveFile(dir + "/" + entry);
+    }
+  }
+}
+
+TEST(ReplicaTortureTest, DualKillRecoverLoopStaysConsistent) {
+  const size_t kShards = 4;
+  const size_t kIterations = IterationBudget();
+  const std::string leader_dir = ::testing::TempDir() + "/repl_torture_leader";
+  const std::string ship_dir = ::testing::TempDir() + "/repl_torture_ship";
+  WipeDir(leader_dir);
+  WipeDir(ship_dir);
+
+  Dataset data = cce::testing::RandomContext(300, 4, 2, 17, /*noise=*/0.1);
+  Rng rng(20260808);
+  const uint64_t base_seed = cce::testing::FaultScheduleSeed(5000);
+
+  size_t leader_quarantines = 0;
+  size_t tail_quarantines = 0;
+  size_t manifest_failures = 0;
+  size_t fence_or_skip_cycles = 0;
+  size_t degraded_views = 0;
+
+  for (size_t iter = 0; iter < kIterations; ++iter) {
+    // Two independent fault schedules: the leader/shipper side and the
+    // follower side fail on their own clocks, like separate machines.
+    const uint64_t leader_seed = base_seed + 2 * iter;
+    const uint64_t follower_seed = base_seed + 2 * iter + 1;
+    io::FaultInjectingEnv::Options leader_faults;
+    leader_faults.seed = leader_seed;
+    io::FaultInjectingEnv::Options follower_faults;
+    follower_faults.seed = follower_seed;
+    if (iter % 4 != 3) {  // every 4th iteration runs fault-free
+      leader_faults.write_error_probability = 0.02;
+      leader_faults.torn_write_probability = 0.02;
+      leader_faults.sync_error_probability = 0.01;
+      leader_faults.read_error_probability = 0.01;
+      follower_faults.read_error_probability = 0.03;
+      follower_faults.short_read_probability = 0.02;
+    }
+    io::FaultInjectingEnv leader_env(io::Env::Default(), leader_faults);
+    io::FaultInjectingEnv follower_env(io::Env::Default(), follower_faults);
+
+    ExplainableProxy::Options leader_options;
+    leader_options.monitor_drift = false;
+    leader_options.shards = kShards;
+    leader_options.durability.dir = leader_dir;
+    leader_options.durability.sync_every = 1;
+    leader_options.durability.compact_threshold_bytes = 8 * 1024;
+    leader_options.durability.env = &leader_env;
+    auto leader_or =
+        ExplainableProxy::Create(data.schema_ptr(), nullptr, leader_options);
+    ASSERT_TRUE(leader_or.ok())
+        << "iteration " << iter << " (CCE_FAULT_SEED=" << leader_seed
+        << "): " << leader_or.status().ToString();
+    ExplainableProxy& leader = **leader_or;
+
+    // Keep the leader making progress: repair about half the quarantined
+    // shards so some iterations ship fresh generations from base 0.
+    HealthSnapshot leader_health = leader.Health();
+    for (size_t shard = 0; shard < kShards; ++shard) {
+      if (leader_health.shards[shard].state ==
+          ContextShard::State::kQuarantined) {
+        ++leader_quarantines;
+        if (rng.Bernoulli(0.5)) {
+          // Repair itself runs through the faulty env, so it may fail
+          // with a clean injected I/O error; anything else is a bug.
+          Status repaired = leader.RepairShard(shard);
+          EXPECT_TRUE(repaired.ok() ||
+                      repaired.code() == StatusCode::kIoError)
+              << repaired.ToString();
+        }
+      }
+    }
+
+    // A write burst through the faulty env; rejected writes are fine as
+    // long as they speak the fault vocabulary.
+    const size_t burst = 8 + rng.Uniform(24);
+    for (size_t i = 0; i < burst; ++i) {
+      const size_t row = rng.Uniform(data.size());
+      Status recorded = leader.Record(data.instance(row), data.label(row));
+      if (!recorded.ok()) {
+        ASSERT_TRUE(recorded.code() == StatusCode::kUnavailable ||
+                    recorded.code() == StatusCode::kIoError)
+            << recorded.ToString();
+      }
+    }
+
+    // Ship through the leader-side faults. Fail-soft contract: shard-level
+    // damage skips shards (stale manifest entries), only a manifest write
+    // failure surfaces — and even that must be a clean I/O error.
+    ShardLogShipper::Options ship_options;
+    ship_options.source_dir = leader_dir;
+    ship_options.ship_dir = ship_dir;
+    ship_options.shards = kShards;
+    ship_options.env = &leader_env;
+    ShardLogShipper shipper(ship_options);
+    const size_t cycles = 1 + rng.Uniform(3);
+    for (size_t c = 0; c < cycles; ++c) {
+      Status shipped = shipper.Ship(leader.PublishedSequence());
+      if (!shipped.ok()) {
+        ASSERT_EQ(shipped.code(), StatusCode::kIoError)
+            << "iteration " << iter << " (CCE_FAULT_SEED=" << leader_seed
+            << "): " << shipped.ToString();
+        ++fence_or_skip_cycles;
+      }
+    }
+
+    // Invariant 1, follower half: Create bootstraps fail-soft through the
+    // follower-side faults, whatever state the ship directory is in.
+    ReplicaProxy::Options replica_options;
+    replica_options.ship_dir = ship_dir;
+    replica_options.env = &follower_env;
+    auto replica_or =
+        ReplicaProxy::Create(data.schema_ptr(), replica_options);
+    ASSERT_TRUE(replica_or.ok())
+        << "iteration " << iter << " (CCE_FAULT_SEED=" << follower_seed
+        << "): " << replica_or.status().ToString();
+    ReplicaProxy& replica = **replica_or;
+    CCE_CHECK_OK(replica.CatchUp());
+    if (rng.Bernoulli(0.5)) CCE_CHECK_OK(replica.Scrub());
+    if (rng.Bernoulli(0.2)) CCE_CHECK_OK(replica.ForceResync());
+
+    // Invariants 2 + 3: the view the follower serves is coherent.
+    ReplicaProxy::Health health = replica.GetHealth();
+    EXPECT_LE(health.view_published, health.latest_published)
+        << "iteration " << iter;
+    EXPECT_EQ(health.lag_seq,
+              health.latest_published - health.view_published)
+        << "iteration " << iter;
+    tail_quarantines += static_cast<size_t>(
+        std::count_if(health.tails.begin(), health.tails.end(),
+                      [](const ReplicaProxy::Health::Tail& tail) {
+                        return tail.quarantined;
+                      }));
+    manifest_failures += health.manifest_failures;
+    if (health.degraded) ++degraded_views;
+    for (const ReplicaProxy::Health::Tail& tail : health.tails) {
+      if (tail.quarantined) {
+        EXPECT_TRUE(health.degraded) << "iteration " << iter;
+        EXPECT_FALSE(tail.cause.empty()) << "iteration " << iter;
+      }
+    }
+
+    const Context view = replica.ContextSnapshot();
+    EXPECT_EQ(view.size(), health.rows_in_view) << "iteration " << iter;
+    auto key = replica.Explain(data.instance(0), data.label(0));
+    if (view.size() == 0) {
+      EXPECT_FALSE(key.ok()) << "an empty view must not explain";
+    } else {
+      ASSERT_TRUE(key.ok())
+          << "iteration " << iter << " (CCE_FAULT_SEED=" << follower_seed
+          << "): " << key.status().ToString();
+      if (health.degraded) {
+        EXPECT_TRUE(key->degraded)
+            << "iteration " << iter
+            << ": serving through a damaged replication path must say so";
+      }
+    }
+    // Both sides are dropped here with no clean shutdown — the dual kill.
+  }
+
+  // Invariant 4: faults off, everything re-converges bit-for-bit.
+  ExplainableProxy::Options leader_options;
+  leader_options.monitor_drift = false;
+  leader_options.shards = kShards;
+  leader_options.durability.dir = leader_dir;
+  leader_options.durability.sync_every = 1;
+  auto leader_or =
+      ExplainableProxy::Create(data.schema_ptr(), nullptr, leader_options);
+  ASSERT_TRUE(leader_or.ok()) << leader_or.status().ToString();
+  ExplainableProxy& leader = **leader_or;
+  HealthSnapshot leader_health = leader.Health();
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    if (leader_health.shards[shard].state ==
+        ContextShard::State::kQuarantined) {
+      CCE_CHECK_OK(leader.RepairShard(shard));
+    }
+  }
+  for (size_t row = 0; row < 32; ++row) {
+    CCE_CHECK_OK(leader.Record(data.instance(row), data.label(row)));
+  }
+
+  ShardLogShipper::Options ship_options;
+  ship_options.source_dir = leader_dir;
+  ship_options.ship_dir = ship_dir;
+  ship_options.shards = kShards;
+  ShardLogShipper clean_shipper(ship_options);
+  const uint64_t published = leader.PublishedSequence();
+  CCE_CHECK_OK(clean_shipper.Ship(published));
+
+  ReplicaProxy::Options replica_options;
+  replica_options.ship_dir = ship_dir;
+  auto replica_or = ReplicaProxy::Create(data.schema_ptr(), replica_options);
+  ASSERT_TRUE(replica_or.ok()) << replica_or.status().ToString();
+  ReplicaProxy& replica = **replica_or;
+  CCE_CHECK_OK(replica.Scrub());
+
+  EXPECT_EQ(replica.published_seq(), published);
+  ReplicaProxy::Health health = replica.GetHealth();
+  EXPECT_FALSE(health.degraded)
+      << "a clean ship cycle must clear every quarantine";
+  const Context leader_ctx = leader.ContextSnapshot();
+  const Context replica_ctx = replica.ContextSnapshot();
+  ASSERT_EQ(leader_ctx.size(), replica_ctx.size());
+  for (size_t row = 0; row < leader_ctx.size(); ++row) {
+    ASSERT_EQ(leader_ctx.instance(row), replica_ctx.instance(row)) << row;
+    ASSERT_EQ(leader_ctx.label(row), replica_ctx.label(row)) << row;
+  }
+  for (size_t probe = 0; probe < 6; ++probe) {
+    auto expected = leader.Explain(data.instance(probe), data.label(probe));
+    auto actual = replica.Explain(data.instance(probe), data.label(probe));
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    EXPECT_EQ(actual->key, expected->key) << "probe " << probe;
+    EXPECT_EQ(actual->pick_order, expected->pick_order) << "probe " << probe;
+    EXPECT_EQ(actual->achieved_alpha, expected->achieved_alpha)
+        << "probe " << probe;
+    EXPECT_EQ(actual->satisfied, expected->satisfied) << "probe " << probe;
+  }
+
+  // Over a full torture budget the schedules must have actually hurt:
+  // soft-expect the failure machinery fired (not asserted for small
+  // tier-1 budgets).
+  if (kIterations >= 200) {
+    EXPECT_GT(leader_quarantines + tail_quarantines + manifest_failures +
+                  fence_or_skip_cycles,
+              0u)
+        << "200 faulty iterations never exercised a failure path";
+    EXPECT_GT(degraded_views, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cce::serving

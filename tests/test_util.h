@@ -1,6 +1,8 @@
 #ifndef CCE_TESTS_TEST_UTIL_H_
 #define CCE_TESTS_TEST_UTIL_H_
 
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +12,21 @@
 #include "core/schema.h"
 
 namespace cce::testing {
+
+/// Base seed for every FaultInjectingEnv schedule in the fault-injection
+/// suites. Defaults to `fallback`; the CCE_FAULT_SEED environment
+/// variable overrides it, so a torture-test failure seen in CI can be
+/// replayed locally with the exact same fault schedule
+/// (CCE_FAULT_SEED=<seed> ctest -R ...). Tests add their iteration index
+/// on top and print the effective seed in failure messages.
+inline uint64_t FaultScheduleSeed(uint64_t fallback) {
+  const char* raw = std::getenv("CCE_FAULT_SEED");
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<uint64_t>(parsed);
+}
 
 /// The example context of the paper's Figure 2 (features Gender, Income,
 /// Credit, Dependent; 7 loan instances x0..x6). The relative key for x0 is
