@@ -36,12 +36,22 @@
 # The follower must never crash, never serve a torn view, and re-converge
 # bit-for-bit once faults stop. Failures print the CCE_FAULT_SEED to replay.
 #
+# SUITE=ha is the self-healing serving-group gate: AddressSanitizer build
+# of the HaTorture suite with CCE_HA_ITERS=200 — kill-and-recover cycles
+# over a leader + replica + failover router + supervisor, with independent
+# fault injectors on the leader's durability path and the replica's
+# catch-up path. The group must keep answering, never serve a wrong
+# non-degraded key, and converge back to fully-healthy with ZERO manual
+# repair calls (the supervisor is the only repair authority). Failures
+# print the CCE_FAULT_SEED to replay.
+#
 # Usage: scripts/check.sh [extra ctest args...]
 #   BUILD_DIR=build-asan JOBS=8 scripts/check.sh -R ProxyTest
 #   SUITE=stress scripts/check.sh
 #   SUITE=docs scripts/check.sh
 #   SUITE=crash scripts/check.sh
 #   SUITE=replica scripts/check.sh
+#   SUITE=ha scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,7 +64,7 @@ BUILD_TARGETS=()
 if [[ "$SUITE" == "stress" ]]; then
   SANITIZER=thread
   export CCE_STRESS=1
-  SUITE_ARGS=(-R 'Overload|TokenBucket|ProxyConcurrency|ProxyDurability|ContextWal|ThreadPool|ConformityStress|EngineEquivalence|ShardEquivalence|ReplicaStaleness')
+  SUITE_ARGS=(-R 'Overload|TokenBucket|ProxyConcurrency|ProxyDurability|ContextWal|ThreadPool|ConformityStress|EngineEquivalence|ShardEquivalence|ReplicaStaleness|RepairIdempotency')
 elif [[ "$SUITE" == "docs" ]]; then
   python3 scripts/check_docs.py
   SUITE_ARGS=(-R 'MetricsDoc|Exposition')
@@ -67,8 +77,12 @@ elif [[ "$SUITE" == "replica" ]]; then
   SANITIZER=address
   export CCE_REPLICA_ITERS=${CCE_REPLICA_ITERS:-200}
   SUITE_ARGS=(-R 'ReplicaTorture')
+elif [[ "$SUITE" == "ha" ]]; then
+  SANITIZER=address
+  export CCE_HA_ITERS=${CCE_HA_ITERS:-200}
+  SUITE_ARGS=(-R 'HaTorture')
 elif [[ -n "$SUITE" ]]; then
-  echo "unknown SUITE='$SUITE' (expected 'stress', 'docs', 'crash', 'replica' or unset)" >&2
+  echo "unknown SUITE='$SUITE' (expected 'stress', 'docs', 'crash', 'replica', 'ha' or unset)" >&2
   exit 2
 fi
 

@@ -14,7 +14,9 @@ ReplicaProxy::ReplicaProxy(std::shared_ptr<const Schema> schema,
                            const Options& options)
     : schema_(std::move(schema)),
       options_(options),
-      env_(options.env != nullptr ? options.env : io::Env::Default()) {
+      env_(options.env != nullptr ? options.env : io::Env::Default()),
+      manifest_backoff_(options.manifest_retry),
+      backoff_rng_(options.backoff_seed) {
   registry_ = options_.registry;
   if (registry_ == nullptr) {
     registry_ = std::make_shared<obs::Registry>(obs::Registry::Options{});
@@ -49,10 +51,19 @@ Result<std::unique_ptr<ReplicaProxy>> ReplicaProxy::Create(
 
 void ReplicaProxy::InitInstruments() {
   obs::Registry& reg = *registry_;
-  lag_gauge_ = reg.GetGauge(
+  lag_hist_ = reg.GetHistogram(
       "cce_replica_lag_seq",
-      "Replication staleness bound: newest manifest watermark minus the "
-      "replica's served view watermark, in sequence numbers.");
+      "Replication staleness bound at each view publish: newest manifest "
+      "watermark minus the replica's served view watermark, in sequence "
+      "numbers (the current value is Health().lag_seq).");
+  catchup_micros_ = reg.GetHistogram(
+      "cce_replica_catchup_micros",
+      "Catch-up apply latency in microseconds: one full pass over the "
+      "ship directory (manifest + shard files + apply).");
+  backoff_gauge_ = reg.GetGauge(
+      "cce_replica_manifest_backoff_ms",
+      "Extra delay the background tail loop currently adds between polls "
+      "because manifest loads keep failing; 0 while loads succeed.");
   published_gauge_ = reg.GetGauge(
       "cce_replica_published_seq",
       "The replica's served view watermark (every served row is below "
@@ -258,53 +269,84 @@ void ReplicaProxy::PublishViewLocked() {
   const uint64_t lag = latest_published_ > view_published_
                            ? latest_published_ - view_published_
                            : 0;
-  lag_gauge_->Set(static_cast<int64_t>(lag));
+  lag_hist_->Observe(static_cast<int64_t>(lag));
 }
 
-Status ReplicaProxy::CatchUpLocked() {
-  if (catchups_ != nullptr) catchups_->Increment();
+Status ReplicaProxy::LoadShipState(io::ShipManifest* manifest,
+                                   std::vector<ShardFiles>* files,
+                                   bool* quiet) {
   auto loaded = io::LoadShipManifest(
       env_, options_.ship_dir + "/" + kShipManifestName);
   if (!loaded.ok()) {
-    const bool quiet =
+    *quiet =
         loaded.status().code() == StatusCode::kNotFound && !had_manifest_;
+    return loaded.status();
+  }
+  *manifest = std::move(loaded).value();
+  had_manifest_ = true;
+
+  // All file I/O happens before mu_ so a slow disk never blocks Explain.
+  files->assign(manifest->shards.size(), ShardFiles{});
+  for (size_t i = 0; i < manifest->shards.size(); ++i) {
+    const io::ShipManifest::Shard& entry = manifest->shards[i];
+    ShardFiles& shard_files = (*files)[i];
+    if (entry.has_snapshot) {
+      shard_files.snapshot_ok =
+          env_->ReadFileToString(
+                  options_.ship_dir + "/" +
+                      ShippedShardFileName(entry.index, "snapshot"),
+                  &shard_files.snapshot)
+              .ok();
+    }
+    if (entry.wal_bytes > 0) {
+      shard_files.wal_ok =
+          env_->ReadFileToString(options_.ship_dir + "/" +
+                                     ShippedShardFileName(entry.index, "wal"),
+                                 &shard_files.wal)
+              .ok();
+    }
+  }
+  return Status::Ok();
+}
+
+void ReplicaProxy::ArmManifestBackoff() {
+  const std::chrono::milliseconds backoff =
+      manifest_backoff_.NextBackoff(&backoff_rng_);
+  manifest_backoff_ms_.store(backoff.count(), std::memory_order_relaxed);
+  if (backoff_gauge_ != nullptr) backoff_gauge_->Set(backoff.count());
+}
+
+void ReplicaProxy::ResetManifestBackoff() {
+  if (manifest_backoff_ms_.load(std::memory_order_relaxed) == 0) return;
+  manifest_backoff_.Reset();
+  manifest_backoff_ms_.store(0, std::memory_order_relaxed);
+  if (backoff_gauge_ != nullptr) backoff_gauge_->Set(0);
+}
+
+Status ReplicaProxy::CatchUpLocked() {
+  obs::ScopedLatency catchup_latency(registry_.get(), catchup_micros_);
+  if (catchups_ != nullptr) catchups_->Increment();
+  io::ShipManifest manifest;
+  std::vector<ShardFiles> files;
+  bool quiet = false;
+  Status loaded = LoadShipState(&manifest, &files, &quiet);
+  if (!loaded.ok()) {
     if (!quiet && manifest_failures_ != nullptr) {
       manifest_failures_->Increment();
+    }
+    // Back off the tail loop only on real failures — a leader that has
+    // not shipped yet keeps being polled at full cadence.
+    if (quiet) {
+      ResetManifestBackoff();
+    } else {
+      ArmManifestBackoff();
     }
     std::lock_guard<std::mutex> lock(mu_);
     manifest_ok_ = false;
     PublishViewLocked();
     return Status::Ok();
   }
-  const io::ShipManifest manifest = std::move(loaded).value();
-  had_manifest_ = true;
-
-  // All file I/O happens before mu_ so a slow disk never blocks Explain.
-  struct ShardFiles {
-    std::string snapshot;
-    bool snapshot_ok = false;
-    std::string wal;
-    bool wal_ok = false;
-  };
-  std::vector<ShardFiles> files(manifest.shards.size());
-  for (size_t i = 0; i < manifest.shards.size(); ++i) {
-    const io::ShipManifest::Shard& entry = manifest.shards[i];
-    if (entry.has_snapshot) {
-      files[i].snapshot_ok =
-          env_->ReadFileToString(
-                  options_.ship_dir + "/" +
-                      ShippedShardFileName(entry.index, "snapshot"),
-                  &files[i].snapshot)
-              .ok();
-    }
-    if (entry.wal_bytes > 0) {
-      files[i].wal_ok =
-          env_->ReadFileToString(options_.ship_dir + "/" +
-                                     ShippedShardFileName(entry.index, "wal"),
-                                 &files[i].wal)
-              .ok();
-    }
-  }
+  ResetManifestBackoff();
 
   std::lock_guard<std::mutex> lock(mu_);
   if (tails_.size() != manifest.shards.size()) {
@@ -372,14 +414,47 @@ Status ReplicaProxy::Scrub() {
 
 Status ReplicaProxy::ForceResync() {
   std::lock_guard<std::mutex> lock(catchup_mu_);
-  {
+  io::ShipManifest manifest;
+  std::vector<ShardFiles> files;
+  bool quiet = false;
+  Status loaded = LoadShipState(&manifest, &files, &quiet);
+  if (!loaded.ok()) {
+    // No readable manifest: fall back to dropping state — the runbook
+    // hammer must still clear a replica whose ship directory is gone.
+    if (!quiet && manifest_failures_ != nullptr) {
+      manifest_failures_->Increment();
+    }
+    if (quiet) {
+      ResetManifestBackoff();
+    } else {
+      ArmManifestBackoff();
+    }
     std::lock_guard<std::mutex> state_lock(mu_);
     if (!tails_.empty() && resyncs_ != nullptr) resyncs_->Increment();
     tails_.clear();
     view_published_ = 0;
+    manifest_ok_ = false;
     PublishViewLocked();
+    return Status::Ok();
   }
-  return CatchUpLocked();
+  ResetManifestBackoff();
+
+  // Rebuild replacement tails from the shipped files *outside* mu_, then
+  // swap atomically: concurrent Explains keep serving the old view for
+  // the whole rebuild and never see a transient empty window — which is
+  // what makes ForceResync on an in-sync replica a safe no-op.
+  std::vector<ShardTail> fresh(manifest.shards.size());
+  for (size_t i = 0; i < manifest.shards.size(); ++i) {
+    ApplyShard(manifest.shards[i], files[i].snapshot, files[i].snapshot_ok,
+               files[i].wal, files[i].wal_ok, &fresh[i]);
+  }
+  std::lock_guard<std::mutex> state_lock(mu_);
+  if (!tails_.empty() && resyncs_ != nullptr) resyncs_->Increment();
+  tails_ = std::move(fresh);
+  latest_published_ = manifest.published_seq;
+  manifest_ok_ = true;
+  PublishViewLocked();
+  return Status::Ok();
 }
 
 void ReplicaProxy::Start() {
@@ -391,9 +466,14 @@ void ReplicaProxy::Start() {
     size_t cycle = 0;
     while (true) {
       {
+        // Failed manifest loads stretch the poll with decorrelated
+        // jitter so a corrupt ship directory does not burn a core.
+        const auto wait =
+            options_.poll_interval +
+            std::chrono::milliseconds(
+                manifest_backoff_ms_.load(std::memory_order_relaxed));
         std::unique_lock<std::mutex> wait_lock(stop_mu_);
-        stop_cv_.wait_for(wait_lock, options_.poll_interval,
-                          [this] { return stopping_; });
+        stop_cv_.wait_for(wait_lock, wait, [this] { return stopping_; });
         if (stopping_) return;
       }
       (void)CatchUp();
@@ -541,6 +621,8 @@ ReplicaProxy::Health ReplicaProxy::GetHealth() const {
   health.resyncs = resyncs_ != nullptr ? resyncs_->Value() : 0;
   health.manifest_failures =
       manifest_failures_ != nullptr ? manifest_failures_->Value() : 0;
+  health.manifest_backoff_ms =
+      manifest_backoff_ms_.load(std::memory_order_relaxed);
   return health;
 }
 

@@ -1,6 +1,7 @@
 #ifndef CCE_SERVING_REPLICA_PROXY_H_
 #define CCE_SERVING_REPLICA_PROXY_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/cce.h"
@@ -22,6 +24,7 @@
 #include "obs/metrics.h"
 #include "serving/context_shard.h"
 #include "serving/read_path.h"
+#include "serving/resilience.h"
 
 namespace cce::serving {
 
@@ -76,6 +79,20 @@ class ReplicaProxy {
     /// Run the divergence scrubber every N background catch-ups; 0
     /// disables background scrubbing (Scrub() can still be called).
     size_t scrub_every = 8;
+    /// Decorrelated-jitter backoff the background loop adds on top of
+    /// poll_interval after a *failed* manifest load, so a corrupt ship
+    /// directory does not burn a core retrying at full cadence. A leader
+    /// that simply has not shipped yet (quiet NotFound) never backs off.
+    /// max_attempts is ignored — the loop never gives up.
+    RetryPolicy::Options manifest_retry = [] {
+      RetryPolicy::Options retry;
+      retry.max_attempts = 1 << 20;
+      retry.initial_backoff = std::chrono::milliseconds(50);
+      retry.max_backoff = std::chrono::milliseconds(5000);
+      return retry;
+    }();
+    /// Seed for the manifest-retry jitter (deterministic schedules).
+    uint64_t backoff_seed = 42;
   };
 
   /// Point-in-time replica health.
@@ -110,6 +127,9 @@ class ReplicaProxy {
     uint64_t divergences = 0;
     uint64_t resyncs = 0;
     uint64_t manifest_failures = 0;
+    /// Extra delay the background loop currently adds between polls
+    /// because manifest loads keep failing; 0 while loads succeed.
+    int64_t manifest_backoff_ms = 0;
   };
 
   /// Builds the replica and runs one catch-up (fail-soft: a missing or
@@ -181,11 +201,30 @@ class ReplicaProxy {
     uint64_t applied_through = 0;
   };
 
+  /// One shard's shipped file contents, read before any lock is taken.
+  struct ShardFiles {
+    std::string snapshot;
+    bool snapshot_ok = false;
+    std::string wal;
+    bool wal_ok = false;
+  };
+
   ReplicaProxy(std::shared_ptr<const Schema> schema, const Options& options);
 
   void InitInstruments();
+  /// Reads the manifest and every shard's shipped files (all the file
+  /// I/O of a catch-up or resync, no locks beyond catchup_mu_). On
+  /// failure `*quiet` says whether this is the benign
+  /// leader-has-not-shipped-yet case. Under catchup_mu_.
+  Status LoadShipState(io::ShipManifest* manifest,
+                       std::vector<ShardFiles>* files, bool* quiet);
+  /// Advance / clear the tail-loop manifest backoff. Under catchup_mu_.
+  void ArmManifestBackoff();
+  void ResetManifestBackoff();
   /// Applies one manifest shard record to its tail (bootstrap, tail, or
-  /// quarantine). Called under mu_ with file contents already read.
+  /// quarantine). File contents are already read; mutates only `tail`
+  /// and (thread-safe) counters, so callers may run it on a private
+  /// tail outside mu_.
   void ApplyShard(const io::ShipManifest::Shard& entry,
                   const std::string& snapshot_content, bool snapshot_read_ok,
                   const std::string& wal_content, bool wal_read_ok,
@@ -220,6 +259,13 @@ class ReplicaProxy {
   /// "leader has not shipped yet" from "the manifest went bad").
   bool had_manifest_ = false;
 
+  /// Manifest-failure backoff state (mutated under catchup_mu_ only; the
+  /// current value is atomic so the tail loop and Health read it lock
+  /// free).
+  RetryPolicy manifest_backoff_;
+  Rng backoff_rng_;
+  std::atomic<int64_t> manifest_backoff_ms_{0};
+
   std::shared_ptr<obs::Registry> registry_;
   std::unique_ptr<ThreadPool> conformity_pool_;
 
@@ -230,7 +276,9 @@ class ReplicaProxy {
   bool stopping_ = false;
   bool started_ = false;
 
-  obs::Gauge* lag_gauge_ = nullptr;
+  obs::Histogram* lag_hist_ = nullptr;
+  obs::Histogram* catchup_micros_ = nullptr;
+  obs::Gauge* backoff_gauge_ = nullptr;
   obs::Gauge* published_gauge_ = nullptr;
   obs::Counter* catchups_ = nullptr;
   obs::Counter* records_applied_ = nullptr;

@@ -32,6 +32,24 @@ ShardLogShipper::ShardLogShipper(const Options& options)
     published_seq_gauge_ = reg.GetGauge(
         "cce_ship_published_seq",
         "Watermark of the last published ship manifest.");
+    tmp_orphans_removed_ = reg.GetCounter(
+        "cce_tmp_orphans_removed_total",
+        "Orphaned *.tmp files swept from the durability dir at startup.");
+  }
+  SweepOrphanTmpFiles();
+}
+
+void ShardLogShipper::SweepOrphanTmpFiles() {
+  std::vector<std::string> names;
+  // The ship dir is created lazily by the first Ship(); a missing or
+  // unlistable dir has nothing to sweep.
+  if (!env_->ListDir(options_.ship_dir, &names).ok()) return;
+  for (const std::string& name : names) {
+    if (!io::IsAtomicTempName(name)) continue;
+    if (env_->RemoveFile(options_.ship_dir + "/" + name).ok() &&
+        tmp_orphans_removed_ != nullptr) {
+      tmp_orphans_removed_->Increment();
+    }
   }
 }
 

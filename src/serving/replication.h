@@ -60,6 +60,10 @@ class ShardLogShipper {
     obs::Registry* registry = nullptr;
   };
 
+  /// Construction also sweeps orphaned "*.tmp.*" files out of the ship
+  /// directory (AtomicWriteFile casualties of a shipper that died between
+  /// create and rename), counted in cce_tmp_orphans_removed_total — the
+  /// same family the leader proxy sweeps its durability dir into.
   explicit ShardLogShipper(const Options& options);
 
   /// Ships every shard's current state and publishes a manifest with
@@ -83,6 +87,9 @@ class ShardLogShipper {
   /// One read + fence attempt for ShipShard (which retries once).
   Status ReadShardState(size_t shard, std::string* snapshot_content,
                         bool* has_snapshot, std::string* wal_content);
+  /// Unlinks "*.tmp.*" leftovers in the ship dir (no-op while the dir does
+  /// not exist yet).
+  void SweepOrphanTmpFiles();
 
   Options options_;
   io::Env* env_;
@@ -94,6 +101,7 @@ class ShardLogShipper {
   obs::Counter* cycles_ = nullptr;
   obs::Counter* shard_skips_ = nullptr;
   obs::Counter* shipped_bytes_ = nullptr;
+  obs::Counter* tmp_orphans_removed_ = nullptr;
   obs::Gauge* published_seq_gauge_ = nullptr;
 };
 

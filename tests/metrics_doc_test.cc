@@ -18,6 +18,8 @@
 #include "serving/proxy.h"
 #include "serving/replica_proxy.h"
 #include "serving/replication.h"
+#include "serving/serving_group.h"
+#include "serving/supervisor.h"
 #include "tests/test_util.h"
 
 #ifndef CCE_SOURCE_DIR
@@ -104,6 +106,18 @@ TEST(MetricsDocTest, DocAndLiveRegistryAgreeExactly) {
       std::shared_ptr<obs::Registry>(std::shared_ptr<void>(), &registry);
   auto replica = ReplicaProxy::Create(fig2.schema, replica_options);
   ASSERT_TRUE(replica.ok());
+
+  // The serving group and its supervisor register the cce_group_* and
+  // cce_supervisor_* families; one tick populates the labeled fault and
+  // ladder-level cells.
+  ServingGroup::Options group_options;
+  group_options.registry =
+      std::shared_ptr<obs::Registry>(std::shared_ptr<void>(), &registry);
+  auto group = ServingGroup::Create(proxy->get(), {replica->get()},
+                                    group_options);
+  ASSERT_TRUE(group.ok());
+  Supervisor supervisor(group->get());
+  supervisor.TickOnce();
 
   std::map<std::string, std::string> live;
   for (const auto& family : registry.Collect()) {
