@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Records BENCH_net.json: the network front end's two load stories
+# (sustained cache-served Explain throughput over loopback, and a 20x
+# open-loop flood that must be answered with typed RetryAfter sheds —
+# no dropped connections). See bench/bench_net.cc for the scenarios and
+# docs/operations.md ("Load-generator smoke") for the manual recipe.
+#
+# Usage: scripts/bench_net.sh            # configures+builds ${BUILD_DIR:-build}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_net
+
+"$BUILD_DIR"/bench/bench_net > BENCH_net.json
+cat BENCH_net.json

@@ -45,6 +45,15 @@
 # repair calls (the supervisor is the only repair authority). Failures
 # print the CCE_FAULT_SEED to replay.
 #
+# SUITE=net is the network-front-end torture gate: AddressSanitizer build
+# of the NetTorture suite with CCE_NET_ITERS=200 — seeded adversarial
+# clients (garbage frames, mid-frame FIN/RST kills, body_len lies,
+# slow-loris partial frames, dropped-response aborts) against a live
+# NetServer while a well-behaved pipelined client must keep completing
+# exchanges. The event loop must never crash, block the tick, or leak an
+# fd (the test takes a /proc/self/fd census). Failures print under the
+# CCE_NET_SEED that reproduces the schedule.
+#
 # Usage: scripts/check.sh [extra ctest args...]
 #   BUILD_DIR=build-asan JOBS=8 scripts/check.sh -R ProxyTest
 #   SUITE=stress scripts/check.sh
@@ -52,6 +61,7 @@
 #   SUITE=crash scripts/check.sh
 #   SUITE=replica scripts/check.sh
 #   SUITE=ha scripts/check.sh
+#   SUITE=net scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -67,8 +77,8 @@ if [[ "$SUITE" == "stress" ]]; then
   SUITE_ARGS=(-R 'Overload|TokenBucket|ProxyConcurrency|ProxyDurability|ContextWal|ThreadPool|ConformityStress|EngineEquivalence|ShardEquivalence|ReplicaStaleness|RepairIdempotency')
 elif [[ "$SUITE" == "docs" ]]; then
   python3 scripts/check_docs.py
-  SUITE_ARGS=(-R 'MetricsDoc|Exposition')
-  BUILD_TARGETS=(--target metrics_doc_test obs_exposition_test)
+  SUITE_ARGS=(-R 'MetricsDoc|ProtocolDoc|Exposition')
+  BUILD_TARGETS=(--target metrics_doc_test protocol_doc_test obs_exposition_test)
 elif [[ "$SUITE" == "crash" ]]; then
   SANITIZER=address
   export CCE_CRASH_ITERS=${CCE_CRASH_ITERS:-200}
@@ -81,8 +91,12 @@ elif [[ "$SUITE" == "ha" ]]; then
   SANITIZER=address
   export CCE_HA_ITERS=${CCE_HA_ITERS:-200}
   SUITE_ARGS=(-R 'HaTorture')
+elif [[ "$SUITE" == "net" ]]; then
+  SANITIZER=address
+  export CCE_NET_ITERS=${CCE_NET_ITERS:-200}
+  SUITE_ARGS=(-R 'NetTorture')
 elif [[ -n "$SUITE" ]]; then
-  echo "unknown SUITE='$SUITE' (expected 'stress', 'docs', 'crash', 'replica', 'ha' or unset)" >&2
+  echo "unknown SUITE='$SUITE' (expected 'stress', 'docs', 'crash', 'replica', 'ha', 'net' or unset)" >&2
   exit 2
 fi
 

@@ -1,0 +1,162 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace cce::net {
+namespace {
+
+void SetTimeout(int fd, int which, std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout.count() / 1000;
+  tv.tv_usec = (timeout.count() % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
+                                     const Options& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  SetTimeout(fd, SO_SNDTIMEO, options.send_timeout);
+  SetTimeout(fd, SO_RCVTIMEO, options.recv_timeout);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        Status::Unavailable(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return NetClient(fd);
+}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status NetClient::SendRaw(const void* data, size_t len) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::send(fd_, p + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status NetClient::Send(const Request& request) {
+  const std::string frame = EncodeRequest(request);
+  return SendRaw(frame.data(), frame.size());
+}
+
+Status NetClient::ReadExact(void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::recv(fd_, p + off, len - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return Status::Unavailable("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv timeout");
+    }
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<Response> NetClient::Receive() {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  uint8_t header_bytes[kFrameHeaderBytes];
+  CCE_RETURN_IF_ERROR(ReadExact(header_bytes, sizeof(header_bytes)));
+  FrameHeader header;
+  CCE_RETURN_IF_ERROR(
+      DecodeFrameHeader(header_bytes, sizeof(header_bytes), &header));
+  if (header.body_len > (64u << 20)) {
+    return Status::InvalidArgument("implausible response body length");
+  }
+  std::vector<uint8_t> body(header.body_len);
+  if (header.body_len > 0) {
+    CCE_RETURN_IF_ERROR(ReadExact(body.data(), body.size()));
+  }
+  Response response;
+  CCE_RETURN_IF_ERROR(DecodeResponseBody(header, body.data(), &response));
+  return response;
+}
+
+Result<Response> NetClient::Call(const Request& request) {
+  CCE_RETURN_IF_ERROR(Send(request));
+  return Receive();
+}
+
+Result<std::string> NetClient::HttpGet(const std::string& path) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: cce\r\nConnection: close\r\n\r\n";
+  CCE_RETURN_IF_ERROR(SendRaw(request.data(), request.size()));
+  std::string raw;
+  char chunk[4096];
+  while (true) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      raw.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv timeout");
+    }
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+  Close();  // server closes after one HTTP exchange; mirror it
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::InvalidArgument("malformed HTTP response");
+  }
+  if (raw.compare(0, 9, "HTTP/1.0 ") != 0 ||
+      raw.compare(9, 3, "200") != 0) {
+    return Status::NotFound("HTTP status: " + raw.substr(9, 3));
+  }
+  return raw.substr(header_end + 4);
+}
+
+}  // namespace cce::net

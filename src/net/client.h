@@ -1,0 +1,77 @@
+#ifndef CCE_NET_CLIENT_H_
+#define CCE_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace cce::net {
+
+/// A minimal blocking client for the CCE wire protocol — the building
+/// block of the load generator and the tests. One client wraps one TCP
+/// connection; Send and Receive are independent so callers can pipeline:
+/// N Sends followed by N Receives exercises the server's per-tick
+/// batching. Responses to pipelined requests may arrive out of request
+/// order (the server completes work on a pool) — match on request_id.
+///
+/// Not thread-safe; one thread per client (or external locking).
+class NetClient {
+ public:
+  struct Options {
+    /// Receive timeout (SO_RCVTIMEO); zero blocks forever.
+    std::chrono::milliseconds recv_timeout{0};
+    /// Connect + send timeout (SO_SNDTIMEO); zero blocks forever.
+    std::chrono::milliseconds send_timeout{0};
+  };
+
+  static Result<NetClient> Connect(const std::string& host, uint16_t port,
+                                   const Options& options);
+  static Result<NetClient> Connect(const std::string& host, uint16_t port) {
+    return Connect(host, port, Options());
+  }
+
+  NetClient(NetClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  NetClient& operator=(NetClient&& other) noexcept;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  ~NetClient() { Close(); }
+
+  /// Encodes and fully writes one request frame.
+  Status Send(const Request& request);
+
+  /// Blocks for one response frame. kDeadlineExceeded on a recv timeout,
+  /// kUnavailable when the server closed the connection.
+  Result<Response> Receive();
+
+  /// Send + Receive. Only meaningful when nothing is pipelined (the next
+  /// frame on the wire is this request's answer).
+  Result<Response> Call(const Request& request);
+
+  /// Writes raw bytes as-is — the torture tests use this to send
+  /// garbage, truncated frames, and slow-loris fragments.
+  Status SendRaw(const void* data, size_t len);
+
+  /// One-shot HTTP GET on the protocol port (the server speaks minimal
+  /// HTTP for /metrics); returns the response body. Consumes the
+  /// connection — the server closes HTTP connections after one exchange.
+  Result<std::string> HttpGet(const std::string& path);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  explicit NetClient(int fd) : fd_(fd) {}
+
+  /// Reads exactly `len` bytes; kUnavailable on EOF.
+  Status ReadExact(void* data, size_t len);
+
+  int fd_ = -1;
+};
+
+}  // namespace cce::net
+
+#endif  // CCE_NET_CLIENT_H_

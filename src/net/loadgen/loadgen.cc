@@ -1,0 +1,358 @@
+#include "net/loadgen/loadgen.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <unordered_map>
+
+#include "net/client.h"
+#include "serving/overload.h"
+
+namespace cce::net::loadgen {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t XorShift64(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+MessageType PickType(const Mix& mix, uint64_t* rng) {
+  const double weights[4] = {mix.predict, mix.record, mix.explain,
+                             mix.counterfactuals};
+  double total = 0.0;
+  for (double w : weights) total += w;
+  const double roll =
+      total * (static_cast<double>(XorShift64(rng) >> 11) / 9007199254740992.0);
+  double acc = 0.0;
+  static const MessageType kTypes[4] = {
+      MessageType::kPredictRequest, MessageType::kRecordRequest,
+      MessageType::kExplainRequest, MessageType::kCounterfactualsRequest};
+  for (int i = 0; i < 4; ++i) {
+    acc += weights[i];
+    if (roll < acc) return kTypes[i];
+  }
+  return MessageType::kExplainRequest;
+}
+
+int ClassIndex(MessageType type) {
+  switch (type) {
+    case MessageType::kPredictRequest:
+      return 0;
+    case MessageType::kRecordRequest:
+      return 1;
+    case MessageType::kExplainRequest:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+struct Outstanding {
+  int cls = 0;
+  Clock::time_point sent_at;
+};
+
+/// One connection's traffic session; merged into the Report afterwards.
+struct ConnResult {
+  ClassStats per_class[4];
+  std::vector<int64_t> ok_latencies_us;
+  uint64_t retry_after_hints = 0;
+  uint64_t retry_after_ms_total = 0;
+  uint64_t unanswered = 0;
+  uint64_t connect_failures = 0;
+  Clock::time_point first_send{};
+  Clock::time_point last_event{};
+};
+
+class ConnSession {
+ public:
+  ConnSession(const Options& options, size_t index, ConnResult* out)
+      : options_(options),
+        index_(index),
+        out_(out),
+        rng_(options.seed * 0x9E3779B97F4A7C15ull + index + 1) {}
+
+  void Run() {
+    auto client = NetClient::Connect(
+        options_.host, options_.port,
+        {.recv_timeout = options_.recv_timeout,
+         .send_timeout = options_.recv_timeout});
+    if (!client.ok()) {
+      out_->connect_failures = 1;
+      return;
+    }
+    client_ = &client.value();
+    const Clock::time_point start = Clock::now();
+    out_->first_send = start;
+    const Clock::time_point end = start + options_.duration;
+    if (options_.open_rate_rps > 0.0) {
+      RunOpenLoop(end);
+    } else {
+      RunClosedLoop(end);
+    }
+    Drain();
+    out_->last_event = Clock::now();
+  }
+
+ private:
+  bool SendOne() {
+    Request request;
+    request.type = PickType(options_.mix, &rng_);
+    request.request_id = ++next_id_;
+    request.deadline_ms = options_.deadline_ms;
+    const size_t slot =
+        (index_ * 7919 + static_cast<size_t>(next_id_)) %
+        options_.instances.size();
+    request.instance = options_.instances[slot];
+    request.label = options_.labels[slot % options_.labels.size()];
+    const int cls = ClassIndex(request.type);
+    if (!client_->Send(request).ok()) return false;
+    ++out_->per_class[cls].sent;
+    outstanding_[request.request_id] = {cls, Clock::now()};
+    return true;
+  }
+
+  bool ReceiveOne() {
+    Result<Response> received = client_->Receive();
+    if (!received.ok()) return false;
+    const Response& response = received.value();
+    auto it = outstanding_.find(response.request_id);
+    if (it == outstanding_.end()) return true;  // unmatched; ignore
+    const int cls = it->second.cls;
+    ClassStats& stats = out_->per_class[cls];
+    switch (response.status) {
+      case WireStatus::kOk: {
+        ++stats.ok;
+        if ((response.flags & kFlagDegraded) != 0) ++stats.degraded;
+        if ((response.flags & kFlagCached) != 0) ++stats.cached;
+        out_->ok_latencies_us.push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - it->second.sent_at)
+                .count());
+        break;
+      }
+      case WireStatus::kResourceExhausted:
+        ++stats.shed;
+        if (response.retry_after_ms > 0) {
+          ++out_->retry_after_hints;
+          out_->retry_after_ms_total += response.retry_after_ms;
+        }
+        break;
+      case WireStatus::kDeadlineExceeded:
+        ++stats.deadline_exceeded;
+        break;
+      default:
+        ++stats.other_error;
+        break;
+    }
+    outstanding_.erase(it);
+    return true;
+  }
+
+  void RunClosedLoop(Clock::time_point end) {
+    while (outstanding_.size() < options_.window && Clock::now() < end) {
+      if (!SendOne()) return;
+    }
+    while (Clock::now() < end) {
+      if (!ReceiveOne()) return;
+      if (!SendOne()) return;
+    }
+  }
+
+  void RunOpenLoop(Clock::time_point end) {
+    const double per_conn_rps =
+        options_.open_rate_rps / static_cast<double>(options_.connections);
+    const auto interval = std::chrono::nanoseconds(
+        static_cast<int64_t>(1e9 / std::max(per_conn_rps, 1e-6)));
+    Clock::time_point next_send = Clock::now();
+    while (true) {
+      Clock::time_point now = Clock::now();
+      if (now >= end) return;
+      while (next_send <= now) {
+        if (!SendOne()) return;
+        next_send += interval;
+      }
+      // Wait for readability or the next arrival, whichever first — the
+      // arrival process never blocks on the server.
+      const auto wait = std::min(next_send, end) - now;
+      pollfd pfd{client_->fd(), POLLIN, 0};
+      const int wait_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(wait).count());
+      int ready = ::poll(&pfd, 1, std::max(wait_ms, 0));
+      if (ready > 0 && (pfd.revents & POLLIN) != 0) {
+        if (!ReceiveOne()) return;
+      }
+    }
+  }
+
+  void Drain() {
+    while (!outstanding_.empty() && client_->connected()) {
+      if (!ReceiveOne()) break;
+    }
+    out_->unanswered += outstanding_.size();
+    outstanding_.clear();
+  }
+
+  const Options& options_;
+  const size_t index_;
+  ConnResult* out_;
+  uint64_t rng_;
+  NetClient* client_ = nullptr;
+  uint64_t next_id_ = 0;
+  std::unordered_map<uint64_t, Outstanding> outstanding_;
+};
+
+int64_t Percentile(std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+std::vector<Instance> MakeInstancePool(size_t count, size_t features,
+                                       size_t values, uint64_t seed) {
+  std::vector<Instance> pool;
+  pool.reserve(count);
+  uint64_t rng = seed * 0x2545F4914F6CDD1Dull + 1;
+  for (size_t i = 0; i < count; ++i) {
+    Instance x(features);
+    for (size_t f = 0; f < features; ++f) {
+      x[f] = static_cast<ValueId>(XorShift64(&rng) % values);
+    }
+    pool.push_back(std::move(x));
+  }
+  return pool;
+}
+
+Result<Report> Run(const Options& options) {
+  if (options.instances.empty()) {
+    return Status::InvalidArgument("loadgen needs a non-empty instance pool");
+  }
+  if (options.labels.empty()) {
+    return Status::InvalidArgument("loadgen needs at least one label");
+  }
+  if (options.connections == 0 || options.window == 0) {
+    return Status::InvalidArgument("connections and window must be positive");
+  }
+  const double mix_total = options.mix.predict + options.mix.record +
+                           options.mix.explain + options.mix.counterfactuals;
+  if (mix_total <= 0.0) {
+    return Status::InvalidArgument("traffic mix has no positive weight");
+  }
+
+  std::vector<ConnResult> results(options.connections);
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+  const Clock::time_point started = Clock::now();
+  for (size_t i = 0; i < options.connections; ++i) {
+    threads.emplace_back([&options, i, &results] {
+      ConnSession(options, i, &results[i]).Run();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - started).count();
+
+  Report report;
+  std::vector<int64_t> latencies;
+  for (const ConnResult& r : results) {
+    for (int c = 0; c < 4; ++c) {
+      ClassStats& into = report.per_class[c];
+      const ClassStats& from = r.per_class[c];
+      into.sent += from.sent;
+      into.ok += from.ok;
+      into.shed += from.shed;
+      into.deadline_exceeded += from.deadline_exceeded;
+      into.other_error += from.other_error;
+      into.degraded += from.degraded;
+      into.cached += from.cached;
+    }
+    report.retry_after_hints += r.retry_after_hints;
+    report.retry_after_ms_total += r.retry_after_ms_total;
+    report.unanswered += r.unanswered;
+    report.connect_failures += r.connect_failures;
+    latencies.insert(latencies.end(), r.ok_latencies_us.begin(),
+                     r.ok_latencies_us.end());
+  }
+  for (int c = 0; c < 4; ++c) {
+    const ClassStats& stats = report.per_class[c];
+    report.sent += stats.sent;
+    report.ok += stats.ok;
+    report.shed += stats.shed;
+    report.deadline_exceeded += stats.deadline_exceeded;
+    report.other_error += stats.other_error;
+  }
+  report.elapsed_s = elapsed_s;
+  const uint64_t completed = report.ok + report.shed +
+                             report.deadline_exceeded + report.other_error;
+  report.achieved_rps = elapsed_s > 0.0 ? completed / elapsed_s : 0.0;
+  report.offered_rps = elapsed_s > 0.0 ? report.sent / elapsed_s : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_us = Percentile(latencies, 0.50);
+  report.p95_us = Percentile(latencies, 0.95);
+  report.p99_us = Percentile(latencies, 0.99);
+  report.max_us = latencies.empty() ? 0 : latencies.back();
+  return report;
+}
+
+std::string Report::ToString() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "elapsed %.3fs  offered %.0f req/s  achieved %.0f req/s\n",
+                elapsed_s, offered_rps, achieved_rps);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "sent %llu  ok %llu  shed %llu  deadline %llu  error %llu  "
+                "unanswered %llu\n",
+                static_cast<unsigned long long>(sent),
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(deadline_exceeded),
+                static_cast<unsigned long long>(other_error),
+                static_cast<unsigned long long>(unanswered));
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "ok latency us: p50 %lld  p95 %lld  p99 %lld  max %lld\n",
+      static_cast<long long>(p50_us), static_cast<long long>(p95_us),
+      static_cast<long long>(p99_us), static_cast<long long>(max_us));
+  out += line;
+  if (retry_after_hints > 0) {
+    std::snprintf(line, sizeof(line),
+                  "retry-after hints: %llu (mean %.1f ms)\n",
+                  static_cast<unsigned long long>(retry_after_hints),
+                  static_cast<double>(retry_after_ms_total) /
+                      static_cast<double>(retry_after_hints));
+    out += line;
+  }
+  static const char* kNames[4] = {"predict", "record", "explain",
+                                  "counterfactuals"};
+  for (int c = 0; c < 4; ++c) {
+    const ClassStats& stats = per_class[c];
+    if (stats.sent == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "  %-16s sent %-8llu ok %-8llu shed %-7llu deadline %-5llu "
+                  "error %-5llu degraded %-5llu cached %llu\n",
+                  kNames[c], static_cast<unsigned long long>(stats.sent),
+                  static_cast<unsigned long long>(stats.ok),
+                  static_cast<unsigned long long>(stats.shed),
+                  static_cast<unsigned long long>(stats.deadline_exceeded),
+                  static_cast<unsigned long long>(stats.other_error),
+                  static_cast<unsigned long long>(stats.degraded),
+                  static_cast<unsigned long long>(stats.cached));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cce::net::loadgen

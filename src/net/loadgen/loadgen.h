@@ -1,0 +1,126 @@
+#ifndef CCE_NET_LOADGEN_LOADGEN_H_
+#define CCE_NET_LOADGEN_LOADGEN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "net/protocol.h"
+
+namespace cce::net::loadgen {
+
+/// Per-class traffic weights; they need not sum to 1 (normalised
+/// internally). Zero everywhere is an error.
+struct Mix {
+  double predict = 0.0;
+  double record = 0.0;
+  double explain = 1.0;
+  double counterfactuals = 0.0;
+};
+
+/// The load generator: closed- and open-loop traffic against a NetServer,
+/// with per-class mixes and pipelining (docs/operations.md has the smoke
+/// recipe; bench_net drives it for BENCH_net.json).
+///
+///   closed loop — each connection keeps `window` requests outstanding
+///   (send-one-per-receive after the ramp), measuring the server's
+///   sustainable throughput: offered load adapts to service rate, and the
+///   window is what the per-tick batching amortises over.
+///
+///   open loop — requests are paced at `open_rate_rps` regardless of
+///   completions (arrivals don't wait for the server), which is how you
+///   measure shedding honestly: a 20x flood keeps arriving even while
+///   the server sheds, and every shed is counted at the wire.
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  /// Concurrent connections (one thread each).
+  size_t connections = 4;
+  /// Outstanding pipelined requests per connection (closed loop).
+  size_t window = 32;
+
+  /// Open-loop mode: pace arrivals at this aggregate rate instead of
+  /// waiting for completions. 0 = closed loop.
+  double open_rate_rps = 0.0;
+
+  std::chrono::milliseconds duration{1000};
+  /// Per-request deadline carried on the wire; 0 = none.
+  uint32_t deadline_ms = 0;
+
+  Mix mix;
+
+  /// Instance pool cycled through by every connection (index advances
+  /// per request, offset by connection). Must be non-empty.
+  std::vector<Instance> instances;
+  /// Label sent with Record/Explain/Counterfactuals; one per instance
+  /// (parallel to `instances`) or a single shared value.
+  std::vector<Label> labels = {0};
+
+  /// Seeds the per-connection class picker (deterministic given seed,
+  /// connections, and per-connection request ordinals).
+  uint64_t seed = 1;
+
+  /// Receive timeout guarding against a wedged server.
+  std::chrono::milliseconds recv_timeout{10000};
+};
+
+struct ClassStats {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  /// kResourceExhausted responses (wire-level sheds).
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t other_error = 0;
+  /// OK Explains flagged degraded / served from cache.
+  uint64_t degraded = 0;
+  uint64_t cached = 0;
+};
+
+struct Report {
+  ClassStats per_class[4];  // indexed like serving::RequestClass
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t other_error = 0;
+  /// Shed responses that carried a non-zero retry_after_ms hint.
+  uint64_t retry_after_hints = 0;
+  /// Sum of those hints (for the mean backoff a compliant client sees).
+  uint64_t retry_after_ms_total = 0;
+  /// Requests sent but never answered (connection cut / timeout).
+  uint64_t unanswered = 0;
+  uint64_t connect_failures = 0;
+
+  double elapsed_s = 0.0;
+  /// Completed responses (any status) per second of wall time.
+  double achieved_rps = 0.0;
+  /// Arrival rate actually offered (== achieved for closed loop).
+  double offered_rps = 0.0;
+
+  /// Latency of OK responses, microseconds.
+  int64_t p50_us = 0;
+  int64_t p95_us = 0;
+  int64_t p99_us = 0;
+  int64_t max_us = 0;
+
+  /// Human-readable multi-line summary.
+  std::string ToString() const;
+};
+
+/// Runs one traffic session. Blocks for ~Options::duration.
+Result<Report> Run(const Options& options);
+
+/// Deterministic instance pool for servers built on a uniform random
+/// schema: `count` instances over `features` features with `values`
+/// values each, seeded — the pool the example server and the CLI agree
+/// on without sharing state.
+std::vector<Instance> MakeInstancePool(size_t count, size_t features,
+                                       size_t values, uint64_t seed);
+
+}  // namespace cce::net::loadgen
+
+#endif  // CCE_NET_LOADGEN_LOADGEN_H_

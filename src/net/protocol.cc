@@ -1,0 +1,391 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace cce::net {
+namespace {
+
+// Little-endian byte accessors. Explicit shifts (not memcpy of structs)
+// keep the wire layout independent of host struct padding and endianness.
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+/// Bounded cursor over a frame body: every read checks the remaining
+/// length, so a truncated or lying body_len can never read past the
+/// buffer — the fuzz half of net_protocol_test hammers this.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (len_ - pos_ < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool ReadU16(uint16_t* v) {
+    if (len_ - pos_ < 2) return false;
+    *v = GetU16(data_ + pos_);
+    pos_ += 2;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (len_ - pos_ < 4) return false;
+    *v = GetU32(data_ + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (len_ - pos_ < 8) return false;
+    *v = GetU64(data_ + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(bits));
+    return true;
+  }
+  bool ReadU32Vector(size_t count, std::vector<uint32_t>* out) {
+    if ((len_ - pos_) / 4 < count) return false;
+    out->resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      (*out)[i] = GetU32(data_ + pos_);
+      pos_ += 4;
+    }
+    return true;
+  }
+  bool ReadString(size_t count, std::string* out) {
+    if (len_ - pos_ < count) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), count);
+    pos_ += count;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == len_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Reserves a full header at the front of `frame` and patches body_len in
+/// once the body is written.
+void FinishFrame(std::string* frame, MessageType type, uint64_t request_id) {
+  FrameHeader header;
+  header.type = static_cast<uint8_t>(type);
+  header.request_id = request_id;
+  header.body_len = static_cast<uint32_t>(frame->size() - kFrameHeaderBytes);
+  EncodeFrameHeader(header,
+                    reinterpret_cast<uint8_t*>(frame->data()));
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPredictRequest:
+      return "PREDICT_REQUEST";
+    case MessageType::kRecordRequest:
+      return "RECORD_REQUEST";
+    case MessageType::kExplainRequest:
+      return "EXPLAIN_REQUEST";
+    case MessageType::kCounterfactualsRequest:
+      return "COUNTERFACTUALS_REQUEST";
+    case MessageType::kPredictResponse:
+      return "PREDICT_RESPONSE";
+    case MessageType::kRecordResponse:
+      return "RECORD_RESPONSE";
+    case MessageType::kExplainResponse:
+      return "EXPLAIN_RESPONSE";
+    case MessageType::kCounterfactualsResponse:
+      return "COUNTERFACTUALS_RESPONSE";
+    case MessageType::kErrorResponse:
+      return "ERROR_RESPONSE";
+  }
+  return nullptr;
+}
+
+bool IsRequestType(MessageType type) {
+  switch (type) {
+    case MessageType::kPredictRequest:
+    case MessageType::kRecordRequest:
+    case MessageType::kExplainRequest:
+    case MessageType::kCounterfactualsRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+MessageType ResponseTypeFor(MessageType type) {
+  switch (type) {
+    case MessageType::kPredictRequest:
+      return MessageType::kPredictResponse;
+    case MessageType::kRecordRequest:
+      return MessageType::kRecordResponse;
+    case MessageType::kExplainRequest:
+      return MessageType::kExplainResponse;
+    case MessageType::kCounterfactualsRequest:
+      return MessageType::kCounterfactualsResponse;
+    default:
+      return MessageType::kErrorResponse;
+  }
+}
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "OK";
+    case WireStatus::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case WireStatus::kNotFound:
+      return "NOT_FOUND";
+    case WireStatus::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case WireStatus::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case WireStatus::kInternal:
+      return "INTERNAL";
+    case WireStatus::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case WireStatus::kIoError:
+      return "IO_ERROR";
+    case WireStatus::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case WireStatus::kUnavailable:
+      return "UNAVAILABLE";
+    case WireStatus::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+  }
+  return nullptr;
+}
+
+WireStatus WireStatusFromCode(StatusCode code) {
+  // The enums correspond value for value (protocol_doc_test pins it).
+  const int raw = static_cast<int>(code);
+  if (raw < 0 || raw >= kNumWireStatuses) return WireStatus::kInternal;
+  return static_cast<WireStatus>(raw);
+}
+
+StatusCode CodeFromWireStatus(WireStatus status) {
+  const int raw = static_cast<int>(status);
+  if (raw < 0 || raw >= kNumWireStatuses) return StatusCode::kInternal;
+  return static_cast<StatusCode>(raw);
+}
+
+const std::vector<FrameField>& FrameHeaderFields() {
+  static const std::vector<FrameField> kFields = {
+      {"magic", 0, 2},   {"version", 2, 1},    {"type", 3, 1},
+      {"body_len", 4, 4}, {"request_id", 8, 8},
+  };
+  return kFields;
+}
+
+void EncodeFrameHeader(const FrameHeader& header, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(header.magic & 0xff);
+  out[1] = static_cast<uint8_t>(header.magic >> 8);
+  out[2] = header.version;
+  out[3] = header.type;
+  out[4] = static_cast<uint8_t>(header.body_len & 0xff);
+  out[5] = static_cast<uint8_t>((header.body_len >> 8) & 0xff);
+  out[6] = static_cast<uint8_t>((header.body_len >> 16) & 0xff);
+  out[7] = static_cast<uint8_t>((header.body_len >> 24) & 0xff);
+  for (int i = 0; i < 8; ++i) {
+    out[8 + i] = static_cast<uint8_t>((header.request_id >> (8 * i)) & 0xff);
+  }
+}
+
+Status DecodeFrameHeader(const uint8_t* data, size_t len, FrameHeader* out) {
+  if (len < kFrameHeaderBytes) {
+    return Status::InvalidArgument("short frame header");
+  }
+  out->magic = GetU16(data);
+  out->version = data[2];
+  out->type = data[3];
+  out->body_len = GetU32(data + 4);
+  out->request_id = GetU64(data + 8);
+  if (out->magic != kMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (out->version != kProtocolVersion) {
+    return Status::Unimplemented("unsupported protocol version");
+  }
+  return Status::Ok();
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string frame(kFrameHeaderBytes, '\0');
+  PutU32(&frame, request.deadline_ms);
+  PutU32(&frame, request.label);
+  PutU16(&frame, static_cast<uint16_t>(request.instance.size()));
+  for (ValueId v : request.instance) PutU32(&frame, v);
+  FinishFrame(&frame, request.type, request.request_id);
+  return frame;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string frame(kFrameHeaderBytes, '\0');
+  frame.push_back(static_cast<char>(response.status));
+  PutU32(&frame, response.retry_after_ms);
+  if (response.status != WireStatus::kOk) {
+    const size_t len = std::min<size_t>(response.message.size(), 0xffff);
+    PutU16(&frame, static_cast<uint16_t>(len));
+    frame.append(response.message, 0, len);
+  } else {
+    switch (response.type) {
+      case MessageType::kPredictResponse:
+        PutU32(&frame, response.label);
+        break;
+      case MessageType::kRecordResponse:
+        break;
+      case MessageType::kExplainResponse:
+        frame.push_back(static_cast<char>(response.flags));
+        PutF64(&frame, response.achieved_alpha);
+        PutU64(&frame, response.view_seq);
+        PutU32(&frame, response.backend);
+        PutU16(&frame, static_cast<uint16_t>(response.key.size()));
+        for (FeatureId f : response.key) PutU32(&frame, f);
+        break;
+      case MessageType::kCounterfactualsResponse:
+        PutU16(&frame, static_cast<uint16_t>(response.witnesses.size()));
+        for (const Response::Witness& w : response.witnesses) {
+          PutU64(&frame, w.row);
+          PutU32(&frame, w.label);
+          PutU16(&frame, static_cast<uint16_t>(w.changed_features.size()));
+          for (FeatureId f : w.changed_features) PutU32(&frame, f);
+        }
+        break;
+      default:
+        // kErrorResponse with an OK status carries no payload.
+        break;
+    }
+  }
+  FinishFrame(&frame, response.type, response.request_id);
+  return frame;
+}
+
+Status DecodeRequestBody(const FrameHeader& header, const uint8_t* body,
+                         Request* out) {
+  const auto type = static_cast<MessageType>(header.type);
+  if (!IsRequestType(type)) {
+    return Status::InvalidArgument("not a request frame");
+  }
+  out->type = type;
+  out->request_id = header.request_id;
+  Reader reader(body, header.body_len);
+  uint16_t count = 0;
+  if (!reader.ReadU32(&out->deadline_ms) || !reader.ReadU32(&out->label) ||
+      !reader.ReadU16(&count) ||
+      !reader.ReadU32Vector(count, &out->instance) || !reader.exhausted()) {
+    return Status::InvalidArgument("malformed request body");
+  }
+  return Status::Ok();
+}
+
+Status DecodeResponseBody(const FrameHeader& header, const uint8_t* body,
+                          Response* out) {
+  const auto type = static_cast<MessageType>(header.type);
+  if (MessageTypeName(type) == nullptr || IsRequestType(type)) {
+    return Status::InvalidArgument("not a response frame");
+  }
+  out->type = type;
+  out->request_id = header.request_id;
+  Reader reader(body, header.body_len);
+  uint8_t status = 0;
+  if (!reader.ReadU8(&status) || status >= kNumWireStatuses ||
+      !reader.ReadU32(&out->retry_after_ms)) {
+    return Status::InvalidArgument("malformed response prefix");
+  }
+  out->status = static_cast<WireStatus>(status);
+  if (out->status != WireStatus::kOk) {
+    uint16_t len = 0;
+    if (!reader.ReadU16(&len) || !reader.ReadString(len, &out->message) ||
+        !reader.exhausted()) {
+      return Status::InvalidArgument("malformed error message");
+    }
+    return Status::Ok();
+  }
+  switch (type) {
+    case MessageType::kPredictResponse:
+      if (!reader.ReadU32(&out->label)) {
+        return Status::InvalidArgument("malformed predict payload");
+      }
+      break;
+    case MessageType::kRecordResponse:
+      break;
+    case MessageType::kExplainResponse: {
+      uint16_t count = 0;
+      if (!reader.ReadU8(&out->flags) ||
+          !reader.ReadF64(&out->achieved_alpha) ||
+          !reader.ReadU64(&out->view_seq) || !reader.ReadU32(&out->backend) ||
+          !reader.ReadU16(&count) || !reader.ReadU32Vector(count, &out->key)) {
+        return Status::InvalidArgument("malformed explain payload");
+      }
+      break;
+    }
+    case MessageType::kCounterfactualsResponse: {
+      uint16_t count = 0;
+      if (!reader.ReadU16(&count)) {
+        return Status::InvalidArgument("malformed counterfactuals payload");
+      }
+      out->witnesses.clear();
+      out->witnesses.reserve(count);
+      for (uint16_t i = 0; i < count; ++i) {
+        Response::Witness w;
+        uint16_t changed = 0;
+        if (!reader.ReadU64(&w.row) || !reader.ReadU32(&w.label) ||
+            !reader.ReadU16(&changed) ||
+            !reader.ReadU32Vector(changed, &w.changed_features)) {
+          return Status::InvalidArgument("malformed witness");
+        }
+        out->witnesses.push_back(std::move(w));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("trailing bytes in response body");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cce::net

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "serving/proxy.h"
 #include "serving/replica_proxy.h"
@@ -118,6 +119,15 @@ TEST(MetricsDocTest, DocAndLiveRegistryAgreeExactly) {
   ASSERT_TRUE(group.ok());
   Supervisor supervisor(group->get());
   supervisor.TickOnce();
+
+  // The network front end registers every cce_net_* family eagerly at
+  // Create (no Start, no traffic), reporting into the same registry.
+  net::NetServer::Options net_options;
+  net_options.port = 0;
+  net_options.registry =
+      std::shared_ptr<obs::Registry>(std::shared_ptr<void>(), &registry);
+  auto net_server = net::NetServer::Create(group->get(), net_options);
+  ASSERT_TRUE(net_server.ok());
 
   std::map<std::string, std::string> live;
   for (const auto& family : registry.Collect()) {

@@ -1,0 +1,445 @@
+// End-to-end tests of the network serving front end over real loopback
+// sockets: typed roundtrips for all four request classes, per-tick
+// pipelined batching, wire-level shedding (admission and queue overflow)
+// with RetryAfter hints, the HTTP /metrics surface, protocol-error
+// handling, deadlines, and drain-on-stop. The adversarial byte-level
+// attacks live in net_torture_test.cc.
+
+#include "net/server.h"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "core/model.h"
+#include "net/client.h"
+#include "obs/exposition.h"
+#include "serving/proxy.h"
+#include "serving/serving_group.h"
+#include "tests/test_util.h"
+
+namespace cce::net {
+namespace {
+
+using cce::serving::ExplainableProxy;
+using cce::serving::ServingGroup;
+
+/// Deterministic stand-in model: label = parity of the first feature.
+class ParityModel : public Model {
+ public:
+  Label Predict(const Instance& x) const override {
+    return x.empty() ? 0 : x[0] % 2;
+  }
+};
+
+/// A leader-only serving group with a primed context behind a NetServer
+/// on an ephemeral loopback port.
+struct NetStack {
+  Dataset data;
+  ParityModel model;
+  std::unique_ptr<ExplainableProxy> proxy;
+  std::unique_ptr<ServingGroup> group;
+  std::unique_ptr<NetServer> server;
+
+  explicit NetStack(NetServer::Options options = {}, size_t rows = 120)
+      : data(cce::testing::RandomContext(200, 4, 3, 11, /*noise=*/0.0)) {
+    ExplainableProxy::Options proxy_options;
+    proxy_options.monitor_drift = false;
+    auto proxy_or =
+        ExplainableProxy::Create(data.schema_ptr(), &model, proxy_options);
+    CCE_CHECK_OK(proxy_or.status());
+    proxy = std::move(proxy_or).value();
+    for (size_t i = 0; i < rows; ++i) {
+      CCE_CHECK_OK(
+          proxy->Record(data.instance(i), model.Predict(data.instance(i))));
+    }
+    ServingGroup::Options group_options;
+    group_options.policy = serving::RoutePolicy::kLeaderOnly;
+    auto group_or = ServingGroup::Create(proxy.get(), {}, group_options);
+    CCE_CHECK_OK(group_or.status());
+    group = std::move(group_or).value();
+    options.port = 0;
+    auto server_or = NetServer::Create(group.get(), options);
+    CCE_CHECK_OK(server_or.status());
+    server = std::move(server_or).value();
+    CCE_CHECK_OK(server->Start());
+  }
+
+  NetClient Connect() {
+    NetClient::Options client_options;
+    client_options.recv_timeout = std::chrono::milliseconds(10000);
+    auto client = NetClient::Connect("127.0.0.1", server->port(),
+                                     client_options);
+    CCE_CHECK_OK(client.status());
+    return std::move(client).value();
+  }
+
+  Request MakeRequest(MessageType type, uint64_t id, size_t row) const {
+    Request request;
+    request.type = type;
+    request.request_id = id;
+    request.instance = data.instance(row);
+    request.label = model.Predict(request.instance);
+    return request;
+  }
+};
+
+TEST(NetServerTest, PredictRoundtrip) {
+  NetStack stack;
+  NetClient client = stack.Connect();
+  for (size_t row = 0; row < 8; ++row) {
+    auto response = client.Call(
+        stack.MakeRequest(MessageType::kPredictRequest, 100 + row, row));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->type, MessageType::kPredictResponse);
+    EXPECT_EQ(response->status, WireStatus::kOk);
+    EXPECT_EQ(response->request_id, 100 + row);
+    EXPECT_EQ(response->label,
+              stack.model.Predict(stack.data.instance(row)));
+  }
+}
+
+TEST(NetServerTest, RecordThenExplain) {
+  NetStack stack;
+  NetClient client = stack.Connect();
+
+  auto recorded = client.Call(
+      stack.MakeRequest(MessageType::kRecordRequest, 1, /*row=*/150));
+  ASSERT_TRUE(recorded.ok()) << recorded.status().ToString();
+  EXPECT_EQ(recorded->type, MessageType::kRecordResponse);
+  EXPECT_EQ(recorded->status, WireStatus::kOk);
+
+  auto explained = client.Call(
+      stack.MakeRequest(MessageType::kExplainRequest, 2, /*row=*/0));
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  EXPECT_EQ(explained->type, MessageType::kExplainResponse);
+  EXPECT_EQ(explained->status, WireStatus::kOk);
+  EXPECT_GT(explained->achieved_alpha, 0.0);
+  EXPECT_GT(explained->view_seq, 0u);
+  EXPECT_EQ(explained->backend, 0u);  // leader-only
+}
+
+TEST(NetServerTest, CounterfactualsRoundtrip) {
+  NetStack stack;
+  NetClient client = stack.Connect();
+  auto response = client.Call(
+      stack.MakeRequest(MessageType::kCounterfactualsRequest, 3, /*row=*/1));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->type, MessageType::kCounterfactualsResponse);
+  EXPECT_EQ(response->status, WireStatus::kOk);
+  for (const Response::Witness& witness : response->witnesses) {
+    EXPECT_LT(witness.row, stack.proxy->PublishedSequence());
+  }
+}
+
+TEST(NetServerTest, PipelinedBatchAnswersEveryRequest) {
+  NetStack stack;
+  NetClient client = stack.Connect();
+  constexpr size_t kBatch = 64;
+  const MessageType kTypes[] = {
+      MessageType::kPredictRequest, MessageType::kRecordRequest,
+      MessageType::kExplainRequest, MessageType::kCounterfactualsRequest};
+  for (size_t i = 0; i < kBatch; ++i) {
+    ASSERT_TRUE(client
+                    .Send(stack.MakeRequest(kTypes[i % 4], /*id=*/1000 + i,
+                                            /*row=*/i % 100))
+                    .ok());
+  }
+  std::map<uint64_t, Response> by_id;
+  for (size_t i = 0; i < kBatch; ++i) {
+    auto response = client.Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    by_id[response->request_id] = std::move(response).value();
+  }
+  ASSERT_EQ(by_id.size(), kBatch);
+  for (size_t i = 0; i < kBatch; ++i) {
+    const auto it = by_id.find(1000 + i);
+    ASSERT_NE(it, by_id.end()) << "request " << i << " unanswered";
+    EXPECT_EQ(it->second.status, WireStatus::kOk);
+    EXPECT_EQ(it->second.type, ResponseTypeFor(kTypes[i % 4]));
+  }
+  const NetServer::Stats stats = stack.server->GetStats();
+  EXPECT_GE(stats.requests, kBatch);
+  EXPECT_GE(stats.responses, kBatch);
+}
+
+TEST(NetServerTest, AdmissionShedBecomesTypedWireResponse) {
+  NetServer::Options options;
+  // One explain token, then a ~17-minute refill: the second explain must
+  // be shed by the token bucket with a retry-after hint.
+  options.overload.explain_bucket.refill_per_sec = 0.001;
+  options.overload.explain_bucket.burst = 1.0;
+  NetStack stack(options);
+  NetClient client = stack.Connect();
+
+  auto first = client.Call(
+      stack.MakeRequest(MessageType::kExplainRequest, 1, /*row=*/0));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->status, WireStatus::kOk);
+
+  auto shed = client.Call(
+      stack.MakeRequest(MessageType::kExplainRequest, 2, /*row=*/1));
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed->type, MessageType::kExplainResponse);
+  EXPECT_EQ(shed->status, WireStatus::kResourceExhausted);
+  EXPECT_GT(shed->retry_after_ms, 0u);
+  EXPECT_FALSE(shed->message.empty());
+  // The shed is a response, not a disconnect: the connection still works.
+  auto after = client.Call(
+      stack.MakeRequest(MessageType::kPredictRequest, 3, /*row=*/0));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->status, WireStatus::kOk);
+
+  EXPECT_GE(stack.server->GetStats().sheds, 1u);
+}
+
+TEST(NetServerTest, QueueOverflowShedsCarryRetryAfterHint) {
+  NetServer::Options options;
+  options.overload.enabled = false;  // isolate the loop-to-worker bound
+  options.worker_threads = 1;
+  options.max_pending = 1;
+  options.overflow_retry_after = std::chrono::milliseconds(7);
+  NetStack stack(options);
+  NetClient client = stack.Connect();
+
+  constexpr size_t kBatch = 64;
+  for (size_t i = 0; i < kBatch; ++i) {
+    ASSERT_TRUE(
+        client
+            .Send(stack.MakeRequest(MessageType::kExplainRequest, i, i % 100))
+            .ok());
+  }
+  size_t ok = 0;
+  size_t shed = 0;
+  for (size_t i = 0; i < kBatch; ++i) {
+    auto response = client.Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    if (response->status == WireStatus::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(response->status, WireStatus::kResourceExhausted);
+      EXPECT_EQ(response->retry_after_ms, 7u);
+      ++shed;
+    }
+  }
+  // With one pending slot and the whole batch decoded in a tick, some
+  // requests execute and some overflow — both outcomes at the wire.
+  EXPECT_GE(ok, 1u);
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(ok + shed, kBatch);
+}
+
+TEST(NetServerTest, DeadlineFloodProducesDeadlineResponses) {
+  NetServer::Options options;
+  options.worker_threads = 1;
+  NetStack stack(options);
+  NetClient client = stack.Connect();
+  constexpr size_t kBatch = 48;
+  for (size_t i = 0; i < kBatch; ++i) {
+    Request request =
+        stack.MakeRequest(MessageType::kExplainRequest, i, i % 100);
+    request.deadline_ms = 1;  // nearly always expired by execution time
+    ASSERT_TRUE(client.Send(request).ok());
+  }
+  size_t non_ok = 0;
+  for (size_t i = 0; i < kBatch; ++i) {
+    auto response = client.Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    if (response->status != WireStatus::kOk) {
+      ++non_ok;
+      EXPECT_TRUE(response->status == WireStatus::kDeadlineExceeded ||
+                  response->status == WireStatus::kResourceExhausted)
+          << WireStatusName(response->status);
+    }
+  }
+  EXPECT_GE(non_ok, 1u);
+}
+
+TEST(NetServerTest, HttpMetricsHealthzAndNotFound) {
+  NetStack stack;
+  {
+    NetClient client = stack.Connect();
+    (void)client.Call(
+        stack.MakeRequest(MessageType::kPredictRequest, 1, /*row=*/0));
+  }
+  {
+    NetClient client = stack.Connect();
+    auto body = client.HttpGet("/metrics");
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+    EXPECT_NE(body->find("# TYPE"), std::string::npos);
+    EXPECT_NE(body->find("cce_net_requests_total"), std::string::npos);
+    EXPECT_NE(body->find("cce_net_open_connections"), std::string::npos);
+  }
+  {
+    NetClient client = stack.Connect();
+    auto body = client.HttpGet("/healthz");
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+    EXPECT_NE(body->find("ok"), std::string::npos);
+  }
+  {
+    NetClient client = stack.Connect();
+    EXPECT_EQ(client.HttpGet("/nope").status().code(),
+              StatusCode::kNotFound);
+  }
+  EXPECT_GE(stack.server->GetStats().metrics_scrapes, 1u);
+}
+
+TEST(NetServerTest, BadMagicAnsweredThenClosed) {
+  NetStack stack;
+  NetClient client = stack.Connect();
+  uint8_t junk[kFrameHeaderBytes] = {0x42, 0x42};
+  ASSERT_TRUE(client.SendRaw(junk, sizeof(junk)).ok());
+  auto response = client.Receive();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->type, MessageType::kErrorResponse);
+  EXPECT_EQ(response->status, WireStatus::kInvalidArgument);
+  // The server closes a desynced stream after answering.
+  EXPECT_EQ(client.Receive().status().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetServerTest, VersionMismatchAnsweredWithUnimplemented) {
+  NetStack stack;
+  NetClient client = stack.Connect();
+  Request request = stack.MakeRequest(MessageType::kPredictRequest, 77, 0);
+  std::string frame = EncodeRequest(request);
+  frame[2] = static_cast<char>(kProtocolVersion + 1);
+  ASSERT_TRUE(client.SendRaw(frame.data(), frame.size()).ok());
+  auto response = client.Receive();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->type, MessageType::kErrorResponse);
+  EXPECT_EQ(response->status, WireStatus::kUnimplemented);
+  EXPECT_EQ(response->request_id, 77u);  // echoed from the raw header
+  EXPECT_EQ(client.Receive().status().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetServerTest, OversizedBodyRejectedWithoutBuffering) {
+  NetServer::Options options;
+  options.max_body_bytes = 1024;
+  NetStack stack(options);
+  NetClient client = stack.Connect();
+  FrameHeader header;
+  header.type = static_cast<uint8_t>(MessageType::kExplainRequest);
+  header.request_id = 55;
+  header.body_len = 64u * 1024 * 1024;  // claims 64MB; never sends it
+  uint8_t wire[kFrameHeaderBytes];
+  EncodeFrameHeader(header, wire);
+  ASSERT_TRUE(client.SendRaw(wire, sizeof(wire)).ok());
+  auto response = client.Receive();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->type, MessageType::kErrorResponse);
+  EXPECT_EQ(response->status, WireStatus::kInvalidArgument);
+  EXPECT_EQ(response->request_id, 55u);
+  EXPECT_EQ(client.Receive().status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(stack.server->GetStats().protocol_errors, 1u);
+}
+
+TEST(NetServerTest, UnknownTypeAndGarbageBodyAreProtocolErrors) {
+  NetStack stack;
+  {
+    NetClient client = stack.Connect();
+    FrameHeader header;
+    header.type = 200;  // not in the vocabulary
+    header.request_id = 9;
+    header.body_len = 0;
+    uint8_t wire[kFrameHeaderBytes];
+    EncodeFrameHeader(header, wire);
+    ASSERT_TRUE(client.SendRaw(wire, sizeof(wire)).ok());
+    auto response = client.Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->type, MessageType::kErrorResponse);
+    EXPECT_EQ(response->status, WireStatus::kInvalidArgument);
+  }
+  {
+    NetClient client = stack.Connect();
+    // Valid header claiming 4 body bytes that do not parse as a request.
+    FrameHeader header;
+    header.type = static_cast<uint8_t>(MessageType::kPredictRequest);
+    header.request_id = 10;
+    header.body_len = 4;
+    uint8_t wire[kFrameHeaderBytes + 4];
+    EncodeFrameHeader(header, wire);
+    wire[kFrameHeaderBytes] = 0xFF;
+    wire[kFrameHeaderBytes + 1] = 0xFF;
+    wire[kFrameHeaderBytes + 2] = 0xFF;
+    wire[kFrameHeaderBytes + 3] = 0xFF;
+    ASSERT_TRUE(client.SendRaw(wire, sizeof(wire)).ok());
+    auto response = client.Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->type, MessageType::kErrorResponse);
+    EXPECT_EQ(response->status, WireStatus::kInvalidArgument);
+    EXPECT_EQ(response->request_id, 10u);
+  }
+  EXPECT_GE(stack.server->GetStats().protocol_errors, 2u);
+}
+
+TEST(NetServerTest, StopDrainsInFlightWork) {
+  NetStack stack;
+  NetClient client = stack.Connect();
+  constexpr size_t kBatch = 16;
+  for (size_t i = 0; i < kBatch; ++i) {
+    ASSERT_TRUE(client
+                    .Send(stack.MakeRequest(MessageType::kExplainRequest,
+                                            /*id=*/i, /*row=*/i))
+                    .ok());
+  }
+  // Wait for dispatch (not completion): drain must then finish and flush
+  // the in-flight work before any connection is closed.
+  while (stack.server->GetStats().requests < kBatch) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stack.server->Stop();
+  size_t answered = 0;
+  for (size_t i = 0; i < kBatch; ++i) {
+    auto response = client.Receive();
+    if (!response.ok()) break;
+    ++answered;
+  }
+  EXPECT_EQ(answered, kBatch);
+  EXPECT_EQ(stack.server->GetStats().open, 0u);
+}
+
+TEST(NetServerTest, StatsAndInstrumentsEagerlyRegistered) {
+  NetStack stack;
+  const NetServer::Stats before = stack.server->GetStats();
+  EXPECT_EQ(before.requests, 0u);
+  // Every family exists before any traffic — metrics_doc_test and cold
+  // Prometheus scrapes depend on this.
+  const std::string text =
+      obs::RenderPrometheusText(stack.server->registry());
+  for (const char* family :
+       {"cce_net_connections_accepted_total", "cce_net_connections_closed_total",
+        "cce_net_open_connections", "cce_net_requests_total",
+        "cce_net_responses_total", "cce_net_sheds_total",
+        "cce_net_protocol_errors_total", "cce_net_bytes_read_total",
+        "cce_net_bytes_written_total", "cce_net_dropped_responses_total",
+        "cce_net_metrics_scrapes_total", "cce_net_tick_requests",
+        "cce_net_flush_frames", "cce_net_request_latency_us"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+}
+
+TEST(NetServerTest, ConnectionLimitClosesOverflow) {
+  NetServer::Options options;
+  options.max_connections = 2;
+  NetStack stack(options);
+  NetClient a = stack.Connect();
+  NetClient b = stack.Connect();
+  ASSERT_TRUE(a.Call(stack.MakeRequest(MessageType::kPredictRequest, 1, 0))
+                  .ok());
+  ASSERT_TRUE(b.Call(stack.MakeRequest(MessageType::kPredictRequest, 2, 0))
+                  .ok());
+  NetClient c = stack.Connect();  // accepted then immediately closed
+  EXPECT_EQ(c.Receive().status().code(), StatusCode::kUnavailable);
+  // The survivors still serve.
+  EXPECT_TRUE(a.Call(stack.MakeRequest(MessageType::kPredictRequest, 3, 0))
+                  .ok());
+}
+
+}  // namespace
+}  // namespace cce::net

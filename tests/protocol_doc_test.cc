@@ -1,0 +1,219 @@
+// docs/protocol.md cannot drift: this test parses the spec's tables and
+// compares them, both directions, against the C++ protocol definitions in
+// net/protocol.h — the same contract metrics_doc_test enforces for
+// docs/metrics.md. Add a message type, status code, or header field
+// without a documented row (or document one that does not exist) and
+// this fails with the exact name.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/protocol.h"
+
+#ifndef CCE_SOURCE_DIR
+#error "tests must be compiled with CCE_SOURCE_DIR"
+#endif
+
+namespace cce::net {
+namespace {
+
+std::string DocPath() {
+  return std::string(CCE_SOURCE_DIR) + "/docs/protocol.md";
+}
+
+std::string ReadDoc() {
+  std::ifstream in(DocPath());
+  EXPECT_TRUE(in.good()) << "cannot open " << DocPath();
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Lines of the section whose "## " heading starts with `title`, up to
+/// the next "## " heading.
+std::vector<std::string> SectionLines(const std::string& doc,
+                                      const std::string& title) {
+  std::istringstream in(doc);
+  std::vector<std::string> lines;
+  std::string line;
+  bool inside = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("## ", 0) == 0) {
+      inside = line.compare(3, title.size(), title) == 0;
+      continue;
+    }
+    if (inside) lines.push_back(line);
+  }
+  EXPECT_FALSE(lines.empty()) << "section \"## " << title
+                              << "\" missing from docs/protocol.md";
+  return lines;
+}
+
+/// Splits a markdown table row "| a | b | c |" into trimmed cells.
+std::vector<std::string> Cells(const std::string& line) {
+  std::vector<std::string> cells;
+  size_t pos = line.find('|');
+  while (pos != std::string::npos) {
+    const size_t next = line.find('|', pos + 1);
+    if (next == std::string::npos) break;
+    std::string cell = line.substr(pos + 1, next - pos - 1);
+    const size_t first = cell.find_first_not_of(" \t");
+    const size_t last = cell.find_last_not_of(" \t");
+    cells.push_back(first == std::string::npos
+                        ? std::string()
+                        : cell.substr(first, last - first + 1));
+    pos = next;
+  }
+  return cells;
+}
+
+bool IsBacktickedName(const std::string& cell, std::string* name) {
+  if (cell.size() < 3 || cell.front() != '`' || cell.back() != '`') {
+    return false;
+  }
+  *name = cell.substr(1, cell.size() - 2);
+  return true;
+}
+
+/// Rows of a section's table keyed by a leading integer code column:
+/// "| 3 | `EXPLAIN_REQUEST` | ... |" -> {3, "EXPLAIN_REQUEST"}.
+std::map<int, std::string> CodeTable(const std::string& doc,
+                                     const std::string& title) {
+  std::map<int, std::string> rows;
+  for (const std::string& line : SectionLines(doc, title)) {
+    const std::vector<std::string> cells = Cells(line);
+    if (cells.size() < 2 || cells[0].empty() ||
+        !std::isdigit(static_cast<unsigned char>(cells[0][0]))) {
+      continue;
+    }
+    std::string name;
+    const bool named = IsBacktickedName(cells[1], &name);
+    EXPECT_TRUE(named) << "row for code " << cells[0] << " in \"" << title
+                       << "\" lacks a backticked name: " << line;
+    if (!named) continue;
+    const int code = std::stoi(cells[0]);
+    EXPECT_EQ(rows.count(code), 0u)
+        << "duplicate code " << code << " in \"" << title << "\"";
+    rows[code] = name;
+  }
+  EXPECT_FALSE(rows.empty()) << "no code rows parsed from \"" << title
+                             << "\"";
+  return rows;
+}
+
+TEST(ProtocolDocTest, VersionAndMagicSentencesMatchConstants) {
+  const std::string doc = ReadDoc();
+  char version_sentence[64];
+  std::snprintf(version_sentence, sizeof(version_sentence),
+                "The protocol version is `%u`",
+                static_cast<unsigned>(kProtocolVersion));
+  EXPECT_NE(doc.find(version_sentence), std::string::npos)
+      << "docs/protocol.md must state: " << version_sentence;
+  char magic_text[32];
+  std::snprintf(magic_text, sizeof(magic_text), "`0x%04X`",
+                static_cast<unsigned>(kMagic));
+  EXPECT_NE(doc.find(magic_text), std::string::npos)
+      << "docs/protocol.md must state the frame magic " << magic_text;
+}
+
+TEST(ProtocolDocTest, FrameHeaderTableMatchesFieldTable) {
+  const std::string doc = ReadDoc();
+  struct DocField {
+    std::string name;
+    size_t offset;
+    size_t bytes;
+  };
+  std::vector<DocField> documented;
+  for (const std::string& line : SectionLines(doc, "Frame header")) {
+    const std::vector<std::string> cells = Cells(line);
+    std::string name;
+    if (cells.size() < 3 || !IsBacktickedName(cells[0], &name)) continue;
+    documented.push_back({name, std::stoull(cells[1]),
+                          std::stoull(cells[2])});
+  }
+  const std::vector<FrameField>& actual = FrameHeaderFields();
+  ASSERT_EQ(documented.size(), actual.size())
+      << "docs/protocol.md documents " << documented.size()
+      << " header fields; net/protocol.h defines " << actual.size();
+  size_t total = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(documented[i].name, actual[i].name)
+        << "header field order/name drift at row " << i;
+    EXPECT_EQ(documented[i].offset, actual[i].offset)
+        << "offset drift for `" << actual[i].name << "`";
+    EXPECT_EQ(documented[i].bytes, actual[i].bytes)
+        << "size drift for `" << actual[i].name << "`";
+    total += documented[i].bytes;
+  }
+  EXPECT_EQ(total, kFrameHeaderBytes);
+}
+
+TEST(ProtocolDocTest, MessageTypeTableMatchesEnumBothWays) {
+  const std::map<int, std::string> documented =
+      CodeTable(ReadDoc(), "Message types");
+  // Every live message type must be documented under its spec name.
+  for (int code = 0; code < 256; ++code) {
+    const char* name = MessageTypeName(static_cast<MessageType>(code));
+    if (name == nullptr) continue;
+    const auto it = documented.find(code);
+    ASSERT_NE(it, documented.end())
+        << "message type " << name << " (code " << code
+        << ") is missing from docs/protocol.md";
+    EXPECT_EQ(it->second, name)
+        << "docs/protocol.md names code " << code << " `" << it->second
+        << "`; net/protocol.h names it `" << name << "`";
+  }
+  // And nothing documented may be dead.
+  for (const auto& [code, name] : documented) {
+    ASSERT_GE(code, 0);
+    ASSERT_LT(code, 256);
+    const char* live = MessageTypeName(static_cast<MessageType>(code));
+    ASSERT_NE(live, nullptr)
+        << "docs/protocol.md documents code " << code << " (`" << name
+        << "`) which net/protocol.h does not define";
+  }
+}
+
+TEST(ProtocolDocTest, StatusCodeTableMatchesEnumBothWays) {
+  const std::map<int, std::string> documented =
+      CodeTable(ReadDoc(), "Status codes");
+  for (int code = 0; code < kNumWireStatuses; ++code) {
+    const char* name = WireStatusName(static_cast<WireStatus>(code));
+    ASSERT_NE(name, nullptr);
+    const auto it = documented.find(code);
+    ASSERT_NE(it, documented.end())
+        << "wire status " << name << " (code " << code
+        << ") is missing from docs/protocol.md";
+    EXPECT_EQ(it->second, name)
+        << "docs/protocol.md names status " << code << " `" << it->second
+        << "`; net/protocol.h names it `" << name << "`";
+    // The wire byte is pinned to the internal StatusCode value — a
+    // documented row is therefore also a claim about common/status.h.
+    EXPECT_EQ(static_cast<int>(WireStatusFromCode(
+                  static_cast<StatusCode>(code))),
+              code);
+  }
+  EXPECT_EQ(documented.size(), static_cast<size_t>(kNumWireStatuses))
+      << "docs/protocol.md documents a status code that does not exist";
+}
+
+TEST(ProtocolDocTest, RequestResponsePairingIsDocumentedConsistently) {
+  // The "k + 4" sentence in the spec is a live claim about
+  // ResponseTypeFor; pin it so a renumbering cannot silently break it.
+  for (int code = 0; code < 256; ++code) {
+    const MessageType type = static_cast<MessageType>(code);
+    if (!IsRequestType(type)) continue;
+    EXPECT_EQ(static_cast<int>(ResponseTypeFor(type)), code + 4)
+        << MessageTypeName(type);
+  }
+}
+
+}  // namespace
+}  // namespace cce::net
