@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Records BENCH_explain_batch.json: the PR 9 20x open-loop flood with the
+# explanation cache disabled, server micro-batching off (max_explain_batch
+# = 1) vs on (default 16). The acceptance floor is a >= 3x live Explain
+# keys/sec speedup from shared-build batch executions; see
+# bench/bench_explain_batch.cc for the scenario and docs/benchmarks.md
+# for the artifact index.
+#
+# Usage: scripts/bench_explain_batch.sh   # configures+builds ${BUILD_DIR:-build}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_explain_batch
+
+"$BUILD_DIR"/bench/bench_explain_batch > BENCH_explain_batch.json
+cat BENCH_explain_batch.json

@@ -12,10 +12,15 @@ External http(s)/mailto links are deliberately not fetched: this gate must
 be deterministic and offline. Content-level doc drift (metric tables vs the
 live registry) is covered separately by metrics_doc_test.
 
-One content-level gate does live here: every tunable named in the first
-column of the docs/operations.md "Tunables" tables must correspond to a
-field that actually exists in some src/**/*.h header, so a renamed or
-deleted Options field cannot keep a ghost entry in the runbook.
+Two content-level gates do live here:
+
+  - every tunable named in the first column of the docs/operations.md
+    "Tunables" tables must correspond to a field that actually exists in
+    some src/**/*.h header, so a renamed or deleted Options field cannot
+    keep a ghost entry in the runbook;
+  - every BENCH_*.json at the repo root must be referenced by name in
+    docs/benchmarks.md, so a benchmark artifact cannot land without a row
+    in the trajectory index.
 """
 
 import re
@@ -141,6 +146,22 @@ def check_options_drift() -> list:
     return errors
 
 
+def check_bench_references() -> list:
+    """Every repo-root BENCH_*.json must be named in docs/benchmarks.md."""
+    index = REPO / "docs" / "benchmarks.md"
+    if not index.exists():
+        return [f"docs/benchmarks.md: missing (bench reference gate)"]
+    text = index.read_text(encoding="utf-8")
+    errors = []
+    for bench in sorted(REPO.glob("BENCH_*.json")):
+        if bench.name not in text:
+            errors.append(
+                f"{bench.name}: benchmark artifact at the repo root is not "
+                f"referenced in docs/benchmarks.md (add a row to the "
+                f"Artifacts table)")
+    return errors
+
+
 def main() -> int:
     markdown = sorted(
         p for p in REPO.rglob("*.md")
@@ -150,10 +171,11 @@ def main() -> int:
     for md in markdown:
         errors.extend(check_file(md, anchor_cache))
     errors.extend(check_options_drift())
+    errors.extend(check_bench_references())
     for error in errors:
         print(f"check_docs: {error}", file=sys.stderr)
     print(f"check_docs: {len(markdown)} markdown files + options drift "
-          f"gate, {len(errors)} problems")
+          f"gate + bench reference gate, {len(errors)} problems")
     return 1 if errors else 0
 
 

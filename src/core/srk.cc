@@ -13,28 +13,21 @@ namespace cce {
 
 namespace {
 
-/// The bitset greedy: the same decision sequence as the sorted-row-id loop
-/// in ExplainInstance below, expressed over per-feature agreement bitmaps.
-/// For a fixed x0 the greedy only ever reads the (f, x0[f]) slice of the
-/// (feature, value) bitmap family, so only that slice is built: A_f with
-/// A_f[row] = (context[row][f] == x0[f]), plus a violator bitmap V with
-/// V[row] = (label[row] != y0). Each candidate count is then
-/// popcount(V & A_f); taking feature f updates V &= A_f.
-///
-/// Determinism: every quantity compared by the greedy (candidate counts,
-/// tie-break frequencies) is an exact integer popcount, so the arg-min scan
-/// — which always runs serially in ascending feature order — picks the same
-/// feature as the reference loop regardless of how the counting work was
-/// sharded. Identical keys with 0, 1 or N pool threads.
-KeyResult ExplainInstanceBitset(const Context& context, const Instance& x0,
-                                Label y0, const Srk::Options& options,
-                                size_t tolerated) {
-  const size_t n = context.num_features();
-  const size_t context_size = context.size();
-  ThreadPool* pool = options.pool;
-  Srk::EngineStats* stats = options.stats;
-
+/// The greedy half of the bitset engine, shared by the single-instance and
+/// batched entry points: the same decision sequence as the sorted-row-id
+/// loop in ExplainInstance below, expressed over prebuilt per-feature
+/// agreement bitmaps (`agree`, n of them) and a violator bitmap (mutated in
+/// place). `pool` shards only the candidate *counting*; the arg-min scan is
+/// always serial in ascending feature order, so the picks — and therefore
+/// the key — are independent of pool width and of whether the bitmaps were
+/// built alone or as one slice of a batch build.
+KeyResult RunBitsetGreedy(size_t n, size_t context_size, size_t tolerated,
+                          const Deadline& deadline, RowBitmap* agree,
+                          RowBitmap* violators_in,
+                          const std::vector<size_t>& value_frequency,
+                          ThreadPool* pool, Srk::EngineStats* stats) {
   KeyResult result;
+  RowBitmap& violators = *violators_in;
 
   // Runs fn(f) for every feature, across the pool when one is configured.
   // Each task stays serial inside (no nested pool use: non-reentrant).
@@ -48,6 +41,87 @@ KeyResult ExplainInstanceBitset(const Context& context, const Instance& x0,
       }
     }
   };
+
+  std::vector<bool> in_key(n, false);
+  size_t violator_count = violators.Count();
+
+  const bool bounded = !deadline.infinite();
+  auto finish_degraded = [&]() -> KeyResult {
+    for (FeatureId f = 0; f < n; ++f) {
+      if (!in_key[f]) FeatureSetInsert(&result.key, f);
+    }
+    // Survivors of the all-feature key are exact duplicates of x0: the
+    // intersection of V with every agreement bitmap.
+    RowBitmap duplicates = violators;
+    for (FeatureId f = 0; f < n; ++f) duplicates.AndWith(agree[f]);
+    const size_t surviving = duplicates.Count();
+    result.degraded = true;
+    result.achieved_alpha =
+        1.0 - static_cast<double>(surviving) /
+                  static_cast<double>(context_size);
+    result.satisfied = surviving <= tolerated;
+    return result;
+  };
+
+  std::vector<size_t> counts(n, 0);
+  while (violator_count > tolerated) {
+    if (bounded && deadline.expired()) return finish_degraded();
+    for_each_feature([&](FeatureId f) {
+      if (!in_key[f]) counts[f] = RowBitmap::AndCount(violators, agree[f]);
+    });
+    FeatureId best_feature = 0;
+    size_t best_count = std::numeric_limits<size_t>::max();
+    size_t best_frequency = 0;
+    for (FeatureId f = 0; f < n; ++f) {
+      if (in_key[f]) continue;
+      if (counts[f] < best_count ||
+          (counts[f] == best_count &&
+           value_frequency[f] > best_frequency)) {
+        best_count = counts[f];
+        best_feature = f;
+        best_frequency = value_frequency[f];
+      }
+    }
+    if (best_count == std::numeric_limits<size_t>::max() ||
+        best_count == violator_count) {
+      result.satisfied = false;
+      break;
+    }
+
+    in_key[best_feature] = true;
+    FeatureSetInsert(&result.key, best_feature);
+    result.pick_order.push_back(best_feature);
+    violators.AndWith(agree[best_feature]);
+    violator_count = best_count;
+  }
+
+  result.achieved_alpha =
+      context_size == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(violator_count) /
+                      static_cast<double>(context_size);
+  if (violator_count <= tolerated) result.satisfied = true;
+  return result;
+}
+
+/// The bitset path: for a fixed x0 the greedy only ever reads the
+/// (f, x0[f]) slice of the (feature, value) bitmap family, so only that
+/// slice is built: A_f with A_f[row] = (context[row][f] == x0[f]), plus a
+/// violator bitmap V with V[row] = (label[row] != y0). Each candidate count
+/// is then popcount(V & A_f); taking feature f updates V &= A_f.
+///
+/// Determinism: every quantity compared by the greedy (candidate counts,
+/// tie-break frequencies) is an exact integer popcount, so the arg-min scan
+/// — which always runs serially in ascending feature order — picks the same
+/// feature as the reference loop regardless of how the counting work was
+/// sharded. Identical keys with 0, 1 or N pool threads.
+KeyResult ExplainInstanceBitset(const Context& context, const Instance& x0,
+                                Label y0, const Srk::Options& options,
+                                size_t tolerated) {
+  const size_t n = context.num_features();
+  const size_t context_size = context.size();
+  ThreadPool* pool = options.pool;
+  Srk::EngineStats* stats = options.stats;
 
   // One row-major pass builds every agreement bitmap and the violator
   // bitmap together: each row is touched once (instances are row-major, so
@@ -102,66 +176,107 @@ KeyResult ExplainInstanceBitset(const Context& context, const Instance& x0,
     value_frequency[f] = agree[f].CountPrefix(sample_rows);
   }
 
-  std::vector<bool> in_key(n, false);
-  size_t violator_count = violators.Count();
+  return RunBitsetGreedy(n, context_size, tolerated, options.deadline,
+                         agree.data(), &violators, value_frequency, pool,
+                         stats);
+}
 
-  const bool bounded = !options.deadline.infinite();
-  auto finish_degraded = [&]() -> KeyResult {
-    for (FeatureId f = 0; f < n; ++f) {
-      if (!in_key[f]) FeatureSetInsert(&result.key, f);
-    }
-    // Survivors of the all-feature key are exact duplicates of x0: the
-    // intersection of V with every agreement bitmap.
-    RowBitmap duplicates = violators;
-    for (FeatureId f = 0; f < n; ++f) duplicates.AndWith(agree[f]);
-    const size_t surviving = duplicates.Count();
-    result.degraded = true;
-    result.achieved_alpha =
-        1.0 - static_cast<double>(surviving) /
-                  static_cast<double>(context_size);
-    result.satisfied = surviving <= tolerated;
-    return result;
-  };
+/// The batched bitset path: one fused row-major pass fills EVERY item's
+/// agreement bitmaps and violator bitmap together — each context row's
+/// instance pointer is chased once for the whole batch instead of once per
+/// item — then each item's greedy runs serially inside a per-item task.
+/// Chunks write disjoint word ranges of every bitmap, so the build is
+/// positional: identical bits at any pool width, including none.
+std::vector<KeyResult> ExplainBatchBitset(const Context& context,
+                                          const std::vector<Srk::BatchItem>& items,
+                                          const Srk::Options& options,
+                                          size_t tolerated) {
+  const size_t n = context.num_features();
+  const size_t m = items.size();
+  const size_t context_size = context.size();
+  ThreadPool* pool = options.pool;
+  Srk::EngineStats* stats = options.stats;
 
-  std::vector<size_t> counts(n, 0);
-  while (violator_count > tolerated) {
-    if (bounded && options.deadline.expired()) return finish_degraded();
-    for_each_feature([&](FeatureId f) {
-      if (!in_key[f]) counts[f] = RowBitmap::AndCount(violators, agree[f]);
-    });
-    FeatureId best_feature = 0;
-    size_t best_count = std::numeric_limits<size_t>::max();
-    size_t best_frequency = 0;
-    for (FeatureId f = 0; f < n; ++f) {
-      if (in_key[f]) continue;
-      if (counts[f] < best_count ||
-          (counts[f] == best_count &&
-           value_frequency[f] > best_frequency)) {
-        best_count = counts[f];
-        best_feature = f;
-        best_frequency = value_frequency[f];
+  // agree[i * n + f] is item i's agreement bitmap for feature f.
+  std::vector<RowBitmap> agree(m * n);
+  for (RowBitmap& bitmap : agree) bitmap.Resize(context_size);
+  std::vector<RowBitmap> violators(m);
+  for (RowBitmap& bitmap : violators) bitmap.Resize(context_size);
+  const size_t num_words = violators[0].num_words();
+
+  auto build_words = [&](size_t word_begin, size_t word_end) {
+    std::vector<uint64_t> acc(m * n);
+    std::vector<uint64_t> viol(m);
+    for (size_t w = word_begin; w < word_end; ++w) {
+      std::fill(acc.begin(), acc.end(), 0);
+      std::fill(viol.begin(), viol.end(), 0);
+      const size_t row_begin = w << 6;
+      const size_t row_end = std::min(context_size, row_begin + 64);
+      for (size_t row = row_begin; row < row_end; ++row) {
+        const Instance& xr = context.instance(row);
+        const Label yr = context.label(row);
+        const uint64_t bit = uint64_t{1} << (row - row_begin);
+        for (size_t i = 0; i < m; ++i) {
+          const Instance& x0 = items[i].x;
+          uint64_t* item_acc = acc.data() + i * n;
+          for (FeatureId f = 0; f < n; ++f) {
+            if (xr[f] == x0[f]) item_acc[f] |= bit;
+          }
+          if (yr != items[i].y) viol[i] |= bit;
+        }
+      }
+      for (size_t i = 0; i < m; ++i) {
+        for (FeatureId f = 0; f < n; ++f) {
+          agree[i * n + f].mutable_data()[w] = acc[i * n + f];
+        }
+        violators[i].mutable_data()[w] = viol[i];
       }
     }
-    if (best_count == std::numeric_limits<size_t>::max() ||
-        best_count == violator_count) {
-      result.satisfied = false;
-      break;
+  };
+  constexpr size_t kBuildChunkWords = 1024;  // 64 Ki rows per task
+  if (pool != nullptr && num_words > kBuildChunkWords) {
+    pool->ParallelChunks(num_words, kBuildChunkWords, build_words);
+    if (stats != nullptr) {
+      stats->shard_tasks.fetch_add(
+          (num_words + kBuildChunkWords - 1) / kBuildChunkWords,
+          std::memory_order_relaxed);
     }
-
-    in_key[best_feature] = true;
-    FeatureSetInsert(&result.key, best_feature);
-    result.pick_order.push_back(best_feature);
-    violators.AndWith(agree[best_feature]);
-    violator_count = best_count;
+  } else {
+    build_words(0, num_words);
+  }
+  // The shared build is the amortization: one bitmap build for the whole
+  // batch, where N serial Explains would have counted N.
+  if (stats != nullptr) {
+    stats->bitmap_builds.fetch_add(1, std::memory_order_relaxed);
   }
 
-  result.achieved_alpha =
-      context_size == 0
-          ? 1.0
-          : 1.0 - static_cast<double>(violator_count) /
-                      static_cast<double>(context_size);
-  if (violator_count <= tolerated) result.satisfied = true;
-  return result;
+  constexpr size_t kFrequencySample = 2048;
+  const size_t sample_rows = std::min(context_size, kFrequencySample);
+
+  std::vector<KeyResult> results(m);
+  // Per-item greedy, fanned across the pool. Each task is fully serial
+  // inside (ThreadPool is non-reentrant), which is also why the greedy's
+  // own candidate counting gets no pool here: the keys are unchanged —
+  // every compared quantity is an exact popcount either way.
+  auto run_item = [&](size_t i) {
+    RowBitmap* item_agree = agree.data() + i * n;
+    std::vector<size_t> value_frequency(n, 0);
+    for (FeatureId f = 0; f < n; ++f) {
+      value_frequency[f] = item_agree[f].CountPrefix(sample_rows);
+    }
+    results[i] = RunBitsetGreedy(n, context_size, tolerated,
+                                 items[i].deadline, item_agree, &violators[i],
+                                 value_frequency, /*pool=*/nullptr, stats);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(m, run_item);
+    if (stats != nullptr) {
+      stats->shard_tasks.fetch_add(m, std::memory_order_relaxed);
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) run_item(i);
+  }
+  return results;
 }
 
 }  // namespace
@@ -390,6 +505,45 @@ Result<KeyResult> Srk::ExplainInstance(const Context& context,
                       static_cast<double>(context_size);
   if (violators.size() <= tolerated) result.satisfied = true;
   return result;
+}
+
+Result<std::vector<KeyResult>> Srk::ExplainBatch(
+    const Context& context, const std::vector<BatchItem>& items,
+    const Options& options) {
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  const size_t n = context.num_features();
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].x.size() != n) {
+      return Status::InvalidArgument(
+          "batch item " + std::to_string(i) +
+          ": instance arity does not match schema");
+    }
+  }
+  std::vector<KeyResult> results;
+  if (items.empty()) return results;
+
+  const double budget =
+      std::floor((1.0 - options.alpha) * static_cast<double>(context.size()) +
+                 1e-9);
+  const size_t tolerated = static_cast<size_t>(budget);
+
+  if (options.parallel_conformity) {
+    return ExplainBatchBitset(context, items, options, tolerated);
+  }
+
+  // Reference engine: nothing to amortize, but the batch entry point keeps
+  // its contract — item i's result equals a standalone ExplainInstance.
+  results.reserve(items.size());
+  for (const BatchItem& item : items) {
+    Options per_item = options;
+    per_item.deadline = item.deadline;
+    Result<KeyResult> key = ExplainInstance(context, item.x, item.y, per_item);
+    if (!key.ok()) return key.status();
+    results.push_back(std::move(*key));
+  }
+  return results;
 }
 
 }  // namespace cce

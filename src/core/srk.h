@@ -73,6 +73,30 @@ class Srk {
                                            const Instance& x0, Label y0,
                                            const Options& options);
 
+  /// One instance of a batched Explain. The per-item deadline bounds that
+  /// item's greedy search alone (expiry degrades that item, not the batch);
+  /// the shared bitmap build is charged to no item in particular.
+  struct BatchItem {
+    Instance x;
+    Label y = 0;
+    Deadline deadline;
+  };
+
+  /// Batched ExplainInstance: scores every item against ONE shared row-major
+  /// pass over the context — each context row is touched once for the whole
+  /// batch instead of once per item — then runs each item's greedy serially
+  /// inside a per-item task (fanned across `options.pool` when set).
+  ///
+  /// Determinism contract: the returned keys are bit-identical to calling
+  /// ExplainInstance on each item independently, at any pool width and any
+  /// batch split (enforced by tests/batch_equivalence_test.cc). Every
+  /// quantity the greedy compares is an exact integer popcount and the
+  /// arg-min scan is always serial, so sharing the build cannot change a
+  /// pick. `options.deadline` is ignored; per-item deadlines apply.
+  static Result<std::vector<KeyResult>> ExplainBatch(
+      const Context& context, const std::vector<BatchItem>& items,
+      const Options& options);
+
   /// One point of the conformity-succinctness trade-off curve.
   struct SweepPoint {
     size_t succinctness = 0;      // key size after this greedy step

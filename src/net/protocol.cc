@@ -138,6 +138,10 @@ const char* MessageTypeName(MessageType type) {
       return "COUNTERFACTUALS_RESPONSE";
     case MessageType::kErrorResponse:
       return "ERROR_RESPONSE";
+    case MessageType::kBatchExplainRequest:
+      return "BATCH_EXPLAIN_REQUEST";
+    case MessageType::kBatchExplainResponse:
+      return "BATCH_EXPLAIN_RESPONSE";
   }
   return nullptr;
 }
@@ -148,6 +152,7 @@ bool IsRequestType(MessageType type) {
     case MessageType::kRecordRequest:
     case MessageType::kExplainRequest:
     case MessageType::kCounterfactualsRequest:
+    case MessageType::kBatchExplainRequest:
       return true;
     default:
       return false;
@@ -164,6 +169,8 @@ MessageType ResponseTypeFor(MessageType type) {
       return MessageType::kExplainResponse;
     case MessageType::kCounterfactualsRequest:
       return MessageType::kCounterfactualsResponse;
+    case MessageType::kBatchExplainRequest:
+      return MessageType::kBatchExplainResponse;
     default:
       return MessageType::kErrorResponse;
   }
@@ -252,10 +259,20 @@ Status DecodeFrameHeader(const uint8_t* data, size_t len, FrameHeader* out) {
 
 std::string EncodeRequest(const Request& request) {
   std::string frame(kFrameHeaderBytes, '\0');
-  PutU32(&frame, request.deadline_ms);
-  PutU32(&frame, request.label);
-  PutU16(&frame, static_cast<uint16_t>(request.instance.size()));
-  for (ValueId v : request.instance) PutU32(&frame, v);
+  if (request.type == MessageType::kBatchExplainRequest) {
+    PutU16(&frame, static_cast<uint16_t>(request.batch.size()));
+    for (const Request::BatchItem& item : request.batch) {
+      PutU32(&frame, item.deadline_ms);
+      PutU32(&frame, item.label);
+      PutU16(&frame, static_cast<uint16_t>(item.instance.size()));
+      for (ValueId v : item.instance) PutU32(&frame, v);
+    }
+  } else {
+    PutU32(&frame, request.deadline_ms);
+    PutU32(&frame, request.label);
+    PutU16(&frame, static_cast<uint16_t>(request.instance.size()));
+    for (ValueId v : request.instance) PutU32(&frame, v);
+  }
   FinishFrame(&frame, request.type, request.request_id);
   return frame;
 }
@@ -292,6 +309,25 @@ std::string EncodeResponse(const Response& response) {
           for (FeatureId f : w.changed_features) PutU32(&frame, f);
         }
         break;
+      case MessageType::kBatchExplainResponse:
+        PutU16(&frame, static_cast<uint16_t>(response.batch.size()));
+        for (const Response::BatchExplainItem& item : response.batch) {
+          frame.push_back(static_cast<char>(item.status));
+          PutU32(&frame, item.retry_after_ms);
+          if (item.status != WireStatus::kOk) {
+            const size_t len = std::min<size_t>(item.message.size(), 0xffff);
+            PutU16(&frame, static_cast<uint16_t>(len));
+            frame.append(item.message, 0, len);
+            continue;
+          }
+          frame.push_back(static_cast<char>(item.flags));
+          PutF64(&frame, item.achieved_alpha);
+          PutU64(&frame, item.view_seq);
+          PutU32(&frame, item.backend);
+          PutU16(&frame, static_cast<uint16_t>(item.key.size()));
+          for (FeatureId f : item.key) PutU32(&frame, f);
+        }
+        break;
       default:
         // kErrorResponse with an OK status carries no payload.
         break;
@@ -310,6 +346,28 @@ Status DecodeRequestBody(const FrameHeader& header, const uint8_t* body,
   out->type = type;
   out->request_id = header.request_id;
   Reader reader(body, header.body_len);
+  if (type == MessageType::kBatchExplainRequest) {
+    uint16_t items = 0;
+    if (!reader.ReadU16(&items)) {
+      return Status::InvalidArgument("malformed batch request body");
+    }
+    out->batch.clear();
+    out->batch.reserve(items);
+    for (uint16_t i = 0; i < items; ++i) {
+      Request::BatchItem item;
+      uint16_t count = 0;
+      if (!reader.ReadU32(&item.deadline_ms) || !reader.ReadU32(&item.label) ||
+          !reader.ReadU16(&count) ||
+          !reader.ReadU32Vector(count, &item.instance)) {
+        return Status::InvalidArgument("malformed batch request item");
+      }
+      out->batch.push_back(std::move(item));
+    }
+    if (!reader.exhausted()) {
+      return Status::InvalidArgument("trailing bytes in batch request body");
+    }
+    return Status::Ok();
+  }
   uint16_t count = 0;
   if (!reader.ReadU32(&out->deadline_ms) || !reader.ReadU32(&out->label) ||
       !reader.ReadU16(&count) ||
@@ -376,6 +434,41 @@ Status DecodeResponseBody(const FrameHeader& header, const uint8_t* body,
           return Status::InvalidArgument("malformed witness");
         }
         out->witnesses.push_back(std::move(w));
+      }
+      break;
+    }
+    case MessageType::kBatchExplainResponse: {
+      uint16_t count = 0;
+      if (!reader.ReadU16(&count)) {
+        return Status::InvalidArgument("malformed batch explain payload");
+      }
+      out->batch.clear();
+      out->batch.reserve(count);
+      for (uint16_t i = 0; i < count; ++i) {
+        Response::BatchExplainItem item;
+        uint8_t status = 0;
+        if (!reader.ReadU8(&status) || status >= kNumWireStatuses ||
+            !reader.ReadU32(&item.retry_after_ms)) {
+          return Status::InvalidArgument("malformed batch item prefix");
+        }
+        item.status = static_cast<WireStatus>(status);
+        if (item.status != WireStatus::kOk) {
+          uint16_t len = 0;
+          if (!reader.ReadU16(&len) ||
+              !reader.ReadString(len, &item.message)) {
+            return Status::InvalidArgument("malformed batch item message");
+          }
+        } else {
+          uint16_t features = 0;
+          if (!reader.ReadU8(&item.flags) ||
+              !reader.ReadF64(&item.achieved_alpha) ||
+              !reader.ReadU64(&item.view_seq) ||
+              !reader.ReadU32(&item.backend) || !reader.ReadU16(&features) ||
+              !reader.ReadU32Vector(features, &item.key)) {
+            return Status::InvalidArgument("malformed batch item payload");
+          }
+        }
+        out->batch.push_back(std::move(item));
       }
       break;
     }

@@ -54,6 +54,14 @@ enum class MessageType : uint8_t {
   /// typed handler (unknown type, undecodable body). Carries the same
   /// status + retry-after prefix as every response.
   kErrorResponse = 9,
+  /// N explain items in one frame, answered positionally by one
+  /// kBatchExplainResponse. The server runs compatible items as a single
+  /// shared-build key search (one admission charge, one bitmap build);
+  /// each item still carries its own deadline and succeeds or fails
+  /// individually. Codes 11–13 are reserved so the request/response
+  /// pairing rule (response = request + 4) holds for this pair too.
+  kBatchExplainRequest = 10,
+  kBatchExplainResponse = 14,
 };
 
 /// Spec name of a message type ("PREDICT_REQUEST"); nullptr for values
@@ -121,9 +129,10 @@ void EncodeFrameHeader(const FrameHeader& header, uint8_t* out);
 /// body_len is NOT bounds-checked here — the transport owns that policy.
 Status DecodeFrameHeader(const uint8_t* data, size_t len, FrameHeader* out);
 
-/// A decoded client request. All four request types share one body layout
-/// (deadline, label, instance); Predict ignores `label`, Record ignores
-/// `deadline_ms`.
+/// A decoded client request. The four scalar request types share one body
+/// layout (deadline, label, instance); Predict ignores `label`, Record
+/// ignores `deadline_ms`. A kBatchExplainRequest instead carries `batch`
+/// and leaves the scalar fields unused.
 struct Request {
   MessageType type = MessageType::kPredictRequest;
   uint64_t request_id = 0;
@@ -131,6 +140,16 @@ struct Request {
   uint32_t deadline_ms = 0;
   Label label = 0;
   Instance instance;
+
+  /// kBatchExplainRequest payload: one explain item per entry, each with
+  /// its own deadline (the same (deadline, label, instance) triple a
+  /// scalar EXPLAIN_REQUEST carries).
+  struct BatchItem {
+    uint32_t deadline_ms = 0;
+    Label label = 0;
+    Instance instance;
+  };
+  std::vector<BatchItem> batch;
 };
 
 /// Explain response flag bits.
@@ -168,6 +187,22 @@ struct Response {
     FeatureSet changed_features;
   };
   std::vector<Witness> witnesses;
+
+  /// kBatchExplainResponse payload: one entry per request item,
+  /// positional (entry i answers batch item i). Each entry carries its
+  /// own status — a shed or degraded item never poisons its batchmates —
+  /// followed, when OK, by exactly the kExplainResponse payload fields.
+  struct BatchExplainItem {
+    WireStatus status = WireStatus::kOk;
+    uint32_t retry_after_ms = 0;
+    std::string message;  // non-OK entries only
+    uint8_t flags = 0;    // kFlag* bits
+    double achieved_alpha = 0.0;
+    uint64_t view_seq = 0;
+    uint32_t backend = 0;
+    FeatureSet key;
+  };
+  std::vector<BatchExplainItem> batch;
 };
 
 /// Full frame (header + body) for a request / response.

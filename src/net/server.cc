@@ -36,6 +36,7 @@ serving::RequestClass ClassFor(MessageType type) {
     case MessageType::kRecordRequest:
       return serving::RequestClass::kRecord;
     case MessageType::kExplainRequest:
+    case MessageType::kBatchExplainRequest:
       return serving::RequestClass::kExplain;
     default:
       return serving::RequestClass::kCounterfactuals;
@@ -142,6 +143,10 @@ void NetServer::InitInstruments() {
   request_latency_us_ = reg->GetHistogram(
       "cce_net_request_latency_us",
       "Decode-to-response-queued latency, microseconds");
+  batch_size_ = reg->GetHistogram(
+      "cce_batch_size",
+      "Explain items answered per shared-build batch execution (scalar "
+      "drains and BATCH_EXPLAIN frames)");
 }
 
 Status NetServer::Listen() {
@@ -569,6 +574,20 @@ void NetServer::DispatchRequest(Connection* conn, Request request) {
   pending_.fetch_add(1, std::memory_order_relaxed);
   ++conn->in_flight;
   const uint64_t conn_id = conn->id;
+  if (request.type == MessageType::kExplainRequest &&
+      options_.max_explain_batch > 1) {
+    // Park scalar Explains in the micro-batch queue instead of binding
+    // each to its own worker task: the drain that answers this request
+    // takes every batchmate queued behind it, so a flood's queue depth
+    // becomes shared-build throughput instead of per-request searches.
+    {
+      std::lock_guard<std::mutex> lock(explain_mu_);
+      explain_queue_.push_back(
+          {conn_id, started, deadline, std::move(request)});
+    }
+    workers_->Submit([this] { DrainExplainQueue(); });
+    return;
+  }
   workers_->Submit(
       [this, conn_id, started, deadline, request = std::move(request)] {
         Response response = ExecuteRequest(request, deadline);
@@ -576,6 +595,122 @@ void NetServer::DispatchRequest(Connection* conn, Request request) {
         pending_.fetch_sub(1, std::memory_order_relaxed);
         PushCompletion({conn_id, std::move(frame), started});
       });
+}
+
+void NetServer::DrainExplainQueue() {
+  std::vector<PendingExplain> batch;
+  {
+    std::unique_lock<std::mutex> lock(explain_mu_);
+    if (explain_queue_.empty()) return;  // a bigger drain already took it
+    if (explain_queue_.size() < options_.max_explain_batch &&
+        options_.explain_batch_linger.count() > 0) {
+      lock.unlock();
+      std::this_thread::sleep_for(options_.explain_batch_linger);
+      lock.lock();
+      if (explain_queue_.empty()) return;
+    }
+    const size_t take =
+        std::min(std::max<size_t>(1, options_.max_explain_batch),
+                 explain_queue_.size());
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(explain_queue_.front()));
+      explain_queue_.pop_front();
+    }
+  }
+  batch_size_->Observe(static_cast<int64_t>(batch.size()));
+  if (batch.size() == 1) {
+    // A lone request runs the classic scalar path: same admission, same
+    // search, no batch overhead.
+    PendingExplain item = std::move(batch.front());
+    Response response = ExecuteRequest(item.request, item.deadline);
+    std::string frame = EncodeResponse(response);
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    PushCompletion({item.conn_id, std::move(frame), item.started});
+    return;
+  }
+  ExecuteExplainBatch(std::move(batch));
+}
+
+void NetServer::ExecuteExplainBatch(std::vector<PendingExplain> batch) {
+  const auto finish = [&](size_t i, Response response) {
+    std::string frame = EncodeResponse(response);
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    PushCompletion({batch[i].conn_id, std::move(frame), batch[i].started});
+  };
+  const auto fail_item = [&](size_t i, const Status& status) {
+    Response response;
+    response.type = ResponseTypeFor(batch[i].request.type);
+    response.request_id = batch[i].request.request_id;
+    response.status = WireStatusFromCode(status.code());
+    response.message = status.message();
+    const int64_t hint = serving::ParseRetryAfterMs(status);
+    if (hint >= 0) response.retry_after_ms = static_cast<uint32_t>(hint);
+    finish(i, std::move(response));
+  };
+  // One admission charge for the whole batch — the expensive unit is the
+  // shared bitmap build — bounded by the earliest item deadline so nobody
+  // queues past its own budget.
+  std::optional<serving::OverloadController::Permit> permit;
+  if (controller_ != nullptr) {
+    Deadline admit_deadline = batch.front().deadline;
+    for (const PendingExplain& item : batch) {
+      if (item.deadline.expiry() < admit_deadline.expiry()) {
+        admit_deadline = item.deadline;
+      }
+    }
+    auto admitted = controller_->AdmitExpensive(
+        serving::RequestClass::kExplain, admit_deadline);
+    if (!admitted.ok()) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        shed_admission_->Increment();
+        finish(i, ShedResponse(batch[i].request, admitted.status()));
+      }
+      return;
+    }
+    permit.emplace(std::move(admitted).value());
+  }
+  // Deadlines stay per item: an already-expired one answers for itself
+  // and the rest still share the build.
+  std::vector<size_t> live;
+  std::vector<serving::BatchQuery> queries;
+  live.reserve(batch.size());
+  queries.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].deadline.expired()) {
+      fail_item(i,
+                Status::DeadlineExceeded("deadline expired before execution"));
+      continue;
+    }
+    live.push_back(i);
+    queries.push_back({batch[i].request.instance, batch[i].request.label,
+                       batch[i].deadline});
+  }
+  if (live.empty()) return;
+  std::vector<Result<serving::ServingGroup::ExplainResult>> results =
+      group_->ExplainBatch(queries);
+  for (size_t j = 0; j < live.size(); ++j) {
+    const size_t i = live[j];
+    if (!results[j].ok()) {
+      fail_item(i, results[j].status());
+      continue;
+    }
+    const serving::ServingGroup::ExplainResult& explained =
+        results[j].value();
+    Response response;
+    response.type = ResponseTypeFor(batch[i].request.type);
+    response.request_id = batch[i].request.request_id;
+    response.status = WireStatus::kOk;
+    response.flags = (explained.key.degraded ? kFlagDegraded : 0) |
+                     (explained.key.cached ? kFlagCached : 0) |
+                     (explained.hedged ? kFlagHedged : 0) |
+                     (explained.key.satisfied ? 0 : kFlagUnsatisfied);
+    response.achieved_alpha = explained.key.achieved_alpha;
+    response.view_seq = explained.view_seq;
+    response.backend = static_cast<uint32_t>(explained.backend);
+    response.key = explained.key.key;
+    finish(i, std::move(response));
+  }
 }
 
 Response NetServer::ShedResponse(const Request& request,
@@ -664,6 +799,79 @@ Response NetServer::ExecuteRequest(const Request& request,
           response.witnesses.push_back({witness.witness_row,
                                         witness.witness_label,
                                         witness.changed_features});
+        }
+      }
+      break;
+    }
+    case MessageType::kBatchExplainRequest: {
+      // A client-formed batch: one admission charge, one shared-build
+      // search, one response frame with per-item statuses.
+      std::vector<Deadline> deadlines;
+      deadlines.reserve(request.batch.size());
+      Deadline admit_deadline = Deadline::Infinite();
+      for (const Request::BatchItem& item : request.batch) {
+        const uint32_t ms = item.deadline_ms != 0
+                                ? item.deadline_ms
+                                : options_.default_deadline_ms;
+        const Deadline item_deadline =
+            ms != 0 ? Deadline::After(std::chrono::milliseconds(ms))
+                    : Deadline::Infinite();
+        if (item_deadline.expiry() < admit_deadline.expiry()) {
+          admit_deadline = item_deadline;
+        }
+        deadlines.push_back(item_deadline);
+      }
+      std::optional<serving::OverloadController::Permit> permit;
+      if (controller_ != nullptr) {
+        auto admitted = controller_->AdmitExpensive(
+            serving::RequestClass::kExplain, admit_deadline);
+        if (!admitted.ok()) {
+          shed_admission_->Increment();
+          fail(admitted.status());
+          return response;
+        }
+        permit.emplace(std::move(admitted).value());
+      }
+      batch_size_->Observe(static_cast<int64_t>(request.batch.size()));
+      response.batch.resize(request.batch.size());
+      std::vector<size_t> live;
+      std::vector<serving::BatchQuery> queries;
+      live.reserve(request.batch.size());
+      queries.reserve(request.batch.size());
+      for (size_t i = 0; i < request.batch.size(); ++i) {
+        if (deadlines[i].expired()) {
+          response.batch[i].status = WireStatus::kDeadlineExceeded;
+          response.batch[i].message = "deadline expired before execution";
+          continue;
+        }
+        live.push_back(i);
+        queries.push_back({request.batch[i].instance,
+                           request.batch[i].label, deadlines[i]});
+      }
+      if (!live.empty()) {
+        std::vector<Result<serving::ServingGroup::ExplainResult>> results =
+            group_->ExplainBatch(queries);
+        for (size_t j = 0; j < live.size(); ++j) {
+          Response::BatchExplainItem& item = response.batch[live[j]];
+          if (!results[j].ok()) {
+            const Status& status = results[j].status();
+            item.status = WireStatusFromCode(status.code());
+            item.message = status.message();
+            const int64_t hint = serving::ParseRetryAfterMs(status);
+            if (hint >= 0) item.retry_after_ms = static_cast<uint32_t>(hint);
+            continue;
+          }
+          const serving::ServingGroup::ExplainResult& explained =
+              results[j].value();
+          item.status = WireStatus::kOk;
+          item.flags = (explained.key.degraded ? kFlagDegraded : 0) |
+                       (explained.key.cached ? kFlagCached : 0) |
+                       (explained.hedged ? kFlagHedged : 0) |
+                       (explained.key.satisfied ? 0 : kFlagUnsatisfied);
+          item.achieved_alpha = explained.key.achieved_alpha;
+          item.view_seq = explained.view_seq;
+          item.backend = static_cast<uint32_t>(explained.backend);
+          item.key = explained.key.key;
         }
       }
       break;

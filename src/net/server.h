@@ -100,6 +100,22 @@ class NetServer {
     /// Deadline applied to requests that carry deadline_ms = 0; 0 = none.
     uint32_t default_deadline_ms = 0;
 
+    /// Upper bound on Explain items answered by one shared-build key
+    /// search (docs/operations.md). Queued scalar EXPLAIN_REQUEST frames
+    /// are drained in compatible groups of up to this many and executed
+    /// as one serving::ServingGroup::ExplainBatch — one admission charge,
+    /// one bitmap build — so queue depth under a flood becomes batch
+    /// throughput instead of sheds. 1 disables micro-batching (every
+    /// request runs alone, the pre-batching behaviour). BATCH_EXPLAIN
+    /// frames are always executed as the client-formed batch regardless
+    /// of this knob. Keys are bit-identical at any batch split.
+    size_t max_explain_batch = 16;
+    /// How long a drain may wait for more queued Explains before running
+    /// a partial batch. 0 (default) never waits: a drain takes whatever
+    /// is queued at that instant, so an idle server adds no latency and a
+    /// flooded one batches naturally off its own backlog.
+    std::chrono::milliseconds explain_batch_linger{0};
+
     /// How long Stop() lets in-flight work and unflushed responses drain
     /// before closing connections.
     std::chrono::milliseconds drain_timeout{1000};
@@ -183,6 +199,15 @@ class NetServer {
     std::chrono::steady_clock::time_point started;
   };
 
+  /// One scalar Explain parked in the micro-batch queue between its
+  /// DispatchRequest and the worker drain that answers it.
+  struct PendingExplain {
+    uint64_t conn_id = 0;
+    std::chrono::steady_clock::time_point started;
+    Deadline deadline;
+    Request request;
+  };
+
   NetServer(serving::ServingGroup* group, const Options& options);
 
   Status Listen();
@@ -199,6 +224,12 @@ class NetServer {
   /// Runs on a worker: admission (expensive classes) + group call.
   Response ExecuteRequest(const Request& request, const Deadline& deadline);
   Response ShedResponse(const Request& request, const Status& shed) const;
+  /// Runs on a worker: pops up to max_explain_batch queued Explains and
+  /// answers them with one shared-build batch (one admission charge).
+  void DrainExplainQueue();
+  /// Executes `batch` (>= 2 items) as one ServingGroup::ExplainBatch and
+  /// pushes one completion per item.
+  void ExecuteExplainBatch(std::vector<PendingExplain> batch);
 
   void QueueResponse(Connection* conn, const Response& response,
                      std::chrono::steady_clock::time_point started);
@@ -245,6 +276,12 @@ class NetServer {
   std::deque<Completion> completions_;
   std::atomic<size_t> pending_{0};
 
+  /// Scalar-Explain micro-batch queue (loop thread pushes, workers
+  /// drain). Each push submits a drain task; a drain that finds the
+  /// queue already emptied by a bigger batch is a no-op.
+  std::mutex explain_mu_;
+  std::deque<PendingExplain> explain_queue_;
+
   // Instruments (cells owned by registry_).
   obs::Counter* accepted_ = nullptr;
   obs::Counter* closed_client_ = nullptr;
@@ -272,6 +309,7 @@ class NetServer {
   obs::Histogram* tick_requests_ = nullptr;
   obs::Histogram* flush_batch_ = nullptr;
   obs::Histogram* request_latency_us_ = nullptr;
+  obs::Histogram* batch_size_ = nullptr;
 };
 
 }  // namespace cce::net

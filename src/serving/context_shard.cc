@@ -371,9 +371,10 @@ void ContextShard::SnapshotInto(std::vector<Row>* out) const {
   out->insert(out->end(), window_.begin(), window_.end());
 }
 
-bool ContextShard::PopFront() {
+bool ContextShard::PopFront(Row* evicted) {
   std::lock_guard<std::mutex> lock(mu_);
   if (window_.empty()) return false;
+  if (evicted != nullptr) *evicted = std::move(window_.front());
   window_.pop_front();
   window_size_.store(window_.size(), std::memory_order_release);
   front_seq_.store(window_.empty() ? UINT64_MAX : window_.front().seq,

@@ -136,8 +136,10 @@ class ContextShard {
 
   /// Evicts the oldest row; false when the window is empty. The evicted
   /// row stays in the WAL until the next compaction (same policy the
-  /// 1-shard proxy always had).
-  bool PopFront();
+  /// 1-shard proxy always had). When `evicted` is non-null the popped row
+  /// is moved into it — the explain cache's delta ring needs the row's
+  /// (x, y) to revalidate cached keys against the slide.
+  bool PopFront(Row* evicted = nullptr);
 
   /// Writes the window to the snapshot (with a covers-through marker) and
   /// resets the WAL to a fresh generation. A failure leaves the previous

@@ -95,10 +95,19 @@ ExplainCache::ExplainCache(const Options& options, obs::Registry* registry)
       "Explain-cache lookups that found no servable entry.");
   stale_drops_ = registry->GetCounter(
       "cce_cache_stale_drops_total",
-      "Cache entries dropped at lookup for exceeding the generation lag.");
+      "Cache entries dropped at lookup because the delta ring no longer "
+      "covered their stamp.");
   insertions_ = registry->GetCounter(
       "cce_cache_insertions_total",
       "Relative keys inserted into the explain cache.");
+  revalidations_ = registry->GetCounter(
+      "cce_cache_revalidations_total",
+      "Cache entries re-proven conformant against the current window by a "
+      "delta replay.");
+  revalidation_failures_ = registry->GetCounter(
+      "cce_cache_revalidation_failures_total",
+      "Cache entries dropped because a window delta broke their "
+      "conformity.");
 }
 
 ExplainCache::Stats ExplainCache::stats() const {
@@ -107,7 +116,75 @@ ExplainCache::Stats ExplainCache::stats() const {
   stats.misses = misses_->Value();
   stats.stale_drops = stale_drops_->Value();
   stats.insertions = insertions_->Value();
+  stats.revalidations = revalidations_->Value();
+  stats.revalidation_failures = revalidation_failures_->Value();
   return stats;
+}
+
+void ExplainCache::RecordAdd(const Instance& x, Label y) {
+  if (options_.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  deltas_.push_back(Delta{++delta_seq_, /*add=*/true, x, y});
+  while (deltas_.size() > options_.revalidation_window) deltas_.pop_front();
+}
+
+void ExplainCache::RecordRemove(const Instance& x, Label y) {
+  if (options_.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  deltas_.push_back(Delta{++delta_seq_, /*add=*/false, x, y});
+  while (deltas_.size() > options_.revalidation_window) deltas_.pop_front();
+}
+
+uint64_t ExplainCache::delta_seq() const {
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  return delta_seq_;
+}
+
+void ExplainCache::Clear() {
+  entries_.clear();
+  index_.clear();
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  deltas_.clear();
+}
+
+ExplainCache::Freshness ExplainCache::Revalidate(Entry* entry) {
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  if (entry->stamp == delta_seq_) return Freshness::kFresh;
+  // Ring invariant: it holds exactly (delta_seq_ - size, delta_seq_]. A
+  // stamp at or before the tail has unobservable deltas — unverifiable.
+  if (delta_seq_ - entry->stamp > deltas_.size()) {
+    return Freshness::kUncovered;
+  }
+  uint64_t violators = entry->violators;
+  uint64_t rows = entry->window_rows;
+  for (const Delta& delta : deltas_) {
+    if (delta.seq <= entry->stamp) continue;
+    rows += delta.add ? 1 : uint64_t{0} - 1;
+    // The delta row moves this key's violator count only if it matches the
+    // cached instance on every key feature AND is labelled differently —
+    // the definition of a violator surviving the key.
+    bool agrees = true;
+    for (FeatureId f : entry->result.key) {
+      if (delta.x[f] != entry->key.x[f]) {
+        agrees = false;
+        break;
+      }
+    }
+    if (agrees && delta.y != entry->key.y) {
+      violators += delta.add ? 1 : uint64_t{0} - 1;
+    }
+  }
+  const auto tolerated = static_cast<uint64_t>(
+      std::floor((1.0 - options_.alpha) * static_cast<double>(rows) + 1e-9));
+  if (violators > tolerated) return Freshness::kBroken;
+  entry->stamp = delta_seq_;
+  entry->violators = violators;
+  entry->window_rows = rows;
+  entry->result.achieved_alpha =
+      rows == 0 ? 1.0
+                : 1.0 - static_cast<double>(violators) /
+                            static_cast<double>(rows);
+  return Freshness::kRevalidated;
 }
 
 size_t ExplainCache::CacheKeyHash::operator()(const CacheKey& key) const {
@@ -123,19 +200,34 @@ size_t ExplainCache::CacheKeyHash::operator()(const CacheKey& key) const {
   return static_cast<size_t>(hash);
 }
 
-void ExplainCache::Put(const Instance& x, Label y, uint64_t generation,
-                       const KeyResult& key) {
+void ExplainCache::Put(const Instance& x, Label y, uint64_t stamp,
+                       size_t window_rows, const KeyResult& key) {
   if (options_.capacity == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(delta_mu_);
+    // A delta landed between the caller's window snapshot and now: the
+    // key may or may not include that row, so its violator bookkeeping
+    // cannot be trusted against any stamp. Skip — the next quiet Explain
+    // will cache cleanly.
+    if (delta_seq_ != stamp) return;
+  }
+  // achieved_alpha = 1 - violators/|I| exactly (both sides are exact
+  // integer counts), so the violator count survives the round trip.
+  const auto violators = static_cast<uint64_t>(std::llround(
+      (1.0 - key.achieved_alpha) * static_cast<double>(window_rows)));
   CacheKey cache_key{x, y};
   auto found = index_.find(cache_key);
   if (found != index_.end()) {
     found->second->result = key;
-    found->second->generation = generation;
+    found->second->stamp = stamp;
+    found->second->violators = violators;
+    found->second->window_rows = window_rows;
     entries_.splice(entries_.begin(), entries_, found->second);
     insertions_->Increment();
     return;
   }
-  entries_.push_front(Entry{std::move(cache_key), key, generation});
+  entries_.push_front(
+      Entry{std::move(cache_key), key, stamp, violators, window_rows});
   index_[entries_.front().key] = entries_.begin();
   insertions_->Increment();
   while (entries_.size() > options_.capacity) {
@@ -144,24 +236,34 @@ void ExplainCache::Put(const Instance& x, Label y, uint64_t generation,
   }
 }
 
-std::optional<KeyResult> ExplainCache::Get(const Instance& x, Label y,
-                                           uint64_t generation) {
+std::optional<KeyResult> ExplainCache::Get(const Instance& x, Label y) {
   if (options_.capacity == 0) return std::nullopt;
   auto found = index_.find(CacheKey{x, y});
   if (found == index_.end()) {
     misses_->Increment();
     return std::nullopt;
   }
-  const Entry& entry = *found->second;
-  if (generation < entry.generation ||
-      generation - entry.generation > options_.max_generation_lag) {
-    // Too stale to serve (or from a rolled-back generation): drop so the
-    // slot is free for a fresh key.
-    entries_.erase(found->second);
-    index_.erase(found);
-    stale_drops_->Increment();
-    misses_->Increment();
-    return std::nullopt;
+  Entry& entry = *found->second;
+  switch (Revalidate(&entry)) {
+    case Freshness::kFresh:
+      break;
+    case Freshness::kRevalidated:
+      revalidations_->Increment();
+      break;
+    case Freshness::kUncovered:
+      entries_.erase(found->second);
+      index_.erase(found);
+      stale_drops_->Increment();
+      misses_->Increment();
+      return std::nullopt;
+    case Freshness::kBroken:
+      // The window slide actually broke this key's conformity: only now
+      // does the caller pay for a fresh SRK run.
+      entries_.erase(found->second);
+      index_.erase(found);
+      revalidation_failures_->Increment();
+      misses_->Increment();
+      return std::nullopt;
   }
   entries_.splice(entries_.begin(), entries_, found->second);
   hits_->Increment();

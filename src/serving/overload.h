@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
 #include <memory>
@@ -113,50 +114,88 @@ class AdaptiveConcurrency {
 };
 
 /// Small LRU cache of recently computed relative keys, keyed by the
-/// (discretized instance, label) pair and stamped with the context
-/// generation (recorded-pair count) it was computed against. The cached
-/// rung of the degradation ladder: under pressure an identical instance is
-/// answered from here — a real, recently minimal key — before the proxy
-/// falls back to a padded degraded key or sheds.
+/// (discretized instance, label) pair. The cached rung of the degradation
+/// ladder: under pressure an identical instance is answered from here — a
+/// real, recently minimal key — before the proxy falls back to a padded
+/// degraded key or sheds.
 ///
-/// A cached key is served only while the context has advanced at most
-/// `max_generation_lag` records since it was computed; staler entries are
-/// dropped on lookup (one record rarely changes a key, a thousand might).
+/// Entries are *generation-fresh*, not bounded-stale: every window change
+/// (row recorded, row evicted) is appended to a bounded delta ring, and a
+/// lookup replays the deltas the entry has not yet seen. A delta row
+/// touches an entry only when it agrees with the cached instance on every
+/// key feature; with a different label it moves the entry's violator
+/// count. The entry is served — with a refreshed achieved_alpha — while
+/// its key stays alpha-conformant against the *current* window, and is
+/// dropped the moment conformity actually broke (the caller re-runs SRK).
+/// Entries whose stamp the ring no longer covers are unverifiable and
+/// dropped on lookup.
 ///
-/// Not thread-safe; the proxy uses it under its own mutex. Its counters
-/// live in a cce::obs registry (the proxy's, when provided) so HealthSnapshot
-/// and the exposition endpoints read the same cells — docs/metrics.md.
+/// The LRU/index state is not thread-safe (the proxy uses it under its own
+/// mutex); the delta ring has an internal mutex ordered strictly after
+/// every proxy lock, so Record-path delta appends need no proxy-wide lock.
+/// Counters live in a cce::obs registry (the proxy's, when provided) so
+/// HealthSnapshot and the exposition endpoints read the same cells —
+/// docs/metrics.md.
 class ExplainCache {
  public:
   struct Options {
     /// Entry capacity; 0 disables the cache entirely.
     size_t capacity = 128;
-    /// Max records the context may have advanced past an entry's
-    /// generation for it to still be served.
-    uint64_t max_generation_lag = 64;
+    /// Window-change deltas (records + evictions) retained for
+    /// revalidation. An entry stamped before the ring's tail cannot be
+    /// proven fresh and is dropped on lookup.
+    size_t revalidation_window = 1024;
+    /// Conformity bound entries are revalidated against (the proxy wires
+    /// its read-path alpha here).
+    double alpha = 1.0;
   };
 
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    /// Lookups that found an entry too stale to serve (entry dropped).
+    /// Lookups that found an entry the delta ring no longer covers
+    /// (entry dropped unverifiable).
     uint64_t stale_drops = 0;
     uint64_t insertions = 0;
+    /// Entries re-proven conformant against the current window by a
+    /// delta replay.
+    uint64_t revalidations = 0;
+    /// Entries dropped because a window delta broke their conformity.
+    uint64_t revalidation_failures = 0;
   };
 
   /// `registry` receives the cache's counters; null creates a private one.
   explicit ExplainCache(const Options& options,
                         obs::Registry* registry = nullptr);
 
-  /// Caches `key` for (x, y) as of context `generation`, evicting the
-  /// least-recently-used entry at capacity.
-  void Put(const Instance& x, Label y, uint64_t generation,
+  /// Appends one recorded row to the delta ring. Thread-safe.
+  void RecordAdd(const Instance& x, Label y);
+
+  /// Appends one evicted row to the delta ring. Thread-safe.
+  void RecordRemove(const Instance& x, Label y);
+
+  /// Sequence number of the newest delta (0 before any). Thread-safe. The
+  /// proxy reads this *before* snapshotting the window; Put accepts the
+  /// entry only if no delta landed in between, so an entry's violator
+  /// bookkeeping is always exact with respect to its stamp.
+  uint64_t delta_seq() const;
+
+  /// Caches `key` for (x, y), computed against a window of `window_rows`
+  /// rows as of delta `stamp`, evicting the least-recently-used entry at
+  /// capacity. Dropped silently when deltas advanced past `stamp` (the
+  /// key's window membership would be ambiguous).
+  void Put(const Instance& x, Label y, uint64_t stamp, size_t window_rows,
            const KeyResult& key);
 
-  /// Fresh-enough cached key for (x, y) at context `generation`, marked
-  /// `cached`; nullopt on miss or staleness.
-  std::optional<KeyResult> Get(const Instance& x, Label y,
-                               uint64_t generation);
+  /// Cached key for (x, y), revalidated against every delta since its
+  /// stamp and marked `cached`; nullopt on miss, broken conformity, or an
+  /// uncoverable stamp.
+  std::optional<KeyResult> Get(const Instance& x, Label y);
+
+  /// Drops every entry and the delta ring (window rebuilt out-of-band,
+  /// e.g. shard repair: deltas were never observed, so nothing cached can
+  /// be proven fresh).
+  void Clear();
 
   /// Snapshot assembled from the registry counters (the single source).
   Stats stats() const;
@@ -176,8 +215,25 @@ class ExplainCache {
   struct Entry {
     CacheKey key;
     KeyResult result;
-    uint64_t generation;
+    /// Newest delta folded into this entry's bookkeeping.
+    uint64_t stamp;
+    /// Rows agreeing with x on every key feature but labelled != y, and
+    /// the window size, both as of `stamp` — exactly what conformity
+    /// needs: conformant iff violators <= floor((1-alpha)*window_rows).
+    uint64_t violators;
+    uint64_t window_rows;
   };
+  struct Delta {
+    uint64_t seq;
+    bool add;  // true = recorded row, false = evicted row
+    Instance x;
+    Label y;
+  };
+  enum class Freshness { kFresh, kRevalidated, kUncovered, kBroken };
+
+  /// Replays the deltas since entry->stamp (under delta_mu_) and either
+  /// advances the entry's bookkeeping or reports why it cannot be served.
+  Freshness Revalidate(Entry* entry);
 
   Options options_;
   /// Front = most recently used.
@@ -190,6 +246,15 @@ class ExplainCache {
   obs::Counter* misses_;
   obs::Counter* stale_drops_;
   obs::Counter* insertions_;
+  obs::Counter* revalidations_;
+  obs::Counter* revalidation_failures_;
+
+  /// Guards the ring and delta_seq_ only; ordered after every proxy lock
+  /// and never held while calling out.
+  mutable std::mutex delta_mu_;
+  /// Invariant: holds exactly the deltas (delta_seq_ - size, delta_seq_].
+  std::deque<Delta> deltas_;
+  uint64_t delta_seq_ = 0;
 };
 
 /// The per-class admission layer in front of every public proxy entry

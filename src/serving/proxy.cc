@@ -81,8 +81,13 @@ ExplainableProxy::ExplainableProxy(std::shared_ptr<const Schema> schema,
     overload_ =
         std::make_unique<OverloadController>(options_.overload,
                                              registry_.get());
-    explain_cache_ = std::make_unique<ExplainCache>(options_.explain_cache,
-                                                    registry_.get());
+    // The cache revalidates entries against the proxy's conformity bound,
+    // so its alpha always mirrors the proxy's regardless of what the
+    // caller left in explain_cache.alpha.
+    ExplainCache::Options cache_options = options_.explain_cache;
+    cache_options.alpha = options_.alpha;
+    explain_cache_ =
+        std::make_unique<ExplainCache>(cache_options, registry_.get());
   }
 }
 
@@ -119,6 +124,13 @@ void ExplainableProxy::InitInstruments() {
   ins_.cache_served_explains =
       reg.GetCounter("cce_cache_served_explains_total",
                      "Explains answered from the explanation cache.");
+  ins_.batch_executions = reg.GetCounter(
+      "cce_batch_executions_total",
+      "ExplainBatch() calls that ran a shared-build key search (one fused "
+      "bitmap build amortized across every item in the batch).");
+  ins_.batch_items = reg.GetCounter(
+      "cce_batch_items_total",
+      "Explain items answered through ExplainBatch() shared builds.");
   ins_.fallback_serves = reg.GetCounter(
       "cce_fallback_serves_total",
       "Explain/Counterfactuals served from context while the breaker was "
@@ -478,6 +490,10 @@ Status ExplainableProxy::RecordToShard(const Instance& x, Label y) {
     return recorded;
   }
   total_rows_.fetch_add(1, std::memory_order_acq_rel);
+  // The delta must land after the row is durably in its window and before
+  // eviction deltas for the rows it displaces: the cache replays deltas in
+  // ring order to re-prove cached keys against the slid window.
+  if (explain_cache_ != nullptr) explain_cache_->RecordAdd(x, y);
   EvictToCapacity();
   SyncContextGauges();
   return Status::Ok();
@@ -500,8 +516,15 @@ void ExplainableProxy::EvictToCapacity() {
         oldest = shard.get();
       }
     }
-    if (oldest == nullptr || !oldest->PopFront()) break;
+    ContextShard::Row evicted;
+    if (oldest == nullptr ||
+        !oldest->PopFront(explain_cache_ != nullptr ? &evicted : nullptr)) {
+      break;
+    }
     total_rows_.fetch_sub(1, std::memory_order_acq_rel);
+    if (explain_cache_ != nullptr) {
+      explain_cache_->RecordRemove(evicted.x, evicted.y);
+    }
   }
 }
 
@@ -698,11 +721,12 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
         overload_->AdmitExpensive(RequestClass::kExplain, deadline);
     span.End();
     if (!admitted.ok()) {
-      // Shed — the cached rung of the ladder: an identical discretized
-      // instance explained recently enough is still a real answer.
+      // Shed — the cached rung of the ladder: a cached key that Get()
+      // just re-proved conformant against the current window is a real
+      // answer, not a stale approximation.
       std::lock_guard<std::mutex> lock(mu_);
       if (explain_cache_ != nullptr) {
-        if (auto cached = explain_cache_->Get(x, y, recorded())) {
+        if (auto cached = explain_cache_->Get(x, y)) {
           ins_.cache_served_explains->Increment();
           FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kServedCached);
           return *cached;
@@ -715,7 +739,7 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
     permit.emplace(std::move(admitted).value());
   }
   Context context(schema_);
-  uint64_t generation = 0;
+  uint64_t cache_stamp = 0;
   bool degraded_context = false;
   {
     auto span = trace.Phase("snapshot");
@@ -732,18 +756,22 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
       // search.
       if (permit.has_value() && permit->under_pressure() &&
           explain_cache_ != nullptr) {
-        if (auto cached = explain_cache_->Get(x, y, recorded())) {
+        if (auto cached = explain_cache_->Get(x, y)) {
           ins_.cache_served_explains->Increment();
           FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kServedCached);
           return *cached;
         }
       }
     }
+    // Stamp the delta ring *before* merging: any Record that lands
+    // between this read and the merge advances the ring past the stamp,
+    // and Put() refuses entries whose window membership is ambiguous —
+    // the cache's exactness gate.
+    if (explain_cache_ != nullptr) cache_stamp = explain_cache_->delta_seq();
     // Merge the shard windows by global sequence number: exact arrival
     // order, so the key search sees the same context a 1-shard proxy
     // would and returns bit-identical keys.
     context = MergedContext();
-    generation = recorded();
     degraded_context = AnyShardQuarantined();
     if (context.size() == 0) {
       Status status =
@@ -780,11 +808,172 @@ Result<KeyResult> ExplainableProxy::Explain(const Instance& x, Label y,
       // Only full (minimised) keys are worth caching: a padded degraded
       // key served from cache would degrade answers even when idle.
       std::lock_guard<std::mutex> lock(mu_);
-      explain_cache_->Put(x, y, generation, *key);
+      explain_cache_->Put(x, y, cache_stamp, context.size(), *key);
     }
     FinishTrace(trace, Op::kExplain, obs::TraceOutcome::kServedFull);
   }
   return key;
+}
+
+std::vector<Result<KeyResult>> ExplainableProxy::ExplainBatch(
+    const std::vector<BatchQuery>& items) const {
+  std::vector<Result<KeyResult>> results(
+      items.size(), Result<KeyResult>(Status::Internal("unanswered")));
+  if (items.empty()) return results;
+  obs::RequestTrace trace(traces_.get(), "explain_batch");
+  obs::ScopedLatency latency(registry_.get(), ins_.explain_latency_us);
+  ins_.explains->Add(items.size());
+  // Per-item request accounting: the batch is a transport optimization,
+  // not a new entry point, so each item lands in the same
+  // cce_requests_total{op="explain"} matrix a serial Explain would.
+  auto count_item = [&](obs::TraceOutcome outcome) {
+    ins_.requests[static_cast<int>(Op::kExplain)]
+                 [static_cast<int>(outcome) - 1]
+        ->Increment();
+  };
+  // Validate every item individually — one malformed instance must not
+  // poison its batchmates.
+  std::vector<size_t> live;
+  live.reserve(items.size());
+  {
+    auto span = trace.Phase("validate");
+    for (size_t i = 0; i < items.size(); ++i) {
+      Status valid =
+          ValidateRequest(items[i].x, items[i].y, /*check_label=*/true);
+      if (valid.ok()) {
+        live.push_back(i);
+      } else {
+        count_item(obs::TraceOutcome::kError);
+        results[i] = std::move(valid);
+      }
+    }
+  }
+  if (live.empty()) {
+    trace.set_outcome(obs::TraceOutcome::kError);
+    return results;
+  }
+  // Serve item `i` from the cache if a generation-fresh entry exists;
+  // caller holds mu_. Returns false when the item still needs a search.
+  auto serve_cached_locked = [&](size_t i) {
+    if (explain_cache_ == nullptr) return false;
+    auto cached = explain_cache_->Get(items[i].x, items[i].y);
+    if (!cached.has_value()) return false;
+    ins_.cache_served_explains->Increment();
+    count_item(obs::TraceOutcome::kServedCached);
+    results[i] = *std::move(cached);
+    return true;
+  };
+  // One admission charge for the whole batch: the expensive unit of work
+  // is the shared bitmap build, and the per-item greedy is cheap next to
+  // it. The earliest finite deadline bounds the queue wait so no item
+  // waits past its own budget just to be admitted.
+  std::optional<OverloadController::Permit> permit;
+  if (overload_ != nullptr) {
+    Deadline admit_deadline = items[live.front()].deadline;
+    for (size_t i : live) {
+      if (items[i].deadline.expiry() < admit_deadline.expiry()) {
+        admit_deadline = items[i].deadline;
+      }
+    }
+    auto span = trace.Phase("admit");
+    auto admitted =
+        overload_->AdmitExpensive(RequestClass::kExplain, admit_deadline);
+    span.End();
+    if (!admitted.ok()) {
+      // Shed: each item falls back to the cached rung individually; the
+      // ones without a fresh entry are shed with the controller's
+      // retry_after hint.
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i : live) {
+        if (serve_cached_locked(i)) continue;
+        count_item(obs::TraceOutcome::kShed);
+        results[i] = admitted.status();
+      }
+      trace.set_outcome(obs::TraceOutcome::kShed);
+      return results;
+    }
+    permit.emplace(std::move(admitted).value());
+  }
+  Context context(schema_);
+  uint64_t cache_stamp = 0;
+  bool degraded_context = false;
+  std::vector<size_t> pending;
+  pending.reserve(live.size());
+  {
+    auto span = trace.Phase("snapshot");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (breaker_.state() == CircuitBreaker::State::kOpen) {
+        ins_.fallback_serves->Increment();
+      }
+      // Under pressure, items with a fresh cached key skip the search;
+      // only the remainder costs bitmap work.
+      const bool under_pressure =
+          permit.has_value() && permit->under_pressure();
+      for (size_t i : live) {
+        if (under_pressure && serve_cached_locked(i)) continue;
+        pending.push_back(i);
+      }
+    }
+    if (pending.empty()) {
+      trace.set_outcome(obs::TraceOutcome::kServedCached);
+      return results;
+    }
+    if (explain_cache_ != nullptr) cache_stamp = explain_cache_->delta_seq();
+    context = MergedContext();
+    degraded_context = AnyShardQuarantined();
+    if (context.size() == 0) {
+      Status status =
+          Status::FailedPrecondition("no predictions recorded yet");
+      for (size_t i : pending) {
+        count_item(obs::TraceOutcome::kError);
+        results[i] = status;
+      }
+      trace.set_outcome(obs::TraceOutcome::kError);
+      return results;
+    }
+  }
+  std::vector<BatchQuery> batch;
+  batch.reserve(pending.size());
+  for (size_t i : pending) batch.push_back(items[i]);
+  Result<std::vector<KeyResult>> keys = [&] {
+    auto span = trace.Phase("search");
+    return SearchKeyBatch(context, batch, ExplainReadPath());
+  }();
+  if (!keys.ok()) {
+    for (size_t i : pending) {
+      count_item(obs::TraceOutcome::kError);
+      results[i] = keys.status();
+    }
+    trace.set_outcome(obs::TraceOutcome::kError);
+    return results;
+  }
+  ins_.batch_executions->Increment();
+  ins_.batch_items->Add(pending.size());
+  bool any_degraded = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t j = 0; j < pending.size(); ++j) {
+    const size_t i = pending[j];
+    KeyResult key = std::move((*keys)[j]);
+    const bool deadline_degraded = key.degraded;
+    if (degraded_context) key.degraded = true;
+    if (key.degraded) {
+      any_degraded = true;
+      ins_.degraded_explains->Increment();
+      if (deadline_degraded) ins_.deadline_misses->Increment();
+      count_item(obs::TraceOutcome::kDegraded);
+    } else {
+      if (explain_cache_ != nullptr) {
+        explain_cache_->Put(items[i].x, items[i].y, cache_stamp,
+                            context.size(), key);
+      }
+      count_item(obs::TraceOutcome::kServedFull);
+    }
+    results[i] = std::move(key);
+  }
+  trace.set_outcome(any_degraded ? obs::TraceOutcome::kDegraded
+                                 : obs::TraceOutcome::kServedFull);
+  return results;
 }
 
 Result<std::vector<RelativeCounterfactual>>
@@ -847,6 +1036,13 @@ Status ExplainableProxy::RepairShard(size_t shard) {
                                    std::to_string(shard));
   }
   CCE_RETURN_IF_ERROR(shards_[shard]->Repair());
+  if (explain_cache_ != nullptr) {
+    // Repair swaps the shard's window wholesale without emitting window
+    // deltas, so cached keys can no longer be re-proven — drop them all
+    // rather than serve an answer the delta replay cannot vouch for.
+    std::lock_guard<std::mutex> lock(mu_);
+    explain_cache_->Clear();
+  }
   SyncContextGauges();
   return Status::Ok();
 }
@@ -939,7 +1135,11 @@ HealthSnapshot ExplainableProxy::Health() const {
     snapshot.cache_hits = cache.hits;
     snapshot.cache_misses = cache.misses;
     snapshot.cache_stale_drops = cache.stale_drops;
+    snapshot.cache_revalidations = cache.revalidations;
+    snapshot.cache_revalidation_failures = cache.revalidation_failures;
   }
+  snapshot.batch_executions = ins_.batch_executions->Value();
+  snapshot.batch_items = ins_.batch_items->Value();
   return snapshot;
 }
 

@@ -63,8 +63,11 @@ namespace cce::serving {
 /// degradation ladder becomes
 ///
 ///   full key  ->  cached key for an identical recently-explained
-///                 instance (bounded staleness) when admitted under
-///                 pressure or shed
+///                 instance when admitted under pressure or shed; the
+///                 cache is generation-fresh — each hit is revalidated
+///                 against the window deltas since it was stored, and
+///                 only keys whose conformity provably survived the
+///                 slide are served (see ExplainCache)
 ///             ->  padded degraded key at deadline expiry
 ///             ->  shed with kResourceExhausted + a retry_after hint.
 ///
@@ -231,6 +234,20 @@ class ExplainableProxy {
   Result<KeyResult> Explain(const Instance& x, Label y,
                             const Deadline& deadline = {}) const;
 
+  /// Explains a batch of recorded (instance, prediction) pairs against ONE
+  /// context snapshot, sharing the bitmap build across all items (the
+  /// amortization: one row-major pass over the window instead of one per
+  /// request). Results are positional — result i answers items[i] — and
+  /// every key is bit-identical to what a serial Explain of that item
+  /// against the same snapshot would return, at any pool width and any
+  /// batch split. Admission is charged once for the whole batch (a shared
+  /// build is one expensive-work unit); per-item deadlines still apply
+  /// individually inside the key search, so one slow item degrades only
+  /// itself. On shed, items are answered from the explain cache where a
+  /// generation-fresh entry exists and shed individually otherwise.
+  std::vector<Result<KeyResult>> ExplainBatch(
+      const std::vector<BatchQuery>& items) const;
+
   /// Closest counterfactual witnesses from the current context.
   Result<std::vector<RelativeCounterfactual>> Counterfactuals(
       const Instance& x, Label y) const;
@@ -378,7 +395,10 @@ class ExplainableProxy {
   /// own mutex — expensive-class admission must wait for a slot without
   /// holding mu_, so Predict/Record stay unblocked.
   std::unique_ptr<OverloadController> overload_;
-  /// Cached-key ladder rung; guarded by mu_, null when overload disabled.
+  /// Cached-key ladder rung; null when overload disabled. Entry storage is
+  /// guarded by mu_; the cache's window-delta ring is internally
+  /// synchronised so RecordToShard/EvictToCapacity can append deltas
+  /// without taking mu_ (Record never holds mu_).
   std::unique_ptr<ExplainCache> explain_cache_;
 
   /// Injected or privately owned; every metric cell below points into it.
@@ -408,6 +428,8 @@ class ExplainableProxy {
     obs::Counter* explains = nullptr;
     obs::Counter* degraded_explains = nullptr;
     obs::Counter* cache_served_explains = nullptr;
+    obs::Counter* batch_executions = nullptr;
+    obs::Counter* batch_items = nullptr;
     obs::Counter* fallback_serves = nullptr;
     obs::Counter* validation_rejects = nullptr;
     obs::Counter* breaker_rejections = nullptr;

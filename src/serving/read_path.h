@@ -46,6 +46,20 @@ Result<KeyResult> SearchKey(const Context& context, const Instance& x,
                             Label y, const Deadline& deadline,
                             const ReadPath& path);
 
+/// One item of a batched key search: (x, y) plus that item's own deadline.
+struct BatchQuery {
+  Instance x;
+  Label y = 0;
+  Deadline deadline;
+};
+
+/// Batched SearchKey: every item is scored against one shared bitmap build
+/// over `context` (Srk::ExplainBatch), with keys bit-identical to running
+/// SearchKey per item. Results are positional: result i answers item i.
+Result<std::vector<KeyResult>> SearchKeyBatch(
+    const Context& context, const std::vector<BatchQuery>& items,
+    const ReadPath& path);
+
 /// Closest counterfactual witnesses for (x, y) against `context`.
 Result<std::vector<RelativeCounterfactual>> SearchCounterfactuals(
     const Context& context, const Instance& x, Label y);

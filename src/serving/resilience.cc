@@ -183,7 +183,12 @@ std::string HealthSnapshot::ToString() const {
   out += " cache_hits=" + std::to_string(cache_hits);
   out += " cache_misses=" + std::to_string(cache_misses);
   out += " cache_stale_drops=" + std::to_string(cache_stale_drops);
+  out += " cache_revalidations=" + std::to_string(cache_revalidations);
+  out += " cache_revalidation_failures=" +
+         std::to_string(cache_revalidation_failures);
   out += " cache_served_explains=" + std::to_string(cache_served_explains);
+  out += " batch_executions=" + std::to_string(batch_executions);
+  out += " batch_items=" + std::to_string(batch_items);
   return out;
 }
 

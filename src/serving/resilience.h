@@ -247,12 +247,20 @@ struct HealthSnapshot {
   uint64_t concurrency_decreases = 0;
   /// EWMA of observed Explain service latency, µs.
   int64_t explain_latency_ewma_us = 0;
-  /// Explanation-cache ladder: lookups, hits, entries dropped as stale,
-  /// and requests actually answered from the cache under pressure.
+  /// Explanation-cache ladder: lookups, hits, entries whose window deltas
+  /// outran the revalidation ring (dropped unverifiable), entries
+  /// re-proven / disproven by a delta replay, and requests actually
+  /// answered from the cache under pressure.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_stale_drops = 0;
+  uint64_t cache_revalidations = 0;
+  uint64_t cache_revalidation_failures = 0;
   uint64_t cache_served_explains = 0;
+  /// Amortized batch Explain: shared-build executions and the items they
+  /// answered (items / executions = the achieved amortization factor).
+  uint64_t batch_executions = 0;
+  uint64_t batch_items = 0;
 
   std::string ToString() const;
 };

@@ -486,6 +486,119 @@ Result<ServingGroup::ExplainResult> ServingGroup::Explain(
                        /*hedge_won=*/secondary_won && fired_as_hedge);
 }
 
+std::vector<Result<ServingGroup::ExplainResult>> ServingGroup::ExplainBatch(
+    const std::vector<BatchQuery>& items) {
+  std::vector<Result<ExplainResult>> results(
+      items.size(), Result<ExplainResult>(Status::Unavailable(
+                        "serving group: no routable backend")));
+  if (items.empty()) return results;
+  obs::RequestTrace trace(traces_.get(), "group_explain_batch");
+  obs::ScopedLatency latency(registry_.get(), explain_latency_us_);
+  const std::vector<size_t> order = RouteOrder();
+  if (order.empty()) {
+    errors_->Add(items.size());
+    trace.set_outcome(obs::TraceOutcome::kBroke);
+    trace.set_detail("no routable backend");
+    return results;
+  }
+  // Same fence as Explain(): the freshest view the preferred backend
+  // promised at entry bounds every item in the batch.
+  const uint64_t fence_seq = BackendSeq(order[0]);
+  Status last = Status::Unavailable("serving group: all breakers open");
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const size_t index = order[pos];
+    if (!AdmitBackend(index)) {
+      if (pos + 1 < order.size()) failovers_->Increment();
+      continue;
+    }
+    const uint64_t before = BackendSeq(index);
+    const auto start = registry_->now();
+    if (options_.explain_interceptor) options_.explain_interceptor(index);
+    std::vector<Result<KeyResult>> keys;
+    if (index == 0) {
+      keys = leader_->ExplainBatch(items);
+    } else {
+      // Replicas expose no batch surface; the routing decision and the
+      // serving view are still shared across the batch.
+      keys.reserve(items.size());
+      for (const BatchQuery& item : items) {
+        keys.push_back(
+            backends_[index].replica->Explain(item.x, item.y, item.deadline));
+      }
+    }
+    const int64_t micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            registry_->now() - start)
+            .count();
+    const uint64_t after = BackendSeq(index);
+    const uint64_t view_seq = std::min(before, after);
+    // Breaker verdict for the whole dispatch: the backend failed only when
+    // it served no item and at least one failure was the backend's fault
+    // (client errors — kInvalidArgument — never are).
+    bool any_ok = false;
+    bool any_backend_error = false;
+    Status first_backend_error = Status::Ok();
+    for (const Result<KeyResult>& key : keys) {
+      if (key.ok()) {
+        any_ok = true;
+      } else if (key.status().code() != StatusCode::kInvalidArgument) {
+        if (!any_backend_error) first_backend_error = key.status();
+        any_backend_error = true;
+      }
+    }
+    const bool backend_failed = !any_ok && any_backend_error;
+    RecordOutcome(index,
+                  backend_failed ? first_backend_error : Status::Ok(),
+                  micros);
+    if (backend_failed) {
+      last = first_backend_error;
+      if (pos + 1 < order.size()) failovers_->Increment();
+      continue;
+    }
+    bool any_error = false;
+    bool any_degraded = false;
+    for (size_t i = 0; i < items.size(); ++i) {
+      Attempt attempt;
+      attempt.backend = index;
+      attempt.view_seq = view_seq;
+      attempt.result = std::move(keys[i]);
+      attempt.done = true;
+      if (!attempt.result.ok()) {
+        errors_->Increment();
+        any_error = true;
+        results[i] = attempt.result.status();
+        continue;
+      }
+      ApplyFence(&attempt, fence_seq, /*hedged=*/pos > 0);
+      ExplainResult out;
+      out.key = std::move(attempt.result.value());
+      out.backend = index;
+      out.view_seq = view_seq;
+      out.hedged = false;
+      if (out.key.degraded) {
+        degraded_serves_->Increment();
+        any_degraded = true;
+      } else {
+        uint64_t floor = served_floor_.load(std::memory_order_relaxed);
+        while (floor < view_seq &&
+               !served_floor_.compare_exchange_weak(
+                   floor, view_seq, std::memory_order_relaxed)) {
+        }
+      }
+      results[i] = std::move(out);
+    }
+    trace.set_outcome(any_error      ? obs::TraceOutcome::kError
+                      : any_degraded ? obs::TraceOutcome::kDegraded
+                                     : obs::TraceOutcome::kServedFull);
+    return results;
+  }
+  errors_->Add(items.size());
+  trace.set_outcome(obs::TraceOutcome::kError);
+  trace.set_detail(last.ToString());
+  for (Result<ExplainResult>& result : results) result = last;
+  return results;
+}
+
 Result<Label> ServingGroup::Predict(const Instance& x,
                                     const Deadline& deadline) {
   return leader_->Predict(x, deadline);

@@ -189,6 +189,18 @@ class ServingGroup {
   Result<ExplainResult> Explain(const Instance& x, Label y,
                                 const Deadline& deadline = {});
 
+  /// Routed batch Explain: one routing decision and one backend dispatch
+  /// answers every item. On the leader the items run as a shared-build
+  /// ExplainableProxy::ExplainBatch (one fused bitmap build); on a replica
+  /// they run item-by-item against a single routed view. Never hedged.
+  /// Results are positional — result i answers items[i] — and item
+  /// failures are individual: per-item deadlines and degradation flags are
+  /// honored one by one, and the batch fails over to the next backend only
+  /// when the current one served *no* item. Watermark fencing applies to
+  /// every item exactly as in Explain().
+  std::vector<Result<ExplainResult>> ExplainBatch(
+      const std::vector<BatchQuery>& items);
+
   /// Routed with sequential failover (never hedged — witnesses are
   /// cheap relative to key searches).
   Result<std::vector<RelativeCounterfactual>> Counterfactuals(

@@ -238,6 +238,10 @@ TEST(NetServerTest, QueueOverflowShedsCarryRetryAfterHint) {
 TEST(NetServerTest, DeadlineFloodProducesDeadlineResponses) {
   NetServer::Options options;
   options.worker_threads = 1;
+  // Pin the scalar path: micro-batching exists precisely to absorb this
+  // flood within its deadlines (BatchedFloodMeetsDeadlines below), so the
+  // per-request expiry behaviour needs batching off to surface.
+  options.max_explain_batch = 1;
   NetStack stack(options);
   NetClient client = stack.Connect();
   constexpr size_t kBatch = 48;
@@ -259,6 +263,93 @@ TEST(NetServerTest, DeadlineFloodProducesDeadlineResponses) {
     }
   }
   EXPECT_GE(non_ok, 1u);
+}
+
+TEST(NetServerTest, BatchExplainFrameAnswersEveryItemPositionally) {
+  NetStack stack;
+  NetClient client = stack.Connect();
+  // Scalar answers first: the batch frame must reproduce them exactly.
+  std::vector<Response> want;
+  for (size_t row = 0; row < 6; ++row) {
+    auto scalar = client.Call(
+        stack.MakeRequest(MessageType::kExplainRequest, 50 + row, row));
+    ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+    ASSERT_EQ(scalar->status, WireStatus::kOk);
+    want.push_back(std::move(scalar).value());
+  }
+  Request request;
+  request.type = MessageType::kBatchExplainRequest;
+  request.request_id = 99;
+  for (size_t row = 0; row < 6; ++row) {
+    Request::BatchItem item;
+    item.instance = stack.data.instance(row);
+    item.label = stack.model.Predict(item.instance);
+    request.batch.push_back(std::move(item));
+  }
+  auto response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->type, MessageType::kBatchExplainResponse);
+  EXPECT_EQ(response->status, WireStatus::kOk);
+  EXPECT_EQ(response->request_id, 99u);
+  ASSERT_EQ(response->batch.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    const Response::BatchExplainItem& item = response->batch[i];
+    EXPECT_EQ(item.status, WireStatus::kOk) << "item " << i;
+    EXPECT_EQ(item.key, want[i].key) << "item " << i;
+    EXPECT_EQ(item.achieved_alpha, want[i].achieved_alpha) << "item " << i;
+    EXPECT_EQ(item.backend, 0u);  // leader-only
+  }
+  // The whole frame was one shared-build execution on the proxy.
+  EXPECT_GE(stack.proxy->Health().batch_executions, 1u);
+}
+
+TEST(NetServerTest, BatchExplainPoisonedItemFailsAlone) {
+  NetStack stack;
+  NetClient client = stack.Connect();
+  Request request;
+  request.type = MessageType::kBatchExplainRequest;
+  request.request_id = 7;
+  for (size_t row = 0; row < 3; ++row) {
+    Request::BatchItem item;
+    item.instance = stack.data.instance(row);
+    item.label = stack.model.Predict(item.instance);
+    if (row == 1) item.instance[0] = 999;  // outside the schema's domain
+    request.batch.push_back(std::move(item));
+  }
+  auto response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, WireStatus::kOk) << "outer frame succeeded";
+  ASSERT_EQ(response->batch.size(), 3u);
+  EXPECT_EQ(response->batch[0].status, WireStatus::kOk);
+  EXPECT_EQ(response->batch[1].status, WireStatus::kInvalidArgument);
+  EXPECT_FALSE(response->batch[1].message.empty());
+  EXPECT_EQ(response->batch[2].status, WireStatus::kOk);
+}
+
+TEST(NetServerTest, BatchedFloodMeetsDeadlines) {
+  NetServer::Options options;
+  options.worker_threads = 1;  // workers lag the loop: queue depth forms
+  NetStack stack(options);
+  NetClient client = stack.Connect();
+  constexpr size_t kBatch = 48;
+  for (size_t i = 0; i < kBatch; ++i) {
+    Request request =
+        stack.MakeRequest(MessageType::kExplainRequest, i, i % 100);
+    request.deadline_ms = 200;
+    ASSERT_TRUE(client.Send(request).ok());
+  }
+  size_t ok = 0;
+  for (size_t i = 0; i < kBatch; ++i) {
+    auto response = client.Receive();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    if (response->status == WireStatus::kOk) ++ok;
+  }
+  // The queued flood drains through shared builds: item throughput per
+  // execution > 1, visible in the proxy's amortization counters.
+  EXPECT_EQ(ok, kBatch) << "batching absorbed the flood within deadline";
+  const serving::HealthSnapshot health = stack.proxy->Health();
+  EXPECT_GT(health.batch_items, health.batch_executions)
+      << "at least one drain carried more than one item";
 }
 
 TEST(NetServerTest, HttpMetricsHealthzAndNotFound) {

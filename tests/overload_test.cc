@@ -139,68 +139,151 @@ TEST(AdaptiveConcurrencyTest, DeterministicAcrossReplays) {
 KeyResult MakeKey(std::initializer_list<FeatureId> features) {
   KeyResult key;
   key.key.assign(features);
+  key.achieved_alpha = 1.0;  // a cached full key has zero violators
   return key;
 }
 
-TEST(ExplainCacheTest, HitWithinGenerationLag) {
+TEST(ExplainCacheTest, FreshEntryServesWithoutRevalidation) {
   ExplainCache::Options options;
   options.capacity = 4;
-  options.max_generation_lag = 10;
   ExplainCache cache(options);
   Instance x{1, 2, 3};
-  cache.Put(x, 0, /*generation=*/100, MakeKey({0, 2}));
-  auto hit = cache.Get(x, 0, /*generation=*/105);
+  cache.Put(x, 0, cache.delta_seq(), /*window_rows=*/3, MakeKey({0, 2}));
+  auto hit = cache.Get(x, 0);
   ASSERT_TRUE(hit.has_value());
   EXPECT_TRUE(hit->cached);
   EXPECT_EQ(hit->key, (FeatureSet{0, 2}));
-  EXPECT_FALSE(cache.Get(x, 1, 105).has_value()) << "label is part of the key";
+  EXPECT_FALSE(cache.Get(x, 1).has_value()) << "label is part of the key";
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().revalidations, 0u)
+      << "no window delta since the entry was stored";
 }
 
-TEST(ExplainCacheTest, StaleEntryIsDropped) {
+TEST(ExplainCacheTest, BenignDeltaRevalidates) {
+  ExplainCache cache(ExplainCache::Options{});
+  // Key {0} for (x, y=0): conformity depends only on rows matching x[0].
+  Instance x{1, 2};
+  cache.Put(x, 0, cache.delta_seq(), /*window_rows=*/2, MakeKey({0}));
+  // Same key projection, same label: supports the key, never breaks it.
+  cache.RecordAdd(Instance{1, 9}, 0);
+  // Different key projection: invisible to the key regardless of label.
+  cache.RecordAdd(Instance{7, 9}, 1);
+  auto hit = cache.Get(x, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->key, (FeatureSet{0}));
+  EXPECT_EQ(cache.stats().revalidations, 1u)
+      << "the slide was replayed and the key re-proven";
+  EXPECT_EQ(cache.stats().revalidation_failures, 0u);
+  // A second Get sees the refreshed stamp: fresh, no second replay.
+  EXPECT_TRUE(cache.Get(x, 0).has_value());
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+}
+
+TEST(ExplainCacheTest, ConflictingDeltaBreaksTheKey) {
+  ExplainCache cache(ExplainCache::Options{});  // alpha = 1: no violators
+  Instance x{1, 2};
+  cache.Put(x, 0, cache.delta_seq(), /*window_rows=*/2, MakeKey({0}));
+  // Agrees with x on the key feature but carries the other label: a
+  // violator under alpha = 1, so the cached key is no longer a key.
+  cache.RecordAdd(Instance{1, 5}, 1);
+  EXPECT_FALSE(cache.Get(x, 0).has_value());
+  EXPECT_EQ(cache.stats().revalidation_failures, 1u);
+  EXPECT_EQ(cache.size(), 0u) << "broken entry evicted on lookup";
+}
+
+TEST(ExplainCacheTest, RemovalOfViolatorRestoresHeadroom) {
   ExplainCache::Options options;
-  options.max_generation_lag = 10;
+  options.alpha = 0.75;  // one violator tolerated per 4 rows
+  ExplainCache cache(options);
+  Instance x{1, 2};
+  KeyResult key = MakeKey({0});
+  key.achieved_alpha = 0.75;  // 1 violator among 4 rows at Put time
+  cache.Put(x, 0, cache.delta_seq(), /*window_rows=*/4, key);
+  // The window slides: the old violator leaves, a fresh one arrives.
+  cache.RecordRemove(Instance{1, 8}, 1);
+  cache.RecordAdd(Instance{1, 9}, 1);
+  auto hit = cache.Get(x, 0);
+  ASSERT_TRUE(hit.has_value()) << "still exactly one violator in 4 rows";
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+  // A second conflicting arrival tips it over the alpha budget.
+  cache.RecordAdd(Instance{1, 3}, 1);
+  EXPECT_FALSE(cache.Get(x, 0).has_value());
+  EXPECT_EQ(cache.stats().revalidation_failures, 1u);
+}
+
+TEST(ExplainCacheTest, DeltasBeyondTheRingDropTheEntry) {
+  ExplainCache::Options options;
+  options.revalidation_window = 2;
   ExplainCache cache(options);
   Instance x{7};
-  cache.Put(x, 0, 100, MakeKey({0}));
-  EXPECT_FALSE(cache.Get(x, 0, 111).has_value())
-      << "11 records past the entry's generation, lag budget is 10";
+  cache.Put(x, 0, cache.delta_seq(), /*window_rows=*/1, MakeKey({0}));
+  for (int i = 0; i < 3; ++i) cache.RecordAdd(Instance{7}, 0);
+  EXPECT_FALSE(cache.Get(x, 0).has_value())
+      << "3 deltas since the entry, ring holds 2: unverifiable";
   EXPECT_EQ(cache.stats().stale_drops, 1u);
-  EXPECT_EQ(cache.size(), 0u) << "stale entry evicted on lookup";
+  EXPECT_EQ(cache.stats().revalidation_failures, 0u)
+      << "uncovered is not disproven — different counter";
+  EXPECT_EQ(cache.size(), 0u) << "unverifiable entry evicted on lookup";
+}
+
+TEST(ExplainCacheTest, PutWithStaleStampIsSkipped) {
+  ExplainCache cache(ExplainCache::Options{});
+  Instance x{5};
+  const uint64_t stamp = cache.delta_seq();
+  // A record lands between the caller's snapshot and its Put: whether the
+  // snapshot included that row is unknowable, so the entry is refused.
+  cache.RecordAdd(Instance{5}, 0);
+  cache.Put(x, 0, stamp, /*window_rows=*/1, MakeKey({0}));
+  EXPECT_FALSE(cache.Get(x, 0).has_value());
+  EXPECT_EQ(cache.stats().insertions, 0u);
 }
 
 TEST(ExplainCacheTest, LruEviction) {
   ExplainCache::Options options;
   options.capacity = 2;
   ExplainCache cache(options);
-  cache.Put(Instance{1}, 0, 0, MakeKey({0}));
-  cache.Put(Instance{2}, 0, 0, MakeKey({1}));
-  EXPECT_TRUE(cache.Get(Instance{1}, 0, 0).has_value());  // 1 now MRU
-  cache.Put(Instance{3}, 0, 0, MakeKey({2}));             // evicts 2
-  EXPECT_TRUE(cache.Get(Instance{1}, 0, 0).has_value());
-  EXPECT_FALSE(cache.Get(Instance{2}, 0, 0).has_value());
-  EXPECT_TRUE(cache.Get(Instance{3}, 0, 0).has_value());
+  cache.Put(Instance{1}, 0, 0, 1, MakeKey({0}));
+  cache.Put(Instance{2}, 0, 0, 1, MakeKey({1}));
+  EXPECT_TRUE(cache.Get(Instance{1}, 0).has_value());  // 1 now MRU
+  cache.Put(Instance{3}, 0, 0, 1, MakeKey({2}));       // evicts 2
+  EXPECT_TRUE(cache.Get(Instance{1}, 0).has_value());
+  EXPECT_FALSE(cache.Get(Instance{2}, 0).has_value());
+  EXPECT_TRUE(cache.Get(Instance{3}, 0).has_value());
   EXPECT_EQ(cache.size(), 2u);
 }
 
 TEST(ExplainCacheTest, PutRefreshesExistingEntry) {
   ExplainCache cache(ExplainCache::Options{});
   Instance x{5};
-  cache.Put(x, 0, 10, MakeKey({0}));
-  cache.Put(x, 0, 20, MakeKey({1}));
-  auto hit = cache.Get(x, 0, 20);
+  cache.Put(x, 0, 0, 1, MakeKey({0}));
+  cache.Put(x, 0, 0, 1, MakeKey({1}));
+  auto hit = cache.Get(x, 0);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->key, (FeatureSet{1}));
   EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ExplainCacheTest, ClearDropsEntriesAndDeltas) {
+  ExplainCache cache(ExplainCache::Options{});
+  cache.Put(Instance{1}, 0, 0, 1, MakeKey({0}));
+  cache.RecordAdd(Instance{2}, 0);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(Instance{1}, 0).has_value());
+  // The ring restarts too: a fresh Put at the new stamp is accepted.
+  cache.Put(Instance{3}, 0, cache.delta_seq(), 1, MakeKey({1}));
+  EXPECT_TRUE(cache.Get(Instance{3}, 0).has_value());
 }
 
 TEST(ExplainCacheTest, ZeroCapacityDisables) {
   ExplainCache::Options options;
   options.capacity = 0;
   ExplainCache cache(options);
-  cache.Put(Instance{1}, 0, 0, MakeKey({0}));
-  EXPECT_FALSE(cache.Get(Instance{1}, 0, 0).has_value());
+  cache.Put(Instance{1}, 0, 0, 1, MakeKey({0}));
+  cache.RecordAdd(Instance{1}, 0);
+  EXPECT_FALSE(cache.Get(Instance{1}, 0).has_value());
+  EXPECT_EQ(cache.delta_seq(), 0u) << "disabled cache records no deltas";
 }
 
 // ----------------------------------------------------- OverloadController --

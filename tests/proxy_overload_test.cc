@@ -109,13 +109,41 @@ TEST(ProxyOverloadTest, ShedExplainServedFromCacheThenRejectedCold) {
   EXPECT_EQ(health.explains, 3u);
 }
 
-TEST(ProxyOverloadTest, CachedKeyExpiresWithGenerationLag) {
+TEST(ProxyOverloadTest, CachedKeyRevalidatesAcrossBenignSlide) {
   testing::Fig2Context fig2;
   ExplainableProxy::Options options = QuietOptions();
   options.overload.enabled = true;
   options.overload.explain_bucket.refill_per_sec = 0.001;
   options.overload.explain_bucket.burst = 1.0;
-  options.explain_cache.max_generation_lag = 2;
+  auto proxy = ExplainableProxy::Create(fig2.schema, nullptr, options);
+  ASSERT_TRUE(proxy.ok());
+  for (size_t row = 0; row < fig2.context.size(); ++row) {
+    CCE_CHECK_OK((*proxy)->Record(fig2.context.instance(row),
+                                  fig2.context.label(row)));
+  }
+  const Instance& x0 = fig2.context.instance(0);
+  auto full = (*proxy)->Explain(x0, fig2.denied);
+  ASSERT_TRUE(full.ok());
+  // The window slides with a row that agrees with x0 on the cached key's
+  // features AND its label: the key provably still holds, so the shed
+  // request is served from the cache after a delta replay.
+  CCE_CHECK_OK((*proxy)->Record(fig2.context.instance(3), fig2.denied));
+  auto cached = (*proxy)->Explain(x0, fig2.denied);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->cached);
+  EXPECT_EQ(cached->key, full->key);
+  HealthSnapshot health = (*proxy)->Health();
+  EXPECT_EQ(health.cache_revalidations, 1u);
+  EXPECT_EQ(health.cache_revalidation_failures, 0u);
+  EXPECT_EQ(health.cache_served_explains, 1u);
+}
+
+TEST(ProxyOverloadTest, ConflictingRecordBreaksCachedKey) {
+  testing::Fig2Context fig2;
+  ExplainableProxy::Options options = QuietOptions();
+  options.overload.enabled = true;
+  options.overload.explain_bucket.refill_per_sec = 0.001;
+  options.overload.explain_bucket.burst = 1.0;
   auto proxy = ExplainableProxy::Create(fig2.schema, nullptr, options);
   ASSERT_TRUE(proxy.ok());
   for (size_t row = 0; row < fig2.context.size(); ++row) {
@@ -124,8 +152,36 @@ TEST(ProxyOverloadTest, CachedKeyExpiresWithGenerationLag) {
   }
   const Instance& x0 = fig2.context.instance(0);
   ASSERT_TRUE((*proxy)->Explain(x0, fig2.denied).ok());
-  // Advance the context three records past the cached generation: the
-  // entry is now too stale for the ladder to serve.
+  // x3 matches x0 on Income and Credit; recording it with the OTHER label
+  // makes it a violator of the cached key {Income, Credit}. Revalidation
+  // must notice the break and refuse to serve the stale key.
+  CCE_CHECK_OK((*proxy)->Record(fig2.context.instance(3), fig2.approved));
+  auto shed = (*proxy)->Explain(x0, fig2.denied);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  HealthSnapshot health = (*proxy)->Health();
+  EXPECT_EQ(health.cache_revalidation_failures, 1u);
+  EXPECT_EQ(health.cache_served_explains, 0u)
+      << "a disproven key must never be served";
+}
+
+TEST(ProxyOverloadTest, CachedKeyDropsWhenDeltaRingOverruns) {
+  testing::Fig2Context fig2;
+  ExplainableProxy::Options options = QuietOptions();
+  options.overload.enabled = true;
+  options.overload.explain_bucket.refill_per_sec = 0.001;
+  options.overload.explain_bucket.burst = 1.0;
+  options.explain_cache.revalidation_window = 2;
+  auto proxy = ExplainableProxy::Create(fig2.schema, nullptr, options);
+  ASSERT_TRUE(proxy.ok());
+  for (size_t row = 0; row < fig2.context.size(); ++row) {
+    CCE_CHECK_OK((*proxy)->Record(fig2.context.instance(row),
+                                  fig2.context.label(row)));
+  }
+  const Instance& x0 = fig2.context.instance(0);
+  ASSERT_TRUE((*proxy)->Explain(x0, fig2.denied).ok());
+  // Three records outrun the 2-delta ring: the entry can no longer be
+  // proven fresh, so it is dropped rather than served.
   for (int i = 0; i < 3; ++i) {
     CCE_CHECK_OK((*proxy)->Record(fig2.context.instance(3), fig2.denied));
   }
